@@ -1,0 +1,46 @@
+"""Figure 2 — the core ontology of OpenBG.
+
+Rebuilds the core ontology (3 classes, 5 concepts, 7 object-property
+families, W3C meta-properties) and prints its edge list, checking the exact
+structure the figure shows.
+"""
+
+from __future__ import annotations
+
+from repro.kg.namespaces import MetaProperty
+from repro.ontology.core_ontology import (
+    CORE_OBJECT_PROPERTY_SIGNATURES,
+    build_core_ontology,
+    ontology_edge_list,
+)
+from repro.ontology.schema import PropertyKind
+
+
+def test_bench_fig2_core_ontology(benchmark):
+    schema = benchmark.pedantic(build_core_ontology, rounds=3, iterations=1)
+
+    print("\nFigure 2 — core ontology edges:")
+    for head, relation, tail in ontology_edge_list():
+        print(f"  {head:>14} --{relation}--> {tail}")
+
+    # 3 core classes under owl:Thing, 5 core concepts under skos:Concept.
+    assert set(schema.classes) == {"Category", "Brand", "Place"}
+    assert set(schema.concepts) == {"Time", "Scene", "Theme", "Crowd", "MarketSegment"}
+
+    # Every Figure-2 object property links Category to one other core node.
+    for relation, (domain, range_) in CORE_OBJECT_PROPERTY_SIGNATURES.items():
+        definition = schema.properties[relation]
+        assert definition.kind is PropertyKind.OBJECT
+        assert definition.domain == "Category"
+        assert range_ in schema.classes or range_ in schema.concepts
+
+    # The imported W3C meta-properties are present.
+    for meta in (MetaProperty.SUBCLASS_OF, MetaProperty.BROADER, MetaProperty.TYPE,
+                 MetaProperty.EQUIVALENT_CLASS, MetaProperty.SUBPROPERTY_OF,
+                 MetaProperty.EQUIVALENT_PROPERTY):
+        assert meta.value in schema.properties
+
+    edges = ontology_edge_list()
+    assert len([e for e in edges if e[1] == MetaProperty.SUBCLASS_OF.value]) == 3
+    assert len([e for e in edges if e[1] == MetaProperty.BROADER.value]) == 5
+    assert len(edges) == 3 + 5 + len(CORE_OBJECT_PROPERTY_SIGNATURES)

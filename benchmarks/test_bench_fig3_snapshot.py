@@ -1,0 +1,56 @@
+"""Figure 3 — a snapshot of OpenBG around one product.
+
+The figure shows a rice product with its category chain, brand, place,
+scene and market-segment links plus attribute values.  The bench extracts
+the same kind of neighbourhood around a synthetic product and checks it
+contains every ingredient of the figure: taxonomy edges, object-property
+links, data-property values and the multimodal comment/image markers.
+"""
+
+from __future__ import annotations
+
+from repro.kg.namespaces import MetaProperty
+
+
+def _pick_rich_product(graph, catalog):
+    """A product with brand, place, concepts, attributes and an image."""
+    for product in catalog.products:
+        if product.brand and product.place and product.concept_links \
+                and product.attributes and product.has_image:
+            return product
+    # Fall back to any product with a brand.
+    return next(product for product in catalog.products if product.brand)
+
+
+def test_bench_fig3_snapshot(benchmark, graph, catalog):
+    product = _pick_rich_product(graph, catalog)
+
+    neighbourhood = benchmark.pedantic(
+        lambda: graph.neighbourhood(product.product_id, hops=2),
+        rounds=1, iterations=1)
+
+    print(f"\nFigure 3 — snapshot around {graph.label_of(product.product_id)!r} "
+          f"({len(neighbourhood)} triples within 2 hops):")
+    for triple in neighbourhood[:25]:
+        print(f"  ({graph.label_of(triple.head)}, {triple.relation}, "
+              f"{graph.label_of(triple.tail)})")
+
+    relations = {triple.relation for triple in neighbourhood}
+
+    # The figure's ingredients: instantiation, taxonomy, brand/place links,
+    # at least one concept link, attribute values and the comment marker.
+    assert MetaProperty.TYPE.value in relations
+    assert MetaProperty.SUBCLASS_OF.value in relations
+    assert "brandIs" in relations
+    assert "placeOfOrigin" in relations
+    concept_relations = {"relatedScene", "forCrowd", "aboutTheme", "appliedTime"} | \
+        {rel for rel in relations if rel.startswith("inMarket")}
+    assert relations & concept_relations
+    assert set(product.attributes) & relations
+    assert MetaProperty.COMMENT.value in relations
+
+    # The two-hop neighbourhood reaches the category's parent (taxonomy chain).
+    nodes = {triple.tail for triple in neighbourhood} | \
+        {triple.head for triple in neighbourhood}
+    parent = catalog.category_taxonomy.node(product.category).parent
+    assert parent in nodes

@@ -1,0 +1,40 @@
+"""Figure 4 — the three-stage benchmark building process.
+
+Prints the stage-by-stage reduction (relation refinement → head entity
+filtering → tail entity sampling) for each benchmark and checks that every
+stage only shrinks its input and that the relation subset relation
+R_IMG ⊆ R_500 holds, as drawn in the figure.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.builders import BenchmarkBuilder, default_suite_configs
+
+
+def test_bench_fig4_sampling_stages(benchmark, graph):
+    def build():
+        builder = BenchmarkBuilder(graph, seed=13)
+        return builder.build_suite(default_suite_configs(seed=13))
+
+    suite = benchmark.pedantic(build, rounds=1, iterations=1)
+
+    print("\nFigure 4 — benchmark building stages (before → after):")
+    for name, stages in suite.stages.items():
+        print(f"  {name}:")
+        for stage_name, before, after in stages.reduction_table():
+            print(f"    {stage_name:<24} {before:>8} -> {after:>8}")
+
+    for name, stages in suite.stages.items():
+        # Each stage can only reduce (or keep) its candidate set.
+        assert stages.refined_relations <= max(stages.candidate_relations, 1)
+        assert stages.sampled_head_entities <= stages.candidate_head_entities
+        assert stages.sampled_triples <= stages.candidate_triples
+        # The final triples are exactly what the dataset splits were built from.
+        dataset = suite[name]
+        assert len(dataset.all_triples()) == stages.sampled_triples
+
+    # The IMG relation subset is contained in the 500 relation subset
+    # (R_136 ⊂ R_500 in the paper).
+    img_relations = set(suite.stages["OpenBG-IMG"].relations)
+    five_hundred_relations = set(suite.stages["OpenBG500"].relations)
+    assert img_relations <= five_hundred_relations

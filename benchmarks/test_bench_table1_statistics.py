@@ -1,0 +1,52 @@
+"""Table I — statistics of OpenBG (scaled-down synthetic analogue).
+
+Regenerates the Table I accounting: overall class/concept/relation/product/
+triple counts, per-taxonomy level breakdowns, and per-relation triple counts
+grouped by property kind.  The benchmark measures the end-to-end
+construction time of the synthetic OpenBG.
+"""
+
+from __future__ import annotations
+
+from repro.construction.pipeline import OpenBGBuilder
+from repro.datagen.catalog import SyntheticCatalogConfig
+from repro.kg.statistics import compute_statistics
+
+
+def test_bench_table1_statistics(benchmark, construction_result):
+    statistics = benchmark.pedantic(
+        lambda: compute_statistics(construction_result.graph),
+        rounds=1, iterations=1)
+
+    print("\n" + statistics.format_table())
+
+    # Shape of Table I: all headline counts are positive and consistent.
+    assert statistics.num_core_classes > 100
+    assert statistics.num_core_concepts > 50
+    assert statistics.num_relation_types > 20
+    assert statistics.num_products == construction_result.catalog.config.num_products
+    assert statistics.num_triples == len(construction_result.graph)
+
+    # Category / Brand / Place / concept taxonomies all present with leaves.
+    for root in ("Category", "Brand", "Place", "Scene", "Crowd", "Theme",
+                 "Time", "MarketSegment"):
+        assert root in statistics.taxonomy, f"missing taxonomy breakdown for {root}"
+        assert statistics.taxonomy[root].total > 0
+        assert statistics.taxonomy[root].leaves > 0
+
+    # Like the paper, rdf:type and the inMarket* family dominate relation counts.
+    assert statistics.meta_property_counts.get("rdf:type", 0) > 0
+    in_market_total = sum(count for rel, count in statistics.object_property_counts.items()
+                          if rel.startswith("inMarket"))
+    assert in_market_total > 0
+
+
+def test_bench_table1_construction_scaling(benchmark):
+    """Construction throughput: build a smaller OpenBG end-to-end per round."""
+    config = SyntheticCatalogConfig(num_products=150, seed=29)
+
+    def build():
+        return OpenBGBuilder(config, seed=29).build(run_validation=False)
+
+    result = benchmark.pedantic(build, rounds=1, iterations=1)
+    assert result.summary()["triples"] > 1000

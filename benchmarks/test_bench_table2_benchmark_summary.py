@@ -1,0 +1,37 @@
+"""Table II — summary statistics of the OpenBG benchmark datasets.
+
+Regenerates the Table II rows (# Ent, # Rel, # Train, # Dev, # Test, and the
+multimodal-entity count for OpenBG-IMG) for the scaled-down benchmark suite,
+and checks the orderings the paper's table exhibits.
+"""
+
+from __future__ import annotations
+
+from repro.benchmark.builders import BenchmarkBuilder
+
+
+def test_bench_table2_benchmark_summary(benchmark, graph):
+    suite = benchmark.pedantic(lambda: BenchmarkBuilder(graph, seed=13).build_suite(),
+                               rounds=1, iterations=1)
+
+    header = ["Dataset", "# Ent", "# Rel", "# Train", "# Dev", "# Test"]
+    print("\n" + " | ".join(f"{cell:>14}" for cell in header))
+    for summary in suite.summaries():
+        print(" | ".join(f"{cell:>14}" for cell in summary.as_row()))
+
+    img = suite["OpenBG-IMG"]
+    five_hundred = suite["OpenBG500"]
+    large = suite["OpenBG500-L"]
+
+    # Orderings from Table II: IMG is smallest, 500-L is largest; IMG has the
+    # fewest relations and is the only multimodal dataset.
+    assert len(img.train) < len(five_hundred.train) < len(large.train)
+    assert len(img.entity_vocab) < len(large.entity_vocab)
+    assert len(img.relation_vocab) <= len(five_hundred.relation_vocab)
+    assert img.is_multimodal
+    assert not five_hundred.is_multimodal
+    assert not large.is_multimodal
+
+    # Every dataset has non-empty dev/test splits for evaluation.
+    for dataset in (img, five_hundred, large):
+        assert dataset.dev and dataset.test

@@ -1,0 +1,88 @@
+"""Table IV — link prediction on OpenBG500 and OpenBG500-L analogues.
+
+Trains the single-modal baselines on both datasets (omitting the heaviest
+models on the -L variant, as the paper does for TuckER / KG-BERT / GenKGC)
+and reports the filtered Hits@K / MR / MRR rows.
+"""
+
+from __future__ import annotations
+
+from repro.embedding import (
+    ComplEx,
+    DistMult,
+    GenKGCSim,
+    KGBertSim,
+    KGETrainer,
+    LinkPredictionEvaluator,
+    TrainingConfig,
+    TransD,
+    TransE,
+    TransH,
+    TuckER,
+)
+from repro.embedding.evaluation import format_results_table
+from repro.embedding.features import entity_text_matrix
+
+
+def _models_for(dataset, large: bool, dim: int, seed: int):
+    num_entities = len(dataset.entity_vocab)
+    num_relations = len(dataset.relation_vocab)
+    models = [
+        TransE(num_entities, num_relations, dim=dim, seed=seed),
+        TransH(num_entities, num_relations, dim=dim, seed=seed),
+        TransD(num_entities, num_relations, dim=dim, seed=seed),
+        DistMult(num_entities, num_relations, dim=dim, seed=seed),
+        ComplEx(num_entities, num_relations, dim=dim, seed=seed),
+    ]
+    if not large:
+        text_features = entity_text_matrix(dataset.entity_vocab.symbols(),
+                                           dataset.labels, dataset.descriptions, dim=48)
+        models.append(TuckER(num_entities, num_relations, dim=dim, seed=seed))
+        models.append(KGBertSim(num_entities, num_relations, text_features=text_features,
+                                dim=dim, seed=seed))
+        models.append(GenKGCSim(num_entities, num_relations, text_features=text_features,
+                                dim=dim, seed=seed))
+    return models
+
+
+def _run(dataset, large: bool, dim: int = 32, epochs: int = 20, seed: int = 13):
+    encoded = dataset.encoded_splits()
+    evaluator = LinkPredictionEvaluator(encoded["train"], encoded["dev"], encoded["test"])
+    # Translational models use the larger step size; multiplicative / text
+    # models use a gentler one (per-baseline settings as in the paper).
+    learning_rates = {"TransE": 0.08, "TransH": 0.08, "TransD": 0.08}
+    results = {}
+    for model in _models_for(dataset, large, dim, seed):
+        config = TrainingConfig(epochs=epochs, batch_size=256,
+                                learning_rate=learning_rates.get(model.name, 0.01),
+                                seed=seed, normalize_entities=model.name.startswith("Trans"))
+        KGETrainer(model, config).fit(encoded["train"])
+        results[model.name] = evaluator.evaluate(model, encoded["test"])
+    return results
+
+
+def test_bench_table4_openbg500(benchmark, benchmark_suite):
+    dataset = benchmark_suite["OpenBG500"]
+    results = benchmark.pedantic(lambda: _run(dataset, large=False), rounds=1, iterations=1)
+    print("\n" + format_results_table(results, title="Table IV — OpenBG500 analogue"))
+
+    assert {"TransE", "TransH", "TransD", "DistMult", "ComplEx", "TuckER",
+            "KG-BERT", "GenKGC"} == set(results)
+    # Translational models beat vanilla bilinear models (paper's finding).
+    assert max(results[name].mean_reciprocal_rank for name in ("TransE", "TransH", "TransD")) \
+        > min(results[name].mean_reciprocal_rank for name in ("DistMult", "ComplEx"))
+    for metrics in results.values():
+        assert metrics.num_queries > 0
+
+
+def test_bench_table4_openbg500_large(benchmark, benchmark_suite):
+    dataset = benchmark_suite["OpenBG500-L"]
+    results = benchmark.pedantic(lambda: _run(dataset, large=True, epochs=15),
+                                 rounds=1, iterations=1)
+    print("\n" + format_results_table(results, title="Table IV — OpenBG500-L analogue"))
+
+    # The -L table omits the heavy models, exactly as the paper does.
+    assert set(results) == {"TransE", "TransH", "TransD", "DistMult", "ComplEx"}
+    # Vanilla TransE remains competitive at larger scale (paper's observation).
+    best = max(results.values(), key=lambda metrics: metrics.mean_reciprocal_rank)
+    assert results["TransE"].mean_reciprocal_rank >= best.mean_reciprocal_rank * 0.6

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Benchmark construction walk-through (Section III / Figure 4).
+
+Shows the three-stage sampling procedure step by step — relation refinement,
+head entity filtering, tail entity sampling — and writes the resulting
+train/dev/test TSV files to ``./openbg_benchmark_output/`` in the layout the
+public OpenBG release uses.
+
+Run with::
+
+    python examples/benchmark_construction.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro import BenchmarkBuilder, OpenBGBuilder, SyntheticCatalogConfig
+from repro.benchmark.distribution import long_tail_metrics, relation_distribution
+from repro.benchmark.sampling import SamplingConfig
+
+
+def main() -> None:
+    result = OpenBGBuilder(SyntheticCatalogConfig(num_products=250, seed=3),
+                           seed=3).build(run_validation=False)
+    builder = BenchmarkBuilder(result.graph, seed=3)
+
+    config = SamplingConfig(name="OpenBG-IMG", num_relations=10, head_sampling_rate=0.8,
+                            tail_sampling_rate=0.4, triple_sampling_rate=0.5,
+                            require_images=True, dev_fraction=0.05, test_fraction=0.15,
+                            seed=3)
+    dataset, stages = builder.build(config)
+
+    print("Three-stage sampling (Figure 4):")
+    for stage_name, before, after in stages.reduction_table():
+        print(f"  {stage_name:<24} {before:>8} -> {after:>8}")
+
+    print("\nResulting dataset (Table II row):")
+    print("  " + " | ".join(dataset.summary().as_row()))
+
+    print("\nRelation distribution (Figure 5):")
+    for relation, count in relation_distribution(dataset.all_triples()):
+        print(f"  {relation:<20} {count}")
+    print(f"  long-tail metrics: {long_tail_metrics(dataset.all_triples())}")
+
+    output_dir = Path("openbg_benchmark_output")
+    dataset.save(output_dir)
+    print(f"\nWrote train/dev/test TSV files to {output_dir.resolve()}/")
+
+
+if __name__ == "__main__":
+    main()

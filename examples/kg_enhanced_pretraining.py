@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""KG-enhanced pre-training and downstream category prediction (Section IV).
+
+Builds the synthetic OpenBG, pre-trains the mPLUG-style model with and
+without KG enhancement, and compares downstream category-prediction accuracy
+(full-data and 1-shot), reproducing the qualitative finding of Tables V/VI:
+KG enhancement helps, and helps most when data is scarce.
+
+Run with::
+
+    python examples/kg_enhanced_pretraining.py
+"""
+
+from __future__ import annotations
+
+from repro import OpenBGBuilder, SyntheticCatalogConfig
+from repro.pretrain import MPlugConfig, Pretrainer, PretrainingConfig
+from repro.tasks import CategoryPredictionTask, build_backbone
+from repro.tasks.encoders import BackboneSpec
+
+
+def pretrain_backbone(catalog, graph, use_kg: bool, steps: int = 20):
+    """Pre-train one backbone (optionally KG-enhanced) and wrap it for tasks."""
+    name = "mPLUG-base+KG" if use_kg else "mPLUG-base"
+    spec = BackboneSpec(name, pretrained=True, use_kg=use_kg, size="base",
+                        pretrain_steps=steps, seed=1)
+    pretrainer = Pretrainer(
+        catalog, graph,
+        model_config=MPlugConfig(dim=32, num_heads=4, num_text_layers=1,
+                                 num_visual_layers=1, num_decoder_layers=1),
+        config=PretrainingConfig(steps=steps, use_kg=use_kg, seed=1,
+                                 max_examples=150, batch_size=8))
+    report = pretrainer.pretrain()
+    print(f"  {name}: total pre-training loss "
+          f"{report.first('total'):.2f} -> {report.final('total'):.2f}")
+    return build_backbone(spec, catalog, graph, pretrainer=pretrainer)
+
+
+def main() -> None:
+    result = OpenBGBuilder(SyntheticCatalogConfig(num_products=250, seed=1),
+                           seed=1).build(run_validation=False)
+    catalog, graph = result.catalog, result.graph
+    print("Pre-training backbones (this takes a minute)...")
+    baseline = build_backbone(BackboneSpec("RoBERTa (general-domain)", pretrained=False,
+                                           use_kg=False, seed=1), catalog, graph)
+    mplug = pretrain_backbone(catalog, graph, use_kg=False)
+    mplug_kg = pretrain_backbone(catalog, graph, use_kg=True)
+
+    task = CategoryPredictionTask(catalog, seed=1)
+    print(f"\nCategory prediction over {len(task.dataset.label_names)} leaf categories")
+    print(f"{'backbone':<28} {'full-data':>10} {'1-shot':>10}")
+    for backbone in (baseline, mplug, mplug_kg):
+        full = task.evaluate(backbone, probe_epochs=120)["accuracy"]
+        one_shot = task.evaluate(backbone, shots=1, probe_epochs=120)["accuracy"]
+        print(f"{backbone.name:<28} {full:>10.3f} {one_shot:>10.3f}")
+
+    print("\nExpected shape: the KG-enhanced pre-trained backbone is best, and "
+          "its advantage is largest in the 1-shot setting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — a laptop-scale reproduction of OpenBG (ICDE 2023).
+
+OpenBG is a billion-scale pre-trained multimodal business knowledge graph
+built at Alibaba.  This package re-implements every subsystem the paper
+describes — the ontology and KG substrate, the multi-source construction
+pipeline, the benchmark sampling procedure, single-modal and multimodal KG
+embedding models, a KG-enhanced vision-language pre-training stack built on
+an in-package autograd engine, the five downstream tasks, and the online
+application simulators — at a scale that runs on a single machine with no
+dependencies beyond numpy / scipy / networkx.
+
+Top-level convenience imports expose the most commonly used entry points::
+
+    from repro import (
+        KnowledgeGraph, Triple, build_core_ontology,
+        SyntheticCatalogConfig, generate_catalog,
+        OpenBGBuilder, BenchmarkBuilder,
+        TransE, LinkPredictionEvaluator,
+    )
+"""
+
+from repro.version import __version__
+from repro.kg.triple import Triple
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.store import TripleStore
+from repro.ontology.core_ontology import build_core_ontology
+from repro.datagen.catalog import SyntheticCatalogConfig, generate_catalog
+from repro.construction.pipeline import OpenBGBuilder
+from repro.benchmark.builders import BenchmarkBuilder
+from repro.embedding.transe import TransE
+from repro.embedding.evaluation import LinkPredictionEvaluator
+
+__all__ = [
+    "__version__",
+    "Triple",
+    "KnowledgeGraph",
+    "TripleStore",
+    "build_core_ontology",
+    "SyntheticCatalogConfig",
+    "generate_catalog",
+    "OpenBGBuilder",
+    "BenchmarkBuilder",
+    "TransE",
+    "LinkPredictionEvaluator",
+]

@@ -1,0 +1,126 @@
+"""Item alignment: identify different items referring to the same product.
+
+With OpenBG, items can be matched through the product schema (category,
+brand, attributes) instead of titles alone; the paper reports ~45% GMV
+uplift after deployment.  The simulator compares two aligners — title
+similarity only vs. title similarity + KG schema features — on item pairs
+with known ground truth, and converts correctly aligned pairs into GMV
+(each correctly merged pair unlocks its items' sales volume).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.applications.online_metrics import UpliftReport
+from repro.datagen.catalog import Catalog
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import derive_rng
+from repro.utils.textutils import jaccard_similarity
+
+
+@dataclass
+class ItemPair:
+    """A candidate pair of items with ground truth and KG features."""
+
+    item_a: str
+    item_b: str
+    title_similarity: float
+    same_category: bool
+    same_brand: bool
+    shared_attributes: int
+    same_product: bool
+    pair_value: float  # synthetic merchandise volume unlocked if aligned
+
+
+class ItemAlignmentSimulator:
+    """Simulates the item-alignment service with and without KG features."""
+
+    def __init__(self, catalog: Catalog, graph: KnowledgeGraph, seed: int = 0,
+                 window: int = 8) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.seed = int(seed)
+        self.window = int(window)
+        self.pairs = self._build_pairs()
+
+    def _build_pairs(self) -> List[ItemPair]:
+        rng = derive_rng(self.seed, "item-alignment")
+        records: List[Tuple[str, str, str, str, str, Dict[str, str], float]] = []
+        for product in self.catalog.products:
+            for item in product.items:
+                records.append((item.item_id, product.product_id, item.title,
+                                product.category, product.brand or "",
+                                product.attributes, item.price))
+        pairs: List[ItemPair] = []
+        for index in range(len(records)):
+            item_a, product_a, title_a, category_a, brand_a, attrs_a, price_a = records[index]
+            for other in range(index + 1, min(index + 1 + self.window, len(records))):
+                item_b, product_b, title_b, category_b, brand_b, attrs_b, price_b = records[other]
+                shared = sum(1 for key, value in attrs_a.items()
+                             if attrs_b.get(key) == value)
+                volume = float(rng.integers(1, 50))
+                pairs.append(ItemPair(
+                    item_a=item_a, item_b=item_b,
+                    title_similarity=jaccard_similarity(title_a, title_b),
+                    same_category=category_a == category_b,
+                    same_brand=bool(brand_a) and brand_a == brand_b,
+                    shared_attributes=shared,
+                    same_product=product_a == product_b,
+                    pair_value=(price_a + price_b) * volume / 2.0,
+                ))
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # aligners
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def baseline_score(pair: ItemPair) -> float:
+        """Title-only alignment score."""
+        return pair.title_similarity
+
+    @staticmethod
+    def kg_enhanced_score(pair: ItemPair) -> float:
+        """Title + KG schema features (category, brand, shared attributes)."""
+        score = pair.title_similarity
+        if pair.same_category:
+            score += 0.35
+        if pair.same_brand:
+            score += 0.25
+        score += 0.05 * min(pair.shared_attributes, 4)
+        return score
+
+    def _gmv(self, scorer, threshold: float) -> float:
+        """GMV unlocked by correct alignments minus a penalty for wrong merges."""
+        gmv = 0.0
+        for pair in self.pairs:
+            if scorer(pair) < threshold:
+                continue
+            if pair.same_product:
+                gmv += pair.pair_value
+            else:
+                gmv -= 0.3 * pair.pair_value  # wrong merges hurt conversions
+        return max(gmv, 0.0)
+
+    def run(self, baseline_threshold: float = 0.65,
+            enhanced_threshold: float = 1.1) -> UpliftReport:
+        """GMV with title-only vs KG-enhanced alignment."""
+        baseline = self._gmv(self.baseline_score, baseline_threshold)
+        enhanced = self._gmv(self.kg_enhanced_score, enhanced_threshold)
+        return UpliftReport(metric="GMV", baseline=baseline, enhanced=enhanced,
+                            higher_is_better=True)
+
+    def alignment_quality(self, threshold: float = 0.85) -> Dict[str, float]:
+        """Precision/recall of the KG-enhanced aligner (diagnostics)."""
+        true_positives = sum(1 for pair in self.pairs
+                             if self.kg_enhanced_score(pair) >= threshold and pair.same_product)
+        predicted = sum(1 for pair in self.pairs
+                        if self.kg_enhanced_score(pair) >= threshold)
+        actual = sum(1 for pair in self.pairs if pair.same_product)
+        precision = true_positives / predicted if predicted else 0.0
+        recall = true_positives / actual if actual else 0.0
+        return {"precision": precision, "recall": recall,
+                "num_pairs": float(len(self.pairs))}

@@ -1,0 +1,44 @@
+"""Shared uplift reporting for the online-application simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class UpliftReport:
+    """Before/after comparison of one online business metric."""
+
+    metric: str
+    baseline: float
+    enhanced: float
+    higher_is_better: bool = True
+
+    @property
+    def uplift(self) -> float:
+        """Relative change from baseline to enhanced (positive = improvement).
+
+        For "smaller is better" metrics (e.g. release duration) the sign is
+        flipped so a positive uplift always means the KG-enhanced system is
+        better.
+        """
+        if self.baseline == 0:
+            return 0.0
+        change = (self.enhanced - self.baseline) / abs(self.baseline)
+        return change if self.higher_is_better else -change
+
+    @property
+    def improved(self) -> bool:
+        """True when the enhanced system beats the baseline."""
+        if self.higher_is_better:
+            return self.enhanced > self.baseline
+        return self.enhanced < self.baseline
+
+    def as_row(self) -> list[str]:
+        """Printable row: metric, baseline, enhanced, uplift%."""
+        return [
+            self.metric,
+            f"{self.baseline:.4f}",
+            f"{self.enhanced:.4f}",
+            f"{self.uplift * 100:+.1f}%",
+        ]

@@ -1,0 +1,112 @@
+"""Emerging product release: auto-filling attributes from the category schema.
+
+When a new product is released, its attribute sheet must be completed before
+listing; with OpenBG the attributes can be pre-filled by inheriting typical
+values from the product's category, cutting the manual effort.  The paper
+reports ~30% shorter release duration.  The simulator measures the release
+duration as a function of how many attribute fields remain to be filled by
+hand, with and without KG-based pre-filling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.applications.online_metrics import UpliftReport
+from repro.datagen.catalog import Catalog
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class ReleaseCase:
+    """One emerging product: its category and the attributes it must declare."""
+
+    product_id: str
+    category: str
+    required_attributes: Dict[str, str]
+
+
+class ProductReleaseSimulator:
+    """Simulates product-release workflows with and without KG pre-filling."""
+
+    def __init__(self, catalog: Catalog, graph: KnowledgeGraph, seed: int = 0,
+                 minutes_per_field: float = 3.0, base_minutes: float = 20.0) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.seed = int(seed)
+        self.minutes_per_field = float(minutes_per_field)
+        self.base_minutes = float(base_minutes)
+        self._category_defaults = self._build_category_defaults()
+
+    def _build_category_defaults(self) -> Dict[str, Dict[str, str]]:
+        """Most frequent attribute value per (category, attribute) pair."""
+        counts: Dict[str, Dict[str, Dict[str, int]]] = {}
+        for product in self.catalog.products:
+            per_category = counts.setdefault(product.category, {})
+            for attribute, value in product.attributes.items():
+                per_attribute = per_category.setdefault(attribute, {})
+                per_attribute[value] = per_attribute.get(value, 0) + 1
+        defaults: Dict[str, Dict[str, str]] = {}
+        for category, attributes in counts.items():
+            defaults[category] = {
+                attribute: max(values.items(), key=lambda kv: (kv[1], kv[0]))[0]
+                for attribute, values in attributes.items()
+            }
+        return defaults
+
+    # ------------------------------------------------------------------ #
+    # cases
+    # ------------------------------------------------------------------ #
+    def build_cases(self, num_cases: int = 60) -> List[ReleaseCase]:
+        """Hold out products as "emerging" releases (their attributes are the work)."""
+        rng = derive_rng(self.seed, "release-cases")
+        products = self.catalog.products
+        if not products:
+            return []
+        picks = rng.choice(len(products), size=min(num_cases, len(products)),
+                           replace=False)
+        cases = []
+        for pick in picks:
+            product = products[int(pick)]
+            cases.append(ReleaseCase(product_id=product.product_id,
+                                     category=product.category,
+                                     required_attributes=dict(product.attributes)))
+        return cases
+
+    # ------------------------------------------------------------------ #
+    # duration model
+    # ------------------------------------------------------------------ #
+    def release_duration(self, case: ReleaseCase, use_kg: bool) -> float:
+        """Minutes to release: base time + per-field time for unfilled attributes.
+
+        With KG pre-filling, a field whose category default matches the
+        required value is auto-filled; a wrong default still needs a (quick)
+        correction, costed at half a field.
+        """
+        remaining = 0.0
+        defaults = self._category_defaults.get(case.category, {}) if use_kg else {}
+        for attribute, value in case.required_attributes.items():
+            if not use_kg or attribute not in defaults:
+                remaining += 1.0
+            elif defaults[attribute] == value:
+                remaining += 0.0
+            else:
+                remaining += 0.5
+        return self.base_minutes + self.minutes_per_field * remaining
+
+    def run(self, num_cases: int = 60) -> UpliftReport:
+        """Average release duration without vs with KG pre-filling."""
+        cases = self.build_cases(num_cases)
+        if not cases:
+            return UpliftReport(metric="release_duration_minutes", baseline=0.0,
+                                enhanced=0.0, higher_is_better=False)
+        baseline = float(np.mean([self.release_duration(case, use_kg=False)
+                                  for case in cases]))
+        enhanced = float(np.mean([self.release_duration(case, use_kg=True)
+                                  for case in cases]))
+        return UpliftReport(metric="release_duration_minutes", baseline=baseline,
+                            enhanced=enhanced, higher_is_better=False)

@@ -1,0 +1,124 @@
+"""QA-based product recommendation (the AliMe assistant scenario).
+
+Users ask need-oriented questions ("something for outdoor picnic"); the
+assistant recommends items.  Without the KG the recommender matches query
+words against titles; with OpenBG it can follow concept links
+(relatedScene / forCrowd / aboutTheme) from the need to the products.  The
+metric is CTR over simulated sessions; the paper reports ~11% uplift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.applications.online_metrics import UpliftReport
+from repro.datagen.catalog import Catalog
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import derive_rng
+from repro.utils.textutils import jaccard_similarity
+
+
+@dataclass
+class QaSession:
+    """One simulated QA session: an intent concept and the gold products."""
+
+    query: str
+    intent_concept: str
+    relevant_products: List[str]
+
+
+class QaRecommendationSimulator:
+    """Simulates concept-driven QA recommendation sessions."""
+
+    def __init__(self, catalog: Catalog, graph: KnowledgeGraph, seed: int = 0) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.seed = int(seed)
+        self._concept_labels: Dict[str, str] = {}
+        for taxonomy in catalog.concept_taxonomies.values():
+            for node in taxonomy.walk():
+                self._concept_labels[node.identifier] = node.label
+        self._concept_to_products = self._index_products()
+
+    def _index_products(self) -> Dict[str, List[str]]:
+        index: Dict[str, List[str]] = {}
+        for product in self.catalog.products:
+            for concepts in product.concept_links.values():
+                for concept in concepts:
+                    index.setdefault(concept, []).append(product.product_id)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # sessions
+    # ------------------------------------------------------------------ #
+    def build_sessions(self, num_sessions: int = 100) -> List[QaSession]:
+        """Sample sessions whose intent concept has at least one linked product."""
+        rng = derive_rng(self.seed, "qa-sessions")
+        concepts = sorted(concept for concept, products in self._concept_to_products.items()
+                          if products)
+        sessions: List[QaSession] = []
+        if not concepts:
+            return sessions
+        for _ in range(num_sessions):
+            concept = concepts[int(rng.integers(0, len(concepts)))]
+            label = self._concept_labels.get(concept, concept)
+            sessions.append(QaSession(
+                query=f"looking for something for {label}",
+                intent_concept=concept,
+                relevant_products=self._concept_to_products[concept],
+            ))
+        return sessions
+
+    # ------------------------------------------------------------------ #
+    # recommenders
+    # ------------------------------------------------------------------ #
+    def recommend_text_only(self, session: QaSession, top_k: int = 5) -> List[str]:
+        """Rank products by title similarity to the query text."""
+        scored: List[Tuple[float, str]] = []
+        for product in self.catalog.products:
+            score = jaccard_similarity(session.query, product.title)
+            scored.append((score, product.product_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [product_id for _score, product_id in scored[:top_k]]
+
+    def recommend_with_kg(self, session: QaSession, top_k: int = 5) -> List[str]:
+        """Rank products by KG concept-link match, breaking ties by text."""
+        linked = set(self._concept_to_products.get(session.intent_concept, []))
+        scored: List[Tuple[float, str]] = []
+        for product in self.catalog.products:
+            score = 1.0 if product.product_id in linked else 0.0
+            score += 0.1 * jaccard_similarity(session.query, product.title)
+            scored.append((score, product.product_id))
+        scored.sort(key=lambda pair: (-pair[0], pair[1]))
+        return [product_id for _score, product_id in scored[:top_k]]
+
+    # ------------------------------------------------------------------ #
+    # CTR simulation
+    # ------------------------------------------------------------------ #
+    def simulate_ctr(self, sessions: List[QaSession], recommender,
+                     top_k: int = 5, relevant_click_rate: float = 0.30,
+                     irrelevant_click_rate: float = 0.18) -> float:
+        """Expected CTR: relevant recommendations are clicked far more often."""
+        if not sessions:
+            return 0.0
+        total_clicks = 0.0
+        total_shown = 0
+        for session in sessions:
+            relevant = set(session.relevant_products)
+            recommendations = recommender(session, top_k)
+            for product_id in recommendations:
+                rate = relevant_click_rate if product_id in relevant else irrelevant_click_rate
+                total_clicks += rate
+                total_shown += 1
+        return total_clicks / max(1, total_shown)
+
+    def run(self, num_sessions: int = 80, top_k: int = 5) -> UpliftReport:
+        """CTR with text-only vs KG-enhanced recommendation."""
+        sessions = self.build_sessions(num_sessions)
+        baseline = self.simulate_ctr(sessions, self.recommend_text_only, top_k)
+        enhanced = self.simulate_ctr(sessions, self.recommend_with_kg, top_k)
+        return UpliftReport(metric="CTR", baseline=baseline, enhanced=enhanced,
+                            higher_is_better=True)

@@ -1,0 +1,128 @@
+"""Shopping guide: concept tags and slogans that help users pick items.
+
+The Taobao "Foodies" channel (Figure 7) shows KG-derived slogans and tips
+next to items ("delicious soup and taste", "convenient and suitable for
+summer").  The simulator generates item cards with and without KG-derived
+enrichment and models user clicks: a user with an intent (a concept) is more
+likely to click an item whose card surfaces a matching concept tag.  The
+metric is CPM (revenue per thousand impressions), reported as an uplift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.applications.online_metrics import UpliftReport
+from repro.datagen.catalog import Catalog
+from repro.datagen.textgen import TextGenerator
+from repro.kg.graph import KnowledgeGraph
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class ItemCard:
+    """One item as displayed in the channel, with optional KG enrichment."""
+
+    item_id: str
+    product_id: str
+    title: str
+    slogan: Optional[str] = None
+    concept_tags: List[str] = field(default_factory=list)
+    price: float = 0.0
+
+
+class ShoppingGuideSimulator:
+    """Builds item cards and simulates impressions → clicks → CPM."""
+
+    def __init__(self, catalog: Catalog, graph: KnowledgeGraph, seed: int = 0) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.seed = int(seed)
+        self._text = TextGenerator(seed=seed + 7)
+        self._concept_labels = self._build_concept_labels()
+
+    def _build_concept_labels(self) -> Dict[str, str]:
+        labels: Dict[str, str] = {}
+        for taxonomy in self.catalog.concept_taxonomies.values():
+            for node in taxonomy.walk():
+                labels[node.identifier] = node.label
+        return labels
+
+    # ------------------------------------------------------------------ #
+    # card generation
+    # ------------------------------------------------------------------ #
+    def build_cards(self, use_kg: bool = True, max_items: int = 200) -> List[ItemCard]:
+        """Item cards; KG enrichment adds concept tags and a slogan."""
+        cards: List[ItemCard] = []
+        for product in self.catalog.products:
+            for item in product.items:
+                card = ItemCard(item_id=item.item_id, product_id=product.product_id,
+                                title=item.title, price=item.price)
+                if use_kg:
+                    tags = [self._concept_labels.get(concept, concept)
+                            for concepts in product.concept_links.values()
+                            for concept in concepts]
+                    card.concept_tags = tags
+                    card.slogan = self._text.slogan(key=item.item_id)
+                cards.append(card)
+                if len(cards) >= max_items:
+                    return cards
+        return cards
+
+    # ------------------------------------------------------------------ #
+    # impression simulation
+    # ------------------------------------------------------------------ #
+    def simulate_cpm(self, cards: List[ItemCard], num_impressions: int = 2000,
+                     base_click_rate: float = 0.04, tag_match_boost: float = 0.06,
+                     slogan_boost: float = 0.008,
+                     revenue_per_click_fraction: float = 0.05) -> float:
+        """Expected CPM over simulated impressions.
+
+        Each impression draws a user intent (a concept label) and an item
+        card; the click probability rises when the card's tags match the
+        intent or when a slogan is shown.  Revenue per click is a fraction
+        of item price; CPM = revenue per 1000 impressions.
+        """
+        if not cards:
+            return 0.0
+        rng = derive_rng(self.seed, "cpm")
+        all_concepts = sorted(set(self._concept_labels.values()))
+        total_revenue = 0.0
+        for _ in range(num_impressions):
+            card = cards[int(rng.integers(0, len(cards)))]
+            intent = all_concepts[int(rng.integers(0, len(all_concepts)))]
+            click_probability = base_click_rate
+            if intent in card.concept_tags:
+                click_probability += tag_match_boost
+            if card.slogan:
+                click_probability += slogan_boost
+            expected_revenue = click_probability * card.price * revenue_per_click_fraction
+            total_revenue += expected_revenue
+        return total_revenue / num_impressions * 1000.0
+
+    def run(self, num_impressions: int = 2000) -> UpliftReport:
+        """CPM with plain cards vs KG-enriched cards."""
+        baseline_cards = self.build_cards(use_kg=False)
+        enhanced_cards = self.build_cards(use_kg=True)
+        baseline = self.simulate_cpm(baseline_cards, num_impressions)
+        enhanced = self.simulate_cpm(enhanced_cards, num_impressions)
+        return UpliftReport(metric="CPM", baseline=baseline, enhanced=enhanced,
+                            higher_is_better=True)
+
+    # ------------------------------------------------------------------ #
+    # Figure 7 style demo
+    # ------------------------------------------------------------------ #
+    def showcase(self, num_items: int = 5) -> List[Dict[str, str]]:
+        """Render a few enriched cards as the Figure-7 style channel module."""
+        cards = self.build_cards(use_kg=True, max_items=num_items)
+        rows = []
+        for card in cards:
+            rows.append({
+                "item": card.title[:60],
+                "slogan": card.slogan or "",
+                "tags": ", ".join(card.concept_tags[:3]),
+            })
+        return rows

@@ -1,0 +1,24 @@
+"""OpenBG benchmark construction (Section III of the paper).
+
+Implements the three-stage sampling procedure — relation refinement, head
+entity filtering, tail entity sampling — and the builders that produce the
+OpenBG-IMG / OpenBG500 / OpenBG500-L analogues with train/dev/test splits,
+plus the long-tail relation-distribution analysis of Figure 5.
+"""
+
+from repro.benchmark.datasets import BenchmarkDataset, BenchmarkSummary
+from repro.benchmark.sampling import SamplingConfig, SamplingStages, ThreeStageSampler
+from repro.benchmark.builders import BenchmarkBuilder, BenchmarkSuite
+from repro.benchmark.distribution import relation_distribution, long_tail_metrics
+
+__all__ = [
+    "BenchmarkDataset",
+    "BenchmarkSummary",
+    "SamplingConfig",
+    "SamplingStages",
+    "ThreeStageSampler",
+    "BenchmarkBuilder",
+    "BenchmarkSuite",
+    "relation_distribution",
+    "long_tail_metrics",
+]

@@ -1,0 +1,160 @@
+"""Benchmark dataset containers and summary statistics (Table II).
+
+A :class:`BenchmarkDataset` holds train/dev/test triple splits plus the
+entity / relation vocabularies and, for the multimodal variant, per-entity
+image features.  :class:`BenchmarkSummary` reproduces the Table II row
+format (# Ent, # Rel, # Train, # Dev, # Test, # multimodal entities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.kg.serialization import read_tsv, write_tsv
+from repro.kg.triple import Triple
+from repro.kg.vocab import Vocabulary
+
+
+@dataclass
+class BenchmarkSummary:
+    """One row of the Table II summary."""
+
+    name: str
+    num_entities: int
+    num_relations: int
+    num_train: int
+    num_dev: int
+    num_test: int
+    num_multimodal_entities: int = 0
+
+    def as_row(self) -> List[str]:
+        """Printable Table II row."""
+        return [
+            self.name,
+            str(self.num_entities) + (f" ({self.num_multimodal_entities} mm)"
+                                      if self.num_multimodal_entities else ""),
+            str(self.num_relations),
+            str(self.num_train),
+            str(self.num_dev),
+            str(self.num_test),
+        ]
+
+
+@dataclass
+class BenchmarkDataset:
+    """A link-prediction benchmark with train/dev/test splits."""
+
+    name: str
+    train: List[Triple]
+    dev: List[Triple]
+    test: List[Triple]
+    entity_vocab: Vocabulary
+    relation_vocab: Vocabulary
+    images: Dict[str, np.ndarray] = field(default_factory=dict)
+    descriptions: Dict[str, str] = field(default_factory=dict)
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.train:
+            raise BenchmarkError(f"benchmark {self.name!r} has an empty training split")
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    @property
+    def is_multimodal(self) -> bool:
+        """True when at least one entity carries image features."""
+        return bool(self.images)
+
+    def all_triples(self) -> List[Triple]:
+        """Union of the three splits."""
+        return list(self.train) + list(self.dev) + list(self.test)
+
+    def summary(self) -> BenchmarkSummary:
+        """The Table II row for this dataset."""
+        return BenchmarkSummary(
+            name=self.name,
+            num_entities=len(self.entity_vocab),
+            num_relations=len(self.relation_vocab),
+            num_train=len(self.train),
+            num_dev=len(self.dev),
+            num_test=len(self.test),
+            num_multimodal_entities=len(self.images),
+        )
+
+    def encode(self, triples: List[Triple]) -> np.ndarray:
+        """Encode a triple list to an (n, 3) int64 id array, skipping unknowns."""
+        rows = []
+        for triple in triples:
+            head = self.entity_vocab.get(triple.head)
+            relation = self.relation_vocab.get(triple.relation)
+            tail = self.entity_vocab.get(triple.tail)
+            if head is None or relation is None or tail is None:
+                continue
+            rows.append((head, relation, tail))
+        if not rows:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    def encoded_splits(self) -> Dict[str, np.ndarray]:
+        """Encoded train/dev/test arrays keyed by split name."""
+        return {
+            "train": self.encode(self.train),
+            "dev": self.encode(self.dev),
+            "test": self.encode(self.test),
+        }
+
+    def image_matrix(self, dim: Optional[int] = None) -> np.ndarray:
+        """Dense (num_entities, dim) image-feature matrix.
+
+        Entities without images receive zero vectors; ``dim`` defaults to the
+        dimensionality of the first available image (or 1 when there are no
+        images at all, so single-modal code can still call this safely).
+        """
+        if dim is None:
+            dim = next(iter(self.images.values())).shape[0] if self.images else 1
+        matrix = np.zeros((len(self.entity_vocab), dim), dtype=np.float32)
+        for entity, features in self.images.items():
+            index = self.entity_vocab.get(entity)
+            if index is not None:
+                matrix[index, : features.shape[0]] = features[:dim]
+        return matrix
+
+    def entity_text(self, entity: str) -> str:
+        """Textual surface for an entity: label plus optional description."""
+        label = self.labels.get(entity, entity)
+        description = self.descriptions.get(entity, "")
+        return f"{label} {description}".strip()
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | Path) -> None:
+        """Write train/dev/test TSV files in the public-release layout."""
+        directory = Path(directory)
+        for split_name, triples in (("train", self.train), ("dev", self.dev),
+                                    ("test", self.test)):
+            write_tsv(triples, directory / f"{self.name}_{split_name}.tsv")
+
+    @classmethod
+    def load(cls, name: str, directory: str | Path) -> "BenchmarkDataset":
+        """Load a dataset previously written by :meth:`save`."""
+        directory = Path(directory)
+        splits = {}
+        for split_name in ("train", "dev", "test"):
+            path = directory / f"{name}_{split_name}.tsv"
+            splits[split_name] = read_tsv(path) if path.exists() else []
+        entity_vocab, relation_vocab = Vocabulary(), Vocabulary()
+        for triples in splits.values():
+            for triple in triples:
+                entity_vocab.add(triple.head)
+                entity_vocab.add(triple.tail)
+                relation_vocab.add(triple.relation)
+        return cls(name=name, train=splits["train"], dev=splits["dev"],
+                   test=splits["test"], entity_vocab=entity_vocab,
+                   relation_vocab=relation_vocab)

@@ -1,0 +1,233 @@
+"""The three-stage benchmark sampling procedure (Section III-A, Figure 4).
+
+Given the full OpenBG {E, R, T}:
+
+1. **Relation refinement** — manually-motivated filtering of representative
+   relations: keep high-frequency, business-related relations; drop meta and
+   bookkeeping relations.  Produces R_N (N = 136, 500, 500-L).
+2. **Head entity filtering** — split R_N into head-relations (frequent) and
+   tail-relations (rare); sample the head entities of each group with rates
+   α_h > α_l (Equation 1).
+3. **Tail entity sampling** — keep the triples whose head survived and whose
+   relation is in R_N, then sample them at a per-benchmark rate α_N
+   (Equation 2).
+
+Each stage records its intermediate counts so the Figure 4 bench can print
+the stage-by-stage reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+import numpy as np
+
+from repro.errors import BenchmarkError
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.namespaces import MetaProperty
+from repro.kg.triple import Triple
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class SamplingConfig:
+    """Parameters of the three-stage sampler for one benchmark."""
+
+    name: str
+    num_relations: int
+    head_sampling_rate: float = 0.9   # α_h for frequent (head) relations
+    tail_sampling_rate: float = 0.5   # α_l for rare (tail) relations
+    triple_sampling_rate: float = 0.9  # α_N for the final triple sampling
+    head_relation_fraction: float = 0.3  # fraction of relations treated as "head"
+    require_images: bool = False
+    dev_fraction: float = 0.05
+    test_fraction: float = 0.1
+    min_split_size: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for attribute in ("head_sampling_rate", "tail_sampling_rate",
+                          "triple_sampling_rate"):
+            value = getattr(self, attribute)
+            if not 0.0 < value <= 1.0:
+                raise BenchmarkError(f"{attribute} must be in (0, 1], got {value}")
+        if self.head_sampling_rate < self.tail_sampling_rate:
+            raise BenchmarkError("head_sampling_rate (α_h) must be ≥ tail_sampling_rate (α_l)")
+        if self.num_relations <= 0:
+            raise BenchmarkError("num_relations must be positive")
+
+
+@dataclass
+class SamplingStages:
+    """Intermediate counts recorded by each sampling stage (Figure 4)."""
+
+    candidate_relations: int = 0
+    refined_relations: int = 0
+    candidate_head_entities: int = 0
+    sampled_head_entities: int = 0
+    candidate_triples: int = 0
+    sampled_triples: int = 0
+    relations: List[str] = field(default_factory=list)
+    head_entities: Set[str] = field(default_factory=set)
+    triples: List[Triple] = field(default_factory=list)
+
+    def reduction_table(self) -> List[List[str]]:
+        """Rows of (stage, before, after) for the Figure 4 bench."""
+        return [
+            ["relation refinement", str(self.candidate_relations),
+             str(self.refined_relations)],
+            ["head entity filtering", str(self.candidate_head_entities),
+             str(self.sampled_head_entities)],
+            ["tail entity sampling", str(self.candidate_triples),
+             str(self.sampled_triples)],
+        ]
+
+
+#: Relations never selected by relation refinement (meta / bookkeeping).
+EXCLUDED_RELATIONS: Set[str] = {
+    MetaProperty.SUBCLASS_OF.value,
+    MetaProperty.BROADER.value,
+    MetaProperty.LABEL.value,
+    MetaProperty.LABEL_EN.value,
+    MetaProperty.PREF_LABEL.value,
+    MetaProperty.ALT_LABEL.value,
+    MetaProperty.COMMENT.value,
+    MetaProperty.IMAGE_IS.value,
+    MetaProperty.EQUIVALENT_CLASS.value,
+    MetaProperty.EQUIVALENT_PROPERTY.value,
+    MetaProperty.SUBPROPERTY_OF.value,
+}
+
+
+class ThreeStageSampler:
+    """Runs relation refinement, head-entity filtering and tail sampling."""
+
+    def __init__(self, graph: KnowledgeGraph) -> None:
+        self.graph = graph
+
+    # ------------------------------------------------------------------ #
+    # stage 1: relation refinement
+    # ------------------------------------------------------------------ #
+    def refine_relations(self, config: SamplingConfig,
+                         stages: SamplingStages) -> List[str]:
+        """Select the top-``num_relations`` business relations by frequency.
+
+        ``rdf:type`` is always kept (category membership is the most
+        business-relevant link and the basis of the category-prediction
+        task); structural meta-properties and label plumbing are excluded.
+        """
+        frequencies = self.graph.relation_frequencies()
+        stages.candidate_relations = len(frequencies)
+        candidates = {
+            relation: count for relation, count in frequencies.items()
+            if relation not in EXCLUDED_RELATIONS
+        }
+        ordered = sorted(candidates.items(), key=lambda item: (-item[1], item[0]))
+        selected = [relation for relation, _count in ordered[: config.num_relations]]
+        type_relation = MetaProperty.TYPE.value
+        if type_relation in candidates and type_relation not in selected:
+            selected[-1] = type_relation
+        stages.refined_relations = len(selected)
+        stages.relations = selected
+        return selected
+
+    # ------------------------------------------------------------------ #
+    # stage 2: head entity filtering
+    # ------------------------------------------------------------------ #
+    def filter_head_entities(self, relations: Sequence[str], config: SamplingConfig,
+                             stages: SamplingStages) -> Set[str]:
+        """Sample head entities with rate α_h for head-relations, α_l for tail-relations."""
+        frequencies = self.graph.relation_frequencies()
+        ordered = sorted(relations, key=lambda rel: (-frequencies.get(rel, 0), rel))
+        num_head = max(1, int(round(len(ordered) * config.head_relation_fraction)))
+        head_relations = set(ordered[:num_head])
+
+        head_entities: Set[str] = set()
+        tail_entities: Set[str] = set()
+        for relation in relations:
+            for triple in self.graph.match(relation=relation):
+                if relation in head_relations:
+                    head_entities.add(triple.head)
+                else:
+                    tail_entities.add(triple.head)
+        stages.candidate_head_entities = len(head_entities | tail_entities)
+
+        rng = derive_rng(config.seed, "head-sampling", config.name)
+        sampled = self._sample_set(head_entities, config.head_sampling_rate, rng)
+        sampled |= self._sample_set(tail_entities - head_entities,
+                                    config.tail_sampling_rate, rng)
+        stages.sampled_head_entities = len(sampled)
+        stages.head_entities = sampled
+        return sampled
+
+    @staticmethod
+    def _sample_set(items: Set[str], rate: float,
+                    rng: np.random.Generator) -> Set[str]:
+        if not items:
+            return set()
+        ordered = sorted(items)
+        count = max(1, int(round(len(ordered) * rate)))
+        chosen = rng.choice(len(ordered), size=min(count, len(ordered)), replace=False)
+        return {ordered[int(index)] for index in chosen}
+
+    # ------------------------------------------------------------------ #
+    # stage 3: tail entity sampling
+    # ------------------------------------------------------------------ #
+    def sample_triples(self, relations: Sequence[str], head_entities: Set[str],
+                       config: SamplingConfig, stages: SamplingStages) -> List[Triple]:
+        """Keep triples with surviving heads and relations, sample at α_N."""
+        candidates: List[Triple] = []
+        for relation in relations:
+            for triple in self.graph.match(relation=relation):
+                if triple.head in head_entities:
+                    if config.require_images and triple.head not in self.graph.images \
+                            and triple.tail not in self.graph.images:
+                        continue
+                    candidates.append(triple)
+        stages.candidate_triples = len(candidates)
+        if not candidates:
+            raise BenchmarkError(
+                f"benchmark {config.name!r}: no candidate triples after head filtering")
+        rng = derive_rng(config.seed, "triple-sampling", config.name)
+        count = max(config.min_split_size * 3,
+                    int(round(len(candidates) * config.triple_sampling_rate)))
+        count = min(count, len(candidates))
+        chosen = rng.choice(len(candidates), size=count, replace=False)
+        sampled = sorted(candidates[int(index)] for index in chosen)
+        stages.sampled_triples = len(sampled)
+        stages.triples = sampled
+        return sampled
+
+    # ------------------------------------------------------------------ #
+    # full run
+    # ------------------------------------------------------------------ #
+    def run(self, config: SamplingConfig) -> SamplingStages:
+        """Execute all three stages and return the recorded stages object."""
+        stages = SamplingStages()
+        relations = self.refine_relations(config, stages)
+        heads = self.filter_head_entities(relations, config, stages)
+        self.sample_triples(relations, heads, config, stages)
+        return stages
+
+
+def split_triples(triples: List[Triple], dev_fraction: float, test_fraction: float,
+                  seed: int, min_split_size: int = 1) -> Dict[str, List[Triple]]:
+    """Random train/dev/test split with minimum split sizes.
+
+    Entities appearing only in dev/test are tolerated (as in the real
+    benchmark); evaluation code filters unknown entities.
+    """
+    if dev_fraction + test_fraction >= 1.0:
+        raise BenchmarkError("dev_fraction + test_fraction must be < 1")
+    rng = derive_rng(seed, "split")
+    order = rng.permutation(len(triples))
+    shuffled = [triples[int(index)] for index in order]
+    num_dev = max(min_split_size, int(round(len(shuffled) * dev_fraction)))
+    num_test = max(min_split_size, int(round(len(shuffled) * test_fraction)))
+    if num_dev + num_test >= len(shuffled):
+        raise BenchmarkError("not enough triples for the requested dev/test sizes")
+    dev = shuffled[:num_dev]
+    test = shuffled[num_dev:num_dev + num_test]
+    train = shuffled[num_dev + num_test:]
+    return {"train": train, "dev": dev, "test": test}

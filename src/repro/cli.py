@@ -1,0 +1,149 @@
+"""Command-line interface for the OpenBG reproduction.
+
+Four subcommands cover the everyday workflows::
+
+    python -m repro.cli build      --products 300 --out ./openbg_out
+    python -m repro.cli stats      --products 300
+    python -m repro.cli benchmark  --products 300 --out ./openbg_out
+    python -m repro.cli linkpred   --products 300 --model TransE --epochs 25
+
+``build`` constructs the synthetic OpenBG and writes it as TSV triples,
+``stats`` prints the Table-I style statistics, ``benchmark`` samples and
+saves the OpenBG-IMG / 500 / 500-L analogues, and ``linkpred`` trains one
+embedding model on the OpenBG500 analogue and prints its filtered metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.benchmark.builders import BenchmarkBuilder
+from repro.construction.pipeline import ConstructionResult, OpenBGBuilder
+from repro.datagen.catalog import SyntheticCatalogConfig
+from repro.embedding import (
+    ComplEx,
+    DistMult,
+    KGETrainer,
+    LinkPredictionEvaluator,
+    TrainingConfig,
+    TransD,
+    TransE,
+    TransH,
+    TuckER,
+)
+from repro.embedding.evaluation import format_results_table
+from repro.kg.serialization import write_tsv
+
+MODEL_REGISTRY = {
+    "TransE": TransE,
+    "TransH": TransH,
+    "TransD": TransD,
+    "DistMult": DistMult,
+    "ComplEx": ComplEx,
+    "TuckER": TuckER,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for the CLI."""
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description="OpenBG reproduction toolkit")
+    parser.add_argument("--products", type=int, default=300,
+                        help="number of synthetic products to generate")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    build = subparsers.add_parser("build", help="construct the synthetic OpenBG")
+    build.add_argument("--out", type=Path, default=None,
+                       help="directory to write openbg.tsv into")
+
+    subparsers.add_parser("stats", help="print Table-I style statistics")
+
+    benchmark = subparsers.add_parser("benchmark",
+                                      help="sample the benchmark suite (Table II)")
+    benchmark.add_argument("--out", type=Path, default=None,
+                           help="directory to write the benchmark TSV splits into")
+
+    linkpred = subparsers.add_parser("linkpred",
+                                     help="train one embedding model on OpenBG500")
+    linkpred.add_argument("--model", choices=sorted(MODEL_REGISTRY), default="TransE")
+    linkpred.add_argument("--epochs", type=int, default=25)
+    linkpred.add_argument("--dim", type=int, default=32)
+    linkpred.add_argument("--learning-rate", type=float, default=0.08)
+    return parser
+
+
+def _construct(products: int, seed: int) -> ConstructionResult:
+    config = SyntheticCatalogConfig(num_products=products, seed=seed)
+    return OpenBGBuilder(config, seed=seed).build()
+
+
+def _command_build(result: ConstructionResult, out: Optional[Path]) -> int:
+    print("Constructed synthetic OpenBG:")
+    for key, value in result.summary().items():
+        print(f"  {key:<22} {value}")
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        path = out / "openbg.tsv"
+        count = write_tsv(result.graph.triples(), path)
+        print(f"  wrote {count} triples to {path}")
+    return 0
+
+
+def _command_stats(result: ConstructionResult) -> int:
+    print(result.statistics.format_table())
+    return 0
+
+
+def _command_benchmark(result: ConstructionResult, out: Optional[Path],
+                       seed: int) -> int:
+    suite = BenchmarkBuilder(result.graph, seed=seed).build_suite()
+    print("Benchmark suite (Table II analogue):")
+    for summary in suite.summaries():
+        print("  " + " | ".join(summary.as_row()))
+    if out is not None:
+        for dataset in suite.datasets.values():
+            dataset.save(out)
+        print(f"  wrote train/dev/test TSV splits to {out}")
+    return 0
+
+
+def _command_linkpred(result: ConstructionResult, seed: int, model_name: str,
+                      epochs: int, dim: int, learning_rate: float) -> int:
+    suite = BenchmarkBuilder(result.graph, seed=seed).build_suite()
+    dataset = suite["OpenBG500"]
+    encoded = dataset.encoded_splits()
+    model_class = MODEL_REGISTRY[model_name]
+    model = model_class(len(dataset.entity_vocab), len(dataset.relation_vocab),
+                        dim=dim, seed=seed)
+    config = TrainingConfig(epochs=epochs, batch_size=256, learning_rate=learning_rate,
+                            seed=seed, normalize_entities=model_name.startswith("Trans"))
+    history = KGETrainer(model, config).fit(encoded["train"])
+    print(f"{model_name}: training loss {history.losses[0]:.3f} -> {history.losses[-1]:.3f}")
+    evaluator = LinkPredictionEvaluator(encoded["train"], encoded["dev"], encoded["test"])
+    metrics = evaluator.evaluate(model, encoded["test"])
+    print(format_results_table({model_name: metrics},
+                               title="Link prediction on OpenBG500 analogue"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    result = _construct(args.products, args.seed)
+    if args.command == "build":
+        return _command_build(result, args.out)
+    if args.command == "stats":
+        return _command_stats(result)
+    if args.command == "benchmark":
+        return _command_benchmark(result, args.out, args.seed)
+    if args.command == "linkpred":
+        return _command_linkpred(result, args.seed, args.model, args.epochs,
+                                 args.dim, args.learning_rate)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

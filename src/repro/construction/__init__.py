@@ -1,0 +1,32 @@
+"""OpenBG construction pipeline.
+
+Implements Section II of the paper: top-down Category construction,
+schema-mapping Brand/Place construction with trie + fuzzy label matching,
+bottom-up Concept construction with CRF sequence labeling over business
+text, multimodal instance creation, entity linking, deduplication / noise
+filtering, and the end-to-end :class:`~repro.construction.pipeline.OpenBGBuilder`.
+"""
+
+from repro.construction.trie import PrefixTrie
+from repro.construction.sequence_labeling import CrfTagger, Token, tag_to_spans
+from repro.construction.category_builder import CategoryBuilder
+from repro.construction.brand_place_builder import BrandPlaceBuilder, LabelMatcher
+from repro.construction.concept_builder import ConceptBuilder
+from repro.construction.linking import InstanceLinker
+from repro.construction.dedup import Deduplicator
+from repro.construction.pipeline import OpenBGBuilder, ConstructionResult
+
+__all__ = [
+    "PrefixTrie",
+    "CrfTagger",
+    "Token",
+    "tag_to_spans",
+    "CategoryBuilder",
+    "BrandPlaceBuilder",
+    "LabelMatcher",
+    "ConceptBuilder",
+    "InstanceLinker",
+    "Deduplicator",
+    "OpenBGBuilder",
+    "ConstructionResult",
+]

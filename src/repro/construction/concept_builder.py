@@ -1,0 +1,167 @@
+"""Bottom-up construction of the five concept taxonomies.
+
+Section II-C: concept instances are extracted from business text (titles,
+reviews, queries) with a sequence-labeling model, classified into the five
+top-level concepts (Scene, Crowd, Theme, Time, Market Segment), summarized
+into broader concepts level by level, and finally quality-checked along the
+four commonsense dimensions.  The reproduction trains the
+:class:`~repro.construction.sequence_labeling.CrfTagger` on weakly-labeled
+sentences (concept labels projected back onto generated text), extracts
+mentions from held-out text, and links products to the extracted concepts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.construction.sequence_labeling import CrfTagger, spans_to_tags, tag_to_spans, tokenize
+from repro.datagen.catalog import Catalog
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.namespaces import MetaProperty
+from repro.kg.triple import Triple
+from repro.ontology.quality import CommonsenseScorer, ConceptStatement
+from repro.utils.textutils import normalize_label
+
+#: Object property used to link products to each concept type.
+CONCEPT_RELATIONS: Dict[str, str] = {
+    "Scene": "relatedScene",
+    "Crowd": "forCrowd",
+    "Theme": "aboutTheme",
+    "Time": "appliedTime",
+    "MarketSegment": "inMarket",
+}
+
+
+@dataclass
+class ConceptExtractionResult:
+    """Output of running concept extraction over a corpus."""
+
+    mentions: List[Tuple[str, str]] = field(default_factory=list)  # (concept_type, surface)
+    sentences_processed: int = 0
+
+    def by_type(self) -> Dict[str, List[str]]:
+        """Group extracted surfaces by concept type."""
+        grouped: Dict[str, List[str]] = {}
+        for concept_type, surface in self.mentions:
+            grouped.setdefault(concept_type, []).append(surface)
+        return grouped
+
+
+class ConceptBuilder:
+    """Extracts concepts from text and populates the concept taxonomies."""
+
+    def __init__(self, graph: KnowledgeGraph, crf_epochs: int = 3, seed: int = 0) -> None:
+        self.graph = graph
+        self.tagger = CrfTagger(epochs=crf_epochs, seed=seed)
+        self._label_index: Dict[str, Tuple[str, str]] = {}
+
+    # ------------------------------------------------------------------ #
+    # taxonomy registration
+    # ------------------------------------------------------------------ #
+    def build_taxonomies(self, catalog: Catalog) -> int:
+        """Register the five concept taxonomies with skos:broader edges."""
+        added = 0
+        for concept_type, taxonomy in catalog.concept_taxonomies.items():
+            self.graph.register_concept(concept_type, concept_type)
+            added += int(self.graph.add(Triple(
+                concept_type, MetaProperty.BROADER.value, "skos:Concept")))
+            for node in taxonomy.walk():
+                if node.identifier == taxonomy.root_id:
+                    continue
+                self.graph.register_concept(node.identifier, node.label)
+                added += int(self.graph.add(Triple(
+                    node.identifier, MetaProperty.BROADER.value, node.parent)))
+                added += int(self.graph.add(Triple(
+                    node.identifier, MetaProperty.PREF_LABEL.value, node.label)))
+                self._label_index[normalize_label(node.label)] = (concept_type,
+                                                                  node.identifier)
+        return added
+
+    # ------------------------------------------------------------------ #
+    # sequence-labeling extraction
+    # ------------------------------------------------------------------ #
+    def training_sentences(self, catalog: Catalog,
+                           max_sentences: int = 400) -> List[Tuple[List[str], List[str]]]:
+        """Weakly-labeled training sentences: concept surfaces projected to BIO tags.
+
+        Sentences are built from queries and descriptions that mention known
+        concept labels; the known label provides the span annotation
+        (distant supervision, as commonly used for this step in production).
+        """
+        sentences: List[Tuple[List[str], List[str]]] = []
+        for product in catalog.products:
+            if len(sentences) >= max_sentences:
+                break
+            spans: List[Tuple[str, str]] = []
+            concept_labels: List[str] = []
+            for relation, concepts in product.concept_links.items():
+                for concept in concepts:
+                    concept_type, label = self._concept_type_and_label(catalog, concept)
+                    spans.append((concept_type, label))
+                    concept_labels.append(label)
+            if not spans:
+                continue
+            category_label = catalog.category_taxonomy.node(product.category).label
+            sentence = f"great {category_label} for {' and '.join(concept_labels)}"
+            tokens = [token.text for token in tokenize(sentence)]
+            tags = spans_to_tags(tokens, spans)
+            sentences.append((tokens, tags))
+        return sentences
+
+    @staticmethod
+    def _concept_type_and_label(catalog: Catalog, concept_id: str) -> Tuple[str, str]:
+        for concept_type, taxonomy in catalog.concept_taxonomies.items():
+            if concept_id in taxonomy:
+                return concept_type, taxonomy.node(concept_id).label
+        return "Scene", concept_id
+
+    def fit_tagger(self, catalog: Catalog, max_sentences: int = 400) -> "ConceptBuilder":
+        """Train the CRF tagger on weakly-labeled sentences."""
+        sentences = self.training_sentences(catalog, max_sentences)
+        if sentences:
+            self.tagger.fit(sentences)
+        return self
+
+    def extract(self, texts: List[str]) -> ConceptExtractionResult:
+        """Run the trained tagger over free text and collect concept mentions."""
+        result = ConceptExtractionResult()
+        for text in texts:
+            tokens = [token.text for token in tokenize(text)]
+            if not tokens:
+                continue
+            tags = self.tagger.predict(tokens)
+            result.mentions.extend(tag_to_spans(tokens, tags))
+            result.sentences_processed += 1
+        return result
+
+    # ------------------------------------------------------------------ #
+    # linking products to concepts
+    # ------------------------------------------------------------------ #
+    def link_products(self, catalog: Catalog) -> Dict[str, int]:
+        """Add product→concept object-property triples from the catalog links."""
+        counts: Dict[str, int] = {}
+        for relation in CONCEPT_RELATIONS.values():
+            self.graph.register_object_property(relation)
+        for relation in catalog.in_market_relations:
+            self.graph.register_object_property(relation)
+        for product in catalog.products:
+            for relation, concepts in product.concept_links.items():
+                for concept in concepts:
+                    if self.graph.add(Triple(product.product_id, relation, concept)):
+                        counts[relation] = counts.get(relation, 0) + 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # commonsense quality control
+    # ------------------------------------------------------------------ #
+    def fit_quality_scorer(self, catalog: Catalog) -> CommonsenseScorer:
+        """Fit the multi-faceted commonsense scorer on the product↔concept links."""
+        observations: List[ConceptStatement] = []
+        for product in catalog.products:
+            category_label = catalog.category_taxonomy.node(product.category).label
+            for relation, concepts in product.concept_links.items():
+                for concept in concepts:
+                    observations.append(ConceptStatement(
+                        subject=category_label, relation=relation, concept=concept))
+        return CommonsenseScorer().fit(observations)

@@ -1,0 +1,105 @@
+"""Instance linking and exogenous-schema alignment.
+
+Two linking responsibilities from the paper:
+
+* **Instance linking** — associating products with classes/concepts through
+  the object properties of the ontology, and aligning items that refer to
+  the same product (the "item alignment" application relies on this).
+* **Exogenous linking** — ``owl:equivalentClass`` / ``owl:equivalentPropertyOf``
+  links from OpenBG classes and data properties to external vocabularies
+  (cnSchema, Wikidata) so OpenBG stays interoperable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datagen.catalog import Catalog
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.namespaces import MetaProperty
+from repro.kg.triple import Triple
+from repro.utils.textutils import jaccard_similarity
+
+
+@dataclass
+class AlignmentPair:
+    """Two items judged to refer to the same product."""
+
+    item_a: str
+    item_b: str
+    score: float
+    same_product: bool
+
+
+class InstanceLinker:
+    """Links items to products and OpenBG terms to exogenous vocabularies."""
+
+    def __init__(self, graph: KnowledgeGraph, alignment_threshold: float = 0.6) -> None:
+        self.graph = graph
+        self.alignment_threshold = float(alignment_threshold)
+
+    # ------------------------------------------------------------------ #
+    # item → product alignment
+    # ------------------------------------------------------------------ #
+    def align_items(self, catalog: Catalog) -> List[AlignmentPair]:
+        """Pair up items by title similarity and judge same-product membership.
+
+        Ground truth comes from the catalog (two items of the same product),
+        the prediction from title Jaccard similarity — the same signal the
+        production system strengthens with KG category/attribute features.
+        """
+        items: List[Tuple[str, str, str]] = []  # (item_id, product_id, title)
+        for product in catalog.products:
+            for item in product.items:
+                items.append((item.item_id, product.product_id, item.title))
+        pairs: List[AlignmentPair] = []
+        for index, (item_a, product_a, title_a) in enumerate(items):
+            # Compare against a bounded window to keep this O(n·w).
+            for item_b, product_b, title_b in items[index + 1: index + 6]:
+                score = jaccard_similarity(title_a, title_b)
+                pairs.append(AlignmentPair(
+                    item_a=item_a, item_b=item_b, score=score,
+                    same_product=product_a == product_b,
+                ))
+        return pairs
+
+    def link_items_to_products(self, catalog: Catalog) -> int:
+        """Assert (item, rdf:type, product) triples for every catalog item."""
+        added = 0
+        for product in catalog.products:
+            for item in product.items:
+                self.graph.register_entity(item.item_id, item.title)
+                added += int(self.graph.add(Triple(
+                    item.item_id, MetaProperty.TYPE.value, product.product_id)))
+        return added
+
+    # ------------------------------------------------------------------ #
+    # exogenous vocabulary links
+    # ------------------------------------------------------------------ #
+    def link_to_cnschema(self, property_mapping: Dict[str, str]) -> int:
+        """Add owl:equivalentPropertyOf links from data properties to cnSchema."""
+        added = 0
+        for local_property, external in property_mapping.items():
+            self.graph.register_data_property(local_property)
+            added += int(self.graph.add(Triple(
+                local_property, MetaProperty.EQUIVALENT_PROPERTY.value, external)))
+        return added
+
+    def link_equivalent_classes(self, class_mapping: Dict[str, str]) -> int:
+        """Add owl:equivalentClass links from OpenBG classes to external objects."""
+        added = 0
+        for local_class, external in class_mapping.items():
+            added += int(self.graph.add(Triple(
+                local_class, MetaProperty.EQUIVALENT_CLASS.value, external)))
+        return added
+
+
+#: Default data-property → cnSchema mapping used by the pipeline.
+DEFAULT_CNSCHEMA_MAPPING: Dict[str, str] = {
+    "weight": "cnschema:weight",
+    "color": "cnschema:color",
+    "material": "cnschema:material",
+    "netContent": "cnschema:netContent",
+    "shelfLife": "cnschema:shelfLife",
+}

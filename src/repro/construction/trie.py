@@ -1,0 +1,113 @@
+"""A prefix trie for precise label matching.
+
+The paper links products to Brand and Place classes "by jointly conducting
+trie prefix tree precise matching and fuzzy matching of synonyms".  The trie
+here indexes normalized standard labels (and their registered synonyms) and
+supports exact lookup, prefix enumeration, and longest-match scanning over
+free text such as product titles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.utils.textutils import normalize_label
+
+
+@dataclass
+class _TrieNode:
+    children: Dict[str, "_TrieNode"] = field(default_factory=dict)
+    value: Optional[str] = None  # payload stored at terminal nodes
+    terminal: bool = False
+
+
+class PrefixTrie:
+    """Character-level trie mapping normalized labels to payload identifiers."""
+
+    def __init__(self) -> None:
+        self._root = _TrieNode()
+        self._size = 0
+
+    def insert(self, label: str, value: str) -> None:
+        """Insert a label with its payload (e.g. the standard class id)."""
+        key = normalize_label(label)
+        if not key:
+            return
+        node = self._root
+        for char in key:
+            node = node.children.setdefault(char, _TrieNode())
+        if not node.terminal:
+            self._size += 1
+        node.terminal = True
+        node.value = value
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, label: str) -> bool:
+        return self.lookup(label) is not None
+
+    def lookup(self, label: str) -> Optional[str]:
+        """Exact match: return the payload for ``label`` or None."""
+        node = self._walk(normalize_label(label))
+        if node is not None and node.terminal:
+            return node.value
+        return None
+
+    def _walk(self, key: str) -> Optional[_TrieNode]:
+        node = self._root
+        for char in key:
+            node = node.children.get(char)
+            if node is None:
+                return None
+        return node
+
+    def starts_with(self, prefix: str) -> List[Tuple[str, str]]:
+        """All (label, payload) entries whose label starts with ``prefix``."""
+        key = normalize_label(prefix)
+        node = self._walk(key)
+        if node is None:
+            return []
+        results: List[Tuple[str, str]] = []
+        self._collect(node, key, results)
+        return sorted(results)
+
+    def _collect(self, node: _TrieNode, path: str,
+                 results: List[Tuple[str, str]]) -> None:
+        if node.terminal and node.value is not None:
+            results.append((path, node.value))
+        for char, child in node.children.items():
+            self._collect(child, path + char, results)
+
+    def longest_match(self, text: str, start: int = 0) -> Optional[Tuple[int, int, str]]:
+        """Longest trie entry matching ``text`` starting at index ``start``.
+
+        Returns (start, end, payload) over the *normalized* text, or None.
+        """
+        normalized = normalize_label(text)
+        if start >= len(normalized):
+            return None
+        node = self._root
+        best: Optional[Tuple[int, int, str]] = None
+        index = start
+        while index < len(normalized):
+            node = node.children.get(normalized[index])
+            if node is None:
+                break
+            index += 1
+            if node.terminal and node.value is not None:
+                best = (start, index, node.value)
+        return best
+
+    def scan(self, text: str) -> Iterator[Tuple[int, int, str]]:
+        """Yield non-overlapping longest matches over the whole text."""
+        normalized = normalize_label(text)
+        index = 0
+        while index < len(normalized):
+            match = self.longest_match(normalized, index)
+            if match is None:
+                index += 1
+                continue
+            yield match
+            index = match[1]

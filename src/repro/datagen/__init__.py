@@ -1,0 +1,27 @@
+"""Synthetic e-commerce data substrate.
+
+The paper builds OpenBG from proprietary Alibaba raw data (product records,
+titles, reviews, queries, images).  This package generates a deterministic
+synthetic equivalent with the same record shapes and the same statistical
+character (deep category taxonomy, long-tail relation/attribute usage,
+partial multimodal coverage), so every downstream code path — construction,
+benchmark sampling, embedding, pre-training, downstream tasks — is exercised
+exactly as it would be on the real data.
+"""
+
+from repro.datagen.catalog import Catalog, SyntheticCatalogConfig, generate_catalog
+from repro.datagen.products import ProductRecord, ItemRecord
+from repro.datagen.textgen import TextGenerator
+from repro.datagen.images import ImageFeatureGenerator
+from repro.datagen.corpus import CorpusGenerator
+
+__all__ = [
+    "Catalog",
+    "SyntheticCatalogConfig",
+    "generate_catalog",
+    "ProductRecord",
+    "ItemRecord",
+    "TextGenerator",
+    "ImageFeatureGenerator",
+    "CorpusGenerator",
+]

@@ -1,0 +1,322 @@
+"""The synthetic e-commerce catalog generator.
+
+:func:`generate_catalog` produces a :class:`Catalog` — taxonomies for
+Category / Brand / Place, concept taxonomies for the five concept types,
+and a list of :class:`~repro.datagen.products.ProductRecord` with titles,
+descriptions, reviews, attributes, concept links and (for a configurable
+fraction) image features.  The catalog is the stand-in for the raw Alibaba
+data every other subsystem consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.datagen import wordbanks
+from repro.datagen.images import ImageFeatureGenerator
+from repro.datagen.products import ItemRecord, ProductRecord
+from repro.datagen.textgen import TextGenerator, TitleAnnotation
+from repro.ontology.taxonomy import Taxonomy
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class SyntheticCatalogConfig:
+    """Scale and shape knobs for the synthetic catalog.
+
+    Defaults produce a catalog that builds in well under a second; the
+    benchmark harness scales ``num_products`` up for the larger experiments.
+    """
+
+    num_products: int = 400
+    items_per_product: int = 2
+    reviews_per_item: int = 2
+    num_brands: int = 40
+    image_fraction: float = 0.5
+    image_dim: int = 32
+    num_in_market_relations: int = 12
+    concepts_per_product: int = 3
+    attribute_count_range: tuple[int, int] = (3, 6)
+    brand_coverage: float = 0.9
+    place_coverage: float = 0.85
+    seed: int = 0
+
+
+@dataclass
+class Catalog:
+    """The full synthetic raw-data bundle."""
+
+    config: SyntheticCatalogConfig
+    category_taxonomy: Taxonomy
+    brand_taxonomy: Taxonomy
+    place_taxonomy: Taxonomy
+    concept_taxonomies: Dict[str, Taxonomy]
+    products: List[ProductRecord] = field(default_factory=list)
+    in_market_relations: List[str] = field(default_factory=list)
+
+    def leaf_categories(self) -> List[str]:
+        """Leaf category identifiers products can be typed with."""
+        return [node.identifier for node in self.category_taxonomy.leaves()]
+
+    def brands(self) -> List[str]:
+        """Leaf brand identifiers."""
+        return [node.identifier for node in self.brand_taxonomy.leaves()]
+
+    def places(self) -> List[str]:
+        """All place identifiers below the root."""
+        return [node.identifier for node in self.place_taxonomy.walk()
+                if node.identifier != self.place_taxonomy.root_id]
+
+    def concepts(self, concept_type: str) -> List[str]:
+        """Leaf concept identifiers of one concept type."""
+        taxonomy = self.concept_taxonomies[concept_type]
+        return [node.identifier for node in taxonomy.leaves()]
+
+    def multimodal_products(self) -> List[ProductRecord]:
+        """Products that carry an image feature vector."""
+        return [product for product in self.products if product.has_image]
+
+    def describe(self) -> Dict[str, int]:
+        """Size summary used in examples and logs."""
+        return {
+            "products": len(self.products),
+            "items": sum(len(product.items) for product in self.products),
+            "leaf_categories": len(self.leaf_categories()),
+            "brands": len(self.brands()),
+            "places": len(self.places()),
+            "multimodal_products": len(self.multimodal_products()),
+        }
+
+
+# --------------------------------------------------------------------------- #
+# taxonomy builders
+# --------------------------------------------------------------------------- #
+def _slug(text: str) -> str:
+    """Turn a label into a stable identifier fragment."""
+    return text.lower().replace(" ", "_").replace("/", "_").replace("-", "_")
+
+
+def build_category_taxonomy() -> Taxonomy:
+    """Top-down Category taxonomy from the domain → subdomain → leaf word bank."""
+    taxonomy = Taxonomy("Category", "Category")
+    for domain, subdomains in wordbanks.CATEGORY_DOMAINS.items():
+        domain_id = f"cat:{_slug(domain)}"
+        taxonomy.add_node(domain_id, "Category", label=domain)
+        for subdomain, leaves in subdomains.items():
+            subdomain_id = f"cat:{_slug(subdomain)}"
+            taxonomy.add_node(subdomain_id, domain_id, label=subdomain)
+            for leaf in leaves:
+                leaf_id = f"cat:{_slug(leaf)}"
+                if leaf_id not in taxonomy:
+                    taxonomy.add_node(leaf_id, subdomain_id, label=leaf)
+    return taxonomy
+
+
+def build_brand_taxonomy(num_brands: int, seed: int) -> Taxonomy:
+    """Brand taxonomy: sector level (the 45-class guideline) then brand leaves."""
+    taxonomy = Taxonomy("Brand", "Brand")
+    for sector in wordbanks.BRAND_SECTORS:
+        taxonomy.add_node(f"brandsector:{_slug(sector)}", "Brand", label=sector)
+    rng = derive_rng(seed, "brands")
+    sectors = wordbanks.BRAND_SECTORS
+    created = 0
+    index = 0
+    while created < num_brands:
+        prefix = wordbanks.BRAND_PREFIXES[index % len(wordbanks.BRAND_PREFIXES)]
+        suffix = wordbanks.BRAND_SUFFIXES[(index // len(wordbanks.BRAND_PREFIXES))
+                                          % len(wordbanks.BRAND_SUFFIXES)]
+        label = (prefix + suffix).strip()
+        brand_id = f"brand:{_slug(label)}_{index}"
+        sector = sectors[int(rng.integers(0, len(sectors)))]
+        taxonomy.add_node(brand_id, f"brandsector:{_slug(sector)}", label=label)
+        created += 1
+        index += 1
+    return taxonomy
+
+
+def build_place_taxonomy() -> Taxonomy:
+    """Place taxonomy: country → province → city from the word bank."""
+    taxonomy = Taxonomy("Place", "Place")
+    for country, provinces in wordbanks.PLACE_HIERARCHY.items():
+        country_id = f"place:{_slug(country)}"
+        taxonomy.add_node(country_id, "Place", label=country)
+        for province, cities in provinces.items():
+            province_id = f"place:{_slug(province)}"
+            taxonomy.add_node(province_id, country_id, label=province)
+            for city in cities:
+                city_id = f"place:{_slug(city)}"
+                if city_id not in taxonomy:
+                    taxonomy.add_node(city_id, province_id, label=city)
+    return taxonomy
+
+
+def build_concept_taxonomies() -> Dict[str, Taxonomy]:
+    """Concept taxonomies (bottom-up in the paper; here directly from banks).
+
+    Each concept type gets a two-level tree: a handful of broader buckets
+    and the leaf instances assigned round-robin, which yields the narrow →
+    broader summarization structure the paper describes.
+    """
+    taxonomies: Dict[str, Taxonomy] = {}
+    for concept_type, instances in wordbanks.CONCEPT_INSTANCES.items():
+        taxonomy = Taxonomy(concept_type, concept_type)
+        num_buckets = max(2, len(instances) // 5)
+        bucket_ids = []
+        for bucket_index in range(num_buckets):
+            bucket_id = f"{concept_type.lower()}:group_{bucket_index}"
+            taxonomy.add_node(bucket_id, concept_type,
+                              label=f"{concept_type} group {bucket_index}")
+            bucket_ids.append(bucket_id)
+        for index, instance in enumerate(instances):
+            leaf_id = f"{concept_type.lower()}:{_slug(instance)}"
+            taxonomy.add_node(leaf_id, bucket_ids[index % num_buckets], label=instance)
+        taxonomies[concept_type] = taxonomy
+    return taxonomies
+
+
+# --------------------------------------------------------------------------- #
+# product generation
+# --------------------------------------------------------------------------- #
+def _pick_attributes(rng: np.random.Generator,
+                     config: SyntheticCatalogConfig) -> Dict[str, str]:
+    low, high = config.attribute_count_range
+    count = int(rng.integers(low, high + 1))
+    keys = list(wordbanks.ATTRIBUTE_VALUES)
+    picked = rng.choice(len(keys), size=min(count, len(keys)), replace=False)
+    attributes: Dict[str, str] = {}
+    for key_index in picked:
+        key = keys[int(key_index)]
+        values = wordbanks.ATTRIBUTE_VALUES[key]
+        attributes[key] = values[int(rng.integers(0, len(values)))]
+    return attributes
+
+
+def _pick_concepts(rng: np.random.Generator, catalog: Catalog,
+                   config: SyntheticCatalogConfig) -> Dict[str, List[str]]:
+    """Pick concept links for a product (long-tail over inMarket relations)."""
+    links: Dict[str, List[str]] = {}
+    relation_for_type = {
+        "Scene": "relatedScene",
+        "Crowd": "forCrowd",
+        "Theme": "aboutTheme",
+        "Time": "appliedTime",
+    }
+    concept_types = list(relation_for_type)
+    chosen_types = rng.choice(len(concept_types),
+                              size=min(config.concepts_per_product, len(concept_types)),
+                              replace=False)
+    for type_index in chosen_types:
+        concept_type = concept_types[int(type_index)]
+        leaves = catalog.concepts(concept_type)
+        concept = leaves[int(rng.integers(0, len(leaves)))]
+        links.setdefault(relation_for_type[concept_type], []).append(concept)
+    # inMarket relations follow a geometric (long-tail) distribution over the
+    # relation family, reproducing the Figure 5 shape.
+    market_leaves = catalog.concepts("MarketSegment")
+    if catalog.in_market_relations:
+        weights = np.array([0.5 ** index for index in range(len(catalog.in_market_relations))])
+        weights /= weights.sum()
+        relation_index = int(rng.choice(len(catalog.in_market_relations), p=weights))
+        relation = catalog.in_market_relations[relation_index]
+        market = market_leaves[int(rng.integers(0, len(market_leaves)))]
+        links.setdefault(relation, []).append(market)
+    return links
+
+
+def generate_catalog(config: Optional[SyntheticCatalogConfig] = None) -> Catalog:
+    """Generate the full synthetic catalog described by ``config``."""
+    config = config or SyntheticCatalogConfig()
+    category_taxonomy = build_category_taxonomy()
+    brand_taxonomy = build_brand_taxonomy(config.num_brands, config.seed)
+    place_taxonomy = build_place_taxonomy()
+    concept_taxonomies = build_concept_taxonomies()
+    catalog = Catalog(
+        config=config,
+        category_taxonomy=category_taxonomy,
+        brand_taxonomy=brand_taxonomy,
+        place_taxonomy=place_taxonomy,
+        concept_taxonomies=concept_taxonomies,
+        in_market_relations=[f"inMarket_{index:03d}"
+                             for index in range(config.num_in_market_relations)],
+    )
+
+    text_generator = TextGenerator(seed=config.seed)
+    image_generator = ImageFeatureGenerator(dim=config.image_dim, seed=config.seed)
+    rng = derive_rng(config.seed, "catalog", "products")
+    leaf_categories = catalog.leaf_categories()
+    brands = catalog.brands()
+    cities = [node.identifier for node in place_taxonomy.walk() if node.level == 3]
+
+    # Category popularity follows a Zipf-like distribution: a few categories
+    # hold most products, the rest form the long tail.
+    popularity = 1.0 / (np.arange(1, len(leaf_categories) + 1) ** 1.1)
+    popularity /= popularity.sum()
+    category_order = rng.permutation(len(leaf_categories))
+
+    for product_index in range(config.num_products):
+        category_pos = int(rng.choice(len(leaf_categories), p=popularity))
+        category = leaf_categories[int(category_order[category_pos])]
+        category_label = category_taxonomy.node(category).label
+        brand = None
+        if rng.random() < config.brand_coverage:
+            brand = brands[int(rng.integers(0, len(brands)))]
+        place = None
+        if rng.random() < config.place_coverage:
+            place = cities[int(rng.integers(0, len(cities)))]
+
+        product_id = f"product:{product_index:06d}"
+        attributes = _pick_attributes(rng, config)
+        concept_links = _pick_concepts(rng, catalog, config)
+        brand_label = brand_taxonomy.node(brand).label if brand else None
+        place_label = place_taxonomy.node(place).label if place else None
+        scene_like = [concept_taxonomies["Scene"].node(c).label
+                      for c in concept_links.get("relatedScene", [])]
+        annotation: TitleAnnotation = text_generator.title(
+            category_label, brand_label, attributes, scene_like, key=product_id)
+        description = text_generator.description(category_label, place_label,
+                                                 attributes, key=product_id)
+        label = f"{brand_label + ' ' if brand_label else ''}{category_label} #{product_index}"
+
+        image = None
+        if rng.random() < config.image_fraction:
+            image = image_generator.product_image(product_id, category, brand)
+
+        product = ProductRecord(
+            product_id=product_id,
+            label=label,
+            category=category,
+            brand=brand,
+            place=place,
+            attributes=attributes,
+            concept_links=concept_links,
+            title=annotation.title,
+            description=description,
+            image=image,
+        )
+
+        for item_index in range(config.items_per_product):
+            item_id = f"item:{product_index:06d}_{item_index}"
+            seller = wordbanks.SELLER_NAMES[int(rng.integers(0, len(wordbanks.SELLER_NAMES)))]
+            price = float(np.round(rng.uniform(5.0, 500.0), 2))
+            reviews = [
+                text_generator.review(category_label, key=f"{item_id}_{review_index}").text
+                for review_index in range(config.reviews_per_item)
+            ]
+            # Different retailers write slightly different titles for the same
+            # product: drop some marketing words so that item titles of the
+            # same product are similar but not identical (the item-alignment
+            # application depends on this realism).
+            title_tokens = annotation.title.split()
+            kept_tokens = [token for position, token in enumerate(title_tokens)
+                           if position < 2 or rng.random() > 0.2]
+            item_title = " ".join(kept_tokens) if kept_tokens else annotation.title
+            product.items.append(ItemRecord(
+                item_id=item_id, product_id=product_id,
+                title=item_title, price=price,
+                seller=f"{brand_label or 'generic'} {seller}", reviews=reviews,
+            ))
+        catalog.products.append(product)
+    return catalog

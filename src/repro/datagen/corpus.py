@@ -1,0 +1,146 @@
+"""Unsupervised e-commerce text corpus and supervised text-pair construction.
+
+Section IV-A of the paper assembles two data sources for pre-training:
+
+* ~100M *supervised* label-sample pairs (product-category, item-title,
+  item-triple, short title-long title, item-review, triple-review, ...)
+  rendered into unified text with discrete prompts, and
+* ~140GB of *unsupervised* e-commerce text (reviews, descriptions).
+
+:class:`CorpusGenerator` produces scaled-down versions of both from a
+:class:`~repro.datagen.catalog.Catalog`, using the same prompt templates the
+pre-training tokenizer consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.datagen.catalog import Catalog
+from repro.datagen.textgen import TextGenerator
+from repro.utils.rng import derive_rng
+
+#: Discrete prompt templates for each supervised pair kind.
+PAIR_PROMPTS: Dict[str, str] = {
+    "product-category": "predict category : {source}",
+    "item-product": "align item : {source}",
+    "item-title": "describe item : {source}",
+    "item-triple": "state fact : {source}",
+    "short-long-title": "summarize title : {source}",
+    "item-review": "summarize review : {source}",
+    "triple-review": "explain triple : {source}",
+}
+
+
+@dataclass(frozen=True)
+class TextPair:
+    """A supervised (source, target) text pair with its kind tag."""
+
+    kind: str
+    source: str
+    target: str
+
+    def prompted_source(self) -> str:
+        """The source wrapped in its discrete prompt template."""
+        template = PAIR_PROMPTS.get(self.kind, "{source}")
+        return template.format(source=self.source)
+
+
+class CorpusGenerator:
+    """Builds supervised pairs and the unsupervised corpus from a catalog."""
+
+    def __init__(self, catalog: Catalog, seed: int = 0) -> None:
+        self.catalog = catalog
+        self.seed = int(seed)
+        self._text = TextGenerator(seed=seed + 1)
+
+    # ------------------------------------------------------------------ #
+    # supervised pairs (X_sup)
+    # ------------------------------------------------------------------ #
+    def supervised_pairs(self, max_pairs_per_kind: int | None = None) -> List[TextPair]:
+        """All supervised pairs, optionally truncated per kind."""
+        pairs: List[TextPair] = []
+        collectors = (
+            self._product_category_pairs,
+            self._item_title_pairs,
+            self._item_triple_pairs,
+            self._title_summarization_pairs,
+            self._item_review_pairs,
+        )
+        for collector in collectors:
+            kind_pairs = list(collector())
+            if max_pairs_per_kind is not None:
+                kind_pairs = kind_pairs[:max_pairs_per_kind]
+            pairs.extend(kind_pairs)
+        return pairs
+
+    def _product_category_pairs(self) -> Iterator[TextPair]:
+        taxonomy = self.catalog.category_taxonomy
+        for product in self.catalog.products:
+            label = taxonomy.node(product.category).label
+            yield TextPair("product-category", product.title, label)
+
+    def _item_title_pairs(self) -> Iterator[TextPair]:
+        for product in self.catalog.products:
+            for item in product.items:
+                yield TextPair("item-title", item.item_id, item.title)
+
+    def _item_triple_pairs(self) -> Iterator[TextPair]:
+        for product in self.catalog.products:
+            for attribute, value in sorted(product.attributes.items()):
+                source = f"{product.label} {attribute}"
+                yield TextPair("item-triple", source, value)
+
+    def _title_summarization_pairs(self) -> Iterator[TextPair]:
+        for product in self.catalog.products:
+            for item in product.items:
+                short = item.short_title()
+                yield TextPair("short-long-title", item.title, short)
+
+    def _item_review_pairs(self) -> Iterator[TextPair]:
+        rng = derive_rng(self.seed, "corpus", "reviews")
+        for product in self.catalog.products:
+            reviews = product.all_reviews()
+            if not reviews:
+                continue
+            review = reviews[int(rng.integers(0, len(reviews)))]
+            yield TextPair("item-review", review, self._text.slogan(product.product_id))
+
+    # ------------------------------------------------------------------ #
+    # unsupervised corpus (X_uns)
+    # ------------------------------------------------------------------ #
+    def unsupervised_corpus(self, max_sentences: int | None = None) -> List[str]:
+        """Free e-commerce text: descriptions, reviews and search queries."""
+        sentences: List[str] = []
+        for product in self.catalog.products:
+            sentences.append(product.description)
+            sentences.extend(product.all_reviews())
+            label = self.catalog.category_taxonomy.node(product.category).label
+            scene_labels = [
+                self.catalog.concept_taxonomies["Scene"].node(concept).label
+                for concept in product.concept_links.get("relatedScene", [])
+            ]
+            sentences.append(self._text.search_query(label, scene_labels,
+                                                     key=product.product_id))
+        if max_sentences is not None:
+            sentences = sentences[:max_sentences]
+        return sentences
+
+    # ------------------------------------------------------------------ #
+    # combined pre-training stream
+    # ------------------------------------------------------------------ #
+    def pretraining_stream(self, max_pairs_per_kind: int | None = None,
+                           max_unsupervised: int | None = None) -> List[Tuple[str, str]]:
+        """(source, target) tuples mixing supervised pairs and denoising text.
+
+        Unsupervised sentences become (sentence, sentence) pairs; the
+        pre-trainer applies span corruption to the source side, mirroring the
+        paper's span-denoising objective for unsupervised data.
+        """
+        stream: List[Tuple[str, str]] = []
+        for pair in self.supervised_pairs(max_pairs_per_kind):
+            stream.append((pair.prompted_source(), pair.target))
+        for sentence in self.unsupervised_corpus(max_unsupervised):
+            stream.append((sentence, sentence))
+        return stream

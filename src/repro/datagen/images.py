@@ -1,0 +1,62 @@
+"""Synthetic image features.
+
+The real OpenBG-IMG attaches product photos; the reproduction attaches dense
+feature vectors with the structure a visual encoder would produce: every
+category and brand has a latent prototype, and a product image is a noisy
+mixture of its category and brand prototypes.  This preserves the property
+the multimodal models exploit — images of same-category / same-brand
+products are closer to each other than to unrelated products — without
+shipping any image files.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.utils.rng import derive_rng
+
+
+class ImageFeatureGenerator:
+    """Produces deterministic pseudo-image feature vectors."""
+
+    def __init__(self, dim: int = 32, seed: int = 0, noise_scale: float = 0.25) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        self.dim = int(dim)
+        self.seed = int(seed)
+        self.noise_scale = float(noise_scale)
+        self._prototypes: Dict[str, np.ndarray] = {}
+
+    def prototype(self, key: str) -> np.ndarray:
+        """The latent prototype vector for a category or brand identifier."""
+        cached = self._prototypes.get(key)
+        if cached is not None:
+            return cached
+        rng = derive_rng(self.seed, "image-prototype", key)
+        vector = rng.normal(0.0, 1.0, size=self.dim).astype(np.float32)
+        vector /= np.linalg.norm(vector) + 1e-8
+        self._prototypes[key] = vector
+        return vector
+
+    def product_image(self, product_id: str, category: str,
+                      brand: Optional[str] = None) -> np.ndarray:
+        """A product's image feature: category + brand prototypes plus noise."""
+        rng = derive_rng(self.seed, "image-product", product_id)
+        vector = 0.7 * self.prototype(category)
+        if brand:
+            vector = vector + 0.3 * self.prototype(f"brand::{brand}")
+        noise = rng.normal(0.0, self.noise_scale, size=self.dim).astype(np.float32)
+        image = (vector + noise).astype(np.float32)
+        norm = np.linalg.norm(image)
+        if norm > 0:
+            image = image / norm
+        return image
+
+    def batch(self, keys: Dict[str, tuple[str, Optional[str]]]) -> Dict[str, np.ndarray]:
+        """Generate features for many products: {product_id: (category, brand)}."""
+        return {
+            product_id: self.product_image(product_id, category, brand)
+            for product_id, (category, brand) in keys.items()
+        }

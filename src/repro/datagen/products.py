@@ -1,0 +1,79 @@
+"""Product and item records produced by the synthetic catalog generator.
+
+The paper distinguishes *products* (standardized expressions, instances of
+categories) from *items* (商品, concrete listings sold by retailers; an
+instance of a product).  Both records carry the multimodal payload the
+construction and pre-training pipelines need: structured attributes, a
+title, a free-text description, user reviews, and an optional image feature
+vector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class ItemRecord:
+    """A concrete listing of a product sold by one (synthetic) retailer."""
+
+    item_id: str
+    product_id: str
+    title: str
+    price: float
+    seller: str
+    reviews: List[str] = field(default_factory=list)
+
+    def short_title(self, max_tokens: int = 6) -> str:
+        """A truncated title used as the summarization target seed."""
+        return " ".join(self.title.split()[:max_tokens])
+
+
+@dataclass
+class ProductRecord:
+    """A standardized product with its multimodal facts.
+
+    ``concept_links`` maps object-property names (``relatedScene``,
+    ``forCrowd``, ``aboutTheme``, ``appliedTime``, ``inMarket_*``) to the
+    linked concept identifiers.  ``attributes`` maps data-property names to
+    literal values.  ``image`` is a dense feature vector standing in for the
+    product photo (None for the non-multimodal fraction of the catalog).
+    """
+
+    product_id: str
+    label: str
+    category: str
+    brand: Optional[str] = None
+    place: Optional[str] = None
+    attributes: Dict[str, str] = field(default_factory=dict)
+    concept_links: Dict[str, List[str]] = field(default_factory=dict)
+    title: str = ""
+    description: str = ""
+    image: Optional[np.ndarray] = None
+    items: List[ItemRecord] = field(default_factory=list)
+
+    @property
+    def has_image(self) -> bool:
+        """True when the product carries an image feature vector."""
+        return self.image is not None
+
+    def all_reviews(self) -> List[str]:
+        """Reviews of every item of this product, flattened."""
+        reviews: List[str] = []
+        for item in self.items:
+            reviews.extend(item.reviews)
+        return reviews
+
+    def linked_concepts(self) -> List[str]:
+        """All concept identifiers linked through any object property."""
+        concepts: List[str] = []
+        for values in self.concept_links.values():
+            concepts.extend(values)
+        return concepts
+
+    def attribute_phrases(self) -> List[str]:
+        """Attribute key/value pairs rendered as short phrases for titles."""
+        return [f"{key} {value}" for key, value in sorted(self.attributes.items())]

@@ -1,0 +1,166 @@
+"""Generation of titles, descriptions, reviews and search queries.
+
+Item titles in e-commerce pack brand, category, attributes and marketing
+adjectives into one long string ("Lagogo 2018 Summer New Women's Word-neck
+Short-sleeved Floral Skirt Dress Beach Skirt Long Skirt Tide"); reviews
+mention aspect/opinion pairs; queries mix concepts with categories.  The
+generator reproduces those shapes and, crucially, returns the gold
+structured annotations alongside the surface text so the downstream tasks
+(NER, IE, summarization) have labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.datagen import wordbanks
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class TitleAnnotation:
+    """Gold property/value spans contained in a generated title."""
+
+    title: str
+    short_title: str
+    spans: List[Tuple[str, str]] = field(default_factory=list)  # (entity_type, surface)
+
+
+@dataclass
+class ReviewAnnotation:
+    """Gold (aspect, opinion) pairs contained in a generated review."""
+
+    text: str
+    subject: str
+    pairs: List[Tuple[str, str]] = field(default_factory=list)  # (aspect, opinion)
+    positive: bool = True
+
+
+class TextGenerator:
+    """Deterministic generator for titles, descriptions, reviews and queries."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    def _rng(self, *namespace: str) -> np.random.Generator:
+        return derive_rng(self.seed, "textgen", *namespace)
+
+    # ------------------------------------------------------------------ #
+    # titles
+    # ------------------------------------------------------------------ #
+    def title(self, product_label: str, brand: Optional[str],
+              attributes: Dict[str, str], concepts: List[str],
+              key: str) -> TitleAnnotation:
+        """Build an expatiatory item title plus its gold annotation.
+
+        ``key`` namespaces the randomness so each product gets a stable but
+        distinct title.
+        """
+        rng = self._rng("title", key)
+        spans: List[Tuple[str, str]] = []
+        parts: List[str] = []
+        if brand:
+            parts.append(brand)
+            spans.append(("Brand", brand))
+        adjectives = list(rng.choice(wordbanks.POSITIVE_ADJECTIVES,
+                                     size=min(3, len(wordbanks.POSITIVE_ADJECTIVES)),
+                                     replace=False))
+        parts.extend(adjectives)
+        parts.append(product_label)
+        spans.append(("Category", product_label))
+        attribute_keys = sorted(attributes)
+        picked = attribute_keys[: int(rng.integers(1, min(4, len(attribute_keys)) + 1))] \
+            if attribute_keys else []
+        for attr_key in picked:
+            value = attributes[attr_key]
+            parts.append(value)
+            entity_type = _attribute_to_entity_type(attr_key)
+            spans.append((entity_type, value))
+        if concepts:
+            concept = concepts[int(rng.integers(0, len(concepts)))]
+            parts.append(f"for {concept}")
+            spans.append(("Scene", concept))
+        # Redundant marketing tail, which summarization should remove.
+        tail = list(rng.choice(wordbanks.POSITIVE_ADJECTIVES, size=2, replace=False))
+        parts.extend(tail + ["new arrival", "hot sale"])
+        title = " ".join(parts)
+        short_parts = ([brand] if brand else []) + [adjectives[0], product_label]
+        short_title = " ".join(short_parts)
+        return TitleAnnotation(title=title, short_title=short_title, spans=spans)
+
+    # ------------------------------------------------------------------ #
+    # descriptions
+    # ------------------------------------------------------------------ #
+    def description(self, product_label: str, place: Optional[str],
+                    attributes: Dict[str, str], key: str) -> str:
+        """A product description paragraph (the ``rdfs:comment`` payload)."""
+        rng = self._rng("description", key)
+        adjective = wordbanks.POSITIVE_ADJECTIVES[
+            int(rng.integers(0, len(wordbanks.POSITIVE_ADJECTIVES)))]
+        sentences = [f"High-quality {adjective} {product_label}, carefully selected."]
+        if place:
+            sentences.append(f"Produced in {place} with strict quality control.")
+        for attr_key, value in sorted(attributes.items())[:3]:
+            sentences.append(f"The {attr_key} is {value}.")
+        sentences.append("Suitable for daily use and as a thoughtful gift.")
+        return " ".join(sentences)
+
+    # ------------------------------------------------------------------ #
+    # reviews
+    # ------------------------------------------------------------------ #
+    def review(self, product_label: str, key: str,
+               positive: Optional[bool] = None) -> ReviewAnnotation:
+        """A customer review with gold (aspect, opinion) pairs for the IE task."""
+        rng = self._rng("review", key)
+        if positive is None:
+            positive = bool(rng.random() < 0.8)
+        opinions = (wordbanks.REVIEW_OPINIONS_POSITIVE if positive
+                    else wordbanks.REVIEW_OPINIONS_NEGATIVE)
+        num_pairs = int(rng.integers(1, 4))
+        aspects = list(rng.choice(wordbanks.REVIEW_ASPECTS, size=num_pairs, replace=False))
+        pairs: List[Tuple[str, str]] = []
+        clauses: List[str] = []
+        for aspect in aspects:
+            opinion = opinions[int(rng.integers(0, len(opinions)))]
+            pairs.append((aspect, opinion))
+            clauses.append(f"the {aspect} of the {product_label} is {opinion}")
+        closer = "very satisfied overall" if positive else "would not buy again"
+        text = ", ".join(clauses) + f", {closer}."
+        return ReviewAnnotation(text=text, subject=product_label, pairs=pairs,
+                                positive=positive)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def search_query(self, product_label: str, concepts: List[str], key: str) -> str:
+        """A short user search query combining a concept and a category."""
+        rng = self._rng("query", key)
+        if concepts and rng.random() < 0.7:
+            concept = concepts[int(rng.integers(0, len(concepts)))]
+            return f"{concept} {product_label}"
+        adjective = wordbanks.POSITIVE_ADJECTIVES[
+            int(rng.integers(0, len(wordbanks.POSITIVE_ADJECTIVES)))]
+        return f"{adjective} {product_label}"
+
+    def slogan(self, key: str) -> str:
+        """A short marketing slogan (used by the shopping-guide application)."""
+        rng = self._rng("slogan", key)
+        return wordbanks.SLOGAN_TEMPLATES[int(rng.integers(0, len(wordbanks.SLOGAN_TEMPLATES)))]
+
+
+def _attribute_to_entity_type(attribute: str) -> str:
+    """Map a data property to the NER entity-type label used in titles."""
+    mapping = {
+        "packingSpecification": "PackingSpecification",
+        "netContent": "PackingSpecification",
+        "weight": "PackingSpecification",
+        "color": "Color",
+        "style": "Style",
+        "taste": "Ingredients",
+        "material": "Ingredients",
+        "ifOrganic": "Nutrients",
+    }
+    return mapping.get(attribute, "PackingSpecification")

@@ -1,0 +1,206 @@
+"""Word banks for the synthetic e-commerce text generator.
+
+The vocabulary deliberately mirrors the domains the paper's examples come
+from (rice and groceries, phones and electronics, clothing, footwear,
+furniture, cosmetics) so the generated titles, reviews and concepts look
+like the Figure 1 / Figure 3 / Section IV examples.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+#: Top-level category domains with their sub-domains and example leaf nouns.
+CATEGORY_DOMAINS: Dict[str, Dict[str, List[str]]] = {
+    "Grains Oils and Condiments": {
+        "Rice Flour Grains": ["rice", "northeast rice", "fragrant rice", "glutinous rice",
+                              "black rice", "brown rice", "millet", "oat flakes"],
+        "Noodles and Pasta": ["konjac noodles", "cold noodles", "egg noodles",
+                              "rice noodles", "instant noodles", "buckwheat noodles"],
+        "Condiments": ["soy sauce", "brewing vinegar", "sesame oil", "chili sauce",
+                       "oyster sauce", "cooking wine"],
+    },
+    "Electronics": {
+        "Mobile Phones": ["smartphone", "flagship phone", "gaming phone", "folding phone"],
+        "Electronic Components": ["LED", "power supply", "battery pack", "charging cable",
+                                  "bluetooth headset", "smart watch"],
+        "Computers": ["laptop", "tablet", "mini pc", "mechanical keyboard"],
+    },
+    "Clothing": {
+        "Dresses": ["floral dress", "beach skirt", "long skirt", "short-sleeved dress",
+                    "word-neck dress"],
+        "Outerwear": ["down jacket", "windbreaker", "wool coat", "denim jacket"],
+        "Shirts": ["t-shirt", "polo shirt", "silk blouse", "linen shirt"],
+    },
+    "Footwear": {
+        "Sports Shoes": ["running shoes", "lightweight sports shoes", "non-slip shoes",
+                         "trendy sneakers", "basketball shoes"],
+        "Casual Shoes": ["canvas shoes", "loafers", "sandals", "slippers"],
+    },
+    "Home and Furniture": {
+        "Furniture": ["sofa", "dining table", "bookshelf", "wardrobe", "office chair"],
+        "Home Textiles": ["cushion", "quilt", "pillow", "mattress protector", "curtain"],
+        "Kitchenware": ["rice cooker", "frying pan", "thermos bottle", "lunch box"],
+    },
+    "Beauty and Care": {
+        "Skin Care": ["face cream", "sunscreen", "facial cleanser", "essence lotion"],
+        "Hair Care": ["shampoo", "conditioner", "hair mask"],
+    },
+    "Food and Snacks": {
+        "Snacks": ["dried bamboo shoots", "mixed cured meat", "dried mango",
+                   "nut gift box", "beef jerky"],
+        "Instant Meals": ["self-heating hot pot", "bibimbap", "convenient vegetable pack",
+                          "canned porridge"],
+        "Beverages": ["green tea", "oolong tea", "instant coffee", "fruit juice"],
+    },
+    "Mother and Baby": {
+        "Baby Food": ["milk powder", "rice cereal", "fruit puree"],
+        "Baby Gear": ["stroller", "baby carrier", "feeding bottle"],
+    },
+}
+
+#: Brand name fragments combined into synthetic brand labels per sector.
+BRAND_PREFIXES: List[str] = [
+    "Jinlongyu", "Songyuan", "Lagogo", "Hongxing", "Yunshan", "Baihe", "Tianyi",
+    "Meiling", "Xinda", "Lanyu", "Guofeng", "Shengshi", "Haina", "Puji", "Ruixiang",
+    "Zhenpin", "Chunfeng", "Huayang", "Jingxi", "Luming",
+]
+BRAND_SUFFIXES: List[str] = [
+    "", " Selected", " Premium", " Farm", " Tech", " Living", " Studio", " Workshop",
+    " Home", " Organic",
+]
+
+#: Brand sectors following the "guideline for declaration of goods" 45 classes,
+#: abbreviated to a representative subset.
+BRAND_SECTORS: List[str] = [
+    "Food", "Clothes", "Furniture", "Vehicle", "Electronics", "Cosmetics",
+    "Toys", "Sports Equipment", "Stationery", "Jewelry", "Household Chemicals",
+    "Medical Supplies",
+]
+
+#: Place hierarchy: country → province → city → county (synthetic but realistic).
+PLACE_HIERARCHY: Dict[str, Dict[str, List[str]]] = {
+    "China": {
+        "Heilongjiang": ["Harbin", "Qiqihar", "Mudanjiang"],
+        "Jilin": ["Changchun", "Meihekou", "Jilin City"],
+        "Zhejiang": ["Hangzhou", "Ningbo", "Wenzhou"],
+        "Guangdong": ["Guangzhou", "Shenzhen", "Zhuhai"],
+        "Sichuan": ["Chengdu", "Mianyang", "Leshan"],
+        "Yunnan": ["Kunming", "Dali", "Lijiang"],
+    },
+    "America": {
+        "California": ["Los Angeles", "San Francisco", "San Diego"],
+        "Washington": ["Seattle", "Spokane"],
+    },
+    "Germany": {
+        "Bavaria": ["Munich", "Nuremberg"],
+        "Hesse": ["Frankfurt", "Wiesbaden"],
+    },
+    "Singapore": {
+        "Central Region": ["Downtown Core", "Orchard"],
+    },
+    "Japan": {
+        "Kanto": ["Tokyo", "Yokohama"],
+        "Kansai": ["Osaka", "Kyoto"],
+    },
+}
+
+#: Concept instances per core concept type (leaf-level examples).
+CONCEPT_INSTANCES: Dict[str, List[str]] = {
+    "Scene": ["cooking", "make sushi", "make rice balls", "eat porridge and rice",
+              "giving gifts", "outdoor picnic", "office lunch", "running", "hiking",
+              "camping", "wedding banquet", "afternoon tea", "late night snack",
+              "home fitness", "business trip", "festival party"],
+    "Crowd": ["the elderly", "students", "office workers", "new mothers", "children",
+              "fitness enthusiasts", "novice cooks", "pet owners", "gamers",
+              "outdoor lovers"],
+    "Theme": ["low calorie", "zero fat", "organic living", "national trend",
+              "minimalist style", "vintage style", "smart home", "eco friendly",
+              "luxury gifting", "budget friendly"],
+    "Time": ["spring", "summer", "autumn", "winter", "morning", "weekend",
+             "chinese new year", "mid-autumn festival", "double eleven", "back to school"],
+    "MarketSegment": ["premium market", "budget market", "mass market", "gift market",
+                      "student market", "silver market", "mother and baby market",
+                      "outdoor market", "office market", "fresh food market",
+                      "health market", "beauty market"],
+}
+
+#: Adjectives used in titles and reviews.
+POSITIVE_ADJECTIVES: List[str] = [
+    "premium", "fragrant", "fresh", "lightweight", "durable", "convenient",
+    "delicious", "soft", "crisp", "juicy", "nutritious", "portable", "stylish",
+    "breathable", "non-slip", "smart", "high-quality", "selected", "authentic",
+    "handmade",
+]
+NEGATIVE_ADJECTIVES: List[str] = [
+    "stale", "flimsy", "bulky", "bland", "noisy", "rough", "overpriced", "slow",
+]
+REVIEW_ASPECTS: List[str] = [
+    "quality", "size", "taste", "packaging", "logistics", "price", "color",
+    "material", "battery life", "comfort",
+]
+REVIEW_OPINIONS_POSITIVE: List[str] = [
+    "nice", "suitable", "excellent", "very good", "worth buying", "as described",
+    "fast", "fresh", "comfortable", "exquisite",
+]
+REVIEW_OPINIONS_NEGATIVE: List[str] = [
+    "poor", "too small", "disappointing", "damaged", "slow", "not fresh",
+]
+
+#: Attribute values keyed by data property.
+ATTRIBUTE_VALUES: Dict[str, List[str]] = {
+    "weight": ["206g", "450g", "500g", "1kg", "2kg", "5kg", "10kg", "250g"],
+    "size": ["S", "M", "L", "XL", "6.1 inch", "6.7 inch", "40x60cm", "1.8m"],
+    "color": ["white", "black", "red", "blue", "green", "beige", "silver", "pink"],
+    "netContent": ["450g", "500ml", "1L", "250ml", "100g*3", "10kg"],
+    "packingSpecification": ["bag", "box", "10kg", "100g*3 bags", "gift box", "vacuum pack"],
+    "shelfLife": ["6 months", "12 months", "18 months", "24 months", "36 months"],
+    "storageConditions": ["room temperature", "refrigerated", "cool and dry place",
+                          "frozen"],
+    "taste": ["original", "spicy", "sweet", "salty", "matcha", "five spice"],
+    "material": ["cotton", "linen", "stainless steel", "bamboo fiber", "ceramic",
+                 "solid wood", "polyester"],
+    "ifOrganic": ["yes", "no"],
+    "style": ["casual", "business", "sport", "vintage", "minimalist"],
+    "powerSupply": ["battery", "usb-c", "wireless charging", "220V"],
+    "screenSize": ["6.1 inch", "6.7 inch", "10.9 inch", "14 inch"],
+    "batteryCapacity": ["3200mAh", "4500mAh", "5000mAh"],
+    "memoryCapacity": ["128GB", "256GB", "512GB", "1TB"],
+}
+
+#: NER entity types used in the "NER for titles" downstream task, mapping to
+#: the attribute-like slots titles contain.
+TITLE_ENTITY_TYPES: List[str] = [
+    "Brand", "Category", "Nutrients", "Ingredients", "PackingSpecification",
+    "Style", "Color", "Crowd", "Scene", "Place",
+]
+
+#: Seller name fragments.
+SELLER_NAMES: List[str] = [
+    "flagship store", "official outlet", "selected shop", "global buy", "direct supply",
+    "treasure shop", "specialty store",
+]
+
+#: Slogan fragments used by the shopping-guide application (Figure 7).
+SLOGAN_TEMPLATES: List[str] = [
+    "delicious soup and taste",
+    "convenient and suitable for summer",
+    "thin-skin, crisp and sweet",
+    "melt in the mouth",
+    "fresher flavor",
+    "no-cook and ready to eat",
+    "nutritious and delicious",
+    "low-calorie and convenient",
+    "meticulous craftsmanship",
+    "freely match your style",
+]
+
+
+def all_leaf_category_names() -> List[Tuple[str, str, str]]:
+    """Flatten CATEGORY_DOMAINS into (domain, subdomain, leaf) tuples."""
+    rows: List[Tuple[str, str, str]] = []
+    for domain, subdomains in CATEGORY_DOMAINS.items():
+        for subdomain, leaves in subdomains.items():
+            for leaf in leaves:
+                rows.append((domain, subdomain, leaf))
+    return rows

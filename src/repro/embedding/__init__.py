@@ -1,0 +1,42 @@
+"""KG embedding models and link-prediction evaluation (Tables III and IV).
+
+Single-modal structure models (TransE, TransH, TransD, DistMult, ComplEx,
+TuckER), text-enhanced models (KG-BERT-sim, StAR-sim, GenKGC-sim), and
+multimodal models (TransAE, RSME, MKGformer-lite), all implemented in numpy
+with analytic gradients, plus negative sampling, a shared trainer, and the
+filtered-ranking evaluator producing Hits@K / MR / MRR.
+"""
+
+from repro.embedding.base import KGEModel
+from repro.embedding.negative_sampling import NegativeSampler
+from repro.embedding.trainer import KGETrainer, TrainingConfig
+from repro.embedding.transe import TransE
+from repro.embedding.transh import TransH
+from repro.embedding.transd import TransD
+from repro.embedding.distmult import DistMult
+from repro.embedding.complex_model import ComplEx
+from repro.embedding.tucker import TuckER
+from repro.embedding.text_models import KGBertSim, StARSim, GenKGCSim
+from repro.embedding.multimodal import TransAE, RSME, MKGformerLite
+from repro.embedding.evaluation import LinkPredictionEvaluator, RankingMetrics
+
+__all__ = [
+    "KGEModel",
+    "NegativeSampler",
+    "KGETrainer",
+    "TrainingConfig",
+    "TransE",
+    "TransH",
+    "TransD",
+    "DistMult",
+    "ComplEx",
+    "TuckER",
+    "KGBertSim",
+    "StARSim",
+    "GenKGCSim",
+    "TransAE",
+    "RSME",
+    "MKGformerLite",
+    "LinkPredictionEvaluator",
+    "RankingMetrics",
+]

@@ -1,0 +1,123 @@
+"""Base class for KG embedding models.
+
+Every model stores dense numpy parameter arrays, scores triples given
+integer ids (higher score = more plausible), and implements one SGD step of
+margin-based ranking against negative samples with analytic gradients.
+Ranking all candidate tails/heads is provided generically so the evaluator
+works with any model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.utils.rng import derive_rng
+
+
+class KGEModel(ABC):
+    """Abstract knowledge-graph embedding model."""
+
+    #: human-readable name used in result tables
+    name: str = "KGEModel"
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32,
+                 margin: float = 1.0, seed: int = 0) -> None:
+        if num_entities <= 0 or num_relations <= 0:
+            raise EmbeddingError("num_entities and num_relations must be positive")
+        if dim <= 0:
+            raise EmbeddingError("embedding dimension must be positive")
+        self.num_entities = int(num_entities)
+        self.num_relations = int(num_relations)
+        self.dim = int(dim)
+        self.margin = float(margin)
+        self.seed = int(seed)
+        rng = derive_rng(seed, type(self).__name__, "init")
+        bound = 6.0 / np.sqrt(self.dim)
+        self.entity_embeddings = rng.uniform(-bound, bound,
+                                             (self.num_entities, self.dim)).astype(np.float64)
+        self.relation_embeddings = rng.uniform(-bound, bound,
+                                               (self.num_relations, self.dim)).astype(np.float64)
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        """Plausibility scores for id arrays of equal length (higher = better)."""
+
+    def score_candidate_tails(self, heads: np.ndarray,
+                              relations: np.ndarray) -> np.ndarray:
+        """Score every entity as tail for each (head, relation) query.
+
+        Returns an array of shape (len(heads), num_entities).  The generic
+        implementation tiles the query against all entities; models with a
+        cheaper closed form may override it.
+        """
+        all_entities = np.arange(self.num_entities)
+        scores = np.empty((len(heads), self.num_entities), dtype=np.float64)
+        for row, (head, relation) in enumerate(zip(heads, relations)):
+            head_column = np.full(self.num_entities, head)
+            relation_column = np.full(self.num_entities, relation)
+            scores[row] = self.score_triples(head_column, relation_column, all_entities)
+        return scores
+
+    def score_candidate_heads(self, relations: np.ndarray,
+                              tails: np.ndarray) -> np.ndarray:
+        """Score every entity as head for each (relation, tail) query."""
+        all_entities = np.arange(self.num_entities)
+        scores = np.empty((len(tails), self.num_entities), dtype=np.float64)
+        for row, (relation, tail) in enumerate(zip(relations, tails)):
+            relation_column = np.full(self.num_entities, relation)
+            tail_column = np.full(self.num_entities, tail)
+            scores[row] = self.score_triples(all_entities, relation_column, tail_column)
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        """One SGD step on a batch of positive and negative (n, 3) id arrays.
+
+        Returns the batch loss.  Implementations use the margin ranking loss
+        ``max(0, margin - score(pos) + score(neg))`` unless documented
+        otherwise.
+        """
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    def _margin_violations(self, positive_scores: np.ndarray,
+                           negative_scores: np.ndarray) -> np.ndarray:
+        """Boolean mask of examples violating the margin (needing a gradient)."""
+        return (self.margin - positive_scores + negative_scores) > 0
+
+    def normalize_entities(self) -> None:
+        """Project entity embeddings onto the unit ball (TransE-style constraint)."""
+        norms = np.linalg.norm(self.entity_embeddings, axis=1, keepdims=True)
+        np.maximum(norms, 1.0, out=norms)
+        self.entity_embeddings /= norms
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        """Named parameter arrays (used by tests and checkpoints)."""
+        return {"entity_embeddings": self.entity_embeddings,
+                "relation_embeddings": self.relation_embeddings}
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return int(sum(array.size for array in self.parameters().values()))
+
+    def check_ids(self, triples: np.ndarray) -> None:
+        """Validate an (n, 3) id array against the model's vocabulary sizes."""
+        if triples.size == 0:
+            return
+        if triples[:, [0, 2]].max() >= self.num_entities or triples.min() < 0:
+            raise EmbeddingError("entity id out of range")
+        if triples[:, 1].max() >= self.num_relations:
+            raise EmbeddingError("relation id out of range")

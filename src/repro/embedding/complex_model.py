@@ -1,0 +1,85 @@
+"""ComplEx (Trouillon et al., 2016): complex-valued bilinear scoring.
+
+Embeddings live in C^d, stored as two real arrays (real, imaginary).  The
+score is Re(<h, r, conj(t)>), expanding to
+
+    Σ  h_re r_re t_re + h_im r_re t_im + h_re r_im t_im − h_im r_im t_re
+
+Trained with margin ranking and analytic gradients over the four parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+from repro.utils.rng import derive_rng
+
+
+class ComplEx(KGEModel):
+    """Complex-embedding bilinear model."""
+
+    name = "ComplEx"
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32,
+                 margin: float = 1.0, seed: int = 0) -> None:
+        super().__init__(num_entities, num_relations, dim, margin, seed)
+        rng = derive_rng(seed, "ComplEx", "imaginary")
+        bound = 6.0 / np.sqrt(dim)
+        self.entity_imaginary = rng.uniform(-bound, bound, (num_entities, dim))
+        self.relation_imaginary = rng.uniform(-bound, bound, (num_relations, dim))
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        h_re, h_im = self.entity_embeddings[heads], self.entity_imaginary[heads]
+        r_re, r_im = self.relation_embeddings[relations], self.relation_imaginary[relations]
+        t_re, t_im = self.entity_embeddings[tails], self.entity_imaginary[tails]
+        return np.sum(h_re * r_re * t_re + h_im * r_re * t_im
+                      + h_re * r_im * t_im - h_im * r_im * t_re, axis=1)
+
+    def score_candidate_tails(self, heads: np.ndarray,
+                              relations: np.ndarray) -> np.ndarray:
+        h_re, h_im = self.entity_embeddings[heads], self.entity_imaginary[heads]
+        r_re, r_im = self.relation_embeddings[relations], self.relation_imaginary[relations]
+        real_query = h_re * r_re - h_im * r_im
+        imag_query = h_im * r_re + h_re * r_im
+        return real_query @ self.entity_embeddings.T + imag_query @ self.entity_imaginary.T
+
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        positive_scores = self.score_triples(positives[:, 0], positives[:, 1],
+                                             positives[:, 2])
+        negative_scores = self.score_triples(negatives[:, 0], negatives[:, 1],
+                                             negatives[:, 2])
+        violations = self._margin_violations(positive_scores, negative_scores)
+        loss = float(np.maximum(0.0, self.margin - positive_scores + negative_scores).mean())
+        if not violations.any():
+            return loss
+        for index in np.nonzero(violations)[0]:
+            self._apply_gradient(positives[index], learning_rate, sign=+1.0)
+            self._apply_gradient(negatives[index], learning_rate, sign=-1.0)
+        return loss
+
+    def _apply_gradient(self, triple: np.ndarray, learning_rate: float,
+                        sign: float) -> None:
+        head, relation, tail = int(triple[0]), int(triple[1]), int(triple[2])
+        h_re = self.entity_embeddings[head].copy()
+        h_im = self.entity_imaginary[head].copy()
+        r_re = self.relation_embeddings[relation].copy()
+        r_im = self.relation_imaginary[relation].copy()
+        t_re = self.entity_embeddings[tail].copy()
+        t_im = self.entity_imaginary[tail].copy()
+        step = learning_rate * sign
+
+        self.entity_embeddings[head] += step * (r_re * t_re + r_im * t_im)
+        self.entity_imaginary[head] += step * (r_re * t_im - r_im * t_re)
+        self.relation_embeddings[relation] += step * (h_re * t_re + h_im * t_im)
+        self.relation_imaginary[relation] += step * (h_re * t_im - h_im * t_re)
+        self.entity_embeddings[tail] += step * (h_re * r_re - h_im * r_im)
+        self.entity_imaginary[tail] += step * (h_im * r_re + h_re * r_im)
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = super().parameters()
+        params["entity_imaginary"] = self.entity_imaginary
+        params["relation_imaginary"] = self.relation_imaginary
+        return params

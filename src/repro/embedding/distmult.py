@@ -1,0 +1,67 @@
+"""DistMult (Yang et al., 2015): bilinear-diagonal scoring.
+
+Score(h, r, t) = <h, r, t> = Σ_i h_i r_i t_i.  Trained with margin ranking
+plus a small L2 penalty; scoring against all tails is a single matrix
+product, so candidate scoring is fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+
+
+class DistMult(KGEModel):
+    """Bilinear-diagonal model."""
+
+    name = "DistMult"
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32,
+                 margin: float = 1.0, seed: int = 0,
+                 l2_penalty: float = 1e-4) -> None:
+        super().__init__(num_entities, num_relations, dim, margin, seed)
+        self.l2_penalty = float(l2_penalty)
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        return np.sum(self.entity_embeddings[heads] * self.relation_embeddings[relations]
+                      * self.entity_embeddings[tails], axis=1)
+
+    def score_candidate_tails(self, heads: np.ndarray,
+                              relations: np.ndarray) -> np.ndarray:
+        queries = self.entity_embeddings[heads] * self.relation_embeddings[relations]
+        return queries @ self.entity_embeddings.T
+
+    def score_candidate_heads(self, relations: np.ndarray,
+                              tails: np.ndarray) -> np.ndarray:
+        queries = self.relation_embeddings[relations] * self.entity_embeddings[tails]
+        return queries @ self.entity_embeddings.T
+
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        positive_scores = self.score_triples(positives[:, 0], positives[:, 1],
+                                             positives[:, 2])
+        negative_scores = self.score_triples(negatives[:, 0], negatives[:, 1],
+                                             negatives[:, 2])
+        violations = self._margin_violations(positive_scores, negative_scores)
+        loss = float(np.maximum(0.0, self.margin - positive_scores + negative_scores).mean())
+        if not violations.any():
+            return loss
+        for index in np.nonzero(violations)[0]:
+            self._apply_gradient(positives[index], learning_rate, sign=+1.0)
+            self._apply_gradient(negatives[index], learning_rate, sign=-1.0)
+        return loss
+
+    def _apply_gradient(self, triple: np.ndarray, learning_rate: float,
+                        sign: float) -> None:
+        """Increase (sign=+1) or decrease (sign=-1) the triple's score."""
+        head, relation, tail = int(triple[0]), int(triple[1]), int(triple[2])
+        head_vector = self.entity_embeddings[head].copy()
+        relation_vector = self.relation_embeddings[relation].copy()
+        tail_vector = self.entity_embeddings[tail].copy()
+        step = learning_rate * sign
+        decay = 1.0 - learning_rate * self.l2_penalty
+        self.entity_embeddings[head] = decay * head_vector + step * relation_vector * tail_vector
+        self.relation_embeddings[relation] = decay * relation_vector + step * head_vector * tail_vector
+        self.entity_embeddings[tail] = decay * tail_vector + step * head_vector * relation_vector

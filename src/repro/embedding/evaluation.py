@@ -1,0 +1,143 @@
+"""Filtered-ranking link-prediction evaluation (Hits@K, MR, MRR).
+
+For every test triple (h, r, t), every entity is scored as a candidate tail
+for (h, r, ?) and as a candidate head for (?, r, t); other *known true*
+triples are filtered out of the candidate list (the standard "filtered"
+setting); the rank of the gold entity feeds Hits@1/3/10, Mean Rank and Mean
+Reciprocal Rank — the metrics of Tables III and IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+
+
+@dataclass
+class RankingMetrics:
+    """Link-prediction metrics over a set of queries."""
+
+    hits_at_1: float
+    hits_at_3: float
+    hits_at_10: float
+    mean_rank: float
+    mean_reciprocal_rank: float
+    num_queries: int
+
+    def as_row(self, model_name: str) -> List[str]:
+        """A Table III / IV style row."""
+        return [
+            model_name,
+            f"{self.hits_at_1:.3f}",
+            f"{self.hits_at_3:.3f}",
+            f"{self.hits_at_10:.3f}",
+            f"{self.mean_rank:.1f}",
+            f"{self.mean_reciprocal_rank:.3f}",
+        ]
+
+    def as_dict(self) -> Dict[str, float]:
+        """Metrics as a plain dictionary."""
+        return {
+            "hits@1": self.hits_at_1,
+            "hits@3": self.hits_at_3,
+            "hits@10": self.hits_at_10,
+            "mr": self.mean_rank,
+            "mrr": self.mean_reciprocal_rank,
+        }
+
+
+def metrics_from_ranks(ranks: Sequence[int]) -> RankingMetrics:
+    """Aggregate a list of 1-based ranks into :class:`RankingMetrics`."""
+    if not ranks:
+        return RankingMetrics(0.0, 0.0, 0.0, float("inf"), 0.0, 0)
+    array = np.asarray(ranks, dtype=np.float64)
+    return RankingMetrics(
+        hits_at_1=float(np.mean(array <= 1)),
+        hits_at_3=float(np.mean(array <= 3)),
+        hits_at_10=float(np.mean(array <= 10)),
+        mean_rank=float(np.mean(array)),
+        mean_reciprocal_rank=float(np.mean(1.0 / array)),
+        num_queries=len(ranks),
+    )
+
+
+class LinkPredictionEvaluator:
+    """Evaluates a :class:`KGEModel` with the filtered ranking protocol."""
+
+    def __init__(self, train_triples: np.ndarray,
+                 dev_triples: Optional[np.ndarray] = None,
+                 test_triples: Optional[np.ndarray] = None,
+                 batch_size: int = 64) -> None:
+        self.batch_size = int(batch_size)
+        self._known_tails: Dict[Tuple[int, int], Set[int]] = {}
+        self._known_heads: Dict[Tuple[int, int], Set[int]] = {}
+        for triples in (train_triples, dev_triples, test_triples):
+            if triples is None or triples.size == 0:
+                continue
+            for head, relation, tail in triples:
+                self._known_tails.setdefault((int(head), int(relation)), set()).add(int(tail))
+                self._known_heads.setdefault((int(relation), int(tail)), set()).add(int(head))
+
+    # ------------------------------------------------------------------ #
+    # ranking
+    # ------------------------------------------------------------------ #
+    def _rank(self, scores: np.ndarray, gold: int, filtered_out: Set[int]) -> int:
+        """1-based filtered rank of ``gold`` given candidate scores.
+
+        Non-finite scores (a diverged model producing NaN/inf) are treated as
+        the worst possible outcome rather than silently comparing as False,
+        so a broken model cannot report a spuriously perfect rank.
+        """
+        gold_score = scores[gold]
+        mask = np.ones_like(scores, dtype=bool)
+        if filtered_out:
+            mask[list(filtered_out)] = False
+        mask[gold] = True
+        if not np.isfinite(gold_score):
+            return int(mask.sum())
+        finite = np.where(np.isfinite(scores), scores, -np.inf)
+        better = np.sum((finite > gold_score) & mask)
+        return int(better) + 1
+
+    def evaluate(self, model: KGEModel, test_triples: np.ndarray,
+                 both_directions: bool = True) -> RankingMetrics:
+        """Run filtered ranking over ``test_triples`` and aggregate metrics."""
+        if test_triples.size == 0:
+            return metrics_from_ranks([])
+        ranks: List[int] = []
+        for start in range(0, test_triples.shape[0], self.batch_size):
+            batch = test_triples[start:start + self.batch_size]
+            heads, relations, tails = batch[:, 0], batch[:, 1], batch[:, 2]
+            tail_scores = model.score_candidate_tails(heads, relations)
+            for row in range(batch.shape[0]):
+                key = (int(heads[row]), int(relations[row]))
+                filtered = self._known_tails.get(key, set()) - {int(tails[row])}
+                ranks.append(self._rank(tail_scores[row], int(tails[row]), filtered))
+            if both_directions:
+                head_scores = model.score_candidate_heads(relations, tails)
+                for row in range(batch.shape[0]):
+                    key = (int(relations[row]), int(tails[row]))
+                    filtered = self._known_heads.get(key, set()) - {int(heads[row])}
+                    ranks.append(self._rank(head_scores[row], int(heads[row]), filtered))
+        return metrics_from_ranks(ranks)
+
+    def evaluate_models(self, models: Iterable[KGEModel],
+                        test_triples: np.ndarray,
+                        both_directions: bool = True) -> Dict[str, RankingMetrics]:
+        """Evaluate several models on the same test set."""
+        return {model.name: self.evaluate(model, test_triples, both_directions)
+                for model in models}
+
+
+def format_results_table(results: Dict[str, RankingMetrics],
+                         title: str = "Link prediction") -> str:
+    """Render a results dictionary as a printable Table III/IV style table."""
+    header = ["Model", "Hits@1", "Hits@3", "Hits@10", "MR", "MRR"]
+    lines = [f"=== {title} ===", " | ".join(f"{cell:>10}" for cell in header)]
+    for model_name, metrics in results.items():
+        lines.append(" | ".join(f"{cell:>10}" for cell in metrics.as_row(model_name)))
+    return "\n".join(lines)

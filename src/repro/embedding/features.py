@@ -1,0 +1,79 @@
+"""Text feature extraction for text-enhanced KG embedding models.
+
+The paper's KG-BERT / StAR / GenKGC baselines encode entity descriptions
+with a pre-trained language model.  The reproduction replaces that encoder
+with a hashed character-n-gram featurizer: every entity's label+description
+text becomes a fixed-dimension dense vector via feature hashing, which keeps
+the defining property the text models exploit (surface-similar entities get
+similar vectors) without a neural text encoder.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.utils.textutils import normalize_label
+
+
+def _hash_token(token: str, dim: int) -> int:
+    digest = hashlib.md5(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little") % dim
+
+
+def text_feature_vector(text: str, dim: int = 64, ngram_sizes: Sequence[int] = (3, 4),
+                        include_words: bool = True) -> np.ndarray:
+    """Hashed character-n-gram (plus word) features, L2-normalized."""
+    normalized = normalize_label(text)
+    vector = np.zeros(dim, dtype=np.float64)
+    padded = f"#{normalized}#"
+    for size in ngram_sizes:
+        for start in range(max(0, len(padded) - size + 1)):
+            vector[_hash_token(padded[start:start + size], dim)] += 1.0
+    if include_words:
+        for word in normalized.split():
+            vector[_hash_token(f"w:{word}", dim)] += 2.0
+    norm = np.linalg.norm(vector)
+    if norm > 0:
+        vector /= norm
+    return vector
+
+
+class TextFeatureTable:
+    """Caches text feature vectors for a fixed entity vocabulary."""
+
+    def __init__(self, dim: int = 64) -> None:
+        self.dim = int(dim)
+        self._cache: Dict[str, np.ndarray] = {}
+
+    def features_for(self, identifier: str, text: str) -> np.ndarray:
+        """Feature vector for an entity, computed once and cached."""
+        cached = self._cache.get(identifier)
+        if cached is not None:
+            return cached
+        vector = text_feature_vector(text, self.dim)
+        self._cache[identifier] = vector
+        return vector
+
+    def matrix(self, identifiers: Iterable[str], texts: Dict[str, str]) -> np.ndarray:
+        """Stacked feature matrix for a list of identifiers (vocab order)."""
+        rows: List[np.ndarray] = []
+        for identifier in identifiers:
+            rows.append(self.features_for(identifier, texts.get(identifier, identifier)))
+        if not rows:
+            return np.zeros((0, self.dim), dtype=np.float64)
+        return np.vstack(rows)
+
+
+def entity_text_matrix(entity_vocab: Iterable[str], labels: Dict[str, str],
+                       descriptions: Dict[str, str], dim: int = 64) -> np.ndarray:
+    """Feature matrix over an entity vocabulary from labels + descriptions."""
+    table = TextFeatureTable(dim)
+    texts = {}
+    for entity in entity_vocab:
+        label = labels.get(entity, entity)
+        description = descriptions.get(entity, "")
+        texts[entity] = f"{label} {description}".strip()
+    return table.matrix(entity_vocab, texts)

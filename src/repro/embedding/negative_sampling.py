@@ -1,0 +1,80 @@
+"""Negative sampling for KG embedding training.
+
+Implements uniform corruption of heads or tails with optional filtering of
+false negatives (corrupted triples that actually exist in the training
+graph), and the "bern" strategy of TransH which corrupts the side chosen by
+the relation's head/tail cardinality ratio.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.utils.rng import derive_rng
+
+
+class NegativeSampler:
+    """Generates corrupted triples for a training id array."""
+
+    def __init__(self, train_triples: np.ndarray, num_entities: int,
+                 strategy: str = "uniform", filter_false_negatives: bool = True,
+                 seed: int = 0) -> None:
+        if strategy not in ("uniform", "bern"):
+            raise EmbeddingError(f"unknown negative sampling strategy {strategy!r}")
+        self.num_entities = int(num_entities)
+        self.strategy = strategy
+        self.filter_false_negatives = bool(filter_false_negatives)
+        self._rng = derive_rng(seed, "negative-sampler")
+        self._known: Set[Tuple[int, int, int]] = {
+            (int(h), int(r), int(t)) for h, r, t in train_triples
+        }
+        self._bern_probability = self._compute_bern(train_triples)
+
+    def _compute_bern(self, triples: np.ndarray) -> Dict[int, float]:
+        """Per-relation probability of corrupting the head (TransH's bern trick)."""
+        tails_per_head: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+        heads_per_tail: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
+        for head, relation, tail in triples:
+            tails_per_head[int(relation)][int(head)].add(int(tail))
+            heads_per_tail[int(relation)][int(tail)].add(int(head))
+        probabilities: Dict[int, float] = {}
+        for relation in tails_per_head:
+            tph = np.mean([len(tails) for tails in tails_per_head[relation].values()])
+            hpt = np.mean([len(heads) for heads in heads_per_tail[relation].values()])
+            probabilities[relation] = float(tph / (tph + hpt)) if (tph + hpt) > 0 else 0.5
+        return probabilities
+
+    def corrupt(self, positives: np.ndarray, num_negatives: int = 1) -> np.ndarray:
+        """Return an array of corrupted triples aligned with ``positives``.
+
+        With ``num_negatives`` > 1 the positives are repeated, so the result
+        has shape (len(positives) * num_negatives, 3) and the caller should
+        tile its positives accordingly.
+        """
+        if positives.size == 0:
+            return positives.copy()
+        repeated = np.repeat(positives, num_negatives, axis=0)
+        corrupted = repeated.copy()
+        for index in range(corrupted.shape[0]):
+            head, relation, tail = corrupted[index]
+            corrupt_head = self._should_corrupt_head(int(relation))
+            for _attempt in range(10):
+                replacement = int(self._rng.integers(0, self.num_entities))
+                if corrupt_head:
+                    candidate = (replacement, int(relation), int(tail))
+                else:
+                    candidate = (int(head), int(relation), replacement)
+                if not self.filter_false_negatives or candidate not in self._known:
+                    corrupted[index] = candidate
+                    break
+        return corrupted
+
+    def _should_corrupt_head(self, relation: int) -> bool:
+        if self.strategy == "uniform":
+            return bool(self._rng.random() < 0.5)
+        probability = self._bern_probability.get(relation, 0.5)
+        return bool(self._rng.random() < probability)

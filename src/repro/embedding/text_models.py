@@ -1,0 +1,171 @@
+"""Text-enhanced KG embedding baselines: KG-BERT, StAR and GenKGC analogues.
+
+The original models fine-tune pre-trained language models over entity
+descriptions; the reproductions keep each model's *architecture shape* while
+replacing the PLM encoder with hashed text features
+(:mod:`repro.embedding.features`):
+
+* :class:`KGBertSim` — cross-encoder style: the score is a learned bilinear
+  form over the concatenated (head-text, relation, tail-text) representation.
+* :class:`StARSim` — siamese style: a structure-augmented score combining a
+  learned projection similarity with a translational term.
+* :class:`GenKGCSim` — generation style: tails are scored by how well their
+  text continues the (head, relation) "prompt" under a learned token-affinity
+  matrix.
+
+Consistent with the paper's finding, these text-based baselines are not
+competitive with structural models on the business KG, and the analogues
+retain that behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+from repro.utils.rng import derive_rng
+
+
+class _TextEnhancedModel(KGEModel):
+    """Shared plumbing for text-feature-based models."""
+
+    def __init__(self, num_entities: int, num_relations: int,
+                 text_features: np.ndarray, dim: int = 32, margin: float = 1.0,
+                 seed: int = 0) -> None:
+        super().__init__(num_entities, num_relations, dim, margin, seed)
+        if text_features.shape[0] != num_entities:
+            raise ValueError("text_features must have one row per entity")
+        self.text_features = np.asarray(text_features, dtype=np.float64)
+        self.text_dim = self.text_features.shape[1]
+        rng = derive_rng(seed, type(self).__name__, "projection")
+        scale = 1.0 / np.sqrt(self.text_dim)
+        self.text_projection = rng.normal(0.0, scale, (self.text_dim, self.dim))
+
+    def _entity_representation(self, entities: np.ndarray) -> np.ndarray:
+        """Structural embedding + projected text features."""
+        return self.entity_embeddings[entities] + \
+            self.text_features[entities] @ self.text_projection
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        params = super().parameters()
+        params["text_projection"] = self.text_projection
+        return params
+
+
+class KGBertSim(_TextEnhancedModel):
+    """Cross-encoder analogue of KG-BERT over hashed text features."""
+
+    name = "KG-BERT"
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        head_repr = self._entity_representation(heads)
+        tail_repr = self._entity_representation(tails)
+        relation_repr = self.relation_embeddings[relations]
+        return np.sum(head_repr * relation_repr * tail_repr, axis=1) \
+            - 0.1 * np.linalg.norm(head_repr + relation_repr - tail_repr, axis=1)
+
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        return _margin_text_step(self, positives, negatives, learning_rate)
+
+
+class StARSim(_TextEnhancedModel):
+    """Siamese structure-augmented text representation analogue of StAR."""
+
+    name = "StAR"
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        query = self._entity_representation(heads) + self.relation_embeddings[relations]
+        tail_repr = self._entity_representation(tails)
+        # Structure-augmented score: similarity term + distance term.
+        similarity = np.sum(query * tail_repr, axis=1)
+        distance = np.linalg.norm(query - tail_repr, axis=1)
+        return similarity - distance
+
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        return _margin_text_step(self, positives, negatives, learning_rate)
+
+
+class GenKGCSim(_TextEnhancedModel):
+    """Generation-style analogue of GenKGC: prompt-to-tail text affinity."""
+
+    name = "GenKGC"
+
+    def __init__(self, num_entities: int, num_relations: int,
+                 text_features: np.ndarray, dim: int = 32, margin: float = 1.0,
+                 seed: int = 0) -> None:
+        super().__init__(num_entities, num_relations, text_features, dim, margin, seed)
+        rng = derive_rng(seed, "GenKGC", "affinity")
+        self.token_affinity = np.eye(self.text_dim) + \
+            rng.normal(0.0, 0.01, (self.text_dim, self.text_dim))
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        prompt = self.text_features[heads] @ self.token_affinity \
+            + self.relation_embeddings[relations] @ self.text_projection.T
+        return np.sum(prompt * self.text_features[tails], axis=1)
+
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        positive_scores = self.score_triples(positives[:, 0], positives[:, 1],
+                                             positives[:, 2])
+        negative_scores = self.score_triples(negatives[:, 0], negatives[:, 1],
+                                             negatives[:, 2])
+        violations = self._margin_violations(positive_scores, negative_scores)
+        loss = float(np.maximum(0.0, self.margin - positive_scores + negative_scores).mean())
+        for index in np.nonzero(violations)[0]:
+            for triples, sign in ((positives, +1.0), (negatives, -1.0)):
+                head, relation, tail = (int(v) for v in triples[index])
+                step = learning_rate * sign
+                head_text = self.text_features[head]
+                tail_text = self.text_features[tail]
+                self.token_affinity += step * np.outer(head_text, tail_text)
+                self.relation_embeddings[relation] += step * (
+                    self.text_projection.T @ tail_text)
+                self.text_projection += step * np.outer(
+                    tail_text, self.relation_embeddings[relation])
+        return loss
+
+    def parameters(self) -> Dict[str, np.ndarray]:
+        params = super().parameters()
+        params["token_affinity"] = self.token_affinity
+        return params
+
+
+def _margin_text_step(model: _TextEnhancedModel, positives: np.ndarray,
+                      negatives: np.ndarray, learning_rate: float) -> float:
+    """Shared margin-ranking SGD step for the text-enhanced models.
+
+    Gradients are taken w.r.t. the structural embeddings and the text
+    projection; the hashed text features themselves are fixed (they stand in
+    for a frozen PLM encoder).
+    """
+    positive_scores = model.score_triples(positives[:, 0], positives[:, 1], positives[:, 2])
+    negative_scores = model.score_triples(negatives[:, 0], negatives[:, 1], negatives[:, 2])
+    violations = model._margin_violations(positive_scores, negative_scores)
+    loss = float(np.maximum(0.0, model.margin - positive_scores + negative_scores).mean())
+    if not violations.any():
+        return loss
+    epsilon = 1e-3
+    for index in np.nonzero(violations)[0]:
+        for triples, sign in ((positives, +1.0), (negatives, -1.0)):
+            head, relation, tail = (int(v) for v in triples[index])
+            step = learning_rate * sign
+            head_repr = model._entity_representation(np.array([head]))[0]
+            tail_repr = model._entity_representation(np.array([tail]))[0]
+            relation_vector = model.relation_embeddings[relation]
+            # Multiplicative part gradient (dominant term for both models).
+            model.entity_embeddings[head] += step * relation_vector * tail_repr
+            model.entity_embeddings[tail] += step * relation_vector * head_repr
+            model.relation_embeddings[relation] += step * head_repr * tail_repr
+            # Text projection: nudge the projected text towards the update.
+            model.text_projection += step * epsilon * np.outer(
+                model.text_features[head], relation_vector * tail_repr)
+            model.text_projection += step * epsilon * np.outer(
+                model.text_features[tail], relation_vector * head_repr)
+    return loss

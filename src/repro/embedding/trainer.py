@@ -1,0 +1,106 @@
+"""Shared training loop for KG embedding models.
+
+The trainer mirrors the paper's baseline training setup (mini-batch SGD or
+AdaGrad-style scaling, margin ranking or cross-entropy losses depending on
+the model, negative sampling per batch) scaled down to synthetic data sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+from repro.embedding.negative_sampling import NegativeSampler
+from repro.errors import TrainingError
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class TrainingConfig:
+    """Hyper-parameters of a KG embedding training run."""
+
+    epochs: int = 20
+    batch_size: int = 256
+    learning_rate: float = 0.05
+    num_negatives: int = 1
+    lr_decay: float = 1.0
+    normalize_entities: bool = True
+    negative_strategy: str = "uniform"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.epochs <= 0 or self.batch_size <= 0:
+            raise TrainingError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch losses recorded by the trainer."""
+
+    losses: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Loss of the last epoch (inf when training never ran)."""
+        return self.losses[-1] if self.losses else float("inf")
+
+    def improved(self) -> bool:
+        """True when the last epoch loss is below the first epoch loss."""
+        return len(self.losses) >= 2 and self.losses[-1] <= self.losses[0]
+
+
+class KGETrainer:
+    """Trains any :class:`KGEModel` on an (n, 3) id array."""
+
+    def __init__(self, model: KGEModel, config: Optional[TrainingConfig] = None) -> None:
+        self.model = model
+        self.config = config or TrainingConfig()
+
+    def fit(self, train_triples: np.ndarray,
+            dev_triples: Optional[np.ndarray] = None) -> TrainingHistory:
+        """Run the configured number of epochs and return the loss history."""
+        if train_triples.ndim != 2 or train_triples.shape[1] != 3:
+            raise TrainingError("train_triples must have shape (n, 3)")
+        if train_triples.shape[0] == 0:
+            raise TrainingError("train_triples is empty")
+        self.model.check_ids(train_triples)
+
+        sampler = NegativeSampler(
+            train_triples, self.model.num_entities,
+            strategy=self.config.negative_strategy, seed=self.config.seed,
+        )
+        rng = derive_rng(self.config.seed, "trainer")
+        history = TrainingHistory()
+        learning_rate = self.config.learning_rate
+
+        for _epoch in range(self.config.epochs):
+            order = rng.permutation(train_triples.shape[0])
+            shuffled = train_triples[order]
+            epoch_loss = 0.0
+            num_batches = 0
+            for start in range(0, shuffled.shape[0], self.config.batch_size):
+                batch = shuffled[start:start + self.config.batch_size]
+                negatives = sampler.corrupt(batch, self.config.num_negatives)
+                positives = np.repeat(batch, self.config.num_negatives, axis=0)
+                loss = self.model.train_step(positives, negatives, learning_rate)
+                epoch_loss += loss
+                num_batches += 1
+            if self.config.normalize_entities:
+                self.model.normalize_entities()
+            history.losses.append(epoch_loss / max(1, num_batches))
+            learning_rate *= self.config.lr_decay
+        return history
+
+
+def train_model(model: KGEModel, train_triples: np.ndarray,
+                config: Optional[TrainingConfig] = None) -> Dict[str, float]:
+    """Convenience wrapper: train and return a small result dict."""
+    trainer = KGETrainer(model, config)
+    history = trainer.fit(train_triples)
+    return {"final_loss": history.final_loss,
+            "first_loss": history.losses[0] if history.losses else float("inf")}

@@ -1,0 +1,105 @@
+"""TransD (Ji et al., 2015): dynamic mapping matrices from projection vectors.
+
+Each entity e and relation r carries a projection vector (e_p, r_p) in
+addition to its embedding; the mapping matrix is M_re = r_p e_p^T + I, which
+reduces (with equal entity/relation dims) to
+
+    e_perp = e + r_p (e_p · e)
+
+    score(h, r, t) = -||h_perp + r - t_perp||_2
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+from repro.utils.rng import derive_rng
+
+
+class TransD(KGEModel):
+    """Dynamic-mapping translational model."""
+
+    name = "TransD"
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32,
+                 margin: float = 1.0, seed: int = 0) -> None:
+        super().__init__(num_entities, num_relations, dim, margin, seed)
+        rng = derive_rng(seed, "TransD", "projections")
+        scale = 1.0 / np.sqrt(dim)
+        self.entity_projections = rng.normal(0.0, scale, (num_entities, dim))
+        self.relation_projections = rng.normal(0.0, scale, (num_relations, dim))
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def _project(self, vectors: np.ndarray, vector_projections: np.ndarray,
+                 relation_projections: np.ndarray) -> np.ndarray:
+        components = np.sum(vector_projections * vectors, axis=1, keepdims=True)
+        return vectors + components * relation_projections
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        relation_projection = self.relation_projections[relations]
+        head_projected = self._project(self.entity_embeddings[heads],
+                                       self.entity_projections[heads],
+                                       relation_projection)
+        tail_projected = self._project(self.entity_embeddings[tails],
+                                       self.entity_projections[tails],
+                                       relation_projection)
+        difference = head_projected + self.relation_embeddings[relations] - tail_projected
+        return -np.linalg.norm(difference, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        positive_scores = self.score_triples(positives[:, 0], positives[:, 1],
+                                             positives[:, 2])
+        negative_scores = self.score_triples(negatives[:, 0], negatives[:, 1],
+                                             negatives[:, 2])
+        violations = self._margin_violations(positive_scores, negative_scores)
+        loss = float(np.maximum(0.0, self.margin - positive_scores + negative_scores).mean())
+        if not violations.any():
+            return loss
+        for index in np.nonzero(violations)[0]:
+            self._apply_gradient(positives[index], learning_rate, sign=+1.0)
+            self._apply_gradient(negatives[index], learning_rate, sign=-1.0)
+        return loss
+
+    def _apply_gradient(self, triple: np.ndarray, learning_rate: float,
+                        sign: float) -> None:
+        head, relation, tail = int(triple[0]), int(triple[1]), int(triple[2])
+        head_vector = self.entity_embeddings[head]
+        tail_vector = self.entity_embeddings[tail]
+        head_projection = self.entity_projections[head]
+        tail_projection = self.entity_projections[tail]
+        relation_projection = self.relation_projections[relation]
+
+        head_component = float(np.dot(head_projection, head_vector))
+        tail_component = float(np.dot(tail_projection, tail_vector))
+        difference = (head_vector + head_component * relation_projection
+                      + self.relation_embeddings[relation]
+                      - tail_vector - tail_component * relation_projection)
+        norm = np.linalg.norm(difference)
+        if norm < 1e-12:
+            return
+        gradient = sign * difference / norm
+        rp_dot_gradient = float(np.dot(relation_projection, gradient))
+
+        self.entity_embeddings[head] -= learning_rate * (
+            gradient + rp_dot_gradient * head_projection)
+        self.entity_projections[head] -= learning_rate * rp_dot_gradient * head_vector
+        self.entity_embeddings[tail] -= learning_rate * (
+            -gradient - rp_dot_gradient * tail_projection)
+        self.entity_projections[tail] -= learning_rate * (-rp_dot_gradient * tail_vector)
+        self.relation_embeddings[relation] -= learning_rate * gradient
+        self.relation_projections[relation] -= learning_rate * (
+            (head_component - tail_component) * gradient)
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = super().parameters()
+        params["entity_projections"] = self.entity_projections
+        params["relation_projections"] = self.relation_projections
+        return params

@@ -1,0 +1,75 @@
+"""TransE (Bordes et al., 2013): relations as translations in entity space.
+
+Score(h, r, t) = -||h + r - t||_2 ; trained with the margin ranking loss and
+analytic SGD gradients, with entity embeddings renormalized onto the unit
+ball after each epoch (handled by the trainer).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+
+
+class TransE(KGEModel):
+    """Translational embedding model with L2 distance scoring."""
+
+    name = "TransE"
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        head_vectors = self.entity_embeddings[heads]
+        relation_vectors = self.relation_embeddings[relations]
+        tail_vectors = self.entity_embeddings[tails]
+        difference = head_vectors + relation_vectors - tail_vectors
+        return -np.linalg.norm(difference, axis=1)
+
+    def score_candidate_tails(self, heads: np.ndarray,
+                              relations: np.ndarray) -> np.ndarray:
+        """Vectorized tail scoring: broadcast (h + r) against all entities."""
+        queries = self.entity_embeddings[heads] + self.relation_embeddings[relations]
+        differences = queries[:, None, :] - self.entity_embeddings[None, :, :]
+        return -np.linalg.norm(differences, axis=2)
+
+    def score_candidate_heads(self, relations: np.ndarray,
+                              tails: np.ndarray) -> np.ndarray:
+        """Vectorized head scoring: broadcast (t - r) against all entities."""
+        queries = self.entity_embeddings[tails] - self.relation_embeddings[relations]
+        differences = self.entity_embeddings[None, :, :] - queries[:, None, :]
+        return -np.linalg.norm(differences, axis=2)
+
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        positive_scores = self.score_triples(positives[:, 0], positives[:, 1],
+                                             positives[:, 2])
+        negative_scores = self.score_triples(negatives[:, 0], negatives[:, 1],
+                                             negatives[:, 2])
+        violations = self._margin_violations(positive_scores, negative_scores)
+        loss = float(np.maximum(0.0, self.margin - positive_scores + negative_scores).mean())
+        if not violations.any():
+            return loss
+
+        for index in np.nonzero(violations)[0]:
+            self._apply_gradient(positives[index], learning_rate, sign=+1.0)
+            self._apply_gradient(negatives[index], learning_rate, sign=-1.0)
+        return loss
+
+    def _apply_gradient(self, triple: np.ndarray, learning_rate: float,
+                        sign: float) -> None:
+        """SGD update for one triple.
+
+        For a violated pair the loss decreases by increasing the positive
+        score (sign=+1 → move h+r towards t) and decreasing the negative
+        score (sign=-1 → move h+r away from t).
+        """
+        head, relation, tail = int(triple[0]), int(triple[1]), int(triple[2])
+        difference = (self.entity_embeddings[head] + self.relation_embeddings[relation]
+                      - self.entity_embeddings[tail])
+        norm = np.linalg.norm(difference)
+        if norm < 1e-12:
+            return
+        gradient = sign * difference / norm
+        self.entity_embeddings[head] -= learning_rate * gradient
+        self.relation_embeddings[relation] -= learning_rate * gradient
+        self.entity_embeddings[tail] += learning_rate * gradient

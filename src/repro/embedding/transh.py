@@ -1,0 +1,101 @@
+"""TransH (Wang et al., 2014): translation on relation-specific hyperplanes.
+
+Entities are projected onto the hyperplane of relation r (normal vector
+w_r) before translation by d_r:
+
+    h_perp = h - (w_r · h) w_r,   t_perp = t - (w_r · t) w_r
+    score(h, r, t) = -||h_perp + d_r - t_perp||_2
+
+The normal vectors are kept unit-length after every update.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+from repro.utils.rng import derive_rng
+
+
+class TransH(KGEModel):
+    """Hyperplane-projection translational model."""
+
+    name = "TransH"
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32,
+                 margin: float = 1.0, seed: int = 0) -> None:
+        super().__init__(num_entities, num_relations, dim, margin, seed)
+        rng = derive_rng(seed, "TransH", "normals")
+        normals = rng.normal(0.0, 1.0, (num_relations, dim))
+        self.normal_vectors = normals / (np.linalg.norm(normals, axis=1, keepdims=True) + 1e-12)
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def _project(self, vectors: np.ndarray, normals: np.ndarray) -> np.ndarray:
+        components = np.sum(vectors * normals, axis=1, keepdims=True)
+        return vectors - components * normals
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        normals = self.normal_vectors[relations]
+        head_projected = self._project(self.entity_embeddings[heads], normals)
+        tail_projected = self._project(self.entity_embeddings[tails], normals)
+        difference = head_projected + self.relation_embeddings[relations] - tail_projected
+        return -np.linalg.norm(difference, axis=1)
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        positive_scores = self.score_triples(positives[:, 0], positives[:, 1],
+                                             positives[:, 2])
+        negative_scores = self.score_triples(negatives[:, 0], negatives[:, 1],
+                                             negatives[:, 2])
+        violations = self._margin_violations(positive_scores, negative_scores)
+        loss = float(np.maximum(0.0, self.margin - positive_scores + negative_scores).mean())
+        if not violations.any():
+            return loss
+        for index in np.nonzero(violations)[0]:
+            self._apply_gradient(positives[index], learning_rate, sign=+1.0)
+            self._apply_gradient(negatives[index], learning_rate, sign=-1.0)
+        self._renormalize_normals(np.unique(np.concatenate([positives[:, 1],
+                                                            negatives[:, 1]])))
+        return loss
+
+    def _apply_gradient(self, triple: np.ndarray, learning_rate: float,
+                        sign: float) -> None:
+        head, relation, tail = int(triple[0]), int(triple[1]), int(triple[2])
+        normal = self.normal_vectors[relation]
+        head_vector = self.entity_embeddings[head]
+        tail_vector = self.entity_embeddings[tail]
+        head_projected = head_vector - np.dot(normal, head_vector) * normal
+        tail_projected = tail_vector - np.dot(normal, tail_vector) * normal
+        difference = head_projected + self.relation_embeddings[relation] - tail_projected
+        norm = np.linalg.norm(difference)
+        if norm < 1e-12:
+            return
+        gradient = sign * difference / norm  # d(loss)/d(difference)
+
+        # Chain rule through the projection: d(e_perp)/d(e) = I - w w^T.
+        projector_gradient = gradient - np.dot(normal, gradient) * normal
+        self.entity_embeddings[head] -= learning_rate * projector_gradient
+        self.entity_embeddings[tail] += learning_rate * projector_gradient
+        self.relation_embeddings[relation] -= learning_rate * gradient
+
+        # Gradient w.r.t. the normal vector:
+        # difference depends on w through -(w·h)w + (w·t)w
+        delta = tail_vector - head_vector
+        normal_gradient = (np.dot(normal, gradient) * delta
+                           + np.dot(normal, delta) * gradient)
+        self.normal_vectors[relation] -= learning_rate * normal_gradient
+
+    def _renormalize_normals(self, relations: np.ndarray) -> None:
+        norms = np.linalg.norm(self.normal_vectors[relations], axis=1, keepdims=True)
+        self.normal_vectors[relations] /= (norms + 1e-12)
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = super().parameters()
+        params["normal_vectors"] = self.normal_vectors
+        return params

@@ -1,0 +1,107 @@
+"""TuckER (Balazevic et al., 2019): Tucker-decomposition scoring.
+
+A shared core tensor W ∈ R^{d_e × d_r × d_e} mediates every triple:
+
+    score(h, r, t) = Σ_{ijk} h_i W_{ijk} r_j t_k = h^T M_r t,
+    with M_r = Σ_j r_j W[:, j, :]
+
+Trained with margin ranking; gradients flow into h, r, t and the core W.
+The paper observes TuckER achieves the best Hits@K / MRR on the OpenBG
+benchmarks thanks to the expressive shared core, which this implementation
+retains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.base import KGEModel
+from repro.utils.rng import derive_rng
+
+
+class TuckER(KGEModel):
+    """Tucker-decomposition model with a shared core tensor."""
+
+    name = "TuckER"
+
+    def __init__(self, num_entities: int, num_relations: int, dim: int = 32,
+                 relation_dim: int | None = None, margin: float = 1.0,
+                 seed: int = 0, core_learning_scale: float = 0.5) -> None:
+        super().__init__(num_entities, num_relations, dim, margin, seed)
+        self.relation_dim = int(relation_dim or dim)
+        rng = derive_rng(seed, "TuckER", "core")
+        # Re-draw relation embeddings at the relation dimensionality.
+        bound = 6.0 / np.sqrt(self.relation_dim)
+        self.relation_embeddings = rng.uniform(
+            -bound, bound, (num_relations, self.relation_dim)).astype(np.float64)
+        # Initialize the core near the identity-like tensor so early training
+        # behaves like a (noisy) DistMult and then specializes.
+        self.core = rng.normal(0.0, 0.05, (self.dim, self.relation_dim, self.dim))
+        for index in range(min(self.dim, self.relation_dim)):
+            self.core[index, index, index % self.dim] += 1.0
+        self.core_learning_scale = float(core_learning_scale)
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def _relation_matrices(self, relations: np.ndarray) -> np.ndarray:
+        """M_r = Σ_j r_j W[:, j, :], batched: shape (batch, d_e, d_e)."""
+        return np.einsum("bj,ijk->bik", self.relation_embeddings[relations], self.core)
+
+    def score_triples(self, heads: np.ndarray, relations: np.ndarray,
+                      tails: np.ndarray) -> np.ndarray:
+        matrices = self._relation_matrices(relations)
+        head_vectors = self.entity_embeddings[heads]
+        tail_vectors = self.entity_embeddings[tails]
+        return np.einsum("bi,bik,bk->b", head_vectors, matrices, tail_vectors)
+
+    def score_candidate_tails(self, heads: np.ndarray,
+                              relations: np.ndarray) -> np.ndarray:
+        matrices = self._relation_matrices(relations)
+        queries = np.einsum("bi,bik->bk", self.entity_embeddings[heads], matrices)
+        return queries @ self.entity_embeddings.T
+
+    def score_candidate_heads(self, relations: np.ndarray,
+                              tails: np.ndarray) -> np.ndarray:
+        matrices = self._relation_matrices(relations)
+        queries = np.einsum("bik,bk->bi", matrices, self.entity_embeddings[tails])
+        return queries @ self.entity_embeddings.T
+
+    # ------------------------------------------------------------------ #
+    # training
+    # ------------------------------------------------------------------ #
+    def train_step(self, positives: np.ndarray, negatives: np.ndarray,
+                   learning_rate: float) -> float:
+        positive_scores = self.score_triples(positives[:, 0], positives[:, 1],
+                                             positives[:, 2])
+        negative_scores = self.score_triples(negatives[:, 0], negatives[:, 1],
+                                             negatives[:, 2])
+        violations = self._margin_violations(positive_scores, negative_scores)
+        loss = float(np.maximum(0.0, self.margin - positive_scores + negative_scores).mean())
+        if not violations.any():
+            return loss
+        for index in np.nonzero(violations)[0]:
+            self._apply_gradient(positives[index], learning_rate, sign=+1.0)
+            self._apply_gradient(negatives[index], learning_rate, sign=-1.0)
+        return loss
+
+    def _apply_gradient(self, triple: np.ndarray, learning_rate: float,
+                        sign: float) -> None:
+        head, relation, tail = int(triple[0]), int(triple[1]), int(triple[2])
+        head_vector = self.entity_embeddings[head].copy()
+        relation_vector = self.relation_embeddings[relation].copy()
+        tail_vector = self.entity_embeddings[tail].copy()
+        matrix = np.einsum("j,ijk->ik", relation_vector, self.core)
+        step = learning_rate * sign
+
+        self.entity_embeddings[head] += step * (matrix @ tail_vector)
+        self.entity_embeddings[tail] += step * (matrix.T @ head_vector)
+        self.relation_embeddings[relation] += step * np.einsum(
+            "i,ijk,k->j", head_vector, self.core, tail_vector)
+        self.core += (step * self.core_learning_scale) * np.einsum(
+            "i,j,k->ijk", head_vector, relation_vector, tail_vector)
+
+    def parameters(self) -> dict[str, np.ndarray]:
+        params = super().parameters()
+        params["core"] = self.core
+        return params

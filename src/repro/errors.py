@@ -1,0 +1,42 @@
+"""Exception hierarchy shared across the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can install a single ``except ReproError`` boundary around the
+pipeline and still distinguish finer-grained failure modes when needed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class OntologyError(ReproError):
+    """Raised for ontology definition problems (unknown classes, cycles...)."""
+
+
+class ValidationError(ReproError):
+    """Raised when a triple or instance violates ontology constraints."""
+
+
+class SerializationError(ReproError):
+    """Raised when (de)serializing knowledge graphs fails."""
+
+
+class ConstructionError(ReproError):
+    """Raised when the KG construction pipeline cannot proceed."""
+
+
+class BenchmarkError(ReproError):
+    """Raised for invalid benchmark sampling configurations."""
+
+
+class EmbeddingError(ReproError):
+    """Raised for KG embedding model misconfiguration."""
+
+
+class TrainingError(ReproError):
+    """Raised when a training loop receives inconsistent inputs."""
+
+
+class TaskError(ReproError):
+    """Raised by downstream task datasets and fine-tuning code."""

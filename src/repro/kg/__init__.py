@@ -1,0 +1,29 @@
+"""Knowledge-graph substrate: triples, stores, graphs, queries, statistics.
+
+This package replaces the Apache Jena ontology / RDF APIs the paper uses.
+It provides an in-memory, fully indexed triple store, a higher-level
+:class:`~repro.kg.graph.KnowledgeGraph` facade with vocabulary management
+and taxonomy traversal, N-Triples / TSV serialization, a triple-pattern
+query engine, and graph statistics mirroring Table I of the paper.
+"""
+
+from repro.kg.namespaces import MetaProperty, Namespaces
+from repro.kg.triple import Triple
+from repro.kg.store import TripleStore
+from repro.kg.vocab import Vocabulary
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.statistics import GraphStatistics, compute_statistics
+
+__all__ = [
+    "MetaProperty",
+    "Namespaces",
+    "Triple",
+    "TripleStore",
+    "Vocabulary",
+    "KnowledgeGraph",
+    "PatternQuery",
+    "QueryEngine",
+    "GraphStatistics",
+    "compute_statistics",
+]

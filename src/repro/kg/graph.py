@@ -1,0 +1,294 @@
+"""The :class:`KnowledgeGraph` facade.
+
+A :class:`KnowledgeGraph` wraps a :class:`~repro.kg.store.TripleStore` and
+adds the semantics OpenBG needs on top of raw triples:
+
+* registration of classes, concepts, entities and relation kinds,
+* taxonomy traversal along ``rdfs:subClassOf`` / ``skos:broader``,
+* instance-of lookups along ``rdf:type``,
+* neighbourhood extraction (used for the Figure 3 snapshot),
+* conversion to integer-id tensors for the embedding models,
+* export to ``networkx`` for structural analysis.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import OntologyError
+from repro.kg.namespaces import MetaProperty, TAXONOMY_PROPERTIES
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple
+from repro.kg.vocab import Vocabulary
+
+
+class KnowledgeGraph:
+    """A business knowledge graph with ontology-aware helpers."""
+
+    def __init__(self, name: str = "OpenBG") -> None:
+        self.name = name
+        self.store = TripleStore()
+        self.classes: Set[str] = set()
+        self.concepts: Set[str] = set()
+        self.entities: Set[str] = set()
+        self.object_properties: Set[str] = set()
+        self.data_properties: Set[str] = set()
+        self.meta_properties: Set[str] = {prop.value for prop in MetaProperty}
+        self.images: Dict[str, np.ndarray] = {}
+        self.descriptions: Dict[str, str] = {}
+        self.labels: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def register_class(self, identifier: str, label: Optional[str] = None) -> None:
+        """Register a class (Category / Brand / Place or one of their subclasses)."""
+        self.classes.add(identifier)
+        if label:
+            self.labels[identifier] = label
+
+    def register_concept(self, identifier: str, label: Optional[str] = None) -> None:
+        """Register a concept (Time / Scene / Theme / Crowd / Market Segment node)."""
+        self.concepts.add(identifier)
+        if label:
+            self.labels[identifier] = label
+
+    def register_entity(self, identifier: str, label: Optional[str] = None) -> None:
+        """Register an instance-level entity (a product or item)."""
+        self.entities.add(identifier)
+        if label:
+            self.labels[identifier] = label
+
+    def register_object_property(self, identifier: str) -> None:
+        """Register an object property (relation between classes/concepts)."""
+        self.object_properties.add(identifier)
+
+    def register_data_property(self, identifier: str) -> None:
+        """Register a data property (attribute with literal values)."""
+        self.data_properties.add(identifier)
+
+    def attach_image(self, entity: str, features: np.ndarray) -> None:
+        """Attach an image feature vector to an entity (multimodal fact)."""
+        self.images[entity] = np.asarray(features, dtype=np.float32)
+        self.add(Triple(entity, MetaProperty.IMAGE_IS.value, f"image://{entity}"))
+
+    def attach_description(self, entity: str, text: str) -> None:
+        """Attach an unstructured textual description (rdfs:comment)."""
+        self.descriptions[entity] = text
+        self.add(Triple(entity, MetaProperty.COMMENT.value, f"comment://{entity}"))
+
+    # ------------------------------------------------------------------ #
+    # triples
+    # ------------------------------------------------------------------ #
+    def add(self, triple: Triple) -> bool:
+        """Add a triple to the graph; returns True if it was new."""
+        return self.store.add(triple)
+
+    def add_many(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number of new ones."""
+        return self.store.add_many(triples)
+
+    def __contains__(self, triple: Triple) -> bool:
+        return triple in self.store
+
+    def __len__(self) -> int:
+        return len(self.store)
+
+    def triples(self) -> List[Triple]:
+        """All triples in deterministic order."""
+        return self.store.triples()
+
+    def match(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None) -> List[Triple]:
+        """Pattern matching, delegated to the store."""
+        return self.store.match(head, relation, tail)
+
+    # ------------------------------------------------------------------ #
+    # taxonomy traversal
+    # ------------------------------------------------------------------ #
+    def parents(self, node: str) -> List[str]:
+        """Direct taxonomy parents along subClassOf / broader."""
+        result: Set[str] = set()
+        for prop in TAXONOMY_PROPERTIES:
+            result.update(self.store.tails(node, prop))
+        return sorted(result)
+
+    def children(self, node: str) -> List[str]:
+        """Direct taxonomy children along subClassOf / broader."""
+        result: Set[str] = set()
+        for prop in TAXONOMY_PROPERTIES:
+            result.update(self.store.heads(prop, node))
+        return sorted(result)
+
+    def ancestors(self, node: str) -> List[str]:
+        """All transitive taxonomy ancestors (excluding the node itself)."""
+        seen: Set[str] = set()
+        frontier = deque(self.parents(node))
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.parents(current))
+        return sorted(seen)
+
+    def descendants(self, node: str) -> List[str]:
+        """All transitive taxonomy descendants (excluding the node itself)."""
+        seen: Set[str] = set()
+        frontier = deque(self.children(node))
+        while frontier:
+            current = frontier.popleft()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.children(current))
+        return sorted(seen)
+
+    def is_subclass_of(self, node: str, candidate_ancestor: str) -> bool:
+        """True when ``candidate_ancestor`` is a (transitive) taxonomy ancestor."""
+        if node == candidate_ancestor:
+            return True
+        frontier = deque(self.parents(node))
+        seen: Set[str] = set()
+        while frontier:
+            current = frontier.popleft()
+            if current == candidate_ancestor:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self.parents(current))
+        return False
+
+    def taxonomy_depth(self, node: str) -> int:
+        """Length of the longest parent chain above ``node`` (root has depth 0)."""
+        best = 0
+        for parent in self.parents(node):
+            best = max(best, 1 + self.taxonomy_depth(parent))
+        return best
+
+    def leaves_under(self, node: str) -> List[str]:
+        """Taxonomy descendants of ``node`` that have no further children."""
+        return sorted(d for d in self.descendants(node) if not self.children(d))
+
+    # ------------------------------------------------------------------ #
+    # instances
+    # ------------------------------------------------------------------ #
+    def instances_of(self, class_id: str, transitive: bool = False) -> List[str]:
+        """Entities e with (e, rdf:type, class_id); optionally include subclasses."""
+        targets = [class_id]
+        if transitive:
+            targets.extend(self.descendants(class_id))
+        instances: Set[str] = set()
+        for target in targets:
+            instances.update(self.store.heads(MetaProperty.TYPE.value, target))
+        return sorted(instances)
+
+    def types_of(self, entity: str) -> List[str]:
+        """Classes c with (entity, rdf:type, c)."""
+        return self.store.tails(entity, MetaProperty.TYPE.value)
+
+    # ------------------------------------------------------------------ #
+    # neighbourhoods & export
+    # ------------------------------------------------------------------ #
+    def neighbourhood(self, node: str, hops: int = 1) -> List[Triple]:
+        """All triples within ``hops`` undirected hops of ``node`` (Figure 3)."""
+        if hops < 1:
+            raise OntologyError("neighbourhood requires hops >= 1")
+        frontier: Set[str] = {node}
+        seen_nodes: Set[str] = {node}
+        collected: Set[Triple] = set()
+        for _ in range(hops):
+            next_frontier: Set[str] = set()
+            for current in frontier:
+                for triple in self.store.match(head=current):
+                    collected.add(triple)
+                    next_frontier.add(triple.tail)
+                for triple in self.store.match(tail=current):
+                    collected.add(triple)
+                    next_frontier.add(triple.head)
+            frontier = next_frontier - seen_nodes
+            seen_nodes.update(next_frontier)
+        return sorted(collected)
+
+    def to_networkx(self) -> nx.MultiDiGraph:
+        """Export to a ``networkx.MultiDiGraph`` with relation edge keys."""
+        graph = nx.MultiDiGraph(name=self.name)
+        for triple in self.store:
+            graph.add_edge(triple.head, triple.tail, key=triple.relation,
+                           relation=triple.relation)
+        return graph
+
+    # ------------------------------------------------------------------ #
+    # integer-id views for embedding models
+    # ------------------------------------------------------------------ #
+    def build_vocabularies(
+        self, relations: Optional[Sequence[str]] = None
+    ) -> Tuple[Vocabulary, Vocabulary]:
+        """Build (entity_vocab, relation_vocab) over the stored triples.
+
+        ``relations`` restricts the relation vocabulary (and therefore the
+        triples considered) to the given subset, which is how the benchmark
+        builders produce OpenBG500-style relation-filtered views.
+        """
+        allowed = set(relations) if relations is not None else None
+        entity_vocab = Vocabulary()
+        relation_vocab = Vocabulary()
+        for triple in self.store.triples():
+            if allowed is not None and triple.relation not in allowed:
+                continue
+            entity_vocab.add(triple.head)
+            entity_vocab.add(triple.tail)
+            relation_vocab.add(triple.relation)
+        return entity_vocab, relation_vocab
+
+    def to_id_array(
+        self,
+        entity_vocab: Vocabulary,
+        relation_vocab: Vocabulary,
+        triples: Optional[Iterable[Triple]] = None,
+    ) -> np.ndarray:
+        """Encode triples to an (n, 3) int64 array of (head, relation, tail) ids.
+
+        Triples whose symbols are missing from the vocabularies are skipped,
+        mirroring the standard practice of dropping unseen-entity test triples.
+        """
+        rows: List[Tuple[int, int, int]] = []
+        source = self.store.triples() if triples is None else triples
+        for triple in source:
+            head_id = entity_vocab.get(triple.head)
+            rel_id = relation_vocab.get(triple.relation)
+            tail_id = entity_vocab.get(triple.tail)
+            if head_id is None or rel_id is None or tail_id is None:
+                continue
+            rows.append((head_id, rel_id, tail_id))
+        if not rows:
+            return np.zeros((0, 3), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # misc
+    # ------------------------------------------------------------------ #
+    def relation_frequencies(self) -> Dict[str, int]:
+        """Relation → triple count."""
+        return self.store.relation_frequencies()
+
+    def label_of(self, identifier: str) -> str:
+        """Human-readable label for an identifier (falls back to the id)."""
+        return self.labels.get(identifier, identifier)
+
+    def describe(self) -> Dict[str, int]:
+        """Cheap size summary used in logs and examples."""
+        return {
+            "classes": len(self.classes),
+            "concepts": len(self.concepts),
+            "entities": len(self.entities),
+            "object_properties": len(self.object_properties),
+            "data_properties": len(self.data_properties),
+            "triples": len(self.store),
+            "multimodal_entities": len(self.images),
+        }

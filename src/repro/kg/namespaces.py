@@ -1,0 +1,92 @@
+"""RDF / RDFS / OWL / SKOS namespaces and OpenBG meta-properties.
+
+OpenBG's ontology imports W3C meta-properties to express taxonomy
+(``rdfs:subClassOf``, ``skos:broader``), synonymy (``owl:equivalentClass``)
+and instantiation (``rdf:type``), plus two property-of-property relations
+(``rdfs:subPropertyOf``, ``owl:equivalentPropertyOf``).  This module pins
+down the identifiers used throughout the reproduction so the rest of the
+code never hard-codes URI strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+@dataclass(frozen=True)
+class Namespaces:
+    """Prefix → base-URI table mirroring the paper's W3C references."""
+
+    rdf: str = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+    rdfs: str = "http://www.w3.org/2000/01/rdf-schema#"
+    owl: str = "http://www.w3.org/2002/07/owl#"
+    skos: str = "http://www.w3.org/2004/02/skos/core#"
+    openbg: str = "https://openbg.example.org/resource/"
+
+    def expand(self, curie: str) -> str:
+        """Expand a compact IRI like ``rdfs:subClassOf`` to a full URI."""
+        if ":" not in curie:
+            return self.openbg + curie
+        prefix, local = curie.split(":", 1)
+        base = getattr(self, prefix, None)
+        if base is None:
+            return curie
+        return base + local
+
+    def compact(self, uri: str) -> str:
+        """Compact a full URI back to CURIE form when a prefix matches."""
+        for prefix in ("rdf", "rdfs", "owl", "skos", "openbg"):
+            base = getattr(self, prefix)
+            if uri.startswith(base):
+                local = uri[len(base):]
+                if prefix == "openbg":
+                    return local
+                return f"{prefix}:{local}"
+        return uri
+
+
+NAMESPACES = Namespaces()
+
+
+class MetaProperty(str, Enum):
+    """The built-in (meta) properties OpenBG imports from W3C vocabularies."""
+
+    SUBCLASS_OF = "rdfs:subClassOf"
+    BROADER = "skos:broader"
+    TYPE = "rdf:type"
+    EQUIVALENT_CLASS = "owl:equivalentClass"
+    SUBPROPERTY_OF = "rdfs:subPropertyOf"
+    EQUIVALENT_PROPERTY = "owl:equivalentPropertyOf"
+
+    # Data properties the paper counts in Table I alongside meta-properties.
+    LABEL = "rdfs:label"
+    LABEL_EN = "labelEn"
+    PREF_LABEL = "skos:prefLabel"
+    ALT_LABEL = "skos:altLabel"
+    COMMENT = "rdfs:comment"
+    IMAGE_IS = "imageIs"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+#: The root of the class hierarchy (all core classes are subclasses of it).
+OWL_THING = "owl:Thing"
+
+#: The root of the concept hierarchy (concepts are "simple classes").
+SKOS_CONCEPT = "skos:Concept"
+
+#: Object properties of the core ontology (Figure 2 of the paper).
+CORE_OBJECT_PROPERTIES = (
+    "brandIs",
+    "placeOfOrigin",
+    "appliedTime",
+    "relatedScene",
+    "aboutTheme",
+    "forCrowd",
+    "inMarket",
+)
+
+#: Taxonomy-bearing meta-properties (used for level computations).
+TAXONOMY_PROPERTIES = (MetaProperty.SUBCLASS_OF.value, MetaProperty.BROADER.value)

@@ -1,0 +1,141 @@
+"""A small triple-pattern query engine.
+
+OpenBG's applications need more than single-pattern lookups: joining
+products to their brand's place, walking taxonomy chains, filtering by
+attribute values.  :class:`QueryEngine` evaluates conjunctive queries of
+triple patterns with named variables (a pragmatic subset of SPARQL basic
+graph patterns) directly against the indexed store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple
+
+Binding = Dict[str, str]
+
+
+def is_variable(term: str) -> bool:
+    """Terms starting with ``?`` are variables; anything else is a constant."""
+    return term.startswith("?")
+
+
+@dataclass(frozen=True)
+class PatternQuery:
+    """A conjunctive query: a sequence of (head, relation, tail) patterns.
+
+    Each position is either a constant identifier or a ``?variable``.
+    ``select`` optionally restricts which variables appear in the results.
+    """
+
+    patterns: Tuple[Tuple[str, str, str], ...]
+    select: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_patterns(cls, patterns: Sequence[Sequence[str]],
+                      select: Sequence[str] = ()) -> "PatternQuery":
+        """Build a query from plain lists/tuples."""
+        normalized = tuple(tuple(pattern) for pattern in patterns)
+        for pattern in normalized:
+            if len(pattern) != 3:
+                raise ValueError(f"pattern must have 3 terms, got {pattern!r}")
+        return cls(patterns=normalized, select=tuple(select))
+
+    def variables(self) -> List[str]:
+        """All variables mentioned in the query, in first-appearance order."""
+        seen: List[str] = []
+        for pattern in self.patterns:
+            for term in pattern:
+                if is_variable(term) and term not in seen:
+                    seen.append(term)
+        return seen
+
+
+class QueryEngine:
+    """Evaluates :class:`PatternQuery` objects against a :class:`TripleStore`."""
+
+    def __init__(self, store: TripleStore) -> None:
+        self.store = store
+
+    def execute(self, query: PatternQuery) -> List[Binding]:
+        """Return all variable bindings satisfying every pattern.
+
+        Patterns are evaluated left to right with backtracking; each step
+        substitutes the bindings accumulated so far, so ordering patterns
+        from most to least selective keeps evaluation fast.
+        """
+        bindings: List[Binding] = [{}]
+        for pattern in query.patterns:
+            next_bindings: List[Binding] = []
+            for binding in bindings:
+                next_bindings.extend(self._extend(binding, pattern))
+            bindings = next_bindings
+            if not bindings:
+                return []
+        if query.select:
+            projected = []
+            seen = set()
+            for binding in bindings:
+                row = {var: binding[var] for var in query.select if var in binding}
+                key = tuple(sorted(row.items()))
+                if key not in seen:
+                    seen.add(key)
+                    projected.append(row)
+            return projected
+        return bindings
+
+    def _extend(self, binding: Binding, pattern: Tuple[str, str, str]) -> Iterable[Binding]:
+        head, relation, tail = (self._resolve(term, binding) for term in pattern)
+        matches = self.store.match(
+            head=None if is_variable(head) else head,
+            relation=None if is_variable(relation) else relation,
+            tail=None if is_variable(tail) else tail,
+        )
+        for triple in matches:
+            extended = dict(binding)
+            if not self._bind(extended, head, triple.head):
+                continue
+            if not self._bind(extended, relation, triple.relation):
+                continue
+            if not self._bind(extended, tail, triple.tail):
+                continue
+            yield extended
+
+    @staticmethod
+    def _resolve(term: str, binding: Binding) -> str:
+        if is_variable(term) and term in binding:
+            return binding[term]
+        return term
+
+    @staticmethod
+    def _bind(binding: Binding, term: str, value: str) -> bool:
+        if not is_variable(term):
+            return term == value
+        existing = binding.get(term)
+        if existing is None:
+            binding[term] = value
+            return True
+        return existing == value
+
+    # ------------------------------------------------------------------ #
+    # convenience helpers used by the applications layer
+    # ------------------------------------------------------------------ #
+    def one_hop(self, head: str, relation: str) -> List[str]:
+        """Tails reachable from ``head`` through ``relation``."""
+        return self.store.tails(head, relation)
+
+    def two_hop(self, head: str, relation1: str, relation2: str) -> List[str]:
+        """Tails reachable through a 2-step relation path."""
+        results = set()
+        for middle in self.store.tails(head, relation1):
+            results.update(self.store.tails(middle, relation2))
+        return sorted(results)
+
+    def co_occurring_heads(self, relation: str, tail: str,
+                           limit: Optional[int] = None) -> List[str]:
+        """Heads sharing the given (relation, tail) pair, e.g. same-brand items."""
+        heads = self.store.heads(relation, tail)
+        return heads if limit is None else heads[:limit]

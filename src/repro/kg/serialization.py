@@ -1,0 +1,114 @@
+"""Serialization of triples and benchmark splits.
+
+Two formats are supported:
+
+* **TSV** — one ``head<TAB>relation<TAB>tail`` line per triple; this is the
+  format the public OpenBG benchmark releases use for train/dev/test files.
+* **N-Triples-like** — ``<head> <relation> <tail> .`` lines with CURIEs
+  expanded through the namespace table, approximating the RDF output the
+  paper produces through Apache Jena.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+from repro.errors import SerializationError
+from repro.kg.namespaces import NAMESPACES
+from repro.kg.triple import Triple
+
+
+def write_tsv(triples: Iterable[Triple], path: str | Path) -> int:
+    """Write triples as TSV; returns the number of lines written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for triple in triples:
+            handle.write(f"{triple.head}\t{triple.relation}\t{triple.tail}\n")
+            count += 1
+    return count
+
+
+def read_tsv(path: str | Path) -> List[Triple]:
+    """Read triples from a TSV file written by :func:`write_tsv`."""
+    path = Path(path)
+    triples: List[Triple] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != 3:
+                raise SerializationError(
+                    f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
+                )
+            triples.append(Triple(*parts))
+    return triples
+
+
+def write_ntriples(triples: Iterable[Triple], path: str | Path) -> int:
+    """Write triples in an N-Triples-like format with expanded URIs."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for triple in triples:
+            head = NAMESPACES.expand(triple.head)
+            relation = NAMESPACES.expand(triple.relation)
+            tail = NAMESPACES.expand(triple.tail)
+            handle.write(f"<{head}> <{relation}> <{tail}> .\n")
+            count += 1
+    return count
+
+
+def read_ntriples(path: str | Path) -> List[Triple]:
+    """Read triples written by :func:`write_ntriples`, compacting URIs back."""
+    path = Path(path)
+    triples: List[Triple] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if not line.endswith("."):
+                raise SerializationError(f"{path}:{line_number}: missing terminating '.'")
+            body = line[:-1].strip()
+            parts = body.split(" ", 2)
+            if len(parts) != 3:
+                raise SerializationError(f"{path}:{line_number}: malformed statement")
+            cleaned = []
+            for part in parts:
+                part = part.strip()
+                if not (part.startswith("<") and part.endswith(">")):
+                    raise SerializationError(f"{path}:{line_number}: expected <uri> terms")
+                cleaned.append(NAMESPACES.compact(part[1:-1]))
+            triples.append(Triple(*cleaned))
+    return triples
+
+
+def write_split_json(splits: Dict[str, List[Triple]], path: str | Path) -> None:
+    """Write a benchmark split (train/dev/test) as a single JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        name: [triple.as_tuple() for triple in triples]
+        for name, triples in splits.items()
+    }
+    path.write_text(json.dumps(payload, ensure_ascii=False, indent=1), encoding="utf-8")
+
+
+def read_split_json(path: str | Path) -> Dict[str, List[Triple]]:
+    """Read a benchmark split written by :func:`write_split_json`."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"{path}: invalid JSON: {exc}") from exc
+    result: Dict[str, List[Triple]] = {}
+    for name, rows in payload.items():
+        result[name] = [Triple(*row) for row in rows]
+    return result

@@ -1,0 +1,160 @@
+"""Graph statistics mirroring Table I of the paper.
+
+Table I reports, for the full OpenBG: the number of core classes, core
+concepts, relation types, products and triples; per-class/concept level
+breakdowns of the taxonomy (level1..level5, total, leaf counts); and
+per-relation triple counts grouped by property kind (object / data / meta).
+:func:`compute_statistics` reproduces the same accounting over any
+:class:`~repro.kg.graph.KnowledgeGraph` built by this library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.namespaces import MetaProperty
+
+
+@dataclass
+class TaxonomyBreakdown:
+    """Per-level node counts for one core class/concept taxonomy."""
+
+    root: str
+    level_counts: Dict[int, int] = field(default_factory=dict)
+    total: int = 0
+    leaves: int = 0
+
+    def as_row(self, max_level: int = 5) -> List[str]:
+        """Render the breakdown as a printable row (levels 1..max_level)."""
+        cells = [self.root]
+        for level in range(1, max_level + 1):
+            count = self.level_counts.get(level, 0)
+            cells.append(str(count) if count else "/")
+        cells.append(f"{self.total} / {self.leaves}")
+        return cells
+
+
+@dataclass
+class GraphStatistics:
+    """The full Table-I-style statistics bundle."""
+
+    num_core_classes: int
+    num_core_concepts: int
+    num_relation_types: int
+    num_products: int
+    num_triples: int
+    taxonomy: Dict[str, TaxonomyBreakdown]
+    object_property_counts: Dict[str, int]
+    data_property_counts: Dict[str, int]
+    meta_property_counts: Dict[str, int]
+
+    def overall_rows(self) -> List[List[str]]:
+        """Rows for the "Overall" block of Table I."""
+        return [
+            ["# core classes", str(self.num_core_classes)],
+            ["# core concepts", str(self.num_core_concepts)],
+            ["# relation types", str(self.num_relation_types)],
+            ["# products (instances of categories)", str(self.num_products)],
+            ["# triples", str(self.num_triples)],
+        ]
+
+    def format_table(self) -> str:
+        """Render the whole statistics bundle as a printable table."""
+        lines = [f"=== {'Overall':^40} ==="]
+        for name, value in self.overall_rows():
+            lines.append(f"{name:<45}{value:>12}")
+        lines.append("=== Core Class/Concept taxonomy (levels 1-5 | total/leaf) ===")
+        header = ["root"] + [f"L{i}" for i in range(1, 6)] + ["all/leaf"]
+        lines.append(" | ".join(f"{h:>12}" for h in header))
+        for breakdown in self.taxonomy.values():
+            lines.append(" | ".join(f"{c:>12}" for c in breakdown.as_row()))
+        for title, counts in (
+            ("object properties", self.object_property_counts),
+            ("data properties", self.data_property_counts),
+            ("meta properties", self.meta_property_counts),
+        ):
+            lines.append(f"=== {title} ===")
+            for relation, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+                lines.append(f"  # {relation:<35}{count:>12}")
+        return "\n".join(lines)
+
+
+def _taxonomy_breakdown(graph: KnowledgeGraph, root: str) -> TaxonomyBreakdown:
+    """Compute per-level node counts for the taxonomy rooted at ``root``.
+
+    Level 1 holds the direct children of the root, matching the paper's
+    convention where e.g. Category has 93 level-1 nodes.
+    """
+    breakdown = TaxonomyBreakdown(root=root)
+    level = 1
+    frontier = graph.children(root)
+    seen = {root}
+    while frontier:
+        new_frontier: List[str] = []
+        count_at_level = 0
+        for node in frontier:
+            if node in seen:
+                continue
+            seen.add(node)
+            count_at_level += 1
+            children = [child for child in graph.children(node) if child not in seen]
+            if children:
+                new_frontier.extend(children)
+            else:
+                breakdown.leaves += 1
+        if count_at_level:
+            breakdown.level_counts[level] = count_at_level
+            breakdown.total += count_at_level
+        frontier = new_frontier
+        level += 1
+        if level > 16:  # safety bound against accidental cycles
+            break
+    return breakdown
+
+
+def compute_statistics(graph: KnowledgeGraph,
+                       taxonomy_roots: List[str] | None = None) -> GraphStatistics:
+    """Compute Table-I-style statistics for ``graph``.
+
+    ``taxonomy_roots`` defaults to the eight core classes/concepts of the
+    OpenBG ontology when present in the graph.
+    """
+    if taxonomy_roots is None:
+        default_roots = ["Category", "Brand", "Place",
+                         "Scene", "Crowd", "Theme", "Time", "MarketSegment"]
+        taxonomy_roots = [root for root in default_roots
+                          if root in graph.classes or root in graph.concepts]
+
+    frequencies = graph.relation_frequencies()
+    meta_names = {prop.value for prop in MetaProperty}
+    object_counts = {rel: count for rel, count in frequencies.items()
+                     if rel in graph.object_properties}
+    meta_counts = {rel: count for rel, count in frequencies.items() if rel in meta_names}
+    data_counts = {rel: count for rel, count in frequencies.items()
+                   if rel not in object_counts and rel not in meta_counts}
+
+    # Products are the entities typed as some descendant of Category.
+    category_nodes = set()
+    if "Category" in graph.classes:
+        category_nodes = set(graph.descendants("Category")) | {"Category"}
+    num_products = 0
+    for entity in graph.entities:
+        types = set(graph.types_of(entity))
+        if types & category_nodes:
+            num_products += 1
+
+    taxonomy = {root: _taxonomy_breakdown(graph, root) for root in taxonomy_roots}
+    return GraphStatistics(
+        num_core_classes=len(graph.classes),
+        num_core_concepts=len(graph.concepts),
+        num_relation_types=len(graph.object_properties) + len(graph.data_properties)
+        + len(meta_counts),
+        num_products=num_products,
+        num_triples=len(graph.store),
+        taxonomy=taxonomy,
+        object_property_counts=object_counts,
+        data_property_counts=data_counts,
+        meta_property_counts=meta_counts,
+    )

@@ -1,0 +1,55 @@
+"""The :class:`Triple` value object.
+
+Everything in OpenBG — ontology axioms, product attributes, multimodal
+facts — is expressed as (head, relation, tail) triples, so the whole
+library standardizes on one small immutable record.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Triple:
+    """An immutable (head, relation, tail) statement.
+
+    ``head`` and ``tail`` are entity / class / literal identifiers (strings);
+    ``relation`` is a property identifier.  Literals are plain strings; the
+    ontology layer decides whether a relation is an object, data or meta
+    property.
+    """
+
+    head: str
+    relation: str
+    tail: str
+
+    def __post_init__(self) -> None:
+        for field_name in ("head", "relation", "tail"):
+            value = getattr(self, field_name)
+            if not isinstance(value, str) or not value:
+                raise ValueError(f"Triple.{field_name} must be a non-empty string, got {value!r}")
+
+    def as_tuple(self) -> Tuple[str, str, str]:
+        """Return the triple as a plain tuple (useful for set operations)."""
+        return (self.head, self.relation, self.tail)
+
+    def reversed(self) -> "Triple":
+        """Return a triple with head and tail swapped (for inverse relations)."""
+        return Triple(self.tail, self.relation, self.head)
+
+    def with_relation(self, relation: str) -> "Triple":
+        """Return a copy of the triple with a different relation."""
+        return Triple(self.head, relation, self.tail)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.as_tuple())
+
+    def __str__(self) -> str:
+        return f"({self.head}, {self.relation}, {self.tail})"
+
+
+def triples_from_tuples(rows: Iterable[Tuple[str, str, str]]) -> list[Triple]:
+    """Convert an iterable of 3-tuples into a list of :class:`Triple`."""
+    return [Triple(head, relation, tail) for head, relation, tail in rows]

@@ -1,0 +1,64 @@
+"""A small reverse-mode autograd engine and neural-network layers (numpy only).
+
+This package is the substrate for the KG-enhanced vision-language
+pre-training stack: a :class:`~repro.nn.tensor.Tensor` with automatic
+differentiation, standard layers (Linear, Embedding, LayerNorm, Dropout),
+multi-head attention and transformer blocks, optimizers (SGD, AdaGrad, Adam,
+AdamW) and learning-rate schedules.
+"""
+
+from repro.nn.tensor import Tensor
+from repro.nn.module import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    Parameter,
+    Sequential,
+)
+from repro.nn.attention import (
+    MultiHeadAttention,
+    PositionalEncoding,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+)
+from repro.nn.functional import (
+    cross_entropy,
+    binary_cross_entropy_with_logits,
+    contrastive_loss,
+    masked_mean,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.nn.optim import SGD, AdaGrad, Adam, AdamW, LinearWarmupSchedule
+
+__all__ = [
+    "Tensor",
+    "Module",
+    "Parameter",
+    "Linear",
+    "Embedding",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "MultiHeadAttention",
+    "PositionalEncoding",
+    "TransformerEncoderLayer",
+    "TransformerDecoderLayer",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "contrastive_loss",
+    "masked_mean",
+    "relu",
+    "sigmoid",
+    "softmax",
+    "tanh",
+    "SGD",
+    "AdaGrad",
+    "Adam",
+    "AdamW",
+    "LinearWarmupSchedule",
+]

@@ -1,0 +1,152 @@
+"""Multi-head attention and transformer blocks.
+
+The mPLUG-style pre-training model needs three block flavours: a
+self-attention encoder layer (visual encoder and KG-enhanced text encoder),
+a causal self-attention + cross-attention decoder layer (the generative
+half used for PrefixLM and the downstream generation tasks), and sinusoidal
+positional encodings.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.module import Dropout, LayerNorm, Linear, Module
+from repro.nn.tensor import Tensor
+
+
+class MultiHeadAttention(Module):
+    """Scaled dot-product attention with multiple heads."""
+
+    def __init__(self, dim: int, num_heads: int = 4, dropout: float = 0.0,
+                 seed: int = 0) -> None:
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query_projection = Linear(dim, dim, seed=seed)
+        self.key_projection = Linear(dim, dim, seed=seed + 1)
+        self.value_projection = Linear(dim, dim, seed=seed + 2)
+        self.output_projection = Linear(dim, dim, seed=seed + 3)
+        self.dropout = Dropout(dropout, seed=seed + 4)
+
+    def _split_heads(self, tensor: Tensor, batch: int, length: int) -> Tensor:
+        return tensor.reshape(batch, length, self.num_heads, self.head_dim) \
+            .transpose(0, 2, 1, 3)
+
+    def forward(self, query: Tensor, key: Optional[Tensor] = None,
+                value: Optional[Tensor] = None,
+                mask: Optional[np.ndarray] = None) -> Tensor:
+        """Attend ``query`` over ``key``/``value`` (self-attention when omitted).
+
+        ``mask`` is a boolean array broadcastable to
+        (batch, heads, query_len, key_len); True marks positions to *block*.
+        """
+        key = query if key is None else key
+        value = key if value is None else value
+        batch, query_length = query.shape[0], query.shape[1]
+        key_length = key.shape[1]
+
+        queries = self._split_heads(self.query_projection(query), batch, query_length)
+        keys = self._split_heads(self.key_projection(key), batch, key_length)
+        values = self._split_heads(self.value_projection(value), batch, key_length)
+
+        scores = queries @ keys.transpose(0, 1, 3, 2) * (1.0 / np.sqrt(self.head_dim))
+        if mask is not None:
+            scores = scores.masked_fill(mask, -1e9)
+        weights = scores.softmax(axis=-1)
+        weights = self.dropout(weights)
+        context = weights @ values
+        context = context.transpose(0, 2, 1, 3).reshape(batch, query_length, self.dim)
+        return self.output_projection(context)
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward network with GELU activation."""
+
+    def __init__(self, dim: int, hidden_dim: Optional[int] = None,
+                 dropout: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        hidden_dim = hidden_dim or dim * 4
+        self.input_layer = Linear(dim, hidden_dim, seed=seed)
+        self.output_layer = Linear(hidden_dim, dim, seed=seed + 1)
+        self.dropout = Dropout(dropout, seed=seed + 2)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return self.output_layer(self.dropout(self.input_layer(inputs).gelu()))
+
+
+class TransformerEncoderLayer(Module):
+    """Pre-norm transformer encoder block (self-attention + FFN)."""
+
+    def __init__(self, dim: int, num_heads: int = 4, hidden_dim: Optional[int] = None,
+                 dropout: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        self.self_attention = MultiHeadAttention(dim, num_heads, dropout, seed=seed)
+        self.feed_forward = FeedForward(dim, hidden_dim, dropout, seed=seed + 10)
+        self.attention_norm = LayerNorm(dim)
+        self.feed_forward_norm = LayerNorm(dim)
+
+    def forward(self, inputs: Tensor, mask: Optional[np.ndarray] = None) -> Tensor:
+        attended = self.self_attention(self.attention_norm(inputs), mask=mask)
+        hidden = inputs + attended
+        return hidden + self.feed_forward(self.feed_forward_norm(hidden))
+
+
+class TransformerDecoderLayer(Module):
+    """Pre-norm decoder block: causal self-attention, cross-attention, FFN."""
+
+    def __init__(self, dim: int, num_heads: int = 4, hidden_dim: Optional[int] = None,
+                 dropout: float = 0.0, seed: int = 0) -> None:
+        super().__init__()
+        self.self_attention = MultiHeadAttention(dim, num_heads, dropout, seed=seed)
+        self.cross_attention = MultiHeadAttention(dim, num_heads, dropout, seed=seed + 20)
+        self.feed_forward = FeedForward(dim, hidden_dim, dropout, seed=seed + 30)
+        self.self_norm = LayerNorm(dim)
+        self.cross_norm = LayerNorm(dim)
+        self.feed_forward_norm = LayerNorm(dim)
+
+    def forward(self, inputs: Tensor, memory: Optional[Tensor] = None,
+                self_mask: Optional[np.ndarray] = None,
+                memory_mask: Optional[np.ndarray] = None) -> Tensor:
+        hidden = inputs + self.self_attention(self.self_norm(inputs), mask=self_mask)
+        if memory is not None:
+            hidden = hidden + self.cross_attention(self.cross_norm(hidden),
+                                                   key=memory, value=memory,
+                                                   mask=memory_mask)
+        return hidden + self.feed_forward(self.feed_forward_norm(hidden))
+
+
+class PositionalEncoding(Module):
+    """Fixed sinusoidal positional encodings added to token embeddings."""
+
+    def __init__(self, dim: int, max_length: int = 512) -> None:
+        super().__init__()
+        positions = np.arange(max_length)[:, None]
+        dimensions = np.arange(dim)[None, :]
+        angle_rates = 1.0 / np.power(10000.0, (2 * (dimensions // 2)) / dim)
+        angles = positions * angle_rates
+        encoding = np.zeros((max_length, dim))
+        encoding[:, 0::2] = np.sin(angles[:, 0::2])
+        encoding[:, 1::2] = np.cos(angles[:, 1::2])
+        self._encoding = encoding
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        length = inputs.shape[1]
+        return inputs + Tensor(self._encoding[None, :length, :])
+
+
+def causal_mask(length: int) -> np.ndarray:
+    """Boolean (1, 1, length, length) mask blocking attention to the future."""
+    mask = np.triu(np.ones((length, length), dtype=bool), k=1)
+    return mask[None, None, :, :]
+
+
+def padding_mask(attention_mask: np.ndarray) -> np.ndarray:
+    """Convert a (batch, length) 1/0 attention mask to a blocking key mask."""
+    blocked = np.asarray(attention_mask) == 0
+    return blocked[:, None, None, :]

@@ -1,0 +1,101 @@
+"""Functional helpers and loss functions on top of :class:`~repro.nn.tensor.Tensor`."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+
+def relu(inputs: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return inputs.relu()
+
+
+def tanh(inputs: Tensor) -> Tensor:
+    """Hyperbolic tangent."""
+    return inputs.tanh()
+
+
+def sigmoid(inputs: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return inputs.sigmoid()
+
+
+def softmax(inputs: Tensor, axis: int = -1) -> Tensor:
+    """Softmax along ``axis``."""
+    return inputs.softmax(axis=axis)
+
+
+def cross_entropy(logits: Tensor, targets: np.ndarray,
+                  ignore_index: Optional[int] = None) -> Tensor:
+    """Mean token-level cross entropy.
+
+    ``logits`` has shape (..., vocab); ``targets`` the matching integer
+    shape.  Positions equal to ``ignore_index`` contribute nothing (used for
+    padding and for the unmasked positions of the MLM objective).
+    """
+    targets = np.asarray(targets, dtype=np.int64)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_targets = targets.reshape(-1)
+    log_probabilities = flat_logits.log_softmax(axis=-1)
+    if ignore_index is not None:
+        mask = flat_targets != ignore_index
+    else:
+        mask = np.ones_like(flat_targets, dtype=bool)
+    count = int(mask.sum())
+    if count == 0:
+        return Tensor(0.0, requires_grad=False)
+    safe_targets = np.where(mask, flat_targets, 0)
+    picked = log_probabilities[np.arange(flat_targets.shape[0]), safe_targets]
+    weights = mask.astype(np.float64) / count
+    return -(picked * Tensor(weights)).sum()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Mean binary cross entropy over raw logits."""
+    targets_tensor = Tensor(np.asarray(targets, dtype=np.float64))
+    probabilities = logits.sigmoid()
+    eps = 1e-9
+    loss = -(targets_tensor * (probabilities + eps).log()
+             + (1.0 - targets_tensor) * (1.0 - probabilities + eps).log())
+    return loss.mean()
+
+
+def contrastive_loss(image_embeddings: Tensor, text_embeddings: Tensor,
+                     temperature: float = 0.07) -> Tensor:
+    """Symmetric InfoNCE loss for image-text contrastive (ITC) pre-training.
+
+    Both inputs have shape (batch, dim); the i-th image and i-th text form
+    the positive pair; all other in-batch combinations are negatives.
+    """
+    image_norm = _l2_normalize(image_embeddings)
+    text_norm = _l2_normalize(text_embeddings)
+    logits = image_norm @ text_norm.transpose(1, 0) * (1.0 / temperature)
+    batch_size = logits.shape[0]
+    targets = np.arange(batch_size)
+    image_to_text = cross_entropy(logits, targets)
+    text_to_image = cross_entropy(logits.transpose(1, 0), targets)
+    return (image_to_text + text_to_image) * 0.5
+
+
+def _l2_normalize(inputs: Tensor, eps: float = 1e-9) -> Tensor:
+    squared = (inputs * inputs).sum(axis=-1, keepdims=True)
+    return inputs * ((squared + eps) ** -0.5)
+
+
+def masked_mean(inputs: Tensor, mask: np.ndarray, axis: int = 1) -> Tensor:
+    """Mean over ``axis`` counting only positions where ``mask`` is 1.
+
+    Used to pool token representations into a sequence representation while
+    ignoring padding.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    while mask.ndim < len(inputs.shape):
+        mask = mask[..., None]
+    weighted = inputs * Tensor(mask)
+    totals = weighted.sum(axis=axis)
+    counts = np.maximum(mask.sum(axis=axis), 1e-9)
+    return totals * Tensor(1.0 / counts)

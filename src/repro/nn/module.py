@@ -1,0 +1,187 @@
+"""Neural-network module system: parameters, layers, containers.
+
+:class:`Module` mirrors the familiar torch.nn.Module contract (recursive
+parameter collection, train/eval mode) at a much smaller scale, which keeps
+the pre-training code readable to anyone who has used a deep-learning
+framework.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+from repro.utils.rng import derive_rng
+
+
+class Parameter(Tensor):
+    """A tensor that is registered as a learnable parameter."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # registration (automatic via attribute assignment)
+    # ------------------------------------------------------------------ #
+    def __setattr__(self, name: str, value: object) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def parameters(self) -> List[Parameter]:
+        """All parameters of this module and its sub-modules."""
+        result = list(self._parameters.values())
+        for module in self._modules.values():
+            result.extend(module.parameters())
+        return result
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """(name, parameter) pairs with dotted paths."""
+        for name, parameter in self._parameters.items():
+            yield f"{prefix}{name}", parameter
+        for module_name, module in self._modules.items():
+            yield from module.named_parameters(prefix=f"{prefix}{module_name}.")
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return int(sum(parameter.size for parameter in self.parameters()))
+
+    def zero_grad(self) -> None:
+        """Clear gradients of every parameter."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        self.training = mode
+        for module in self._modules.values():
+            module.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    # ------------------------------------------------------------------ #
+    # call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract by convention
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization of weights
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter array keyed by dotted name."""
+        return {name: parameter.data.copy() for name, parameter in self.named_parameters()}
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameter arrays saved by :meth:`state_dict`."""
+        own = dict(self.named_parameters())
+        for name, array in state.items():
+            if name in own and own[name].data.shape == array.shape:
+                own[name].data[...] = array
+
+
+class Linear(Module):
+    """Affine transformation ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 seed: int = 0) -> None:
+        super().__init__()
+        rng = derive_rng(seed, "Linear", str(in_features), str(out_features))
+        scale = np.sqrt(2.0 / (in_features + out_features))
+        self.weight = Parameter(rng.normal(0.0, scale, (in_features, out_features)),
+                                name="weight")
+        self.bias: Optional[Parameter] = None
+        if bias:
+            self.bias = Parameter(np.zeros(out_features), name="bias")
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs @ self.weight
+        if self.bias is not None:
+            output = output + self.bias
+        return output
+
+
+class Embedding(Module):
+    """A lookup table of learnable vectors."""
+
+    def __init__(self, num_embeddings: int, dim: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = derive_rng(seed, "Embedding", str(num_embeddings), str(dim))
+        self.weight = Parameter(rng.normal(0.0, 0.02, (num_embeddings, dim)),
+                                name="embedding")
+        self.num_embeddings = num_embeddings
+        self.dim = dim
+
+    def forward(self, indices: np.ndarray) -> Tensor:
+        return self.weight.embedding_lookup(np.asarray(indices, dtype=np.int64))
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.gamma = Parameter(np.ones(dim), name="gamma")
+        self.beta = Parameter(np.zeros(dim), name="beta")
+        self.eps = float(eps)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        mean = inputs.mean(axis=-1, keepdims=True)
+        centered = inputs - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered * ((variance + self.eps) ** -0.5)
+        return normalized * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout with a module-local RNG stream."""
+
+    def __init__(self, rate: float = 0.1, seed: int = 0) -> None:
+        super().__init__()
+        self.rate = float(rate)
+        self._rng = derive_rng(seed, "Dropout")
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        return inputs.dropout(self.rate, self._rng, training=self.training)
+
+
+class Sequential(Module):
+    """Applies sub-modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._ordered: List[Module] = []
+        for index, module in enumerate(modules):
+            setattr(self, f"layer_{index}", module)
+            self._ordered.append(module)
+
+    def forward(self, inputs: Tensor) -> Tensor:
+        output = inputs
+        for module in self._ordered:
+            output = module(output)
+        return output
+
+    def __len__(self) -> int:
+        return len(self._ordered)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._ordered)

@@ -1,0 +1,170 @@
+"""Optimizers and learning-rate schedules.
+
+The paper's baselines use SGD and AdaGrad; the mPLUG pre-training uses AdamW
+with a linear warmup schedule and weight decay 0.02 — all four are
+implemented here over the :class:`~repro.nn.module.Parameter` arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class Optimizer:
+    """Base optimizer: holds parameters and applies updates from their grads."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        self.parameters = list(parameters)
+        self.learning_rate = float(learning_rate)
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - abstract by convention
+        raise NotImplementedError
+
+    def clip_gradients(self, max_norm: float) -> float:
+        """Clip the global gradient norm; returns the pre-clip norm."""
+        total = 0.0
+        for parameter in self.parameters:
+            if parameter.grad is not None:
+                total += float(np.sum(parameter.grad ** 2))
+        norm = float(np.sqrt(total))
+        if norm > max_norm and norm > 0:
+            scale = max_norm / norm
+            for parameter in self.parameters:
+                if parameter.grad is not None:
+                    parameter.grad *= scale
+        return norm
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.01,
+                 momentum: float = 0.0) -> None:
+        super().__init__(parameters, learning_rate)
+        self.momentum = float(momentum)
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            update = parameter.grad
+            if self.momentum > 0:
+                velocity = self._velocity.setdefault(id(parameter),
+                                                     np.zeros_like(parameter.data))
+                velocity *= self.momentum
+                velocity += update
+                update = velocity
+            parameter.data -= self.learning_rate * update
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad: per-parameter learning rates from accumulated squared grads."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 0.1,
+                 eps: float = 1e-10) -> None:
+        super().__init__(parameters, learning_rate)
+        self.eps = float(eps)
+        self._accumulator: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            accumulator = self._accumulator.setdefault(id(parameter),
+                                                       np.zeros_like(parameter.data))
+            accumulator += parameter.grad ** 2
+            parameter.data -= self.learning_rate * parameter.grad / \
+                (np.sqrt(accumulator) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam with bias correction."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8) -> None:
+        super().__init__(parameters, learning_rate)
+        self.beta1, self.beta2 = betas
+        self.eps = float(eps)
+        self._step_count = 0
+        self._first_moment: Dict[int, np.ndarray] = {}
+        self._second_moment: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for parameter in self.parameters:
+            if parameter.grad is None:
+                continue
+            first = self._first_moment.setdefault(id(parameter),
+                                                  np.zeros_like(parameter.data))
+            second = self._second_moment.setdefault(id(parameter),
+                                                    np.zeros_like(parameter.data))
+            first *= self.beta1
+            first += (1.0 - self.beta1) * parameter.grad
+            second *= self.beta2
+            second += (1.0 - self.beta2) * parameter.grad ** 2
+            corrected_first = first / bias1
+            corrected_second = second / bias2
+            self._apply(parameter, corrected_first, corrected_second)
+
+    def _apply(self, parameter: Parameter, first: np.ndarray,
+               second: np.ndarray) -> None:
+        parameter.data -= self.learning_rate * first / (np.sqrt(second) + self.eps)
+
+
+class AdamW(Adam):
+    """Adam with decoupled weight decay (the pre-training optimizer)."""
+
+    def __init__(self, parameters: Sequence[Parameter], learning_rate: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.02) -> None:
+        super().__init__(parameters, learning_rate, betas, eps)
+        self.weight_decay = float(weight_decay)
+
+    def _apply(self, parameter: Parameter, first: np.ndarray,
+               second: np.ndarray) -> None:
+        parameter.data -= self.learning_rate * (
+            first / (np.sqrt(second) + self.eps) + self.weight_decay * parameter.data)
+
+
+class LinearWarmupSchedule:
+    """Linear warmup to the base LR, then linear decay to zero.
+
+    Matches the paper's "linear schedule to the learning rate with warmup of
+    0.1" for mPLUG pre-training.
+    """
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 warmup_fraction: float = 0.1) -> None:
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.optimizer = optimizer
+        self.total_steps = int(total_steps)
+        self.warmup_steps = max(1, int(total_steps * warmup_fraction))
+        self.base_learning_rate = optimizer.learning_rate
+        self._step_count = 0
+
+    def step(self) -> float:
+        """Advance one step and set the optimizer LR; returns the new LR."""
+        self._step_count += 1
+        if self._step_count <= self.warmup_steps:
+            factor = self._step_count / self.warmup_steps
+        else:
+            remaining = max(0, self.total_steps - self._step_count)
+            denominator = max(1, self.total_steps - self.warmup_steps)
+            factor = remaining / denominator
+        self.optimizer.learning_rate = self.base_learning_rate * factor
+        return self.optimizer.learning_rate

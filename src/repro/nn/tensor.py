@@ -1,0 +1,402 @@
+"""A reverse-mode automatic-differentiation tensor over numpy arrays.
+
+The design follows the classic tape-based approach: every operation builds a
+node holding references to its inputs and a closure that accumulates
+gradients into them; :meth:`Tensor.backward` runs the closures in reverse
+topological order.  Broadcasting is supported for the element-wise
+operations by summing gradients back over broadcast dimensions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, float, int, list, tuple]
+
+
+def _unbroadcast(gradient: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``gradient`` over dimensions that were broadcast from ``shape``."""
+    if gradient.shape == shape:
+        return gradient
+    # Sum over leading dimensions added by broadcasting.
+    while gradient.ndim > len(shape):
+        gradient = gradient.sum(axis=0)
+    # Sum over dimensions that were 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and gradient.shape[axis] != 1:
+            gradient = gradient.sum(axis=axis, keepdims=True)
+    return gradient.reshape(shape)
+
+
+class Tensor:
+    """An N-dimensional array with reverse-mode autograd."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_prev", "name")
+
+    def __init__(self, data: ArrayLike, requires_grad: bool = False,
+                 name: str = "") -> None:
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[], None] = lambda: None
+        self._prev: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad})"
+
+    def item(self) -> float:
+        """The scalar value (raises when the tensor is not 0-d / 1-element)."""
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying numpy array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """A new tensor sharing data but cut from the autograd graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient."""
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _ensure(other: ArrayLike | "Tensor") -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(other)
+
+    def _make(self, data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[["Tensor"], None]) -> "Tensor":
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._prev = tuple(parents)
+
+            def _run() -> None:
+                backward(out)
+
+            out._backward = _run
+        return out
+
+    def _accumulate(self, gradient: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        gradient = _unbroadcast(np.asarray(gradient, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = gradient.copy()
+        else:
+            self.grad += gradient
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike | "Tensor") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad)
+            other._accumulate(out.grad)
+
+        return self._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            self._accumulate(-out.grad)
+
+        return self._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike | "Tensor") -> "Tensor":
+        return self + (-self._ensure(other))
+
+    def __rsub__(self, other: ArrayLike | "Tensor") -> "Tensor":
+        return self._ensure(other) + (-self)
+
+    def __mul__(self, other: ArrayLike | "Tensor") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * other.data)
+            other._accumulate(out.grad * self.data)
+
+        return self._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike | "Tensor") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad / other.data)
+            other._accumulate(-out.grad * self.data / (other.data ** 2))
+
+        return self._make(self.data / other.data, (self, other), backward)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        exponent = float(exponent)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * exponent * np.power(self.data, exponent - 1))
+
+        return self._make(np.power(self.data, exponent), (self,), backward)
+
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = self._ensure(other)
+
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            if self.requires_grad:
+                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
+            if other.requires_grad:
+                other_grad = np.swapaxes(self.data, -1, -2) @ grad
+                other._accumulate(other_grad)
+
+        return self._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------ #
+    # shape ops
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        original_shape = self.data.shape
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad.reshape(original_shape))
+
+        return self._make(self.data.reshape(*shape), (self,), backward)
+
+    def transpose(self, *axes: int) -> "Tensor":
+        axes_tuple = axes or tuple(reversed(range(self.data.ndim)))
+        inverse = np.argsort(axes_tuple)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(np.transpose(out.grad, inverse))
+
+        return self._make(np.transpose(self.data, axes_tuple), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            gradient = np.zeros_like(self.data)
+            np.add.at(gradient, index, out.grad)
+            self._accumulate(gradient)
+
+        return self._make(self.data[index], (self,), backward)
+
+    @staticmethod
+    def concatenate(tensors: Sequence["Tensor"], axis: int = -1) -> "Tensor":
+        tensors = [Tensor._ensure(tensor) for tensor in tensors]
+        sizes = [tensor.data.shape[axis] for tensor in tensors]
+        data = np.concatenate([tensor.data for tensor in tensors], axis=axis)
+        out = Tensor(data, requires_grad=any(tensor.requires_grad for tensor in tensors))
+        if out.requires_grad:
+            out._prev = tuple(tensors)
+
+            def _run() -> None:
+                splits = np.cumsum(sizes)[:-1]
+                pieces = np.split(out.grad, splits, axis=axis)
+                for tensor, piece in zip(tensors, pieces):
+                    tensor._accumulate(piece)
+
+            out._backward = _run
+        return out
+
+    # ------------------------------------------------------------------ #
+    # reductions & elementwise functions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[int | Tuple[int, ...]] = None,
+            keepdims: bool = False) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.data.shape))
+
+        return self._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis: Optional[int | Tuple[int, ...]] = None,
+             keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def exp(self) -> "Tensor":
+        result = np.exp(self.data)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * result)
+
+        return self._make(result, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad / self.data)
+
+        return self._make(np.log(self.data), (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        result = np.tanh(self.data)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * (1.0 - result ** 2))
+
+        return self._make(result, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        result = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * result * (1.0 - result))
+
+        return self._make(result, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    def gelu(self) -> "Tensor":
+        """Gaussian error linear unit (tanh approximation)."""
+        cubic = self.data + 0.044715 * self.data ** 3
+        inner = np.sqrt(2.0 / np.pi) * cubic
+        tanh_inner = np.tanh(inner)
+        result = 0.5 * self.data * (1.0 + tanh_inner)
+
+        def backward(out: Tensor) -> None:
+            sech2 = 1.0 - tanh_inner ** 2
+            derivative = 0.5 * (1.0 + tanh_inner) + 0.5 * self.data * sech2 * \
+                np.sqrt(2.0 / np.pi) * (1.0 + 3 * 0.044715 * self.data ** 2)
+            self._accumulate(out.grad * derivative)
+
+        return self._make(result, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exponent = np.exp(shifted)
+        result = exponent / exponent.sum(axis=axis, keepdims=True)
+
+        def backward(out: Tensor) -> None:
+            dot = (out.grad * result).sum(axis=axis, keepdims=True)
+            self._accumulate(result * (out.grad - dot))
+
+        return self._make(result, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        result = shifted - log_sum
+
+        def backward(out: Tensor) -> None:
+            softmax_values = np.exp(result)
+            self._accumulate(out.grad - softmax_values
+                             * out.grad.sum(axis=axis, keepdims=True))
+
+        return self._make(result, (self,), backward)
+
+    def masked_fill(self, mask: np.ndarray, value: float) -> "Tensor":
+        """Return a tensor where positions with ``mask`` True are set to ``value``."""
+        data = np.where(mask, value, self.data)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(np.where(mask, 0.0, out.grad))
+
+        return self._make(data, (self,), backward)
+
+    def embedding_lookup(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows of a 2-D tensor: the embedding-table primitive."""
+        indices = np.asarray(indices, dtype=np.int64)
+
+        def backward(out: Tensor) -> None:
+            gradient = np.zeros_like(self.data)
+            flat_indices = indices.reshape(-1)
+            flat_grad = out.grad.reshape(-1, self.data.shape[1])
+            np.add.at(gradient, flat_indices, flat_grad)
+            self._accumulate(gradient)
+
+        return self._make(self.data[indices], (self,), backward)
+
+    def dropout(self, rate: float, rng: np.random.Generator,
+                training: bool = True) -> "Tensor":
+        """Inverted dropout; identity when not training or rate == 0."""
+        if not training or rate <= 0.0:
+            return self
+        mask = (rng.random(self.data.shape) >= rate) / (1.0 - rate)
+
+        def backward(out: Tensor) -> None:
+            self._accumulate(out.grad * mask)
+
+        return self._make(self.data * mask, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, gradient: Optional[np.ndarray] = None) -> None:
+        """Run reverse-mode autodiff from this tensor."""
+        if gradient is None:
+            gradient = np.ones_like(self.data)
+        self.grad = np.asarray(gradient, dtype=np.float64)
+
+        topo: List[Tensor] = []
+        visited: Set[int] = set()
+
+        def build(node: Tensor) -> None:
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            for parent in node._prev:
+                build(parent)
+            topo.append(node)
+
+        import sys
+        old_limit = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old_limit, 20000))
+        try:
+            build(self)
+        finally:
+            sys.setrecursionlimit(old_limit)
+        for node in reversed(topo):
+            node._backward()
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis (autograd-aware)."""
+    expanded = [tensor.reshape(*tensor.shape[:axis], 1, *tensor.shape[axis:])
+                for tensor in tensors]
+    return Tensor.concatenate(expanded, axis=axis)
+
+
+def zeros(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    """A zero tensor."""
+    return Tensor(np.zeros(tuple(shape)), requires_grad=requires_grad)
+
+
+def ones(shape: Iterable[int], requires_grad: bool = False) -> Tensor:
+    """A ones tensor."""
+    return Tensor(np.ones(tuple(shape)), requires_grad=requires_grad)

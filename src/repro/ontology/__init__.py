@@ -1,0 +1,34 @@
+"""Ontology layer: schema definitions, the OpenBG core ontology, taxonomies,
+validation against domain/range constraints, and multi-faceted commonsense
+quality scoring (plausibility / typicality / remarkability / salience).
+"""
+
+from repro.ontology.schema import (
+    ClassDefinition,
+    ConceptDefinition,
+    OntologySchema,
+    PropertyDefinition,
+    PropertyKind,
+)
+from repro.ontology.core_ontology import build_core_ontology, CORE_CLASSES, CORE_CONCEPTS
+from repro.ontology.taxonomy import Taxonomy, TaxonomyNode
+from repro.ontology.validation import OntologyValidator, ValidationReport
+from repro.ontology.quality import CommonsenseScorer, ConceptStatement, QualityDimensions
+
+__all__ = [
+    "ClassDefinition",
+    "ConceptDefinition",
+    "OntologySchema",
+    "PropertyDefinition",
+    "PropertyKind",
+    "build_core_ontology",
+    "CORE_CLASSES",
+    "CORE_CONCEPTS",
+    "Taxonomy",
+    "TaxonomyNode",
+    "OntologyValidator",
+    "ValidationReport",
+    "CommonsenseScorer",
+    "ConceptStatement",
+    "QualityDimensions",
+]

@@ -1,0 +1,160 @@
+"""The OpenBG core ontology (Figure 2 of the paper).
+
+Eight core classes/concepts:
+
+* classes (subclasses of ``owl:Thing``): **Category**, **Brand**, **Place**;
+* concepts (subclasses of ``skos:Concept``): **Time**, **Scene**, **Theme**,
+  **Crowd**, **Market Segment**.
+
+Seven core object properties link Category to the others: ``brandIs``,
+``placeOfOrigin``, ``appliedTime``, ``relatedScene``, ``aboutTheme``,
+``forCrowd``, ``inMarket`` (the paper's ``inMarket*`` family collapsed to a
+single representative, plus the expansion helper
+:func:`expand_in_market_relations` for the long-tail relation family).
+Data properties cover the standard labels/comments plus product attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.kg.namespaces import MetaProperty
+from repro.ontology.schema import (
+    ClassDefinition,
+    ConceptDefinition,
+    OntologySchema,
+    PropertyDefinition,
+    PropertyKind,
+    default_meta_properties,
+)
+
+#: identifier, english label, chinese label for the three core classes
+CORE_CLASSES: Tuple[Tuple[str, str, str], ...] = (
+    ("Category", "Category", "产品类目"),
+    ("Brand", "Brand", "品牌"),
+    ("Place", "Place", "地点/产地"),
+)
+
+#: identifier, english label, chinese label for the five core concepts
+CORE_CONCEPTS: Tuple[Tuple[str, str, str], ...] = (
+    ("Time", "Time", "时间"),
+    ("Scene", "Scene", "场景"),
+    ("Theme", "Theme", "主题"),
+    ("Crowd", "Crowd", "人群"),
+    ("MarketSegment", "Market Segment", "细分市场"),
+)
+
+#: object property → (domain, range) per Figure 2
+CORE_OBJECT_PROPERTY_SIGNATURES: Dict[str, Tuple[str, str]] = {
+    "brandIs": ("Category", "Brand"),
+    "placeOfOrigin": ("Category", "Place"),
+    "appliedTime": ("Category", "Time"),
+    "relatedScene": ("Category", "Scene"),
+    "aboutTheme": ("Category", "Theme"),
+    "forCrowd": ("Category", "Crowd"),
+    "inMarket": ("Category", "MarketSegment"),
+}
+
+#: core data properties (attribute relations) beyond the label/comment set
+CORE_DATA_PROPERTIES: Tuple[str, ...] = (
+    "weight",
+    "size",
+    "color",
+    "netContent",
+    "packingSpecification",
+    "shelfLife",
+    "storageConditions",
+    "taste",
+    "material",
+    "ifOrganic",
+    "style",
+    "powerSupply",
+    "screenSize",
+    "batteryCapacity",
+    "memoryCapacity",
+)
+
+
+def build_core_ontology() -> OntologySchema:
+    """Construct and return the OpenBG core ontology schema.
+
+    The returned schema contains the 3 core classes, 5 core concepts,
+    7 core object properties with their domain/range constraints, the
+    label/comment/image data properties counted in Table I, the attribute
+    data properties, and the imported W3C meta-properties.
+    """
+    schema = OntologySchema(name="OpenBG-core")
+
+    for identifier, label, label_zh in CORE_CLASSES:
+        schema.add_class(ClassDefinition(identifier=identifier, label=label,
+                                         label_zh=label_zh))
+    for identifier, label, label_zh in CORE_CONCEPTS:
+        schema.add_concept(ConceptDefinition(identifier=identifier, label=label,
+                                             label_zh=label_zh))
+
+    for identifier, (domain, range_) in CORE_OBJECT_PROPERTY_SIGNATURES.items():
+        schema.add_property(PropertyDefinition(
+            identifier=identifier, kind=PropertyKind.OBJECT, label=identifier,
+            domain=domain, range=range_,
+        ))
+
+    label_properties = (
+        MetaProperty.LABEL.value,
+        MetaProperty.LABEL_EN.value,
+        MetaProperty.PREF_LABEL.value,
+        MetaProperty.ALT_LABEL.value,
+        MetaProperty.COMMENT.value,
+        MetaProperty.IMAGE_IS.value,
+    )
+    for identifier in label_properties + CORE_DATA_PROPERTIES:
+        schema.add_property(PropertyDefinition(
+            identifier=identifier, kind=PropertyKind.DATA, label=identifier,
+            domain="Category",
+        ))
+
+    for definition in default_meta_properties():
+        schema.add_property(definition)
+    return schema
+
+
+def expand_in_market_relations(count: int) -> List[str]:
+    """Expand the ``inMarket*`` relation family to ``count`` concrete relations.
+
+    The paper abbreviates a whole set of Category→MarketSegment relations as
+    ``inMarket*`` (it dominates Table I with ~1.65 billion triples).  The
+    synthetic catalog uses a parameterizable number of such relations, named
+    ``inMarket_000``, ``inMarket_001``, ... so the long-tail relation
+    distribution of Figure 5 can be reproduced.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [f"inMarket_{index:03d}" for index in range(count)]
+
+
+def register_in_market_relations(schema: OntologySchema, count: int) -> List[str]:
+    """Register ``count`` inMarket_* object properties on ``schema``."""
+    names = expand_in_market_relations(count)
+    for name in names:
+        schema.add_property(PropertyDefinition(
+            identifier=name, kind=PropertyKind.OBJECT, label=name,
+            domain="Category", range="MarketSegment",
+        ))
+    return names
+
+
+def ontology_edge_list() -> List[Tuple[str, str, str]]:
+    """The Figure-2 edges as (head, relation, tail) tuples.
+
+    Used by the Figure 2 benchmark to print / check the core ontology graph:
+    the three classes are subclasses of owl:Thing, the five concepts are
+    broader-linked to skos:Concept, and the object properties connect
+    Category to every other core node.
+    """
+    edges: List[Tuple[str, str, str]] = []
+    for identifier, _label, _zh in CORE_CLASSES:
+        edges.append((identifier, MetaProperty.SUBCLASS_OF.value, "owl:Thing"))
+    for identifier, _label, _zh in CORE_CONCEPTS:
+        edges.append((identifier, MetaProperty.BROADER.value, "skos:Concept"))
+    for relation, (domain, range_) in CORE_OBJECT_PROPERTY_SIGNATURES.items():
+        edges.append((domain, relation, range_))
+    return edges

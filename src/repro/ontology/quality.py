@@ -1,0 +1,135 @@
+"""Multi-faceted commonsense quality scoring for concept statements.
+
+Section II-C of the paper evaluates concept-oriented statements (e.g.
+⟨sports shoes, forCrowd, the elderly⟩) along four dimensions borrowed from
+multi-faceted commonsense knowledge work:
+
+* **plausibility** — is the statement meaningful at all;
+* **typicality** — does it hold for the majority of instances;
+* **remarkability** — is the concept distinguishable from closely related ones;
+* **salience** — is the statement characteristic (typical *and* remarkable).
+
+Production OpenBG scores these with human review plus learned models; the
+reproduction scores them from corpus co-occurrence statistics, which keeps
+the exact interface and decision rule (salience ⇐ typicality ∧ remarkability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class ConceptStatement:
+    """A concept-oriented statement ⟨subject, relation, concept⟩."""
+
+    subject: str
+    relation: str
+    concept: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Tuple key used by the scorer's co-occurrence tables."""
+        return (self.subject, self.relation, self.concept)
+
+
+@dataclass
+class QualityDimensions:
+    """Scores in [0, 1] for the four commonsense dimensions."""
+
+    plausibility: float
+    typicality: float
+    remarkability: float
+    salience: float
+
+    def is_salient(self, threshold: float = 0.5) -> bool:
+        """Binary salience decision (used by the salience-evaluation task)."""
+        return self.salience >= threshold
+
+
+class CommonsenseScorer:
+    """Scores concept statements from (subject, relation, concept) observations.
+
+    The scorer is fit on a corpus of observed statements — in the
+    reproduction these come from the synthetic catalog's product↔concept
+    links — and derives:
+
+    * plausibility from whether the pair was ever observed (with smoothing),
+    * typicality from P(concept | subject, relation),
+    * remarkability from how concentrated the concept is on this subject
+      relative to its overall popularity (a PMI-like contrast),
+    * salience as the geometric mean of typicality and remarkability,
+      mirroring the paper's "typicality ∧ remarkability ⇒ salience" rule.
+    """
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        if smoothing <= 0:
+            raise ValueError("smoothing must be positive")
+        self.smoothing = smoothing
+        self._pair_counts: Dict[Tuple[str, str, str], float] = {}
+        self._subject_counts: Dict[Tuple[str, str], float] = {}
+        self._concept_counts: Dict[Tuple[str, str], float] = {}
+        self._total = 0.0
+
+    def fit(self, observations: Iterable[ConceptStatement],
+            weights: Mapping[Tuple[str, str, str], float] | None = None) -> "CommonsenseScorer":
+        """Accumulate co-occurrence counts from observed statements."""
+        for statement in observations:
+            weight = 1.0
+            if weights is not None:
+                weight = float(weights.get(statement.key(), 1.0))
+            key = statement.key()
+            self._pair_counts[key] = self._pair_counts.get(key, 0.0) + weight
+            subject_key = (statement.subject, statement.relation)
+            concept_key = (statement.relation, statement.concept)
+            self._subject_counts[subject_key] = self._subject_counts.get(subject_key, 0.0) + weight
+            self._concept_counts[concept_key] = self._concept_counts.get(concept_key, 0.0) + weight
+            self._total += weight
+        return self
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def score(self, statement: ConceptStatement) -> QualityDimensions:
+        """Score one statement along the four dimensions."""
+        pair = self._pair_counts.get(statement.key(), 0.0)
+        subject_total = self._subject_counts.get((statement.subject, statement.relation), 0.0)
+        concept_total = self._concept_counts.get((statement.relation, statement.concept), 0.0)
+
+        plausibility = pair / (pair + self.smoothing)
+        typicality = (pair + self.smoothing * 0.1) / (subject_total + self.smoothing) \
+            if subject_total or pair else 0.0
+
+        if concept_total > 0 and self._total > 0:
+            expected = concept_total / self._total
+            observed = pair / subject_total if subject_total > 0 else 0.0
+            lift = observed / (expected + 1e-9)
+            remarkability = lift / (lift + 1.0)
+        else:
+            remarkability = 0.0
+
+        salience = (typicality * remarkability) ** 0.5
+        return QualityDimensions(
+            plausibility=min(1.0, plausibility),
+            typicality=min(1.0, typicality),
+            remarkability=min(1.0, remarkability),
+            salience=min(1.0, salience),
+        )
+
+    def score_many(self, statements: Iterable[ConceptStatement]) -> List[QualityDimensions]:
+        """Score a batch of statements."""
+        return [self.score(statement) for statement in statements]
+
+    def rank_concepts_for_subject(self, subject: str, relation: str,
+                                  top_k: int = 10) -> List[Tuple[str, float]]:
+        """Concepts ranked by salience for a given (subject, relation)."""
+        candidates = [
+            concept for (subj, rel, concept) in self._pair_counts
+            if subj == subject and rel == relation
+        ]
+        scored = [
+            (concept, self.score(ConceptStatement(subject, relation, concept)).salience)
+            for concept in candidates
+        ]
+        scored.sort(key=lambda pair: (-pair[1], pair[0]))
+        return scored[:top_k]

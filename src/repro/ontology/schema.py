@@ -1,0 +1,223 @@
+"""Schema objects for the OpenBG ontology.
+
+The ontology O = {C, P, R} comprises classes C (Category, Brand, Place and
+their subclasses), concepts P (Time, Scene, Theme, Crowd, Market Segment),
+and relations R split into object properties, data properties and
+meta-properties.  These dataclasses are the canonical, validated
+representation the rest of the library builds against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import OntologyError
+from repro.kg.namespaces import MetaProperty, OWL_THING, SKOS_CONCEPT
+
+
+class PropertyKind(str, Enum):
+    """The three relation families of the OpenBG ontology."""
+
+    OBJECT = "object"
+    DATA = "data"
+    META = "meta"
+
+
+@dataclass(frozen=True)
+class ClassDefinition:
+    """A class in the ontology (subclass of ``owl:Thing``).
+
+    ``parent`` is the identifier of the superclass; top-level core classes
+    have ``owl:Thing`` as parent.
+    """
+
+    identifier: str
+    label: str
+    parent: str = OWL_THING
+    label_zh: Optional[str] = None
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class ConceptDefinition:
+    """A concept (simple class, subclass of ``skos:Concept``).
+
+    Concepts bridge the gap between user needs and products; they carry a
+    label but no complex attribute semantics.
+    """
+
+    identifier: str
+    label: str
+    broader: str = SKOS_CONCEPT
+    label_zh: Optional[str] = None
+    description: str = ""
+
+
+@dataclass(frozen=True)
+class PropertyDefinition:
+    """A relation definition with optional domain/range constraints.
+
+    For object properties the paper constrains both ends: e.g. the domain of
+    ``placeOfOrigin`` must be Category (or a subclass) and its range Place.
+    Data properties constrain only the domain; their range is a literal.
+    Meta-properties are the imported W3C axiom relations.
+    """
+
+    identifier: str
+    kind: PropertyKind
+    label: str = ""
+    domain: Optional[str] = None
+    range: Optional[str] = None
+    super_property: Optional[str] = None
+    equivalent_property: Optional[str] = None
+
+
+class OntologySchema:
+    """A registry of class, concept and property definitions.
+
+    The schema is the contract between the construction pipeline (which
+    populates the KG) and the validator (which checks domain/range and
+    taxonomy consistency).
+    """
+
+    def __init__(self, name: str = "OpenBG-core") -> None:
+        self.name = name
+        self.classes: Dict[str, ClassDefinition] = {}
+        self.concepts: Dict[str, ConceptDefinition] = {}
+        self.properties: Dict[str, PropertyDefinition] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def add_class(self, definition: ClassDefinition) -> None:
+        """Register a class definition; parents must exist (or be owl:Thing)."""
+        if definition.identifier in self.classes:
+            raise OntologyError(f"class {definition.identifier!r} already defined")
+        if definition.parent != OWL_THING and definition.parent not in self.classes:
+            raise OntologyError(
+                f"class {definition.identifier!r} references unknown parent "
+                f"{definition.parent!r}"
+            )
+        self.classes[definition.identifier] = definition
+
+    def add_concept(self, definition: ConceptDefinition) -> None:
+        """Register a concept definition; broader must exist (or be skos:Concept)."""
+        if definition.identifier in self.concepts:
+            raise OntologyError(f"concept {definition.identifier!r} already defined")
+        if definition.broader != SKOS_CONCEPT and definition.broader not in self.concepts:
+            raise OntologyError(
+                f"concept {definition.identifier!r} references unknown broader "
+                f"{definition.broader!r}"
+            )
+        self.concepts[definition.identifier] = definition
+
+    def add_property(self, definition: PropertyDefinition) -> None:
+        """Register a property; object-property domain/range must be known."""
+        if definition.identifier in self.properties:
+            raise OntologyError(f"property {definition.identifier!r} already defined")
+        if definition.kind is PropertyKind.OBJECT:
+            for end, value in (("domain", definition.domain), ("range", definition.range)):
+                if value is None:
+                    raise OntologyError(
+                        f"object property {definition.identifier!r} must declare a {end}"
+                    )
+                if value not in self.classes and value not in self.concepts:
+                    raise OntologyError(
+                        f"object property {definition.identifier!r} {end} {value!r} "
+                        "is not a known class or concept"
+                    )
+        self.properties[definition.identifier] = definition
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def is_class(self, identifier: str) -> bool:
+        """True when the identifier is a registered class."""
+        return identifier in self.classes
+
+    def is_concept(self, identifier: str) -> bool:
+        """True when the identifier is a registered concept."""
+        return identifier in self.concepts
+
+    def property_kind(self, identifier: str) -> Optional[PropertyKind]:
+        """Return the kind of a property, or None when unknown."""
+        definition = self.properties.get(identifier)
+        return definition.kind if definition else None
+
+    def object_properties(self) -> List[PropertyDefinition]:
+        """All object-property definitions."""
+        return [p for p in self.properties.values() if p.kind is PropertyKind.OBJECT]
+
+    def data_properties(self) -> List[PropertyDefinition]:
+        """All data-property definitions."""
+        return [p for p in self.properties.values() if p.kind is PropertyKind.DATA]
+
+    def meta_properties(self) -> List[PropertyDefinition]:
+        """All meta-property definitions."""
+        return [p for p in self.properties.values() if p.kind is PropertyKind.META]
+
+    def class_ancestors(self, identifier: str) -> List[str]:
+        """Superclass chain of a class, nearest first, ending at owl:Thing."""
+        chain: List[str] = []
+        current = self.classes.get(identifier)
+        seen = {identifier}
+        while current is not None and current.parent != OWL_THING:
+            parent = current.parent
+            if parent in seen:
+                raise OntologyError(f"cycle detected in class hierarchy at {parent!r}")
+            chain.append(parent)
+            seen.add(parent)
+            current = self.classes.get(parent)
+        chain.append(OWL_THING)
+        return chain
+
+    def concept_ancestors(self, identifier: str) -> List[str]:
+        """Broader chain of a concept, nearest first, ending at skos:Concept."""
+        chain: List[str] = []
+        current = self.concepts.get(identifier)
+        seen = {identifier}
+        while current is not None and current.broader != SKOS_CONCEPT:
+            broader = current.broader
+            if broader in seen:
+                raise OntologyError(f"cycle detected in concept hierarchy at {broader!r}")
+            chain.append(broader)
+            seen.add(broader)
+            current = self.concepts.get(broader)
+        chain.append(SKOS_CONCEPT)
+        return chain
+
+    def is_subclass_of(self, identifier: str, ancestor: str) -> bool:
+        """True when ``ancestor`` appears in the superclass/broader chain."""
+        if identifier == ancestor:
+            return True
+        if identifier in self.classes:
+            return ancestor in self.class_ancestors(identifier)
+        if identifier in self.concepts:
+            return ancestor in self.concept_ancestors(identifier)
+        return False
+
+    def describe(self) -> Dict[str, int]:
+        """Size summary of the schema."""
+        return {
+            "classes": len(self.classes),
+            "concepts": len(self.concepts),
+            "object_properties": len(self.object_properties()),
+            "data_properties": len(self.data_properties()),
+            "meta_properties": len(self.meta_properties()),
+        }
+
+
+def default_meta_properties() -> Iterable[PropertyDefinition]:
+    """The W3C meta-properties the paper imports (taxonomy, synonymy, typing)."""
+    for prop in (
+        MetaProperty.SUBCLASS_OF,
+        MetaProperty.BROADER,
+        MetaProperty.TYPE,
+        MetaProperty.EQUIVALENT_CLASS,
+        MetaProperty.SUBPROPERTY_OF,
+        MetaProperty.EQUIVALENT_PROPERTY,
+    ):
+        yield PropertyDefinition(identifier=prop.value, kind=PropertyKind.META,
+                                 label=prop.name.lower())

@@ -1,0 +1,194 @@
+"""Taxonomy trees for classes and concepts.
+
+The paper constructs the Category taxonomy top-down (define the class, then
+break it down layer by layer) and concept taxonomies bottom-up (extract
+instances, then summarize narrower concepts into broader ones level by
+level).  :class:`Taxonomy` supports both directions and produces the level
+breakdowns reported in Table I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import OntologyError
+
+
+@dataclass
+class TaxonomyNode:
+    """A node in a taxonomy tree."""
+
+    identifier: str
+    label: str
+    parent: Optional[str] = None
+    children: List[str] = field(default_factory=list)
+    level: int = 0
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node has no children."""
+        return not self.children
+
+
+class Taxonomy:
+    """A rooted tree of :class:`TaxonomyNode` objects.
+
+    The root has level 0; its direct children are level 1, matching the
+    level-1..level-5 accounting of Table I.
+    """
+
+    def __init__(self, root_id: str, root_label: Optional[str] = None) -> None:
+        self.root_id = root_id
+        self.nodes: Dict[str, TaxonomyNode] = {
+            root_id: TaxonomyNode(identifier=root_id, label=root_label or root_id)
+        }
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_node(self, identifier: str, parent: str,
+                 label: Optional[str] = None, **metadata: str) -> TaxonomyNode:
+        """Add a node under ``parent``; top-down construction primitive."""
+        if identifier in self.nodes:
+            raise OntologyError(f"taxonomy node {identifier!r} already exists")
+        parent_node = self.nodes.get(parent)
+        if parent_node is None:
+            raise OntologyError(f"unknown parent {parent!r} for node {identifier!r}")
+        node = TaxonomyNode(
+            identifier=identifier,
+            label=label or identifier,
+            parent=parent,
+            level=parent_node.level + 1,
+            metadata=dict(metadata),
+        )
+        self.nodes[identifier] = node
+        parent_node.children.append(identifier)
+        return node
+
+    def attach_subtree(self, other: "Taxonomy", parent: str) -> None:
+        """Graft another taxonomy (minus its root) under ``parent``.
+
+        Bottom-up construction: narrower-concept clusters are built as small
+        taxonomies and then summarized under a broader node.
+        """
+        mapping = {other.root_id: parent}
+        for node in other.walk():
+            if node.identifier == other.root_id:
+                continue
+            new_parent = mapping[node.parent]
+            added = self.add_node(node.identifier, new_parent, node.label, **node.metadata)
+            mapping[node.identifier] = added.identifier
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __contains__(self, identifier: str) -> bool:
+        return identifier in self.nodes
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def node(self, identifier: str) -> TaxonomyNode:
+        """Return the node with the given identifier."""
+        try:
+            return self.nodes[identifier]
+        except KeyError as exc:
+            raise OntologyError(f"unknown taxonomy node {identifier!r}") from exc
+
+    def children_of(self, identifier: str) -> List[TaxonomyNode]:
+        """Direct children of a node."""
+        return [self.nodes[child] for child in self.node(identifier).children]
+
+    def parent_of(self, identifier: str) -> Optional[TaxonomyNode]:
+        """Direct parent of a node (None for the root)."""
+        parent = self.node(identifier).parent
+        return self.nodes[parent] if parent is not None else None
+
+    def ancestors_of(self, identifier: str) -> List[TaxonomyNode]:
+        """Ancestors from the direct parent up to (and including) the root."""
+        chain: List[TaxonomyNode] = []
+        current = self.parent_of(identifier)
+        while current is not None:
+            chain.append(current)
+            current = self.parent_of(current.identifier)
+        return chain
+
+    def walk(self) -> Iterator[TaxonomyNode]:
+        """Depth-first pre-order traversal from the root."""
+        stack = [self.root_id]
+        while stack:
+            identifier = stack.pop()
+            node = self.nodes[identifier]
+            yield node
+            stack.extend(reversed(node.children))
+
+    def leaves(self) -> List[TaxonomyNode]:
+        """All leaf nodes."""
+        return [node for node in self.walk() if node.is_leaf]
+
+    def level_counts(self) -> Dict[int, int]:
+        """Number of nodes per level (root excluded), as in Table I."""
+        counts: Dict[int, int] = {}
+        for node in self.walk():
+            if node.level == 0:
+                continue
+            counts[node.level] = counts.get(node.level, 0) + 1
+        return counts
+
+    def depth(self) -> int:
+        """The maximum level present in the taxonomy."""
+        return max((node.level for node in self.walk()), default=0)
+
+    def size(self) -> int:
+        """Number of nodes excluding the root (the paper's "# All" column)."""
+        return len(self.nodes) - 1
+
+    def subtree_ids(self, identifier: str) -> List[str]:
+        """All node identifiers in the subtree rooted at ``identifier``."""
+        result: List[str] = []
+        stack = [identifier]
+        while stack:
+            current = stack.pop()
+            result.append(current)
+            stack.extend(self.node(current).children)
+        return result
+
+    def to_triples(self, relation: str) -> List[tuple[str, str, str]]:
+        """Render the tree as (child, relation, parent) tuples.
+
+        ``relation`` is ``rdfs:subClassOf`` for class taxonomies and
+        ``skos:broader`` for concept taxonomies.
+        """
+        rows: List[tuple[str, str, str]] = []
+        for node in self.walk():
+            if node.parent is not None:
+                rows.append((node.identifier, relation, node.parent))
+        return rows
+
+    @classmethod
+    def from_edges(cls, root_id: str,
+                   edges: Iterable[tuple[str, str]]) -> "Taxonomy":
+        """Build a taxonomy from (child, parent) edges (order-independent)."""
+        taxonomy = cls(root_id)
+        pending = list(edges)
+        # Repeatedly insert edges whose parent is already present.
+        progress = True
+        while pending and progress:
+            progress = False
+            remaining = []
+            for child, parent in pending:
+                if parent in taxonomy.nodes and child not in taxonomy.nodes:
+                    taxonomy.add_node(child, parent)
+                    progress = True
+                elif child in taxonomy.nodes:
+                    progress = True  # duplicate edge; drop it
+                else:
+                    remaining.append((child, parent))
+            pending = remaining
+        if pending:
+            raise OntologyError(
+                f"{len(pending)} edges could not be attached under root {root_id!r}"
+            )
+        return taxonomy

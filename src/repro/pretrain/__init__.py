@@ -1,0 +1,38 @@
+"""KG-enhanced vision-language pre-training (Section IV of the paper).
+
+A scaled-down mPLUG-style model: a visual encoder over (synthetic) image
+features, a KG-enhanced text encoder that consumes unified text tokens
+(texts + KG triples rendered through discrete prompts), a cross-attention
+fusion decoder, and the four pre-training objectives — image-text
+contrastive (ITC), image-text matching (ITM), masked language modeling
+(MLM) and prefix language modeling (PrefixLM) — trained with AdamW and a
+linear warmup schedule.
+"""
+
+from repro.pretrain.tokenizer import Tokenizer, render_triple, render_unified_text
+from repro.pretrain.mplug import MPlugConfig, MPlugModel
+from repro.pretrain.data import PretrainBatch, PretrainingDataBuilder
+from repro.pretrain.objectives import (
+    image_text_contrastive_loss,
+    image_text_matching_loss,
+    masked_language_modeling_loss,
+    prefix_language_modeling_loss,
+)
+from repro.pretrain.pretrainer import Pretrainer, PretrainingConfig, PretrainingReport
+
+__all__ = [
+    "Tokenizer",
+    "render_triple",
+    "render_unified_text",
+    "MPlugConfig",
+    "MPlugModel",
+    "PretrainBatch",
+    "PretrainingDataBuilder",
+    "image_text_contrastive_loss",
+    "image_text_matching_loss",
+    "masked_language_modeling_loss",
+    "prefix_language_modeling_loss",
+    "Pretrainer",
+    "PretrainingConfig",
+    "PretrainingReport",
+]

@@ -1,0 +1,190 @@
+"""Pre-training data assembly: unified text tokens + images + targets.
+
+Builds mini-batches for the four objectives from a synthetic catalog and a
+constructed knowledge graph.  Each example carries:
+
+* ``source`` text — the item title / review / prompt, with (when KG
+  enhancement is enabled) the product's KG triples appended as unified text
+  tokens;
+* ``target`` text — the supervised target (category label, short title,
+  slogan, ...) or the source itself for span-denoising examples;
+* image features — the product image when available, zeros otherwise;
+* an image-text match label used to build ITM negatives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.catalog import Catalog
+from repro.datagen.corpus import CorpusGenerator
+from repro.kg.graph import KnowledgeGraph
+from repro.pretrain.tokenizer import Tokenizer, render_unified_text
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class PretrainExample:
+    """One pre-training example before tokenization."""
+
+    source: str
+    target: str
+    image: Optional[np.ndarray] = None
+    product_id: Optional[str] = None
+
+
+@dataclass
+class PretrainBatch:
+    """A tokenized pre-training mini-batch."""
+
+    input_ids: np.ndarray
+    attention_mask: np.ndarray
+    target_ids: np.ndarray
+    target_mask: np.ndarray
+    image_features: np.ndarray
+    has_image: np.ndarray
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.input_ids.shape[0])
+
+
+class PretrainingDataBuilder:
+    """Builds pre-training examples and batches from catalog + KG."""
+
+    def __init__(self, catalog: Catalog, graph: KnowledgeGraph,
+                 tokenizer: Optional[Tokenizer] = None, use_kg: bool = True,
+                 max_triples_per_item: int = 3, image_dim: int = 32,
+                 seed: int = 0) -> None:
+        self.catalog = catalog
+        self.graph = graph
+        self.use_kg = bool(use_kg)
+        self.max_triples_per_item = int(max_triples_per_item)
+        self.image_dim = int(image_dim)
+        self.seed = int(seed)
+        self.corpus = CorpusGenerator(catalog, seed=seed)
+        self.tokenizer = tokenizer or self._build_tokenizer()
+
+    # ------------------------------------------------------------------ #
+    # tokenizer
+    # ------------------------------------------------------------------ #
+    def _build_tokenizer(self) -> Tokenizer:
+        texts: List[str] = []
+        for pair in self.corpus.supervised_pairs(max_pairs_per_kind=400):
+            texts.append(pair.prompted_source())
+            texts.append(pair.target)
+        texts.extend(self.corpus.unsupervised_corpus(max_sentences=800))
+        # Also include the triple renderings so relation names are in-vocab.
+        for product in self.catalog.products[:200]:
+            texts.append(self._kg_suffix(product.product_id))
+        return Tokenizer(max_vocab_size=4000).fit(texts)
+
+    # ------------------------------------------------------------------ #
+    # KG enhancement
+    # ------------------------------------------------------------------ #
+    def _kg_suffix(self, product_id: str) -> str:
+        """The product's KG triples rendered as unified text tokens."""
+        triples = [t for t in self.graph.match(head=product_id)
+                   if not t.tail.startswith(("image://", "comment://"))]
+        triples = triples[: self.max_triples_per_item]
+        return render_unified_text("", triples, labels=self.graph.labels).strip()
+
+    def enhance_with_kg(self, text: str, product_id: Optional[str]) -> str:
+        """Append the product's triples to a text when KG enhancement is on."""
+        if not self.use_kg or product_id is None:
+            return text
+        suffix = self._kg_suffix(product_id)
+        return f"{text} {suffix}".strip() if suffix else text
+
+    # ------------------------------------------------------------------ #
+    # examples
+    # ------------------------------------------------------------------ #
+    def build_examples(self, max_examples: int = 200) -> List[PretrainExample]:
+        """Supervised + unsupervised examples in a fixed deterministic order."""
+        examples: List[PretrainExample] = []
+        taxonomy = self.catalog.category_taxonomy
+        for product in self.catalog.products:
+            if len(examples) >= max_examples:
+                break
+            category_label = taxonomy.node(product.category).label
+            source = self.enhance_with_kg(product.title, product.product_id)
+            examples.append(PretrainExample(
+                source=f"predict category : {source}", target=category_label,
+                image=product.image, product_id=product.product_id))
+            if product.items:
+                item = product.items[0]
+                examples.append(PretrainExample(
+                    source=f"summarize title : {self.enhance_with_kg(item.title, product.product_id)}",
+                    target=item.short_title(), image=product.image,
+                    product_id=product.product_id))
+            reviews = product.all_reviews()
+            if reviews:
+                examples.append(PretrainExample(
+                    source=reviews[0], target=reviews[0], image=product.image,
+                    product_id=product.product_id))
+        return examples[:max_examples]
+
+    # ------------------------------------------------------------------ #
+    # batching
+    # ------------------------------------------------------------------ #
+    def make_batch(self, examples: Sequence[PretrainExample],
+                   max_source_length: int = 48,
+                   max_target_length: int = 12) -> PretrainBatch:
+        """Tokenize and pad a list of examples into one batch."""
+        source_batch = self.tokenizer.encode_batch(
+            [example.source for example in examples], max_length=max_source_length)
+        target_batch = self.tokenizer.encode_batch(
+            [example.target for example in examples], max_length=max_target_length,
+            add_cls=False, add_eos=True)
+        image_features = np.zeros((len(examples), self.image_dim), dtype=np.float64)
+        has_image = np.zeros(len(examples), dtype=np.float64)
+        for row, example in enumerate(examples):
+            if example.image is not None:
+                image_features[row, : example.image.shape[0]] = example.image
+                has_image[row] = 1.0
+        return PretrainBatch(
+            input_ids=source_batch.input_ids,
+            attention_mask=source_batch.attention_mask,
+            target_ids=target_batch.input_ids,
+            target_mask=target_batch.attention_mask,
+            image_features=image_features,
+            has_image=has_image,
+        )
+
+    def batches(self, batch_size: int = 8, max_examples: int = 200,
+                shuffle: bool = True) -> List[PretrainBatch]:
+        """All batches for one pass over the example set."""
+        examples = self.build_examples(max_examples)
+        if shuffle:
+            rng = derive_rng(self.seed, "pretrain-batches")
+            order = rng.permutation(len(examples))
+            examples = [examples[int(index)] for index in order]
+        return [self.make_batch(examples[start:start + batch_size])
+                for start in range(0, len(examples), batch_size)]
+
+    # ------------------------------------------------------------------ #
+    # MLM masking
+    # ------------------------------------------------------------------ #
+    def mask_tokens(self, input_ids: np.ndarray, mask_probability: float = 0.15,
+                    seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+        """Standard MLM corruption: returns (masked_ids, labels).
+
+        Labels are -100 at unmasked positions (ignored by the loss); masked
+        positions are replaced by [MASK] and labeled with the original id.
+        """
+        rng = derive_rng(self.seed + seed, "mlm-mask")
+        special = set(self.tokenizer.special_ids())
+        masked = input_ids.copy()
+        labels = np.full_like(input_ids, -100)
+        for row in range(input_ids.shape[0]):
+            for column in range(input_ids.shape[1]):
+                token_id = int(input_ids[row, column])
+                if token_id in special:
+                    continue
+                if rng.random() < mask_probability:
+                    labels[row, column] = token_id
+                    masked[row, column] = self.tokenizer.mask_id
+        return masked, labels

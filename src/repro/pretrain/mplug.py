@@ -1,0 +1,250 @@
+"""The KG-enhanced mPLUG-style vision-language model.
+
+Architecture (Figure 6 of the paper, scaled down):
+
+* **visual encoder** — projects image feature vectors into a short sequence
+  of visual tokens and runs transformer encoder layers over them;
+* **KG-enhanced text encoder** — embeds unified text tokens (text + KG
+  triples rendered as tokens) with positional encodings and encoder layers;
+* **fusion** — the text [CLS] representation cross-attends over visual
+  tokens (the skip-connected fusion of mPLUG reduced to one fusion block);
+* **decoder** — causal self-attention + cross-attention over the fused
+  memory, producing logits for PrefixLM and for downstream generation.
+
+Heads: ITC projections for image/text embeddings, an ITM binary classifier
+over the fused representation, an MLM head tied to the token embedding, and
+the LM head of the decoder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.attention import (
+    MultiHeadAttention,
+    PositionalEncoding,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+    causal_mask,
+    padding_mask,
+)
+from repro.nn.module import Dropout, Embedding, LayerNorm, Linear, Module
+from repro.nn.functional import masked_mean
+from repro.nn.tensor import Tensor
+
+
+@dataclass
+class MPlugConfig:
+    """Model hyper-parameters (defaults are tiny for laptop-scale training)."""
+
+    vocab_size: int = 2000
+    dim: int = 48
+    num_heads: int = 4
+    num_text_layers: int = 2
+    num_visual_layers: int = 1
+    num_decoder_layers: int = 2
+    image_dim: int = 32
+    num_visual_tokens: int = 4
+    max_length: int = 64
+    dropout: float = 0.0
+    use_kg: bool = True
+    seed: int = 0
+
+
+class VisualEncoder(Module):
+    """Maps an image feature vector to a sequence of visual tokens."""
+
+    def __init__(self, config: MPlugConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.patch_projection = Linear(config.image_dim,
+                                       config.dim * config.num_visual_tokens,
+                                       seed=config.seed + 1)
+        self.layers: List[TransformerEncoderLayer] = []
+        for index in range(config.num_visual_layers):
+            layer = TransformerEncoderLayer(config.dim, config.num_heads,
+                                            dropout=config.dropout,
+                                            seed=config.seed + 100 + index)
+            setattr(self, f"layer_{index}", layer)
+            self.layers.append(layer)
+        self.norm = LayerNorm(config.dim)
+
+    def forward(self, image_features: np.ndarray) -> Tensor:
+        """(batch, image_dim) features → (batch, num_visual_tokens, dim)."""
+        inputs = Tensor(np.asarray(image_features, dtype=np.float64))
+        projected = self.patch_projection(inputs)
+        batch = projected.shape[0]
+        tokens = projected.reshape(batch, self.config.num_visual_tokens, self.config.dim)
+        for layer in self.layers:
+            tokens = layer(tokens)
+        return self.norm(tokens)
+
+
+class TextEncoder(Module):
+    """KG-enhanced text encoder over unified text tokens."""
+
+    def __init__(self, config: MPlugConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.token_embedding = Embedding(config.vocab_size, config.dim,
+                                         seed=config.seed + 2)
+        self.positional = PositionalEncoding(config.dim, max_length=config.max_length)
+        self.dropout = Dropout(config.dropout, seed=config.seed + 3)
+        self.layers: List[TransformerEncoderLayer] = []
+        for index in range(config.num_text_layers):
+            layer = TransformerEncoderLayer(config.dim, config.num_heads,
+                                            dropout=config.dropout,
+                                            seed=config.seed + 200 + index)
+            setattr(self, f"layer_{index}", layer)
+            self.layers.append(layer)
+        self.norm = LayerNorm(config.dim)
+
+    def forward(self, input_ids: np.ndarray, attention_mask: np.ndarray) -> Tensor:
+        """(batch, length) ids → (batch, length, dim) contextual representations."""
+        hidden = self.positional(self.token_embedding(input_ids))
+        hidden = self.dropout(hidden)
+        mask = padding_mask(attention_mask)
+        for layer in self.layers:
+            hidden = layer(hidden, mask=mask)
+        return self.norm(hidden)
+
+
+class MPlugModel(Module):
+    """The full KG-enhanced vision-language model with all pre-training heads."""
+
+    def __init__(self, config: MPlugConfig) -> None:
+        super().__init__()
+        self.config = config
+        self.text_encoder = TextEncoder(config)
+        self.visual_encoder = VisualEncoder(config)
+        self.fusion_attention = MultiHeadAttention(config.dim, config.num_heads,
+                                                   dropout=config.dropout,
+                                                   seed=config.seed + 4)
+        self.fusion_norm = LayerNorm(config.dim)
+        self.decoder_layers: List[TransformerDecoderLayer] = []
+        for index in range(config.num_decoder_layers):
+            layer = TransformerDecoderLayer(config.dim, config.num_heads,
+                                            dropout=config.dropout,
+                                            seed=config.seed + 300 + index)
+            setattr(self, f"decoder_{index}", layer)
+            self.decoder_layers.append(layer)
+        self.decoder_norm = LayerNorm(config.dim)
+        self.lm_head = Linear(config.dim, config.vocab_size, seed=config.seed + 5)
+        self.mlm_head = Linear(config.dim, config.vocab_size, seed=config.seed + 6)
+        self.itm_head = Linear(config.dim, 2, seed=config.seed + 7)
+        self.itc_text_projection = Linear(config.dim, config.dim, bias=False,
+                                          seed=config.seed + 8)
+        self.itc_image_projection = Linear(config.dim, config.dim, bias=False,
+                                           seed=config.seed + 9)
+
+    # ------------------------------------------------------------------ #
+    # encoders
+    # ------------------------------------------------------------------ #
+    def encode_text(self, input_ids: np.ndarray, attention_mask: np.ndarray) -> Tensor:
+        """Contextual token representations from the KG-enhanced text encoder."""
+        return self.text_encoder(input_ids, attention_mask)
+
+    def encode_image(self, image_features: np.ndarray) -> Tensor:
+        """Visual token representations from the visual encoder."""
+        return self.visual_encoder(image_features)
+
+    def text_embedding(self, input_ids: np.ndarray,
+                       attention_mask: np.ndarray) -> Tensor:
+        """Pooled (masked-mean) text embedding projected for ITC."""
+        hidden = self.encode_text(input_ids, attention_mask)
+        pooled = masked_mean(hidden, attention_mask, axis=1)
+        return self.itc_text_projection(pooled)
+
+    def image_embedding(self, image_features: np.ndarray) -> Tensor:
+        """Pooled visual embedding projected for ITC."""
+        tokens = self.encode_image(image_features)
+        pooled = tokens.mean(axis=1)
+        return self.itc_image_projection(pooled)
+
+    # ------------------------------------------------------------------ #
+    # fusion and heads
+    # ------------------------------------------------------------------ #
+    def fuse(self, text_hidden: Tensor, visual_tokens: Optional[Tensor]) -> Tensor:
+        """Cross-attend text over visual tokens (skip connection included)."""
+        if visual_tokens is None:
+            return text_hidden
+        fused = text_hidden + self.fusion_attention(self.fusion_norm(text_hidden),
+                                                    key=visual_tokens,
+                                                    value=visual_tokens)
+        return fused
+
+    def itm_logits(self, input_ids: np.ndarray, attention_mask: np.ndarray,
+                   image_features: np.ndarray) -> Tensor:
+        """Binary image-text matching logits from the fused [CLS] position."""
+        text_hidden = self.encode_text(input_ids, attention_mask)
+        visual_tokens = self.encode_image(image_features)
+        fused = self.fuse(text_hidden, visual_tokens)
+        cls_representation = fused[:, 0, :]
+        return self.itm_head(cls_representation)
+
+    def mlm_logits(self, input_ids: np.ndarray, attention_mask: np.ndarray,
+                   image_features: Optional[np.ndarray] = None) -> Tensor:
+        """Token logits for masked language modeling (optionally image-fused)."""
+        text_hidden = self.encode_text(input_ids, attention_mask)
+        visual_tokens = self.encode_image(image_features) \
+            if image_features is not None else None
+        fused = self.fuse(text_hidden, visual_tokens)
+        return self.mlm_head(fused)
+
+    def decode(self, target_ids: np.ndarray, memory: Tensor,
+               memory_mask: Optional[np.ndarray] = None) -> Tensor:
+        """Run the causal decoder over target ids with cross-attention memory."""
+        hidden = self.text_encoder.positional(self.text_encoder.token_embedding(target_ids))
+        self_mask = causal_mask(target_ids.shape[1])
+        for layer in self.decoder_layers:
+            hidden = layer(hidden, memory=memory, self_mask=self_mask,
+                           memory_mask=memory_mask)
+        return self.lm_head(self.decoder_norm(hidden))
+
+    def prefix_lm_logits(self, source_ids: np.ndarray, source_mask: np.ndarray,
+                         target_ids: np.ndarray,
+                         image_features: Optional[np.ndarray] = None) -> Tensor:
+        """Decoder logits for PrefixLM / seq2seq generation objectives."""
+        text_hidden = self.encode_text(source_ids, source_mask)
+        visual_tokens = self.encode_image(image_features) \
+            if image_features is not None else None
+        memory = self.fuse(text_hidden, visual_tokens)
+        memory_mask = padding_mask(source_mask)
+        return self.decode(target_ids, memory, memory_mask=memory_mask)
+
+    # ------------------------------------------------------------------ #
+    # greedy generation (used by the downstream generation tasks)
+    # ------------------------------------------------------------------ #
+    def generate(self, source_ids: np.ndarray, source_mask: np.ndarray,
+                 bos_id: int, eos_id: int, max_new_tokens: int = 12,
+                 image_features: Optional[np.ndarray] = None) -> List[List[int]]:
+        """Greedy decoding; returns generated id lists (without BOS/EOS)."""
+        self.eval()
+        text_hidden = self.encode_text(source_ids, source_mask)
+        visual_tokens = self.encode_image(image_features) \
+            if image_features is not None else None
+        memory = self.fuse(text_hidden, visual_tokens)
+        memory_mask = padding_mask(source_mask)
+        batch_size = source_ids.shape[0]
+        generated = np.full((batch_size, 1), bos_id, dtype=np.int64)
+        finished = np.zeros(batch_size, dtype=bool)
+        for _ in range(max_new_tokens):
+            logits = self.decode(generated, memory, memory_mask=memory_mask)
+            next_ids = np.argmax(logits.data[:, -1, :], axis=-1)
+            next_ids = np.where(finished, eos_id, next_ids)
+            generated = np.concatenate([generated, next_ids[:, None]], axis=1)
+            finished |= next_ids == eos_id
+            if finished.all():
+                break
+        results: List[List[int]] = []
+        for row in generated[:, 1:]:
+            ids: List[int] = []
+            for token_id in row:
+                if int(token_id) == eos_id:
+                    break
+                ids.append(int(token_id))
+            results.append(ids)
+        return results

@@ -1,0 +1,78 @@
+"""The four pre-training objectives: ITC, ITM, MLM and PrefixLM.
+
+Each function takes the model and a :class:`~repro.pretrain.data.PretrainBatch`
+and returns a scalar :class:`~repro.nn.tensor.Tensor` loss; the pre-trainer
+sums them (the paper trains all four jointly end-to-end).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.functional import binary_cross_entropy_with_logits, contrastive_loss, cross_entropy
+from repro.nn.tensor import Tensor
+from repro.pretrain.data import PretrainBatch
+from repro.pretrain.mplug import MPlugModel
+from repro.utils.rng import derive_rng
+
+
+def image_text_contrastive_loss(model: MPlugModel, batch: PretrainBatch,
+                                temperature: float = 0.07) -> Tensor:
+    """ITC: align pooled image and text embeddings with in-batch negatives."""
+    text_embeddings = model.text_embedding(batch.input_ids, batch.attention_mask)
+    image_embeddings = model.image_embedding(batch.image_features)
+    return contrastive_loss(image_embeddings, text_embeddings, temperature)
+
+
+def image_text_matching_loss(model: MPlugModel, batch: PretrainBatch,
+                             seed: int = 0) -> Tensor:
+    """ITM: binary classification of matched vs shuffled (negative) image-text pairs."""
+    rng = derive_rng(seed, "itm-shuffle")
+    batch_size = batch.batch_size
+    if batch_size < 2:
+        # Cannot build in-batch negatives from a single example.
+        logits = model.itm_logits(batch.input_ids, batch.attention_mask,
+                                  batch.image_features)
+        return cross_entropy(logits, np.ones(batch_size, dtype=np.int64))
+    permutation = rng.permutation(batch_size)
+    # Ensure at least some pairs are actually shuffled.
+    if np.all(permutation == np.arange(batch_size)):
+        permutation = np.roll(permutation, 1)
+    negative_images = batch.image_features[permutation]
+
+    input_ids = np.concatenate([batch.input_ids, batch.input_ids], axis=0)
+    attention_mask = np.concatenate([batch.attention_mask, batch.attention_mask], axis=0)
+    image_features = np.concatenate([batch.image_features, negative_images], axis=0)
+    labels = np.concatenate([np.ones(batch_size, dtype=np.int64),
+                             np.zeros(batch_size, dtype=np.int64)])
+    logits = model.itm_logits(input_ids, attention_mask, image_features)
+    return cross_entropy(logits, labels)
+
+
+def masked_language_modeling_loss(model: MPlugModel, batch: PretrainBatch,
+                                  masked_ids: np.ndarray,
+                                  labels: np.ndarray) -> Tensor:
+    """MLM: recover masked tokens of the unified text (image-fused)."""
+    logits = model.mlm_logits(masked_ids, batch.attention_mask, batch.image_features)
+    return cross_entropy(logits, labels, ignore_index=-100)
+
+
+def prefix_language_modeling_loss(model: MPlugModel, batch: PretrainBatch,
+                                  bos_id: int, pad_id: int,
+                                  use_images: bool = True) -> Tensor:
+    """PrefixLM / seq2seq: generate the target given the (fused) source prefix."""
+    decoder_input = np.concatenate(
+        [np.full((batch.batch_size, 1), bos_id, dtype=np.int64),
+         batch.target_ids[:, :-1]], axis=1)
+    labels = np.where(batch.target_mask.astype(bool), batch.target_ids, -100)
+    image_features: Optional[np.ndarray] = batch.image_features if use_images else None
+    logits = model.prefix_lm_logits(batch.input_ids, batch.attention_mask,
+                                    decoder_input, image_features)
+    return cross_entropy(logits, labels, ignore_index=-100)
+
+
+def binary_head_loss(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Helper for binary classification heads (used by salience evaluation)."""
+    return binary_cross_entropy_with_logits(logits, labels)

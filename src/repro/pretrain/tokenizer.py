@@ -1,0 +1,196 @@
+"""Word-level tokenizer and the "unified text tokens" rendering.
+
+The paper converts texts and KG triples into unified text tokens: a triple
+⟨iPhone 14 Pro, Weight, 206g⟩ becomes the token sequence
+``iPhone 14 Pro Weight 206g [SEP]`` appended to the item text.  The
+tokenizer here is word-level with a frequency-capped vocabulary and the
+usual special tokens; it provides encode/decode round-trips, padding and
+batching used by the pre-training and downstream-task code.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.kg.triple import Triple
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+BOS_TOKEN = "[BOS]"
+EOS_TOKEN = "[EOS]"
+
+SPECIAL_TOKENS = (PAD_TOKEN, UNK_TOKEN, CLS_TOKEN, SEP_TOKEN, MASK_TOKEN,
+                  BOS_TOKEN, EOS_TOKEN)
+
+
+def simple_word_tokenize(text: str) -> List[str]:
+    """Lower-cased whitespace/punctuation word tokenization."""
+    tokens: List[str] = []
+    current: List[str] = []
+    for char in text.lower():
+        if char.isalnum() or char in "@#":
+            current.append(char)
+        else:
+            if current:
+                tokens.append("".join(current))
+                current = []
+            if not char.isspace() and char not in "'\"":
+                tokens.append(char)
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def render_triple(triple: Triple | Tuple[str, str, str],
+                  labels: Optional[Dict[str, str]] = None) -> str:
+    """Render a KG triple as text tokens: ``head relation tail [SEP]``."""
+    labels = labels or {}
+    head, relation, tail = tuple(triple)
+    return " ".join([labels.get(head, head), labels.get(relation, relation),
+                     labels.get(tail, tail), SEP_TOKEN])
+
+
+def render_unified_text(text: str, triples: Sequence[Triple | Tuple[str, str, str]] = (),
+                        labels: Optional[Dict[str, str]] = None) -> str:
+    """Append rendered KG triples to a text (the KG-enhanced encoder input)."""
+    parts = [text]
+    for triple in triples:
+        parts.append(render_triple(triple, labels))
+    return " ".join(parts)
+
+
+@dataclass
+class EncodedBatch:
+    """A padded batch of token ids plus the attention mask."""
+
+    input_ids: np.ndarray       # (batch, length) int64
+    attention_mask: np.ndarray  # (batch, length) 1/0
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.input_ids.shape[0])
+
+    @property
+    def length(self) -> int:
+        return int(self.input_ids.shape[1])
+
+
+class Tokenizer:
+    """Word-level tokenizer with a frequency-capped vocabulary."""
+
+    def __init__(self, max_vocab_size: int = 4000, min_frequency: int = 1) -> None:
+        self.max_vocab_size = int(max_vocab_size)
+        self.min_frequency = int(min_frequency)
+        self.token_to_id: Dict[str, int] = {}
+        self.id_to_token: List[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+
+    def _add(self, token: str) -> int:
+        if token in self.token_to_id:
+            return self.token_to_id[token]
+        index = len(self.id_to_token)
+        self.token_to_id[token] = index
+        self.id_to_token.append(token)
+        return index
+
+    # ------------------------------------------------------------------ #
+    # vocabulary
+    # ------------------------------------------------------------------ #
+    def fit(self, texts: Iterable[str]) -> "Tokenizer":
+        """Build the vocabulary from a corpus."""
+        counter: Counter[str] = Counter()
+        for text in texts:
+            counter.update(simple_word_tokenize(text))
+        budget = self.max_vocab_size - len(SPECIAL_TOKENS)
+        for token, count in counter.most_common():
+            if budget <= 0:
+                break
+            if count < self.min_frequency:
+                break
+            if token not in self.token_to_id:
+                self._add(token)
+                budget -= 1
+        return self
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.id_to_token)
+
+    @property
+    def pad_id(self) -> int:
+        return self.token_to_id[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self.token_to_id[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self.token_to_id[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self.token_to_id[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self.token_to_id[MASK_TOKEN]
+
+    @property
+    def bos_id(self) -> int:
+        return self.token_to_id[BOS_TOKEN]
+
+    @property
+    def eos_id(self) -> int:
+        return self.token_to_id[EOS_TOKEN]
+
+    def special_ids(self) -> List[int]:
+        """Ids of all special tokens (excluded from MLM masking)."""
+        return [self.token_to_id[token] for token in SPECIAL_TOKENS]
+
+    # ------------------------------------------------------------------ #
+    # encode / decode
+    # ------------------------------------------------------------------ #
+    def encode(self, text: str, max_length: Optional[int] = None,
+               add_cls: bool = True, add_eos: bool = False) -> List[int]:
+        """Encode one text into token ids."""
+        ids = [self.cls_id] if add_cls else []
+        for token in simple_word_tokenize(text):
+            ids.append(self.token_to_id.get(token, self.unk_id))
+        if add_eos:
+            ids.append(self.eos_id)
+        if max_length is not None:
+            ids = ids[:max_length]
+        return ids
+
+    def decode(self, ids: Sequence[int], skip_special: bool = True) -> str:
+        """Decode token ids back to a string."""
+        tokens = []
+        special = set(self.special_ids())
+        for token_id in ids:
+            token_id = int(token_id)
+            if skip_special and token_id in special:
+                continue
+            if 0 <= token_id < len(self.id_to_token):
+                tokens.append(self.id_to_token[token_id])
+        return " ".join(tokens)
+
+    def encode_batch(self, texts: Sequence[str], max_length: int = 48,
+                     add_cls: bool = True, add_eos: bool = False) -> EncodedBatch:
+        """Encode and pad a batch of texts."""
+        encoded = [self.encode(text, max_length, add_cls, add_eos) for text in texts]
+        length = max((len(ids) for ids in encoded), default=1)
+        input_ids = np.full((len(encoded), length), self.pad_id, dtype=np.int64)
+        attention_mask = np.zeros((len(encoded), length), dtype=np.int64)
+        for row, ids in enumerate(encoded):
+            input_ids[row, :len(ids)] = ids
+            attention_mask[row, :len(ids)] = 1
+        return EncodedBatch(input_ids=input_ids, attention_mask=attention_mask)

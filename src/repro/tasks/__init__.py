@@ -1,0 +1,36 @@
+"""Downstream tasks enhanced with the pre-trained OpenBG model (Section IV).
+
+Five tasks: category prediction, NER for item titles, title summarization,
+information extraction for reviews, and commonsense salience evaluation.
+Each task module builds its dataset from the synthetic catalog, fine-tunes /
+probes the chosen backbone (general-domain baseline, mPLUG-style model with
+or without KG enhancement, base or large capacity), and reports the paper's
+metric.  Low-resource (1-shot / 5-shot) splits reproduce Tables VI and VII.
+"""
+
+from repro.tasks.metrics import accuracy_score, precision_recall_f1, rouge_l
+from repro.tasks.encoders import TextBackbone, build_backbone, BackboneSpec
+from repro.tasks.probe import LinearProbe, TokenProbe
+from repro.tasks.category_prediction import CategoryPredictionTask
+from repro.tasks.ner_titles import TitleNerTask
+from repro.tasks.title_summarization import TitleSummarizationTask
+from repro.tasks.ie_reviews import ReviewIeTask
+from repro.tasks.salience import SalienceEvaluationTask
+from repro.tasks.low_resource import few_shot_indices
+
+__all__ = [
+    "accuracy_score",
+    "precision_recall_f1",
+    "rouge_l",
+    "TextBackbone",
+    "build_backbone",
+    "BackboneSpec",
+    "LinearProbe",
+    "TokenProbe",
+    "CategoryPredictionTask",
+    "TitleNerTask",
+    "TitleSummarizationTask",
+    "ReviewIeTask",
+    "SalienceEvaluationTask",
+    "few_shot_indices",
+]

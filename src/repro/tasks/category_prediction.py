@@ -1,0 +1,128 @@
+"""Category prediction (Table V column 1, Table VI for low-resource).
+
+Given an item title, predict its leaf category — link prediction for the
+(item, rdfs:subClassOf, ?) query formulated as classification.  The task
+builds its dataset from the synthetic catalog, trains a linear probe over
+backbone sentence embeddings, and reports accuracy; 1-shot / 5-shot splits
+reproduce the low-resource setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.datagen.catalog import Catalog
+from repro.errors import TaskError
+from repro.tasks.encoders import TextBackbone
+from repro.tasks.low_resource import few_shot_indices
+from repro.tasks.metrics import accuracy_score
+from repro.tasks.probe import LinearProbe
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class CategoryExample:
+    """One (title, gold category) example."""
+
+    title: str
+    product_id: str
+    category_label: str
+
+
+@dataclass
+class CategoryPredictionDataset:
+    """Train/dev split plus the label vocabulary."""
+
+    train: List[CategoryExample] = field(default_factory=list)
+    dev: List[CategoryExample] = field(default_factory=list)
+    label_names: List[str] = field(default_factory=list)
+
+    def label_index(self, label: str) -> int:
+        """Integer id of a category label."""
+        return self.label_names.index(label)
+
+
+class CategoryPredictionTask:
+    """Builds the dataset and evaluates backbones on category prediction."""
+
+    name = "category_prediction"
+
+    def __init__(self, catalog: Catalog, dev_fraction: float = 0.25,
+                 seed: int = 0) -> None:
+        self.catalog = catalog
+        self.seed = int(seed)
+        self.dataset = self._build_dataset(dev_fraction)
+
+    def _build_dataset(self, dev_fraction: float) -> CategoryPredictionDataset:
+        taxonomy = self.catalog.category_taxonomy
+        examples = [
+            CategoryExample(title=product.title, product_id=product.product_id,
+                            category_label=taxonomy.node(product.category).label)
+            for product in self.catalog.products
+        ]
+        if len(examples) < 4:
+            raise TaskError("not enough products for category prediction")
+        labels = sorted({example.category_label for example in examples})
+        rng = derive_rng(self.seed, "category-split")
+        order = rng.permutation(len(examples))
+        num_dev = max(1, int(len(examples) * dev_fraction))
+        dev_indices = set(int(index) for index in order[:num_dev])
+        dataset = CategoryPredictionDataset(label_names=labels)
+        for index, example in enumerate(examples):
+            (dataset.dev if index in dev_indices else dataset.train).append(example)
+        # Guarantee every label appears at least once in training: move one
+        # dev example back when a label would otherwise be unseen.
+        train_labels = {example.category_label for example in dataset.train}
+        for example in list(dataset.dev):
+            if example.category_label not in train_labels:
+                dataset.dev.remove(example)
+                dataset.train.append(example)
+                train_labels.add(example.category_label)
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, backbone: TextBackbone, shots: Optional[int] = None,
+                 probe_epochs: int = 80) -> Dict[str, float]:
+        """Train a probe on (optionally k-shot) training data; return accuracy."""
+        train = self.dataset.train
+        if shots is not None:
+            labels = [example.category_label for example in train]
+            indices = few_shot_indices(labels, shots, seed=self.seed)
+            train = [train[index] for index in indices]
+        if not train or not self.dataset.dev:
+            raise TaskError("category prediction requires non-empty splits")
+
+        train_features = backbone.sentence_embeddings(
+            [example.title for example in train],
+            [example.product_id for example in train])
+        dev_features = backbone.sentence_embeddings(
+            [example.title for example in self.dataset.dev],
+            [example.product_id for example in self.dataset.dev])
+        train_labels = np.asarray([self.dataset.label_index(example.category_label)
+                                   for example in train])
+        dev_labels = [self.dataset.label_index(example.category_label)
+                      for example in self.dataset.dev]
+
+        probe = LinearProbe(num_classes=len(self.dataset.label_names),
+                            epochs=probe_epochs, seed=self.seed)
+        probe.fit(train_features, train_labels)
+        predictions = probe.predict(dev_features).tolist()
+        return {
+            "accuracy": accuracy_score(dev_labels, predictions),
+            "num_train": float(len(train)),
+            "num_dev": float(len(self.dataset.dev)),
+            "num_labels": float(len(self.dataset.label_names)),
+        }
+
+    def evaluate_low_resource(self, backbone: TextBackbone,
+                              shot_settings: Sequence[int] = (1, 5),
+                              probe_epochs: int = 80) -> Dict[str, float]:
+        """Accuracy per k-shot setting (Table VI row for one backbone)."""
+        return {f"{shots}-shot": self.evaluate(backbone, shots=shots,
+                                               probe_epochs=probe_epochs)["accuracy"]
+                for shots in shot_settings}

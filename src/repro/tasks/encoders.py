@@ -1,0 +1,195 @@
+"""Task backbones: general-domain baselines and KG-enhanced pre-trained models.
+
+The paper compares general-domain pre-trained language models (RoBERTa,
+BERT, mT5, UIE) against mPLUG variants with and without KG enhancement, at
+base and large capacity.  The reproduction encodes that comparison axis as
+:class:`BackboneSpec` + :func:`build_backbone`:
+
+* ``pretrained=False`` → a freshly initialized model that never saw the
+  e-commerce corpus or the KG (the RoBERTa/BERT/mT5/UIE stand-ins);
+* ``pretrained=True`` → the model produced by
+  :class:`~repro.pretrain.pretrainer.Pretrainer`;
+* ``use_kg`` controls whether KG triples are appended to task inputs as
+  unified text tokens;
+* ``size`` ("base" / "large") controls width and depth.
+
+:class:`TextBackbone` wraps any of these behind one inference surface used
+by the task heads: pooled sentence embeddings, per-token embeddings, and
+access to the underlying generative model for the summarization task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.datagen.catalog import Catalog
+from repro.kg.graph import KnowledgeGraph
+from repro.nn.functional import masked_mean
+from repro.pretrain.data import PretrainingDataBuilder
+from repro.pretrain.mplug import MPlugConfig, MPlugModel
+from repro.pretrain.pretrainer import Pretrainer, PretrainingConfig
+from repro.pretrain.tokenizer import Tokenizer
+
+
+@dataclass
+class BackboneSpec:
+    """One point on the paper's comparison axis."""
+
+    name: str
+    pretrained: bool = False
+    use_kg: bool = False
+    size: str = "base"
+    generative: bool = True
+    pretrain_steps: int = 10
+    seed: int = 0
+
+    def model_config(self, vocab_size: int, image_dim: int) -> MPlugConfig:
+        """Instantiate the architecture hyper-parameters for this spec."""
+        if self.size == "large":
+            return MPlugConfig(vocab_size=vocab_size, dim=64, num_heads=4,
+                               num_text_layers=2, num_decoder_layers=2,
+                               num_visual_layers=1, image_dim=image_dim,
+                               use_kg=self.use_kg, seed=self.seed)
+        return MPlugConfig(vocab_size=vocab_size, dim=32, num_heads=4,
+                           num_text_layers=1, num_decoder_layers=1,
+                           num_visual_layers=1, image_dim=image_dim,
+                           use_kg=self.use_kg, seed=self.seed)
+
+
+#: The named baselines of Table V, mapped to their spec.
+STANDARD_SPECS = {
+    "RoBERTa-large": BackboneSpec("RoBERTa-large", pretrained=False, use_kg=False,
+                                  size="large", generative=False),
+    "RoBERTa-base+KG": BackboneSpec("RoBERTa-base+KG", pretrained=False, use_kg=True,
+                                    size="base", generative=False),
+    "BERT": BackboneSpec("BERT", pretrained=False, use_kg=False, size="base",
+                         generative=False),
+    "UIE": BackboneSpec("UIE", pretrained=False, use_kg=False, size="base"),
+    "mT5": BackboneSpec("mT5", pretrained=False, use_kg=False, size="base"),
+    "mPLUG-base": BackboneSpec("mPLUG-base", pretrained=True, use_kg=False, size="base"),
+    "mPLUG-base+KG": BackboneSpec("mPLUG-base+KG", pretrained=True, use_kg=True,
+                                  size="base"),
+    "mPLUG-large+KG": BackboneSpec("mPLUG-large+KG", pretrained=True, use_kg=True,
+                                   size="large"),
+}
+
+
+class TextBackbone:
+    """Uniform inference interface over a (possibly pre-trained) model."""
+
+    def __init__(self, model: MPlugModel, tokenizer: Tokenizer,
+                 kg_enhancer: Optional[Callable[[str, Optional[str]], str]] = None,
+                 name: str = "backbone") -> None:
+        self.model = model
+        self.tokenizer = tokenizer
+        self.kg_enhancer = kg_enhancer
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # text preparation
+    # ------------------------------------------------------------------ #
+    def prepare(self, texts: Sequence[str],
+                product_ids: Optional[Sequence[Optional[str]]] = None) -> List[str]:
+        """Apply KG enhancement (when configured) to raw task inputs."""
+        if self.kg_enhancer is None:
+            return list(texts)
+        if product_ids is None:
+            product_ids = [None] * len(texts)
+        return [self.kg_enhancer(text, product_id)
+                for text, product_id in zip(texts, product_ids)]
+
+    # ------------------------------------------------------------------ #
+    # embeddings
+    # ------------------------------------------------------------------ #
+    def sentence_embeddings(self, texts: Sequence[str],
+                            product_ids: Optional[Sequence[Optional[str]]] = None,
+                            max_length: int = 48) -> np.ndarray:
+        """Pooled sentence embeddings (no gradient; used by linear probes).
+
+        The representation concatenates the pooled contextual hidden states
+        with the pooled raw token embeddings, so lexical identity is always
+        available to the probe and the contextual half carries whatever
+        pre-training (and KG enhancement) added on top.
+        """
+        prepared = self.prepare(texts, product_ids)
+        self.model.eval()
+        batch = self.tokenizer.encode_batch(prepared, max_length=max_length)
+        hidden = self.model.encode_text(batch.input_ids, batch.attention_mask)
+        raw = self.model.text_encoder.token_embedding(batch.input_ids)
+        pooled_hidden = masked_mean(hidden, batch.attention_mask, axis=1).data
+        pooled_raw = masked_mean(raw, batch.attention_mask, axis=1).data
+        return np.concatenate([pooled_hidden, pooled_raw], axis=-1)
+
+    def token_embeddings(self, texts: Sequence[str],
+                         product_ids: Optional[Sequence[Optional[str]]] = None,
+                         max_length: int = 32) -> Tuple[np.ndarray, np.ndarray, List[List[str]]]:
+        """Per-token embeddings plus attention mask and the token strings.
+
+        KG triples (when enabled) are appended *after* the original tokens,
+        so positions of the original text are preserved for tagging while
+        the appended triples still influence the contextual half through
+        attention.  Each position's feature is the concatenation of its
+        contextual hidden state and its raw token embedding.
+        """
+        self.model.eval()
+        prepared = self.prepare(texts, product_ids)
+        batch = self.tokenizer.encode_batch(prepared, max_length=max_length)
+        hidden = self.model.encode_text(batch.input_ids, batch.attention_mask)
+        raw = self.model.text_encoder.token_embedding(batch.input_ids)
+        features = np.concatenate([hidden.data, raw.data], axis=-1)
+        tokens: List[List[str]] = []
+        from repro.pretrain.tokenizer import simple_word_tokenize
+        for text in texts:
+            tokens.append(simple_word_tokenize(text)[: max_length - 1])
+        return features, batch.attention_mask, tokens
+
+    # ------------------------------------------------------------------ #
+    # generation
+    # ------------------------------------------------------------------ #
+    def generate(self, texts: Sequence[str],
+                 product_ids: Optional[Sequence[Optional[str]]] = None,
+                 max_new_tokens: int = 10, max_length: int = 48) -> List[str]:
+        """Greedy generation from prepared source texts."""
+        prepared = self.prepare(texts, product_ids)
+        batch = self.tokenizer.encode_batch(prepared, max_length=max_length)
+        outputs = self.model.generate(batch.input_ids, batch.attention_mask,
+                                      bos_id=self.tokenizer.bos_id,
+                                      eos_id=self.tokenizer.eos_id,
+                                      max_new_tokens=max_new_tokens)
+        return [self.tokenizer.decode(ids) for ids in outputs]
+
+
+def build_backbone(spec: BackboneSpec, catalog: Catalog, graph: KnowledgeGraph,
+                   pretrainer: Optional[Pretrainer] = None) -> TextBackbone:
+    """Construct a :class:`TextBackbone` for a spec.
+
+    Pre-trained specs reuse (or train) a :class:`Pretrainer`; baseline specs
+    get a freshly initialized model over the same tokenizer so that accuracy
+    differences come from pre-training and KG enhancement, not vocabulary.
+    """
+    if spec.pretrained:
+        if pretrainer is None:
+            pretrainer = Pretrainer(
+                catalog, graph,
+                model_config=spec.model_config(vocab_size=1, image_dim=catalog.config.image_dim),
+                config=PretrainingConfig(steps=spec.pretrain_steps, use_kg=spec.use_kg,
+                                         seed=spec.seed),
+            )
+            pretrainer.pretrain()
+        enhancer = pretrainer.data_builder.enhance_with_kg if spec.use_kg else None
+        return TextBackbone(pretrainer.model, pretrainer.tokenizer,
+                            kg_enhancer=enhancer, name=spec.name)
+
+    # Baseline: same tokenizer/data plumbing, fresh (non-pretrained) weights.
+    data_builder = PretrainingDataBuilder(catalog, graph, use_kg=spec.use_kg,
+                                          image_dim=catalog.config.image_dim,
+                                          seed=spec.seed)
+    config = spec.model_config(vocab_size=data_builder.tokenizer.vocab_size,
+                               image_dim=catalog.config.image_dim)
+    model = MPlugModel(config)
+    enhancer = data_builder.enhance_with_kg if spec.use_kg else None
+    return TextBackbone(model, data_builder.tokenizer, kg_enhancer=enhancer,
+                        name=spec.name)

@@ -1,0 +1,143 @@
+"""Information extraction for item reviews (Table V column 4).
+
+From a customer review ("the quality of the cushion is nice, the size is
+suitable...") the task extracts structured ⟨subject, aspect, opinion⟩
+information; the reproduction scores the (aspect, opinion) pair set with
+micro P/R/F1.  Gold pairs are reconstructed from the deterministic review
+generator; the model tags tokens as aspect / opinion with a token probe over
+backbone embeddings and pairs them up in reading order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datagen.catalog import Catalog
+from repro.datagen.textgen import TextGenerator
+from repro.errors import TaskError
+from repro.pretrain.tokenizer import simple_word_tokenize
+from repro.tasks.encoders import TextBackbone
+from repro.tasks.metrics import precision_recall_f1
+from repro.tasks.probe import TokenProbe
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class ReviewExample:
+    """A review with its gold (aspect, opinion) pairs."""
+
+    text: str
+    product_id: str
+    pairs: List[Tuple[str, str]] = field(default_factory=list)
+
+    def tokens(self, max_tokens: int = 40) -> List[str]:
+        """Word tokens of the review."""
+        return simple_word_tokenize(self.text)[:max_tokens]
+
+    def tags(self, max_tokens: int = 40) -> List[str]:
+        """Token tags: B-ASPECT / B-OPINION (multi-word values use I- tags)."""
+        tokens = self.tokens(max_tokens)
+        tags = ["O"] * len(tokens)
+        lowered = [token.lower() for token in tokens]
+        for aspect, opinion in self.pairs:
+            self._mark(lowered, tags, aspect, "ASPECT")
+            self._mark(lowered, tags, opinion, "OPINION")
+        return tags
+
+    @staticmethod
+    def _mark(lowered: List[str], tags: List[str], phrase: str, label: str) -> None:
+        words = phrase.lower().split()
+        if not words:
+            return
+        for start in range(len(lowered) - len(words) + 1):
+            if lowered[start:start + len(words)] == words and \
+                    all(tag == "O" for tag in tags[start:start + len(words)]):
+                tags[start] = f"B-{label}"
+                for offset in range(1, len(words)):
+                    tags[start + offset] = f"I-{label}"
+                return
+
+
+def reconstruct_review_annotations(catalog: Catalog,
+                                   max_examples: int = 200) -> List[ReviewExample]:
+    """Re-derive gold (aspect, opinion) pairs via the deterministic generator."""
+    generator = TextGenerator(seed=catalog.config.seed)
+    examples: List[ReviewExample] = []
+    for product in catalog.products:
+        category_label = catalog.category_taxonomy.node(product.category).label
+        for item in product.items:
+            for review_index in range(len(item.reviews)):
+                annotation = generator.review(category_label,
+                                              key=f"{item.item_id}_{review_index}")
+                examples.append(ReviewExample(text=annotation.text,
+                                              product_id=product.product_id,
+                                              pairs=list(annotation.pairs)))
+                if len(examples) >= max_examples:
+                    return examples
+    return examples
+
+
+def decode_pairs(tokens: Sequence[str], tags: Sequence[str]) -> List[Tuple[str, str]]:
+    """Pair tagged aspects with the nearest following opinion.
+
+    Uses the same IOB-repair convention as
+    :func:`repro.construction.sequence_labeling.tag_to_spans` (an orphan
+    ``I-X`` opens a new span).
+    """
+    from repro.construction.sequence_labeling import tag_to_spans
+
+    spans = tag_to_spans(tokens, tags)  # (label, surface) in reading order
+    pairs: List[Tuple[str, str]] = []
+    pending_aspect: Optional[str] = None
+    for label, surface in spans:
+        if label == "ASPECT":
+            pending_aspect = surface
+        elif label == "OPINION" and pending_aspect is not None:
+            pairs.append((pending_aspect, surface))
+            pending_aspect = None
+    return pairs
+
+
+class ReviewIeTask:
+    """Builds the review-IE dataset and evaluates backbones."""
+
+    name = "ie_for_reviews"
+
+    def __init__(self, catalog: Catalog, dev_fraction: float = 0.2,
+                 max_examples: int = 160, seed: int = 0) -> None:
+        self.catalog = catalog
+        self.seed = int(seed)
+        examples = reconstruct_review_annotations(catalog, max_examples)
+        if len(examples) < 4:
+            raise TaskError("not enough reviews for IE")
+        rng = derive_rng(self.seed, "review-ie-split")
+        order = rng.permutation(len(examples))
+        num_dev = max(1, int(len(examples) * dev_fraction))
+        dev_indices = set(int(index) for index in order[:num_dev])
+        self.train: List[ReviewExample] = []
+        self.dev: List[ReviewExample] = []
+        for index, example in enumerate(examples):
+            (self.dev if index in dev_indices else self.train).append(example)
+
+    def evaluate(self, backbone: TextBackbone, probe_epochs: int = 60,
+                 max_tokens: int = 40) -> Dict[str, float]:
+        """Train the aspect/opinion token probe and report micro P/R/F1 on pairs."""
+        tag_vocabulary = ["O", "B-ASPECT", "I-ASPECT", "B-OPINION", "I-OPINION"]
+        train_features, train_mask, _ = backbone.token_embeddings(
+            [example.text for example in self.train], max_length=max_tokens + 2)
+        probe = TokenProbe(tag_vocabulary, epochs=probe_epochs, seed=self.seed)
+        probe.fit(train_features, train_mask,
+                  [example.tags(max_tokens) for example in self.train])
+
+        dev_features, dev_mask, _ = backbone.token_embeddings(
+            [example.text for example in self.dev], max_length=max_tokens + 2)
+        dev_tokens = [example.tokens(max_tokens) for example in self.dev]
+        predicted_tags = probe.predict(dev_features, dev_mask, dev_tokens)
+        predicted_pairs = [decode_pairs(tokens, tags)
+                           for tokens, tags in zip(dev_tokens, predicted_tags)]
+        gold_pairs = [example.pairs for example in self.dev]
+        metrics = precision_recall_f1(gold_pairs, predicted_pairs)
+        metrics["num_train"] = float(len(self.train))
+        metrics["num_dev"] = float(len(self.dev))
+        return metrics

@@ -1,0 +1,43 @@
+"""Low-resource (k-shot) sampling utilities for Tables VI and VII.
+
+The paper evaluates category prediction and title NER with 1-shot and
+5-shot training sets (k examples per class / entity type).  These helpers
+select the k-shot subset deterministically given a seed.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.utils.rng import derive_rng
+
+
+def few_shot_indices(labels: Sequence[object], shots: int, seed: int = 0) -> List[int]:
+    """Indices of at most ``shots`` examples per distinct label.
+
+    Labels can be any hashable object (category names, entity types).  The
+    selection is deterministic for a given (labels, shots, seed).
+    """
+    if shots <= 0:
+        raise ValueError("shots must be positive")
+    by_label: Dict[object, List[int]] = defaultdict(list)
+    for index, label in enumerate(labels):
+        by_label[label].append(index)
+    rng = derive_rng(seed, "few-shot", str(shots))
+    chosen: List[int] = []
+    for label in sorted(by_label, key=str):
+        candidates = by_label[label]
+        if len(candidates) <= shots:
+            chosen.extend(candidates)
+            continue
+        picks = rng.choice(len(candidates), size=shots, replace=False)
+        chosen.extend(candidates[int(pick)] for pick in picks)
+    return sorted(chosen)
+
+
+def few_shot_fraction(num_selected: int, total: int) -> float:
+    """Fraction of the full training set retained by a k-shot selection."""
+    if total <= 0:
+        return 0.0
+    return num_selected / total

@@ -1,0 +1,76 @@
+"""Metrics for the downstream tasks: accuracy, set P/R/F1 and ROUGE-L."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def accuracy_score(gold: Sequence[object], predicted: Sequence[object]) -> float:
+    """Fraction of positions where prediction equals gold (0.0 for empty input)."""
+    if len(gold) != len(predicted):
+        raise ValueError("gold and predicted must have the same length")
+    if not gold:
+        return 0.0
+    correct = sum(1 for g, p in zip(gold, predicted) if g == p)
+    return correct / len(gold)
+
+
+def precision_recall_f1(gold_items: Iterable[Sequence[Tuple]],
+                        predicted_items: Iterable[Sequence[Tuple]]) -> Dict[str, float]:
+    """Micro-averaged precision/recall/F1 over per-example sets of tuples.
+
+    Used for NER (sets of (type, surface) spans) and review IE (sets of
+    (aspect, opinion) pairs).  Duplicate predictions within one example
+    count once.
+    """
+    true_positives = 0
+    predicted_total = 0
+    gold_total = 0
+    for gold, predicted in zip(gold_items, predicted_items):
+        gold_set = set(gold)
+        predicted_set = set(predicted)
+        true_positives += len(gold_set & predicted_set)
+        predicted_total += len(predicted_set)
+        gold_total += len(gold_set)
+    precision = true_positives / predicted_total if predicted_total else 0.0
+    recall = true_positives / gold_total if gold_total else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if (precision + recall) else 0.0
+    return {"precision": precision, "recall": recall, "f1": f1}
+
+
+def _lcs_length(a: Sequence[str], b: Sequence[str]) -> int:
+    """Length of the longest common subsequence of two token lists."""
+    if not a or not b:
+        return 0
+    previous = [0] * (len(b) + 1)
+    for token_a in a:
+        current = [0]
+        for j, token_b in enumerate(b, start=1):
+            if token_a == token_b:
+                current.append(previous[j - 1] + 1)
+            else:
+                current.append(max(previous[j], current[j - 1]))
+        previous = current
+    return previous[-1]
+
+
+def rouge_l(gold: str, predicted: str) -> float:
+    """Sentence-level ROUGE-L F-measure over whitespace tokens."""
+    gold_tokens = gold.lower().split()
+    predicted_tokens = predicted.lower().split()
+    if not gold_tokens or not predicted_tokens:
+        return 0.0
+    lcs = _lcs_length(gold_tokens, predicted_tokens)
+    if lcs == 0:
+        return 0.0
+    precision = lcs / len(predicted_tokens)
+    recall = lcs / len(gold_tokens)
+    return 2 * precision * recall / (precision + recall)
+
+
+def mean_rouge_l(gold_texts: Sequence[str], predicted_texts: Sequence[str]) -> float:
+    """Average ROUGE-L over a corpus of (gold, predicted) pairs."""
+    if not gold_texts:
+        return 0.0
+    scores = [rouge_l(gold, predicted) for gold, predicted in zip(gold_texts, predicted_texts)]
+    return sum(scores) / len(scores)

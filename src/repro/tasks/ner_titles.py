@@ -1,0 +1,158 @@
+"""NER for item titles (Table V column 2, Table VII for low-resource).
+
+The task recognizes property/value spans inside item titles (brand,
+category, packing specification, ...).  Gold annotations are reconstructed
+deterministically from the catalog (the same generator call that produced
+the title also yields its spans).  Backbones provide per-token embeddings; a
+token-level probe predicts BIO tags which are decoded back into spans and
+scored with micro P/R/F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.construction.sequence_labeling import spans_to_tags, tag_to_spans
+from repro.datagen.catalog import Catalog
+from repro.datagen.textgen import TextGenerator
+from repro.errors import TaskError
+from repro.pretrain.tokenizer import simple_word_tokenize
+from repro.tasks.encoders import TextBackbone
+from repro.tasks.low_resource import few_shot_indices
+from repro.tasks.metrics import precision_recall_f1
+from repro.tasks.probe import TokenProbe
+from repro.utils.rng import derive_rng
+
+
+@dataclass
+class NerExample:
+    """A title with its gold (entity_type, surface) spans."""
+
+    title: str
+    product_id: str
+    spans: List[Tuple[str, str]] = field(default_factory=list)
+
+    def tokens(self, max_tokens: int = 30) -> List[str]:
+        """Word tokens of the title (matching the backbone tokenizer)."""
+        return simple_word_tokenize(self.title)[:max_tokens]
+
+    def tags(self, max_tokens: int = 30) -> List[str]:
+        """Gold BIO tags aligned with :meth:`tokens`."""
+        return spans_to_tags(self.tokens(max_tokens), self.spans,
+                             surface_tokenizer=simple_word_tokenize)
+
+
+@dataclass
+class NerDataset:
+    """Train/dev split plus the tag vocabulary."""
+
+    train: List[NerExample] = field(default_factory=list)
+    dev: List[NerExample] = field(default_factory=list)
+    entity_types: List[str] = field(default_factory=list)
+
+    def tag_vocabulary(self) -> List[str]:
+        """BIO tag set derived from the entity types."""
+        tags = ["O"]
+        for entity_type in self.entity_types:
+            tags.extend([f"B-{entity_type}", f"I-{entity_type}"])
+        return tags
+
+
+def reconstruct_annotations(catalog: Catalog) -> List[NerExample]:
+    """Re-derive gold title spans through the deterministic text generator."""
+    generator = TextGenerator(seed=catalog.config.seed)
+    examples: List[NerExample] = []
+    for product in catalog.products:
+        category_label = catalog.category_taxonomy.node(product.category).label
+        brand_label = catalog.brand_taxonomy.node(product.brand).label \
+            if product.brand else None
+        scene_labels = [catalog.concept_taxonomies["Scene"].node(concept).label
+                        for concept in product.concept_links.get("relatedScene", [])]
+        annotation = generator.title(category_label, brand_label, product.attributes,
+                                     scene_labels, key=product.product_id)
+        examples.append(NerExample(title=annotation.title,
+                                   product_id=product.product_id,
+                                   spans=list(annotation.spans)))
+    return examples
+
+
+class TitleNerTask:
+    """Builds the NER dataset and evaluates backbones with a token probe."""
+
+    name = "ner_for_titles"
+
+    def __init__(self, catalog: Catalog, dev_fraction: float = 0.2,
+                 max_examples: int = 200, seed: int = 0) -> None:
+        self.catalog = catalog
+        self.seed = int(seed)
+        self.dataset = self._build_dataset(dev_fraction, max_examples)
+
+    def _build_dataset(self, dev_fraction: float, max_examples: int) -> NerDataset:
+        examples = reconstruct_annotations(self.catalog)[:max_examples]
+        if len(examples) < 4:
+            raise TaskError("not enough titles for NER")
+        entity_types = sorted({entity_type for example in examples
+                               for entity_type, _surface in example.spans})
+        rng = derive_rng(self.seed, "ner-split")
+        order = rng.permutation(len(examples))
+        num_dev = max(1, int(len(examples) * dev_fraction))
+        dev_indices = set(int(index) for index in order[:num_dev])
+        dataset = NerDataset(entity_types=entity_types)
+        for index, example in enumerate(examples):
+            (dataset.dev if index in dev_indices else dataset.train).append(example)
+        return dataset
+
+    # ------------------------------------------------------------------ #
+    # evaluation
+    # ------------------------------------------------------------------ #
+    def evaluate(self, backbone: TextBackbone, shots: Optional[int] = None,
+                 probe_epochs: int = 60, max_tokens: int = 30) -> Dict[str, float]:
+        """Train the token probe and report micro precision/recall/F1."""
+        train = self.dataset.train
+        if shots is not None:
+            # Few-shot per entity type: an example counts for the type of its
+            # first span.
+            labels = [example.spans[0][0] if example.spans else "O" for example in train]
+            indices = few_shot_indices(labels, shots, seed=self.seed)
+            train = [train[index] for index in indices]
+        if not train or not self.dataset.dev:
+            raise TaskError("NER requires non-empty splits")
+
+        train_features, train_mask, _ = backbone.token_embeddings(
+            [example.title for example in train],
+            [example.product_id for example in train], max_length=max_tokens + 2)
+        probe = TokenProbe(self.dataset.tag_vocabulary(), epochs=probe_epochs,
+                           seed=self.seed)
+        probe.fit(train_features, train_mask,
+                  [example.tags(max_tokens) for example in train])
+
+        dev_features, dev_mask, _ = backbone.token_embeddings(
+            [example.title for example in self.dataset.dev],
+            [example.product_id for example in self.dataset.dev],
+            max_length=max_tokens + 2)
+        dev_tokens = [example.tokens(max_tokens) for example in self.dataset.dev]
+        predicted_tags = probe.predict(dev_features, dev_mask, dev_tokens)
+
+        # Both sides are normalized through the same word tokenizer so that
+        # punctuation-splitting ("100g*3" → "100g * 3") cannot cause spurious
+        # mismatches between gold and predicted surfaces.
+        gold_spans = [
+            {(entity_type, " ".join(simple_word_tokenize(surface)))
+             for entity_type, surface in example.spans}
+            for example in self.dataset.dev
+        ]
+        predicted_spans = [set(tag_to_spans(tokens, tags))
+                           for tokens, tags in zip(dev_tokens, predicted_tags)]
+        metrics = precision_recall_f1(gold_spans, predicted_spans)
+        metrics["num_train"] = float(len(train))
+        metrics["num_dev"] = float(len(self.dataset.dev))
+        return metrics
+
+    def evaluate_low_resource(self, backbone: TextBackbone,
+                              shot_settings: Sequence[int] = (1, 5),
+                              probe_epochs: int = 60) -> Dict[str, float]:
+        """F1 per k-shot setting (Table VII row for one backbone)."""
+        return {f"{shots}-shot": self.evaluate(backbone, shots=shots,
+                                               probe_epochs=probe_epochs)["f1"]
+                for shots in shot_settings}

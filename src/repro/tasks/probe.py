@@ -1,0 +1,175 @@
+"""Lightweight classification heads trained over backbone embeddings.
+
+Fine-tuning the full transformer for every (task × backbone × data-scale)
+cell of Tables V-VII would be prohibitively slow in pure numpy; the standard
+laptop-scale substitute is the linear probe: the backbone is frozen, and a
+softmax-regression head is trained on its embeddings.  This preserves the
+comparison the paper makes (representation quality of general-domain vs
+KG-enhanced pre-trained backbones), because all heads are identical and only
+the representations differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import TaskError
+from repro.utils.rng import derive_rng
+
+
+def _softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exponent = np.exp(shifted)
+    return exponent / exponent.sum(axis=-1, keepdims=True)
+
+
+class LinearProbe:
+    """Multinomial logistic regression trained with full-batch gradient descent."""
+
+    def __init__(self, num_classes: int, learning_rate: float = 0.5,
+                 epochs: int = 100, l2_penalty: float = 1e-3, seed: int = 0,
+                 balanced: bool = False) -> None:
+        if num_classes < 2:
+            raise TaskError("LinearProbe needs at least two classes")
+        self.num_classes = int(num_classes)
+        self.learning_rate = float(learning_rate)
+        self.epochs = int(epochs)
+        self.l2_penalty = float(l2_penalty)
+        self.seed = int(seed)
+        self.balanced = bool(balanced)
+        self.weights: Optional[np.ndarray] = None
+        self.bias: Optional[np.ndarray] = None
+        self._feature_mean: Optional[np.ndarray] = None
+        self._feature_std: Optional[np.ndarray] = None
+
+    def _standardize(self, features: np.ndarray, fit: bool = False) -> np.ndarray:
+        """Z-score features with statistics estimated on the training set.
+
+        Backbone features mix components of very different scales (contextual
+        hidden states vs raw token embeddings); standardization lets the
+        probe use both without fighting the L2 penalty.
+        """
+        features = np.asarray(features, dtype=np.float64)
+        if fit:
+            self._feature_mean = features.mean(axis=0)
+            std = features.std(axis=0)
+            std[std < 1e-8] = 1.0
+            self._feature_std = std
+        if self._feature_mean is None or self._feature_std is None:
+            return features
+        return (features - self._feature_mean) / self._feature_std
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearProbe":
+        """Train on (n, d) features and (n,) integer labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.int64)
+        if features.shape[0] != labels.shape[0]:
+            raise TaskError("features and labels must align")
+        if features.shape[0] == 0:
+            raise TaskError("cannot fit a probe on an empty dataset")
+        features = self._standardize(features, fit=True)
+        num_examples, dim = features.shape
+        rng = derive_rng(self.seed, "linear-probe")
+        self.weights = rng.normal(0.0, 0.01, (dim, self.num_classes))
+        self.bias = np.zeros(self.num_classes)
+        clipped = np.clip(labels, 0, self.num_classes - 1)
+        one_hot = np.zeros((num_examples, self.num_classes))
+        one_hot[np.arange(num_examples), clipped] = 1.0
+
+        # Optional class balancing: weight each example inversely to its
+        # class frequency (important for tagging tasks dominated by "O").
+        example_weights = np.ones(num_examples)
+        if self.balanced:
+            counts = np.bincount(clipped, minlength=self.num_classes).astype(np.float64)
+            counts[counts == 0] = 1.0
+            example_weights = (num_examples / (self.num_classes * counts))[clipped]
+        example_weights = example_weights / example_weights.sum()
+
+        for _epoch in range(self.epochs):
+            probabilities = _softmax(features @ self.weights + self.bias)
+            error = (probabilities - one_hot) * example_weights[:, None]
+            gradient_weights = features.T @ error + self.l2_penalty * self.weights
+            gradient_bias = error.sum(axis=0)
+            self.weights -= self.learning_rate * gradient_weights
+            self.bias -= self.learning_rate * gradient_bias
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities for (n, d) features."""
+        if self.weights is None or self.bias is None:
+            raise TaskError("probe is not fitted")
+        return _softmax(self._standardize(features) @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most probable class index per example."""
+        return np.argmax(self.predict_proba(features), axis=-1)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Accuracy on a labeled set."""
+        predictions = self.predict(features)
+        labels = np.asarray(labels)
+        if labels.size == 0:
+            return 0.0
+        return float(np.mean(predictions == labels))
+
+
+class TokenProbe:
+    """Per-token classifier over backbone token embeddings (for tagging tasks)."""
+
+    def __init__(self, tag_vocabulary: Sequence[str], learning_rate: float = 0.5,
+                 epochs: int = 150, seed: int = 0) -> None:
+        self.tags: List[str] = list(tag_vocabulary)
+        if "O" not in self.tags:
+            self.tags.insert(0, "O")
+        self._probe = LinearProbe(num_classes=len(self.tags),
+                                  learning_rate=learning_rate, epochs=epochs,
+                                  seed=seed, balanced=True)
+
+    def tag_index(self, tag: str) -> int:
+        """Index of a tag (unknown tags map to 'O')."""
+        try:
+            return self.tags.index(tag)
+        except ValueError:
+            return self.tags.index("O")
+
+    def fit(self, token_features: np.ndarray, attention_mask: np.ndarray,
+            tag_sequences: Sequence[Sequence[str]]) -> "TokenProbe":
+        """Train on (batch, length, dim) features with per-example tag lists.
+
+        Position 0 is the [CLS] token, so token j of the text aligns with
+        feature position j + 1.
+        """
+        rows: List[np.ndarray] = []
+        labels: List[int] = []
+        for example_index, tags in enumerate(tag_sequences):
+            for token_index, tag in enumerate(tags):
+                feature_position = token_index + 1
+                if feature_position >= token_features.shape[1]:
+                    break
+                if not attention_mask[example_index, feature_position]:
+                    break
+                rows.append(token_features[example_index, feature_position])
+                labels.append(self.tag_index(tag))
+        if not rows:
+            raise TaskError("no labeled tokens to train on")
+        self._probe.fit(np.vstack(rows), np.asarray(labels))
+        return self
+
+    def predict(self, token_features: np.ndarray, attention_mask: np.ndarray,
+                token_lists: Sequence[Sequence[str]]) -> List[List[str]]:
+        """Predict tag sequences aligned with the provided token lists."""
+        results: List[List[str]] = []
+        for example_index, tokens in enumerate(token_lists):
+            tags: List[str] = []
+            for token_index in range(len(tokens)):
+                feature_position = token_index + 1
+                if feature_position >= token_features.shape[1] or \
+                        not attention_mask[example_index, feature_position]:
+                    tags.append("O")
+                    continue
+                features = token_features[example_index, feature_position][None, :]
+                tags.append(self.tags[int(self._probe.predict(features)[0])])
+            results.append(tags)
+        return results

@@ -1,0 +1,15 @@
+"""Shared utilities: deterministic RNG handling, timing, and text helpers."""
+
+from repro.utils.rng import RngMixin, derive_rng, new_rng
+from repro.utils.timing import Timer
+from repro.utils.textutils import edit_distance, jaccard_similarity, normalize_label
+
+__all__ = [
+    "RngMixin",
+    "derive_rng",
+    "new_rng",
+    "Timer",
+    "edit_distance",
+    "jaccard_similarity",
+    "normalize_label",
+]

@@ -1,0 +1,60 @@
+"""Text utilities shared by the construction pipeline and the tasks.
+
+The paper links products to Brand / Place classes "by jointly conducting
+trie prefix tree precise matching and fuzzy matching of synonyms"; the fuzzy
+side needs a cheap string similarity, implemented here as Levenshtein edit
+distance and token Jaccard similarity.
+"""
+
+from __future__ import annotations
+
+import re
+
+_WHITESPACE = re.compile(r"\s+")
+
+
+def normalize_label(label: str) -> str:
+    """Normalize a surface label for matching.
+
+    Lower-cases, strips, and collapses internal whitespace.  Used before
+    both precise (trie) and fuzzy matching so that cosmetic differences in
+    raw data ("  Apple " vs "apple") do not prevent linking.
+    """
+    return _WHITESPACE.sub(" ", label.strip().lower())
+
+
+def edit_distance(a: str, b: str) -> int:
+    """Levenshtein edit distance between two strings (dynamic programming)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, char_a in enumerate(a, start=1):
+        current = [i]
+        for j, char_b in enumerate(b, start=1):
+            cost = 0 if char_a == char_b else 1
+            current.append(min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost))
+        previous = current
+    return previous[-1]
+
+
+def edit_similarity(a: str, b: str) -> float:
+    """Normalized edit similarity in [0, 1]; 1.0 means identical strings."""
+    if not a and not b:
+        return 1.0
+    denom = max(len(a), len(b))
+    return 1.0 - edit_distance(a, b) / denom
+
+
+def jaccard_similarity(a: str, b: str) -> float:
+    """Jaccard similarity over whitespace tokens of the two strings."""
+    tokens_a = set(normalize_label(a).split())
+    tokens_b = set(normalize_label(b).split())
+    if not tokens_a and not tokens_b:
+        return 1.0
+    if not tokens_a or not tokens_b:
+        return 0.0
+    return len(tokens_a & tokens_b) / len(tokens_a | tokens_b)

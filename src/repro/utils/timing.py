@@ -1,0 +1,27 @@
+"""Tiny wall-clock timing helper used by pipeline stages and benchmarks."""
+
+from __future__ import annotations
+
+import time
+
+
+class Timer:
+    """Context manager that records elapsed wall-clock seconds.
+
+    Example::
+
+        with Timer() as t:
+            run_stage()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self.start

@@ -1,0 +1,46 @@
+"""Shared fixtures: one small catalog / graph / benchmark suite per session.
+
+Construction of the synthetic OpenBG is deterministic, so building it once
+and sharing it across test modules keeps the suite fast without coupling
+tests to each other (no test mutates the shared objects; tests that need to
+mutate build their own small instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmark.builders import BenchmarkBuilder
+from repro.construction.pipeline import OpenBGBuilder
+from repro.datagen.catalog import SyntheticCatalogConfig, generate_catalog
+
+
+@pytest.fixture(scope="session")
+def small_config() -> SyntheticCatalogConfig:
+    """Catalog configuration shared by most tests."""
+    return SyntheticCatalogConfig(num_products=120, items_per_product=2,
+                                  reviews_per_item=2, image_fraction=0.6, seed=7)
+
+
+@pytest.fixture(scope="session")
+def catalog(small_config):
+    """A deterministic synthetic catalog."""
+    return generate_catalog(small_config)
+
+
+@pytest.fixture(scope="session")
+def construction_result(small_config, catalog):
+    """The fully constructed synthetic OpenBG (graph + reports)."""
+    return OpenBGBuilder(small_config, seed=7).build(catalog=catalog)
+
+
+@pytest.fixture(scope="session")
+def graph(construction_result):
+    """The populated knowledge graph."""
+    return construction_result.graph
+
+
+@pytest.fixture(scope="session")
+def benchmark_suite(graph):
+    """The OpenBG-IMG / 500 / 500-L benchmark suite built from the graph."""
+    return BenchmarkBuilder(graph, seed=7).build_suite()

@@ -1,0 +1,154 @@
+"""Tests for the online-application simulators and statistics reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.applications import (
+    ItemAlignmentSimulator,
+    ProductReleaseSimulator,
+    QaRecommendationSimulator,
+    ShoppingGuideSimulator,
+    UpliftReport,
+)
+from repro.kg.statistics import compute_statistics
+
+
+# --------------------------------------------------------------------------- #
+# uplift report
+# --------------------------------------------------------------------------- #
+def test_uplift_report_higher_is_better():
+    report = UpliftReport(metric="CTR", baseline=0.10, enhanced=0.12)
+    assert report.uplift == pytest.approx(0.2)
+    assert report.improved
+    assert report.as_row()[0] == "CTR"
+
+
+def test_uplift_report_lower_is_better():
+    report = UpliftReport(metric="duration", baseline=30.0, enhanced=21.0,
+                          higher_is_better=False)
+    assert report.uplift == pytest.approx(0.3)
+    assert report.improved
+
+
+def test_uplift_report_zero_baseline():
+    assert UpliftReport(metric="x", baseline=0.0, enhanced=1.0).uplift == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# item alignment (GMV)
+# --------------------------------------------------------------------------- #
+def test_item_alignment_kg_scores_separate_better(catalog, graph):
+    simulator = ItemAlignmentSimulator(catalog, graph, seed=0)
+    same = [simulator.kg_enhanced_score(pair) for pair in simulator.pairs if pair.same_product]
+    different = [simulator.kg_enhanced_score(pair) for pair in simulator.pairs
+                 if not pair.same_product]
+    assert sum(same) / len(same) > sum(different) / len(different) + 0.3
+
+
+def test_item_alignment_gmv_uplift_positive(catalog, graph):
+    report = ItemAlignmentSimulator(catalog, graph, seed=0).run()
+    assert report.metric == "GMV"
+    assert report.improved
+    quality = ItemAlignmentSimulator(catalog, graph, seed=0).alignment_quality()
+    assert quality["precision"] > 0.5
+
+
+# --------------------------------------------------------------------------- #
+# shopping guide (CPM)
+# --------------------------------------------------------------------------- #
+def test_shopping_guide_cards_enriched_only_with_kg(catalog, graph):
+    simulator = ShoppingGuideSimulator(catalog, graph, seed=0)
+    plain = simulator.build_cards(use_kg=False, max_items=20)
+    enriched = simulator.build_cards(use_kg=True, max_items=20)
+    assert all(card.slogan is None and not card.concept_tags for card in plain)
+    assert any(card.concept_tags for card in enriched)
+    assert all(card.slogan for card in enriched)
+
+
+def test_shopping_guide_cpm_uplift_positive(catalog, graph):
+    report = ShoppingGuideSimulator(catalog, graph, seed=0).run(num_impressions=800)
+    assert report.metric == "CPM"
+    assert report.improved
+    assert 0.0 < report.uplift < 1.5
+
+
+def test_shopping_guide_showcase_rows(catalog, graph):
+    rows = ShoppingGuideSimulator(catalog, graph, seed=0).showcase(num_items=4)
+    assert len(rows) == 4
+    assert all({"item", "slogan", "tags"} <= set(row) for row in rows)
+
+
+# --------------------------------------------------------------------------- #
+# QA recommendation (CTR)
+# --------------------------------------------------------------------------- #
+def test_qa_sessions_reference_linked_products(catalog, graph):
+    simulator = QaRecommendationSimulator(catalog, graph, seed=0)
+    sessions = simulator.build_sessions(num_sessions=20)
+    assert sessions
+    for session in sessions:
+        assert session.relevant_products
+
+
+def test_qa_kg_recommender_hits_more_relevant_products(catalog, graph):
+    simulator = QaRecommendationSimulator(catalog, graph, seed=0)
+    sessions = simulator.build_sessions(num_sessions=20)
+    kg_hits, text_hits = 0, 0
+    for session in sessions:
+        relevant = set(session.relevant_products)
+        kg_hits += len(set(simulator.recommend_with_kg(session)) & relevant)
+        text_hits += len(set(simulator.recommend_text_only(session)) & relevant)
+    assert kg_hits > text_hits
+
+
+def test_qa_ctr_uplift_positive(catalog, graph):
+    report = QaRecommendationSimulator(catalog, graph, seed=0).run(num_sessions=40)
+    assert report.metric == "CTR"
+    assert report.improved
+
+
+# --------------------------------------------------------------------------- #
+# product release (duration)
+# --------------------------------------------------------------------------- #
+def test_release_duration_reduced_with_kg(catalog, graph):
+    simulator = ProductReleaseSimulator(catalog, graph, seed=0)
+    cases = simulator.build_cases(num_cases=20)
+    assert cases
+    for case in cases[:5]:
+        with_kg = simulator.release_duration(case, use_kg=True)
+        without_kg = simulator.release_duration(case, use_kg=False)
+        assert with_kg <= without_kg
+    report = simulator.run(num_cases=30)
+    assert report.metric == "release_duration_minutes"
+    assert report.improved
+    assert 0.0 < report.uplift < 1.0
+
+
+# --------------------------------------------------------------------------- #
+# Table I statistics over the constructed graph
+# --------------------------------------------------------------------------- #
+def test_statistics_taxonomy_and_counts(construction_result):
+    statistics = construction_result.statistics
+    assert statistics.num_triples == len(construction_result.graph)
+    assert statistics.num_core_classes > 0
+    assert statistics.num_core_concepts > 0
+    assert "Category" in statistics.taxonomy
+    category = statistics.taxonomy["Category"]
+    assert category.total == sum(category.level_counts.values())
+    assert category.leaves <= category.total
+    table = statistics.format_table()
+    assert "core classes" in table
+    assert "Category" in table
+
+
+def test_statistics_relation_kind_partition(construction_result):
+    statistics = construction_result.statistics
+    object_relations = set(statistics.object_property_counts)
+    data_relations = set(statistics.data_property_counts)
+    meta_relations = set(statistics.meta_property_counts)
+    assert not object_relations & meta_relations
+    assert not object_relations & data_relations
+    total = sum(statistics.object_property_counts.values()) + \
+        sum(statistics.data_property_counts.values()) + \
+        sum(statistics.meta_property_counts.values())
+    assert total == statistics.num_triples

@@ -1,0 +1,208 @@
+"""Tests for benchmark sampling, datasets and the relation distribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmark.builders import BenchmarkBuilder, default_suite_configs
+from repro.benchmark.datasets import BenchmarkDataset
+from repro.benchmark.distribution import (
+    gini_coefficient,
+    head_share,
+    log_log_slope,
+    long_tail_metrics,
+    relation_distribution,
+)
+from repro.benchmark.sampling import (
+    EXCLUDED_RELATIONS,
+    SamplingConfig,
+    SamplingStages,
+    ThreeStageSampler,
+    split_triples,
+)
+from repro.errors import BenchmarkError
+from repro.kg.triple import Triple, triples_from_tuples
+from repro.kg.vocab import Vocabulary
+
+
+# --------------------------------------------------------------------------- #
+# sampling configuration validation
+# --------------------------------------------------------------------------- #
+def test_sampling_config_validation():
+    with pytest.raises(BenchmarkError):
+        SamplingConfig(name="bad", num_relations=0)
+    with pytest.raises(BenchmarkError):
+        SamplingConfig(name="bad", num_relations=5, head_sampling_rate=0.2,
+                       tail_sampling_rate=0.8)
+    with pytest.raises(BenchmarkError):
+        SamplingConfig(name="bad", num_relations=5, triple_sampling_rate=0.0)
+
+
+def test_split_triples_fractions_and_errors():
+    triples = triples_from_tuples([(f"h{i}", "r", f"t{i}") for i in range(100)])
+    splits = split_triples(triples, dev_fraction=0.1, test_fraction=0.2, seed=0)
+    assert len(splits["dev"]) == 10
+    assert len(splits["test"]) == 20
+    assert len(splits["train"]) == 70
+    assert set(splits["train"]) | set(splits["dev"]) | set(splits["test"]) == set(triples)
+    with pytest.raises(BenchmarkError):
+        split_triples(triples, dev_fraction=0.6, test_fraction=0.5, seed=0)
+
+
+# --------------------------------------------------------------------------- #
+# three-stage sampler over the constructed graph
+# --------------------------------------------------------------------------- #
+def test_relation_refinement_excludes_meta_relations(graph):
+    sampler = ThreeStageSampler(graph)
+    stages = SamplingStages()
+    config = SamplingConfig(name="t", num_relations=15)
+    relations = sampler.refine_relations(config, stages)
+    assert len(relations) <= 15
+    assert not set(relations) & EXCLUDED_RELATIONS
+    assert "rdf:type" in relations
+    assert stages.refined_relations == len(relations)
+    assert stages.candidate_relations >= stages.refined_relations
+
+
+def test_head_entity_filtering_respects_rates(graph):
+    sampler = ThreeStageSampler(graph)
+    stages = SamplingStages()
+    config = SamplingConfig(name="t", num_relations=15, head_sampling_rate=0.5,
+                            tail_sampling_rate=0.2)
+    relations = sampler.refine_relations(config, stages)
+    heads = sampler.filter_head_entities(relations, config, stages)
+    assert 0 < len(heads) <= stages.candidate_head_entities
+    assert stages.sampled_head_entities == len(heads)
+
+
+def test_tail_sampling_only_keeps_surviving_heads(graph):
+    sampler = ThreeStageSampler(graph)
+    config = SamplingConfig(name="t", num_relations=15, triple_sampling_rate=0.8)
+    stages = sampler.run(config)
+    head_set = stages.head_entities
+    relation_set = set(stages.relations)
+    for triple in stages.triples:
+        assert triple.head in head_set
+        assert triple.relation in relation_set
+    assert stages.sampled_triples <= stages.candidate_triples
+
+
+def test_sampler_stage_reduction_table(graph):
+    stages = ThreeStageSampler(graph).run(SamplingConfig(name="t", num_relations=10))
+    table = stages.reduction_table()
+    assert len(table) == 3
+    assert all(len(row) == 3 for row in table)
+
+
+def test_image_requirement_filters_to_multimodal_heads(graph):
+    sampler = ThreeStageSampler(graph)
+    config = SamplingConfig(name="img", num_relations=10, require_images=True)
+    stages = sampler.run(config)
+    assert all(triple.head in graph.images or triple.tail in graph.images
+               for triple in stages.triples)
+
+
+# --------------------------------------------------------------------------- #
+# the benchmark suite (Table II shape)
+# --------------------------------------------------------------------------- #
+def test_suite_contains_three_benchmarks(benchmark_suite):
+    assert set(benchmark_suite.datasets) == {"OpenBG-IMG", "OpenBG500", "OpenBG500-L"}
+
+
+def test_suite_size_ordering(benchmark_suite):
+    """IMG < 500 < 500-L in training triples, as in Table II."""
+    img = len(benchmark_suite["OpenBG-IMG"].train)
+    five_hundred = len(benchmark_suite["OpenBG500"].train)
+    large = len(benchmark_suite["OpenBG500-L"].train)
+    assert img < five_hundred < large
+
+
+def test_img_benchmark_is_multimodal_and_smaller_relation_set(benchmark_suite):
+    img = benchmark_suite["OpenBG-IMG"]
+    other = benchmark_suite["OpenBG500"]
+    assert img.is_multimodal
+    assert not other.is_multimodal
+    assert len(img.relation_vocab) <= len(other.relation_vocab)
+
+
+def test_dataset_encode_skips_unknown_entities(benchmark_suite):
+    dataset = benchmark_suite["OpenBG500"]
+    rows = dataset.encode([Triple("unknown-entity", "rdf:type", "also-unknown")])
+    assert rows.shape == (0, 3)
+    encoded = dataset.encoded_splits()
+    assert encoded["train"].shape[0] == len(dataset.train)
+    assert encoded["train"][:, 1].max() < len(dataset.relation_vocab)
+
+
+def test_dataset_image_matrix_shape(benchmark_suite):
+    img = benchmark_suite["OpenBG-IMG"]
+    matrix = img.image_matrix()
+    assert matrix.shape[0] == len(img.entity_vocab)
+    assert np.linalg.norm(matrix) > 0
+
+
+def test_dataset_save_and_load_roundtrip(tmp_path, benchmark_suite):
+    dataset = benchmark_suite["OpenBG500"]
+    dataset.save(tmp_path)
+    loaded = BenchmarkDataset.load("OpenBG500", tmp_path)
+    assert loaded.train == dataset.train
+    assert loaded.dev == dataset.dev
+    assert loaded.test == dataset.test
+    assert len(loaded.entity_vocab) == len(dataset.entity_vocab)
+
+
+def test_dataset_summary_rows(benchmark_suite):
+    rows = [summary.as_row() for summary in benchmark_suite.summaries()]
+    assert len(rows) == 3
+    assert all(len(row) == 6 for row in rows)
+
+
+def test_dataset_requires_nonempty_train():
+    with pytest.raises(BenchmarkError):
+        BenchmarkDataset(name="x", train=[], dev=[], test=[],
+                         entity_vocab=Vocabulary(), relation_vocab=Vocabulary())
+
+
+# --------------------------------------------------------------------------- #
+# relation distribution (Figure 5)
+# --------------------------------------------------------------------------- #
+def test_relation_distribution_sorted_desc():
+    triples = triples_from_tuples([("a", "r1", "b")] * 5 + [("a", "r2", "b")] * 2
+                                  + [("a", "r3", "c")])
+    distribution = relation_distribution(triples)
+    counts = [count for _r, count in distribution]
+    assert counts == sorted(counts, reverse=True)
+    assert distribution[0] == ("r1", 5)
+
+
+def test_gini_and_head_share_extremes():
+    assert gini_coefficient([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+    assert gini_coefficient([100, 1, 1, 1]) > 0.5
+    assert head_share([10, 1, 1, 1, 1], head_fraction=0.2) > 0.5
+    assert gini_coefficient([]) == 0.0
+
+
+def test_log_log_slope_negative_for_power_law():
+    counts = [1000, 300, 120, 60, 25, 10, 4, 2, 1, 1]
+    assert log_log_slope(counts) < -0.5
+    assert log_log_slope([5]) == 0.0
+
+
+def test_benchmark_relation_distribution_is_long_tailed(benchmark_suite):
+    """The synthetic OpenBG-IMG keeps Figure 5's long-tail shape."""
+    img = benchmark_suite["OpenBG-IMG"]
+    metrics = long_tail_metrics(img.all_triples())
+    assert metrics["num_relations"] >= 5
+    assert metrics["gini"] > 0.3
+    assert metrics["head_share_top20pct"] > 0.4
+    assert metrics["log_log_slope"] < -0.3
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=50))
+def test_gini_bounds_property(counts):
+    value = gini_coefficient(counts)
+    assert -1e-9 <= value < 1.0

@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import MODEL_REGISTRY, build_parser, main
+
+
+def test_parser_requires_command():
+    parser = build_parser()
+    with pytest.raises(SystemExit):
+        parser.parse_args([])
+
+
+def test_parser_defaults_and_model_choices():
+    parser = build_parser()
+    args = parser.parse_args(["--products", "50", "linkpred", "--model", "TransE"])
+    assert args.products == 50
+    assert args.model == "TransE"
+    assert set(MODEL_REGISTRY) >= {"TransE", "DistMult", "TuckER"}
+    with pytest.raises(SystemExit):
+        parser.parse_args(["linkpred", "--model", "NotAModel"])
+
+
+def test_cli_build_writes_tsv(tmp_path, capsys):
+    exit_code = main(["--products", "40", "--seed", "1", "build",
+                      "--out", str(tmp_path)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "Constructed synthetic OpenBG" in output
+    assert (tmp_path / "openbg.tsv").exists()
+    assert (tmp_path / "openbg.tsv").read_text().count("\n") > 100
+
+
+def test_cli_stats_prints_table(capsys):
+    exit_code = main(["--products", "40", "--seed", "1", "stats"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "# core classes" in output
+    assert "Category" in output
+
+
+def test_cli_benchmark_writes_splits(tmp_path, capsys):
+    exit_code = main(["--products", "60", "--seed", "1", "benchmark",
+                      "--out", str(tmp_path)])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "OpenBG500" in output
+    assert (tmp_path / "OpenBG500_train.tsv").exists()
+    assert (tmp_path / "OpenBG-IMG_train.tsv").exists()
+
+
+def test_cli_linkpred_reports_metrics(capsys):
+    exit_code = main(["--products", "60", "--seed", "1", "linkpred",
+                      "--model", "TransE", "--epochs", "3", "--dim", "16"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "training loss" in output
+    assert "Hits@10" in output

@@ -1,0 +1,280 @@
+"""Tests for the construction pipeline: trie, matching, CRF, builders, dedup."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.construction.brand_place_builder import BrandPlaceBuilder, LabelMatcher
+from repro.construction.category_builder import CategoryBuilder
+from repro.construction.concept_builder import ConceptBuilder
+from repro.construction.dedup import Deduplicator
+from repro.construction.linking import DEFAULT_CNSCHEMA_MAPPING, InstanceLinker
+from repro.construction.pipeline import OpenBGBuilder
+from repro.construction.sequence_labeling import (
+    CrfTagger,
+    spans_to_tags,
+    tag_to_spans,
+    tokenize,
+)
+from repro.construction.trie import PrefixTrie
+from repro.datagen.catalog import SyntheticCatalogConfig, generate_catalog
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.namespaces import MetaProperty
+from repro.kg.triple import Triple
+from repro.utils.textutils import edit_distance, edit_similarity, jaccard_similarity, \
+    normalize_label
+
+
+# --------------------------------------------------------------------------- #
+# text utils
+# --------------------------------------------------------------------------- #
+def test_normalize_label():
+    assert normalize_label("  Apple   Inc ") == "apple inc"
+
+
+def test_edit_distance_basic():
+    assert edit_distance("rice", "rice") == 0
+    assert edit_distance("rice", "ricee") == 1
+    assert edit_distance("", "abc") == 3
+    assert edit_similarity("rice", "rice") == 1.0
+
+
+def test_jaccard_similarity():
+    assert jaccard_similarity("northeast rice", "rice northeast") == 1.0
+    assert jaccard_similarity("a b", "c d") == 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(max_size=12), st.text(max_size=12))
+def test_edit_distance_symmetry_and_bounds(a, b):
+    distance = edit_distance(a, b)
+    assert distance == edit_distance(b, a)
+    assert distance <= max(len(a), len(b))
+    assert (distance == 0) == (a == b)
+
+
+# --------------------------------------------------------------------------- #
+# trie
+# --------------------------------------------------------------------------- #
+def test_trie_exact_lookup_and_prefix():
+    trie = PrefixTrie()
+    trie.insert("Harbin", "place:harbin")
+    trie.insert("Harbin City", "place:harbin_city")
+    assert len(trie) == 2
+    assert trie.lookup("harbin") == "place:harbin"
+    assert trie.lookup("harb") is None
+    assert ("harbin", "place:harbin") in trie.starts_with("har")
+    assert "Harbin" in trie
+
+
+def test_trie_longest_match_and_scan():
+    trie = PrefixTrie()
+    trie.insert("northeast rice", "cat:ne_rice")
+    trie.insert("rice", "cat:rice")
+    match = trie.longest_match("northeast rice 5kg")
+    assert match is not None and match[2] == "cat:ne_rice"
+    payloads = [payload for _s, _e, payload in trie.scan("premium northeast rice and rice")]
+    assert "cat:ne_rice" in payloads
+    assert "cat:rice" in payloads
+
+
+def test_trie_ignores_empty_labels():
+    trie = PrefixTrie()
+    trie.insert("   ", "x")
+    assert len(trie) == 0
+
+
+# --------------------------------------------------------------------------- #
+# label matcher (trie + fuzzy)
+# --------------------------------------------------------------------------- #
+def test_label_matcher_exact_then_fuzzy():
+    matcher = LabelMatcher(fuzzy_threshold=0.8)
+    matcher.register("Jinlongyu", "brand:jinlongyu")
+    exact = matcher.match("jinlongyu")
+    assert exact.method == "exact" and exact.identifier == "brand:jinlongyu"
+    fuzzy = matcher.match("jinlongyuu")  # one extra character
+    assert fuzzy.method == "fuzzy" and fuzzy.identifier == "brand:jinlongyu"
+    miss = matcher.match("completely different brand")
+    assert miss.method == "none" and miss.identifier is None
+
+
+def test_label_matcher_threshold_validation():
+    with pytest.raises(ValueError):
+        LabelMatcher(fuzzy_threshold=0.0)
+
+
+def test_label_matcher_scan_text():
+    matcher = LabelMatcher()
+    matcher.register("Harbin", "place:harbin")
+    mentions = matcher.scan_text("produced in Harbin with care")
+    assert ("harbin", "place:harbin") in mentions
+
+
+# --------------------------------------------------------------------------- #
+# CRF sequence labeling
+# --------------------------------------------------------------------------- #
+def _training_sentences():
+    data = []
+    scenes = ["cooking", "running", "camping", "hiking"]
+    crowds = ["students", "children"]
+    for scene in scenes:
+        tokens = ["great", "product", "for", scene]
+        tags = ["O", "O", "O", "B-Scene"]
+        data.append((tokens, tags))
+    for crowd in crowds:
+        tokens = ["nice", "gift", "for", crowd, "today"]
+        tags = ["O", "O", "O", "B-Crowd", "O"]
+        data.append((tokens, tags))
+    return data * 3
+
+
+def test_crf_learns_simple_pattern():
+    tagger = CrfTagger(epochs=6, seed=0).fit(_training_sentences())
+    tags = tagger.predict(["great", "product", "for", "cooking"])
+    assert tags[-1] == "B-Scene"
+    tags = tagger.predict(["nice", "gift", "for", "students", "today"])
+    assert tags[3] == "B-Crowd"
+
+
+def test_crf_rejects_empty_training():
+    with pytest.raises(ValueError):
+        CrfTagger().fit([])
+    with pytest.raises(ValueError):
+        CrfTagger(epochs=0)
+
+
+def test_tag_to_spans_and_back():
+    tokens = ["zero", "fat", "konjac", "noodles", "100g"]
+    spans = [("Nutrients", "zero fat"), ("Category", "noodles")]
+    tags = spans_to_tags(tokens, spans)
+    assert tags == ["B-Nutrients", "I-Nutrients", "O", "B-Category", "O"]
+    assert set(tag_to_spans(tokens, tags)) == set(spans)
+
+
+def test_tag_to_spans_repairs_orphan_inside_tags():
+    tokens = ["very", "nice"]
+    tags = ["I-OPINION", "I-OPINION"]
+    assert tag_to_spans(tokens, tags) == [("OPINION", "very nice")]
+
+
+def test_tokenize_shapes():
+    tokens = tokenize("Zero-fat Noodles 100g*3")
+    assert [token.text for token in tokens] == ["Zero-fat", "Noodles", "100g*3"]
+    assert tokens[-1].shape == "dddx*d"
+
+
+# --------------------------------------------------------------------------- #
+# builders over a small catalog
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def tiny_catalog():
+    return generate_catalog(SyntheticCatalogConfig(num_products=40, seed=3))
+
+
+def test_category_builder_taxonomy_and_products(tiny_catalog):
+    graph = KnowledgeGraph()
+    builder = CategoryBuilder(graph)
+    builder.build_taxonomy(tiny_catalog.category_taxonomy)
+    builder.add_products(tiny_catalog)
+    assert "Category" in graph.classes
+    assert len(graph.entities) > 0
+    some_product = tiny_catalog.products[0]
+    assert graph.types_of(some_product.product_id) == [some_product.category]
+
+
+def test_category_reviews_scores_in_range(tiny_catalog):
+    graph = KnowledgeGraph()
+    builder = CategoryBuilder(graph)
+    reviews = builder.review_categories(tiny_catalog)
+    assert reviews
+    for review in reviews:
+        assert 0.0 <= review.overall <= 1.0
+    assert isinstance(builder.low_quality_categories(tiny_catalog, threshold=0.01), list)
+
+
+def test_brand_place_builder_links_products(tiny_catalog):
+    graph = KnowledgeGraph()
+    CategoryBuilder(graph).build_taxonomy(tiny_catalog.category_taxonomy)
+    CategoryBuilder(graph).add_products(tiny_catalog)
+    builder = BrandPlaceBuilder(graph)
+    builder.build_brands(tiny_catalog.brand_taxonomy)
+    builder.build_places(tiny_catalog.place_taxonomy)
+    stats = builder.link_products(tiny_catalog)
+    assert stats["brandIs"] > 0
+    assert stats["placeOfOrigin"] > 0
+    assert stats["brand_unmatched"] == 0
+    assert stats["place_unmatched"] == 0
+
+
+def test_concept_builder_taxonomies_and_links(tiny_catalog):
+    graph = KnowledgeGraph()
+    builder = ConceptBuilder(graph, crf_epochs=1)
+    builder.build_taxonomies(tiny_catalog)
+    counts = builder.link_products(tiny_catalog)
+    assert "Scene" in graph.concepts
+    assert sum(counts.values()) > 0
+    scorer = builder.fit_quality_scorer(tiny_catalog)
+    ranking = scorer.rank_concepts_for_subject(
+        tiny_catalog.category_taxonomy.node(tiny_catalog.products[0].category).label,
+        "relatedScene")
+    assert isinstance(ranking, list)
+
+
+def test_concept_builder_extraction(tiny_catalog):
+    graph = KnowledgeGraph()
+    builder = ConceptBuilder(graph, crf_epochs=2, seed=0)
+    builder.build_taxonomies(tiny_catalog)
+    builder.fit_tagger(tiny_catalog, max_sentences=80)
+    scene_label = tiny_catalog.concept_taxonomies["Scene"].leaves()[0].label
+    result = builder.extract([f"great rice for {scene_label}"])
+    assert result.sentences_processed == 1
+    # The tagger was trained on this template family, so it should usually
+    # find at least one mention across a few probes.
+    probe_texts = [f"great noodles for {scene_label}", f"great sofa for {scene_label}"]
+    total = len(result.mentions) + len(builder.extract(probe_texts).mentions)
+    assert total >= 1
+
+
+def test_instance_linker_and_cnschema(tiny_catalog):
+    graph = KnowledgeGraph()
+    linker = InstanceLinker(graph)
+    added = linker.link_items_to_products(tiny_catalog)
+    assert added == sum(len(product.items) for product in tiny_catalog.products)
+    assert linker.link_to_cnschema(DEFAULT_CNSCHEMA_MAPPING) == len(DEFAULT_CNSCHEMA_MAPPING)
+    pairs = linker.align_items(tiny_catalog)
+    assert pairs
+    same = [pair.score for pair in pairs if pair.same_product]
+    different = [pair.score for pair in pairs if not pair.same_product]
+    assert sum(same) / len(same) > sum(different) / len(different)
+
+
+def test_deduplicator_rewrites_literals():
+    graph = KnowledgeGraph()
+    graph.register_class("place:china", "China")
+    graph.register_entity("p1", "product")
+    graph.add(Triple("p1", "placeOfOrigin", "China"))
+    rewrites = Deduplicator(graph).rewrite_literals_to_entities(["placeOfOrigin"])
+    assert rewrites == [Triple("p1", "placeOfOrigin", "place:china")]
+    assert Triple("p1", "placeOfOrigin", "China") not in graph.store
+
+
+def test_deduplicator_merges_label_duplicates():
+    graph = KnowledgeGraph()
+    graph.register_class("brand:apple_1", "Apple")
+    graph.register_class("brand:apple_2", "Apple")
+    merged = Deduplicator(graph).merge_label_duplicates()
+    assert merged == {"brand:apple_1": ["brand:apple_2"]}
+    assert Triple("brand:apple_2", MetaProperty.EQUIVALENT_CLASS.value,
+                  "brand:apple_1") in graph.store
+
+
+def test_full_pipeline_summary(construction_result, small_config):
+    summary = construction_result.summary()
+    assert summary["products"] == small_config.num_products
+    assert summary["triples"] > small_config.num_products * 5
+    assert summary["validation_errors"] == 0
+    # Figure-4-style stage counts are monotonically non-decreasing.
+    counts = list(construction_result.stage_triple_counts.values())
+    assert counts == sorted(counts)

@@ -1,0 +1,217 @@
+"""Tests for the synthetic data substrate: catalog, text, images, corpus."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.catalog import (
+    SyntheticCatalogConfig,
+    build_brand_taxonomy,
+    build_category_taxonomy,
+    build_concept_taxonomies,
+    build_place_taxonomy,
+    generate_catalog,
+)
+from repro.datagen.corpus import PAIR_PROMPTS, CorpusGenerator, TextPair
+from repro.datagen.images import ImageFeatureGenerator
+from repro.datagen.textgen import TextGenerator
+from repro.datagen import wordbanks
+
+
+# --------------------------------------------------------------------------- #
+# taxonomies
+# --------------------------------------------------------------------------- #
+def test_category_taxonomy_three_levels():
+    taxonomy = build_category_taxonomy()
+    assert taxonomy.depth() == 3
+    assert len(taxonomy.leaves()) > 20
+
+
+def test_brand_taxonomy_counts():
+    taxonomy = build_brand_taxonomy(num_brands=25, seed=0)
+    # Level 1 = sectors, level 2 = brand leaves (sectors without any brand
+    # assigned also show up as tree leaves, so count by level).
+    assert taxonomy.level_counts()[2] == 25
+    assert taxonomy.level_counts()[1] == len(wordbanks.BRAND_SECTORS)
+
+
+def test_place_taxonomy_structure():
+    taxonomy = build_place_taxonomy()
+    assert "place:china" in taxonomy
+    assert taxonomy.node("place:harbin").level == 3
+
+
+def test_concept_taxonomies_cover_five_types():
+    taxonomies = build_concept_taxonomies()
+    assert set(taxonomies) == {"Scene", "Crowd", "Theme", "Time", "MarketSegment"}
+    for taxonomy in taxonomies.values():
+        assert len(taxonomy.leaves()) >= 5
+
+
+# --------------------------------------------------------------------------- #
+# catalog generation
+# --------------------------------------------------------------------------- #
+def test_catalog_is_deterministic():
+    config = SyntheticCatalogConfig(num_products=30, seed=11)
+    first = generate_catalog(config)
+    second = generate_catalog(config)
+    assert [p.product_id for p in first.products] == [p.product_id for p in second.products]
+    assert [p.title for p in first.products] == [p.title for p in second.products]
+    assert [p.category for p in first.products] == [p.category for p in second.products]
+
+
+def test_catalog_seed_changes_content():
+    first = generate_catalog(SyntheticCatalogConfig(num_products=30, seed=1))
+    second = generate_catalog(SyntheticCatalogConfig(num_products=30, seed=2))
+    assert [p.category for p in first.products] != [p.category for p in second.products]
+
+
+def test_catalog_counts_match_config(catalog, small_config):
+    assert len(catalog.products) == small_config.num_products
+    described = catalog.describe()
+    assert described["items"] == small_config.num_products * small_config.items_per_product
+    # Image fraction is approximate but must be non-trivial in both directions.
+    assert 0 < described["multimodal_products"] < small_config.num_products
+
+
+def test_catalog_products_reference_known_taxonomy_nodes(catalog):
+    leaf_categories = set(catalog.leaf_categories())
+    brands = set(catalog.brands())
+    places = set(catalog.places())
+    for product in catalog.products:
+        assert product.category in leaf_categories
+        if product.brand is not None:
+            assert product.brand in brands
+        if product.place is not None:
+            assert product.place in places
+
+
+def test_catalog_concept_links_reference_known_concepts(catalog):
+    known = set()
+    for taxonomy in catalog.concept_taxonomies.values():
+        known.update(node.identifier for node in taxonomy.walk())
+    for product in catalog.products:
+        for concepts in product.concept_links.values():
+            for concept in concepts:
+                assert concept in known
+
+
+def test_item_titles_vary_but_stay_related(catalog):
+    """Items of one product have different but overlapping titles."""
+    multi_item = [p for p in catalog.products if len(p.items) >= 2]
+    assert multi_item
+    differing = 0
+    for product in multi_item:
+        titles = {item.title for item in product.items}
+        if len(titles) > 1:
+            differing += 1
+        for item in product.items:
+            shared = set(item.title.split()) & set(product.title.split())
+            assert len(shared) >= 2
+    assert differing > 0
+
+
+def test_product_record_helpers(catalog):
+    product = catalog.products[0]
+    assert isinstance(product.has_image, bool)
+    assert len(product.all_reviews()) == len(product.items) * catalog.config.reviews_per_item
+    assert all(" " in phrase for phrase in product.attribute_phrases())
+
+
+# --------------------------------------------------------------------------- #
+# text generation
+# --------------------------------------------------------------------------- #
+def test_title_annotation_contains_gold_spans():
+    generator = TextGenerator(seed=3)
+    annotation = generator.title("rice", "Jinlongyu", {"weight": "5kg"}, ["cooking"],
+                                 key="p1")
+    assert "rice" in annotation.title
+    span_types = {entity_type for entity_type, _surface in annotation.spans}
+    assert "Category" in span_types
+    assert "Brand" in span_types
+    assert annotation.short_title
+
+
+def test_title_generation_is_deterministic_per_key():
+    generator = TextGenerator(seed=3)
+    first = generator.title("rice", None, {}, [], key="k1").title
+    second = generator.title("rice", None, {}, [], key="k1").title
+    other = generator.title("rice", None, {}, [], key="k2").title
+    assert first == second
+    assert first != other
+
+
+def test_review_annotation_pairs_appear_in_text():
+    generator = TextGenerator(seed=3)
+    review = generator.review("sofa", key="item1")
+    for aspect, opinion in review.pairs:
+        assert aspect in review.text
+        assert opinion in review.text
+
+
+def test_search_query_and_slogan():
+    generator = TextGenerator(seed=3)
+    assert "rice" in generator.search_query("rice", [], key="q1")
+    assert generator.slogan("s1") in wordbanks.SLOGAN_TEMPLATES
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)), min_size=1, max_size=10))
+def test_description_mentions_product(label):
+    generator = TextGenerator(seed=5)
+    description = generator.description(label, "Harbin", {"weight": "1kg"}, key=label)
+    assert label in description
+
+
+# --------------------------------------------------------------------------- #
+# image features
+# --------------------------------------------------------------------------- #
+def test_image_features_are_unit_norm_and_deterministic():
+    generator = ImageFeatureGenerator(dim=16, seed=0)
+    first = generator.product_image("p1", "cat:rice", "brand:a")
+    second = generator.product_image("p1", "cat:rice", "brand:a")
+    np.testing.assert_allclose(first, second)
+    assert abs(np.linalg.norm(first) - 1.0) < 1e-5
+
+
+def test_same_category_images_are_closer_than_cross_category():
+    generator = ImageFeatureGenerator(dim=32, seed=0, noise_scale=0.2)
+    rice_a = generator.product_image("p1", "cat:rice")
+    rice_b = generator.product_image("p2", "cat:rice")
+    sofa = generator.product_image("p3", "cat:sofa")
+    same = float(rice_a @ rice_b)
+    cross = float(rice_a @ sofa)
+    assert same > cross
+
+
+def test_image_generator_rejects_bad_dim():
+    with pytest.raises(ValueError):
+        ImageFeatureGenerator(dim=0)
+
+
+# --------------------------------------------------------------------------- #
+# corpus
+# --------------------------------------------------------------------------- #
+def test_supervised_pairs_cover_expected_kinds(catalog):
+    corpus = CorpusGenerator(catalog, seed=0)
+    pairs = corpus.supervised_pairs(max_pairs_per_kind=10)
+    kinds = {pair.kind for pair in pairs}
+    assert {"product-category", "item-title", "item-triple",
+            "short-long-title", "item-review"} <= kinds
+
+
+def test_prompted_source_uses_templates():
+    pair = TextPair("product-category", "some title", "rice")
+    assert pair.prompted_source() == PAIR_PROMPTS["product-category"].format(source="some title")
+
+
+def test_unsupervised_corpus_and_stream(catalog):
+    corpus = CorpusGenerator(catalog, seed=0)
+    sentences = corpus.unsupervised_corpus(max_sentences=25)
+    assert len(sentences) == 25
+    stream = corpus.pretraining_stream(max_pairs_per_kind=5, max_unsupervised=5)
+    assert all(isinstance(source, str) and isinstance(target, str)
+               for source, target in stream)

@@ -1,0 +1,281 @@
+"""Tests for the KG embedding models, negative sampling, training and ranking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import (
+    ComplEx,
+    DistMult,
+    GenKGCSim,
+    KGBertSim,
+    KGETrainer,
+    LinkPredictionEvaluator,
+    MKGformerLite,
+    NegativeSampler,
+    RSME,
+    StARSim,
+    TrainingConfig,
+    TransAE,
+    TransD,
+    TransE,
+    TransH,
+    TuckER,
+)
+from repro.embedding.evaluation import format_results_table, metrics_from_ranks
+from repro.embedding.features import TextFeatureTable, entity_text_matrix, text_feature_vector
+from repro.errors import EmbeddingError, TrainingError
+from repro.utils.rng import derive_rng
+
+NUM_ENTITIES = 30
+NUM_RELATIONS = 4
+
+
+def _toy_graph(seed: int = 0) -> np.ndarray:
+    """A small structured graph: relation r maps entity e to (e + r + 1) % N."""
+    rows = []
+    for relation in range(NUM_RELATIONS):
+        for entity in range(NUM_ENTITIES):
+            rows.append((entity, relation, (entity + relation + 1) % NUM_ENTITIES))
+    rng = derive_rng(seed, "toy-graph")
+    rows = [rows[int(index)] for index in rng.permutation(len(rows))]
+    return np.asarray(rows, dtype=np.int64)
+
+
+def _features(dim: int = 24) -> np.ndarray:
+    rng = derive_rng(3, "toy-features")
+    features = rng.normal(0, 1, (NUM_ENTITIES, dim))
+    return features / np.linalg.norm(features, axis=1, keepdims=True)
+
+
+STRUCTURAL_MODELS = [TransE, TransH, TransD, DistMult, ComplEx, TuckER]
+
+
+# --------------------------------------------------------------------------- #
+# construction and scoring invariants
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_class", STRUCTURAL_MODELS)
+def test_model_scores_shapes(model_class):
+    model = model_class(NUM_ENTITIES, NUM_RELATIONS, dim=16, seed=0)
+    triples = _toy_graph()[:10]
+    scores = model.score_triples(triples[:, 0], triples[:, 1], triples[:, 2])
+    assert scores.shape == (10,)
+    tails = model.score_candidate_tails(triples[:5, 0], triples[:5, 1])
+    heads = model.score_candidate_heads(triples[:5, 1], triples[:5, 2])
+    assert tails.shape == (5, NUM_ENTITIES)
+    assert heads.shape == (5, NUM_ENTITIES)
+
+
+@pytest.mark.parametrize("model_class", STRUCTURAL_MODELS)
+def test_candidate_scores_match_pointwise_scores(model_class):
+    """score_candidate_tails row must agree with score_triples on each entity."""
+    model = model_class(NUM_ENTITIES, NUM_RELATIONS, dim=12, seed=1)
+    heads = np.array([2, 5])
+    relations = np.array([1, 3])
+    candidate = model.score_candidate_tails(heads, relations)
+    all_entities = np.arange(NUM_ENTITIES)
+    for row in range(2):
+        expected = model.score_triples(np.full(NUM_ENTITIES, heads[row]),
+                                       np.full(NUM_ENTITIES, relations[row]),
+                                       all_entities)
+        np.testing.assert_allclose(candidate[row], expected, rtol=1e-8, atol=1e-8)
+
+
+def test_model_rejects_bad_dimensions():
+    with pytest.raises(EmbeddingError):
+        TransE(0, 3)
+    with pytest.raises(EmbeddingError):
+        TransE(3, 3, dim=0)
+
+
+def test_check_ids_detects_out_of_range():
+    model = TransE(NUM_ENTITIES, NUM_RELATIONS, dim=8)
+    bad = np.array([[0, 0, NUM_ENTITIES + 5]])
+    with pytest.raises(EmbeddingError):
+        model.check_ids(bad)
+
+
+def test_num_parameters_positive_and_parameters_named():
+    model = TuckER(NUM_ENTITIES, NUM_RELATIONS, dim=8)
+    params = model.parameters()
+    assert "core" in params
+    assert model.num_parameters() == sum(array.size for array in params.values())
+
+
+# --------------------------------------------------------------------------- #
+# negative sampling
+# --------------------------------------------------------------------------- #
+def test_negative_sampler_corrupts_one_side():
+    train = _toy_graph()
+    sampler = NegativeSampler(train, NUM_ENTITIES, seed=0)
+    negatives = sampler.corrupt(train[:50])
+    assert negatives.shape == (50, 3)
+    differs = (negatives != train[:50]).any(axis=1)
+    assert differs.mean() > 0.9
+    # Relations are never corrupted.
+    np.testing.assert_array_equal(negatives[:, 1], train[:50, 1])
+
+
+def test_negative_sampler_filters_false_negatives():
+    train = _toy_graph()
+    known = {tuple(row) for row in train.tolist()}
+    sampler = NegativeSampler(train, NUM_ENTITIES, seed=1, filter_false_negatives=True)
+    negatives = sampler.corrupt(train[:100])
+    false_negative_rate = np.mean([tuple(row) in known for row in negatives.tolist()])
+    assert false_negative_rate < 0.15
+
+
+def test_negative_sampler_bern_strategy_and_validation():
+    train = _toy_graph()
+    sampler = NegativeSampler(train, NUM_ENTITIES, strategy="bern", seed=2)
+    assert sampler.corrupt(train[:10]).shape == (10, 3)
+    with pytest.raises(EmbeddingError):
+        NegativeSampler(train, NUM_ENTITIES, strategy="nope")
+
+
+def test_negative_sampler_multiple_negatives():
+    train = _toy_graph()
+    sampler = NegativeSampler(train, NUM_ENTITIES, seed=0)
+    negatives = sampler.corrupt(train[:10], num_negatives=3)
+    assert negatives.shape == (30, 3)
+
+
+# --------------------------------------------------------------------------- #
+# training decreases loss and improves ranking
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_class", [TransE, TransH, TransD, DistMult, ComplEx, TuckER])
+def test_training_reduces_loss(model_class):
+    train = _toy_graph()
+    model = model_class(NUM_ENTITIES, NUM_RELATIONS, dim=16, seed=0)
+    config = TrainingConfig(epochs=8, batch_size=64, learning_rate=0.05, seed=0)
+    history = KGETrainer(model, config).fit(train)
+    assert history.improved()
+
+
+def test_trainer_validates_input():
+    model = TransE(NUM_ENTITIES, NUM_RELATIONS, dim=8)
+    with pytest.raises(TrainingError):
+        KGETrainer(model).fit(np.zeros((0, 3), dtype=np.int64))
+    with pytest.raises(TrainingError):
+        KGETrainer(model).fit(np.zeros((4, 2), dtype=np.int64))
+    with pytest.raises(TrainingError):
+        TrainingConfig(epochs=0)
+
+
+def test_transe_beats_untrained_ranking():
+    train = _toy_graph()
+    test = train[: NUM_ENTITIES]
+    untrained = TransE(NUM_ENTITIES, NUM_RELATIONS, dim=16, seed=0)
+    evaluator = LinkPredictionEvaluator(train)
+    before = evaluator.evaluate(untrained, test)
+    trained = TransE(NUM_ENTITIES, NUM_RELATIONS, dim=16, seed=0)
+    KGETrainer(trained, TrainingConfig(epochs=25, batch_size=64,
+                                       learning_rate=0.1, seed=0)).fit(train)
+    after = evaluator.evaluate(trained, test)
+    assert after.mean_reciprocal_rank > before.mean_reciprocal_rank
+    assert after.hits_at_10 >= before.hits_at_10
+
+
+# --------------------------------------------------------------------------- #
+# text-enhanced and multimodal models
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("model_class", [KGBertSim, StARSim, GenKGCSim])
+def test_text_models_train(model_class):
+    train = _toy_graph()
+    model = model_class(NUM_ENTITIES, NUM_RELATIONS, text_features=_features(),
+                        dim=16, seed=0)
+    history = KGETrainer(model, TrainingConfig(epochs=5, batch_size=64,
+                                               learning_rate=0.02, seed=0)).fit(train)
+    assert np.isfinite(history.final_loss)
+    scores = model.score_triples(train[:5, 0], train[:5, 1], train[:5, 2])
+    assert scores.shape == (5,)
+
+
+@pytest.mark.parametrize("model_class", [TransAE, RSME, MKGformerLite])
+def test_multimodal_models_train(model_class):
+    train = _toy_graph()
+    model = model_class(NUM_ENTITIES, NUM_RELATIONS, image_features=_features(),
+                        dim=16, seed=0)
+    history = KGETrainer(model, TrainingConfig(epochs=6, batch_size=64,
+                                               learning_rate=0.05, seed=0)).fit(train)
+    assert history.improved()
+
+
+def test_multimodal_model_rejects_misaligned_features():
+    with pytest.raises(ValueError):
+        TransAE(NUM_ENTITIES, NUM_RELATIONS, image_features=np.zeros((5, 8)))
+    with pytest.raises(ValueError):
+        KGBertSim(NUM_ENTITIES, NUM_RELATIONS, text_features=np.zeros((5, 8)))
+
+
+# --------------------------------------------------------------------------- #
+# text features
+# --------------------------------------------------------------------------- #
+def test_text_feature_vector_properties():
+    vector = text_feature_vector("northeast rice", dim=32)
+    assert vector.shape == (32,)
+    assert abs(np.linalg.norm(vector) - 1.0) < 1e-6
+    np.testing.assert_allclose(vector, text_feature_vector("Northeast  Rice", dim=32))
+    similar = float(vector @ text_feature_vector("northeast rices", dim=32))
+    different = float(vector @ text_feature_vector("leather sofa", dim=32))
+    assert similar > different
+
+
+def test_text_feature_table_and_matrix():
+    table = TextFeatureTable(dim=16)
+    first = table.features_for("e1", "rice")
+    assert table.features_for("e1", "ignored-after-cache") is first
+    matrix = entity_text_matrix(["a", "b"], {"a": "rice"}, {"b": "noodle soup"}, dim=16)
+    assert matrix.shape == (2, 16)
+
+
+# --------------------------------------------------------------------------- #
+# ranking metrics
+# --------------------------------------------------------------------------- #
+def test_metrics_from_ranks_values():
+    metrics = metrics_from_ranks([1, 2, 3, 10, 100])
+    assert metrics.hits_at_1 == pytest.approx(0.2)
+    assert metrics.hits_at_3 == pytest.approx(0.6)
+    assert metrics.hits_at_10 == pytest.approx(0.8)
+    assert metrics.mean_rank == pytest.approx(23.2)
+    assert metrics.num_queries == 5
+    assert metrics_from_ranks([]).num_queries == 0
+
+
+def test_filtered_ranking_ignores_known_true_tails():
+    train = np.array([[0, 0, 1], [0, 0, 2]], dtype=np.int64)
+
+    class Fixed(TransE):
+        def score_candidate_tails(self, heads, relations):
+            scores = np.zeros((len(heads), self.num_entities))
+            scores[:, 1] = 10.0   # a known-true competitor
+            scores[:, 2] = 5.0    # the gold tail
+            return scores
+
+        def score_candidate_heads(self, relations, tails):
+            return np.zeros((len(tails), self.num_entities))
+
+    model = Fixed(5, 1, dim=4)
+    evaluator = LinkPredictionEvaluator(train)
+    metrics = evaluator.evaluate(model, np.array([[0, 0, 2]], dtype=np.int64),
+                                 both_directions=False)
+    # Entity 1 outranks the gold tail but is filtered, so the gold rank is 1.
+    assert metrics.hits_at_1 == 1.0
+
+
+def test_format_results_table_contains_models():
+    metrics = metrics_from_ranks([1, 2, 3])
+    table = format_results_table({"TransE": metrics, "TuckER": metrics}, title="demo")
+    assert "TransE" in table and "TuckER" in table and "Hits@10" in table
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=60))
+def test_ranking_metric_invariants(ranks):
+    metrics = metrics_from_ranks(ranks)
+    assert 0.0 <= metrics.hits_at_1 <= metrics.hits_at_3 <= metrics.hits_at_10 <= 1.0
+    assert metrics.mean_rank >= 1.0
+    assert 0.0 < metrics.mean_reciprocal_rank <= 1.0

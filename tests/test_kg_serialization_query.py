@@ -1,0 +1,161 @@
+"""Tests for serialization round-trips, namespaces and the query engine."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.kg.namespaces import NAMESPACES, MetaProperty
+from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.serialization import (
+    read_ntriples,
+    read_split_json,
+    read_tsv,
+    write_ntriples,
+    write_split_json,
+    write_tsv,
+)
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple, triples_from_tuples
+
+SAMPLE = triples_from_tuples([
+    ("p1", "brandIs", "apple"),
+    ("p1", "rdf:type", "phone"),
+    ("apple", "rdfs:label", "Apple"),
+])
+
+
+# --------------------------------------------------------------------------- #
+# namespaces
+# --------------------------------------------------------------------------- #
+def test_namespace_expand_and_compact_roundtrip():
+    for curie in ["rdf:type", "rdfs:subClassOf", "owl:Thing", "skos:broader", "brandIs"]:
+        expanded = NAMESPACES.expand(curie)
+        assert expanded.startswith("http")
+        assert NAMESPACES.compact(expanded) == curie
+
+
+def test_namespace_unknown_prefix_passthrough():
+    assert NAMESPACES.expand("foaf:name") == "foaf:name"
+    assert NAMESPACES.compact("urn:whatever") == "urn:whatever"
+
+
+def test_meta_property_values_are_curies():
+    assert MetaProperty.SUBCLASS_OF.value == "rdfs:subClassOf"
+    assert str(MetaProperty.TYPE) == "rdf:type"
+
+
+# --------------------------------------------------------------------------- #
+# serialization
+# --------------------------------------------------------------------------- #
+def test_tsv_roundtrip(tmp_path):
+    path = tmp_path / "triples.tsv"
+    assert write_tsv(SAMPLE, path) == 3
+    assert read_tsv(path) == SAMPLE
+
+
+def test_tsv_malformed_line_raises(tmp_path):
+    path = tmp_path / "bad.tsv"
+    path.write_text("only\ttwo\n")
+    with pytest.raises(SerializationError):
+        read_tsv(path)
+
+
+def test_ntriples_roundtrip(tmp_path):
+    path = tmp_path / "triples.nt"
+    write_ntriples(SAMPLE, path)
+    assert read_ntriples(path) == SAMPLE
+
+
+def test_ntriples_malformed_raises(tmp_path):
+    path = tmp_path / "bad.nt"
+    path.write_text("<a> <b> <c>\n")  # missing trailing dot
+    with pytest.raises(SerializationError):
+        read_ntriples(path)
+
+
+def test_split_json_roundtrip(tmp_path):
+    path = tmp_path / "split.json"
+    splits = {"train": SAMPLE[:2], "test": SAMPLE[2:]}
+    write_split_json(splits, path)
+    loaded = read_split_json(path)
+    assert loaded["train"] == SAMPLE[:2]
+    assert loaded["test"] == SAMPLE[2:]
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=8),
+    st.text(alphabet=st.characters(whitelist_categories=("Ll",)), min_size=1, max_size=8),
+    st.text(alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=8),
+), min_size=1, max_size=20))
+def test_tsv_roundtrip_property(tmp_path_factory, rows):
+    """Property: TSV round-trips arbitrary tab-free symbols."""
+    path = tmp_path_factory.mktemp("tsv") / "data.tsv"
+    triples = triples_from_tuples(rows)
+    write_tsv(triples, path)
+    assert read_tsv(path) == triples
+
+
+# --------------------------------------------------------------------------- #
+# query engine
+# --------------------------------------------------------------------------- #
+def _engine() -> QueryEngine:
+    store = TripleStore(triples_from_tuples([
+        ("p1", "brandIs", "apple"),
+        ("p2", "brandIs", "apple"),
+        ("p3", "brandIs", "tesla"),
+        ("p1", "placeOfOrigin", "china"),
+        ("p2", "placeOfOrigin", "china"),
+        ("apple", "headquartersIn", "america"),
+    ]))
+    return QueryEngine(store)
+
+
+def test_query_single_pattern():
+    engine = _engine()
+    query = PatternQuery.from_patterns([("?p", "brandIs", "apple")], select=["?p"])
+    results = engine.execute(query)
+    assert {row["?p"] for row in results} == {"p1", "p2"}
+
+
+def test_query_join_two_patterns():
+    engine = _engine()
+    query = PatternQuery.from_patterns([
+        ("?p", "brandIs", "apple"),
+        ("?p", "placeOfOrigin", "?place"),
+    ])
+    results = engine.execute(query)
+    assert {(row["?p"], row["?place"]) for row in results} == {("p1", "china"),
+                                                               ("p2", "china")}
+
+
+def test_query_chained_join():
+    engine = _engine()
+    query = PatternQuery.from_patterns([
+        ("?p", "brandIs", "?b"),
+        ("?b", "headquartersIn", "?country"),
+    ], select=["?p", "?country"])
+    results = engine.execute(query)
+    assert {(row["?p"], row["?country"]) for row in results} == {("p1", "america"),
+                                                                 ("p2", "america")}
+
+
+def test_query_no_results():
+    engine = _engine()
+    query = PatternQuery.from_patterns([("?p", "brandIs", "nokia")])
+    assert engine.execute(query) == []
+
+
+def test_query_invalid_pattern_length():
+    with pytest.raises(ValueError):
+        PatternQuery.from_patterns([("a", "b")])
+
+
+def test_query_helpers_one_two_hop():
+    engine = _engine()
+    assert engine.one_hop("p1", "brandIs") == ["apple"]
+    assert engine.two_hop("p1", "brandIs", "headquartersIn") == ["america"]
+    assert engine.co_occurring_heads("brandIs", "apple", limit=1) == ["p1"]

@@ -1,0 +1,179 @@
+"""Unit and property tests for Triple, TripleStore and Vocabulary."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple, triples_from_tuples
+from repro.kg.vocab import Vocabulary
+
+# --------------------------------------------------------------------------- #
+# Triple
+# --------------------------------------------------------------------------- #
+def test_triple_fields_and_tuple():
+    triple = Triple("a", "r", "b")
+    assert triple.head == "a"
+    assert triple.as_tuple() == ("a", "r", "b")
+    assert list(triple) == ["a", "r", "b"]
+
+
+def test_triple_rejects_empty_fields():
+    with pytest.raises(ValueError):
+        Triple("", "r", "b")
+    with pytest.raises(ValueError):
+        Triple("a", "r", "")
+
+
+def test_triple_is_hashable_and_orderable():
+    triples = {Triple("a", "r", "b"), Triple("a", "r", "b"), Triple("a", "r", "c")}
+    assert len(triples) == 2
+    assert sorted(triples)[0] == Triple("a", "r", "b")
+
+
+def test_triple_reversed_and_with_relation():
+    triple = Triple("a", "r", "b")
+    assert triple.reversed() == Triple("b", "r", "a")
+    assert triple.with_relation("s") == Triple("a", "s", "b")
+
+
+def test_triples_from_tuples():
+    rows = [("a", "r", "b"), ("c", "s", "d")]
+    assert triples_from_tuples(rows) == [Triple("a", "r", "b"), Triple("c", "s", "d")]
+
+
+# --------------------------------------------------------------------------- #
+# TripleStore
+# --------------------------------------------------------------------------- #
+def _sample_store() -> TripleStore:
+    return TripleStore(triples_from_tuples([
+        ("p1", "brandIs", "apple"),
+        ("p1", "placeOfOrigin", "china"),
+        ("p2", "brandIs", "apple"),
+        ("p2", "placeOfOrigin", "germany"),
+        ("p3", "brandIs", "tesla"),
+    ]))
+
+
+def test_store_add_is_idempotent():
+    store = TripleStore()
+    assert store.add(Triple("a", "r", "b")) is True
+    assert store.add(Triple("a", "r", "b")) is False
+    assert len(store) == 1
+
+
+def test_store_match_fully_bound():
+    store = _sample_store()
+    assert store.match("p1", "brandIs", "apple") == [Triple("p1", "brandIs", "apple")]
+    assert store.match("p1", "brandIs", "tesla") == []
+
+
+def test_store_match_partial_patterns():
+    store = _sample_store()
+    assert len(store.match(head="p1")) == 2
+    assert len(store.match(relation="brandIs")) == 3
+    assert len(store.match(tail="apple")) == 2
+    assert len(store.match(head="p1", relation="brandIs")) == 1
+    assert len(store.match()) == 5
+
+
+def test_store_count_matches_match():
+    store = _sample_store()
+    for pattern in [dict(head="p1"), dict(relation="brandIs"), dict(tail="apple"),
+                    dict(head="p2", relation="placeOfOrigin"), dict()]:
+        assert store.count(**pattern) == len(store.match(**pattern))
+
+
+def test_store_tails_and_heads():
+    store = _sample_store()
+    assert store.tails("p1", "brandIs") == ["apple"]
+    assert store.heads("brandIs", "apple") == ["p1", "p2"]
+
+
+def test_store_discard():
+    store = _sample_store()
+    assert store.discard(Triple("p1", "brandIs", "apple")) is True
+    assert store.discard(Triple("p1", "brandIs", "apple")) is False
+    assert store.count(relation="brandIs") == 2
+    assert Triple("p1", "brandIs", "apple") not in store
+
+
+def test_store_relation_frequencies_and_degree():
+    store = _sample_store()
+    freqs = store.relation_frequencies()
+    assert freqs["brandIs"] == 3
+    assert freqs["placeOfOrigin"] == 2
+    assert store.degree("p1") == 2
+    assert store.degree("apple") == 2
+
+
+def test_store_entities_and_relations():
+    store = _sample_store()
+    assert "p1" in store.entities()
+    assert "apple" in store.entities()
+    assert store.relations() == ["brandIs", "placeOfOrigin"]
+
+
+def test_store_copy_is_independent():
+    store = _sample_store()
+    clone = store.copy()
+    clone.add(Triple("p9", "brandIs", "nokia"))
+    assert len(clone) == len(store) + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=4),
+                          st.sampled_from(["r1", "r2", "r3"]),
+                          st.text(min_size=1, max_size=4)), max_size=40))
+def test_store_match_consistent_with_set_semantics(rows):
+    """Property: the store behaves like a set of triples for any insert order."""
+    triples = triples_from_tuples(rows)
+    store = TripleStore(triples)
+    assert len(store) == len(set(triples))
+    for triple in triples:
+        assert triple in store
+        assert triple in store.match(head=triple.head)
+        assert triple in store.match(relation=triple.relation)
+        assert triple in store.match(tail=triple.tail)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.text(min_size=1, max_size=3),
+                          st.text(min_size=1, max_size=3),
+                          st.text(min_size=1, max_size=3)), min_size=1, max_size=30))
+def test_store_relation_frequencies_sum_to_size(rows):
+    store = TripleStore(triples_from_tuples(rows))
+    assert sum(store.relation_frequencies().values()) == len(store)
+
+
+# --------------------------------------------------------------------------- #
+# Vocabulary
+# --------------------------------------------------------------------------- #
+def test_vocabulary_roundtrip_and_order():
+    vocab = Vocabulary(["a", "b", "a", "c"])
+    assert len(vocab) == 3
+    assert vocab.id_of("a") == 0
+    assert vocab.symbol_of(2) == "c"
+    assert vocab.symbols() == ["a", "b", "c"]
+
+
+def test_vocabulary_get_and_contains():
+    vocab = Vocabulary(["x"])
+    assert "x" in vocab
+    assert vocab.get("missing") is None
+    assert vocab.get("missing", -1) == -1
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.text(min_size=1, max_size=6), max_size=50))
+def test_vocabulary_ids_are_dense_and_stable(symbols):
+    vocab = Vocabulary(symbols)
+    ids = [vocab.id_of(symbol) for symbol in vocab]
+    assert ids == list(range(len(vocab)))
+    # Re-adding never changes an id.
+    for symbol in symbols:
+        before = vocab.id_of(symbol)
+        vocab.add(symbol)
+        assert vocab.id_of(symbol) == before

@@ -1,0 +1,315 @@
+"""Tests for the autograd engine, layers, optimizers and losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    AdaGrad,
+    Adam,
+    AdamW,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    LinearWarmupSchedule,
+    MultiHeadAttention,
+    PositionalEncoding,
+    SGD,
+    Sequential,
+    Tensor,
+    TransformerDecoderLayer,
+    TransformerEncoderLayer,
+    binary_cross_entropy_with_logits,
+    contrastive_loss,
+    cross_entropy,
+    masked_mean,
+)
+from repro.nn.attention import causal_mask, padding_mask
+from repro.nn.module import Module, Parameter
+
+
+def numeric_gradient(function, tensor: Tensor, index, eps: float = 1e-5) -> float:
+    """Central finite-difference gradient of a scalar function wrt one entry."""
+    original = tensor.data[index]
+    tensor.data[index] = original + eps
+    plus = function().item()
+    tensor.data[index] = original - eps
+    minus = function().item()
+    tensor.data[index] = original
+    return (plus - minus) / (2 * eps)
+
+
+# --------------------------------------------------------------------------- #
+# autograd correctness against numerical gradients
+# --------------------------------------------------------------------------- #
+def test_add_mul_matmul_gradients():
+    rng = np.random.default_rng(0)
+    a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+    b = Tensor(rng.normal(size=(4, 2)), requires_grad=True)
+    c = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+
+    def loss_fn():
+        return (((a @ b) * c) + c).sum()
+
+    loss = loss_fn()
+    loss.backward()
+    for tensor, index in [(a, (1, 2)), (b, (0, 1)), (c, (2, 0))]:
+        numeric = numeric_gradient(loss_fn, tensor, index)
+        assert tensor.grad[index] == pytest.approx(numeric, rel=1e-4, abs=1e-6)
+
+
+def test_broadcast_add_gradient_shapes():
+    a = Tensor(np.random.default_rng(1).normal(size=(3, 4)), requires_grad=True)
+    bias = Tensor(np.zeros(4), requires_grad=True)
+    loss = ((a + bias) ** 2.0).sum()
+    loss.backward()
+    assert bias.grad.shape == (4,)
+    np.testing.assert_allclose(bias.grad, (2 * a.data).sum(axis=0))
+
+
+@pytest.mark.parametrize("op_name", ["exp", "log", "tanh", "sigmoid", "relu", "gelu"])
+def test_elementwise_gradients(op_name):
+    rng = np.random.default_rng(2)
+    data = np.abs(rng.normal(size=(4, 3))) + 0.5  # positive for log
+    tensor = Tensor(data, requires_grad=True)
+
+    def loss_fn():
+        return getattr(tensor, op_name)().sum()
+
+    loss_fn().backward()
+    numeric = numeric_gradient(loss_fn, tensor, (1, 1))
+    assert tensor.grad[1, 1] == pytest.approx(numeric, rel=1e-3, abs=1e-5)
+
+
+def test_softmax_and_log_softmax_gradients():
+    tensor = Tensor(np.random.default_rng(3).normal(size=(2, 5)), requires_grad=True)
+
+    def loss_fn():
+        return (tensor.softmax(axis=-1) * Tensor(np.arange(5.0))).sum()
+
+    loss_fn().backward()
+    numeric = numeric_gradient(loss_fn, tensor, (0, 2))
+    assert tensor.grad[0, 2] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+
+def test_cross_entropy_gradient_matches_numeric():
+    logits = Tensor(np.random.default_rng(4).normal(size=(4, 6)), requires_grad=True)
+    targets = np.array([0, 2, 5, 1])
+
+    def loss_fn():
+        return cross_entropy(logits, targets)
+
+    loss_fn().backward()
+    numeric = numeric_gradient(loss_fn, logits, (2, 5))
+    assert logits.grad[2, 5] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+
+def test_cross_entropy_ignore_index():
+    logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+    loss = cross_entropy(logits, np.array([1, -100]), ignore_index=-100)
+    assert loss.item() == pytest.approx(np.log(3.0))
+    all_ignored = cross_entropy(logits, np.array([-100, -100]), ignore_index=-100)
+    assert all_ignored.item() == 0.0
+
+
+def test_embedding_lookup_gradient_accumulates_repeats():
+    table = Tensor(np.random.default_rng(5).normal(size=(6, 3)), requires_grad=True)
+    indices = np.array([[1, 1, 2]])
+    out = table.embedding_lookup(indices)
+    out.sum().backward()
+    np.testing.assert_allclose(table.grad[1], np.full(3, 2.0))
+    np.testing.assert_allclose(table.grad[2], np.ones(3))
+    np.testing.assert_allclose(table.grad[0], np.zeros(3))
+
+
+def test_masked_fill_blocks_gradient():
+    tensor = Tensor(np.ones((2, 2)), requires_grad=True)
+    mask = np.array([[True, False], [False, False]])
+    out = tensor.masked_fill(mask, -5.0)
+    assert out.data[0, 0] == -5.0
+    out.sum().backward()
+    assert tensor.grad[0, 0] == 0.0
+    assert tensor.grad[1, 1] == 1.0
+
+
+def test_reshape_transpose_concat_getitem():
+    tensor = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+    reshaped = tensor.reshape(4, 3).transpose(1, 0)
+    assert reshaped.shape == (3, 4)
+    concatenated = Tensor.concatenate([tensor, tensor], axis=1)
+    assert concatenated.shape == (3, 8)
+    sliced = tensor[np.array([0, 2])]
+    assert sliced.shape == (2, 4)
+    (reshaped.sum() + concatenated.sum() + sliced.sum()).backward()
+    assert tensor.grad.shape == (3, 4)
+    assert tensor.grad[0, 0] == pytest.approx(1 + 2 + 1)
+
+
+def test_detach_and_zero_grad():
+    tensor = Tensor(np.ones(3), requires_grad=True)
+    detached = tensor.detach()
+    assert not detached.requires_grad
+    (tensor * 2.0).sum().backward()
+    assert tensor.grad is not None
+    tensor.zero_grad()
+    assert tensor.grad is None
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=1, max_value=6), st.integers(min_value=1, max_value=6))
+def test_mean_gradient_is_uniform(rows, cols):
+    tensor = Tensor(np.random.default_rng(0).normal(size=(rows, cols)), requires_grad=True)
+    tensor.mean().backward()
+    np.testing.assert_allclose(tensor.grad, np.full((rows, cols), 1.0 / (rows * cols)))
+
+
+# --------------------------------------------------------------------------- #
+# modules
+# --------------------------------------------------------------------------- #
+def test_linear_and_sequential_forward_backward():
+    model = Sequential(Linear(8, 16, seed=0), LayerNorm(16), Linear(16, 4, seed=1))
+    inputs = Tensor(np.random.default_rng(1).normal(size=(5, 8)))
+    loss = cross_entropy(model(inputs), np.array([0, 1, 2, 3, 0]))
+    loss.backward()
+    for parameter in model.parameters():
+        assert parameter.grad is not None
+    assert model.num_parameters() == sum(p.size for p in model.parameters())
+
+
+def test_module_registration_and_state_dict():
+    class Toy(Module):
+        def __init__(self):
+            super().__init__()
+            self.layer = Linear(4, 2, seed=0)
+            self.scale = Parameter(np.ones(2))
+
+        def forward(self, inputs):
+            return self.layer(inputs) * self.scale
+
+    toy = Toy()
+    names = dict(toy.named_parameters())
+    assert "scale" in names and "layer.weight" in names
+    state = toy.state_dict()
+    toy.scale.data[:] = 5.0
+    toy.load_state_dict(state)
+    np.testing.assert_allclose(toy.scale.data, np.ones(2))
+
+
+def test_embedding_layer_and_dropout_modes():
+    embedding = Embedding(10, 6, seed=0)
+    out = embedding(np.array([[1, 2], [3, 4]]))
+    assert out.shape == (2, 2, 6)
+    dropout = Dropout(0.5, seed=0)
+    inputs = Tensor(np.ones((4, 8)))
+    dropout.eval()
+    np.testing.assert_allclose(dropout(inputs).data, inputs.data)
+    dropout.train()
+    dropped = dropout(inputs).data
+    assert (dropped == 0.0).any()
+
+
+def test_layernorm_normalizes_last_dim():
+    layer = LayerNorm(6)
+    out = layer(Tensor(np.random.default_rng(0).normal(2.0, 3.0, size=(4, 6))))
+    np.testing.assert_allclose(out.data.mean(axis=-1), np.zeros(4), atol=1e-6)
+    np.testing.assert_allclose(out.data.std(axis=-1), np.ones(4), atol=1e-2)
+
+
+# --------------------------------------------------------------------------- #
+# attention / transformer blocks
+# --------------------------------------------------------------------------- #
+def test_attention_shapes_and_masking():
+    attention = MultiHeadAttention(dim=16, num_heads=4, seed=0)
+    inputs = Tensor(np.random.default_rng(0).normal(size=(2, 5, 16)))
+    out = attention(inputs, mask=padding_mask(np.array([[1, 1, 1, 0, 0], [1] * 5])))
+    assert out.shape == (2, 5, 16)
+    with pytest.raises(ValueError):
+        MultiHeadAttention(dim=10, num_heads=3)
+
+
+def test_encoder_decoder_layers_and_positional():
+    encoder = TransformerEncoderLayer(16, num_heads=4, seed=0)
+    decoder = TransformerDecoderLayer(16, num_heads=4, seed=1)
+    positional = PositionalEncoding(16, max_length=10)
+    source = positional(Tensor(np.random.default_rng(0).normal(size=(2, 6, 16))))
+    memory = encoder(source)
+    target = Tensor(np.random.default_rng(1).normal(size=(2, 4, 16)))
+    out = decoder(target, memory=memory, self_mask=causal_mask(4))
+    assert out.shape == (2, 4, 16)
+    (out * out).mean().backward()
+    assert all(parameter.grad is not None for parameter in decoder.parameters())
+
+
+def test_causal_mask_blocks_future():
+    mask = causal_mask(4)[0, 0]
+    assert not mask[2, 1]
+    assert mask[1, 3]
+
+
+# --------------------------------------------------------------------------- #
+# losses
+# --------------------------------------------------------------------------- #
+def test_binary_cross_entropy_and_contrastive():
+    logits = Tensor(np.array([2.0, -2.0]), requires_grad=True)
+    loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+    assert loss.item() < 0.2
+    images = Tensor(np.eye(4, 8), requires_grad=True)
+    texts = Tensor(np.eye(4, 8) + 0.01, requires_grad=True)
+    aligned = contrastive_loss(images, texts)
+    shuffled = contrastive_loss(images, Tensor(np.roll(np.eye(4, 8), 1, axis=0)))
+    assert aligned.item() < shuffled.item()
+
+
+def test_masked_mean_ignores_padding():
+    inputs = Tensor(np.stack([np.ones((3, 2)), np.full((3, 2), 5.0)]))
+    mask = np.array([[1, 1, 0], [1, 0, 0]])
+    pooled = masked_mean(inputs, mask, axis=1)
+    np.testing.assert_allclose(pooled.data, [[1.0, 1.0], [5.0, 5.0]])
+
+
+# --------------------------------------------------------------------------- #
+# optimizers
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("optimizer_class,kwargs", [
+    (SGD, {"learning_rate": 0.1}),
+    (SGD, {"learning_rate": 0.1, "momentum": 0.9}),
+    (AdaGrad, {"learning_rate": 0.5}),
+    (Adam, {"learning_rate": 0.1}),
+    (AdamW, {"learning_rate": 0.1, "weight_decay": 0.01}),
+])
+def test_optimizers_minimize_quadratic(optimizer_class, kwargs):
+    parameter = Parameter(np.array([5.0, -3.0]))
+    optimizer = optimizer_class([parameter], **kwargs)
+    for _ in range(60):
+        optimizer.zero_grad()
+        loss = (Tensor(parameter.data) * 0.0 + parameter * parameter).sum()
+        loss.backward()
+        optimizer.step()
+    assert np.linalg.norm(parameter.data) < 1.0
+
+
+def test_optimizer_gradient_clipping():
+    parameter = Parameter(np.zeros(3))
+    parameter.grad = np.array([3.0, 4.0, 0.0])
+    optimizer = SGD([parameter], learning_rate=0.1)
+    norm = optimizer.clip_gradients(1.0)
+    assert norm == pytest.approx(5.0)
+    assert np.linalg.norm(parameter.grad) == pytest.approx(1.0)
+
+
+def test_linear_warmup_schedule_shape():
+    parameter = Parameter(np.zeros(1))
+    optimizer = SGD([parameter], learning_rate=1.0)
+    schedule = LinearWarmupSchedule(optimizer, total_steps=10, warmup_fraction=0.2)
+    rates = [schedule.step() for _ in range(10)]
+    assert rates[0] < rates[1]
+    assert max(rates) == pytest.approx(1.0)
+    assert rates[-1] < rates[2]
+    with pytest.raises(ValueError):
+        LinearWarmupSchedule(optimizer, total_steps=0)
+    with pytest.raises(ValueError):
+        SGD([parameter], learning_rate=0.0)

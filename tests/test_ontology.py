@@ -1,0 +1,229 @@
+"""Tests for the ontology schema, core ontology, taxonomy and quality scoring."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OntologyError
+from repro.kg.namespaces import MetaProperty, OWL_THING, SKOS_CONCEPT
+from repro.ontology.core_ontology import (
+    CORE_CLASSES,
+    CORE_CONCEPTS,
+    CORE_OBJECT_PROPERTY_SIGNATURES,
+    build_core_ontology,
+    expand_in_market_relations,
+    ontology_edge_list,
+    register_in_market_relations,
+)
+from repro.ontology.quality import CommonsenseScorer, ConceptStatement
+from repro.ontology.schema import (
+    ClassDefinition,
+    ConceptDefinition,
+    OntologySchema,
+    PropertyDefinition,
+    PropertyKind,
+)
+from repro.ontology.taxonomy import Taxonomy
+
+
+# --------------------------------------------------------------------------- #
+# schema
+# --------------------------------------------------------------------------- #
+def test_schema_class_registration_and_ancestors():
+    schema = OntologySchema()
+    schema.add_class(ClassDefinition("Category", "Category"))
+    schema.add_class(ClassDefinition("Rice", "Rice", parent="Category"))
+    assert schema.is_class("Rice")
+    assert schema.class_ancestors("Rice") == ["Category", OWL_THING]
+    assert schema.is_subclass_of("Rice", "Category")
+    assert not schema.is_subclass_of("Category", "Rice")
+
+
+def test_schema_duplicate_class_rejected():
+    schema = OntologySchema()
+    schema.add_class(ClassDefinition("Category", "Category"))
+    with pytest.raises(OntologyError):
+        schema.add_class(ClassDefinition("Category", "Category"))
+
+
+def test_schema_unknown_parent_rejected():
+    schema = OntologySchema()
+    with pytest.raises(OntologyError):
+        schema.add_class(ClassDefinition("Rice", "Rice", parent="Missing"))
+
+
+def test_schema_concept_chain():
+    schema = OntologySchema()
+    schema.add_concept(ConceptDefinition("Scene", "Scene"))
+    schema.add_concept(ConceptDefinition("Cooking", "Cooking", broader="Scene"))
+    assert schema.concept_ancestors("Cooking") == ["Scene", SKOS_CONCEPT]
+
+
+def test_schema_object_property_requires_known_domain_range():
+    schema = OntologySchema()
+    schema.add_class(ClassDefinition("Category", "Category"))
+    with pytest.raises(OntologyError):
+        schema.add_property(PropertyDefinition("brandIs", PropertyKind.OBJECT,
+                                               domain="Category", range="Brand"))
+    schema.add_class(ClassDefinition("Brand", "Brand"))
+    schema.add_property(PropertyDefinition("brandIs", PropertyKind.OBJECT,
+                                           domain="Category", range="Brand"))
+    assert schema.property_kind("brandIs") is PropertyKind.OBJECT
+
+
+# --------------------------------------------------------------------------- #
+# core ontology (Figure 2)
+# --------------------------------------------------------------------------- #
+def test_core_ontology_has_3_classes_and_5_concepts():
+    schema = build_core_ontology()
+    assert set(schema.classes) == {name for name, _l, _z in CORE_CLASSES}
+    assert set(schema.concepts) == {name for name, _l, _z in CORE_CONCEPTS}
+
+
+def test_core_ontology_object_properties_signatures():
+    schema = build_core_ontology()
+    for relation, (domain, range_) in CORE_OBJECT_PROPERTY_SIGNATURES.items():
+        definition = schema.properties[relation]
+        assert definition.kind is PropertyKind.OBJECT
+        assert definition.domain == domain
+        assert definition.range == range_
+
+
+def test_core_ontology_has_meta_and_data_properties():
+    schema = build_core_ontology()
+    kinds = {definition.kind for definition in schema.properties.values()}
+    assert kinds == {PropertyKind.OBJECT, PropertyKind.DATA, PropertyKind.META}
+    assert MetaProperty.SUBCLASS_OF.value in schema.properties
+    assert "weight" in schema.properties
+
+
+def test_ontology_edge_list_structure():
+    edges = ontology_edge_list()
+    subclass_edges = [edge for edge in edges if edge[1] == MetaProperty.SUBCLASS_OF.value]
+    broader_edges = [edge for edge in edges if edge[1] == MetaProperty.BROADER.value]
+    assert len(subclass_edges) == 3
+    assert len(broader_edges) == 5
+    assert ("Category", "brandIs", "Brand") in edges
+
+
+def test_expand_and_register_in_market_relations():
+    assert expand_in_market_relations(3) == ["inMarket_000", "inMarket_001", "inMarket_002"]
+    with pytest.raises(ValueError):
+        expand_in_market_relations(-1)
+    schema = build_core_ontology()
+    names = register_in_market_relations(schema, 4)
+    assert all(schema.property_kind(name) is PropertyKind.OBJECT for name in names)
+
+
+# --------------------------------------------------------------------------- #
+# taxonomy
+# --------------------------------------------------------------------------- #
+def _small_taxonomy() -> Taxonomy:
+    taxonomy = Taxonomy("Category")
+    taxonomy.add_node("food", "Category")
+    taxonomy.add_node("rice", "food")
+    taxonomy.add_node("noodles", "food")
+    taxonomy.add_node("northeast", "rice")
+    return taxonomy
+
+
+def test_taxonomy_levels_and_leaves():
+    taxonomy = _small_taxonomy()
+    assert taxonomy.node("food").level == 1
+    assert taxonomy.node("northeast").level == 3
+    assert {node.identifier for node in taxonomy.leaves()} == {"noodles", "northeast"}
+    assert taxonomy.level_counts() == {1: 1, 2: 2, 3: 1}
+    assert taxonomy.depth() == 3
+    assert taxonomy.size() == 4
+
+
+def test_taxonomy_duplicate_and_missing_parent():
+    taxonomy = _small_taxonomy()
+    with pytest.raises(OntologyError):
+        taxonomy.add_node("rice", "food")
+    with pytest.raises(OntologyError):
+        taxonomy.add_node("new", "missing-parent")
+
+
+def test_taxonomy_ancestors_and_subtree():
+    taxonomy = _small_taxonomy()
+    assert [node.identifier for node in taxonomy.ancestors_of("northeast")] == \
+        ["rice", "food", "Category"]
+    assert set(taxonomy.subtree_ids("food")) == {"food", "rice", "noodles", "northeast"}
+
+
+def test_taxonomy_to_triples_and_from_edges():
+    taxonomy = _small_taxonomy()
+    triples = taxonomy.to_triples("rdfs:subClassOf")
+    assert ("northeast", "rdfs:subClassOf", "rice") in triples
+    rebuilt = Taxonomy.from_edges("Category", [(child, parent) for child, _r, parent in triples])
+    assert set(rebuilt.nodes) == set(taxonomy.nodes)
+
+
+def test_taxonomy_from_edges_unattachable_raises():
+    with pytest.raises(OntologyError):
+        Taxonomy.from_edges("root", [("a", "not-in-tree")])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=25), st.integers(min_value=1, max_value=5))
+def test_taxonomy_random_chain_depth(num_nodes, branching):
+    """Property: level counts always sum to size and depth ≤ size."""
+    taxonomy = Taxonomy("root")
+    nodes = ["root"]
+    for index in range(num_nodes):
+        parent = nodes[index // branching]
+        taxonomy.add_node(f"n{index}", parent)
+        nodes.append(f"n{index}")
+    assert sum(taxonomy.level_counts().values()) == taxonomy.size() == num_nodes
+    assert taxonomy.depth() <= num_nodes
+
+
+# --------------------------------------------------------------------------- #
+# commonsense quality scoring
+# --------------------------------------------------------------------------- #
+def _fit_scorer() -> CommonsenseScorer:
+    observations = []
+    # "running shoes" strongly and exclusively linked to "running".
+    observations += [ConceptStatement("running shoes", "relatedScene", "running")] * 10
+    # "shoes" linked to many scenes → any single scene is not salient for it.
+    for scene in ["running", "walking", "party", "office", "hiking"]:
+        observations += [ConceptStatement("shoes", "relatedScene", scene)] * 2
+    return CommonsenseScorer().fit(observations)
+
+
+def test_salience_specific_beats_general():
+    scorer = _fit_scorer()
+    specific = scorer.score(ConceptStatement("running shoes", "relatedScene", "running"))
+    general = scorer.score(ConceptStatement("shoes", "relatedScene", "running"))
+    assert specific.salience > general.salience
+    assert specific.typicality > general.typicality
+
+
+def test_unseen_statement_has_low_plausibility():
+    scorer = _fit_scorer()
+    unseen = scorer.score(ConceptStatement("running shoes", "relatedScene", "cooking"))
+    assert unseen.plausibility < 0.5
+    assert unseen.salience < 0.2
+
+
+def test_scores_are_bounded():
+    scorer = _fit_scorer()
+    for statement in [ConceptStatement("shoes", "relatedScene", "running"),
+                      ConceptStatement("running shoes", "relatedScene", "running")]:
+        dims = scorer.score(statement)
+        for value in (dims.plausibility, dims.typicality, dims.remarkability, dims.salience):
+            assert 0.0 <= value <= 1.0
+
+
+def test_rank_concepts_for_subject():
+    scorer = _fit_scorer()
+    ranking = scorer.rank_concepts_for_subject("running shoes", "relatedScene")
+    assert ranking[0][0] == "running"
+
+
+def test_scorer_rejects_bad_smoothing():
+    with pytest.raises(ValueError):
+        CommonsenseScorer(smoothing=0.0)

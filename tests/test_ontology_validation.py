@@ -1,0 +1,109 @@
+"""Tests for ontology-aware validation of knowledge graphs."""
+
+from __future__ import annotations
+
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.namespaces import MetaProperty
+from repro.kg.triple import Triple
+from repro.ontology.core_ontology import build_core_ontology
+from repro.ontology.validation import OntologyValidator
+
+
+def _graph_with_core() -> KnowledgeGraph:
+    graph = KnowledgeGraph()
+    schema = build_core_ontology()
+    for identifier, definition in schema.classes.items():
+        graph.register_class(identifier, definition.label)
+    for identifier, definition in schema.concepts.items():
+        graph.register_concept(identifier, definition.label)
+    graph.register_class("cat:rice", "rice")
+    graph.add(Triple("cat:rice", MetaProperty.SUBCLASS_OF.value, "Category"))
+    graph.register_class("brand:apple", "apple")
+    graph.add(Triple("brand:apple", MetaProperty.SUBCLASS_OF.value, "Brand"))
+    graph.register_entity("p1", "rice product")
+    graph.add(Triple("p1", MetaProperty.TYPE.value, "cat:rice"))
+    return graph
+
+
+def test_valid_graph_passes():
+    graph = _graph_with_core()
+    graph.add(Triple("p1", "brandIs", "brand:apple"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert report.is_valid
+    assert report.checked_triples == len(graph)
+
+
+def test_domain_violation_detected():
+    graph = _graph_with_core()
+    # brandIs demands a Category-typed head; brand:apple is a Brand subclass.
+    graph.add(Triple("brand:apple", "brandIs", "brand:apple"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert not report.is_valid
+    assert any(issue.code == "domain-violation" for issue in report.errors)
+
+
+def test_range_violation_detected():
+    graph = _graph_with_core()
+    # placeOfOrigin demands a Place-typed tail.
+    graph.add(Triple("p1", "placeOfOrigin", "brand:apple"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert any(issue.code == "range-violation" for issue in report.errors)
+
+
+def test_unknown_type_target_detected():
+    graph = _graph_with_core()
+    graph.register_entity("p2", "mystery")
+    graph.add(Triple("p2", MetaProperty.TYPE.value, "nonexistent-class"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert any(issue.code == "type-target-unknown" for issue in report.errors)
+
+
+def test_instance_level_typing_is_allowed():
+    """Items typed as products (entities) must not be flagged (paper's item/product)."""
+    graph = _graph_with_core()
+    graph.register_entity("item1", "an item")
+    graph.add(Triple("item1", MetaProperty.TYPE.value, "p1"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert not any(issue.code == "type-target-unknown" for issue in report.errors)
+
+
+def test_taxonomy_cycle_detected():
+    graph = _graph_with_core()
+    sub = MetaProperty.SUBCLASS_OF.value
+    graph.register_class("a", "a")
+    graph.register_class("b", "b")
+    graph.add(Triple("a", sub, "b"))
+    graph.add(Triple("b", sub, "a"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert any(issue.code == "taxonomy-cycle" for issue in report.errors)
+
+
+def test_missing_label_is_warning_not_error():
+    graph = _graph_with_core()
+    graph.register_entity("unnamed")
+    graph.add(Triple("unnamed", MetaProperty.TYPE.value, "cat:rice"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert any(issue.code == "missing-label" for issue in report.warnings)
+    assert report.is_valid
+
+
+def test_unknown_relation_is_warning():
+    graph = _graph_with_core()
+    graph.add(Triple("p1", "mysteryRelation", "something"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    assert any(issue.code == "unknown-relation" for issue in report.warnings)
+
+
+def test_summary_counts_issue_codes():
+    graph = _graph_with_core()
+    graph.add(Triple("p1", "placeOfOrigin", "brand:apple"))
+    graph.add(Triple("p1", "mysteryRelation", "x"))
+    report = OntologyValidator(build_core_ontology()).validate(graph)
+    summary = report.summary()
+    assert summary.get("range-violation", 0) >= 1
+    assert summary.get("unknown-relation", 0) >= 1
+
+
+def test_full_pipeline_graph_has_no_errors(construction_result):
+    """Integration: the synthetic OpenBG passes validation (warnings allowed)."""
+    assert construction_result.validation.is_valid

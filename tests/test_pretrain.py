@@ -1,0 +1,186 @@
+"""Tests for the tokenizer, mPLUG-style model, objectives and pre-trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.triple import Triple
+from repro.pretrain import (
+    MPlugConfig,
+    MPlugModel,
+    PretrainingConfig,
+    PretrainingDataBuilder,
+    Pretrainer,
+    Tokenizer,
+    image_text_contrastive_loss,
+    image_text_matching_loss,
+    masked_language_modeling_loss,
+    prefix_language_modeling_loss,
+    render_triple,
+    render_unified_text,
+)
+from repro.pretrain.tokenizer import SEP_TOKEN, simple_word_tokenize
+
+
+# --------------------------------------------------------------------------- #
+# tokenizer
+# --------------------------------------------------------------------------- #
+def test_simple_word_tokenize_splits_punctuation():
+    assert simple_word_tokenize("Zero-fat Noodles, 100g*3!") == \
+        ["zero", "-", "fat", "noodles", ",", "100g", "*", "3", "!"]
+
+
+def test_tokenizer_fit_encode_decode_roundtrip():
+    tokenizer = Tokenizer(max_vocab_size=100).fit(["premium northeast rice",
+                                                   "rice for cooking"])
+    ids = tokenizer.encode("premium rice", add_cls=True)
+    assert ids[0] == tokenizer.cls_id
+    assert tokenizer.decode(ids) == "premium rice"
+
+
+def test_tokenizer_unknown_words_map_to_unk():
+    tokenizer = Tokenizer().fit(["rice"])
+    ids = tokenizer.encode("quantum blockchain", add_cls=False)
+    assert all(token_id == tokenizer.unk_id for token_id in ids)
+
+
+def test_tokenizer_vocab_cap_respected():
+    corpus = [f"word{i}" for i in range(100)]
+    tokenizer = Tokenizer(max_vocab_size=20).fit(corpus)
+    assert tokenizer.vocab_size <= 20
+
+
+def test_encode_batch_padding_and_mask():
+    tokenizer = Tokenizer().fit(["a b c d e", "a"])
+    batch = tokenizer.encode_batch(["a b c d e", "a"], max_length=10)
+    assert batch.input_ids.shape == batch.attention_mask.shape
+    assert batch.attention_mask[1].sum() < batch.attention_mask[0].sum()
+    assert batch.input_ids[1, -1] == tokenizer.pad_id
+
+
+def test_render_triple_and_unified_text():
+    triple = Triple("iphone", "weight", "206g")
+    rendered = render_triple(triple, labels={"iphone": "iPhone 14 Pro"})
+    assert rendered == f"iPhone 14 Pro weight 206g {SEP_TOKEN}"
+    unified = render_unified_text("new phone", [triple])
+    assert unified.startswith("new phone")
+    assert SEP_TOKEN in unified
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.sampled_from(["rice", "premium", "noodles", "for", "cooking", "5kg"]),
+                min_size=1, max_size=10))
+def test_tokenizer_roundtrip_property(words):
+    tokenizer = Tokenizer().fit(["rice premium noodles for cooking 5kg"])
+    text = " ".join(words)
+    assert tokenizer.decode(tokenizer.encode(text)) == text
+
+
+# --------------------------------------------------------------------------- #
+# model forward shapes
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def tiny_model():
+    config = MPlugConfig(vocab_size=60, dim=16, num_heads=2, num_text_layers=1,
+                         num_visual_layers=1, num_decoder_layers=1, image_dim=8,
+                         num_visual_tokens=2, max_length=20)
+    return MPlugModel(config)
+
+
+def test_model_encoders_shapes(tiny_model):
+    input_ids = np.array([[2, 5, 6, 0], [2, 7, 0, 0]])
+    mask = np.array([[1, 1, 1, 0], [1, 1, 0, 0]])
+    text = tiny_model.encode_text(input_ids, mask)
+    assert text.shape == (2, 4, 16)
+    images = tiny_model.encode_image(np.random.default_rng(0).normal(size=(2, 8)))
+    assert images.shape == (2, 2, 16)
+    assert tiny_model.text_embedding(input_ids, mask).shape == (2, 16)
+    assert tiny_model.image_embedding(np.zeros((2, 8))).shape == (2, 16)
+
+
+def test_model_heads_shapes(tiny_model):
+    input_ids = np.array([[2, 5, 6], [2, 7, 8]])
+    mask = np.ones_like(input_ids)
+    images = np.random.default_rng(0).normal(size=(2, 8))
+    assert tiny_model.itm_logits(input_ids, mask, images).shape == (2, 2)
+    assert tiny_model.mlm_logits(input_ids, mask, images).shape == (2, 3, 60)
+    targets = np.array([[5, 6], [7, 8]])
+    logits = tiny_model.prefix_lm_logits(input_ids, mask, targets, images)
+    assert logits.shape == (2, 2, 60)
+
+
+def test_model_generate_terminates(tiny_model):
+    input_ids = np.array([[2, 5, 6]])
+    mask = np.ones_like(input_ids)
+    outputs = tiny_model.generate(input_ids, mask, bos_id=5, eos_id=6, max_new_tokens=4)
+    assert len(outputs) == 1
+    assert len(outputs[0]) <= 4
+
+
+# --------------------------------------------------------------------------- #
+# data builder + objectives + pre-trainer (integration, tiny scale)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def pretrainer(catalog, graph):
+    config = PretrainingConfig(steps=4, batch_size=6, max_examples=24, seed=0)
+    model_config = MPlugConfig(dim=16, num_heads=2, num_text_layers=1,
+                               num_visual_layers=1, num_decoder_layers=1,
+                               num_visual_tokens=2)
+    return Pretrainer(catalog, graph, model_config=model_config, config=config)
+
+
+def test_data_builder_kg_enhancement(catalog, graph):
+    builder = PretrainingDataBuilder(catalog, graph, use_kg=True, seed=0)
+    product = catalog.products[0]
+    plain = "some item title"
+    enhanced = builder.enhance_with_kg(plain, product.product_id)
+    assert enhanced.startswith(plain)
+    assert len(enhanced) > len(plain)
+    disabled = PretrainingDataBuilder(catalog, graph, use_kg=False, seed=0)
+    assert disabled.enhance_with_kg(plain, product.product_id) == plain
+
+
+def test_data_builder_batches_and_masking(catalog, graph):
+    builder = PretrainingDataBuilder(catalog, graph, seed=0)
+    batches = builder.batches(batch_size=4, max_examples=12)
+    assert batches
+    batch = batches[0]
+    assert batch.input_ids.shape == batch.attention_mask.shape
+    assert batch.image_features.shape[0] == batch.batch_size
+    masked, labels = builder.mask_tokens(batch.input_ids, mask_probability=0.3)
+    changed = masked != batch.input_ids
+    assert changed.any()
+    assert np.all(labels[changed] == batch.input_ids[changed])
+    assert np.all(labels[~changed] == -100)
+
+
+def test_objectives_return_finite_scalars(pretrainer):
+    batch = pretrainer.data_builder.batches(batch_size=4, max_examples=8)[0]
+    model = pretrainer.model
+    itc = image_text_contrastive_loss(model, batch)
+    itm = image_text_matching_loss(model, batch)
+    masked, labels = pretrainer.data_builder.mask_tokens(batch.input_ids, 0.3)
+    mlm = masked_language_modeling_loss(model, batch, masked, labels)
+    prefix = prefix_language_modeling_loss(model, batch,
+                                           bos_id=pretrainer.tokenizer.bos_id,
+                                           pad_id=pretrainer.tokenizer.pad_id)
+    for loss in (itc, itm, mlm, prefix):
+        assert np.isfinite(loss.item())
+        assert loss.item() >= 0.0
+
+
+def test_pretrainer_records_all_objectives(pretrainer):
+    report = pretrainer.pretrain()
+    for name in ("itc", "itm", "mlm", "prefix_lm", "total"):
+        assert len(report.losses[name]) == pretrainer.config.steps
+        assert np.isfinite(report.final(name))
+
+
+def test_pretrainer_encode_source_applies_kg(pretrainer, catalog):
+    product = catalog.products[0]
+    batch = pretrainer.encode_source(["a title"], [product.product_id])
+    plain = pretrainer.encode_source(["a title"], [None])
+    assert batch.input_ids.shape[1] >= plain.input_ids.shape[1]

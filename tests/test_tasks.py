@@ -1,0 +1,251 @@
+"""Tests for downstream-task metrics, probes, datasets and evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TaskError
+from repro.tasks import (
+    CategoryPredictionTask,
+    LinearProbe,
+    ReviewIeTask,
+    SalienceEvaluationTask,
+    TitleNerTask,
+    TitleSummarizationTask,
+    TokenProbe,
+    accuracy_score,
+    build_backbone,
+    few_shot_indices,
+    precision_recall_f1,
+    rouge_l,
+)
+from repro.tasks.encoders import STANDARD_SPECS, BackboneSpec
+from repro.tasks.ie_reviews import decode_pairs, reconstruct_review_annotations
+from repro.tasks.low_resource import few_shot_fraction
+from repro.tasks.metrics import mean_rouge_l
+from repro.tasks.ner_titles import reconstruct_annotations
+
+
+# --------------------------------------------------------------------------- #
+# metrics
+# --------------------------------------------------------------------------- #
+def test_accuracy_score():
+    assert accuracy_score(["a", "b", "c"], ["a", "x", "c"]) == pytest.approx(2 / 3)
+    assert accuracy_score([], []) == 0.0
+    with pytest.raises(ValueError):
+        accuracy_score(["a"], [])
+
+
+def test_precision_recall_f1_micro():
+    gold = [[("A", "x"), ("B", "y")], [("A", "z")]]
+    predicted = [[("A", "x")], [("A", "z"), ("B", "w")]]
+    metrics = precision_recall_f1(gold, predicted)
+    assert metrics["precision"] == pytest.approx(2 / 3)
+    assert metrics["recall"] == pytest.approx(2 / 3)
+    assert metrics["f1"] == pytest.approx(2 / 3)
+    empty = precision_recall_f1([[]], [[]])
+    assert empty["f1"] == 0.0
+
+
+def test_rouge_l_values():
+    assert rouge_l("a b c d", "a b c d") == pytest.approx(1.0)
+    assert rouge_l("a b c d", "a c") == pytest.approx(2 * (1.0 * 0.5) / 1.5)
+    assert rouge_l("a b", "") == 0.0
+    assert mean_rouge_l(["a b", "c d"], ["a b", "c d"]) == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from("abcdef"), min_size=1, max_size=8),
+       st.lists(st.sampled_from("abcdef"), min_size=1, max_size=8))
+def test_rouge_l_bounded_and_symmetric_identity(gold_tokens, predicted_tokens):
+    gold = " ".join(gold_tokens)
+    predicted = " ".join(predicted_tokens)
+    value = rouge_l(gold, predicted)
+    assert 0.0 <= value <= 1.0
+    assert rouge_l(gold, gold) == pytest.approx(1.0)
+
+
+# --------------------------------------------------------------------------- #
+# probes
+# --------------------------------------------------------------------------- #
+def test_linear_probe_learns_separable_data():
+    rng = np.random.default_rng(0)
+    features = np.vstack([rng.normal(-2, 0.3, (40, 5)), rng.normal(2, 0.3, (40, 5))])
+    labels = np.array([0] * 40 + [1] * 40)
+    probe = LinearProbe(num_classes=2, epochs=150, seed=0).fit(features, labels)
+    assert probe.score(features, labels) > 0.95
+    assert probe.predict_proba(features).shape == (80, 2)
+
+
+def test_linear_probe_validation():
+    with pytest.raises(TaskError):
+        LinearProbe(num_classes=1)
+    probe = LinearProbe(num_classes=2)
+    with pytest.raises(TaskError):
+        probe.fit(np.zeros((0, 3)), np.zeros(0))
+    with pytest.raises(TaskError):
+        probe.predict(np.zeros((2, 3)))
+
+
+def test_linear_probe_balanced_handles_skew():
+    rng = np.random.default_rng(1)
+    features = np.vstack([rng.normal(-1, 0.4, (95, 4)), rng.normal(1, 0.4, (5, 4))])
+    labels = np.array([0] * 95 + [1] * 5)
+    balanced = LinearProbe(num_classes=2, epochs=200, balanced=True, seed=0).fit(features, labels)
+    minority_recall = np.mean(balanced.predict(features[95:]) == 1)
+    assert minority_recall >= 0.8
+
+
+def test_token_probe_tags_tokens():
+    rng = np.random.default_rng(2)
+    # Feature position 0 is [CLS]; tokens start at position 1.
+    num_examples, length, dim = 20, 6, 8
+    features = rng.normal(size=(num_examples, length, dim))
+    # Make the feature of "aspect" tokens distinctive.
+    tag_sequences = []
+    for example in range(num_examples):
+        tags = ["O"] * (length - 1)
+        tags[1] = "B-ASPECT"
+        features[example, 2] += 4.0
+        tag_sequences.append(tags)
+    mask = np.ones((num_examples, length), dtype=np.int64)
+    probe = TokenProbe(["O", "B-ASPECT"], epochs=150, seed=0)
+    probe.fit(features, mask, tag_sequences)
+    predicted = probe.predict(features, mask, [["w"] * (length - 1)] * num_examples)
+    hits = sum(1 for tags in predicted if tags[1] == "B-ASPECT")
+    assert hits >= num_examples * 0.8
+
+
+# --------------------------------------------------------------------------- #
+# few-shot sampling
+# --------------------------------------------------------------------------- #
+def test_few_shot_indices_per_label():
+    labels = ["a", "a", "a", "b", "b", "c"]
+    indices = few_shot_indices(labels, shots=1, seed=0)
+    picked_labels = [labels[index] for index in indices]
+    assert sorted(picked_labels) == ["a", "b", "c"]
+    five = few_shot_indices(labels, shots=5, seed=0)
+    assert len(five) == len(labels)
+    with pytest.raises(ValueError):
+        few_shot_indices(labels, shots=0)
+    assert few_shot_fraction(3, 6) == 0.5
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=40),
+       st.integers(min_value=1, max_value=5))
+def test_few_shot_indices_property(labels, shots):
+    indices = few_shot_indices(labels, shots, seed=1)
+    assert len(set(indices)) == len(indices)
+    for label in set(labels):
+        count = sum(1 for index in indices if labels[index] == label)
+        assert 1 <= count <= shots
+
+
+# --------------------------------------------------------------------------- #
+# task datasets (no model needed)
+# --------------------------------------------------------------------------- #
+def test_category_dataset_labels_cover_train(catalog):
+    task = CategoryPredictionTask(catalog, seed=0)
+    train_labels = {example.category_label for example in task.dataset.train}
+    dev_labels = {example.category_label for example in task.dataset.dev}
+    assert dev_labels <= set(task.dataset.label_names)
+    assert train_labels == set(task.dataset.label_names) or dev_labels <= train_labels
+
+
+def test_ner_annotations_align_with_titles(catalog):
+    examples = reconstruct_annotations(catalog)[:30]
+    assert examples
+    for example in examples:
+        tokens = example.tokens()
+        tags = example.tags()
+        assert len(tokens) == len(tags)
+        assert any(tag != "O" for tag in tags)
+
+
+def test_review_annotations_and_pair_decoding(catalog):
+    examples = reconstruct_review_annotations(catalog, max_examples=30)
+    assert examples
+    example = examples[0]
+    tokens = example.tokens()
+    tags = example.tags()
+    decoded = decode_pairs(tokens, tags)
+    # Decoding the gold tags must recover the gold pairs (up to tokenization).
+    gold = {(str(aspect), str(opinion)) for aspect, opinion in example.pairs}
+    assert {(a, o) for a, o in decoded} == gold
+
+
+def test_salience_dataset_has_both_labels(catalog):
+    task = SalienceEvaluationTask(catalog, max_examples=160, seed=0)
+    train_labels = {example.label for example in task.train}
+    assert train_labels == {0, 1}
+
+
+def test_summarization_dataset_short_titles_are_prefixes(catalog):
+    task = TitleSummarizationTask(catalog, max_examples=40, seed=0)
+    for example in task.dataset.train[:10]:
+        assert example.short_title.split() == example.long_title.split()[:len(example.short_title.split())]
+
+
+# --------------------------------------------------------------------------- #
+# end-to-end task evaluation with backbones (integration, tiny scale)
+# --------------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def baseline_backbone(catalog, graph):
+    return build_backbone(BackboneSpec("BERT", pretrained=False, use_kg=False), catalog, graph)
+
+
+@pytest.fixture(scope="module")
+def kg_backbone(catalog, graph):
+    spec = BackboneSpec("mPLUG-base+KG", pretrained=True, use_kg=True, pretrain_steps=3)
+    return build_backbone(spec, catalog, graph)
+
+
+def test_standard_specs_table_is_consistent():
+    assert "mPLUG-base+KG" in STANDARD_SPECS
+    assert STANDARD_SPECS["mPLUG-large+KG"].size == "large"
+    assert not STANDARD_SPECS["RoBERTa-large"].pretrained
+
+
+def test_category_prediction_beats_chance(catalog, kg_backbone):
+    task = CategoryPredictionTask(catalog, seed=0)
+    result = task.evaluate(kg_backbone, probe_epochs=60)
+    chance = 1.0 / result["num_labels"]
+    assert result["accuracy"] > 2 * chance
+
+
+def test_category_low_resource_settings_run(catalog, baseline_backbone):
+    task = CategoryPredictionTask(catalog, seed=0)
+    results = task.evaluate_low_resource(baseline_backbone, shot_settings=(1, 5),
+                                         probe_epochs=40)
+    assert set(results) == {"1-shot", "5-shot"}
+    assert all(0.0 <= value <= 1.0 for value in results.values())
+
+
+def test_ner_task_produces_metrics(catalog, kg_backbone):
+    task = TitleNerTask(catalog, max_examples=60, seed=0)
+    metrics = task.evaluate(kg_backbone, probe_epochs=60)
+    assert set(metrics) >= {"precision", "recall", "f1"}
+    assert 0.0 <= metrics["f1"] <= 1.0
+
+
+def test_review_ie_task_produces_metrics(catalog, kg_backbone):
+    task = ReviewIeTask(catalog, max_examples=60, seed=0)
+    metrics = task.evaluate(kg_backbone, probe_epochs=60)
+    assert metrics["f1"] > 0.0
+
+
+def test_salience_task_produces_accuracy(catalog, kg_backbone):
+    task = SalienceEvaluationTask(catalog, max_examples=120, seed=0)
+    metrics = task.evaluate(kg_backbone, probe_epochs=60)
+    assert 0.0 <= metrics["accuracy"] <= 1.0
+
+
+def test_summarization_fine_tuning_reduces_loss(catalog, kg_backbone):
+    task = TitleSummarizationTask(catalog, max_examples=30, seed=0)
+    metrics = task.evaluate(kg_backbone, fine_tune_steps=4, max_new_tokens=6)
+    assert metrics["final_fine_tune_loss"] <= metrics["first_fine_tune_loss"] * 1.05
+    assert 0.0 <= metrics["rouge_l"] <= 1.0
