@@ -1,0 +1,130 @@
+"""Micro-benchmark — SetBackend vs ColumnarBackend on store hot paths.
+
+Three workloads mirror what the upper layers actually hot-loop over:
+
+* **bulk-load** — insert a synthetic product-graph worth of triples
+  (construction pipeline pattern);
+* **pattern-match** — the sampler/query-engine mix: per-relation counts,
+  per-head matches, (head, relation) tail lists, count fast paths and
+  batched degrees;
+* **neighbourhood** — 2-hop undirected BFS from product nodes, the
+  Figure 3 snapshot access pattern.
+
+Each workload is timed best-of-three.  The bench prints a per-workload
+table and asserts the acceptance bar from the backend refactor: the
+columnar backend is at least 2× faster than the set backend on the
+combined bulk-load + pattern-match workload.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Tuple
+
+from repro.kg.backend import make_backend
+from repro.kg.graph import KnowledgeGraph
+from repro.kg.triple import Triple
+
+#: Synthetic scale: enough rows for stable timings, small enough for CI.
+NUM_PRODUCTS = 5000
+RELATIONS = ["brandIs", "placeOfOrigin", "relatedScene", "forCrowd",
+             "aboutTheme", "rdf:type"]
+REPEATS = 3
+
+
+def _workload_rows() -> List[Tuple[str, str, str]]:
+    rows: List[Tuple[str, str, str]] = []
+    for index in range(NUM_PRODUCTS):
+        product = f"product:{index:06d}"
+        rows.append((product, "brandIs", f"brand:{index % 97}"))
+        rows.append((product, "placeOfOrigin", f"place:{index % 31}"))
+        rows.append((product, "relatedScene", f"scene:{index % 53}"))
+        rows.append((product, "forCrowd", f"crowd:{index % 17}"))
+        rows.append((product, "aboutTheme", f"theme:{index % 71}"))
+        rows.append((product, "rdf:type", f"category:{index % 203}"))
+    return rows
+
+
+def _best_of(repeats: int, workload: Callable[[], None]) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_bulk_load(backend_name: str, rows) -> float:
+    def workload() -> None:
+        backend = make_backend(backend_name)
+        for head, relation, tail in rows:
+            backend.add(head, relation, tail)
+        backend.count()  # force the columnar index build into the timed region
+    return _best_of(REPEATS, workload)
+
+
+def _time_pattern_match(backend) -> float:
+    products = [f"product:{index:06d}" for index in range(0, NUM_PRODUCTS, 3)]
+
+    def workload() -> None:
+        total = 0
+        for relation in RELATIONS:
+            total += backend.count(relation=relation)
+        for product in products:
+            total += len(backend.match(head=product))
+            total += len(backend.tails(product, "relatedScene"))
+            total += backend.count(head=product, relation="brandIs")
+        for index in range(97):
+            total += len(backend.match(relation="brandIs", tail=f"brand:{index}"))
+        total += sum(backend.degree_many(products))
+        assert total > 0
+    return _best_of(REPEATS, workload)
+
+
+def _time_neighbourhood(graph: KnowledgeGraph) -> float:
+    seeds = [f"product:{index:06d}" for index in range(0, NUM_PRODUCTS, 250)]
+
+    def workload() -> None:
+        collected = 0
+        for seed in seeds:
+            collected += len(graph.neighbourhood(seed, hops=2))
+        assert collected > 0
+    return _best_of(REPEATS, workload)
+
+
+def test_bench_store_backends():
+    rows = _workload_rows()
+    results = {}
+    for backend_name in ("set", "columnar"):
+        load_seconds = _time_bulk_load(backend_name, rows)
+
+        backend = make_backend(backend_name)
+        for head, relation, tail in rows:
+            backend.add(head, relation, tail)
+        match_seconds = _time_pattern_match(backend)
+
+        graph = KnowledgeGraph(name="bench", backend=backend_name)
+        graph.add_many(Triple(*row) for row in rows)
+        hood_seconds = _time_neighbourhood(graph)
+
+        results[backend_name] = {
+            "bulk-load": load_seconds,
+            "pattern-match": match_seconds,
+            "neighbourhood": hood_seconds,
+        }
+
+    print(f"\nStore backend micro-benchmark ({len(rows)} triples, best of {REPEATS}):")
+    print(f"  {'workload':<16} {'set':>10} {'columnar':>10} {'speedup':>9}")
+    for workload in ("bulk-load", "pattern-match", "neighbourhood"):
+        set_seconds = results["set"][workload]
+        columnar_seconds = results["columnar"][workload]
+        print(f"  {workload:<16} {set_seconds:>9.3f}s {columnar_seconds:>9.3f}s "
+              f"{set_seconds / columnar_seconds:>8.1f}x")
+
+    combined_set = results["set"]["bulk-load"] + results["set"]["pattern-match"]
+    combined_columnar = (results["columnar"]["bulk-load"]
+                         + results["columnar"]["pattern-match"])
+    speedup = combined_set / combined_columnar
+    print(f"  combined bulk-load + pattern-match speedup: {speedup:.1f}x")
+    # Acceptance bar from the backend refactor issue.
+    assert speedup >= 2.0

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set
 import numpy as np
 
 from repro.errors import BenchmarkError
+from repro.kg.backend import ColumnarBackend
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.namespaces import MetaProperty
 from repro.kg.triple import Triple
@@ -48,7 +49,7 @@ class SamplingConfig:
 
     def __post_init__(self) -> None:
         for attribute in ("head_sampling_rate", "tail_sampling_rate",
-                          "triple_sampling_rate"):
+                          "triple_sampling_rate", "head_relation_fraction"):
             value = getattr(self, attribute)
             if not 0.0 < value <= 1.0:
                 raise BenchmarkError(f"{attribute} must be in (0, 1], got {value}")
@@ -56,6 +57,12 @@ class SamplingConfig:
             raise BenchmarkError("head_sampling_rate (α_h) must be ≥ tail_sampling_rate (α_l)")
         if self.num_relations <= 0:
             raise BenchmarkError("num_relations must be positive")
+        for attribute in ("dev_fraction", "test_fraction"):
+            value = getattr(self, attribute)
+            if not 0.0 < value < 1.0:
+                raise BenchmarkError(f"{attribute} must be in (0, 1), got {value}")
+        if self.dev_fraction + self.test_fraction >= 1.0:
+            raise BenchmarkError("dev_fraction + test_fraction must be < 1")
 
 
 @dataclass
@@ -137,26 +144,57 @@ class ThreeStageSampler:
     # ------------------------------------------------------------------ #
     def filter_head_entities(self, relations: Sequence[str], config: SamplingConfig,
                              stages: SamplingStages) -> Set[str]:
-        """Sample head entities with rate α_h for head-relations, α_l for tail-relations."""
+        """Sample head entities with rate α_h for head-relations, α_l for tail-relations.
+
+        On the columnar backend the whole stage runs on interned-id arrays;
+        the string path below is the parity fallback.  Both produce the
+        same sampled set for the same seed: ids are ordered by lexicographic
+        symbol rank before ``rng.choice``, matching the string sort.
+        """
         frequencies = self.graph.relation_frequencies()
         ordered = sorted(relations, key=lambda rel: (-frequencies.get(rel, 0), rel))
         num_head = max(1, int(round(len(ordered) * config.head_relation_fraction)))
         head_relations = set(ordered[:num_head])
-
-        head_entities: Set[str] = set()
-        tail_entities: Set[str] = set()
-        for relation in relations:
-            for triple in self.graph.match(relation=relation):
-                if relation in head_relations:
-                    head_entities.add(triple.head)
-                else:
-                    tail_entities.add(triple.head)
-        stages.candidate_head_entities = len(head_entities | tail_entities)
-
         rng = derive_rng(config.seed, "head-sampling", config.name)
-        sampled = self._sample_set(head_entities, config.head_sampling_rate, rng)
-        sampled |= self._sample_set(tail_entities - head_entities,
-                                    config.tail_sampling_rate, rng)
+
+        backend = self.graph.store.backend
+        if isinstance(backend, ColumnarBackend):
+            head_groups: List[np.ndarray] = []
+            tail_groups: List[np.ndarray] = []
+            for relation in relations:
+                relation_id = backend.relation_interner.lookup(relation)
+                if relation_id is None:
+                    continue
+                heads = backend.match_ids(relation_id=relation_id)[:, 0]
+                (head_groups if relation in head_relations else tail_groups).append(heads)
+            head_ids = np.unique(np.concatenate(head_groups)) if head_groups \
+                else np.zeros(0, dtype=np.int64)
+            tail_ids = np.unique(np.concatenate(tail_groups)) if tail_groups \
+                else np.zeros(0, dtype=np.int64)
+            stages.candidate_head_entities = int(
+                len(np.union1d(head_ids, tail_ids)))
+            rank = backend.entity_sort_rank()
+            sampled_ids = self._sample_ids(head_ids, config.head_sampling_rate,
+                                           rng, rank)
+            sampled_ids = np.union1d(
+                sampled_ids,
+                self._sample_ids(np.setdiff1d(tail_ids, head_ids),
+                                 config.tail_sampling_rate, rng, rank))
+            symbol = backend.entity_interner.symbol_of
+            sampled = {symbol(int(entity_id)) for entity_id in sampled_ids}
+        else:
+            head_entities: Set[str] = set()
+            tail_entities: Set[str] = set()
+            for relation in relations:
+                for triple in self.graph.store.iter_match(relation=relation):
+                    if relation in head_relations:
+                        head_entities.add(triple.head)
+                    else:
+                        tail_entities.add(triple.head)
+            stages.candidate_head_entities = len(head_entities | tail_entities)
+            sampled = self._sample_set(head_entities, config.head_sampling_rate, rng)
+            sampled |= self._sample_set(tail_entities - head_entities,
+                                        config.tail_sampling_rate, rng)
         stages.sampled_head_entities = len(sampled)
         stages.head_entities = sampled
         return sampled
@@ -171,15 +209,35 @@ class ThreeStageSampler:
         chosen = rng.choice(len(ordered), size=min(count, len(ordered)), replace=False)
         return {ordered[int(index)] for index in chosen}
 
+    @staticmethod
+    def _sample_ids(ids: np.ndarray, rate: float, rng: np.random.Generator,
+                    rank: np.ndarray) -> np.ndarray:
+        """ID-array twin of :meth:`_sample_set` with identical rng draws."""
+        if ids.size == 0:
+            return ids
+        ordered = ids[np.argsort(rank[ids])]
+        count = max(1, int(round(len(ordered) * rate)))
+        chosen = rng.choice(len(ordered), size=min(count, len(ordered)), replace=False)
+        return ordered[chosen]
+
     # ------------------------------------------------------------------ #
     # stage 3: tail entity sampling
     # ------------------------------------------------------------------ #
     def sample_triples(self, relations: Sequence[str], head_entities: Set[str],
                        config: SamplingConfig, stages: SamplingStages) -> List[Triple]:
-        """Keep triples with surviving heads and relations, sample at α_N."""
+        """Keep triples with surviving heads and relations, sample at α_N.
+
+        On the columnar backend candidate collection, head filtering, the
+        image requirement and the final deterministic sort all run on id
+        arrays; strings are materialized once, for the returned sample.
+        """
+        backend = self.graph.store.backend
+        if isinstance(backend, ColumnarBackend):
+            return self._sample_triples_ids(backend, relations, head_entities,
+                                            config, stages)
         candidates: List[Triple] = []
         for relation in relations:
-            for triple in self.graph.match(relation=relation):
+            for triple in self.graph.match(relation=relation, sort=True):
                 if triple.head in head_entities:
                     if config.require_images and triple.head not in self.graph.images \
                             and triple.tail not in self.graph.images:
@@ -195,6 +253,59 @@ class ThreeStageSampler:
         count = min(count, len(candidates))
         chosen = rng.choice(len(candidates), size=count, replace=False)
         sampled = sorted(candidates[int(index)] for index in chosen)
+        stages.sampled_triples = len(sampled)
+        stages.triples = sampled
+        return sampled
+
+    def _sample_triples_ids(self, backend: ColumnarBackend,
+                            relations: Sequence[str], head_entities: Set[str],
+                            config: SamplingConfig,
+                            stages: SamplingStages) -> List[Triple]:
+        """ID-array third stage, bit-identical to the string fallback."""
+        entity_rank = backend.entity_sort_rank()
+        relation_rank = backend.relation_sort_rank()
+        head_id_list = [backend.entity_interner.lookup(head) for head in head_entities]
+        head_id_array = np.asarray(
+            sorted(head_id for head_id in head_id_list if head_id is not None),
+            dtype=np.int64)
+        image_mask = np.zeros(len(backend.entity_interner), dtype=bool)
+        for entity in self.graph.images:
+            entity_id = backend.entity_interner.lookup(entity)
+            if entity_id is not None:
+                image_mask[entity_id] = True
+
+        groups: List[np.ndarray] = []
+        for relation in relations:
+            relation_id = backend.relation_interner.lookup(relation)
+            if relation_id is None:
+                continue
+            rows = backend.match_ids(relation_id=relation_id)
+            # Seed parity: per-relation candidates in string-sorted
+            # (head, tail) order, reproduced via symbol ranks.
+            rows = rows[np.lexsort((entity_rank[rows[:, 2]], entity_rank[rows[:, 0]]))]
+            keep = np.isin(rows[:, 0], head_id_array)
+            if config.require_images:
+                keep &= image_mask[rows[:, 0]] | image_mask[rows[:, 2]]
+            groups.append(rows[keep])
+        candidates = np.concatenate(groups, axis=0) if groups \
+            else np.zeros((0, 3), dtype=np.int64)
+        stages.candidate_triples = int(len(candidates))
+        if not len(candidates):
+            raise BenchmarkError(
+                f"benchmark {config.name!r}: no candidate triples after head filtering")
+        rng = derive_rng(config.seed, "triple-sampling", config.name)
+        count = max(config.min_split_size * 3,
+                    int(round(len(candidates) * config.triple_sampling_rate)))
+        count = min(count, len(candidates))
+        chosen = candidates[rng.choice(len(candidates), size=count, replace=False)]
+        chosen = chosen[np.lexsort((entity_rank[chosen[:, 2]],
+                                    relation_rank[chosen[:, 1]],
+                                    entity_rank[chosen[:, 0]]))]
+        entity = backend.entity_interner.symbol_of
+        relation_symbol = backend.relation_interner.symbol_of
+        sampled = [Triple(entity(int(head_id)), relation_symbol(int(relation_id)),
+                          entity(int(tail_id)))
+                   for head_id, relation_id, tail_id in chosen]
         stages.sampled_triples = len(sampled)
         stages.triples = sampled
         return sampled

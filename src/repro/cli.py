@@ -34,6 +34,7 @@ from repro.embedding import (
     TuckER,
 )
 from repro.embedding.evaluation import format_results_table
+from repro.kg.backend import BACKENDS, DEFAULT_BACKEND
 from repro.kg.serialization import write_tsv
 
 MODEL_REGISTRY = {
@@ -53,6 +54,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--products", type=int, default=300,
                         help="number of synthetic products to generate")
     parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--backend", choices=sorted(BACKENDS), default=DEFAULT_BACKEND,
+                        help="triple-store backend (columnar: interned-id numpy "
+                             "arrays; set: the reference dict-of-set store)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     build = subparsers.add_parser("build", help="construct the synthetic OpenBG")
@@ -75,9 +79,10 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _construct(products: int, seed: int) -> ConstructionResult:
+def _construct(products: int, seed: int,
+               backend: str = DEFAULT_BACKEND) -> ConstructionResult:
     config = SyntheticCatalogConfig(num_products=products, seed=seed)
-    return OpenBGBuilder(config, seed=seed).build()
+    return OpenBGBuilder(config, seed=seed, backend=backend).build()
 
 
 def _command_build(result: ConstructionResult, out: Optional[Path]) -> int:
@@ -132,7 +137,7 @@ def _command_linkpred(result: ConstructionResult, seed: int, model_name: str,
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    result = _construct(args.products, args.seed)
+    result = _construct(args.products, args.seed, args.backend)
     if args.command == "build":
         return _command_build(result, args.out)
     if args.command == "stats":

@@ -20,6 +20,7 @@ from repro.construction.concept_builder import ConceptBuilder
 from repro.construction.dedup import DedupReport, Deduplicator
 from repro.construction.linking import DEFAULT_CNSCHEMA_MAPPING, InstanceLinker
 from repro.datagen.catalog import Catalog, SyntheticCatalogConfig, generate_catalog
+from repro.kg.backend import DEFAULT_BACKEND
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.statistics import GraphStatistics, compute_statistics
 from repro.ontology.core_ontology import build_core_ontology, register_in_market_relations
@@ -57,10 +58,12 @@ class OpenBGBuilder:
     """Builds a (scaled-down) OpenBG from a synthetic catalog."""
 
     def __init__(self, config: Optional[SyntheticCatalogConfig] = None,
-                 seed: int = 0, crf_epochs: int = 2) -> None:
+                 seed: int = 0, crf_epochs: int = 2,
+                 backend: str = DEFAULT_BACKEND) -> None:
         self.config = config or SyntheticCatalogConfig(seed=seed)
         self.seed = int(seed)
         self.crf_epochs = int(crf_epochs)
+        self.backend = backend
 
     # ------------------------------------------------------------------ #
     # pipeline stages
@@ -81,7 +84,7 @@ class OpenBGBuilder:
             catalog = catalog or generate_catalog(self.config)
         stage_durations["catalog"] = timer.elapsed
 
-        graph = KnowledgeGraph(name="OpenBG-synthetic")
+        graph = KnowledgeGraph(name="OpenBG-synthetic", backend=self.backend)
         schema = build_core_ontology()
         register_in_market_relations(schema, self.config.num_in_market_relations)
 

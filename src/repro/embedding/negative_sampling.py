@@ -4,17 +4,25 @@ Implements uniform corruption of heads or tails with optional filtering of
 false negatives (corrupted triples that actually exist in the training
 graph), and the "bern" strategy of TransH which corrupts the side chosen by
 the relation's head/tail cardinality ratio.
+
+The sampler operates on ID arrays end-to-end: known triples are encoded to
+a sorted ``int64`` key array, corruption draws whole batches of
+replacements at once, and false-negative filtering is a vectorized binary
+search with a bounded rejection-resampling loop — no per-triple Python.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Set, Tuple
+from typing import Dict
 
 import numpy as np
 
 from repro.errors import EmbeddingError
 from repro.utils.rng import derive_rng
+
+#: Rejection-resampling attempts before giving up on a corrupted triple
+#: (the positive is kept in that case, matching the seed behaviour).
+MAX_RESAMPLE_ATTEMPTS = 10
 
 
 class NegativeSampler:
@@ -29,25 +37,79 @@ class NegativeSampler:
         self.strategy = strategy
         self.filter_false_negatives = bool(filter_false_negatives)
         self._rng = derive_rng(seed, "negative-sampler")
-        self._known: Set[Tuple[int, int, int]] = {
-            (int(h), int(r), int(t)) for h, r, t in train_triples
-        }
-        self._bern_probability = self._compute_bern(train_triples)
+        triples = np.asarray(train_triples, dtype=np.int64).reshape(-1, 3)
+        self._num_relations = int(triples[:, 1].max()) + 1 if len(triples) else 1
+        # Key packing needs (E * R) * E to fit in int64; beyond that fall
+        # back to exact tuple-set membership instead of silently wrapping.
+        self._use_packed_keys = \
+            self.num_entities * self._num_relations * self.num_entities < 2 ** 62
+        if self._use_packed_keys:
+            self._known_keys = np.unique(self._encode(triples))
+            self._known_tuples = None
+        else:
+            self._known_keys = np.zeros(0, dtype=np.int64)
+            self._known_tuples = {tuple(row) for row in triples.tolist()}
+        self._bern_probability = self._compute_bern(triples)
 
+    # ------------------------------------------------------------------ #
+    # id-key encoding
+    # ------------------------------------------------------------------ #
+    def _encode(self, triples: np.ndarray) -> np.ndarray:
+        """Pack (h, r, t) id rows into single sortable int64 keys."""
+        return (triples[:, 0] * self._num_relations + triples[:, 1]) \
+            * self.num_entities + triples[:, 2]
+
+    def _is_known(self, triples: np.ndarray) -> np.ndarray:
+        """Vectorized membership test against the training triples."""
+        if not self._use_packed_keys:
+            return np.fromiter((tuple(row) in self._known_tuples
+                                for row in triples.tolist()),
+                               dtype=bool, count=len(triples))
+        if not len(self._known_keys):
+            return np.zeros(len(triples), dtype=bool)
+        # Ids outside the training ranges cannot be known triples, and
+        # encoding them would alias onto other keys — mask them out first.
+        in_range = ((triples[:, 0] >= 0) & (triples[:, 0] < self.num_entities)
+                    & (triples[:, 1] >= 0) & (triples[:, 1] < self._num_relations)
+                    & (triples[:, 2] >= 0) & (triples[:, 2] < self.num_entities))
+        known = np.zeros(len(triples), dtype=bool)
+        if in_range.any():
+            keys = self._encode(triples[in_range])
+            positions = np.searchsorted(self._known_keys, keys)
+            positions = np.minimum(positions, len(self._known_keys) - 1)
+            known[in_range] = self._known_keys[positions] == keys
+        return known
+
+    # ------------------------------------------------------------------ #
+    # bern statistics
+    # ------------------------------------------------------------------ #
     def _compute_bern(self, triples: np.ndarray) -> Dict[int, float]:
         """Per-relation probability of corrupting the head (TransH's bern trick)."""
-        tails_per_head: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
-        heads_per_tail: Dict[int, Dict[int, Set[int]]] = defaultdict(lambda: defaultdict(set))
-        for head, relation, tail in triples:
-            tails_per_head[int(relation)][int(head)].add(int(tail))
-            heads_per_tail[int(relation)][int(tail)].add(int(head))
         probabilities: Dict[int, float] = {}
-        for relation in tails_per_head:
-            tph = np.mean([len(tails) for tails in tails_per_head[relation].values()])
-            hpt = np.mean([len(heads) for heads in heads_per_tail[relation].values()])
-            probabilities[relation] = float(tph / (tph + hpt)) if (tph + hpt) > 0 else 0.5
+        if not len(triples):
+            return probabilities
+        # One sort by relation, then group slices — avoids a full-column
+        # scan per distinct relation.
+        by_relation = triples[np.argsort(triples[:, 1], kind="stable")]
+        relation_column = by_relation[:, 1]
+        boundaries = np.flatnonzero(np.diff(relation_column)) + 1
+        for group in np.split(by_relation, boundaries):
+            relation = group[0, 1]
+            # Distinct (h, t) pairs so duplicate training rows don't skew
+            # the ratio (the seed collected them into sets).
+            pairs = np.unique(group[:, [0, 2]], axis=0)
+            num_head_groups = len(np.unique(pairs[:, 0]))
+            num_tail_groups = len(np.unique(pairs[:, 1]))
+            # tph = triples per distinct head, hpt = triples per distinct tail.
+            tph = len(pairs) / num_head_groups
+            hpt = len(pairs) / num_tail_groups
+            probabilities[int(relation)] = float(tph / (tph + hpt)) \
+                if (tph + hpt) > 0 else 0.5
         return probabilities
 
+    # ------------------------------------------------------------------ #
+    # corruption
+    # ------------------------------------------------------------------ #
     def corrupt(self, positives: np.ndarray, num_negatives: int = 1) -> np.ndarray:
         """Return an array of corrupted triples aligned with ``positives``.
 
@@ -57,24 +119,36 @@ class NegativeSampler:
         """
         if positives.size == 0:
             return positives.copy()
-        repeated = np.repeat(positives, num_negatives, axis=0)
-        corrupted = repeated.copy()
-        for index in range(corrupted.shape[0]):
-            head, relation, tail = corrupted[index]
-            corrupt_head = self._should_corrupt_head(int(relation))
-            for _attempt in range(10):
-                replacement = int(self._rng.integers(0, self.num_entities))
-                if corrupt_head:
-                    candidate = (replacement, int(relation), int(tail))
-                else:
-                    candidate = (int(head), int(relation), replacement)
-                if not self.filter_false_negatives or candidate not in self._known:
-                    corrupted[index] = candidate
-                    break
+        corrupted = np.repeat(np.asarray(positives, dtype=np.int64),
+                              num_negatives, axis=0)
+        corrupt_head = self._corrupt_head_mask(corrupted[:, 1])
+        pending = np.arange(len(corrupted))
+        for _attempt in range(MAX_RESAMPLE_ATTEMPTS):
+            if not len(pending):
+                break
+            candidates = corrupted[pending].copy()
+            replacements = self._rng.integers(0, self.num_entities,
+                                              size=len(pending), dtype=np.int64)
+            head_side = corrupt_head[pending]
+            candidates[head_side, 0] = replacements[head_side]
+            candidates[~head_side, 2] = replacements[~head_side]
+            if self.filter_false_negatives:
+                rejected = self._is_known(candidates)
+            else:
+                rejected = np.zeros(len(pending), dtype=bool)
+            accepted = pending[~rejected]
+            corrupted[accepted] = candidates[~rejected]
+            pending = pending[rejected]
+        # Rows still pending keep their positive — same as the seed's
+        # behaviour when the retry budget ran out.
         return corrupted
 
-    def _should_corrupt_head(self, relation: int) -> bool:
+    def _corrupt_head_mask(self, relations: np.ndarray) -> np.ndarray:
+        """Which rows corrupt the head (True) vs the tail (False)."""
+        draws = self._rng.random(len(relations))
         if self.strategy == "uniform":
-            return bool(self._rng.random() < 0.5)
-        probability = self._bern_probability.get(relation, 0.5)
-        return bool(self._rng.random() < probability)
+            return draws < 0.5
+        probabilities = np.fromiter(
+            (self._bern_probability.get(int(relation), 0.5) for relation in relations),
+            dtype=np.float64, count=len(relations))
+        return draws < probabilities

@@ -9,6 +9,15 @@ query engine, and graph statistics mirroring Table I of the paper.
 
 from repro.kg.namespaces import MetaProperty, Namespaces
 from repro.kg.triple import Triple
+from repro.kg.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ColumnarBackend,
+    GraphBackend,
+    Interner,
+    SetBackend,
+    make_backend,
+)
 from repro.kg.store import TripleStore
 from repro.kg.vocab import Vocabulary
 from repro.kg.graph import KnowledgeGraph
@@ -19,6 +28,13 @@ __all__ = [
     "MetaProperty",
     "Namespaces",
     "Triple",
+    "BACKENDS",
+    "DEFAULT_BACKEND",
+    "ColumnarBackend",
+    "GraphBackend",
+    "Interner",
+    "SetBackend",
+    "make_backend",
     "TripleStore",
     "Vocabulary",
     "KnowledgeGraph",

@@ -1,0 +1,658 @@
+"""Pluggable storage backends for the triple store.
+
+The seed implementation kept a Python ``set`` of :class:`Triple` objects
+plus six dict-of-set indexes — allocation heavy and string-compare bound
+once every upper layer starts hot-looping over pattern queries.  This
+module introduces the storage seam the ROADMAP asks for:
+
+* :class:`Interner` — a shared string ↔ contiguous ``int`` id table,
+* :class:`GraphBackend` — the protocol every backend implements,
+* :class:`SetBackend` — the original dict-of-set design (kept for parity
+  testing and as a reference implementation),
+* :class:`ColumnarBackend` — the default: triples live in parallel numpy
+  ``int64`` columns with CSR-style adjacency indexes per head, relation
+  and tail, plus (head, relation) / (relation, tail) / (tail, head)
+  subgroup lookups via binary search.  Pattern queries slice arrays and
+  only materialize :class:`Triple` objects (or sort) when asked.
+
+Backends answer the same string-level query surface, and the columnar
+backend additionally exposes an integer-id surface (``id_triples``,
+``match_ids``, the interners) that the sampling and embedding layers use
+to stay in ID-array land end-to-end.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.kg.triple import Triple
+
+#: A (head, relation, tail) pattern; ``None`` is a wildcard.
+Pattern = Tuple[Optional[str], Optional[str], Optional[str]]
+
+
+class Interner:
+    """An append-only string ↔ contiguous int-id table.
+
+    The same structure as :class:`~repro.kg.vocab.Vocabulary` but kept
+    separate so the storage layer has no dependency on the embedding
+    vocabulary semantics (and can later grow backend-specific features
+    such as shard-local id spaces).
+    """
+
+    __slots__ = ("_symbol_to_id", "_id_to_symbol")
+
+    def __init__(self, symbols: Iterable[str] = ()) -> None:
+        self._symbol_to_id: Dict[str, int] = {}
+        self._id_to_symbol: List[str] = []
+        for symbol in symbols:
+            self.intern(symbol)
+
+    def intern(self, symbol: str) -> int:
+        """Return the id of ``symbol``, assigning the next free id if new."""
+        existing = self._symbol_to_id.get(symbol)
+        if existing is not None:
+            return existing
+        new_id = len(self._id_to_symbol)
+        self._symbol_to_id[symbol] = new_id
+        self._id_to_symbol.append(symbol)
+        return new_id
+
+    def lookup(self, symbol: str) -> Optional[int]:
+        """Return the id of ``symbol`` or ``None`` when it was never interned."""
+        return self._symbol_to_id.get(symbol)
+
+    def symbol_of(self, identifier: int) -> str:
+        """Return the symbol with id ``identifier``."""
+        return self._id_to_symbol[identifier]
+
+    def symbols(self) -> List[str]:
+        """All interned symbols in id order (a copy)."""
+        return list(self._id_to_symbol)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._symbol_to_id
+
+    def __len__(self) -> int:
+        return len(self._id_to_symbol)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._id_to_symbol)
+
+
+@runtime_checkable
+class GraphBackend(Protocol):
+    """The storage contract behind :class:`~repro.kg.store.TripleStore`.
+
+    All query methods accept ``None`` as a wildcard.  ``match`` returns
+    triples in backend-defined order unless ``sort=True`` is requested;
+    ``tails`` / ``heads`` stay sorted because their callers rely on
+    deterministic small result lists.
+    """
+
+    def add(self, head: str, relation: str, tail: str) -> bool: ...
+
+    def discard(self, head: str, relation: str, tail: str) -> bool: ...
+
+    def contains(self, head: str, relation: str, tail: str) -> bool: ...
+
+    def clone_empty(self) -> "GraphBackend": ...
+
+    def __len__(self) -> int: ...
+
+    def iter_triples(self) -> Iterator[Triple]: ...
+
+    def match(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None, sort: bool = False) -> List[Triple]: ...
+
+    def iter_match(self, head: Optional[str] = None, relation: Optional[str] = None,
+                   tail: Optional[str] = None) -> Iterator[Triple]: ...
+
+    def count(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None) -> int: ...
+
+    def tails(self, head: str, relation: str) -> List[str]: ...
+
+    def heads(self, relation: str, tail: str) -> List[str]: ...
+
+    def degree(self, node: str) -> int: ...
+
+    def entities(self) -> List[str]: ...
+
+    def relations(self) -> List[str]: ...
+
+    def heads_only(self) -> List[str]: ...
+
+    def relation_frequencies(self) -> Dict[str, int]: ...
+
+    def match_many(self, patterns: Sequence[Pattern],
+                   sort: bool = False) -> List[List[Triple]]: ...
+
+    def tails_many(self, pairs: Sequence[Tuple[str, str]]) -> List[List[str]]: ...
+
+    def degree_many(self, nodes: Sequence[str]) -> List[int]: ...
+
+
+class _BatchedQueriesMixin:
+    """Default batched implementations shared by all backends.
+
+    Backends override the single-pattern primitives; the batched surface
+    composes them so every backend speaks the same batched API even before
+    it grows a vectorized fast path.
+    """
+
+    def match_many(self, patterns: Sequence[Pattern],
+                   sort: bool = False) -> List[List[Triple]]:
+        """One result list per (head, relation, tail) pattern."""
+        return [self.match(head, relation, tail, sort=sort)
+                for head, relation, tail in patterns]
+
+    def tails_many(self, pairs: Sequence[Tuple[str, str]]) -> List[List[str]]:
+        """One sorted tail list per (head, relation) pair."""
+        return [self.tails(head, relation) for head, relation in pairs]
+
+    def degree_many(self, nodes: Sequence[str]) -> List[int]:
+        """Total degree per node."""
+        return [self.degree(node) for node in nodes]
+
+    def clone_empty(self) -> "GraphBackend":
+        """A fresh empty backend of the same kind and configuration.
+
+        Backends with constructor arguments (e.g. a future on-disk
+        backend) must override this so :meth:`TripleStore.copy` can
+        reproduce their configuration.
+        """
+        return type(self)()
+
+
+class SetBackend(_BatchedQueriesMixin):
+    """The original dict-of-set store, kept as the parity reference.
+
+    Six single- and two-key indexes (SPO / POS / OSP style) make every
+    pattern lookup a dictionary access rather than a scan.  Index buckets
+    are insertion-ordered dicts rather than sets so unsorted ``match``
+    results are deterministic for a deterministic insertion sequence
+    (plain sets would leak ``PYTHONHASHSEED`` into query order).
+    """
+
+    name = "set"
+
+    def __init__(self) -> None:
+        self._triples: Dict[Triple, None] = {}
+        self._by_head: Dict[str, Dict[Triple, None]] = defaultdict(dict)
+        self._by_relation: Dict[str, Dict[Triple, None]] = defaultdict(dict)
+        self._by_tail: Dict[str, Dict[Triple, None]] = defaultdict(dict)
+        self._by_head_relation: Dict[Tuple[str, str], Dict[Triple, None]] = defaultdict(dict)
+        self._by_relation_tail: Dict[Tuple[str, str], Dict[Triple, None]] = defaultdict(dict)
+        self._by_head_tail: Dict[Tuple[str, str], Dict[Triple, None]] = defaultdict(dict)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, head: str, relation: str, tail: str) -> bool:
+        triple = Triple(head, relation, tail)
+        if triple in self._triples:
+            return False
+        self._triples[triple] = None
+        self._by_head[head][triple] = None
+        self._by_relation[relation][triple] = None
+        self._by_tail[tail][triple] = None
+        self._by_head_relation[(head, relation)][triple] = None
+        self._by_relation_tail[(relation, tail)][triple] = None
+        self._by_head_tail[(head, tail)][triple] = None
+        return True
+
+    def discard(self, head: str, relation: str, tail: str) -> bool:
+        triple = Triple(head, relation, tail)
+        if triple not in self._triples:
+            return False
+        del self._triples[triple]
+        self._by_head[head].pop(triple, None)
+        self._by_relation[relation].pop(triple, None)
+        self._by_tail[tail].pop(triple, None)
+        self._by_head_relation[(head, relation)].pop(triple, None)
+        self._by_relation_tail[(relation, tail)].pop(triple, None)
+        self._by_head_tail[(head, tail)].pop(triple, None)
+        return True
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def contains(self, head: str, relation: str, tail: str) -> bool:
+        return Triple(head, relation, tail) in self._triples
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def iter_triples(self) -> Iterator[Triple]:
+        return iter(self._triples)
+
+    def _candidates(self, head: Optional[str], relation: Optional[str],
+                    tail: Optional[str]) -> Iterable[Triple]:
+        if head is not None and relation is not None and tail is not None:
+            candidate = Triple(head, relation, tail)
+            return (candidate,) if candidate in self._triples else ()
+        if head is not None and relation is not None:
+            return self._by_head_relation.get((head, relation), ())
+        if relation is not None and tail is not None:
+            return self._by_relation_tail.get((relation, tail), ())
+        if head is not None and tail is not None:
+            return self._by_head_tail.get((head, tail), ())
+        if head is not None:
+            return self._by_head.get(head, ())
+        if relation is not None:
+            return self._by_relation.get(relation, ())
+        if tail is not None:
+            return self._by_tail.get(tail, ())
+        return self._triples
+
+    def match(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None, sort: bool = False) -> List[Triple]:
+        candidates = self._candidates(head, relation, tail)
+        return sorted(candidates) if sort else list(candidates)
+
+    def iter_match(self, head: Optional[str] = None, relation: Optional[str] = None,
+                   tail: Optional[str] = None) -> Iterator[Triple]:
+        return iter(self._candidates(head, relation, tail))
+
+    def count(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None) -> int:
+        # Every branch of _candidates returns a sized container.
+        return len(self._candidates(head, relation, tail))
+
+    def tails(self, head: str, relation: str) -> List[str]:
+        return sorted(t.tail for t in self._by_head_relation.get((head, relation), ()))
+
+    def heads(self, relation: str, tail: str) -> List[str]:
+        return sorted(t.head for t in self._by_relation_tail.get((relation, tail), ()))
+
+    def degree(self, node: str) -> int:
+        return len(self._by_head.get(node, ())) + len(self._by_tail.get(node, ()))
+
+    def entities(self) -> List[str]:
+        nodes = {key for key, triples in self._by_head.items() if triples}
+        nodes.update(key for key, triples in self._by_tail.items() if triples)
+        return sorted(nodes)
+
+    def relations(self) -> List[str]:
+        return sorted(rel for rel, triples in self._by_relation.items() if triples)
+
+    def heads_only(self) -> List[str]:
+        return sorted(key for key, triples in self._by_head.items() if triples)
+
+    def relation_frequencies(self) -> Dict[str, int]:
+        return {rel: len(triples) for rel, triples in self._by_relation.items() if triples}
+
+
+class ColumnarBackend(_BatchedQueriesMixin):
+    """Interned-id columnar store with CSR adjacency indexes.
+
+    Triples are held as an insertion-ordered dict of ``(h, r, t)`` int-id
+    keys (O(1) membership and dedup) and, lazily on first query after a
+    mutation, as three parallel ``int64`` numpy columns with three sort
+    permutations:
+
+    * ``spo`` — sorted by (head, relation, tail): per-head CSR offsets,
+      (head, relation) subranges via ``searchsorted`` on the relation
+      column inside the head slice;
+    * ``pos`` — sorted by (relation, tail, head): per-relation CSR
+      offsets, (relation, tail) subranges;
+    * ``osp`` — sorted by (tail, head, relation): per-tail CSR offsets,
+      (tail, head) subranges.
+
+    Pattern queries therefore slice arrays; strings only appear when a
+    caller asks for :class:`Triple` objects.
+    """
+
+    name = "columnar"
+
+    def __init__(self) -> None:
+        self.entity_interner = Interner()
+        self.relation_interner = Interner()
+        # Insertion-ordered so iteration and the column layout are
+        # deterministic for a deterministic construction sequence.
+        self._rows: Dict[Tuple[int, int, int], None] = {}
+        self._dirty = True
+        self._cols: Optional[np.ndarray] = None  # (n, 3) int64
+        self._perm_spo: Optional[np.ndarray] = None
+        self._perm_pos: Optional[np.ndarray] = None
+        self._perm_osp: Optional[np.ndarray] = None
+        self._head_offsets: Optional[np.ndarray] = None
+        self._rel_offsets: Optional[np.ndarray] = None
+        self._tail_offsets: Optional[np.ndarray] = None
+        self._entity_rank: Optional[np.ndarray] = None
+        self._relation_rank: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, head: str, relation: str, tail: str) -> bool:
+        if not (head and relation and tail):
+            raise ValueError(
+                f"triple components must be non-empty, got ({head!r}, {relation!r}, {tail!r})")
+        key = (self.entity_interner.intern(head),
+               self.relation_interner.intern(relation),
+               self.entity_interner.intern(tail))
+        if key in self._rows:
+            return False
+        self._rows[key] = None
+        self._dirty = True
+        return True
+
+    def discard(self, head: str, relation: str, tail: str) -> bool:
+        key = self._key_of(head, relation, tail)
+        if key is None or key not in self._rows:
+            return False
+        del self._rows[key]
+        self._dirty = True
+        return True
+
+    def _key_of(self, head: str, relation: str,
+                tail: str) -> Optional[Tuple[int, int, int]]:
+        head_id = self.entity_interner.lookup(head)
+        relation_id = self.relation_interner.lookup(relation)
+        tail_id = self.entity_interner.lookup(tail)
+        if head_id is None or relation_id is None or tail_id is None:
+            return None
+        return (head_id, relation_id, tail_id)
+
+    # ------------------------------------------------------------------ #
+    # index maintenance
+    # ------------------------------------------------------------------ #
+    def _ensure_index(self) -> None:
+        if not self._dirty:
+            return
+        num_entities = len(self.entity_interner)
+        num_relations = len(self.relation_interner)
+        if self._rows:
+            cols = np.fromiter(
+                (component for row in self._rows for component in row),
+                dtype=np.int64, count=3 * len(self._rows),
+            ).reshape(-1, 3)
+        else:
+            cols = np.zeros((0, 3), dtype=np.int64)
+        heads, rels, tails = cols[:, 0], cols[:, 1], cols[:, 2]
+        entity_ids = np.arange(num_entities + 1, dtype=np.int64)
+        relation_ids = np.arange(num_relations + 1, dtype=np.int64)
+        perm_spo = np.lexsort((tails, rels, heads))
+        perm_pos = np.lexsort((heads, tails, rels))
+        perm_osp = np.lexsort((rels, heads, tails))
+        self._cols = cols
+        self._perm_spo = perm_spo
+        self._perm_pos = perm_pos
+        self._perm_osp = perm_osp
+        self._head_offsets = np.searchsorted(heads[perm_spo], entity_ids)
+        self._rel_offsets = np.searchsorted(rels[perm_pos], relation_ids)
+        self._tail_offsets = np.searchsorted(tails[perm_osp], entity_ids)
+        self._entity_rank = None
+        self._relation_rank = None
+        self._dirty = False
+
+    # ------------------------------------------------------------------ #
+    # id-level query surface
+    # ------------------------------------------------------------------ #
+    def id_triples(self) -> np.ndarray:
+        """The full (n, 3) int64 array of (head, relation, tail) ids.
+
+        The returned array is the backend's live column block — treat it
+        as read-only.
+        """
+        self._ensure_index()
+        return self._cols
+
+    def _slice(self, perm: np.ndarray, offsets: np.ndarray,
+               group_id: int) -> np.ndarray:
+        if group_id < 0 or group_id >= len(offsets) - 1:
+            return perm[0:0]
+        return perm[offsets[group_id]:offsets[group_id + 1]]
+
+    def _subrange(self, rows: np.ndarray, column: int, value: int) -> np.ndarray:
+        """Narrow ``rows`` (already sorted by ``column``) to one value."""
+        keys = self._cols[rows, column]
+        lo = int(np.searchsorted(keys, value, side="left"))
+        hi = int(np.searchsorted(keys, value, side="right"))
+        return rows[lo:hi]
+
+    def match_id_rows(self, head_id: Optional[int] = None,
+                      relation_id: Optional[int] = None,
+                      tail_id: Optional[int] = None) -> np.ndarray:
+        """Row indices into :meth:`id_triples` matching an id pattern."""
+        self._ensure_index()
+        if head_id is not None:
+            rows = self._slice(self._perm_spo, self._head_offsets, head_id)
+            if relation_id is not None:
+                rows = self._subrange(rows, 1, relation_id)
+                if tail_id is not None:
+                    rows = self._subrange(rows, 2, tail_id)
+            elif tail_id is not None:
+                rows = self._slice(self._perm_osp, self._tail_offsets, tail_id)
+                rows = self._subrange(rows, 0, head_id)
+            return rows
+        if relation_id is not None:
+            rows = self._slice(self._perm_pos, self._rel_offsets, relation_id)
+            if tail_id is not None:
+                rows = self._subrange(rows, 2, tail_id)
+            return rows
+        if tail_id is not None:
+            return self._slice(self._perm_osp, self._tail_offsets, tail_id)
+        return self._perm_spo
+
+    def match_ids(self, head_id: Optional[int] = None,
+                  relation_id: Optional[int] = None,
+                  tail_id: Optional[int] = None) -> np.ndarray:
+        """The (k, 3) id triples matching an id pattern."""
+        self._ensure_index()
+        return self._cols[self.match_id_rows(head_id, relation_id, tail_id)]
+
+    def entity_sort_rank(self) -> np.ndarray:
+        """Rank of each entity id in lexicographic symbol order.
+
+        ``rank[id]`` is the position the entity's symbol would take in
+        ``sorted(symbols)``; used by the sampling layer to reproduce
+        string-sorted orderings without materializing strings per triple.
+        Python's own ``sorted`` is used (not numpy's code-point unicode
+        sort) so the ordering matches ``sorted()`` everywhere else.
+        """
+        self._ensure_index()
+        if self._entity_rank is None or len(self._entity_rank) != len(self.entity_interner):
+            symbols = self.entity_interner.symbols()
+            order = sorted(range(len(symbols)), key=symbols.__getitem__)
+            rank = np.empty(len(symbols), dtype=np.int64)
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(len(symbols), dtype=np.int64)
+            self._entity_rank = rank
+        return self._entity_rank
+
+    def relation_sort_rank(self) -> np.ndarray:
+        """Rank of each relation id in lexicographic symbol order."""
+        self._ensure_index()
+        if self._relation_rank is None \
+                or len(self._relation_rank) != len(self.relation_interner):
+            symbols = self.relation_interner.symbols()
+            order = sorted(range(len(symbols)), key=symbols.__getitem__)
+            rank = np.empty(len(symbols), dtype=np.int64)
+            rank[np.asarray(order, dtype=np.int64)] = np.arange(len(symbols), dtype=np.int64)
+            self._relation_rank = rank
+        return self._relation_rank
+
+    def _resolve(self, head: Optional[str], relation: Optional[str],
+                 tail: Optional[str]) -> Optional[Tuple[Optional[int], Optional[int], Optional[int]]]:
+        """Translate a string pattern to ids; ``None`` if any constant is unknown."""
+        head_id = relation_id = tail_id = None
+        if head is not None:
+            head_id = self.entity_interner.lookup(head)
+            if head_id is None:
+                return None
+        if relation is not None:
+            relation_id = self.relation_interner.lookup(relation)
+            if relation_id is None:
+                return None
+        if tail is not None:
+            tail_id = self.entity_interner.lookup(tail)
+            if tail_id is None:
+                return None
+        return head_id, relation_id, tail_id
+
+    def _materialize(self, rows: np.ndarray) -> List[Triple]:
+        """Turn row indices into Triple objects in one batched conversion."""
+        if not len(rows):
+            return []
+        entity = self.entity_interner._id_to_symbol
+        relation = self.relation_interner._id_to_symbol
+        new_triple = Triple.unchecked
+        return [new_triple(entity[head_id], relation[relation_id], entity[tail_id])
+                for head_id, relation_id, tail_id in self._cols[rows].tolist()]
+
+    # ------------------------------------------------------------------ #
+    # string-level query surface
+    # ------------------------------------------------------------------ #
+    def contains(self, head: str, relation: str, tail: str) -> bool:
+        key = self._key_of(head, relation, tail)
+        return key is not None and key in self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def iter_triples(self) -> Iterator[Triple]:
+        entity = self.entity_interner._id_to_symbol
+        relation = self.relation_interner._id_to_symbol
+        new_triple = Triple.unchecked
+        for head_id, relation_id, tail_id in self._rows:
+            yield new_triple(entity[head_id], relation[relation_id], entity[tail_id])
+
+    def match(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None, sort: bool = False) -> List[Triple]:
+        if head is not None and relation is not None and tail is not None:
+            return [Triple(head, relation, tail)] if self.contains(head, relation, tail) else []
+        resolved = self._resolve(head, relation, tail)
+        if resolved is None:
+            return []
+        result = self._materialize(self.match_id_rows(*resolved))
+        if sort:
+            result.sort()
+        return result
+
+    def iter_match(self, head: Optional[str] = None, relation: Optional[str] = None,
+                   tail: Optional[str] = None) -> Iterator[Triple]:
+        if head is not None and relation is not None and tail is not None:
+            if self.contains(head, relation, tail):
+                yield Triple(head, relation, tail)
+            return
+        resolved = self._resolve(head, relation, tail)
+        if resolved is None:
+            return
+        rows = self.match_id_rows(*resolved)
+        entity = self.entity_interner._id_to_symbol
+        relation_symbols = self.relation_interner._id_to_symbol
+        new_triple = Triple.unchecked
+        for head_id, relation_id, tail_id in self._cols[rows].tolist():
+            yield new_triple(entity[head_id], relation_symbols[relation_id],
+                             entity[tail_id])
+
+    def count(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None) -> int:
+        if head is not None and relation is not None and tail is not None:
+            return 1 if self.contains(head, relation, tail) else 0
+        if head is None and relation is None and tail is None:
+            return len(self._rows)
+        resolved = self._resolve(head, relation, tail)
+        if resolved is None:
+            return 0
+        return int(len(self.match_id_rows(*resolved)))
+
+    def tails(self, head: str, relation: str) -> List[str]:
+        resolved = self._resolve(head, relation, None)
+        if resolved is None:
+            return []
+        rows = self.match_id_rows(resolved[0], resolved[1], None)
+        symbols = self.entity_interner._id_to_symbol
+        return sorted(symbols[tail_id] for tail_id in self._cols[rows, 2].tolist())
+
+    def heads(self, relation: str, tail: str) -> List[str]:
+        resolved = self._resolve(None, relation, tail)
+        if resolved is None:
+            return []
+        rows = self.match_id_rows(None, resolved[1], resolved[2])
+        symbols = self.entity_interner._id_to_symbol
+        return sorted(symbols[head_id] for head_id in self._cols[rows, 0].tolist())
+
+    def degree(self, node: str) -> int:
+        node_id = self.entity_interner.lookup(node)
+        if node_id is None:
+            return 0
+        self._ensure_index()
+        out_degree = int(self._head_offsets[node_id + 1] - self._head_offsets[node_id]) \
+            if node_id < len(self._head_offsets) - 1 else 0
+        in_degree = int(self._tail_offsets[node_id + 1] - self._tail_offsets[node_id]) \
+            if node_id < len(self._tail_offsets) - 1 else 0
+        return out_degree + in_degree
+
+    def degree_many(self, nodes: Sequence[str]) -> List[int]:
+        self._ensure_index()
+        out_counts = np.diff(self._head_offsets)
+        in_counts = np.diff(self._tail_offsets)
+        result: List[int] = []
+        for node in nodes:
+            node_id = self.entity_interner.lookup(node)
+            if node_id is None or node_id >= len(out_counts):
+                result.append(0)
+            else:
+                result.append(int(out_counts[node_id] + in_counts[node_id]))
+        return result
+
+    def entities(self) -> List[str]:
+        self._ensure_index()
+        active = (np.diff(self._head_offsets) > 0) | (np.diff(self._tail_offsets) > 0)
+        symbol = self.entity_interner.symbol_of
+        return sorted(symbol(int(entity_id)) for entity_id in np.flatnonzero(active))
+
+    def relations(self) -> List[str]:
+        self._ensure_index()
+        active = np.diff(self._rel_offsets) > 0
+        symbol = self.relation_interner.symbol_of
+        return sorted(symbol(int(relation_id)) for relation_id in np.flatnonzero(active))
+
+    def heads_only(self) -> List[str]:
+        self._ensure_index()
+        active = np.diff(self._head_offsets) > 0
+        symbol = self.entity_interner.symbol_of
+        return sorted(symbol(int(entity_id)) for entity_id in np.flatnonzero(active))
+
+    def relation_frequencies(self) -> Dict[str, int]:
+        self._ensure_index()
+        counts = np.diff(self._rel_offsets)
+        symbol = self.relation_interner.symbol_of
+        return {symbol(int(relation_id)): int(counts[relation_id])
+                for relation_id in np.flatnonzero(counts > 0)}
+
+
+#: Registered backend implementations, keyed by their CLI name.
+BACKENDS: Dict[str, type] = {
+    SetBackend.name: SetBackend,
+    ColumnarBackend.name: ColumnarBackend,
+}
+
+#: The backend used when callers don't pick one explicitly.
+DEFAULT_BACKEND = ColumnarBackend.name
+
+
+def make_backend(name: str) -> GraphBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        backend_class = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown graph backend {name!r} (known: {known})") from None
+    return backend_class()

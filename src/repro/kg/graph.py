@@ -20,6 +20,7 @@ import networkx as nx
 import numpy as np
 
 from repro.errors import OntologyError
+from repro.kg.backend import DEFAULT_BACKEND, ColumnarBackend
 from repro.kg.namespaces import MetaProperty, TAXONOMY_PROPERTIES
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
@@ -29,9 +30,9 @@ from repro.kg.vocab import Vocabulary
 class KnowledgeGraph:
     """A business knowledge graph with ontology-aware helpers."""
 
-    def __init__(self, name: str = "OpenBG") -> None:
+    def __init__(self, name: str = "OpenBG", backend: str = DEFAULT_BACKEND) -> None:
         self.name = name
-        self.store = TripleStore()
+        self.store = TripleStore(backend=backend)
         self.classes: Set[str] = set()
         self.concepts: Set[str] = set()
         self.entities: Set[str] = set()
@@ -103,9 +104,9 @@ class KnowledgeGraph:
         return self.store.triples()
 
     def match(self, head: Optional[str] = None, relation: Optional[str] = None,
-              tail: Optional[str] = None) -> List[Triple]:
+              tail: Optional[str] = None, sort: bool = False) -> List[Triple]:
         """Pattern matching, delegated to the store."""
-        return self.store.match(head, relation, tail)
+        return self.store.match(head, relation, tail, sort=sort)
 
     # ------------------------------------------------------------------ #
     # taxonomy traversal
@@ -113,15 +114,16 @@ class KnowledgeGraph:
     def parents(self, node: str) -> List[str]:
         """Direct taxonomy parents along subClassOf / broader."""
         result: Set[str] = set()
-        for prop in TAXONOMY_PROPERTIES:
-            result.update(self.store.tails(node, prop))
+        for tails in self.store.tails_many([(node, prop) for prop in TAXONOMY_PROPERTIES]):
+            result.update(tails)
         return sorted(result)
 
     def children(self, node: str) -> List[str]:
         """Direct taxonomy children along subClassOf / broader."""
         result: Set[str] = set()
-        for prop in TAXONOMY_PROPERTIES:
-            result.update(self.store.heads(prop, node))
+        for triples in self.store.match_many(
+                [(None, prop, node) for prop in TAXONOMY_PROPERTIES]):
+            result.update(triple.head for triple in triples)
         return sorted(result)
 
     def ancestors(self, node: str) -> List[str]:
@@ -165,11 +167,29 @@ class KnowledgeGraph:
         return False
 
     def taxonomy_depth(self, node: str) -> int:
-        """Length of the longest parent chain above ``node`` (root has depth 0)."""
-        best = 0
-        for parent in self.parents(node):
-            best = max(best, 1 + self.taxonomy_depth(parent))
-        return best
+        """Length of the longest parent chain above ``node`` (root has depth 0).
+
+        Computed iteratively with memoization so DAG-shaped taxonomies stay
+        linear-time (the naive recursion is exponential on diamonds) and
+        deep chains cannot hit ``RecursionError``.  Cycle edges — which the
+        recursion would have followed forever — are ignored.
+        """
+        memo: Dict[str, int] = {}
+        in_progress: Set[str] = {node}
+        stack: List[Tuple[str, List[str]]] = [(node, self.parents(node))]
+        while stack:
+            current, current_parents = stack[-1]
+            pending = next((p for p in current_parents
+                            if p not in memo and p not in in_progress), None)
+            if pending is not None:
+                in_progress.add(pending)
+                stack.append((pending, self.parents(pending)))
+                continue
+            memo[current] = max((1 + memo[p] for p in current_parents if p in memo),
+                                default=0)
+            in_progress.discard(current)
+            stack.pop()
+        return memo[node]
 
     def leaves_under(self, node: str) -> List[str]:
         """Taxonomy descendants of ``node`` that have no further children."""
@@ -199,21 +219,56 @@ class KnowledgeGraph:
         """All triples within ``hops`` undirected hops of ``node`` (Figure 3)."""
         if hops < 1:
             raise OntologyError("neighbourhood requires hops >= 1")
+        backend = self.store.backend
+        if isinstance(backend, ColumnarBackend):
+            return self._neighbourhood_columnar(backend, node, hops)
         frontier: Set[str] = {node}
         seen_nodes: Set[str] = {node}
         collected: Set[Triple] = set()
         for _ in range(hops):
             next_frontier: Set[str] = set()
             for current in frontier:
-                for triple in self.store.match(head=current):
+                for triple in self.store.iter_match(head=current):
                     collected.add(triple)
                     next_frontier.add(triple.tail)
-                for triple in self.store.match(tail=current):
+                for triple in self.store.iter_match(tail=current):
                     collected.add(triple)
                     next_frontier.add(triple.head)
             frontier = next_frontier - seen_nodes
             seen_nodes.update(next_frontier)
         return sorted(collected)
+
+    def _neighbourhood_columnar(self, backend: ColumnarBackend, node: str,
+                                hops: int) -> List[Triple]:
+        """BFS over interned ids; strings appear only in the final result."""
+        node_id = backend.entity_interner.lookup(node)
+        if node_id is None:
+            return []
+        ids = backend.id_triples()
+        frontier = {int(node_id)}
+        seen_nodes = {int(node_id)}
+        collected_rows: Set[int] = set()
+        for _ in range(hops):
+            next_frontier: Set[int] = set()
+            for current in frontier:
+                out_rows = backend.match_id_rows(head_id=current)
+                in_rows = backend.match_id_rows(tail_id=current)
+                collected_rows.update(out_rows.tolist())
+                collected_rows.update(in_rows.tolist())
+                next_frontier.update(ids[out_rows, 2].tolist())
+                next_frontier.update(ids[in_rows, 0].tolist())
+            frontier = next_frontier - seen_nodes
+            seen_nodes.update(next_frontier)
+        if not collected_rows:
+            return []
+        # Deterministic order via symbol ranks — no Triple-object sort.
+        rows = np.fromiter(collected_rows, dtype=np.int64, count=len(collected_rows))
+        sub = ids[rows]
+        entity_rank = backend.entity_sort_rank()
+        relation_rank = backend.relation_sort_rank()
+        order = np.lexsort((entity_rank[sub[:, 2]], relation_rank[sub[:, 1]],
+                            entity_rank[sub[:, 0]]))
+        return backend._materialize(rows[order])
 
     def to_networkx(self) -> nx.MultiDiGraph:
         """Export to a ``networkx.MultiDiGraph`` with relation edge keys."""
@@ -234,17 +289,42 @@ class KnowledgeGraph:
         ``relations`` restricts the relation vocabulary (and therefore the
         triples considered) to the given subset, which is how the benchmark
         builders produce OpenBG500-style relation-filtered views.
+
+        Ids are assigned in sorted-symbol order, so the same graph yields
+        the same vocabularies regardless of storage backend or insertion
+        order.
         """
+        backend = self.store.backend
+        if isinstance(backend, ColumnarBackend):
+            ids = backend.id_triples()
+            if relations is not None:
+                allowed_ids = [backend.relation_interner.lookup(rel)
+                               for rel in relations]
+                allowed_ids = [rel_id for rel_id in allowed_ids if rel_id is not None]
+                ids = ids[np.isin(ids[:, 1], np.asarray(allowed_ids, dtype=np.int64))]
+            # Vocab ids are assigned in sorted-symbol order so the mapping
+            # is identical whichever backend built the graph.
+            entity_rank = backend.entity_sort_rank()
+            relation_rank = backend.relation_sort_rank()
+            entity_ids = np.unique(ids[:, [0, 2]].ravel())
+            entity_ids = entity_ids[np.argsort(entity_rank[entity_ids])]
+            relation_ids = np.unique(ids[:, 1])
+            relation_ids = relation_ids[np.argsort(relation_rank[relation_ids])]
+            entity_symbol = backend.entity_interner.symbol_of
+            relation_symbol = backend.relation_interner.symbol_of
+            entity_vocab = Vocabulary(entity_symbol(int(i)) for i in entity_ids)
+            relation_vocab = Vocabulary(relation_symbol(int(i)) for i in relation_ids)
+            return entity_vocab, relation_vocab
         allowed = set(relations) if relations is not None else None
-        entity_vocab = Vocabulary()
-        relation_vocab = Vocabulary()
-        for triple in self.store.triples():
+        entity_symbols: set = set()
+        relation_symbols: set = set()
+        for triple in self.store.iter_match():
             if allowed is not None and triple.relation not in allowed:
                 continue
-            entity_vocab.add(triple.head)
-            entity_vocab.add(triple.tail)
-            relation_vocab.add(triple.relation)
-        return entity_vocab, relation_vocab
+            entity_symbols.add(triple.head)
+            entity_symbols.add(triple.tail)
+            relation_symbols.add(triple.relation)
+        return Vocabulary(sorted(entity_symbols)), Vocabulary(sorted(relation_symbols))
 
     def to_id_array(
         self,
@@ -257,6 +337,31 @@ class KnowledgeGraph:
         Triples whose symbols are missing from the vocabularies are skipped,
         mirroring the standard practice of dropping unseen-entity test triples.
         """
+        backend = self.store.backend
+        if triples is None and isinstance(backend, ColumnarBackend):
+            # Translate the backend's interned ids to vocab ids in bulk:
+            # one lookup per *unique* symbol instead of three per triple.
+            # Rows come out in sorted-triple order, matching the fallback
+            # path (and the set backend) exactly.
+            ids = backend.id_triples()
+            entity_rank = backend.entity_sort_rank()
+            relation_rank = backend.relation_sort_rank()
+            ids = ids[np.lexsort((entity_rank[ids[:, 2]], relation_rank[ids[:, 1]],
+                                  entity_rank[ids[:, 0]]))]
+            entity_map = np.full(len(backend.entity_interner), -1, dtype=np.int64)
+            for interned_id, symbol in enumerate(backend.entity_interner):
+                vocab_id = entity_vocab.get(symbol)
+                if vocab_id is not None:
+                    entity_map[interned_id] = vocab_id
+            relation_map = np.full(len(backend.relation_interner), -1, dtype=np.int64)
+            for interned_id, symbol in enumerate(backend.relation_interner):
+                vocab_id = relation_vocab.get(symbol)
+                if vocab_id is not None:
+                    relation_map[interned_id] = vocab_id
+            encoded = np.column_stack((entity_map[ids[:, 0]],
+                                       relation_map[ids[:, 1]],
+                                       entity_map[ids[:, 2]]))
+            return encoded[(encoded >= 0).all(axis=1)]
         rows: List[Tuple[int, int, int]] = []
         source = self.store.triples() if triples is None else triples
         for triple in source:

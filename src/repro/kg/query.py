@@ -60,15 +60,20 @@ class QueryEngine:
     def __init__(self, store: TripleStore) -> None:
         self.store = store
 
-    def execute(self, query: PatternQuery) -> List[Binding]:
+    def execute(self, query: PatternQuery, reorder: bool = True) -> List[Binding]:
         """Return all variable bindings satisfying every pattern.
 
-        Patterns are evaluated left to right with backtracking; each step
-        substitutes the bindings accumulated so far, so ordering patterns
-        from most to least selective keeps evaluation fast.
+        Patterns are evaluated with backtracking; each step substitutes the
+        bindings accumulated so far.  With ``reorder`` (the default) the
+        engine first orders patterns by backend ``count`` selectivity —
+        fewest matching triples first — which is what keeps conjunctive
+        queries fast on skewed stores.  The binding *set* is unaffected by
+        ordering; pass ``reorder=False`` to evaluate strictly left to right.
         """
+        patterns = self._order_by_selectivity(query.patterns) if reorder \
+            else query.patterns
         bindings: List[Binding] = [{}]
-        for pattern in query.patterns:
+        for pattern in patterns:
             next_bindings: List[Binding] = []
             for binding in bindings:
                 next_bindings.extend(self._extend(binding, pattern))
@@ -87,9 +92,32 @@ class QueryEngine:
             return projected
         return bindings
 
+    def _order_by_selectivity(
+        self, patterns: Tuple[Tuple[str, str, str], ...]
+    ) -> Tuple[Tuple[str, str, str], ...]:
+        """Stable-sort patterns by how many triples match their constants.
+
+        Variables are treated as wildcards, so a pattern whose constants
+        pin down few triples runs first and prunes the binding frontier
+        early.  Counts come from the backend's count fast path — no triple
+        objects are materialized.
+        """
+        if len(patterns) < 2:
+            return patterns
+        keyed = [
+            (self.store.count(
+                head=None if is_variable(pattern[0]) else pattern[0],
+                relation=None if is_variable(pattern[1]) else pattern[1],
+                tail=None if is_variable(pattern[2]) else pattern[2],
+            ), index, pattern)
+            for index, pattern in enumerate(patterns)
+        ]
+        keyed.sort(key=lambda item: (item[0], item[1]))
+        return tuple(pattern for _count, _index, pattern in keyed)
+
     def _extend(self, binding: Binding, pattern: Tuple[str, str, str]) -> Iterable[Binding]:
         head, relation, tail = (self._resolve(term, binding) for term in pattern)
-        matches = self.store.match(
+        matches = self.store.iter_match(
             head=None if is_variable(head) else head,
             relation=None if is_variable(relation) else relation,
             tail=None if is_variable(tail) else tail,
@@ -129,9 +157,10 @@ class QueryEngine:
 
     def two_hop(self, head: str, relation1: str, relation2: str) -> List[str]:
         """Tails reachable through a 2-step relation path."""
+        middles = self.store.tails(head, relation1)
         results = set()
-        for middle in self.store.tails(head, relation1):
-            results.update(self.store.tails(middle, relation2))
+        for tails in self.store.tails_many([(middle, relation2) for middle in middles]):
+            results.update(tails)
         return sorted(results)
 
     def co_occurring_heads(self, relation: str, tail: str,

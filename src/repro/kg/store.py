@@ -1,110 +1,109 @@
-"""An indexed, in-memory triple store.
+"""An indexed, in-memory triple store — a facade over pluggable backends.
 
-The store keeps six single- and two-key indexes (SPO / POS / OSP style) so
-that every triple-pattern lookup used by the construction pipeline, the
-query engine and the benchmark samplers is a dictionary access rather than
-a scan.  Insertion is idempotent: adding a duplicate triple is a no-op.
+The store's public query surface is :meth:`match` (``None`` wildcards,
+mirroring SPARQL basic graph patterns), plus batched variants
+(:meth:`match_many`, :meth:`tails_many`, :meth:`degree_many`), count fast
+paths and an iterator form (:meth:`iter_match`) that never materializes a
+list.  Storage lives behind the :class:`~repro.kg.backend.GraphBackend`
+protocol; the default :class:`~repro.kg.backend.ColumnarBackend` interns
+identifiers to contiguous int ids and answers pattern queries from numpy
+CSR adjacency slices, while :class:`~repro.kg.backend.SetBackend` keeps
+the original dict-of-set design for parity testing.
+
+``match`` returns results in backend-defined (deterministic per process)
+order; pass ``sort=True`` when a deterministic sorted order is required.
+Insertion is idempotent: adding a duplicate triple is a no-op.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro.kg.backend import (
+    DEFAULT_BACKEND,
+    GraphBackend,
+    Pattern,
+    make_backend,
+)
 from repro.kg.triple import Triple
 
 
 class TripleStore:
-    """A set of triples with pattern indexes.
+    """A set of triples with pattern indexes behind a pluggable backend."""
 
-    The public query surface is :meth:`match`, which accepts ``None`` as a
-    wildcard for any of the three positions, mirroring SPARQL basic graph
-    patterns with a single triple pattern.
-    """
-
-    def __init__(self, triples: Iterable[Triple] = ()) -> None:
-        self._triples: Set[Triple] = set()
-        self._by_head: Dict[str, Set[Triple]] = defaultdict(set)
-        self._by_relation: Dict[str, Set[Triple]] = defaultdict(set)
-        self._by_tail: Dict[str, Set[Triple]] = defaultdict(set)
-        self._by_head_relation: Dict[Tuple[str, str], Set[Triple]] = defaultdict(set)
-        self._by_relation_tail: Dict[Tuple[str, str], Set[Triple]] = defaultdict(set)
-        self._by_head_tail: Dict[Tuple[str, str], Set[Triple]] = defaultdict(set)
+    def __init__(self, triples: Iterable[Triple] = (),
+                 backend: Union[str, GraphBackend] = DEFAULT_BACKEND) -> None:
+        if isinstance(backend, str):
+            self.backend_name = backend
+            self._backend: GraphBackend = make_backend(backend)
+        else:
+            self.backend_name = getattr(backend, "name", type(backend).__name__)
+            self._backend = backend
         for triple in triples:
             self.add(triple)
+
+    @property
+    def backend(self) -> GraphBackend:
+        """The storage backend (id-level access for the hot callers)."""
+        return self._backend
 
     # ------------------------------------------------------------------ #
     # mutation
     # ------------------------------------------------------------------ #
     def add(self, triple: Triple) -> bool:
         """Add a triple; return True if it was new, False if already present."""
-        if triple in self._triples:
-            return False
-        self._triples.add(triple)
-        self._by_head[triple.head].add(triple)
-        self._by_relation[triple.relation].add(triple)
-        self._by_tail[triple.tail].add(triple)
-        self._by_head_relation[(triple.head, triple.relation)].add(triple)
-        self._by_relation_tail[(triple.relation, triple.tail)].add(triple)
-        self._by_head_tail[(triple.head, triple.tail)].add(triple)
-        return True
+        return self._backend.add(triple.head, triple.relation, triple.tail)
 
     def add_many(self, triples: Iterable[Triple]) -> int:
         """Add many triples; return the count of newly inserted ones."""
-        return sum(1 for triple in triples if self.add(triple))
+        backend_add = self._backend.add
+        return sum(1 for triple in triples
+                   if backend_add(triple.head, triple.relation, triple.tail))
 
     def discard(self, triple: Triple) -> bool:
         """Remove a triple if present; return True when something was removed."""
-        if triple not in self._triples:
-            return False
-        self._triples.discard(triple)
-        self._by_head[triple.head].discard(triple)
-        self._by_relation[triple.relation].discard(triple)
-        self._by_tail[triple.tail].discard(triple)
-        self._by_head_relation[(triple.head, triple.relation)].discard(triple)
-        self._by_relation_tail[(triple.relation, triple.tail)].discard(triple)
-        self._by_head_tail[(triple.head, triple.tail)].discard(triple)
-        return True
+        return self._backend.discard(triple.head, triple.relation, triple.tail)
 
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #
     def __contains__(self, triple: Triple) -> bool:
-        return triple in self._triples
+        return self._backend.contains(triple.head, triple.relation, triple.tail)
 
     def __len__(self) -> int:
-        return len(self._triples)
+        return len(self._backend)
 
     def __iter__(self) -> Iterator[Triple]:
-        return iter(self._triples)
+        return self._backend.iter_triples()
 
     def match(
         self,
         head: Optional[str] = None,
         relation: Optional[str] = None,
         tail: Optional[str] = None,
+        sort: bool = False,
     ) -> List[Triple]:
         """Return all triples matching a pattern; ``None`` is a wildcard.
 
-        The most selective available index is consulted, so fully bound and
-        doubly bound patterns never scan.
+        The most selective available index is consulted, so bound patterns
+        never scan.  Results come back in backend order; pass ``sort=True``
+        for the deterministic sorted order the seed store used to return.
         """
-        if head is not None and relation is not None and tail is not None:
-            candidate = Triple(head, relation, tail)
-            return [candidate] if candidate in self._triples else []
-        if head is not None and relation is not None:
-            return sorted(self._by_head_relation.get((head, relation), ()))
-        if relation is not None and tail is not None:
-            return sorted(self._by_relation_tail.get((relation, tail), ()))
-        if head is not None and tail is not None:
-            return sorted(self._by_head_tail.get((head, tail), ()))
-        if head is not None:
-            return sorted(self._by_head.get(head, ()))
-        if relation is not None:
-            return sorted(self._by_relation.get(relation, ()))
-        if tail is not None:
-            return sorted(self._by_tail.get(tail, ()))
-        return sorted(self._triples)
+        return self._backend.match(head, relation, tail, sort=sort)
+
+    def iter_match(
+        self,
+        head: Optional[str] = None,
+        relation: Optional[str] = None,
+        tail: Optional[str] = None,
+    ) -> Iterator[Triple]:
+        """Iterate over matching triples without materializing a list."""
+        return self._backend.iter_match(head, relation, tail)
+
+    def match_many(self, patterns: Sequence[Pattern],
+                   sort: bool = False) -> List[List[Triple]]:
+        """Answer a batch of patterns in one call (one result list each)."""
+        return self._backend.match_many(patterns, sort=sort)
 
     def count(
         self,
@@ -112,57 +111,50 @@ class TripleStore:
         relation: Optional[str] = None,
         tail: Optional[str] = None,
     ) -> int:
-        """Count triples matching a pattern without materializing a sorted list."""
-        if head is None and relation is None and tail is None:
-            return len(self._triples)
-        if head is not None and relation is not None and tail is not None:
-            return 1 if Triple(head, relation, tail) in self._triples else 0
-        if head is not None and relation is not None:
-            return len(self._by_head_relation.get((head, relation), ()))
-        if relation is not None and tail is not None:
-            return len(self._by_relation_tail.get((relation, tail), ()))
-        if head is not None and tail is not None:
-            return len(self._by_head_tail.get((head, tail), ()))
-        if head is not None:
-            return len(self._by_head.get(head, ()))
-        if relation is not None:
-            return len(self._by_relation.get(relation, ()))
-        return len(self._by_tail.get(tail, ()))
+        """Count triples matching a pattern without materializing results."""
+        return self._backend.count(head, relation, tail)
 
     def tails(self, head: str, relation: str) -> List[str]:
         """Return all tails t such that (head, relation, t) is in the store."""
-        return sorted(t.tail for t in self._by_head_relation.get((head, relation), ()))
+        return self._backend.tails(head, relation)
 
     def heads(self, relation: str, tail: str) -> List[str]:
         """Return all heads h such that (h, relation, tail) is in the store."""
-        return sorted(t.head for t in self._by_relation_tail.get((relation, tail), ()))
+        return self._backend.heads(relation, tail)
+
+    def tails_many(self, pairs: Sequence[Tuple[str, str]]) -> List[List[str]]:
+        """Batched :meth:`tails` over (head, relation) pairs."""
+        return self._backend.tails_many(pairs)
+
+    def degree_many(self, nodes: Sequence[str]) -> List[int]:
+        """Batched :meth:`degree` over nodes."""
+        return self._backend.degree_many(nodes)
 
     def relations(self) -> List[str]:
         """Return all relation identifiers with at least one triple."""
-        return sorted(rel for rel, triples in self._by_relation.items() if triples)
+        return self._backend.relations()
 
     def entities(self) -> List[str]:
         """Return all identifiers appearing as head or tail of some triple."""
-        nodes = {key for key, triples in self._by_head.items() if triples}
-        nodes.update(key for key, triples in self._by_tail.items() if triples)
-        return sorted(nodes)
+        return self._backend.entities()
 
     def heads_only(self) -> List[str]:
         """Return all identifiers appearing in head position."""
-        return sorted(key for key, triples in self._by_head.items() if triples)
+        return self._backend.heads_only()
 
     def relation_frequencies(self) -> Dict[str, int]:
         """Return relation → triple-count (the long-tail histogram of Fig. 5)."""
-        return {rel: len(triples) for rel, triples in self._by_relation.items() if triples}
+        return self._backend.relation_frequencies()
 
     def degree(self, node: str) -> int:
         """Return total degree (out-degree + in-degree) of a node."""
-        return len(self._by_head.get(node, ())) + len(self._by_tail.get(node, ()))
+        return self._backend.degree(node)
 
     def copy(self) -> "TripleStore":
-        """Return a deep-indexed copy of the store."""
-        return TripleStore(self._triples)
+        """Return an independent copy of the store on the same backend kind."""
+        return TripleStore(self._backend.iter_triples(),
+                           backend=self._backend.clone_empty())
 
     def triples(self) -> List[Triple]:
         """Return all triples sorted deterministically."""
-        return sorted(self._triples)
+        return sorted(self._backend.iter_triples())

@@ -31,6 +31,16 @@ class Triple:
             if not isinstance(value, str) or not value:
                 raise ValueError(f"Triple.{field_name} must be a non-empty string, got {value!r}")
 
+    @classmethod
+    def unchecked(cls, head: str, relation: str, tail: str) -> "Triple":
+        """Construct without re-validating — for symbols a store already
+        validated at insertion time (the match hot path)."""
+        instance = object.__new__(cls)
+        object.__setattr__(instance, "head", head)
+        object.__setattr__(instance, "relation", relation)
+        object.__setattr__(instance, "tail", tail)
+        return instance
+
     def as_tuple(self) -> Tuple[str, str, str]:
         """Return the triple as a plain tuple (useful for set operations)."""
         return (self.head, self.relation, self.tail)

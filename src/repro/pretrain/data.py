@@ -87,7 +87,9 @@ class PretrainingDataBuilder:
     # ------------------------------------------------------------------ #
     def _kg_suffix(self, product_id: str) -> str:
         """The product's KG triples rendered as unified text tokens."""
-        triples = [t for t in self.graph.match(head=product_id)
+        # sort=True keeps the truncated triple selection independent of the
+        # store backend's internal ordering.
+        triples = [t for t in self.graph.match(head=product_id, sort=True)
                    if not t.tail.startswith(("image://", "comment://"))]
         triples = triples[: self.max_triples_per_item]
         return render_unified_text("", triples, labels=self.graph.labels).strip()

@@ -1,0 +1,214 @@
+"""Backend parity: SetBackend and ColumnarBackend must agree everywhere.
+
+The columnar backend is the default store; the set backend is the
+reference implementation.  These tests drive both through randomized
+add/discard/query workloads and through the serialization layer and
+assert identical observable behaviour.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kg.backend import ColumnarBackend, Interner, SetBackend, make_backend
+from repro.kg.serialization import read_tsv, write_tsv
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple, triples_from_tuples
+
+# --------------------------------------------------------------------------- #
+# strategies
+# --------------------------------------------------------------------------- #
+_symbol = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1, max_size=4,
+)
+_triple_tuple = st.tuples(_symbol, st.sampled_from(["r1", "r2", "r3", "r4"]), _symbol)
+
+#: An operation: ("add" | "discard", (h, r, t)).
+_operation = st.tuples(st.sampled_from(["add", "add", "add", "discard"]), _triple_tuple)
+
+
+def _pattern_views(head: str, relation: str, tail: str):
+    """All eight wildcard combinations of one concrete triple."""
+    for use_head in (head, None):
+        for use_relation in (relation, None):
+            for use_tail in (tail, None):
+                yield use_head, use_relation, use_tail
+
+
+# --------------------------------------------------------------------------- #
+# Interner
+# --------------------------------------------------------------------------- #
+def test_interner_assigns_dense_stable_ids():
+    interner = Interner(["a", "b", "a"])
+    assert len(interner) == 2
+    assert interner.intern("a") == 0
+    assert interner.intern("c") == 2
+    assert interner.lookup("missing") is None
+    assert interner.symbol_of(1) == "b"
+    assert list(interner) == ["a", "b", "c"]
+    assert "b" in interner
+
+
+def test_make_backend_registry():
+    assert isinstance(make_backend("set"), SetBackend)
+    assert isinstance(make_backend("columnar"), ColumnarBackend)
+    with pytest.raises(ValueError):
+        make_backend("no-such-backend")
+
+
+# --------------------------------------------------------------------------- #
+# randomized workload parity
+# --------------------------------------------------------------------------- #
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_operation, max_size=60))
+def test_backend_parity_random_workload(operations):
+    """Property: both backends agree after any add/discard sequence."""
+    set_backend = SetBackend()
+    columnar = ColumnarBackend()
+    touched = set()
+    for action, (head, relation, tail) in operations:
+        if action == "add":
+            assert set_backend.add(head, relation, tail) \
+                == columnar.add(head, relation, tail)
+        else:
+            assert set_backend.discard(head, relation, tail) \
+                == columnar.discard(head, relation, tail)
+        touched.add((head, relation, tail))
+
+    assert len(set_backend) == len(columnar)
+    assert sorted(set_backend.iter_triples()) == sorted(columnar.iter_triples())
+    assert set_backend.entities() == columnar.entities()
+    assert set_backend.relations() == columnar.relations()
+    assert set_backend.heads_only() == columnar.heads_only()
+    assert set_backend.relation_frequencies() == columnar.relation_frequencies()
+
+    for head, relation, tail in touched:
+        assert set_backend.contains(head, relation, tail) \
+            == columnar.contains(head, relation, tail)
+        assert set_backend.degree(head) == columnar.degree(head)
+        assert set_backend.tails(head, relation) == columnar.tails(head, relation)
+        assert set_backend.heads(relation, tail) == columnar.heads(relation, tail)
+        for pattern in _pattern_views(head, relation, tail):
+            assert set_backend.count(*pattern) == columnar.count(*pattern)
+            assert set_backend.match(*pattern, sort=True) \
+                == columnar.match(*pattern, sort=True)
+            assert sorted(set_backend.iter_match(*pattern)) \
+                == sorted(columnar.iter_match(*pattern))
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(_triple_tuple, max_size=40))
+def test_backend_parity_batched_queries(rows):
+    set_backend = SetBackend()
+    columnar = ColumnarBackend()
+    for head, relation, tail in rows:
+        set_backend.add(head, relation, tail)
+        columnar.add(head, relation, tail)
+    nodes = sorted({symbol for head, _rel, tail in rows for symbol in (head, tail)})
+    pairs = sorted({(head, relation) for head, relation, _tail in rows})
+    patterns = [(head, None, None) for head in nodes[:10]] \
+        + [(None, relation, None) for _head, relation in pairs[:10]]
+    assert set_backend.degree_many(nodes) == columnar.degree_many(nodes)
+    assert set_backend.tails_many(pairs) == columnar.tails_many(pairs)
+    assert set_backend.match_many(patterns, sort=True) \
+        == columnar.match_many(patterns, sort=True)
+
+
+def test_columnar_match_unsorted_same_multiset():
+    """Unsorted match returns the same triples, just without the sort cost."""
+    store = TripleStore(triples_from_tuples([
+        ("b", "r", "x"), ("a", "r", "x"), ("c", "r", "y"), ("a", "s", "z"),
+    ]), backend="columnar")
+    assert sorted(store.match(relation="r")) == store.match(relation="r", sort=True)
+    assert store.match(relation="r", sort=True) == triples_from_tuples(
+        [("a", "r", "x"), ("b", "r", "x"), ("c", "r", "y")])
+
+
+def test_columnar_interleaved_mutation_and_query():
+    """Indexes rebuild correctly across mutation → query → mutation cycles."""
+    backend = ColumnarBackend()
+    assert backend.add("a", "r", "b")
+    assert backend.count(head="a") == 1
+    assert backend.add("a", "r", "c")
+    assert backend.tails("a", "r") == ["b", "c"]
+    assert backend.discard("a", "r", "b")
+    assert backend.tails("a", "r") == ["c"]
+    assert backend.count() == 1
+    assert not backend.discard("a", "r", "b")
+    assert backend.match("a", "r", "c") == [Triple("a", "r", "c")]
+    assert backend.entities() == ["a", "c"]  # "b" no longer participates
+
+
+def test_columnar_id_surface_consistent():
+    backend = ColumnarBackend()
+    for head, relation, tail in [("a", "r", "b"), ("a", "s", "c"), ("d", "r", "b")]:
+        backend.add(head, relation, tail)
+    ids = backend.id_triples()
+    assert ids.shape == (3, 3)
+    assert ids.dtype == np.int64
+    relation_id = backend.relation_interner.lookup("r")
+    rows = backend.match_ids(relation_id=relation_id)
+    assert len(rows) == 2
+    head_symbols = {backend.entity_interner.symbol_of(int(h)) for h in rows[:, 0]}
+    assert head_symbols == {"a", "d"}
+    rank = backend.entity_sort_rank()
+    symbols = backend.entity_interner.symbols()
+    assert [symbols[i] for i in np.argsort(rank)] == sorted(symbols)
+
+
+# --------------------------------------------------------------------------- #
+# store facade over both backends
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend_name", ["set", "columnar"])
+def test_store_facade_roundtrip(backend_name):
+    triples = triples_from_tuples([
+        ("p1", "brandIs", "apple"), ("p2", "brandIs", "apple"),
+        ("p1", "placeOfOrigin", "china"),
+    ])
+    store = TripleStore(triples, backend=backend_name)
+    assert store.backend_name == backend_name
+    assert len(store) == 3
+    assert store.count(relation="brandIs") == 2
+    assert store.heads("brandIs", "apple") == ["p1", "p2"]
+    clone = store.copy()
+    assert clone.backend_name == backend_name
+    clone.add(Triple("p3", "brandIs", "tesla"))
+    assert len(clone) == len(store) + 1
+    assert store.triples() == sorted(triples)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_triple_tuple, min_size=1, max_size=25))
+def test_vocabularies_and_id_arrays_backend_independent(rows):
+    """The same graph yields identical vocab ids and id arrays on both backends."""
+    from repro.kg.graph import KnowledgeGraph
+
+    graphs = {}
+    for backend_name in ("set", "columnar"):
+        graph = KnowledgeGraph(backend=backend_name)
+        graph.add_many(triples_from_tuples(rows))
+        graphs[backend_name] = graph
+    vocab_set = graphs["set"].build_vocabularies()
+    vocab_columnar = graphs["columnar"].build_vocabularies()
+    assert vocab_set[0].symbols() == vocab_columnar[0].symbols()
+    assert vocab_set[1].symbols() == vocab_columnar[1].symbols()
+    array_set = graphs["set"].to_id_array(*vocab_set)
+    array_columnar = graphs["columnar"].to_id_array(*vocab_columnar)
+    np.testing.assert_array_equal(array_set, array_columnar)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_triple_tuple, min_size=1, max_size=30))
+def test_serialization_roundtrip_through_columnar_backend(tmp_path_factory, rows):
+    """TSV round-trip through a columnar-backed store preserves the graph."""
+    path = tmp_path_factory.mktemp("backends") / "triples.tsv"
+    store = TripleStore(triples_from_tuples(rows), backend="columnar")
+    write_tsv(store.triples(), path)
+    reloaded = TripleStore(read_tsv(path), backend="columnar")
+    assert reloaded.triples() == store.triples()
+    assert reloaded.relation_frequencies() == store.relation_frequencies()
+    assert reloaded.entities() == store.entities()
