@@ -1,6 +1,6 @@
-"""Micro-benchmark — SetBackend vs ColumnarBackend on store hot paths.
+"""Micro-benchmark — Set vs Columnar vs Mmap backends on store hot paths.
 
-Three workloads mirror what the upper layers actually hot-loop over:
+Four workloads mirror what the upper layers actually hot-loop over:
 
 * **bulk-load** — insert a synthetic product-graph worth of triples
   (construction pipeline pattern);
@@ -8,12 +8,23 @@ Three workloads mirror what the upper layers actually hot-loop over:
   per-head matches, (head, relation) tail lists, count fast paths and
   batched degrees;
 * **neighbourhood** — 2-hop undirected BFS from product nodes, the
-  Figure 3 snapshot access pattern.
+  Figure 3 snapshot access pattern;
+* **interleaved** — the dedup-stage pattern: add one triple, then issue
+  tails/count queries, repeatedly.  Run on the columnar backend twice —
+  with the delta overlay (default) and with eager rebuilds
+  (``delta_threshold=0``, the pre-overlay behaviour) — to price
+  incremental index maintenance.
 
-Each workload is timed best-of-three.  The bench prints a per-workload
-table and asserts the acceptance bar from the backend refactor: the
-columnar backend is at least 2× faster than the set backend on the
-combined bulk-load + pattern-match workload.
+The mmap backend is additionally timed on **reopen** (save to disk, open,
+query cold) and parity-checked against the columnar results on all eight
+pattern shapes.
+
+Each workload is timed best-of-three.  The bench asserts two bars:
+
+* columnar ≥ 2× faster than set on combined bulk-load + pattern-match
+  (the PR-1 acceptance bar, kept);
+* delta overlay ≥ 5× faster than eager rebuild on the interleaved
+  mutate/query workload (the incremental-maintenance acceptance bar).
 """
 
 from __future__ import annotations
@@ -21,8 +32,9 @@ from __future__ import annotations
 import time
 from typing import Callable, List, Tuple
 
-from repro.kg.backend import make_backend
+from repro.kg.backend import ColumnarBackend, make_backend
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.mmap_backend import MmapBackend
 from repro.kg.triple import Triple
 
 #: Synthetic scale: enough rows for stable timings, small enough for CI.
@@ -30,6 +42,9 @@ NUM_PRODUCTS = 5000
 RELATIONS = ["brandIs", "placeOfOrigin", "relatedScene", "forCrowd",
              "aboutTheme", "rdf:type"]
 REPEATS = 3
+BACKEND_NAMES = ("set", "columnar", "mmap")
+#: Interleaved workload: mutation bursts of 1 add followed by queries.
+INTERLEAVED_CYCLES = 250
 
 
 def _workload_rows() -> List[Tuple[str, str, str]]:
@@ -59,25 +74,30 @@ def _time_bulk_load(backend_name: str, rows) -> float:
         backend = make_backend(backend_name)
         for head, relation, tail in rows:
             backend.add(head, relation, tail)
-        backend.count()  # force the columnar index build into the timed region
+        # A pattern count forces the columnar index build into the timed
+        # region (the no-argument count is a len() fast path that doesn't).
+        backend.count(relation="brandIs")
     return _best_of(REPEATS, workload)
 
 
-def _time_pattern_match(backend) -> float:
+def _pattern_match_workload(backend) -> int:
     products = [f"product:{index:06d}" for index in range(0, NUM_PRODUCTS, 3)]
+    total = 0
+    for relation in RELATIONS:
+        total += backend.count(relation=relation)
+    for product in products:
+        total += len(backend.match(head=product))
+        total += len(backend.tails(product, "relatedScene"))
+        total += backend.count(head=product, relation="brandIs")
+    for index in range(97):
+        total += len(backend.match(relation="brandIs", tail=f"brand:{index}"))
+    total += sum(backend.degree_many(products))
+    return total
 
+
+def _time_pattern_match(backend) -> float:
     def workload() -> None:
-        total = 0
-        for relation in RELATIONS:
-            total += backend.count(relation=relation)
-        for product in products:
-            total += len(backend.match(head=product))
-            total += len(backend.tails(product, "relatedScene"))
-            total += backend.count(head=product, relation="brandIs")
-        for index in range(97):
-            total += len(backend.match(relation="brandIs", tail=f"brand:{index}"))
-        total += sum(backend.degree_many(products))
-        assert total > 0
+        assert _pattern_match_workload(backend) > 0
     return _best_of(REPEATS, workload)
 
 
@@ -92,10 +112,28 @@ def _time_neighbourhood(graph: KnowledgeGraph) -> float:
     return _best_of(REPEATS, workload)
 
 
-def test_bench_store_backends():
+def _time_interleaved(make: Callable[[], ColumnarBackend], rows) -> float:
+    """Dedup-style loop: one add, then tails/count queries, repeatedly."""
+    def workload() -> None:
+        backend = make()
+        for head, relation, tail in rows:
+            backend.add(head, relation, tail)
+        # Pattern count: really build the base index outside the loop.
+        backend.count(relation="relatedScene")
+        total = 0
+        for cycle in range(INTERLEAVED_CYCLES):
+            product = f"product:{cycle % NUM_PRODUCTS:06d}"
+            backend.add(product, "relatedScene", f"new-scene:{cycle}")
+            total += len(backend.tails(product, "relatedScene"))
+            total += backend.count(relation="relatedScene")
+        assert total > 0
+    return _best_of(REPEATS, workload)
+
+
+def test_bench_store_backends(tmp_path):
     rows = _workload_rows()
     results = {}
-    for backend_name in ("set", "columnar"):
+    for backend_name in BACKEND_NAMES:
         load_seconds = _time_bulk_load(backend_name, rows)
 
         backend = make_backend(backend_name)
@@ -114,17 +152,52 @@ def test_bench_store_backends():
         }
 
     print(f"\nStore backend micro-benchmark ({len(rows)} triples, best of {REPEATS}):")
-    print(f"  {'workload':<16} {'set':>10} {'columnar':>10} {'speedup':>9}")
+    header = "".join(f"{name:>10}" for name in BACKEND_NAMES)
+    print(f"  {'workload':<16}{header}{'col/set':>9}")
     for workload in ("bulk-load", "pattern-match", "neighbourhood"):
-        set_seconds = results["set"][workload]
-        columnar_seconds = results["columnar"][workload]
-        print(f"  {workload:<16} {set_seconds:>9.3f}s {columnar_seconds:>9.3f}s "
-              f"{set_seconds / columnar_seconds:>8.1f}x")
+        timings = "".join(f"{results[name][workload]:>9.3f}s" for name in BACKEND_NAMES)
+        speedup = results["set"][workload] / results["columnar"][workload]
+        print(f"  {workload:<16}{timings}{speedup:>8.1f}x")
+
+    # --- mmap reopen-then-query: cold disk-backed pattern matching ---------- #
+    store_dir = tmp_path / "bench-store"
+    source = make_backend("columnar")
+    for head, relation, tail in rows:
+        source.add(head, relation, tail)
+    source.save(store_dir)
+
+    def reopen_workload() -> None:
+        reopened = MmapBackend.open(store_dir)
+        assert _pattern_match_workload(reopened) > 0
+    reopen_seconds = _best_of(REPEATS, reopen_workload)
+    print(f"  mmap reopen + pattern-match (cold open each run): {reopen_seconds:.3f}s")
+
+    # Reopen parity on all eight pattern shapes of a sample triple.
+    reopened = MmapBackend.open(store_dir)
+    sample = ("product:000042", "relatedScene", f"scene:{42 % 53}")
+    for use_head in (sample[0], None):
+        for use_relation in (sample[1], None):
+            for use_tail in (sample[2], None):
+                pattern = (use_head, use_relation, use_tail)
+                assert reopened.match(*pattern, sort=True) \
+                    == source.match(*pattern, sort=True)
+                assert reopened.count(*pattern) == source.count(*pattern)
+
+    # --- interleaved mutate/query: delta overlay vs eager rebuild ---------- #
+    eager_seconds = _time_interleaved(
+        lambda: ColumnarBackend(delta_threshold=0), rows)
+    overlay_seconds = _time_interleaved(ColumnarBackend, rows)
+    overlay_speedup = eager_seconds / overlay_seconds
+    print(f"  interleaved mutate/query ({INTERLEAVED_CYCLES} cycles): "
+          f"eager {eager_seconds:.3f}s vs overlay {overlay_seconds:.3f}s "
+          f"= {overlay_speedup:.1f}x")
 
     combined_set = results["set"]["bulk-load"] + results["set"]["pattern-match"]
     combined_columnar = (results["columnar"]["bulk-load"]
                          + results["columnar"]["pattern-match"])
     speedup = combined_set / combined_columnar
     print(f"  combined bulk-load + pattern-match speedup: {speedup:.1f}x")
-    # Acceptance bar from the backend refactor issue.
+    # Acceptance bar from the backend refactor issue (PR 1).
     assert speedup >= 2.0
+    # Acceptance bar from the incremental index maintenance issue (PR 2).
+    assert overlay_speedup >= 5.0

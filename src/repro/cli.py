@@ -56,7 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="random seed")
     parser.add_argument("--backend", choices=sorted(BACKENDS), default=DEFAULT_BACKEND,
                         help="triple-store backend (columnar: interned-id numpy "
-                             "arrays; set: the reference dict-of-set store)")
+                             "arrays; mmap: on-disk memory-mapped columns; "
+                             "set: the reference dict-of-set store)")
+    parser.add_argument("--store-dir", type=Path, default=None,
+                        help="persist the built triple store to this directory as "
+                             "memory-mapped column files (reopen with "
+                             "TripleStore.open or --backend mmap workflows)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     build = subparsers.add_parser("build", help="construct the synthetic OpenBG")
@@ -79,10 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _construct(products: int, seed: int,
-               backend: str = DEFAULT_BACKEND) -> ConstructionResult:
+def _construct(products: int, seed: int, backend: str = DEFAULT_BACKEND,
+               store_dir: Optional[Path] = None) -> ConstructionResult:
     config = SyntheticCatalogConfig(num_products=products, seed=seed)
-    return OpenBGBuilder(config, seed=seed, backend=backend).build()
+    return OpenBGBuilder(config, seed=seed, backend=backend,
+                         store_dir=store_dir).build()
 
 
 def _command_build(result: ConstructionResult, out: Optional[Path]) -> int:
@@ -137,7 +143,9 @@ def _command_linkpred(result: ConstructionResult, seed: int, model_name: str,
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    result = _construct(args.products, args.seed, args.backend)
+    result = _construct(args.products, args.seed, args.backend, args.store_dir)
+    if result.store_dir is not None:
+        print(f"persisted {args.backend}-built triple store to {result.store_dir}")
     if args.command == "build":
         return _command_build(result, args.out)
     if args.command == "stats":

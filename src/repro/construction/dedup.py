@@ -29,7 +29,15 @@ class DedupReport:
     completeness_links_added: List[Triple] = field(default_factory=list)
 
     def total_changes(self) -> int:
-        """Total number of modifications applied to the graph."""
+        """Total number of modifications applied to the graph.
+
+        Every change counted here was an interleaved mutate-then-query
+        step against the triple store.  On the columnar backend these
+        land in the delta overlay (see ``repro.kg.backend``), so the
+        whole dedup pass costs O(changes) overlay work and at most O(1)
+        full index rebuilds — not one rebuild per counted change, which
+        is what eager CSR maintenance used to pay.
+        """
         return (len(self.literal_to_entity_rewrites)
                 + sum(len(dups) for dups in self.merged_label_duplicates.values())
                 + len(self.completeness_links_added))
@@ -105,6 +113,15 @@ class Deduplicator:
         categories through ``relation`` but live under different broader
         nodes, a skos:broader link to the more general of the two groups is
         added so they become siblings.
+
+        Storage cost note: this loop interleaves ``graph.add`` with
+        ``graph.parents`` (a ``tails_many`` query), so every accepted link
+        used to invalidate the columnar backend's CSR indexes and force a
+        full O(n log n) rebuild on the next ``parents`` call.  With
+        incremental index maintenance the accepted links accumulate in the
+        delta overlay instead, queries merge the overlay in O(overlay)
+        time, and at most O(1) full rebuilds happen per run (a regression
+        test pins this via ``ColumnarBackend.rebuild_count``).
         """
         concept_to_heads: Dict[str, set] = {}
         for triple in self.graph.match(relation=relation):
@@ -130,7 +147,13 @@ class Deduplicator:
     # one-shot clean pass
     # ------------------------------------------------------------------ #
     def run(self, literal_relations: List[str] | None = None) -> DedupReport:
-        """Run all repairs and return a report."""
+        """Run all repairs and return a report.
+
+        All three repair stages interleave mutations with pattern queries;
+        on the columnar backend they ride the delta overlay, so one dedup
+        run triggers at most O(1) full index rebuilds regardless of how
+        many repairs are applied.
+        """
         literal_relations = literal_relations or ["placeOfOrigin", "brandIs"]
         report = DedupReport()
         report.literal_to_entity_rewrites = self.rewrite_literals_to_entities(

@@ -12,7 +12,8 @@ ontology validation, and return both the populated
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.construction.brand_place_builder import BrandPlaceBuilder
 from repro.construction.category_builder import CategoryBuilder
@@ -41,6 +42,8 @@ class ConstructionResult:
     dedup: DedupReport
     stage_triple_counts: Dict[str, int] = field(default_factory=dict)
     stage_durations: Dict[str, float] = field(default_factory=dict)
+    #: Where the store was persisted (only set when the builder got a store_dir).
+    store_dir: Optional[Path] = None
 
     def summary(self) -> Dict[str, int]:
         """Headline numbers for logs and the Table I bench."""
@@ -59,11 +62,15 @@ class OpenBGBuilder:
 
     def __init__(self, config: Optional[SyntheticCatalogConfig] = None,
                  seed: int = 0, crf_epochs: int = 2,
-                 backend: str = DEFAULT_BACKEND) -> None:
+                 backend: str = DEFAULT_BACKEND,
+                 store_dir: Optional[Union[str, Path]] = None) -> None:
         self.config = config or SyntheticCatalogConfig(seed=seed)
         self.seed = int(seed)
         self.crf_epochs = int(crf_epochs)
         self.backend = backend
+        #: When set, the built graph's triple store is persisted here as a
+        #: memory-mapped store directory (reopen with TripleStore.open).
+        self.store_dir = Path(store_dir) if store_dir is not None else None
 
     # ------------------------------------------------------------------ #
     # pipeline stages
@@ -137,6 +144,11 @@ class OpenBGBuilder:
                 validation = ValidationReport()
         stage_durations["validation"] = timer.elapsed
 
+        if self.store_dir is not None:
+            with Timer() as timer:
+                graph.store.save(self.store_dir)
+            stage_durations["persist"] = timer.elapsed
+
         statistics = compute_statistics(graph)
         return ConstructionResult(
             graph=graph,
@@ -147,6 +159,7 @@ class OpenBGBuilder:
             dedup=dedup_report,
             stage_triple_counts=stage_counts,
             stage_durations=stage_durations,
+            store_dir=self.store_dir,
         )
 
     # ------------------------------------------------------------------ #

@@ -22,6 +22,14 @@ class SerializationError(ReproError):
     """Raised when (de)serializing knowledge graphs fails."""
 
 
+class StorageError(SerializationError):
+    """Raised when an on-disk graph store is missing, corrupt or incompatible.
+
+    Subclasses :class:`SerializationError` so existing ``except
+    SerializationError`` boundaries around load/save paths keep working.
+    """
+
+
 class ConstructionError(ReproError):
     """Raised when the KG construction pipeline cannot proceed."""
 

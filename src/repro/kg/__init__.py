@@ -18,6 +18,7 @@ from repro.kg.backend import (
     SetBackend,
     make_backend,
 )
+from repro.kg.mmap_backend import MmapBackend
 from repro.kg.store import TripleStore
 from repro.kg.vocab import Vocabulary
 from repro.kg.graph import KnowledgeGraph
@@ -33,6 +34,7 @@ __all__ = [
     "ColumnarBackend",
     "GraphBackend",
     "Interner",
+    "MmapBackend",
     "SetBackend",
     "make_backend",
     "TripleStore",

@@ -15,15 +15,33 @@ module introduces the storage seam the ROADMAP asks for:
   subgroup lookups via binary search.  Pattern queries slice arrays and
   only materialize :class:`Triple` objects (or sort) when asked.
 
+Index maintenance is **incremental**: mutations land in a small sorted
+delta overlay (added rows + a deleted-row mask over the base block) that
+is merged into every query result, and the expensive full CSR rebuild is
+deferred until the overlay outgrows ``delta_threshold``.  Interleaved
+mutate-then-query loops (the dedup stage's
+``add_missing_taxonomy_links`` → ``parents()`` pattern) therefore pay
+O(overlay) per query instead of one full O(n log n) rebuild per
+mutation burst.
+
 Backends answer the same string-level query surface, and the columnar
 backend additionally exposes an integer-id surface (``id_triples``,
 ``match_ids``, the interners) that the sampling and embedding layers use
-to stay in ID-array land end-to-end.
+to stay in ID-array land end-to-end.  The id surface describes one flat,
+fully indexed column block, so touching it first folds any pending
+overlay back into the base (a single consolidation, amortized across the
+read-heavy phases that use it).
+
+:class:`~repro.kg.mmap_backend.MmapBackend` (``repro.kg.mmap_backend``)
+extends the columnar design with an on-disk, memory-mapped base block
+behind the same protocol; it registers itself in :data:`BACKENDS` under
+the name ``"mmap"``.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from pathlib import Path
 from typing import (
     Dict,
     Iterable,
@@ -315,16 +333,32 @@ class ColumnarBackend(_BatchedQueriesMixin):
 
     Pattern queries therefore slice arrays; strings only appear when a
     caller asks for :class:`Triple` objects.
+
+    **Incremental index maintenance.**  Once a base index exists,
+    mutations do not invalidate it.  Adds accumulate in a small sorted
+    delta block, deletes flip bits in a deleted-row mask over the base,
+    and every query merges base slices (minus deleted rows) with a
+    vectorized scan of the delta.  A full rebuild only happens when the
+    overlay (added + deleted rows) exceeds ``delta_threshold``, or when a
+    caller touches the flat id surface (:meth:`id_triples`,
+    :meth:`match_id_rows`, the sort ranks), which by contract describes a
+    single consolidated column block.  :attr:`rebuild_count` counts full
+    rebuilds so tests and benchmarks can assert the deferral actually
+    happens; ``delta_threshold=0`` restores the old eager
+    rebuild-per-mutation-burst behaviour.
     """
 
     name = "columnar"
 
-    def __init__(self) -> None:
+    def __init__(self, delta_threshold: int = 1024) -> None:
         self.entity_interner = Interner()
         self.relation_interner = Interner()
         # Insertion-ordered so iteration and the column layout are
         # deterministic for a deterministic construction sequence.
         self._rows: Dict[Tuple[int, int, int], None] = {}
+        self.delta_threshold = int(delta_threshold)
+        #: Number of full index (re)builds performed so far.
+        self.rebuild_count = 0
         self._dirty = True
         self._cols: Optional[np.ndarray] = None  # (n, 3) int64
         self._perm_spo: Optional[np.ndarray] = None
@@ -335,6 +369,16 @@ class ColumnarBackend(_BatchedQueriesMixin):
         self._tail_offsets: Optional[np.ndarray] = None
         self._entity_rank: Optional[np.ndarray] = None
         self._relation_rank: Optional[np.ndarray] = None
+        # Delta overlay over the base block: rows added since the last
+        # rebuild (insertion-ordered dict + lazily sorted block) and a
+        # deleted-row mask over the base columns.
+        self._delta_add: Dict[Tuple[int, int, int], None] = {}
+        self._delta_block: Optional[np.ndarray] = None
+        self._deleted_mask: Optional[np.ndarray] = None
+        self._num_deleted = 0
+
+    def clone_empty(self) -> "GraphBackend":
+        return type(self)(delta_threshold=self.delta_threshold)
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -349,7 +393,29 @@ class ColumnarBackend(_BatchedQueriesMixin):
         if key in self._rows:
             return False
         self._rows[key] = None
-        self._dirty = True
+        if self._dirty:
+            return True
+        if self._overlay_size() >= self.delta_threshold:
+            # The overlay is already at the rebuild threshold, so the next
+            # query rebuilds from _rows regardless — stop paying per-insert
+            # binary searches and fall back to the dirty flag (O(1) adds,
+            # the bulk-load fast path).
+            self._dirty = True
+            self._delta_add.clear()
+            self._delta_block = None
+            self._deleted_mask = None
+            self._num_deleted = 0
+            return True
+        base_row = self._find_base_row(key)
+        if base_row is not None and self._deleted_mask is not None \
+                and self._deleted_mask[base_row]:
+            # Re-adding a base row that was overlay-deleted: resurrect it
+            # in place instead of growing the delta.
+            self._deleted_mask[base_row] = False
+            self._num_deleted -= 1
+        else:
+            self._delta_add[key] = None
+            self._delta_block = None
         return True
 
     def discard(self, head: str, relation: str, tail: str) -> bool:
@@ -357,7 +423,20 @@ class ColumnarBackend(_BatchedQueriesMixin):
         if key is None or key not in self._rows:
             return False
         del self._rows[key]
-        self._dirty = True
+        if self._dirty:
+            return True
+        if key in self._delta_add:
+            del self._delta_add[key]
+            self._delta_block = None
+            return True
+        base_row = self._find_base_row(key)
+        if base_row is None:  # pragma: no cover - _rows and base agree
+            self._dirty = True
+            return True
+        if self._deleted_mask is None:
+            self._deleted_mask = np.zeros(len(self._cols), dtype=bool)
+        self._deleted_mask[base_row] = True
+        self._num_deleted += 1
         return True
 
     def _key_of(self, head: str, relation: str,
@@ -372,18 +451,14 @@ class ColumnarBackend(_BatchedQueriesMixin):
     # ------------------------------------------------------------------ #
     # index maintenance
     # ------------------------------------------------------------------ #
-    def _ensure_index(self) -> None:
-        if not self._dirty:
-            return
+    def _install_cols(self, cols: np.ndarray) -> None:
+        """Install ``cols`` as the base block and (re)build all indexes.
+
+        Also resets the delta overlay: after installation the base block
+        alone describes the store.
+        """
         num_entities = len(self.entity_interner)
         num_relations = len(self.relation_interner)
-        if self._rows:
-            cols = np.fromiter(
-                (component for row in self._rows for component in row),
-                dtype=np.int64, count=3 * len(self._rows),
-            ).reshape(-1, 3)
-        else:
-            cols = np.zeros((0, 3), dtype=np.int64)
         heads, rels, tails = cols[:, 0], cols[:, 1], cols[:, 2]
         entity_ids = np.arange(num_entities + 1, dtype=np.int64)
         relation_ids = np.arange(num_relations + 1, dtype=np.int64)
@@ -399,7 +474,109 @@ class ColumnarBackend(_BatchedQueriesMixin):
         self._tail_offsets = np.searchsorted(tails[perm_osp], entity_ids)
         self._entity_rank = None
         self._relation_rank = None
+        self._delta_add.clear()
+        self._delta_block = None
+        self._deleted_mask = None
+        self._num_deleted = 0
         self._dirty = False
+        self.rebuild_count += 1
+
+    def _rebuild_source(self) -> np.ndarray:
+        """The full (n, 3) id block to rebuild the base from."""
+        if self._rows:
+            return np.fromiter(
+                (component for row in self._rows for component in row),
+                dtype=np.int64, count=3 * len(self._rows),
+            ).reshape(-1, 3)
+        return np.zeros((0, 3), dtype=np.int64)
+
+    def _rebuild(self) -> None:
+        self._install_cols(self._rebuild_source())
+
+    def _overlay_size(self) -> int:
+        return len(self._delta_add) + self._num_deleted
+
+    def _ensure_base(self) -> None:
+        """Make sure a base index exists; consolidate an oversized overlay."""
+        if self._dirty or self._overlay_size() > self.delta_threshold:
+            self._rebuild()
+
+    def _ensure_index(self) -> None:
+        """Fully consolidate: fold any pending overlay into the base block.
+
+        The flat id surface (:meth:`id_triples`, :meth:`match_id_rows`,
+        the sort ranks) describes exactly one column block, so it calls
+        this instead of :meth:`_ensure_base`.
+        """
+        if self._dirty or self._delta_add or self._num_deleted:
+            self._rebuild()
+
+    # ------------------------------------------------------------------ #
+    # delta overlay
+    # ------------------------------------------------------------------ #
+    def _find_base_row(self, key: Tuple[int, int, int]) -> Optional[int]:
+        """Row index of ``key`` in the base block (deleted or not), else None."""
+        head_id, relation_id, tail_id = key
+        rows = self._slice(self._perm_spo, self._head_offsets, head_id)
+        rows = self._subrange(rows, 1, relation_id)
+        rows = self._subrange(rows, 2, tail_id)
+        return int(rows[0]) if len(rows) else None
+
+    def _delta_cols(self) -> np.ndarray:
+        """The overlay's added rows as a (d, 3) block sorted by (h, r, t)."""
+        if self._delta_block is None:
+            if self._delta_add:
+                block = np.fromiter(
+                    (component for row in self._delta_add for component in row),
+                    dtype=np.int64, count=3 * len(self._delta_add),
+                ).reshape(-1, 3)
+                block = block[np.lexsort((block[:, 2], block[:, 1], block[:, 0]))]
+            else:
+                block = np.zeros((0, 3), dtype=np.int64)
+            self._delta_block = block
+        return self._delta_block
+
+    def _live_base_rows(self, head_id: Optional[int], relation_id: Optional[int],
+                        tail_id: Optional[int]) -> np.ndarray:
+        """Base rows matching an id pattern, minus overlay-deleted rows."""
+        rows = self._base_match_rows(head_id, relation_id, tail_id)
+        if self._num_deleted:
+            rows = rows[~self._deleted_mask[rows]]
+        return rows
+
+    def _delta_match(self, head_id: Optional[int], relation_id: Optional[int],
+                     tail_id: Optional[int]) -> np.ndarray:
+        """Overlay-added rows matching an id pattern (vectorized scan)."""
+        delta = self._delta_cols()
+        if not len(delta):
+            return delta
+        mask = np.ones(len(delta), dtype=bool)
+        if head_id is not None:
+            mask &= delta[:, 0] == head_id
+        if relation_id is not None:
+            mask &= delta[:, 1] == relation_id
+        if tail_id is not None:
+            mask &= delta[:, 2] == tail_id
+        return delta[mask]
+
+    def _merged_ids(self, head_id: Optional[int] = None,
+                    relation_id: Optional[int] = None,
+                    tail_id: Optional[int] = None) -> np.ndarray:
+        """The (k, 3) id triples matching a pattern, overlay included."""
+        self._ensure_base()
+        base = self._cols[self._live_base_rows(head_id, relation_id, tail_id)]
+        delta = self._delta_match(head_id, relation_id, tail_id)
+        if not len(delta):
+            return base
+        if not len(base):
+            return delta
+        return np.concatenate((base, delta))
+
+    def _merged_count(self, head_id: Optional[int], relation_id: Optional[int],
+                      tail_id: Optional[int]) -> int:
+        self._ensure_base()
+        return int(len(self._live_base_rows(head_id, relation_id, tail_id))
+                   + len(self._delta_match(head_id, relation_id, tail_id)))
 
     # ------------------------------------------------------------------ #
     # id-level query surface
@@ -431,6 +608,12 @@ class ColumnarBackend(_BatchedQueriesMixin):
                       tail_id: Optional[int] = None) -> np.ndarray:
         """Row indices into :meth:`id_triples` matching an id pattern."""
         self._ensure_index()
+        return self._base_match_rows(head_id, relation_id, tail_id)
+
+    def _base_match_rows(self, head_id: Optional[int] = None,
+                         relation_id: Optional[int] = None,
+                         tail_id: Optional[int] = None) -> np.ndarray:
+        """Base-block row indices matching an id pattern (ignores overlay)."""
         if head_id is not None:
             rows = self._slice(self._perm_spo, self._head_offsets, head_id)
             if relation_id is not None:
@@ -505,15 +688,15 @@ class ColumnarBackend(_BatchedQueriesMixin):
                 return None
         return head_id, relation_id, tail_id
 
-    def _materialize(self, rows: np.ndarray) -> List[Triple]:
-        """Turn row indices into Triple objects in one batched conversion."""
-        if not len(rows):
+    def _materialize(self, ids: np.ndarray) -> List[Triple]:
+        """Turn a (k, 3) id block into Triple objects in one batched conversion."""
+        if not len(ids):
             return []
         entity = self.entity_interner._id_to_symbol
         relation = self.relation_interner._id_to_symbol
         new_triple = Triple.unchecked
         return [new_triple(entity[head_id], relation[relation_id], entity[tail_id])
-                for head_id, relation_id, tail_id in self._cols[rows].tolist()]
+                for head_id, relation_id, tail_id in ids.tolist()]
 
     # ------------------------------------------------------------------ #
     # string-level query surface
@@ -539,7 +722,7 @@ class ColumnarBackend(_BatchedQueriesMixin):
         resolved = self._resolve(head, relation, tail)
         if resolved is None:
             return []
-        result = self._materialize(self.match_id_rows(*resolved))
+        result = self._materialize(self._merged_ids(*resolved))
         if sort:
             result.sort()
         return result
@@ -553,11 +736,11 @@ class ColumnarBackend(_BatchedQueriesMixin):
         resolved = self._resolve(head, relation, tail)
         if resolved is None:
             return
-        rows = self.match_id_rows(*resolved)
+        ids = self._merged_ids(*resolved)
         entity = self.entity_interner._id_to_symbol
         relation_symbols = self.relation_interner._id_to_symbol
         new_triple = Triple.unchecked
-        for head_id, relation_id, tail_id in self._cols[rows].tolist():
+        for head_id, relation_id, tail_id in ids.tolist():
             yield new_triple(entity[head_id], relation_symbols[relation_id],
                              entity[tail_id])
 
@@ -566,43 +749,87 @@ class ColumnarBackend(_BatchedQueriesMixin):
         if head is not None and relation is not None and tail is not None:
             return 1 if self.contains(head, relation, tail) else 0
         if head is None and relation is None and tail is None:
-            return len(self._rows)
+            return len(self)
         resolved = self._resolve(head, relation, tail)
         if resolved is None:
             return 0
-        return int(len(self.match_id_rows(*resolved)))
+        return self._merged_count(*resolved)
 
     def tails(self, head: str, relation: str) -> List[str]:
         resolved = self._resolve(head, relation, None)
         if resolved is None:
             return []
-        rows = self.match_id_rows(resolved[0], resolved[1], None)
+        ids = self._merged_ids(resolved[0], resolved[1], None)
         symbols = self.entity_interner._id_to_symbol
-        return sorted(symbols[tail_id] for tail_id in self._cols[rows, 2].tolist())
+        return sorted(symbols[tail_id] for tail_id in ids[:, 2].tolist())
 
     def heads(self, relation: str, tail: str) -> List[str]:
         resolved = self._resolve(None, relation, tail)
         if resolved is None:
             return []
-        rows = self.match_id_rows(None, resolved[1], resolved[2])
+        ids = self._merged_ids(None, resolved[1], resolved[2])
         symbols = self.entity_interner._id_to_symbol
-        return sorted(symbols[head_id] for head_id in self._cols[rows, 0].tolist())
+        return sorted(symbols[head_id] for head_id in ids[:, 0].tolist())
 
     def degree(self, node: str) -> int:
         node_id = self.entity_interner.lookup(node)
         if node_id is None:
             return 0
-        self._ensure_index()
-        out_degree = int(self._head_offsets[node_id + 1] - self._head_offsets[node_id]) \
-            if node_id < len(self._head_offsets) - 1 else 0
-        in_degree = int(self._tail_offsets[node_id + 1] - self._tail_offsets[node_id]) \
-            if node_id < len(self._tail_offsets) - 1 else 0
-        return out_degree + in_degree
+        self._ensure_base()
+        total = 0
+        out_rows = self._slice(self._perm_spo, self._head_offsets, node_id)
+        in_rows = self._slice(self._perm_osp, self._tail_offsets, node_id)
+        if self._num_deleted:
+            total += int(len(out_rows) - self._deleted_mask[out_rows].sum())
+            total += int(len(in_rows) - self._deleted_mask[in_rows].sum())
+        else:
+            total += len(out_rows) + len(in_rows)
+        delta = self._delta_cols()
+        if len(delta):
+            total += int((delta[:, 0] == node_id).sum() + (delta[:, 2] == node_id).sum())
+        return total
 
-    def degree_many(self, nodes: Sequence[str]) -> List[int]:
-        self._ensure_index()
+    def _entity_degree_counts(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(out_degree, in_degree) per entity id, overlay included."""
+        self._ensure_base()
         out_counts = np.diff(self._head_offsets)
         in_counts = np.diff(self._tail_offsets)
+        num_entities = len(self.entity_interner)
+        if self._num_deleted:
+            deleted = np.flatnonzero(self._deleted_mask)
+            out_counts = out_counts - np.bincount(self._cols[deleted, 0],
+                                                  minlength=len(out_counts))
+            in_counts = in_counts - np.bincount(self._cols[deleted, 2],
+                                                minlength=len(in_counts))
+        if len(out_counts) < num_entities:
+            grow = np.zeros(num_entities - len(out_counts), dtype=np.int64)
+            out_counts = np.concatenate((out_counts, grow))
+            in_counts = np.concatenate((in_counts, grow))
+        delta = self._delta_cols()
+        if len(delta):
+            out_counts = out_counts + np.bincount(delta[:, 0], minlength=num_entities)
+            in_counts = in_counts + np.bincount(delta[:, 2], minlength=num_entities)
+        return out_counts, in_counts
+
+    def _relation_counts(self) -> np.ndarray:
+        """Triple count per relation id, overlay included."""
+        self._ensure_base()
+        counts = np.diff(self._rel_offsets)
+        num_relations = len(self.relation_interner)
+        if self._num_deleted:
+            deleted = np.flatnonzero(self._deleted_mask)
+            counts = counts - np.bincount(self._cols[deleted, 1],
+                                          minlength=len(counts))
+        if len(counts) < num_relations:
+            counts = np.concatenate(
+                (counts, np.zeros(num_relations - len(counts), dtype=np.int64)))
+        delta = self._delta_cols()
+        if len(delta):
+            counts = counts + np.bincount(delta[:, 1], minlength=num_relations)
+        return counts
+
+    def degree_many(self, nodes: Sequence[str]) -> List[int]:
+        out_counts, in_counts = self._entity_degree_counts()
         result: List[int] = []
         for node in nodes:
             node_id = self.entity_interner.lookup(node)
@@ -613,29 +840,35 @@ class ColumnarBackend(_BatchedQueriesMixin):
         return result
 
     def entities(self) -> List[str]:
-        self._ensure_index()
-        active = (np.diff(self._head_offsets) > 0) | (np.diff(self._tail_offsets) > 0)
+        out_counts, in_counts = self._entity_degree_counts()
+        active = (out_counts > 0) | (in_counts > 0)
         symbol = self.entity_interner.symbol_of
         return sorted(symbol(int(entity_id)) for entity_id in np.flatnonzero(active))
 
     def relations(self) -> List[str]:
-        self._ensure_index()
-        active = np.diff(self._rel_offsets) > 0
+        active = self._relation_counts() > 0
         symbol = self.relation_interner.symbol_of
         return sorted(symbol(int(relation_id)) for relation_id in np.flatnonzero(active))
 
     def heads_only(self) -> List[str]:
-        self._ensure_index()
-        active = np.diff(self._head_offsets) > 0
+        out_counts, _in_counts = self._entity_degree_counts()
         symbol = self.entity_interner.symbol_of
-        return sorted(symbol(int(entity_id)) for entity_id in np.flatnonzero(active))
+        return sorted(symbol(int(entity_id)) for entity_id in np.flatnonzero(out_counts > 0))
 
     def relation_frequencies(self) -> Dict[str, int]:
-        self._ensure_index()
-        counts = np.diff(self._rel_offsets)
+        counts = self._relation_counts()
         symbol = self.relation_interner.symbol_of
         return {symbol(int(relation_id)): int(counts[relation_id])
                 for relation_id in np.flatnonzero(counts > 0)}
+
+    def save(self, directory: "str | Path") -> Path:
+        """Persist the (consolidated) store as a memory-mappable directory.
+
+        Returns the directory path; reopen with
+        :meth:`repro.kg.mmap_backend.MmapBackend.open`.
+        """
+        from repro.kg.mmap_backend import write_backend_dir
+        return write_backend_dir(self, directory)
 
 
 #: Registered backend implementations, keyed by their CLI name.

@@ -268,7 +268,7 @@ class KnowledgeGraph:
         relation_rank = backend.relation_sort_rank()
         order = np.lexsort((entity_rank[sub[:, 2]], relation_rank[sub[:, 1]],
                             entity_rank[sub[:, 0]]))
-        return backend._materialize(rows[order])
+        return backend._materialize(sub[order])
 
     def to_networkx(self) -> nx.MultiDiGraph:
         """Export to a ``networkx.MultiDiGraph`` with relation edge keys."""

@@ -1,0 +1,400 @@
+"""On-disk, memory-mapped columnar graph storage.
+
+The billion-scale business KG the paper describes cannot live in a
+Python process heap, so this module persists the
+:class:`~repro.kg.backend.ColumnarBackend` state — interner tables,
+``int64`` triple columns, the three sort permutations and their CSR
+offsets — as flat files under a directory and serves queries straight
+from ``numpy.memmap`` views of them:
+
+* ``header.json`` — versioned header (magic, format version, dtype,
+  element counts per file); written **last** so an interrupted save
+  never leaves a directory that looks openable.
+* ``entities.json`` / ``relations.json`` — interner symbols in id order.
+* ``triples.i64`` — the (n, 3) column block, row-major.
+* ``perm_spo.i64`` / ``perm_pos.i64`` / ``perm_osp.i64`` — sort
+  permutations.
+* ``head_offsets.i64`` / ``rel_offsets.i64`` / ``tail_offsets.i64`` —
+  CSR group offsets.
+
+:class:`MmapBackend` extends :class:`ColumnarBackend`: the base block is
+a read-only memmap instead of in-heap arrays, membership tests are
+binary searches on the ``spo`` permutation instead of a Python dict, and
+mutations land in the same in-memory delta overlay the columnar backend
+uses (so an opened store stays fully mutable).  When the overlay
+outgrows ``delta_threshold`` — or a caller touches the flat id surface —
+the live base rows and the overlay are consolidated into in-heap arrays;
+:meth:`save` writes that consolidated state back to disk.
+
+``MmapBackend()`` without a directory starts empty (an overlay over a
+zero-row base) and is registered in :data:`~repro.kg.backend.BACKENDS`
+as ``"mmap"``, so ``TripleStore(backend="mmap")`` and the CLI's
+``--backend mmap`` work like any other backend; build → ``save`` →
+:meth:`open` is the bulk-load-once, query-from-disk lifecycle.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.kg.backend import BACKENDS, ColumnarBackend, Interner
+from repro.kg.triple import Triple
+
+#: Identifies the directory layout; never reuse across incompatible formats.
+MAGIC = "repro-kg-columnar"
+
+#: Bump when the file layout changes; :func:`load_header` rejects mismatches.
+FORMAT_VERSION = 1
+
+HEADER_FILE = "header.json"
+ENTITIES_FILE = "entities.json"
+RELATIONS_FILE = "relations.json"
+
+#: Array files: name -> (element-count key derivation, shape builder).
+_INT64 = np.dtype(np.int64)
+
+
+def _array_specs(num_triples: int, num_entities: int,
+                 num_relations: int) -> Dict[str, Tuple[int, Tuple[int, ...]]]:
+    """name -> (element count, memmap shape) for every array file."""
+    return {
+        "triples.i64": (3 * num_triples, (num_triples, 3)),
+        "perm_spo.i64": (num_triples, (num_triples,)),
+        "perm_pos.i64": (num_triples, (num_triples,)),
+        "perm_osp.i64": (num_triples, (num_triples,)),
+        "head_offsets.i64": (num_entities + 1, (num_entities + 1,)),
+        "rel_offsets.i64": (num_relations + 1, (num_relations + 1,)),
+        "tail_offsets.i64": (num_entities + 1, (num_entities + 1,)),
+    }
+
+
+def write_backend_dir(backend: ColumnarBackend, directory: str | Path) -> Path:
+    """Persist a columnar-family backend as a memory-mappable directory.
+
+    Consolidates any pending overlay first, then writes the interner
+    tables, the column block, the sort permutations and the CSR offsets.
+    The header is written last so a crash mid-save leaves no directory
+    that :func:`load_header` would accept.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    backend._ensure_index()
+    if isinstance(backend, MmapBackend):
+        backend._detach_from(directory)
+    # Invalidate any existing header BEFORE touching array files: a crash
+    # mid-overwrite must not leave a stale-but-valid header pointing at a
+    # mix of old and new columns.
+    (directory / HEADER_FILE).unlink(missing_ok=True)
+    num_triples = len(backend._cols)
+    num_entities = len(backend.entity_interner)
+    num_relations = len(backend.relation_interner)
+    (directory / ENTITIES_FILE).write_text(
+        json.dumps(backend.entity_interner.symbols(), ensure_ascii=False),
+        encoding="utf-8")
+    (directory / RELATIONS_FILE).write_text(
+        json.dumps(backend.relation_interner.symbols(), ensure_ascii=False),
+        encoding="utf-8")
+    arrays = {
+        "triples.i64": backend._cols,
+        "perm_spo.i64": backend._perm_spo,
+        "perm_pos.i64": backend._perm_pos,
+        "perm_osp.i64": backend._perm_osp,
+        "head_offsets.i64": backend._head_offsets,
+        "rel_offsets.i64": backend._rel_offsets,
+        "tail_offsets.i64": backend._tail_offsets,
+    }
+    for name, array in arrays.items():
+        np.ascontiguousarray(array, dtype=np.int64).tofile(directory / name)
+    header = {
+        "magic": MAGIC,
+        "version": FORMAT_VERSION,
+        "dtype": _INT64.str,
+        "num_triples": num_triples,
+        "num_entities": num_entities,
+        "num_relations": num_relations,
+    }
+    # Atomic header write (temp + rename): the directory only becomes
+    # openable again once every data file is fully on disk.
+    header_tmp = directory / (HEADER_FILE + ".tmp")
+    header_tmp.write_text(json.dumps(header, indent=1), encoding="utf-8")
+    header_tmp.replace(directory / HEADER_FILE)
+    return directory
+
+
+def load_header(directory: str | Path) -> dict:
+    """Read and validate a store directory's header.
+
+    Checks magic, format version, dtype and the byte size of every array
+    file against the counts the header declares, so corruption and
+    truncation surface at open time as :class:`~repro.errors.StorageError`
+    instead of as garbage query results later.
+    """
+    directory = Path(directory)
+    header_path = directory / HEADER_FILE
+    if not header_path.is_file():
+        raise StorageError(
+            f"{directory}: missing {HEADER_FILE} — not a graph store directory")
+    try:
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StorageError(f"{header_path}: unreadable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("magic") != MAGIC:
+        raise StorageError(f"{header_path}: bad magic — not a graph store header")
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"{directory}: format version mismatch — store has {version!r}, "
+            f"this build reads {FORMAT_VERSION}")
+    if header.get("dtype") != _INT64.str:
+        raise StorageError(
+            f"{directory}: dtype mismatch — store has {header.get('dtype')!r}, "
+            f"this platform reads {_INT64.str!r}")
+    for key in ("num_triples", "num_entities", "num_relations"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            raise StorageError(f"{directory}: header field {key!r} is invalid")
+    specs = _array_specs(header["num_triples"], header["num_entities"],
+                         header["num_relations"])
+    for name, (count, _shape) in specs.items():
+        path = directory / name
+        if not path.is_file():
+            raise StorageError(f"{directory}: missing array file {name}")
+        expected = count * _INT64.itemsize
+        actual = path.stat().st_size
+        if actual != expected:
+            raise StorageError(
+                f"{path}: expected {expected} bytes ({count} int64 values), "
+                f"found {actual} — truncated or corrupt")
+    for name in (ENTITIES_FILE, RELATIONS_FILE):
+        if not (directory / name).is_file():
+            raise StorageError(f"{directory}: missing interner file {name}")
+    return header
+
+
+def _load_symbols(directory: Path, name: str, expected: int) -> list:
+    path = directory / name
+    try:
+        symbols = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StorageError(f"{path}: unreadable interner table: {exc}") from exc
+    if not isinstance(symbols, list) or len(symbols) != expected:
+        raise StorageError(
+            f"{path}: expected {expected} symbols, "
+            f"found {len(symbols) if isinstance(symbols, list) else type(symbols).__name__}")
+    return symbols
+
+
+class MmapBackend(ColumnarBackend):
+    """A :class:`ColumnarBackend` whose base block is memory-mapped files.
+
+    ``MmapBackend(directory)`` opens a saved store: the header and the
+    interner tables are read eagerly (they are needed for every symbol
+    lookup), the seven array files are attached lazily as read-only
+    ``np.memmap`` views on first query, so opening costs O(header) and
+    bulk column data never has to fit in the heap.  Without a directory
+    the backend starts empty and behaves like an in-memory columnar
+    store that consolidates through the overlay.
+
+    Differences from the parent:
+
+    * membership (and therefore ``add``/``discard`` dedup) is a binary
+      search on the base ``spo`` permutation plus an overlay lookup —
+      there is no in-heap dict of all rows;
+    * consolidation rebuilds into in-heap arrays (the mapped files are
+      immutable); :meth:`save` writes the consolidated state back out;
+    * :meth:`clone_empty` returns an **empty in-memory** ``MmapBackend``
+      (a copied store does not inherit the source's files).
+    """
+
+    name = "mmap"
+
+    def __init__(self, directory: Optional[str | Path] = None, *,
+                 delta_threshold: int = 1024) -> None:
+        super().__init__(delta_threshold=delta_threshold)
+        self._directory: Optional[Path] = None
+        self._header: Optional[dict] = None
+        # The parent's _rows dict is intentionally unused: membership
+        # goes through _find_base_row + the overlay.
+        self._dirty = False
+        if directory is not None:
+            self._directory = Path(directory)
+            self._header = load_header(self._directory)
+            self.entity_interner = Interner(_load_symbols(
+                self._directory, ENTITIES_FILE, self._header["num_entities"]))
+            self.relation_interner = Interner(_load_symbols(
+                self._directory, RELATIONS_FILE, self._header["num_relations"]))
+            if len(self.entity_interner) != self._header["num_entities"] \
+                    or len(self.relation_interner) != self._header["num_relations"]:
+                raise StorageError(
+                    f"{self._directory}: interner tables contain duplicate symbols")
+
+    @classmethod
+    def open(cls, directory: str | Path, *, delta_threshold: int = 1024) -> "MmapBackend":
+        """Open a store directory written by :func:`write_backend_dir`."""
+        return cls(directory, delta_threshold=delta_threshold)
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """The backing store directory, or ``None`` for an in-memory store."""
+        return self._directory
+
+    # ------------------------------------------------------------------ #
+    # base attachment / consolidation
+    # ------------------------------------------------------------------ #
+    def _attach(self) -> None:
+        """Attach the base block: memmap the files, or install empty arrays."""
+        if self._directory is None:
+            self._install_cols(np.zeros((0, 3), dtype=np.int64))
+            return
+        header = self._header
+        specs = _array_specs(header["num_triples"], header["num_entities"],
+                             header["num_relations"])
+
+        def mapped(name: str) -> np.ndarray:
+            count, shape = specs[name]
+            if count == 0:
+                return np.zeros(shape, dtype=np.int64)
+            return np.memmap(self._directory / name, dtype=np.int64,
+                             mode="r", shape=shape)
+
+        self._cols = mapped("triples.i64")
+        self._perm_spo = mapped("perm_spo.i64")
+        self._perm_pos = mapped("perm_pos.i64")
+        self._perm_osp = mapped("perm_osp.i64")
+        self._head_offsets = mapped("head_offsets.i64")
+        self._rel_offsets = mapped("rel_offsets.i64")
+        self._tail_offsets = mapped("tail_offsets.i64")
+
+    def _ensure_attached(self) -> None:
+        if self._cols is None:
+            self._attach()
+
+    def _ensure_base(self) -> None:
+        self._ensure_attached()
+        if self._overlay_size() > self.delta_threshold:
+            self._rebuild()
+
+    def _ensure_index(self) -> None:
+        self._ensure_attached()
+        if self._delta_add or self._num_deleted:
+            self._rebuild()
+
+    def _rebuild_source(self) -> np.ndarray:
+        """Live base rows (stored order) followed by overlay adds (sorted)."""
+        self._ensure_attached()
+        base = np.asarray(self._cols)
+        if self._num_deleted:
+            base = base[~self._deleted_mask]
+        delta = self._delta_cols()
+        if len(delta):
+            return np.concatenate((np.ascontiguousarray(base), delta))
+        return np.array(base, dtype=np.int64)
+
+    def _detach_from(self, directory: Path) -> None:
+        """Copy the base into the heap if it is mapped from ``directory``.
+
+        Called before :meth:`save` overwrites files that this very
+        backend may still have mapped (truncating a mapped file is
+        undefined behaviour territory).
+        """
+        if self._directory is None or self._cols is None:
+            return
+        if self._directory.resolve() != Path(directory).resolve():
+            return
+        for attr in ("_cols", "_perm_spo", "_perm_pos", "_perm_osp",
+                     "_head_offsets", "_rel_offsets", "_tail_offsets"):
+            value = getattr(self, attr)
+            if isinstance(value, np.memmap):
+                setattr(self, attr, np.array(value, dtype=np.int64))
+
+    # ------------------------------------------------------------------ #
+    # mutation & membership (no _rows dict)
+    # ------------------------------------------------------------------ #
+    def add(self, head: str, relation: str, tail: str) -> bool:
+        if not (head and relation and tail):
+            raise ValueError(
+                f"triple components must be non-empty, got ({head!r}, {relation!r}, {tail!r})")
+        key = (self.entity_interner.intern(head),
+               self.relation_interner.intern(relation),
+               self.entity_interner.intern(tail))
+        self._ensure_attached()
+        if key in self._delta_add:
+            return False
+        base_row = self._find_base_row(key)
+        if base_row is not None:
+            if self._deleted_mask is not None and self._deleted_mask[base_row]:
+                self._deleted_mask[base_row] = False
+                self._num_deleted -= 1
+                return True
+            return False
+        self._delta_add[key] = None
+        self._delta_block = None
+        return True
+
+    def discard(self, head: str, relation: str, tail: str) -> bool:
+        key = self._key_of(head, relation, tail)
+        if key is None:
+            return False
+        self._ensure_attached()
+        if key in self._delta_add:
+            del self._delta_add[key]
+            self._delta_block = None
+            return True
+        base_row = self._find_base_row(key)
+        if base_row is None:
+            return False
+        if self._deleted_mask is None:
+            self._deleted_mask = np.zeros(len(self._cols), dtype=bool)
+        if self._deleted_mask[base_row]:
+            return False
+        self._deleted_mask[base_row] = True
+        self._num_deleted += 1
+        return True
+
+    def contains(self, head: str, relation: str, tail: str) -> bool:
+        key = self._key_of(head, relation, tail)
+        if key is None:
+            return False
+        self._ensure_attached()
+        if key in self._delta_add:
+            return True
+        base_row = self._find_base_row(key)
+        if base_row is None:
+            return False
+        return not (self._deleted_mask is not None and self._deleted_mask[base_row])
+
+    def __len__(self) -> int:
+        self._ensure_attached()
+        return len(self._cols) - self._num_deleted + len(self._delta_add)
+
+    def iter_triples(self) -> Iterator[Triple]:
+        self._ensure_attached()
+        entity = self.entity_interner._id_to_symbol
+        relation = self.relation_interner._id_to_symbol
+        new_triple = Triple.unchecked
+        mask = self._deleted_mask
+        chunk = 4096
+        for start in range(0, len(self._cols), chunk):
+            block = np.asarray(self._cols[start:start + chunk])
+            if mask is not None:
+                block = block[~mask[start:start + chunk]]
+            for head_id, relation_id, tail_id in block.tolist():
+                yield new_triple(entity[head_id], relation[relation_id],
+                                 entity[tail_id])
+        for head_id, relation_id, tail_id in self._delta_add:
+            yield new_triple(entity[head_id], relation[relation_id],
+                             entity[tail_id])
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | Path) -> Path:
+        """Consolidate and persist to ``directory`` (safe over its own files)."""
+        return write_backend_dir(self, directory)
+
+
+BACKENDS[MmapBackend.name] = MmapBackend

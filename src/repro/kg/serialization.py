@@ -1,12 +1,18 @@
 """Serialization of triples and benchmark splits.
 
-Two formats are supported:
+Three formats are supported:
 
 * **TSV** — one ``head<TAB>relation<TAB>tail`` line per triple; this is the
   format the public OpenBG benchmark releases use for train/dev/test files.
 * **N-Triples-like** — ``<head> <relation> <tail> .`` lines with CURIEs
   expanded through the namespace table, approximating the RDF output the
   paper produces through Apache Jena.
+* **Store directory** — the binary memory-mapped columnar layout
+  (:mod:`repro.kg.mmap_backend`): interner tables plus ``int64`` column /
+  index files under one directory, reopened zero-copy by
+  :class:`~repro.kg.mmap_backend.MmapBackend`.  Unlike the text formats
+  this round-trips the *indexes* too, so a bulk-loaded graph can be
+  queried from disk without re-interning or re-sorting anything.
 """
 
 from __future__ import annotations
@@ -88,6 +94,33 @@ def read_ntriples(path: str | Path) -> List[Triple]:
                 cleaned.append(NAMESPACES.compact(part[1:-1]))
             triples.append(Triple(*cleaned))
     return triples
+
+
+def write_store_dir(triples: "Iterable[Triple] | TripleStore",
+                    directory: str | Path) -> Path:
+    """Persist triples as a memory-mapped store directory.
+
+    Accepts either a :class:`~repro.kg.store.TripleStore` (saved via its
+    backend) or any iterable of triples (bulk-loaded through an
+    in-memory columnar backend first).  Returns the directory path.
+    """
+    from repro.kg.store import TripleStore
+
+    if not isinstance(triples, TripleStore):
+        triples = TripleStore(triples)
+    return triples.save(directory)
+
+
+def read_store_dir(directory: str | Path) -> "TripleStore":
+    """Open a store directory as an mmap-backed :class:`TripleStore`.
+
+    Raises :class:`~repro.errors.StorageError` when the directory is
+    missing, truncated, corrupt, or written by an incompatible format
+    version.
+    """
+    from repro.kg.store import TripleStore
+
+    return TripleStore.open(directory)
 
 
 def write_split_json(splits: Dict[str, List[Triple]], path: str | Path) -> None:

@@ -17,6 +17,7 @@ Insertion is idempotent: adding a duplicate triple is a no-op.
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.kg.backend import (
@@ -149,6 +150,34 @@ class TripleStore:
     def degree(self, node: str) -> int:
         """Return total degree (out-degree + in-degree) of a node."""
         return self._backend.degree(node)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: "str | Path") -> "Path":
+        """Persist the store as an on-disk, memory-mappable directory.
+
+        Backends of the columnar family write their own consolidated
+        state; other backends (e.g. ``set``) are first copied through an
+        in-memory :class:`~repro.kg.backend.ColumnarBackend`.  Reopen
+        with :meth:`TripleStore.open`.
+        """
+        backend = self._backend
+        if not hasattr(backend, "save"):
+            from repro.kg.backend import ColumnarBackend
+
+            columnar = ColumnarBackend()
+            for triple in backend.iter_triples():
+                columnar.add(triple.head, triple.relation, triple.tail)
+            backend = columnar
+        return backend.save(directory)
+
+    @classmethod
+    def open(cls, directory: "str | Path") -> "TripleStore":
+        """Open a store directory written by :meth:`save` (mmap backend)."""
+        from repro.kg.mmap_backend import MmapBackend
+
+        return cls(backend=MmapBackend.open(directory))
 
     def copy(self) -> "TripleStore":
         """Return an independent copy of the store on the same backend kind."""

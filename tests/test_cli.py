@@ -33,6 +33,20 @@ def test_cli_build_writes_tsv(tmp_path, capsys):
     assert (tmp_path / "openbg.tsv").read_text().count("\n") > 100
 
 
+def test_cli_build_persists_store_dir(tmp_path, capsys):
+    from repro.kg.store import TripleStore
+
+    store_dir = tmp_path / "store"
+    exit_code = main(["--products", "40", "--seed", "1", "--backend", "mmap",
+                      "--store-dir", str(store_dir), "build"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "persisted mmap-built triple store" in output
+    reopened = TripleStore.open(store_dir)
+    assert reopened.backend_name == "mmap"
+    assert len(reopened) > 100
+
+
 def test_cli_stats_prints_table(capsys):
     exit_code = main(["--products", "40", "--seed", "1", "stats"])
     assert exit_code == 0

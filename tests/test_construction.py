@@ -270,6 +270,45 @@ def test_deduplicator_merges_label_duplicates():
                   "brand:apple_1") in graph.store
 
 
+def test_add_missing_taxonomy_links_defers_rebuilds():
+    """Regression: the link loop triggers O(1) rebuilds, not one per link.
+
+    ``add_missing_taxonomy_links`` interleaves ``graph.add`` with
+    ``parents()`` queries; before incremental index maintenance every
+    accepted link dirtied the columnar CSR indexes and the next query
+    paid a full rebuild.  The delta overlay must absorb the whole run.
+    """
+    graph = KnowledgeGraph(backend="columnar")
+    # Four leaf concepts sharing >= 3 products pairwise, under four
+    # distinct broader nodes, so several links get accepted.
+    for index in range(1, 5):
+        graph.add(Triple(f"concept:c{index}", MetaProperty.BROADER.value,
+                         f"concept:parent{index}"))
+        for product in ("g1", "g2", "g3"):
+            graph.add(Triple(product, "relatedScene", f"concept:c{index}"))
+    backend = graph.store.backend
+    graph.parents("concept:c1")  # force the initial index build
+    rebuilds_before = backend.rebuild_count
+    added = Deduplicator(graph).add_missing_taxonomy_links()
+    assert len(added) >= 2  # the loop really interleaved mutations with queries
+    assert backend.rebuild_count - rebuilds_before <= 1
+    # And the links are queryable through the overlay-merged view.
+    for link in added:
+        assert link in graph.store
+        assert link.tail in graph.parents(link.head)
+
+
+def test_pipeline_persists_store_dir(tmp_path, small_config):
+    from repro.kg.store import TripleStore
+
+    result = OpenBGBuilder(small_config, seed=0,
+                           store_dir=tmp_path / "store").build()
+    assert result.store_dir == tmp_path / "store"
+    assert "persist" in result.stage_durations
+    reopened = TripleStore.open(result.store_dir)
+    assert reopened.triples() == result.graph.triples()
+
+
 def test_full_pipeline_summary(construction_result, small_config):
     summary = construction_result.summary()
     assert summary["products"] == small_config.num_products

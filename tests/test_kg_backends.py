@@ -1,9 +1,12 @@
-"""Backend parity: SetBackend and ColumnarBackend must agree everywhere.
+"""Backend parity: every backend must agree with the SetBackend reference.
 
 The columnar backend is the default store; the set backend is the
-reference implementation.  These tests drive both through randomized
-add/discard/query workloads and through the serialization layer and
-assert identical observable behaviour.
+reference implementation; the mmap backend shares the columnar query
+core over a (possibly on-disk) base block.  These tests drive all of
+them — including delta-overlay configurations that force eager rebuilds
+(threshold 0) and constant overlay churn (tiny thresholds) — through
+randomized add/discard/query workloads and through the serialization
+layer and assert identical observable behaviour.
 """
 
 from __future__ import annotations
@@ -14,9 +17,22 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.kg.backend import ColumnarBackend, Interner, SetBackend, make_backend
+from repro.kg.mmap_backend import MmapBackend
 from repro.kg.serialization import read_tsv, write_tsv
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple, triples_from_tuples
+
+#: Non-reference backend factories, keyed by a readable parametrize id.
+#: delta_threshold=0 forces a full rebuild per mutation burst (the old
+#: eager behaviour); tiny thresholds exercise overlay → consolidation
+#: transitions constantly; MmapBackend() runs the shared query core over
+#: an empty base plus overlay.
+BACKEND_FACTORIES = {
+    "columnar": ColumnarBackend,
+    "columnar-eager": lambda: ColumnarBackend(delta_threshold=0),
+    "columnar-tiny-delta": lambda: ColumnarBackend(delta_threshold=2),
+    "mmap": MmapBackend,
+}
 
 # --------------------------------------------------------------------------- #
 # strategies
@@ -56,6 +72,7 @@ def test_interner_assigns_dense_stable_ids():
 def test_make_backend_registry():
     assert isinstance(make_backend("set"), SetBackend)
     assert isinstance(make_backend("columnar"), ColumnarBackend)
+    assert isinstance(make_backend("mmap"), MmapBackend)
     with pytest.raises(ValueError):
         make_backend("no-such-backend")
 
@@ -63,12 +80,14 @@ def test_make_backend_registry():
 # --------------------------------------------------------------------------- #
 # randomized workload parity
 # --------------------------------------------------------------------------- #
-@settings(max_examples=60, deadline=None)
-@given(st.lists(_operation, max_size=60))
-def test_backend_parity_random_workload(operations):
-    """Property: both backends agree after any add/discard sequence."""
+@pytest.mark.parametrize("factory", BACKEND_FACTORIES.values(),
+                         ids=BACKEND_FACTORIES.keys())
+@settings(max_examples=30, deadline=None)
+@given(operations=st.lists(_operation, max_size=60))
+def test_backend_parity_random_workload(factory, operations):
+    """Property: every backend agrees with the reference after any sequence."""
     set_backend = SetBackend()
-    columnar = ColumnarBackend()
+    columnar = factory()
     touched = set()
     for action, (head, relation, tail) in operations:
         if action == "add":
@@ -100,11 +119,13 @@ def test_backend_parity_random_workload(operations):
                 == sorted(columnar.iter_match(*pattern))
 
 
-@settings(max_examples=30, deadline=None)
-@given(st.lists(_triple_tuple, max_size=40))
-def test_backend_parity_batched_queries(rows):
+@pytest.mark.parametrize("factory", BACKEND_FACTORIES.values(),
+                         ids=BACKEND_FACTORIES.keys())
+@settings(max_examples=20, deadline=None)
+@given(rows=st.lists(_triple_tuple, max_size=40))
+def test_backend_parity_batched_queries(factory, rows):
     set_backend = SetBackend()
-    columnar = ColumnarBackend()
+    columnar = factory()
     for head, relation, tail in rows:
         set_backend.add(head, relation, tail)
         columnar.add(head, relation, tail)
@@ -143,6 +164,60 @@ def test_columnar_interleaved_mutation_and_query():
     assert backend.entities() == ["a", "c"]  # "b" no longer participates
 
 
+@settings(max_examples=25, deadline=None)
+@given(st.lists(_operation, max_size=50))
+def test_delta_overlay_parity_with_queries_between_mutations(operations):
+    """Querying between every mutation keeps the overlay-merged view exact.
+
+    A tiny threshold forces frequent overlay → consolidation transitions,
+    covering base-hit, overlay-hit, deleted-base-row and resurrected-row
+    paths in one workload.
+    """
+    reference = SetBackend()
+    columnar = ColumnarBackend(delta_threshold=3)
+    for action, (head, relation, tail) in operations:
+        if action == "add":
+            assert reference.add(head, relation, tail) \
+                == columnar.add(head, relation, tail)
+        else:
+            assert reference.discard(head, relation, tail) \
+                == columnar.discard(head, relation, tail)
+        # Interleaved queries — the dedup-stage access pattern.
+        assert len(reference) == len(columnar)
+        assert reference.count(relation=relation) == columnar.count(relation=relation)
+        assert reference.tails(head, relation) == columnar.tails(head, relation)
+        assert reference.degree(tail) == columnar.degree(tail)
+    assert reference.relation_frequencies() == columnar.relation_frequencies()
+    assert reference.entities() == columnar.entities()
+
+
+def test_delta_overlay_defers_rebuilds():
+    """Mutation bursts below the threshold cost zero extra full rebuilds."""
+    backend = ColumnarBackend(delta_threshold=100)
+    for index in range(50):
+        backend.add(f"h{index}", "r", f"t{index}")
+    assert backend.count(relation="r") == 50      # builds the base index
+    assert backend.rebuild_count == 1
+    for index in range(60):
+        backend.add(f"extra{index}", "r", "sink") # 60 adds < threshold
+        assert backend.count(relation="r") == 51 + index
+        assert backend.tails(f"extra{index}", "r") == ["sink"]
+    assert backend.rebuild_count == 1             # all served from the overlay
+    # The flat id surface consolidates: exactly one more rebuild.
+    assert len(backend.id_triples()) == 110
+    assert backend.rebuild_count == 2
+
+    eager = ColumnarBackend(delta_threshold=0)
+    for index in range(10):
+        eager.add(f"h{index}", "r", f"t{index}")
+    eager.count(relation="r")
+    before = eager.rebuild_count
+    for index in range(5):
+        eager.add(f"extra{index}", "r", "sink")
+        eager.count(relation="r")
+    assert eager.rebuild_count == before + 5      # one rebuild per burst
+
+
 def test_columnar_id_surface_consistent():
     backend = ColumnarBackend()
     for head, relation, tail in [("a", "r", "b"), ("a", "s", "c"), ("d", "r", "b")]:
@@ -163,7 +238,7 @@ def test_columnar_id_surface_consistent():
 # --------------------------------------------------------------------------- #
 # store facade over both backends
 # --------------------------------------------------------------------------- #
-@pytest.mark.parametrize("backend_name", ["set", "columnar"])
+@pytest.mark.parametrize("backend_name", ["set", "columnar", "mmap"])
 def test_store_facade_roundtrip(backend_name):
     triples = triples_from_tuples([
         ("p1", "brandIs", "apple"), ("p2", "brandIs", "apple"),
