@@ -36,6 +36,7 @@ from repro.embedding import (
 from repro.embedding.evaluation import format_results_table
 from repro.kg.backend import BACKENDS, DEFAULT_BACKEND
 from repro.kg.serialization import write_tsv
+from repro.kg.sharded_backend import DEFAULT_SHARDS, ShardedBackend
 
 MODEL_REGISTRY = {
     "TransE": TransE,
@@ -57,11 +58,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--backend", choices=sorted(BACKENDS), default=DEFAULT_BACKEND,
                         help="triple-store backend (columnar: interned-id numpy "
                              "arrays; mmap: on-disk memory-mapped columns; "
+                             "sharded: hash-partitioned columnar shards with "
+                             "parallel bulk loads and saves; "
                              "set: the reference dict-of-set store)")
+    parser.add_argument("--shards", type=int, default=DEFAULT_SHARDS,
+                        help="shard count for --backend sharded "
+                             f"(default {DEFAULT_SHARDS}; ignored otherwise)")
     parser.add_argument("--store-dir", type=Path, default=None,
                         help="persist the built triple store to this directory as "
-                             "memory-mapped column files (reopen with "
-                             "TripleStore.open or --backend mmap workflows)")
+                             "memory-mapped column files (sharded builds write a "
+                             "sharded layout; reopen with TripleStore.open)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     build = subparsers.add_parser("build", help="construct the synthetic OpenBG")
@@ -85,9 +91,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _construct(products: int, seed: int, backend: str = DEFAULT_BACKEND,
-               store_dir: Optional[Path] = None) -> ConstructionResult:
+               store_dir: Optional[Path] = None,
+               shards: int = DEFAULT_SHARDS) -> ConstructionResult:
     config = SyntheticCatalogConfig(num_products=products, seed=seed)
-    return OpenBGBuilder(config, seed=seed, backend=backend,
+    built_backend = ShardedBackend(n_shards=shards) \
+        if backend == ShardedBackend.name else backend
+    return OpenBGBuilder(config, seed=seed, backend=built_backend,
                          store_dir=store_dir).build()
 
 
@@ -143,7 +152,8 @@ def _command_linkpred(result: ConstructionResult, seed: int, model_name: str,
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    result = _construct(args.products, args.seed, args.backend, args.store_dir)
+    result = _construct(args.products, args.seed, args.backend, args.store_dir,
+                        args.shards)
     if result.store_dir is not None:
         print(f"persisted {args.backend}-built triple store to {result.store_dir}")
     if args.command == "build":

@@ -21,7 +21,7 @@ from repro.construction.concept_builder import ConceptBuilder
 from repro.construction.dedup import DedupReport, Deduplicator
 from repro.construction.linking import DEFAULT_CNSCHEMA_MAPPING, InstanceLinker
 from repro.datagen.catalog import Catalog, SyntheticCatalogConfig, generate_catalog
-from repro.kg.backend import DEFAULT_BACKEND
+from repro.kg.backend import DEFAULT_BACKEND, GraphBackend
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.statistics import GraphStatistics, compute_statistics
 from repro.ontology.core_ontology import build_core_ontology, register_in_market_relations
@@ -62,7 +62,7 @@ class OpenBGBuilder:
 
     def __init__(self, config: Optional[SyntheticCatalogConfig] = None,
                  seed: int = 0, crf_epochs: int = 2,
-                 backend: str = DEFAULT_BACKEND,
+                 backend: "Union[str, GraphBackend]" = DEFAULT_BACKEND,
                  store_dir: Optional[Union[str, Path]] = None) -> None:
         self.config = config or SyntheticCatalogConfig(seed=seed)
         self.seed = int(seed)

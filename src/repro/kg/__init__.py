@@ -19,6 +19,7 @@ from repro.kg.backend import (
     make_backend,
 )
 from repro.kg.mmap_backend import MmapBackend
+from repro.kg.sharded_backend import ShardedBackend
 from repro.kg.store import TripleStore
 from repro.kg.vocab import Vocabulary
 from repro.kg.graph import KnowledgeGraph
@@ -36,6 +37,7 @@ __all__ = [
     "Interner",
     "MmapBackend",
     "SetBackend",
+    "ShardedBackend",
     "make_backend",
     "TripleStore",
     "Vocabulary",

@@ -35,7 +35,11 @@ read-heavy phases that use it).
 :class:`~repro.kg.mmap_backend.MmapBackend` (``repro.kg.mmap_backend``)
 extends the columnar design with an on-disk, memory-mapped base block
 behind the same protocol; it registers itself in :data:`BACKENDS` under
-the name ``"mmap"``.
+the name ``"mmap"``.  :class:`~repro.kg.sharded_backend.ShardedBackend`
+(``repro.kg.sharded_backend``, registered as ``"sharded"``) hash-
+partitions triples on the head-entity id across several columnar-family
+shards that share one global interner pair, parallelizing bulk loads,
+saves/opens and batched queries across cores.
 """
 
 from __future__ import annotations
@@ -123,6 +127,8 @@ class GraphBackend(Protocol):
 
     def add(self, head: str, relation: str, tail: str) -> bool: ...
 
+    def add_many(self, triples: Iterable[Triple]) -> int: ...
+
     def discard(self, head: str, relation: str, tail: str) -> bool: ...
 
     def contains(self, head: str, relation: str, tail: str) -> bool: ...
@@ -185,6 +191,16 @@ class _BatchedQueriesMixin:
     def degree_many(self, nodes: Sequence[str]) -> List[int]:
         """Total degree per node."""
         return [self.degree(node) for node in nodes]
+
+    def add_many(self, triples: Iterable[Triple]) -> int:
+        """Add a batch of triples; returns how many were actually new.
+
+        Backends with a vectorized bulk-load path (the sharded backend)
+        override this; the default simply loops :meth:`add`.
+        """
+        add = self.add
+        return sum(1 for triple in triples
+                   if add(triple.head, triple.relation, triple.tail))
 
     def clone_empty(self) -> "GraphBackend":
         """A fresh empty backend of the same kind and configuration.
@@ -881,11 +897,15 @@ BACKENDS: Dict[str, type] = {
 DEFAULT_BACKEND = ColumnarBackend.name
 
 
-def make_backend(name: str) -> GraphBackend:
-    """Instantiate a registered backend by name."""
+def make_backend(name: str, **options) -> GraphBackend:
+    """Instantiate a registered backend by name.
+
+    Keyword options are forwarded to the backend constructor (e.g.
+    ``make_backend("sharded", n_shards=8)``).
+    """
     try:
         backend_class = BACKENDS[name]
     except KeyError:
         known = ", ".join(sorted(BACKENDS))
         raise ValueError(f"unknown graph backend {name!r} (known: {known})") from None
-    return backend_class()
+    return backend_class(**options)

@@ -14,13 +14,13 @@ adds the semantics OpenBG needs on top of raw triples:
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 import networkx as nx
 import numpy as np
 
 from repro.errors import OntologyError
-from repro.kg.backend import DEFAULT_BACKEND, ColumnarBackend
+from repro.kg.backend import DEFAULT_BACKEND, ColumnarBackend, GraphBackend
 from repro.kg.namespaces import MetaProperty, TAXONOMY_PROPERTIES
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
@@ -30,7 +30,8 @@ from repro.kg.vocab import Vocabulary
 class KnowledgeGraph:
     """A business knowledge graph with ontology-aware helpers."""
 
-    def __init__(self, name: str = "OpenBG", backend: str = DEFAULT_BACKEND) -> None:
+    def __init__(self, name: str = "OpenBG",
+                 backend: Union[str, GraphBackend] = DEFAULT_BACKEND) -> None:
         self.name = name
         self.store = TripleStore(backend=backend)
         self.classes: Set[str] = set()

@@ -10,7 +10,13 @@ from ``numpy.memmap`` views of them:
 * ``header.json`` — versioned header (magic, format version, dtype,
   element counts per file); written **last** so an interrupted save
   never leaves a directory that looks openable.
-* ``entities.json`` / ``relations.json`` — interner symbols in id order.
+* ``entities.offsets.i64`` + ``entities.blob.utf8`` (and the
+  ``relations.*`` pair) — interner symbols in id order as an
+  mmap-friendly binary layout: ``offsets`` holds ``n + 1`` int64 byte
+  offsets into ``blob``, the concatenation of all UTF-8 encoded
+  symbols.  Unlike the JSON tables of format version 1 this loads
+  without parsing (one ``fromfile`` + byte slicing) and the blob can be
+  paged in lazily by the OS.
 * ``triples.i64`` — the (n, 3) column block, row-major.
 * ``perm_spo.i64`` / ``perm_pos.i64`` / ``perm_osp.i64`` — sort
   permutations.
@@ -49,11 +55,21 @@ from repro.kg.triple import Triple
 MAGIC = "repro-kg-columnar"
 
 #: Bump when the file layout changes; :func:`load_header` rejects mismatches.
-FORMAT_VERSION = 1
+#: Version 2 replaced the JSON interner tables with the binary
+#: offsets + blob layout and added the ``interners`` header field.
+FORMAT_VERSION = 2
 
 HEADER_FILE = "header.json"
-ENTITIES_FILE = "entities.json"
-RELATIONS_FILE = "relations.json"
+ENTITY_OFFSETS_FILE = "entities.offsets.i64"
+ENTITY_BLOB_FILE = "entities.blob.utf8"
+RELATION_OFFSETS_FILE = "relations.offsets.i64"
+RELATION_BLOB_FILE = "relations.blob.utf8"
+
+#: ``interners`` header values: tables live next to the arrays, or are
+#: provided by the enclosing store (the sharded layout keeps one global
+#: pair instead of duplicating them into every shard directory).
+INTERNERS_INLINE = "inline"
+INTERNERS_EXTERNAL = "external"
 
 #: Array files: name -> (element-count key derivation, shape builder).
 _INT64 = np.dtype(np.int64)
@@ -73,17 +89,75 @@ def _array_specs(num_triples: int, num_entities: int,
     }
 
 
-def write_backend_dir(backend: ColumnarBackend, directory: str | Path) -> Path:
+def write_interner_files(interner: Interner, directory: Path,
+                         offsets_name: str, blob_name: str) -> int:
+    """Write one interner as the binary offsets + blob pair.
+
+    Returns the blob's byte length (recorded in the header so the files
+    are size-validated at open time).  A zero-symbol interner writes a
+    one-element offsets file and an **empty** blob file — readers must
+    never ``np.memmap`` the blob (zero-byte mappings are rejected);
+    :func:`read_interner_files` uses ``read_bytes`` instead.
+    """
+    encoded = [symbol.encode("utf-8") for symbol in interner.symbols()]
+    offsets = np.zeros(len(encoded) + 1, dtype=np.int64)
+    if encoded:
+        np.cumsum([len(piece) for piece in encoded], out=offsets[1:])
+    blob = b"".join(encoded)
+    offsets.tofile(directory / offsets_name)
+    (directory / blob_name).write_bytes(blob)
+    return len(blob)
+
+
+def read_interner_files(directory: Path, offsets_name: str, blob_name: str,
+                        expected_symbols: int) -> Interner:
+    """Load one interner from its binary offsets + blob pair."""
+    offsets_path = directory / offsets_name
+    offsets = np.fromfile(offsets_path, dtype=np.int64)
+    if len(offsets) != expected_symbols + 1 or (len(offsets) and offsets[0] != 0) \
+            or np.any(np.diff(offsets) < 0):
+        raise StorageError(f"{offsets_path}: corrupt interner offsets")
+    blob_path = directory / blob_name
+    blob = blob_path.read_bytes()
+    if int(offsets[-1]) != len(blob):
+        raise StorageError(
+            f"{blob_path}: expected {int(offsets[-1])} bytes, found {len(blob)} "
+            f"— truncated or corrupt")
+    bounds = offsets.tolist()
+    try:
+        symbols = [blob[bounds[index]:bounds[index + 1]].decode("utf-8")
+                   for index in range(expected_symbols)]
+    except UnicodeDecodeError as exc:
+        raise StorageError(f"{blob_path}: corrupt interner blob: {exc}") from exc
+    interner = Interner(symbols)
+    if len(interner) != expected_symbols:
+        raise StorageError(f"{blob_path}: interner table contains duplicate symbols")
+    return interner
+
+
+def write_backend_dir(backend: ColumnarBackend, directory: str | Path, *,
+                      interners: str = INTERNERS_INLINE) -> Path:
     """Persist a columnar-family backend as a memory-mappable directory.
 
     Consolidates any pending overlay first, then writes the interner
-    tables, the column block, the sort permutations and the CSR offsets.
-    The header is written last so a crash mid-save leaves no directory
-    that :func:`load_header` would accept.
+    tables (unless ``interners=INTERNERS_EXTERNAL`` — the sharded layout
+    stores one global pair outside the shard directories), the column
+    block, the sort permutations and the CSR offsets.  The header is
+    written last so a crash mid-save leaves no directory that
+    :func:`load_header` would accept.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     backend._ensure_index()
+    if len(backend._head_offsets) != len(backend.entity_interner) + 1 \
+            or len(backend._rel_offsets) != len(backend.relation_interner) + 1:
+        # The interner grew without leaving an overlay behind (symbols
+        # interned then discarded, or a *shared* interner grown by a
+        # sibling shard): the CSR offset arrays are sized for the old
+        # symbol counts.  Queries tolerate that via bounds checks, but
+        # the on-disk header sizes files by the interner — rebuild so
+        # arrays and header agree.
+        backend._rebuild()
     if isinstance(backend, MmapBackend):
         backend._detach_from(directory)
     # Invalidate any existing header BEFORE touching array files: a crash
@@ -93,12 +167,13 @@ def write_backend_dir(backend: ColumnarBackend, directory: str | Path) -> Path:
     num_triples = len(backend._cols)
     num_entities = len(backend.entity_interner)
     num_relations = len(backend.relation_interner)
-    (directory / ENTITIES_FILE).write_text(
-        json.dumps(backend.entity_interner.symbols(), ensure_ascii=False),
-        encoding="utf-8")
-    (directory / RELATIONS_FILE).write_text(
-        json.dumps(backend.relation_interner.symbols(), ensure_ascii=False),
-        encoding="utf-8")
+    blob_bytes = {}
+    if interners == INTERNERS_INLINE:
+        blob_bytes["entity_blob_bytes"] = write_interner_files(
+            backend.entity_interner, directory, ENTITY_OFFSETS_FILE, ENTITY_BLOB_FILE)
+        blob_bytes["relation_blob_bytes"] = write_interner_files(
+            backend.relation_interner, directory,
+            RELATION_OFFSETS_FILE, RELATION_BLOB_FILE)
     arrays = {
         "triples.i64": backend._cols,
         "perm_spo.i64": backend._perm_spo,
@@ -109,6 +184,8 @@ def write_backend_dir(backend: ColumnarBackend, directory: str | Path) -> Path:
         "tail_offsets.i64": backend._tail_offsets,
     }
     for name, array in arrays.items():
+        # Empty arrays (a zero-triple store) write zero-byte files; the
+        # open side special-cases them instead of memory-mapping.
         np.ascontiguousarray(array, dtype=np.int64).tofile(directory / name)
     header = {
         "magic": MAGIC,
@@ -117,6 +194,8 @@ def write_backend_dir(backend: ColumnarBackend, directory: str | Path) -> Path:
         "num_triples": num_triples,
         "num_entities": num_entities,
         "num_relations": num_relations,
+        "interners": interners,
+        **blob_bytes,
     }
     # Atomic header write (temp + rename): the directory only becomes
     # openable again once every data file is fully on disk.
@@ -157,35 +236,46 @@ def load_header(directory: str | Path) -> dict:
     for key in ("num_triples", "num_entities", "num_relations"):
         if not isinstance(header.get(key), int) or header[key] < 0:
             raise StorageError(f"{directory}: header field {key!r} is invalid")
-    specs = _array_specs(header["num_triples"], header["num_entities"],
-                         header["num_relations"])
-    for name, (count, _shape) in specs.items():
+    interners = header.get("interners", INTERNERS_INLINE)
+    if interners not in (INTERNERS_INLINE, INTERNERS_EXTERNAL):
+        raise StorageError(f"{directory}: header field 'interners' is invalid")
+    sizes = {name: count * _INT64.itemsize
+             for name, (count, _shape)
+             in _array_specs(header["num_triples"], header["num_entities"],
+                             header["num_relations"]).items()}
+    if interners == INTERNERS_INLINE:
+        for key in ("entity_blob_bytes", "relation_blob_bytes"):
+            if not isinstance(header.get(key), int) or header[key] < 0:
+                raise StorageError(f"{directory}: header field {key!r} is invalid")
+        sizes[ENTITY_OFFSETS_FILE] = (header["num_entities"] + 1) * _INT64.itemsize
+        sizes[RELATION_OFFSETS_FILE] = (header["num_relations"] + 1) * _INT64.itemsize
+        sizes[ENTITY_BLOB_FILE] = header["entity_blob_bytes"]
+        sizes[RELATION_BLOB_FILE] = header["relation_blob_bytes"]
+    for name, expected in sizes.items():
         path = directory / name
         if not path.is_file():
             raise StorageError(f"{directory}: missing array file {name}")
-        expected = count * _INT64.itemsize
         actual = path.stat().st_size
         if actual != expected:
             raise StorageError(
-                f"{path}: expected {expected} bytes ({count} int64 values), "
+                f"{path}: expected {expected} bytes, "
                 f"found {actual} — truncated or corrupt")
-    for name in (ENTITIES_FILE, RELATIONS_FILE):
-        if not (directory / name).is_file():
-            raise StorageError(f"{directory}: missing interner file {name}")
     return header
 
 
-def _load_symbols(directory: Path, name: str, expected: int) -> list:
-    path = directory / name
+def peek_store_magic(directory: str | Path) -> "str | None":
+    """The ``magic`` string of a store directory's header, if readable.
+
+    Returns ``None`` when there is no parseable header at all — callers
+    fall through to a format-specific ``open`` whose error messages are
+    more precise than anything this sniffer could raise.
+    """
+    header_path = Path(directory) / HEADER_FILE
     try:
-        symbols = json.loads(path.read_text(encoding="utf-8"))
-    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-        raise StorageError(f"{path}: unreadable interner table: {exc}") from exc
-    if not isinstance(symbols, list) or len(symbols) != expected:
-        raise StorageError(
-            f"{path}: expected {expected} symbols, "
-            f"found {len(symbols) if isinstance(symbols, list) else type(symbols).__name__}")
-    return symbols
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        return None
+    return header.get("magic") if isinstance(header, dict) else None
 
 
 class MmapBackend(ColumnarBackend):
@@ -213,24 +303,42 @@ class MmapBackend(ColumnarBackend):
     name = "mmap"
 
     def __init__(self, directory: Optional[str | Path] = None, *,
-                 delta_threshold: int = 1024) -> None:
+                 delta_threshold: int = 1024,
+                 interners: Optional[Tuple[Interner, Interner]] = None) -> None:
         super().__init__(delta_threshold=delta_threshold)
         self._directory: Optional[Path] = None
         self._header: Optional[dict] = None
         # The parent's _rows dict is intentionally unused: membership
         # goes through _find_base_row + the overlay.
         self._dirty = False
+        if interners is not None:
+            self.entity_interner, self.relation_interner = interners
         if directory is not None:
             self._directory = Path(directory)
             self._header = load_header(self._directory)
-            self.entity_interner = Interner(_load_symbols(
-                self._directory, ENTITIES_FILE, self._header["num_entities"]))
-            self.relation_interner = Interner(_load_symbols(
-                self._directory, RELATIONS_FILE, self._header["num_relations"]))
-            if len(self.entity_interner) != self._header["num_entities"] \
-                    or len(self.relation_interner) != self._header["num_relations"]:
+            if self._header.get("interners") == INTERNERS_EXTERNAL:
+                if interners is None:
+                    raise StorageError(
+                        f"{self._directory}: store was written with external "
+                        f"interner tables (a shard of a sharded store) — open "
+                        f"the enclosing sharded directory instead")
+                if len(self.entity_interner) != self._header["num_entities"] \
+                        or len(self.relation_interner) != self._header["num_relations"]:
+                    raise StorageError(
+                        f"{self._directory}: shard header disagrees with the "
+                        f"shared interner tables — corrupt or mixed-up shard")
+            elif interners is not None:
                 raise StorageError(
-                    f"{self._directory}: interner tables contain duplicate symbols")
+                    f"{self._directory}: store has inline interner tables; "
+                    f"opening it with externally supplied interners would "
+                    f"desynchronize symbol ids")
+            else:
+                self.entity_interner = read_interner_files(
+                    self._directory, ENTITY_OFFSETS_FILE, ENTITY_BLOB_FILE,
+                    self._header["num_entities"])
+                self.relation_interner = read_interner_files(
+                    self._directory, RELATION_OFFSETS_FILE, RELATION_BLOB_FILE,
+                    self._header["num_relations"])
 
     @classmethod
     def open(cls, directory: str | Path, *, delta_threshold: int = 1024) -> "MmapBackend":
@@ -390,11 +498,47 @@ class MmapBackend(ColumnarBackend):
                              entity[tail_id])
 
     # ------------------------------------------------------------------ #
+    # bulk loading
+    # ------------------------------------------------------------------ #
+    def bulk_load_ids(self, rows: np.ndarray) -> int:
+        """Merge a (k, 3) int64 block of already-interned id triples.
+
+        One consolidation replaces k individual ``add`` calls: the live
+        base rows, any overlay adds and the new block are concatenated,
+        sorted and deduplicated with pure numpy (all of which release the
+        GIL — this is the per-shard unit of work the sharded backend fans
+        out over a thread pool), then installed as the new base.  Returns
+        the number of rows that were actually new.  Ids must come from
+        this backend's interners; callers (``ShardedBackend.add_many``)
+        intern before partitioning.
+        """
+        rows = np.ascontiguousarray(rows, dtype=np.int64).reshape(-1, 3)
+        if not len(rows):
+            return 0
+        before = len(self)
+        self._ensure_attached()
+        existing = self._rebuild_source()
+        combined = np.concatenate((existing, rows)) if len(existing) else rows
+        self._install_cols(_unique_rows(combined))
+        return len(self) - before
+
+    # ------------------------------------------------------------------ #
     # persistence
     # ------------------------------------------------------------------ #
     def save(self, directory: str | Path) -> Path:
         """Consolidate and persist to ``directory`` (safe over its own files)."""
         return write_backend_dir(self, directory)
+
+
+def _unique_rows(rows: np.ndarray) -> np.ndarray:
+    """Deduplicate a (k, 3) block, returning rows sorted by (h, r, t)."""
+    if len(rows) <= 1:
+        return rows
+    rows = rows[np.lexsort((rows[:, 2], rows[:, 1], rows[:, 0]))]
+    keep = np.empty(len(rows), dtype=bool)
+    keep[0] = True
+    np.any(rows[1:] != rows[:-1], axis=1, out=keep[1:])
+    return rows[keep]
 
 
 BACKENDS[MmapBackend.name] = MmapBackend

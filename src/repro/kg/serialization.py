@@ -21,25 +21,72 @@ import json
 from pathlib import Path
 from typing import Dict, Iterable, List
 
-from repro.errors import SerializationError
+from repro.errors import SerializationError, StorageError
 from repro.kg.namespaces import NAMESPACES
 from repro.kg.triple import Triple
 
+#: TSV field escaping: symbols may legally contain the characters TSV
+#: uses as structure (tabs, newlines), so they are backslash-escaped on
+#: write and restored on read.  Without this, a tab inside a symbol
+#: silently mis-splits the row and a newline forges extra rows.
+_TSV_ESCAPE_TABLE = str.maketrans({
+    "\\": "\\\\", "\t": "\\t", "\n": "\\n", "\r": "\\r",
+})
+_TSV_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
+
+
+def _escape_tsv_field(field: str) -> str:
+    return field.translate(_TSV_ESCAPE_TABLE)
+
+
+def _unescape_tsv_field(field: str, where: str) -> str:
+    if "\\" not in field:
+        return field
+    out: List[str] = []
+    index, length = 0, len(field)
+    while index < length:
+        char = field[index]
+        if char != "\\":
+            out.append(char)
+            index += 1
+            continue
+        if index + 1 >= length:
+            raise StorageError(f"{where}: dangling backslash at end of field")
+        escape = field[index + 1]
+        replacement = _TSV_UNESCAPES.get(escape)
+        if replacement is None:
+            raise StorageError(f"{where}: invalid escape sequence '\\{escape}'")
+        out.append(replacement)
+        index += 2
+    return "".join(out)
+
 
 def write_tsv(triples: Iterable[Triple], path: str | Path) -> int:
-    """Write triples as TSV; returns the number of lines written."""
+    """Write triples as TSV; returns the number of lines written.
+
+    Tabs, newlines, carriage returns and backslashes inside symbols are
+    backslash-escaped so every triple stays exactly one three-field row.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     count = 0
     with path.open("w", encoding="utf-8") as handle:
         for triple in triples:
-            handle.write(f"{triple.head}\t{triple.relation}\t{triple.tail}\n")
+            handle.write(f"{_escape_tsv_field(triple.head)}\t"
+                         f"{_escape_tsv_field(triple.relation)}\t"
+                         f"{_escape_tsv_field(triple.tail)}\n")
             count += 1
     return count
 
 
 def read_tsv(path: str | Path) -> List[Triple]:
-    """Read triples from a TSV file written by :func:`write_tsv`."""
+    """Read triples from a TSV file written by :func:`write_tsv`.
+
+    Raises :class:`~repro.errors.StorageError` (a
+    :class:`~repro.errors.SerializationError`) on malformed rows —
+    wrong field counts or invalid escape sequences — instead of
+    guessing at a split.
+    """
     path = Path(path)
     triples: List[Triple] = []
     with path.open("r", encoding="utf-8") as handle:
@@ -49,10 +96,12 @@ def read_tsv(path: str | Path) -> List[Triple]:
                 continue
             parts = line.split("\t")
             if len(parts) != 3:
-                raise SerializationError(
+                raise StorageError(
                     f"{path}:{line_number}: expected 3 tab-separated fields, got {len(parts)}"
                 )
-            triples.append(Triple(*parts))
+            where = f"{path}:{line_number}"
+            triples.append(Triple(*(_unescape_tsv_field(part, where)
+                                    for part in parts)))
     return triples
 
 
@@ -112,8 +161,10 @@ def write_store_dir(triples: "Iterable[Triple] | TripleStore",
 
 
 def read_store_dir(directory: str | Path) -> "TripleStore":
-    """Open a store directory as an mmap-backed :class:`TripleStore`.
+    """Open a store directory as a disk-backed :class:`TripleStore`.
 
+    Dispatches on the header magic: single-store directories reopen on
+    the mmap backend, sharded directories on the sharded backend.
     Raises :class:`~repro.errors.StorageError` when the directory is
     missing, truncated, corrupt, or written by an incompatible format
     version.

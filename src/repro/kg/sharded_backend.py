@@ -1,0 +1,533 @@
+"""Hash-partitioned sharded columnar graph storage.
+
+The ROADMAP's multi-core milestone: a :class:`ShardedBackend` implements
+the :class:`~repro.kg.backend.GraphBackend` protocol by partitioning
+triples on the **head-entity id** across ``n_shards`` inner backends of
+the columnar family.  All shards share one global
+:class:`~repro.kg.backend.Interner` pair, so symbol ids are identical no
+matter which shard a triple landed in and query results are invariant to
+the shard count.
+
+Partitioning rule
+-----------------
+A triple ``(h, r, t)`` lives in shard
+``((id(h) * 2654435761) & 0xFFFFFFFF) % n_shards`` (Knuth's
+multiplicative hash over the interned head id, so consecutive ids do not
+stripe).  Because the rule only looks at the head:
+
+* head-bound queries (``match(h, ...)``, ``tails``, ``contains``,
+  ``discard``, fully-bound ``count``) route to **exactly one** shard;
+* unbound / tail-bound / relation-bound queries fan out to every shard
+  and merge the per-shard CSR slices — each shard's contribution is
+  internally consistent, and the documented sort guarantees
+  (``tails``/``heads`` sorted, ``match(sort=True)`` fully sorted) are
+  re-established on the merged result;
+* ``degree`` sums per-shard degrees: a node's out-edges all live in its
+  own shard, while its in-edges may live anywhere, and every triple
+  lives in exactly one shard, so the sum counts each edge once.
+
+Parallelism
+-----------
+Bulk operations — :meth:`ShardedBackend.add_many`, :meth:`save`,
+:meth:`open` and the batched query surface — fan per-shard work out over
+a ``concurrent.futures`` thread pool.  The per-shard units are dominated
+by numpy sorting/searching and file I/O, which release the GIL, so
+threads scale with cores without any pickling.  Single-pattern queries
+stay serial: thread dispatch would cost more than the array slice it
+hides.
+
+Persistence layout
+------------------
+``save`` writes a sharded store directory::
+
+    store/
+      header.json            (magic "repro-kg-sharded", version, n_shards)
+      entities.offsets.i64   + entities.blob.utf8     (global interner)
+      relations.offsets.i64  + relations.blob.utf8
+      shard-0/ ... shard-K/  (standard mmap store dirs, interners external)
+
+Each ``shard-K/`` is a normal :mod:`repro.kg.mmap_backend` directory
+whose header declares ``interners: external`` — the shard arrays are
+validated per shard, while the symbol tables live once at the top level
+in the binary offsets + blob layout.  The global header is written last
+(temp + rename) so an interrupted save never leaves an openable but
+inconsistent directory.  ``TripleStore.open`` sniffs the header magic
+and dispatches here automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.kg.backend import (
+    BACKENDS,
+    GraphBackend,
+    Interner,
+    Pattern,
+    _BatchedQueriesMixin,
+)
+from repro.kg.mmap_backend import (
+    ENTITY_BLOB_FILE,
+    ENTITY_OFFSETS_FILE,
+    HEADER_FILE,
+    INTERNERS_EXTERNAL,
+    MAGIC as COLUMNAR_MAGIC,
+    MmapBackend,
+    RELATION_BLOB_FILE,
+    RELATION_OFFSETS_FILE,
+    read_interner_files,
+    write_backend_dir,
+    write_interner_files,
+)
+from repro.kg.triple import Triple
+
+#: Identifies the sharded directory layout.
+SHARDED_MAGIC = "repro-kg-sharded"
+
+#: Bump when the sharded layout changes; :func:`load_sharded_header`
+#: rejects mismatches.
+SHARDED_FORMAT_VERSION = 1
+
+#: Shard count used when callers just say ``--backend sharded``.
+DEFAULT_SHARDS = 4
+
+#: Knuth's multiplicative hash constant (mod 2**32).
+_HASH_MULTIPLIER = 2654435761
+_HASH_MASK = (1 << 32) - 1
+
+_T = TypeVar("_T")
+
+
+def shard_of_ids(head_ids: np.ndarray, n_shards: int) -> np.ndarray:
+    """Vectorized shard assignment for an int64 array of head ids."""
+    mixed = (head_ids.astype(np.uint64) * np.uint64(_HASH_MULTIPLIER)) \
+        & np.uint64(_HASH_MASK)
+    return (mixed % np.uint64(n_shards)).astype(np.int64)
+
+
+def load_sharded_header(directory: str | Path) -> dict:
+    """Read and validate a sharded store directory's global header."""
+    directory = Path(directory)
+    header_path = directory / HEADER_FILE
+    if not header_path.is_file():
+        raise StorageError(
+            f"{directory}: missing {HEADER_FILE} — not a graph store directory")
+    try:
+        header = json.loads(header_path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise StorageError(f"{header_path}: unreadable header: {exc}") from exc
+    if not isinstance(header, dict) or header.get("magic") != SHARDED_MAGIC:
+        if isinstance(header, dict) and header.get("magic") == COLUMNAR_MAGIC:
+            raise StorageError(
+                f"{directory}: single-store directory — open it with "
+                f"MmapBackend.open, not ShardedBackend.open")
+        raise StorageError(f"{header_path}: bad magic — not a sharded store header")
+    version = header.get("version")
+    if version != SHARDED_FORMAT_VERSION:
+        raise StorageError(
+            f"{directory}: sharded format version mismatch — store has "
+            f"{version!r}, this build reads {SHARDED_FORMAT_VERSION}")
+    for key in ("n_shards", "num_entities", "num_relations",
+                "entity_blob_bytes", "relation_blob_bytes"):
+        if not isinstance(header.get(key), int) or header[key] < 0:
+            raise StorageError(f"{directory}: header field {key!r} is invalid")
+    if header["n_shards"] < 1:
+        raise StorageError(f"{directory}: header field 'n_shards' is invalid")
+    return header
+
+
+class ShardedBackend(_BatchedQueriesMixin):
+    """Hash-partitioned composite over ``n_shards`` columnar-family shards.
+
+    The inner shards are in-memory :class:`MmapBackend` instances — the
+    dict-free variant of the columnar design whose membership tests are
+    binary searches, so the per-shard bulk-load unit
+    (:meth:`MmapBackend.bulk_load_ids`) is pure numpy and parallelizes
+    across threads.  All shards alias the two interners owned by this
+    object; ids are global and backend-independent.
+
+    ``max_workers`` caps the thread pool (default: the machine's core
+    count); pass ``max_workers=1`` to force serial execution, or a
+    larger value to exercise the threaded paths on small machines.
+    """
+
+    name = "sharded"
+
+    def __init__(self, n_shards: int = DEFAULT_SHARDS, *,
+                 delta_threshold: int = 1024,
+                 max_workers: Optional[int] = None) -> None:
+        n_shards = int(n_shards)
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.delta_threshold = int(delta_threshold)
+        self._max_workers = max_workers
+        self.entity_interner = Interner()
+        self.relation_interner = Interner()
+        self._shards: List[MmapBackend] = [self._new_shard()
+                                           for _ in range(n_shards)]
+
+    def _new_shard(self) -> MmapBackend:
+        return MmapBackend(
+            delta_threshold=self.delta_threshold,
+            interners=(self.entity_interner, self.relation_interner))
+
+    def clone_empty(self) -> "GraphBackend":
+        return type(self)(self.n_shards, delta_threshold=self.delta_threshold,
+                          max_workers=self._max_workers)
+
+    # ------------------------------------------------------------------ #
+    # routing
+    # ------------------------------------------------------------------ #
+    def _shard_index(self, head_id: int) -> int:
+        return ((head_id * _HASH_MULTIPLIER) & _HASH_MASK) % self.n_shards
+
+    def _route(self, head: str) -> Optional[MmapBackend]:
+        """The shard owning ``head``, or ``None`` when it was never interned."""
+        head_id = self.entity_interner.lookup(head)
+        if head_id is None:
+            return None
+        return self._shards[self._shard_index(head_id)]
+
+    def _workers(self) -> int:
+        if self._max_workers is not None:
+            return max(1, int(self._max_workers))
+        return os.cpu_count() or 1
+
+    def _parallel(self, thunks: Sequence[Callable[[], _T]],
+                  parallel: bool = True) -> List[_T]:
+        """Run thunks — threaded when it can help, in submission order."""
+        if not parallel or len(thunks) <= 1 or self._workers() <= 1:
+            return [thunk() for thunk in thunks]
+        with ThreadPoolExecutor(
+                max_workers=min(self._workers(), len(thunks)),
+                thread_name_prefix="kg-shard") as pool:
+            return [future.result()
+                    for future in [pool.submit(thunk) for thunk in thunks]]
+
+    def _per_shard(self, fn: Callable[[MmapBackend], _T],
+                   parallel: bool = False) -> List[_T]:
+        return self._parallel([(lambda shard=shard: fn(shard))
+                               for shard in self._shards], parallel=parallel)
+
+    # ------------------------------------------------------------------ #
+    # mutation
+    # ------------------------------------------------------------------ #
+    def add(self, head: str, relation: str, tail: str) -> bool:
+        if not (head and relation and tail):
+            raise ValueError(
+                f"triple components must be non-empty, got ({head!r}, {relation!r}, {tail!r})")
+        head_id = self.entity_interner.intern(head)
+        return self._shards[self._shard_index(head_id)].add(head, relation, tail)
+
+    def add_many(self, triples: Iterable[Triple]) -> int:
+        """Bulk load: intern once, partition by head id, load shards in parallel.
+
+        The serial prefix (string interning — dict lookups assigning ids
+        in first-appearance order, exactly like an ``add`` loop) is
+        unavoidable Python; the per-shard merge + sort + index build is
+        numpy and runs threaded.  Returns the number of triples that
+        were actually new.
+        """
+        intern_entity = self.entity_interner.intern
+        intern_relation = self.relation_interner.intern
+
+        def id_components() -> Iterator[int]:
+            for triple in triples:
+                head, relation, tail = triple.head, triple.relation, triple.tail
+                if not (head and relation and tail):
+                    raise ValueError(
+                        f"triple components must be non-empty, got "
+                        f"({head!r}, {relation!r}, {tail!r})")
+                yield intern_entity(head)
+                yield intern_relation(relation)
+                yield intern_entity(tail)
+
+        rows = np.fromiter(id_components(), dtype=np.int64).reshape(-1, 3)
+        if not len(rows):
+            return 0
+        shard_ids = shard_of_ids(rows[:, 0], self.n_shards)
+        thunks = [
+            (lambda shard=shard, block=rows[shard_ids == index]:
+             shard.bulk_load_ids(block))
+            for index, shard in enumerate(self._shards)
+        ]
+        return sum(self._parallel(thunks))
+
+    def discard(self, head: str, relation: str, tail: str) -> bool:
+        shard = self._route(head)
+        return shard.discard(head, relation, tail) if shard is not None else False
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def contains(self, head: str, relation: str, tail: str) -> bool:
+        shard = self._route(head)
+        return shard.contains(head, relation, tail) if shard is not None else False
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def iter_triples(self) -> Iterator[Triple]:
+        for shard in self._shards:
+            yield from shard.iter_triples()
+
+    def match(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None, sort: bool = False) -> List[Triple]:
+        if head is not None:
+            shard = self._route(head)
+            return shard.match(head, relation, tail, sort=sort) \
+                if shard is not None else []
+        parts = self._per_shard(
+            lambda shard: shard.match(head, relation, tail, sort=False))
+        merged = [triple for part in parts for triple in part]
+        if sort:
+            merged.sort()
+        return merged
+
+    def iter_match(self, head: Optional[str] = None,
+                   relation: Optional[str] = None,
+                   tail: Optional[str] = None) -> Iterator[Triple]:
+        if head is not None:
+            shard = self._route(head)
+            if shard is not None:
+                yield from shard.iter_match(head, relation, tail)
+            return
+        for shard in self._shards:
+            yield from shard.iter_match(head, relation, tail)
+
+    def count(self, head: Optional[str] = None, relation: Optional[str] = None,
+              tail: Optional[str] = None) -> int:
+        if head is not None:
+            shard = self._route(head)
+            return shard.count(head, relation, tail) if shard is not None else 0
+        return sum(self._per_shard(
+            lambda shard: shard.count(head, relation, tail)))
+
+    def tails(self, head: str, relation: str) -> List[str]:
+        shard = self._route(head)
+        return shard.tails(head, relation) if shard is not None else []
+
+    def heads(self, relation: str, tail: str) -> List[str]:
+        parts = self._per_shard(lambda shard: shard.heads(relation, tail))
+        merged = [head for part in parts for head in part]
+        merged.sort()
+        return merged
+
+    def degree(self, node: str) -> int:
+        return sum(self._per_shard(lambda shard: shard.degree(node)))
+
+    def entities(self) -> List[str]:
+        collected: set = set()
+        for part in self._per_shard(lambda shard: shard.entities()):
+            collected.update(part)
+        return sorted(collected)
+
+    def relations(self) -> List[str]:
+        collected: set = set()
+        for part in self._per_shard(lambda shard: shard.relations()):
+            collected.update(part)
+        return sorted(collected)
+
+    def heads_only(self) -> List[str]:
+        collected: set = set()
+        for part in self._per_shard(lambda shard: shard.heads_only()):
+            collected.update(part)
+        return sorted(collected)
+
+    def relation_frequencies(self) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for part in self._per_shard(lambda shard: shard.relation_frequencies()):
+            for relation, count in part.items():
+                totals[relation] = totals.get(relation, 0) + count
+        return totals
+
+    # ------------------------------------------------------------------ #
+    # batched queries — route head-bound items, fan out the rest
+    # ------------------------------------------------------------------ #
+    def match_many(self, patterns: Sequence[Pattern],
+                   sort: bool = False) -> List[List[Triple]]:
+        """Head-bound patterns go only to their owner shard; unbound ones
+        fan out to every shard and merge.  Total work therefore does not
+        grow with the shard count, and the per-shard groups run threaded
+        for large batches."""
+        if self.n_shards == 1:
+            return self._shards[0].match_many(patterns, sort=sort)
+        results: List[Optional[List[Triple]]] = [None] * len(patterns)
+        routed: Dict[int, List[int]] = {}
+        broadcast: List[int] = []
+        lookup = self.entity_interner.lookup
+        for position, (head, _relation, _tail) in enumerate(patterns):
+            if head is None:
+                broadcast.append(position)
+                continue
+            head_id = lookup(head)
+            if head_id is None:
+                results[position] = []
+            else:
+                routed.setdefault(self._shard_index(head_id), []).append(position)
+        broadcast_patterns = [patterns[position] for position in broadcast]
+        # Exactly ONE thunk per shard, answering that shard's routed group
+        # and the broadcast set together: a shard must never be driven by
+        # two pool threads at once (its lazy attach/rebuild is not
+        # thread-safe within a fan-out).
+        job_shards = list(range(self.n_shards)) if broadcast \
+            else sorted(routed)
+        def make_thunk(shard_index: int) -> Callable[
+                [], Tuple[List[List[Triple]], List[List[Triple]]]]:
+            shard = self._shards[shard_index]
+            routed_group = [patterns[position]
+                            for position in routed.get(shard_index, ())]
+            def thunk() -> Tuple[List[List[Triple]], List[List[Triple]]]:
+                routed_part = shard.match_many(routed_group, sort=sort) \
+                    if routed_group else []
+                broadcast_part = shard.match_many(broadcast_patterns, sort=False) \
+                    if broadcast_patterns else []
+                return routed_part, broadcast_part
+            return thunk
+        parts = self._parallel([make_thunk(shard_index)
+                                for shard_index in job_shards],
+                               parallel=len(patterns) >= 32)
+        broadcast_parts: List[List[List[Triple]]] = []
+        for shard_index, (routed_part, broadcast_part) in zip(job_shards, parts):
+            for position, matched in zip(routed.get(shard_index, ()), routed_part):
+                results[position] = matched
+            broadcast_parts.append(broadcast_part)
+        for offset, position in enumerate(broadcast):
+            merged = [triple for part in broadcast_parts if part
+                      for triple in part[offset]]
+            if sort:
+                merged.sort()
+            results[position] = merged
+        return results
+
+    def tails_many(self, pairs: Sequence[Tuple[str, str]]) -> List[List[str]]:
+        """Every (head, relation) pair routes to the head's shard."""
+        if self.n_shards == 1:
+            return self._shards[0].tails_many(pairs)
+        results: List[List[str]] = [[] for _ in pairs]
+        routed: Dict[int, List[int]] = {}
+        lookup = self.entity_interner.lookup
+        for position, (head, _relation) in enumerate(pairs):
+            head_id = lookup(head)
+            if head_id is not None:
+                routed.setdefault(self._shard_index(head_id), []).append(position)
+        routed_groups = list(routed.items())
+        thunks = [
+            (lambda shard=self._shards[shard_index],
+             group=[pairs[position] for position in positions]:
+             shard.tails_many(group))
+            for shard_index, positions in routed_groups
+        ]
+        parts = self._parallel(thunks, parallel=len(pairs) >= 32)
+        for (shard_index, positions), part in zip(routed_groups, parts):
+            for position, tails in zip(positions, part):
+                results[position] = tails
+        return results
+
+    def degree_many(self, nodes: Sequence[str]) -> List[int]:
+        """Sum the per-shard vectorized degree-count arrays, then resolve
+        every node with one lookup — the per-node Python work happens
+        once, not once per shard."""
+        if self.n_shards == 1:
+            return self._shards[0].degree_many(nodes)
+        counts = self._parallel(
+            [(lambda shard=shard: shard._entity_degree_counts())
+             for shard in self._shards],
+            parallel=len(nodes) >= 32)
+        totals = np.zeros(len(self.entity_interner), dtype=np.int64)
+        for out_counts, in_counts in counts:
+            totals[:len(out_counts)] += out_counts
+            totals[:len(in_counts)] += in_counts
+        lookup = self.entity_interner.lookup
+        result: List[int] = []
+        for node in nodes:
+            node_id = lookup(node)
+            result.append(int(totals[node_id])
+                          if node_id is not None and node_id < len(totals) else 0)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: str | Path) -> Path:
+        """Persist as a sharded store directory; shards write in parallel."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        # Invalidate any existing global header first: a crash mid-save
+        # must never leave an openable-but-inconsistent directory.
+        (directory / HEADER_FILE).unlink(missing_ok=True)
+        entity_blob_bytes = write_interner_files(
+            self.entity_interner, directory, ENTITY_OFFSETS_FILE, ENTITY_BLOB_FILE)
+        relation_blob_bytes = write_interner_files(
+            self.relation_interner, directory,
+            RELATION_OFFSETS_FILE, RELATION_BLOB_FILE)
+        thunks = [
+            (lambda shard=shard, path=directory / f"shard-{index}":
+             write_backend_dir(shard, path, interners=INTERNERS_EXTERNAL))
+            for index, shard in enumerate(self._shards)
+        ]
+        self._parallel(thunks)
+        header = {
+            "magic": SHARDED_MAGIC,
+            "version": SHARDED_FORMAT_VERSION,
+            "n_shards": self.n_shards,
+            "num_entities": len(self.entity_interner),
+            "num_relations": len(self.relation_interner),
+            "entity_blob_bytes": entity_blob_bytes,
+            "relation_blob_bytes": relation_blob_bytes,
+        }
+        header_tmp = directory / (HEADER_FILE + ".tmp")
+        header_tmp.write_text(json.dumps(header, indent=1), encoding="utf-8")
+        header_tmp.replace(directory / HEADER_FILE)
+        return directory
+
+    @classmethod
+    def open(cls, directory: str | Path, *, delta_threshold: int = 1024,
+             max_workers: Optional[int] = None) -> "ShardedBackend":
+        """Open a sharded store directory written by :meth:`save`.
+
+        The global interner tables load eagerly (every symbol lookup
+        needs them); the per-shard column files attach lazily as
+        read-only memmaps on first query.  Shard headers are validated
+        in parallel.
+        """
+        directory = Path(directory)
+        header = load_sharded_header(directory)
+        backend = cls(header["n_shards"], delta_threshold=delta_threshold,
+                      max_workers=max_workers)
+        backend.entity_interner = read_interner_files(
+            directory, ENTITY_OFFSETS_FILE, ENTITY_BLOB_FILE,
+            header["num_entities"])
+        backend.relation_interner = read_interner_files(
+            directory, RELATION_OFFSETS_FILE, RELATION_BLOB_FILE,
+            header["num_relations"])
+        interners = (backend.entity_interner, backend.relation_interner)
+        thunks = [
+            (lambda path=directory / f"shard-{index}":
+             MmapBackend(path, delta_threshold=delta_threshold,
+                         interners=interners))
+            for index in range(header["n_shards"])
+        ]
+        backend._shards = backend._parallel(thunks)
+        return backend
+
+
+BACKENDS[ShardedBackend.name] = ShardedBackend

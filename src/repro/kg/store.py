@@ -40,8 +40,7 @@ class TripleStore:
         else:
             self.backend_name = getattr(backend, "name", type(backend).__name__)
             self._backend = backend
-        for triple in triples:
-            self.add(triple)
+        self.add_many(triples)
 
     @property
     def backend(self) -> GraphBackend:
@@ -56,10 +55,12 @@ class TripleStore:
         return self._backend.add(triple.head, triple.relation, triple.tail)
 
     def add_many(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; return the count of newly inserted ones."""
-        backend_add = self._backend.add
-        return sum(1 for triple in triples
-                   if backend_add(triple.head, triple.relation, triple.tail))
+        """Add many triples; return the count of newly inserted ones.
+
+        Delegates to the backend's bulk path — the sharded backend
+        partitions the batch and loads shards in parallel.
+        """
+        return self._backend.add_many(triples)
 
     def discard(self, triple: Triple) -> bool:
         """Remove a triple if present; return True when something was removed."""
@@ -174,15 +175,38 @@ class TripleStore:
 
     @classmethod
     def open(cls, directory: "str | Path") -> "TripleStore":
-        """Open a store directory written by :meth:`save` (mmap backend)."""
-        from repro.kg.mmap_backend import MmapBackend
+        """Open a store directory written by :meth:`save`.
 
+        Dispatches on the header magic: sharded directories reopen as a
+        :class:`~repro.kg.sharded_backend.ShardedBackend`, single-store
+        directories as an :class:`~repro.kg.mmap_backend.MmapBackend`.
+        """
+        from repro.kg.mmap_backend import MmapBackend, peek_store_magic
+        from repro.kg.sharded_backend import SHARDED_MAGIC, ShardedBackend
+
+        if peek_store_magic(directory) == SHARDED_MAGIC:
+            return cls(backend=ShardedBackend.open(directory))
         return cls(backend=MmapBackend.open(directory))
 
     def copy(self) -> "TripleStore":
-        """Return an independent copy of the store on the same backend kind."""
-        return TripleStore(self._backend.iter_triples(),
-                           backend=self._backend.clone_empty())
+        """Return an independent, fully writable copy of the store.
+
+        Copies stay on the same backend kind, with one exception: a copy
+        of an mmap-backed store materializes as an in-memory
+        :class:`~repro.kg.backend.ColumnarBackend`.  An empty
+        ``MmapBackend`` clone would route every write through the dict-
+        free overlay (binary searches per insert) and keep none of the
+        on-disk base it was cloned from — the columnar backend is the
+        correct in-memory equivalent.
+        """
+        from repro.kg.backend import ColumnarBackend
+        from repro.kg.mmap_backend import MmapBackend
+
+        clone_backend = self._backend.clone_empty()
+        if isinstance(clone_backend, MmapBackend):
+            clone_backend = ColumnarBackend(
+                delta_threshold=clone_backend.delta_threshold)
+        return TripleStore(self._backend.iter_triples(), backend=clone_backend)
 
     def triples(self) -> List[Triple]:
         """Return all triples sorted deterministically."""

@@ -47,6 +47,22 @@ def test_cli_build_persists_store_dir(tmp_path, capsys):
     assert len(reopened) > 100
 
 
+def test_cli_sharded_backend_builds_and_persists(tmp_path, capsys):
+    from repro.kg.sharded_backend import load_sharded_header
+    from repro.kg.store import TripleStore
+
+    store_dir = tmp_path / "sharded-store"
+    exit_code = main(["--products", "40", "--seed", "1", "--backend", "sharded",
+                      "--shards", "2", "--store-dir", str(store_dir), "build"])
+    assert exit_code == 0
+    output = capsys.readouterr().out
+    assert "persisted sharded-built triple store" in output
+    assert load_sharded_header(store_dir)["n_shards"] == 2
+    reopened = TripleStore.open(store_dir)
+    assert reopened.backend_name == "sharded"
+    assert len(reopened) > 100
+
+
 def test_cli_stats_prints_table(capsys):
     exit_code = main(["--products", "40", "--seed", "1", "stats"])
     assert exit_code == 0

@@ -18,6 +18,7 @@ from hypothesis import strategies as st
 
 from repro.kg.backend import ColumnarBackend, Interner, SetBackend, make_backend
 from repro.kg.mmap_backend import MmapBackend
+from repro.kg.sharded_backend import ShardedBackend
 from repro.kg.serialization import read_tsv, write_tsv
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple, triples_from_tuples
@@ -26,12 +27,16 @@ from repro.kg.triple import Triple, triples_from_tuples
 #: delta_threshold=0 forces a full rebuild per mutation burst (the old
 #: eager behaviour); tiny thresholds exercise overlay → consolidation
 #: transitions constantly; MmapBackend() runs the shared query core over
-#: an empty base plus overlay.
+#: an empty base plus overlay; the sharded factories cover degenerate
+#: (1), even (2) and many-shard (8) hash partitionings.
 BACKEND_FACTORIES = {
     "columnar": ColumnarBackend,
     "columnar-eager": lambda: ColumnarBackend(delta_threshold=0),
     "columnar-tiny-delta": lambda: ColumnarBackend(delta_threshold=2),
     "mmap": MmapBackend,
+    "sharded-1": lambda: ShardedBackend(1),
+    "sharded-2": lambda: ShardedBackend(2),
+    "sharded-8": lambda: ShardedBackend(8),
 }
 
 # --------------------------------------------------------------------------- #
@@ -73,6 +78,8 @@ def test_make_backend_registry():
     assert isinstance(make_backend("set"), SetBackend)
     assert isinstance(make_backend("columnar"), ColumnarBackend)
     assert isinstance(make_backend("mmap"), MmapBackend)
+    assert isinstance(make_backend("sharded"), ShardedBackend)
+    assert make_backend("sharded", n_shards=8).n_shards == 8
     with pytest.raises(ValueError):
         make_backend("no-such-backend")
 
@@ -238,7 +245,7 @@ def test_columnar_id_surface_consistent():
 # --------------------------------------------------------------------------- #
 # store facade over both backends
 # --------------------------------------------------------------------------- #
-@pytest.mark.parametrize("backend_name", ["set", "columnar", "mmap"])
+@pytest.mark.parametrize("backend_name", ["set", "columnar", "mmap", "sharded"])
 def test_store_facade_roundtrip(backend_name):
     triples = triples_from_tuples([
         ("p1", "brandIs", "apple"), ("p2", "brandIs", "apple"),
@@ -250,7 +257,11 @@ def test_store_facade_roundtrip(backend_name):
     assert store.count(relation="brandIs") == 2
     assert store.heads("brandIs", "apple") == ["p1", "p2"]
     clone = store.copy()
-    assert clone.backend_name == backend_name
+    # Copies of mmap-backed stores materialize as in-memory columnar
+    # backends (an empty MmapBackend clone would be a degraded overlay-
+    # only store); every other backend kind is preserved.
+    expected_clone = "columnar" if backend_name == "mmap" else backend_name
+    assert clone.backend_name == expected_clone
     clone.add(Triple("p3", "brandIs", "tesla"))
     assert len(clone) == len(store) + 1
     assert store.triples() == sorted(triples)

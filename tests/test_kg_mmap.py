@@ -144,6 +144,46 @@ def test_serialization_store_dir_helpers(tmp_path):
     assert read_store_dir(tmp_path / "from-store").triples() == sorted(triples)
 
 
+@pytest.mark.parametrize("backend_name", ["set", "columnar", "mmap"])
+def test_zero_triple_store_save_reopen(tmp_path, backend_name):
+    """Regression: an empty store must survive save → reopen → mutate.
+
+    Zero triples mean zero-byte column and blob files, which
+    ``np.memmap`` rejects — the open path must special-case them.
+    """
+    directory = tmp_path / backend_name
+    TripleStore(backend=backend_name).save(directory)
+    reopened = TripleStore.open(directory)
+    assert len(reopened) == 0
+    assert reopened.match() == []
+    assert reopened.entities() == []
+    assert reopened.count(relation="anything") == 0
+    assert reopened.add(Triple("a", "r", "b"))
+    assert reopened.match(sort=True) == [Triple("a", "r", "b")]
+    # ... and a re-save of the formerly-empty store round-trips too.
+    reopened.save(directory)
+    assert TripleStore.open(directory).triples() == [Triple("a", "r", "b")]
+
+
+def test_store_copy_of_mmap_store_materializes_in_memory(tmp_path):
+    """Regression: copies of mmap-opened stores must be independent and
+    fully writable — they materialize as in-memory columnar backends."""
+    from repro.kg.backend import ColumnarBackend as Columnar
+
+    directory = tmp_path / "store"
+    TripleStore(triples_from_tuples([("a", "r", "b"), ("c", "r", "d")])).save(directory)
+    opened = TripleStore.open(directory)
+    clone = opened.copy()
+    assert type(clone.backend) is Columnar
+    assert clone.backend_name == "columnar"
+    assert clone.triples() == opened.triples()
+    assert getattr(clone.backend, "directory", None) is None
+    for index in range(50):  # writes never touch the source store or its files
+        assert clone.add(Triple(f"new{index}", "r", "x"))
+    assert len(opened) == 2
+    assert MmapBackend.open(directory).count() == 2
+
+
 def test_mmap_empty_backend_and_clone(tmp_path):
     backend = MmapBackend()
     assert len(backend) == 0
@@ -210,10 +250,43 @@ def test_open_missing_array_file_raises(saved_store):
         MmapBackend.open(saved_store)
 
 
-def test_open_corrupt_interner_table_raises(saved_store):
-    (saved_store / "entities.json").write_text("[\"only-one\"]")
-    with pytest.raises(StorageError, match="expected .* symbols"):
+def test_open_truncated_interner_blob_raises(saved_store):
+    path = saved_store / "entities.blob.utf8"
+    path.write_bytes(path.read_bytes()[:-2])
+    with pytest.raises(StorageError, match="truncated or corrupt"):
         MmapBackend.open(saved_store)
+
+
+def test_open_corrupt_interner_offsets_raises(saved_store):
+    import numpy as np
+
+    path = saved_store / "entities.offsets.i64"
+    offsets = np.fromfile(path, dtype=np.int64)
+    offsets[1:3] = offsets[2:0:-1]  # make them non-monotonic, same byte size
+    offsets.tofile(path)
+    with pytest.raises(StorageError, match="corrupt interner offsets"):
+        MmapBackend.open(saved_store)
+
+
+def test_open_undecodable_interner_blob_raises(saved_store):
+    path = saved_store / "entities.blob.utf8"
+    blob = bytearray(path.read_bytes())
+    blob[0] = 0xFF  # not valid UTF-8 anywhere
+    path.write_bytes(bytes(blob))
+    with pytest.raises(StorageError, match="corrupt interner blob"):
+        MmapBackend.open(saved_store)
+
+
+def test_interner_tables_roundtrip_unicode_symbols(tmp_path):
+    """The offsets+blob layout preserves multi-byte and exotic symbols."""
+    columnar = ColumnarBackend()
+    symbols = ["商品:咖啡机", "ürün", "🛒cart", "a\tb", "line\nbreak"]
+    for index, symbol in enumerate(symbols):
+        columnar.add(symbol, f"r{index}", "常规")
+    write_backend_dir(columnar, tmp_path / "store")
+    reopened = MmapBackend.open(tmp_path / "store")
+    assert sorted(reopened.iter_triples()) == sorted(columnar.iter_triples())
+    assert reopened.entity_interner.symbols() == columnar.entity_interner.symbols()
 
 
 def test_interrupted_resave_leaves_no_valid_header(saved_store, monkeypatch):

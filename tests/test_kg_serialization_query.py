@@ -63,6 +63,40 @@ def test_tsv_malformed_line_raises(tmp_path):
         read_tsv(path)
 
 
+def test_tsv_escapes_tabs_newlines_and_backslashes(tmp_path):
+    """Regression: symbols containing TSV structure characters round-trip.
+
+    Unescaped, a tab inside a symbol mis-splits its row and a newline
+    forges extra rows — silent corruption, not even an error.
+    """
+    path = tmp_path / "escaped.tsv"
+    triples = [
+        Triple("tab\there", "rel", "plain"),
+        Triple("multi\nline", "rel", "end\r"),
+        Triple("back\\slash", "re\tl", "both\\\nways"),
+    ]
+    assert write_tsv(triples, path) == 3
+    # Every triple stays exactly one physical line.
+    assert path.read_text(encoding="utf-8").count("\n") == 3
+    assert read_tsv(path) == triples
+
+
+def test_tsv_invalid_escape_and_dangling_backslash_raise(tmp_path):
+    from repro.errors import StorageError
+
+    path = tmp_path / "bad-escape.tsv"
+    path.write_text("a\\zb\tr\tc\n")
+    with pytest.raises(StorageError, match="invalid escape"):
+        read_tsv(path)
+    path.write_text("ab\tr\tc\\\n")
+    with pytest.raises(StorageError, match="dangling backslash"):
+        read_tsv(path)
+    # Malformed rows raise the storage subtype of SerializationError.
+    path.write_text("one\ttwo\tthree\tfour\n")
+    with pytest.raises(StorageError, match="expected 3 tab-separated fields"):
+        read_tsv(path)
+
+
 def test_ntriples_roundtrip(tmp_path):
     path = tmp_path / "triples.nt"
     write_ntriples(SAMPLE, path)
