@@ -43,13 +43,47 @@ class ProductReleaseSimulator:
         self._category_defaults = self._build_category_defaults()
 
     def _build_category_defaults(self) -> Dict[str, Dict[str, str]]:
-        """Most frequent attribute value per (category, attribute) pair."""
+        """Most frequent attribute value per (category, attribute) pair.
+
+        With a populated graph, the counts come out of the KG itself:
+        one two-pattern conjunctive query per data property —
+        ``(?product, rdf:type, ?category) ∧ (?product, attribute,
+        ?value)`` — executed as a batch through the ID-space query
+        engine (a real join: the type pattern and the attribute pattern
+        meet on ``?product``).  Each resulting row is one product's
+        declared value, so tallying rows per (category, value) matches
+        the catalog-side count exactly.  Falls back to the catalog when
+        no graph was supplied.
+        """
         counts: Dict[str, Dict[str, Dict[str, int]]] = {}
-        for product in self.catalog.products:
-            per_category = counts.setdefault(product.category, {})
-            for attribute, value in product.attributes.items():
-                per_attribute = per_category.setdefault(attribute, {})
-                per_attribute[value] = per_attribute.get(value, 0) + 1
+        if self.graph is not None and len(self.graph):
+            from repro.kg.namespaces import MetaProperty
+            from repro.kg.query import PatternQuery
+
+            # Meta data-properties (rdfs:label, rdfs:comment, ...) are
+            # bookkeeping, not release-sheet fields.
+            attributes = sorted(self.graph.data_properties
+                                - self.graph.meta_properties)
+            # ?product stays in the projection so two products agreeing on
+            # (category, value) still count as two rows (select dedupes).
+            queries = [PatternQuery.from_patterns(
+                [("?product", MetaProperty.TYPE.value, "?category"),
+                 ("?product", attribute, "?value")],
+                select=["?product", "?category", "?value"])
+                for attribute in attributes]
+            batched = self.graph.query_engine().execute_many(queries)
+            for attribute, rows in zip(attributes, batched):
+                for row in rows:
+                    per_category = counts.setdefault(row["?category"], {})
+                    per_attribute = per_category.setdefault(attribute, {})
+                    value = row["?value"]
+                    per_attribute[value] = per_attribute.get(value, 0) + 1
+        else:
+            for product in self.catalog.products:
+                per_category = counts.setdefault(product.category, {})
+                for attribute, value in product.attributes.items():
+                    per_attribute = per_category.setdefault(attribute, {})
+                    per_attribute[value] = per_attribute.get(value, 0) + 1
         defaults: Dict[str, Dict[str, str]] = {}
         for category, attributes in counts.items():
             defaults[category] = {

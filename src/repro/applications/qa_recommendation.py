@@ -44,25 +44,19 @@ class QaRecommendationSimulator:
         self._concept_to_products = self._index_products()
 
     def _index_products(self) -> Dict[str, List[str]]:
-        """Concept → linked products, read from the KG's concept-link triples.
+        """Concept → linked products, queried from the KG's concept links.
 
-        A single pass over the store's triples picks out the
-        product→concept object-property edges the construction pipeline
-        added (``relatedScene`` / ``forCrowd`` / ``aboutTheme`` /
+        Served by :meth:`KnowledgeGraph.concept_links` — one batched
+        pattern query per object property through the ID-space query
+        executor (``relatedScene`` / ``forCrowd`` / ``aboutTheme`` /
         ``appliedTime`` / ``inMarket_*``); taxonomy plumbing such as
-        ``skos:broader`` is a meta property and therefore skipped.  Falls
-        back to the catalog links when no graph was supplied.
+        ``skos:broader`` is a meta property and therefore excluded.
+        Falls back to the catalog links when no graph was supplied.
         """
-        index: Dict[str, List[str]] = {}
         if self.graph is not None and len(self.graph):
-            concepts = self.graph.concepts
-            object_properties = self.graph.object_properties
-            for head, relation, tail in self.graph.store.iter_match():
-                if tail in concepts and relation in object_properties:
-                    index.setdefault(tail, []).append(head)
-            for products in index.values():
-                products.sort()
-            return index
+            by_concept, _by_product = self.graph.concept_links()
+            return by_concept
+        index: Dict[str, List[str]] = {}
         for product in self.catalog.products:
             for concepts_linked in product.concept_links.values():
                 for concept in concepts_linked:

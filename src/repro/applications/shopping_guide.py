@@ -43,6 +43,7 @@ class ShoppingGuideSimulator:
         self.seed = int(seed)
         self._text = TextGenerator(seed=seed + 7)
         self._concept_labels = self._build_concept_labels()
+        self._product_concepts = self._index_product_concepts()
 
     def _build_concept_labels(self) -> Dict[str, str]:
         labels: Dict[str, str] = {}
@@ -50,6 +51,27 @@ class ShoppingGuideSimulator:
             for node in taxonomy.walk():
                 labels[node.identifier] = node.label
         return labels
+
+    def _index_product_concepts(self) -> Dict[str, List[str]]:
+        """Product → concepts, queried from the KG's concept-link triples.
+
+        The enrichment a card surfaces comes from the graph (the
+        :meth:`KnowledgeGraph.concept_links` query path), not from the
+        catalog's raw link table, so cards reflect whatever quality
+        control the construction pipeline applied.  Falls back to the
+        catalog links when no graph was supplied.
+        """
+        if self.graph is not None and len(self.graph):
+            _by_concept, by_product = self.graph.concept_links()
+            return by_product
+        index: Dict[str, List[str]] = {}
+        for product in self.catalog.products:
+            linked = sorted({concept
+                             for concepts in product.concept_links.values()
+                             for concept in concepts})
+            if linked:
+                index[product.product_id] = linked
+        return index
 
     # ------------------------------------------------------------------ #
     # card generation
@@ -62,10 +84,10 @@ class ShoppingGuideSimulator:
                 card = ItemCard(item_id=item.item_id, product_id=product.product_id,
                                 title=item.title, price=item.price)
                 if use_kg:
-                    tags = [self._concept_labels.get(concept, concept)
-                            for concepts in product.concept_links.values()
-                            for concept in concepts]
-                    card.concept_tags = tags
+                    card.concept_tags = [
+                        self._concept_labels.get(concept, concept)
+                        for concept in self._product_concepts.get(
+                            product.product_id, [])]
                     card.slogan = self._text.slogan(key=item.item_id)
                 cards.append(card)
                 if len(cards) >= max_items:

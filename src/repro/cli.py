@@ -1,16 +1,23 @@
 """Command-line interface for the OpenBG reproduction.
 
-Four subcommands cover the everyday workflows::
+Five subcommands cover the everyday workflows::
 
-    python -m repro.cli build      --products 300 --out ./openbg_out
-    python -m repro.cli stats      --products 300
-    python -m repro.cli benchmark  --products 300 --out ./openbg_out
-    python -m repro.cli linkpred   --products 300 --model TransE --epochs 25
+    python -m repro.cli --products 300 build      --out ./openbg_out
+    python -m repro.cli --products 300 stats
+    python -m repro.cli --products 300 benchmark  --out ./openbg_out
+    python -m repro.cli --products 300 linkpred   --model TransE --epochs 25
+    python -m repro.cli query --store-dir ./store \\
+        --pattern "?p brandIs brand:0" --pattern "?p placeOfOrigin ?where" \\
+        --select ?p ?where
 
 ``build`` constructs the synthetic OpenBG and writes it as TSV triples,
 ``stats`` prints the Table-I style statistics, ``benchmark`` samples and
-saves the OpenBG-IMG / 500 / 500-L analogues, and ``linkpred`` trains one
-embedding model on the OpenBG500 analogue and prints its filtered metrics.
+saves the OpenBG-IMG / 500 / 500-L analogues, ``linkpred`` trains one
+embedding model on the OpenBG500 analogue and prints its filtered
+metrics, and ``query`` opens a previously saved store directory (plain
+mmap or sharded layout — no rebuild) and evaluates a conjunctive
+triple-pattern query through the ID-space executor, printing bindings
+as TSV.
 """
 
 from __future__ import annotations
@@ -87,6 +94,31 @@ def build_parser() -> argparse.ArgumentParser:
     linkpred.add_argument("--epochs", type=int, default=25)
     linkpred.add_argument("--dim", type=int, default=32)
     linkpred.add_argument("--learning-rate", type=float, default=0.08)
+
+    query = subparsers.add_parser(
+        "query",
+        help="run a triple-pattern query against a saved store directory")
+    # SUPPRESS keeps a value given in the global position
+    # (`repro --store-dir X query ...`) from being clobbered by the
+    # subparser default; presence is validated in _command_query.
+    query.add_argument("--store-dir", type=Path, dest="store_dir",
+                       default=argparse.SUPPRESS,
+                       help="store directory written by build --store-dir or "
+                            "TripleStore.save (mmap or sharded layout; "
+                            "auto-detected)")
+    query.add_argument("--pattern", action="append", required=True,
+                       metavar="'H R T'",
+                       help="one whitespace-separated (head relation tail) "
+                            "pattern; terms starting with '?' are variables; "
+                            "repeat for conjunctive joins")
+    query.add_argument("--select", nargs="+", default=(), metavar="?VAR",
+                       help="project the result rows onto these variables "
+                            "(default: all variables)")
+    query.add_argument("--no-reorder", action="store_true",
+                       help="evaluate patterns strictly left to right instead "
+                            "of by batched selectivity order")
+    query.add_argument("--limit", type=int, default=None,
+                       help="print at most this many binding rows")
     return parser
 
 
@@ -149,9 +181,49 @@ def _command_linkpred(result: ConstructionResult, seed: int, model_name: str,
     return 0
 
 
+def _command_query(args) -> int:
+    """Open a saved store and run a pattern query (no synthetic build)."""
+    import sys
+
+    from repro.errors import ReproError
+    from repro.kg.query import PatternQuery, QueryEngine
+    from repro.kg.serialization import escape_tsv_field
+    from repro.kg.store import TripleStore
+
+    try:
+        if args.store_dir is None:
+            raise ValueError("query requires --store-dir")
+        if args.limit is not None and args.limit < 0:
+            raise ValueError(f"--limit must be >= 0, got {args.limit}")
+        patterns = []
+        for raw in args.pattern:
+            terms = raw.split()
+            if len(terms) != 3:
+                raise ValueError(
+                    f"--pattern needs exactly 3 whitespace-separated terms, "
+                    f"got {raw!r}")
+            patterns.append(terms)
+        query = PatternQuery.from_patterns(patterns, select=args.select)
+        store = TripleStore.open(args.store_dir)
+        rows = QueryEngine(store).execute(query, reorder=not args.no_reorder)
+    except (ReproError, ValueError, OSError) as exc:
+        # stderr keeps the TSV data channel clean for piped consumers.
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 2
+    header = list(query.select) if query.select else query.variables()
+    print("\t".join(header))
+    if args.limit is not None:
+        rows = rows[:args.limit]
+    for row in rows:
+        print("\t".join(escape_tsv_field(row[name]) for name in header))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "query":
+        return _command_query(args)
     result = _construct(args.products, args.seed, args.backend, args.store_dir,
                         args.shards)
     if result.store_dir is not None:

@@ -30,6 +30,11 @@ class StorageError(SerializationError):
     """
 
 
+class QueryError(ReproError):
+    """Raised for malformed pattern queries (bad select variables, plans
+    that cannot run on the requested execution strategy)."""
+
+
 class ConstructionError(ReproError):
     """Raised when the KG construction pipeline cannot proceed."""
 

@@ -3,8 +3,10 @@
 This package replaces the Apache Jena ontology / RDF APIs the paper uses.
 It provides an in-memory, fully indexed triple store, a higher-level
 :class:`~repro.kg.graph.KnowledgeGraph` facade with vocabulary management
-and taxonomy traversal, N-Triples / TSV serialization, a triple-pattern
-query engine, and graph statistics mirroring Table I of the paper.
+and taxonomy traversal, N-Triples / TSV serialization, a plan/execute
+triple-pattern query layer (ID-space vectorized executor + concurrent
+:class:`~repro.kg.service.QueryService`), and graph statistics mirroring
+Table I of the paper.
 """
 
 from repro.kg.namespaces import MetaProperty, Namespaces
@@ -23,7 +25,9 @@ from repro.kg.sharded_backend import ShardedBackend
 from repro.kg.store import TripleStore
 from repro.kg.vocab import Vocabulary
 from repro.kg.graph import KnowledgeGraph
+from repro.kg.planner import QueryPlan, plan_queries, plan_query
 from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.service import QueryService
 from repro.kg.statistics import GraphStatistics, compute_statistics
 
 __all__ = [
@@ -44,6 +48,10 @@ __all__ = [
     "KnowledgeGraph",
     "PatternQuery",
     "QueryEngine",
+    "QueryPlan",
+    "QueryService",
+    "plan_queries",
+    "plan_query",
     "GraphStatistics",
     "compute_statistics",
 ]

@@ -65,6 +65,10 @@ from repro.kg.triple import Triple
 #: A (head, relation, tail) pattern; ``None`` is a wildcard.
 Pattern = Tuple[Optional[str], Optional[str], Optional[str]]
 
+#: An id-level (head_id, relation_id, tail_id) pattern; ``None`` is a
+#: wildcard.  Ids come from the backend's interners.
+IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
+
 
 class Interner:
     """An append-only string ↔ contiguous int-id table.
@@ -104,6 +108,15 @@ class Interner:
     def symbols(self) -> List[str]:
         """All interned symbols in id order (a copy)."""
         return list(self._id_to_symbol)
+
+    def symbol_table(self) -> Sequence[str]:
+        """The live id → symbol table (treat as read-only).
+
+        The zero-copy batch counterpart of :meth:`symbol_of` — hot
+        stringification loops index it directly instead of paying a
+        method call per id.
+        """
+        return self._id_to_symbol
 
     def __contains__(self, symbol: str) -> bool:
         return symbol in self._symbol_to_id
@@ -169,6 +182,40 @@ class GraphBackend(Protocol):
 
     def degree_many(self, nodes: Sequence[str]) -> List[int]: ...
 
+    def count_many(self, patterns: Sequence[Pattern]) -> List[int]: ...
+
+
+@runtime_checkable
+class IdQueryBackend(Protocol):
+    """The integer-id query surface of the columnar backend family.
+
+    Backends that intern symbols to contiguous int64 ids additionally
+    answer pattern queries entirely in id space — the query executor
+    (:mod:`repro.kg.executor`) interns a query's constants once and then
+    joins numpy id arrays without materializing a single
+    :class:`Triple` or string.  ``SetBackend`` does not implement this
+    surface; callers fall back to the string-level protocol
+    (see :func:`supports_id_queries`).
+    """
+
+    entity_interner: Interner
+    relation_interner: Interner
+
+    def match_ids(self, head_id: Optional[int] = None,
+                  relation_id: Optional[int] = None,
+                  tail_id: Optional[int] = None) -> np.ndarray: ...
+
+    def match_ids_many(self, patterns: Sequence[IdPattern]) -> List[np.ndarray]: ...
+
+    def count_ids(self, head_id: Optional[int] = None,
+                  relation_id: Optional[int] = None,
+                  tail_id: Optional[int] = None) -> int: ...
+
+
+def supports_id_queries(backend: object) -> bool:
+    """True when ``backend`` exposes the id-level query surface."""
+    return isinstance(backend, IdQueryBackend)
+
 
 class _BatchedQueriesMixin:
     """Default batched implementations shared by all backends.
@@ -191,6 +238,16 @@ class _BatchedQueriesMixin:
     def degree_many(self, nodes: Sequence[str]) -> List[int]:
         """Total degree per node."""
         return [self.degree(node) for node in nodes]
+
+    def count_many(self, patterns: Sequence[Pattern]) -> List[int]:
+        """One match count per (head, relation, tail) pattern.
+
+        The query planner orders a conjunctive query's patterns by these
+        counts in a single batched call; the sharded backend overrides
+        this to route head-bound patterns to their owner shard.
+        """
+        return [self.count(head, relation, tail)
+                for head, relation, tail in patterns]
 
     def add_many(self, triples: Iterable[Triple]) -> int:
         """Add a batch of triples; returns how many were actually new.
@@ -655,6 +712,24 @@ class ColumnarBackend(_BatchedQueriesMixin):
         """The (k, 3) id triples matching an id pattern."""
         self._ensure_index()
         return self._cols[self.match_id_rows(head_id, relation_id, tail_id)]
+
+    def match_ids_many(self, patterns: Sequence[IdPattern]) -> List[np.ndarray]:
+        """One (k, 3) id block per id pattern.
+
+        The batched entry point the ID-space query executor drives; the
+        sharded backend overrides it to route head-bound patterns to
+        their owner shard and fan the rest out across shards.
+        """
+        self._ensure_index()
+        return [self._cols[self._base_match_rows(head_id, relation_id, tail_id)]
+                for head_id, relation_id, tail_id in patterns]
+
+    def count_ids(self, head_id: Optional[int] = None,
+                  relation_id: Optional[int] = None,
+                  tail_id: Optional[int] = None) -> int:
+        """Number of triples matching an id pattern (no materialization)."""
+        self._ensure_index()
+        return int(len(self._base_match_rows(head_id, relation_id, tail_id)))
 
     def entity_sort_rank(self) -> np.ndarray:
         """Rank of each entity id in lexicographic symbol order.

@@ -1,0 +1,363 @@
+"""Query execution: vectorized ID-space joins plus the legacy backtracker.
+
+The counterpart of :mod:`repro.kg.planner`.  Two executors evaluate a
+:class:`~repro.kg.planner.QueryPlan`:
+
+* :func:`execute_plan` / :func:`execute_plans` — the **ID-space
+  executor**.  Each pattern's constants are interned once; the pattern
+  is fetched as one ``(k, 3)`` int64 block from the backend's CSR
+  indexes (:meth:`match_ids` / the batched :meth:`match_ids_many`); the
+  binding frontier is a set of parallel numpy id columns (one per
+  variable) that each step extends with a vectorized hash join —
+  factorize the shared-variable key columns, sort one side,
+  ``searchsorted`` the other, expand matches with ``repeat``/``cumsum``
+  arithmetic.  Strings appear exactly once, at projection.
+  ``execute_plans`` runs a batch of plans in lockstep so every round's
+  pattern fetches collapse into a single ``match_ids_many`` call (which
+  the sharded backend routes per shard).
+
+* :func:`execute_backtracking` — the original symbol-level evaluator
+  (one ``iter_match`` round-trip per binding per pattern), kept both as
+  the parity reference and as the fallback for backends without an id
+  surface (``SetBackend``) and for the rare query whose variable binds
+  in both entity and relation positions (``plan.id_space`` False —
+  entity and relation ids are different spaces, only symbols compare).
+
+Both executors produce identical binding *sets*; only the row order is
+executor-defined (deterministic for a deterministic store either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.kg.backend import IdPattern, supports_id_queries
+from repro.kg.planner import (
+    ENTITY,
+    PatternStep,
+    QueryPlan,
+    is_variable,
+)
+from repro.kg.store import TripleStore
+
+Binding = Dict[str, str]
+
+
+# --------------------------------------------------------------------------- #
+# legacy symbol-level backtracking executor
+# --------------------------------------------------------------------------- #
+def execute_backtracking(store: TripleStore, plan: QueryPlan) -> List[Binding]:
+    """Evaluate a plan by per-binding backtracking over ``iter_match``.
+
+    This is the seed engine's strategy, word for word: substitute the
+    bindings accumulated so far into the next pattern, ask the store for
+    matching triples, extend each binding per match.  Kept as the parity
+    oracle and the fallback for non-id backends / non-id-space plans.
+    """
+    bindings: List[Binding] = [{}]
+    for step in plan.steps:
+        next_bindings: List[Binding] = []
+        for binding in bindings:
+            next_bindings.extend(_extend(store, binding, step.pattern))
+        bindings = next_bindings
+        if not bindings:
+            return []
+    return _project_bindings(bindings, plan.select)
+
+
+def _extend(store: TripleStore, binding: Binding,
+            pattern: Tuple[str, str, str]) -> Iterable[Binding]:
+    head, relation, tail = (_substitute(term, binding) for term in pattern)
+    matches = store.iter_match(
+        head=None if is_variable(head) else head,
+        relation=None if is_variable(relation) else relation,
+        tail=None if is_variable(tail) else tail,
+    )
+    for triple in matches:
+        extended = dict(binding)
+        if not _bind(extended, head, triple.head):
+            continue
+        if not _bind(extended, relation, triple.relation):
+            continue
+        if not _bind(extended, tail, triple.tail):
+            continue
+        yield extended
+
+
+def _substitute(term: str, binding: Binding) -> str:
+    if is_variable(term) and term in binding:
+        return binding[term]
+    return term
+
+
+def _bind(binding: Binding, term: str, value: str) -> bool:
+    if not is_variable(term):
+        return term == value
+    existing = binding.get(term)
+    if existing is None:
+        binding[term] = value
+        return True
+    return existing == value
+
+
+def _project_bindings(bindings: List[Binding],
+                      select: Tuple[str, ...]) -> List[Binding]:
+    if not select:
+        return bindings
+    projected: List[Binding] = []
+    seen = set()
+    for binding in bindings:
+        row = {var: binding[var] for var in select}
+        key = tuple(sorted(row.items()))
+        if key not in seen:
+            seen.add(key)
+            projected.append(row)
+    return projected
+
+
+# --------------------------------------------------------------------------- #
+# ID-space executor
+# --------------------------------------------------------------------------- #
+@dataclass
+class _Frontier:
+    """The binding frontier: one int64 id column per bound variable.
+
+    ``num_rows`` tracks the row count explicitly so the empty-variable
+    start state (one row binding nothing) is representable.
+    """
+
+    num_rows: int = 1
+    columns: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class _PlanState:
+    """Progress of one plan through the lockstep batched execution."""
+
+    plan: QueryPlan
+    resolved: List[IdPattern]           # per step, constants interned
+    frontier: _Frontier
+    step_index: int = 0
+    failed: bool = False                # unknown constant or empty join
+
+    def done(self) -> bool:
+        return self.failed or self.step_index >= len(self.plan.steps)
+
+
+def _resolve_constants(backend, plan: QueryPlan) -> Optional[List[IdPattern]]:
+    """Intern every step's constants once; ``None`` if any is unknown."""
+    entity_lookup = backend.entity_interner.lookup
+    relation_lookup = backend.relation_interner.lookup
+    resolved: List[IdPattern] = []
+    for step in plan.steps:
+        ids: List[Optional[int]] = []
+        for position, constant in enumerate(step.constants):
+            if constant is None:
+                ids.append(None)
+                continue
+            lookup = relation_lookup if position == 1 else entity_lookup
+            identifier = lookup(constant)
+            if identifier is None:
+                return None
+            ids.append(identifier)
+        resolved.append((ids[0], ids[1], ids[2]))
+    return resolved
+
+
+def _pattern_columns(step: PatternStep,
+                     block: np.ndarray) -> Tuple[np.ndarray, Dict[str, int]]:
+    """Filter repeated-variable rows; map each variable to its column.
+
+    A variable occurring twice in one pattern (``(?x, r, ?x)``) keeps
+    only rows where the occurrences agree; the surviving first position
+    becomes the variable's column.
+    """
+    var_position: Dict[str, int] = {}
+    for position, name in step.variables:
+        first = var_position.setdefault(name, position)
+        if first != position and len(block):
+            block = block[block[:, first] == block[:, position]]
+    return block, var_position
+
+
+def _factorize_pair(left: np.ndarray, right: np.ndarray,
+                    left_extra: np.ndarray, right_extra: np.ndarray
+                    ) -> Tuple[np.ndarray, np.ndarray]:
+    """Combine two key columns into one joint group-id column per side."""
+    num_left = len(left)
+    pair = np.empty((num_left + len(right), 2), dtype=np.int64)
+    pair[:num_left, 0] = left
+    pair[:num_left, 1] = left_extra
+    pair[num_left:, 0] = right
+    pair[num_left:, 1] = right_extra
+    _, inverse = np.unique(pair, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    return inverse[:num_left], inverse[num_left:]
+
+
+def _join_indices(left_keys: Sequence[np.ndarray],
+                  right_keys: Sequence[np.ndarray]
+                  ) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-index pairs (left_row, right_row) where all key columns match.
+
+    Multi-column keys collapse to one int64 group-id column per side:
+    mixed-radix packing (``gid * base + column`` with ``base`` = the
+    column's value range, identical on both sides so ids stay
+    comparable) while the product of ranges fits int64, falling back to
+    pairwise ``np.unique`` factorization over both sides at once beyond
+    that.  The right side is then sorted by group id and every left row
+    expands to its matching right range via ``searchsorted`` +
+    ``repeat``/``cumsum`` arithmetic.  Pure numpy; no Python-level
+    per-row work.
+    """
+    left_gid, right_gid = left_keys[0], right_keys[0]
+    for left_extra, right_extra in zip(left_keys[1:], right_keys[1:]):
+        base = 1 + max(int(left_extra.max()) if len(left_extra) else 0,
+                       int(right_extra.max()) if len(right_extra) else 0)
+        widest = max(int(left_gid.max()) if len(left_gid) else 0,
+                     int(right_gid.max()) if len(right_gid) else 0)
+        if widest < (1 << 62) // base:
+            left_gid = left_gid * base + left_extra
+            right_gid = right_gid * base + right_extra
+        else:  # pragma: no cover - needs ~2^62 distinct key combinations
+            left_gid, right_gid = _factorize_pair(left_gid, right_gid,
+                                                  left_extra, right_extra)
+    order = np.argsort(right_gid, kind="stable")
+    sorted_gid = right_gid[order]
+    lo = np.searchsorted(sorted_gid, left_gid, side="left")
+    hi = np.searchsorted(sorted_gid, left_gid, side="right")
+    counts = hi - lo
+    total = int(counts.sum())
+    left_rows = np.repeat(np.arange(len(left_gid), dtype=np.int64), counts)
+    if not total:
+        return left_rows, np.zeros(0, dtype=np.int64)
+    # right rows: for each left row i, the slice order[lo[i]:hi[i]].
+    prefix = np.zeros(len(counts), dtype=np.int64)
+    np.cumsum(counts[:-1], out=prefix[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(prefix, counts)
+    right_rows = order[np.repeat(lo, counts) + within]
+    return left_rows, right_rows
+
+
+def _advance(state: _PlanState, block: np.ndarray) -> None:
+    """Join the current step's matched block into the frontier."""
+    step = state.plan.steps[state.step_index]
+    state.step_index += 1
+    block, var_position = _pattern_columns(step, block)
+    frontier = state.frontier
+    shared = [name for name in var_position if name in frontier.columns]
+    fresh = [name for name in var_position if name not in frontier.columns]
+    num_rows, num_matches = frontier.num_rows, len(block)
+    if not num_matches or not num_rows:
+        state.failed = True
+        return
+    if shared:
+        left_rows, right_rows = _join_indices(
+            [frontier.columns[name] for name in shared],
+            [block[:, var_position[name]] for name in shared])
+    else:
+        # No shared variables: cartesian product (the legacy executor
+        # does the same — every binding pairs with every match).
+        left_rows = np.repeat(np.arange(num_rows, dtype=np.int64), num_matches)
+        right_rows = np.tile(np.arange(num_matches, dtype=np.int64), num_rows)
+    if not len(left_rows):
+        state.failed = True
+        return
+    columns = {name: column[left_rows]
+               for name, column in frontier.columns.items()}
+    for name in fresh:
+        columns[name] = block[right_rows, var_position[name]]
+    state.frontier = _Frontier(num_rows=len(left_rows), columns=columns)
+
+
+def _unique_rows(stacked: np.ndarray) -> np.ndarray:
+    """Deduplicate a (n, k) row block (order: lexicographic by id)."""
+    if len(stacked) <= 1:
+        return stacked
+    order = np.lexsort(stacked.T[::-1])
+    stacked = stacked[order]
+    keep = np.empty(len(stacked), dtype=bool)
+    keep[0] = True
+    np.any(stacked[1:] != stacked[:-1], axis=1, out=keep[1:])
+    return stacked[keep]
+
+
+def _stringify(backend, plan: QueryPlan, frontier: _Frontier) -> List[Binding]:
+    """Materialize the frontier as string bindings — the only string step."""
+    names = list(plan.select) if plan.select else list(plan.variables)
+    if not names:
+        return [{}] if frontier.num_rows else []
+    stacked = np.stack([frontier.columns[name] for name in names], axis=1)
+    if plan.select:
+        stacked = _unique_rows(stacked)
+    tables = [backend.relation_interner.symbol_table()
+              if plan.var_kinds.get(name) != ENTITY
+              else backend.entity_interner.symbol_table()
+              for name in names]
+    return [{name: table[identifier]
+             for name, table, identifier in zip(names, tables, row)}
+            for row in stacked.tolist()]
+
+
+def execute_plans(store: TripleStore,
+                  plans: Sequence[QueryPlan]) -> List[List[Binding]]:
+    """Evaluate a batch of plans, multiplexing pattern fetches.
+
+    ID-space-executable plans advance in lockstep: each round gathers
+    the current step of every live plan into ONE ``match_ids_many``
+    call (shard-routed on the sharded backend), then joins each block
+    into its plan's frontier.  Plans the id executor cannot run (no id
+    backend, mixed-kind variables) fall back to
+    :func:`execute_backtracking` transparently.
+    """
+    backend = store.backend
+    results: List[Optional[List[Binding]]] = [None] * len(plans)
+    states: List[Tuple[int, _PlanState]] = []
+    for index, plan in enumerate(plans):
+        if not plan.id_space or not supports_id_queries(backend):
+            results[index] = execute_backtracking(store, plan)
+            continue
+        resolved = _resolve_constants(backend, plan)
+        if resolved is None:
+            results[index] = []
+            continue
+        states.append((index, _PlanState(plan=plan, resolved=resolved,
+                                         frontier=_Frontier())))
+    live = [entry for entry in states if not entry[1].done()]
+    while live:
+        # Dedupe identical id patterns within the round: a batch of
+        # related queries (e.g. one per attribute, all sharing a
+        # (None, type_id, None) step) fetches each distinct block once.
+        requests = [state.resolved[state.step_index] for _index, state in live]
+        distinct = list(dict.fromkeys(requests))
+        blocks = backend.match_ids_many(distinct)
+        by_pattern = dict(zip(distinct, blocks))
+        for (_index, state), request in zip(live, requests):
+            _advance(state, by_pattern[request])
+        live = [entry for entry in live if not entry[1].done()]
+    for index, state in states:
+        results[index] = [] if state.failed \
+            else _stringify(backend, state.plan, state.frontier)
+    return results
+
+
+def execute_plan(store: TripleStore, plan: QueryPlan) -> List[Binding]:
+    """Evaluate one plan with the ID-space executor (see :func:`execute_plans`)."""
+    return execute_plans(store, [plan])[0]
+
+
+def require_id_space(store: TripleStore, plan: QueryPlan) -> None:
+    """Raise :class:`QueryError` when the ID-space executor cannot run ``plan``."""
+    if not supports_id_queries(store.backend):
+        raise QueryError(
+            f"backend {type(store.backend).__name__} has no id-level query "
+            f"surface; use strategy='auto' or 'backtracking'")
+    if not plan.id_space:
+        raise QueryError(
+            "query binds a variable in both entity and relation positions; "
+            "the ID-space executor cannot join across id spaces — use "
+            "strategy='auto' or 'backtracking'")

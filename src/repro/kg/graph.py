@@ -43,6 +43,9 @@ class KnowledgeGraph:
         self.images: Dict[str, np.ndarray] = {}
         self.descriptions: Dict[str, str] = {}
         self.labels: Dict[str, str] = {}
+        self._concept_links_cache: Optional[
+            Tuple[Tuple[int, int, int],
+                  Tuple[Dict[str, List[str]], Dict[str, List[str]]]]] = None
 
     # ------------------------------------------------------------------ #
     # registration
@@ -88,10 +91,12 @@ class KnowledgeGraph:
     # ------------------------------------------------------------------ #
     def add(self, triple: Triple) -> bool:
         """Add a triple to the graph; returns True if it was new."""
+        self._concept_links_cache = None
         return self.store.add(triple)
 
     def add_many(self, triples: Iterable[Triple]) -> int:
         """Add many triples; returns the number of new ones."""
+        self._concept_links_cache = None
         return self.store.add_many(triples)
 
     def __contains__(self, triple: Triple) -> bool:
@@ -108,6 +113,74 @@ class KnowledgeGraph:
               tail: Optional[str] = None, sort: bool = False) -> List[Triple]:
         """Pattern matching, delegated to the store."""
         return self.store.match(head, relation, tail, sort=sort)
+
+    # ------------------------------------------------------------------ #
+    # conjunctive queries
+    # ------------------------------------------------------------------ #
+    def query_engine(self) -> "QueryEngine":
+        """A :class:`~repro.kg.query.QueryEngine` over this graph's store.
+
+        The engine plans conjunctive pattern queries (batched selectivity
+        ordering) and executes them in ID space on columnar-family
+        backends; the applications layer runs on this instead of
+        hand-rolled triple scans.
+        """
+        from repro.kg.query import QueryEngine
+
+        return QueryEngine(self.store)
+
+    def concept_links(self) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+        """(concept → products, product → concepts) over concept-link triples.
+
+        A concept link is an object-property edge whose tail is a
+        registered concept (``relatedScene`` / ``forCrowd`` /
+        ``aboutTheme`` / ``appliedTime`` / ``inMarket_*`` — taxonomy
+        meta-properties such as ``skos:broader`` are excluded by
+        construction).  Evaluated as one batched single-pattern query
+        per registered object property through the ID-space query
+        executor; both maps hold sorted, deduplicated lists.
+
+        The result is cached — every application simulator reads this
+        index at construction, over a graph that is static by then.
+        Callers receive an independent copy (mutating a returned list
+        must not corrupt the cache or a sibling consumer).  The cache
+        drops on :meth:`add` / :meth:`add_many` and whenever the store
+        size or the concept/property registrations change; mutations
+        that bypass the graph facade (a direct ``store.add`` paired
+        with a size-preserving ``store.discard``) are not tracked.
+        """
+        from repro.kg.query import PatternQuery
+
+        def copied(pair):
+            return ({key: list(values) for key, values in pair[0].items()},
+                    {key: list(values) for key, values in pair[1].items()})
+
+        cache_key = (len(self.store), len(self.concepts),
+                     len(self.object_properties))
+        if self._concept_links_cache is not None \
+                and self._concept_links_cache[0] == cache_key:
+            return copied(self._concept_links_cache[1])
+        by_concept: Dict[str, Set[str]] = {}
+        by_product: Dict[str, Set[str]] = {}
+        relations = sorted(self.object_properties)
+        if not relations or not len(self.store):
+            return {}, {}
+        queries = [PatternQuery.from_patterns([("?product", relation, "?concept")])
+                   for relation in relations]
+        for rows in self.query_engine().execute_many(queries):
+            for row in rows:
+                concept = row["?concept"]
+                if concept not in self.concepts:
+                    continue
+                product = row["?product"]
+                by_concept.setdefault(concept, set()).add(product)
+                by_product.setdefault(product, set()).add(concept)
+        result = ({concept: sorted(products)
+                   for concept, products in by_concept.items()},
+                  {product: sorted(concepts)
+                   for product, concepts in by_product.items()})
+        self._concept_links_cache = (cache_key, result)
+        return copied(result)
 
     # ------------------------------------------------------------------ #
     # taxonomy traversal

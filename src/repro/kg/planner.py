@@ -1,0 +1,219 @@
+"""Query planning: pattern normalization, selectivity ordering, variable analysis.
+
+The query layer is split into a **planner** (this module) and an
+**executor** (:mod:`repro.kg.executor`).  Planning is pure analysis over
+the query text plus one batched ``count_many`` round-trip to the store:
+
+* :class:`PatternQuery` — the user-facing conjunctive query (a sequence
+  of (head, relation, tail) patterns with ``?variables``);
+* :func:`plan_query` / :func:`plan_queries` — turn queries into
+  :class:`QueryPlan` objects: patterns ordered by batched selectivity
+  counts (fewest matching triples first), each annotated with its
+  constants and variable occurrences, plus a query-wide variable → kind
+  (entity / relation position) analysis that decides whether the
+  ID-space executor can run the plan;
+* select validation — a ``select`` naming a variable the query never
+  binds raises :class:`~repro.errors.QueryError` instead of silently
+  producing partial rows.
+
+Plans are inert data; handing one to
+:func:`repro.kg.executor.execute_plan` produces bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import QueryError
+from repro.kg.store import TripleStore
+
+
+def is_variable(term: str) -> bool:
+    """Terms starting with ``?`` are variables; anything else is a constant."""
+    return term.startswith("?")
+
+
+@dataclass(frozen=True)
+class PatternQuery:
+    """A conjunctive query: a sequence of (head, relation, tail) patterns.
+
+    Each position is either a constant identifier or a ``?variable``.
+    ``select`` optionally restricts which variables appear in the results.
+    """
+
+    patterns: Tuple[Tuple[str, str, str], ...]
+    select: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_patterns(cls, patterns: Sequence[Sequence[str]],
+                      select: Sequence[str] = ()) -> "PatternQuery":
+        """Build a query from plain lists/tuples."""
+        normalized = tuple(tuple(pattern) for pattern in patterns)
+        for pattern in normalized:
+            if len(pattern) != 3:
+                raise ValueError(f"pattern must have 3 terms, got {pattern!r}")
+        return cls(patterns=normalized, select=tuple(select))
+
+    def variables(self) -> List[str]:
+        """All variables mentioned in the query, in first-appearance order."""
+        seen: List[str] = []
+        for pattern in self.patterns:
+            for term in pattern:
+                if is_variable(term) and term not in seen:
+                    seen.append(term)
+        return seen
+
+
+#: Variable kinds: the id space a variable's bindings live in.
+ENTITY = "entity"
+RELATION = "relation"
+
+
+@dataclass(frozen=True)
+class PatternStep:
+    """One pattern of a plan: constants split out, variables located.
+
+    ``constants`` holds the constant symbol per position (``None`` where
+    the position is a variable); ``variables`` lists every
+    ``(position, name)`` variable occurrence, including repeats of the
+    same variable within the pattern (the executor turns repeats into
+    equality filters).  ``count`` is the store's match count for the
+    constants-only version of the pattern — the selectivity estimate the
+    plan was ordered by (``-1`` when the plan was built with
+    ``reorder=False``, which skips the probe entirely).
+    """
+
+    pattern: Tuple[str, str, str]
+    constants: Tuple[Optional[str], Optional[str], Optional[str]]
+    variables: Tuple[Tuple[int, str], ...]
+    count: int
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An ordered, analyzed query ready for execution.
+
+    ``steps`` are the query's patterns in execution order.  ``variables``
+    keeps the *original* first-appearance order (the order
+    :meth:`PatternQuery.variables` reports, independent of reordering).
+    ``var_kinds`` maps each variable to the id space it binds in
+    (:data:`ENTITY` or :data:`RELATION`); ``id_space`` is False when some
+    variable appears in both entity and relation positions, in which
+    case only the symbol-level backtracking executor can evaluate the
+    plan (entity and relation ids are different spaces, so the ID-space
+    join cannot compare them).
+    """
+
+    query: PatternQuery
+    steps: Tuple[PatternStep, ...]
+    variables: Tuple[str, ...]
+    select: Tuple[str, ...]
+    var_kinds: Dict[str, str] = field(default_factory=dict)
+    id_space: bool = True
+
+
+def validate_select(query: PatternQuery) -> None:
+    """Raise :class:`QueryError` when ``select`` names an unbindable variable.
+
+    Every selected name must be a ``?variable`` that some pattern
+    mentions; anything else (a misspelled variable, a plain constant)
+    would previously be silently dropped from the result rows.
+    """
+    if not query.select:
+        return
+    known = set(query.variables())
+    for name in query.select:
+        if not is_variable(name):
+            raise QueryError(
+                f"select term {name!r} is not a variable (variables start with '?')")
+        if name not in known:
+            raise QueryError(
+                f"select variable {name!r} is never bound by any pattern "
+                f"(query binds: {', '.join(sorted(known)) or 'nothing'})")
+
+
+def _analyze_variables(query: PatternQuery) -> Tuple[Dict[str, str], bool]:
+    """Variable → kind map, plus whether the query is ID-space executable."""
+    kinds: Dict[str, str] = {}
+    id_space = True
+    for pattern in query.patterns:
+        for position, term in enumerate(pattern):
+            if not is_variable(term):
+                continue
+            kind = RELATION if position == 1 else ENTITY
+            previous = kinds.setdefault(term, kind)
+            if previous != kind:
+                # The same variable binds entity symbols in one pattern
+                # and relation symbols in another: joining requires
+                # symbol comparison, not id comparison.
+                id_space = False
+    return kinds, id_space
+
+
+def _make_step(pattern: Tuple[str, str, str], count: int) -> PatternStep:
+    constants = tuple(None if is_variable(term) else term for term in pattern)
+    variables = tuple((position, term) for position, term in enumerate(pattern)
+                      if is_variable(term))
+    return PatternStep(pattern=pattern, constants=constants,
+                       variables=variables, count=count)
+
+
+def plan_queries(store: TripleStore, queries: Sequence[PatternQuery],
+                 reorder: bool = True) -> List[QueryPlan]:
+    """Plan a batch of queries with ONE batched selectivity round-trip.
+
+    All constants-only patterns across all queries go to the store in a
+    single :meth:`~repro.kg.store.TripleStore.count_many` call (the
+    sharded backend routes head-bound patterns to their owner shard), so
+    planning cost does not multiply with the batch size the way
+    per-pattern ``count`` calls would.  The probe only covers queries
+    whose ordering can actually change — with ``reorder=False``, or for
+    single-pattern queries, counts are never consulted, no probe is
+    issued and the steps carry ``count=-1``.
+    """
+    for query in queries:
+        validate_select(query)
+
+    def probed(query: PatternQuery) -> bool:
+        return reorder and len(query.patterns) > 1
+
+    flat_patterns = [step_constants
+                     for query in queries if probed(query)
+                     for step_constants in
+                     (tuple(None if is_variable(term) else term
+                            for term in pattern)
+                      for pattern in query.patterns)]
+    counts = store.count_many(flat_patterns) if flat_patterns else []
+    plans: List[QueryPlan] = []
+    cursor = 0
+    for query in queries:
+        if probed(query):
+            num_patterns = len(query.patterns)
+            query_counts = counts[cursor:cursor + num_patterns]
+            cursor += num_patterns
+        else:
+            query_counts = [-1] * len(query.patterns)
+        steps = [_make_step(pattern, count)
+                 for pattern, count in zip(query.patterns, query_counts)]
+        if len(steps) > 1 and probed(query):
+            # Stable sort by (count, original index): fewest matching
+            # triples first prunes the binding frontier early; ties keep
+            # the written order.  The binding *set* is order-invariant.
+            steps.sort(key=lambda step: step.count)
+        kinds, id_space = _analyze_variables(query)
+        plans.append(QueryPlan(
+            query=query,
+            steps=tuple(steps),
+            variables=tuple(query.variables()),
+            select=query.select,
+            var_kinds=kinds,
+            id_space=id_space,
+        ))
+    return plans
+
+
+def plan_query(store: TripleStore, query: PatternQuery,
+               reorder: bool = True) -> QueryPlan:
+    """Plan a single query (see :func:`plan_queries`)."""
+    return plan_queries(store, [query], reorder=reorder)[0]

@@ -1,57 +1,58 @@
-"""A small triple-pattern query engine.
+"""The triple-pattern query facade.
 
 OpenBG's applications need more than single-pattern lookups: joining
 products to their brand's place, walking taxonomy chains, filtering by
 attribute values.  :class:`QueryEngine` evaluates conjunctive queries of
 triple patterns with named variables (a pragmatic subset of SPARQL basic
-graph patterns) directly against the indexed store.
+graph patterns) against a :class:`~repro.kg.store.TripleStore`.
+
+The engine is a thin facade over a plan/execute pipeline:
+
+* :mod:`repro.kg.planner` normalizes patterns, orders them by batched
+  selectivity (one ``count_many`` call) and analyzes variables;
+* :mod:`repro.kg.executor` evaluates the plan — by default in **ID
+  space**: constants interned once, every pattern fetched as an int64
+  block from the backend's CSR indexes, the binding frontier carried as
+  numpy id columns through vectorized hash joins, strings materialized
+  only at projection.  Backends without an id surface (``set``) and
+  queries that bind one variable in both entity and relation positions
+  fall back to the original symbol-level backtracking evaluator.
+
+Both paths produce identical binding *sets* (row order is
+executor-defined).  For a concurrent, batching front-end over the same
+pipeline see :class:`repro.kg.service.QueryService`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
+from repro.errors import QueryError
+from repro.kg.executor import (
+    Binding,
+    execute_backtracking,
+    execute_plans,
+    require_id_space,
+)
+from repro.kg.planner import (
+    PatternQuery,
+    QueryPlan,
+    is_variable,
+    plan_queries,
+    plan_query,
+)
 from repro.kg.store import TripleStore
-from repro.kg.triple import Triple
 
-Binding = Dict[str, str]
+__all__ = [
+    "Binding",
+    "PatternQuery",
+    "QueryEngine",
+    "QueryPlan",
+    "is_variable",
+]
 
-
-def is_variable(term: str) -> bool:
-    """Terms starting with ``?`` are variables; anything else is a constant."""
-    return term.startswith("?")
-
-
-@dataclass(frozen=True)
-class PatternQuery:
-    """A conjunctive query: a sequence of (head, relation, tail) patterns.
-
-    Each position is either a constant identifier or a ``?variable``.
-    ``select`` optionally restricts which variables appear in the results.
-    """
-
-    patterns: Tuple[Tuple[str, str, str], ...]
-    select: Tuple[str, ...] = ()
-
-    @classmethod
-    def from_patterns(cls, patterns: Sequence[Sequence[str]],
-                      select: Sequence[str] = ()) -> "PatternQuery":
-        """Build a query from plain lists/tuples."""
-        normalized = tuple(tuple(pattern) for pattern in patterns)
-        for pattern in normalized:
-            if len(pattern) != 3:
-                raise ValueError(f"pattern must have 3 terms, got {pattern!r}")
-        return cls(patterns=normalized, select=tuple(select))
-
-    def variables(self) -> List[str]:
-        """All variables mentioned in the query, in first-appearance order."""
-        seen: List[str] = []
-        for pattern in self.patterns:
-            for term in pattern:
-                if is_variable(term) and term not in seen:
-                    seen.append(term)
-        return seen
+#: Execution strategies accepted by :meth:`QueryEngine.execute`.
+STRATEGIES = ("auto", "id", "backtracking")
 
 
 class QueryEngine:
@@ -60,93 +61,55 @@ class QueryEngine:
     def __init__(self, store: TripleStore) -> None:
         self.store = store
 
-    def execute(self, query: PatternQuery, reorder: bool = True) -> List[Binding]:
+    def plan(self, query: PatternQuery, reorder: bool = True) -> QueryPlan:
+        """Plan a query without executing it (selectivity-ordered steps).
+
+        Raises :class:`~repro.errors.QueryError` when ``select`` names a
+        variable no pattern binds.
+        """
+        return plan_query(self.store, query, reorder=reorder)
+
+    def execute(self, query: PatternQuery, reorder: bool = True,
+                strategy: str = "auto") -> List[Binding]:
         """Return all variable bindings satisfying every pattern.
 
-        Patterns are evaluated with backtracking; each step substitutes the
-        bindings accumulated so far.  With ``reorder`` (the default) the
-        engine first orders patterns by backend ``count`` selectivity —
-        fewest matching triples first — which is what keeps conjunctive
-        queries fast on skewed stores.  The binding *set* is unaffected by
-        ordering; pass ``reorder=False`` to evaluate strictly left to right.
+        With ``reorder`` (the default) patterns are evaluated in batched
+        ``count_many`` selectivity order — fewest matching triples first
+        — which is what keeps conjunctive queries fast on skewed stores;
+        the binding *set* is unaffected by ordering.  ``strategy`` picks
+        the executor: ``"auto"`` (ID-space when the backend and query
+        allow it, else backtracking), ``"id"`` (ID-space or raise
+        :class:`~repro.errors.QueryError`), or ``"backtracking"`` (the
+        legacy symbol-level evaluator, kept as the parity oracle).
+
+        A ``select`` naming a variable that never binds raises
+        :class:`~repro.errors.QueryError` instead of silently dropping
+        the column from result rows.
         """
-        patterns = self._order_by_selectivity(query.patterns) if reorder \
-            else query.patterns
-        bindings: List[Binding] = [{}]
-        for pattern in patterns:
-            next_bindings: List[Binding] = []
-            for binding in bindings:
-                next_bindings.extend(self._extend(binding, pattern))
-            bindings = next_bindings
-            if not bindings:
-                return []
-        if query.select:
-            projected = []
-            seen = set()
-            for binding in bindings:
-                row = {var: binding[var] for var in query.select if var in binding}
-                key = tuple(sorted(row.items()))
-                if key not in seen:
-                    seen.add(key)
-                    projected.append(row)
-            return projected
-        return bindings
+        return self.execute_many([query], reorder=reorder, strategy=strategy)[0]
 
-    def _order_by_selectivity(
-        self, patterns: Tuple[Tuple[str, str, str], ...]
-    ) -> Tuple[Tuple[str, str, str], ...]:
-        """Stable-sort patterns by how many triples match their constants.
+    def execute_many(self, queries: Sequence[PatternQuery], reorder: bool = True,
+                     strategy: str = "auto") -> List[List[Binding]]:
+        """Execute a batch of queries with batched planning and fetching.
 
-        Variables are treated as wildcards, so a pattern whose constants
-        pin down few triples runs first and prunes the binding frontier
-        early.  Counts come from the backend's count fast path — no triple
-        objects are materialized.
+        Planning issues one ``count_many`` over every pattern of every
+        query; execution advances all ID-space-executable plans in
+        lockstep so each round's pattern fetches collapse into a single
+        ``match_ids_many`` backend call.  This is the entry point
+        :class:`~repro.kg.service.QueryService` multiplexes concurrent
+        clients onto.
         """
-        if len(patterns) < 2:
-            return patterns
-        keyed = [
-            (self.store.count(
-                head=None if is_variable(pattern[0]) else pattern[0],
-                relation=None if is_variable(pattern[1]) else pattern[1],
-                tail=None if is_variable(pattern[2]) else pattern[2],
-            ), index, pattern)
-            for index, pattern in enumerate(patterns)
-        ]
-        keyed.sort(key=lambda item: (item[0], item[1]))
-        return tuple(pattern for _count, _index, pattern in keyed)
-
-    def _extend(self, binding: Binding, pattern: Tuple[str, str, str]) -> Iterable[Binding]:
-        head, relation, tail = (self._resolve(term, binding) for term in pattern)
-        matches = self.store.iter_match(
-            head=None if is_variable(head) else head,
-            relation=None if is_variable(relation) else relation,
-            tail=None if is_variable(tail) else tail,
-        )
-        for triple in matches:
-            extended = dict(binding)
-            if not self._bind(extended, head, triple.head):
-                continue
-            if not self._bind(extended, relation, triple.relation):
-                continue
-            if not self._bind(extended, tail, triple.tail):
-                continue
-            yield extended
-
-    @staticmethod
-    def _resolve(term: str, binding: Binding) -> str:
-        if is_variable(term) and term in binding:
-            return binding[term]
-        return term
-
-    @staticmethod
-    def _bind(binding: Binding, term: str, value: str) -> bool:
-        if not is_variable(term):
-            return term == value
-        existing = binding.get(term)
-        if existing is None:
-            binding[term] = value
-            return True
-        return existing == value
+        if strategy not in STRATEGIES:
+            raise QueryError(
+                f"unknown execution strategy {strategy!r} (known: "
+                f"{', '.join(STRATEGIES)})")
+        plans = plan_queries(self.store, queries, reorder=reorder)
+        if strategy == "backtracking":
+            return [execute_backtracking(self.store, plan) for plan in plans]
+        if strategy == "id":
+            for plan in plans:
+                require_id_space(self.store, plan)
+        return execute_plans(self.store, plans)
 
     # ------------------------------------------------------------------ #
     # convenience helpers used by the applications layer

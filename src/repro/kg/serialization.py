@@ -35,7 +35,12 @@ _TSV_ESCAPE_TABLE = str.maketrans({
 _TSV_UNESCAPES = {"\\": "\\", "t": "\t", "n": "\n", "r": "\r"}
 
 
-def _escape_tsv_field(field: str) -> str:
+def escape_tsv_field(field: str) -> str:
+    """Backslash-escape TSV structure characters inside one field.
+
+    Public so other TSV emitters (the CLI's binding output) share the
+    exact escaping :func:`write_tsv` uses.
+    """
     return field.translate(_TSV_ESCAPE_TABLE)
 
 
@@ -72,9 +77,9 @@ def write_tsv(triples: Iterable[Triple], path: str | Path) -> int:
     count = 0
     with path.open("w", encoding="utf-8") as handle:
         for triple in triples:
-            handle.write(f"{_escape_tsv_field(triple.head)}\t"
-                         f"{_escape_tsv_field(triple.relation)}\t"
-                         f"{_escape_tsv_field(triple.tail)}\n")
+            handle.write(f"{escape_tsv_field(triple.head)}\t"
+                         f"{escape_tsv_field(triple.relation)}\t"
+                         f"{escape_tsv_field(triple.tail)}\n")
             count += 1
     return count
 

@@ -1,0 +1,298 @@
+"""A concurrent, batching query service over a :class:`TripleStore`.
+
+The ROADMAP's service-layer milestone: many clients — request-handler
+threads of a web front-end, worker processes sharing one on-disk store
+directory — issue pattern queries and point lookups concurrently, and
+the store answers them through its *batched* APIs rather than one
+round-trip per request.
+
+:class:`QueryService` is that multiplexer:
+
+* clients call :meth:`execute` / :meth:`execute_batch` /
+  :meth:`lookup_many` (or :meth:`submit` for a future) from any number
+  of threads;
+* requests land on an internal queue; a single **dispatcher** thread
+  drains whatever has accumulated (up to ``max_batch`` requests),
+  plans every pattern query in the batch with ONE batched
+  ``count_many`` call, advances all their plans in lockstep through
+  shared ``match_ids_many`` fetches
+  (:func:`repro.kg.executor.execute_plans`), and answers point lookups
+  with one ``match_many`` call — then resolves each request's future;
+* because only the dispatcher touches the backend, the service is safe
+  over backends whose lazy attach/consolidate steps are not thread-safe,
+  while the sharded backend still parallelizes *inside* each batched
+  call across its shard pool.
+
+Construction warms the backend up (attaches memmaps, folds any pending
+overlay) so steady-state dispatch never pays a consolidation.  The
+store must not be mutated while a service is running over it.
+
+For multi-process deployments, every process opens the same (sharded)
+store directory via :func:`QueryService.open` — ``TripleStore.open``
+memory-maps the column files read-only, so the OS page cache is shared
+and each process runs its own dispatcher.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import QueryError
+from repro.kg.backend import Pattern, supports_id_queries
+from repro.kg.executor import Binding, execute_plans
+from repro.kg.planner import PatternQuery, plan_queries
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple
+
+#: Kinds of requests the service multiplexes.
+_QUERY = "query"
+_LOOKUP = "lookup"
+
+#: Sentinel shoved down the queue to stop the dispatcher.
+_SHUTDOWN = object()
+
+
+def _resolve(future: "Future", result=None, exception: Optional[BaseException] = None) -> None:
+    """Resolve a future, tolerating client-side cancellation.
+
+    A client may ``cancel()`` a still-pending future before its batch is
+    dispatched; ``set_result`` on a cancelled future raises
+    ``InvalidStateError``, which would kill the dispatcher thread and
+    hang every later request — the cancelled request just gets dropped
+    instead.
+    """
+    if not future.set_running_or_notify_cancel():
+        return
+    if exception is not None:
+        future.set_exception(exception)
+    else:
+        future.set_result(result)
+
+
+class _Request:
+    """One queued client request: payload plus the future to resolve."""
+
+    __slots__ = ("kind", "payload", "reorder", "future")
+
+    def __init__(self, kind: str, payload, reorder: bool) -> None:
+        self.kind = kind
+        self.payload = payload
+        self.reorder = reorder
+        self.future: "Future" = Future()
+
+
+class QueryService:
+    """Multiplexes concurrent pattern queries into backend batch calls.
+
+    Parameters
+    ----------
+    store:
+        The (already built or opened) store to serve.  Not mutated.
+    max_batch:
+        Upper bound on how many requests one dispatch round coalesces.
+        Larger batches amortize planning and fetch round-trips better;
+        the default is plenty to saturate the batched backend APIs.
+
+    Use as a context manager or call :meth:`close` — the dispatcher is
+    a daemon thread, but closing deterministically drains in-flight
+    requests first.
+    """
+
+    def __init__(self, store: TripleStore, *, max_batch: int = 256) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        self.store = store
+        self.max_batch = int(max_batch)
+        self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
+        self._closed = False
+        self._close_lock = threading.Lock()
+        # Observability: how much multiplexing actually happens.
+        self.requests_served = 0
+        self.batches_dispatched = 0
+        self.largest_batch = 0
+        self._warm_up()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="kg-query-service", daemon=True)
+        self._dispatcher.start()
+
+    @classmethod
+    def open(cls, directory: Union[str, Path], *, max_batch: int = 256
+             ) -> "QueryService":
+        """Open a saved store directory (any layout) and serve it.
+
+        Dispatches on the header magic exactly like
+        :meth:`TripleStore.open` — sharded directories come back as a
+        shard-routed backend, single-store directories as memory-mapped
+        columns.
+        """
+        return cls(TripleStore.open(directory), max_batch=max_batch)
+
+    def _warm_up(self) -> None:
+        """Force lazy attach/consolidation before concurrent dispatch starts.
+
+        ``count_ids()`` touches the consolidated id surface without
+        copying any column data (a wildcard ``match_ids`` would
+        materialize the whole store once just to throw it away).
+        """
+        backend = self.store.backend
+        if supports_id_queries(backend):
+            backend.count_ids()
+        else:
+            self.store.count()
+
+    # ------------------------------------------------------------------ #
+    # client surface (thread-safe)
+    # ------------------------------------------------------------------ #
+    def submit(self, query: PatternQuery, reorder: bool = True) -> "Future":
+        """Enqueue one query; returns a future yielding ``List[Binding]``."""
+        return self._enqueue(_Request(_QUERY, query, reorder))
+
+    def submit_lookup(self, pattern: Pattern) -> "Future":
+        """Enqueue one point lookup; future yields ``List[Triple]``.
+
+        Point lookups take constants and ``None`` wildcards only — a
+        ``?variable`` here is almost certainly a pattern query routed to
+        the wrong entry point, and would otherwise silently match
+        nothing; use :meth:`submit` for variables.
+        """
+        pattern = tuple(pattern)
+        for term in pattern:
+            if isinstance(term, str) and term.startswith("?"):
+                raise QueryError(
+                    f"point lookup got variable term {term!r}; use "
+                    f"submit()/execute() with a PatternQuery for variables "
+                    f"(wildcards here are spelled None)")
+        return self._enqueue(_Request(_LOOKUP, pattern, True))
+
+    def execute(self, query: PatternQuery, reorder: bool = True) -> List[Binding]:
+        """Run one query, blocking until its batch is dispatched."""
+        return self.submit(query, reorder=reorder).result()
+
+    def execute_batch(self, queries: Sequence[PatternQuery],
+                      reorder: bool = True) -> List[List[Binding]]:
+        """Run a client-side batch; one future per query, awaited together."""
+        futures = [self.submit(query, reorder=reorder) for query in queries]
+        return [future.result() for future in futures]
+
+    def lookup_many(self, patterns: Sequence[Pattern]) -> List[List[Triple]]:
+        """Batched point lookups ((head, relation, tail), ``None`` wildcards)."""
+        futures = [self.submit_lookup(pattern) for pattern in patterns]
+        return [future.result() for future in futures]
+
+    def _enqueue(self, request: _Request) -> "Future":
+        # The closed-check and the put share the close lock: otherwise a
+        # request could slip into the queue after close() has drained it
+        # (closed flag read, preempted, close runs fully, then put) and
+        # its future would never resolve — a hung client.
+        with self._close_lock:
+            if self._closed:
+                raise QueryError("QueryService is closed")
+            self._queue.put(request)
+        return request.future
+
+    # ------------------------------------------------------------------ #
+    # dispatcher (single thread; the only backend toucher)
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _SHUTDOWN:
+                return
+            batch: List[_Request] = [first]
+            while len(batch) < self.max_batch:
+                try:
+                    nxt = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if nxt is _SHUTDOWN:
+                    self._serve(batch)
+                    return
+                batch.append(nxt)
+            self._serve(batch)
+
+    def _serve(self, batch: List[_Request]) -> None:
+        self.batches_dispatched += 1
+        self.largest_batch = max(self.largest_batch, len(batch))
+        self.requests_served += len(batch)
+        queries = [request for request in batch if request.kind == _QUERY]
+        lookups = [request for request in batch if request.kind == _LOOKUP]
+        if queries:
+            self._serve_queries(queries)
+        if lookups:
+            self._serve_lookups(lookups)
+
+    def _serve_queries(self, requests: List[_Request]) -> None:
+        # Group by reorder flag so each group plans in one batched call.
+        groups: Dict[bool, List[_Request]] = {}
+        for request in requests:
+            groups.setdefault(request.reorder, []).append(request)
+        for reorder, group in groups.items():
+            try:
+                # The fast path: ONE batched count_many plans the whole group.
+                plans = plan_queries(self.store, [request.payload
+                                                  for request in group],
+                                     reorder=reorder)
+                planned = group
+            except Exception:
+                # Some query in the group is malformed; re-plan one by one
+                # so the error lands on the offending request only.
+                plans, planned = [], []
+                for request in group:
+                    try:
+                        plans.append(plan_queries(self.store, [request.payload],
+                                                  reorder=reorder)[0])
+                        planned.append(request)
+                    except Exception as exc:
+                        _resolve(request.future, exception=exc)
+            if not planned:
+                continue
+            try:
+                results = execute_plans(self.store, plans)
+            except Exception as exc:  # pragma: no cover - defensive
+                for request in planned:
+                    _resolve(request.future, exception=exc)
+                continue
+            for request, result in zip(planned, results):
+                _resolve(request.future, result)
+
+    def _serve_lookups(self, requests: List[_Request]) -> None:
+        try:
+            results = self.store.match_many([request.payload
+                                             for request in requests])
+        except Exception as exc:
+            for request in requests:
+                _resolve(request.future, exception=exc)
+            return
+        for request, result in zip(requests, results):
+            _resolve(request.future, result)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop accepting requests, drain the queue, join the dispatcher."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._dispatcher.join()
+        # Fail anything that raced in behind the sentinel.
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if leftover is not _SHUTDOWN:
+                _resolve(leftover.future,
+                         exception=QueryError("QueryService is closed"))
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

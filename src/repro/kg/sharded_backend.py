@@ -79,6 +79,7 @@ from repro.errors import StorageError
 from repro.kg.backend import (
     BACKENDS,
     GraphBackend,
+    IdPattern,
     Interner,
     Pattern,
     _BatchedQueriesMixin,
@@ -113,6 +114,9 @@ _HASH_MULTIPLIER = 2654435761
 _HASH_MASK = (1 << 32) - 1
 
 _T = TypeVar("_T")
+
+#: ``classify`` return value: the item fans out to every shard.
+_BROADCAST = object()
 
 
 def shard_of_ids(head_ids: np.ndarray, n_shards: int) -> np.ndarray:
@@ -226,6 +230,69 @@ class ShardedBackend(_BatchedQueriesMixin):
                    parallel: bool = False) -> List[_T]:
         return self._parallel([(lambda shard=shard: fn(shard))
                                for shard in self._shards], parallel=parallel)
+
+    def _routed_batch(self, items: Sequence, classify: Callable,
+                      empty: Callable[[], _T],
+                      shard_call: Callable[[MmapBackend, List], List[_T]],
+                      broadcast_call: Optional[Callable[[MmapBackend, List],
+                                                        List[_T]]] = None,
+                      merge: Optional[Callable[[List[_T]], _T]] = None
+                      ) -> List[_T]:
+        """The shared route/broadcast/merge skeleton of the batched queries.
+
+        ``classify(item)`` returns the owner shard index, ``_BROADCAST``
+        to fan the item out to every shard, or ``None`` when the answer
+        is statically ``empty()`` (an unknown head symbol).  Routed
+        groups go to their shard via ``shard_call``; broadcast items go
+        to every shard via ``broadcast_call`` (default: ``shard_call``)
+        and each item's per-shard results are combined with ``merge``.
+        Exactly ONE thunk per shard answers that shard's routed group
+        and the broadcast set together — a shard must never be driven
+        by two pool threads at once (its lazy attach/rebuild is not
+        thread-safe within a fan-out) — and the thunks run threaded for
+        batches of ≥ 32 items.
+        """
+        results: List[Optional[_T]] = [None] * len(items)
+        routed: Dict[int, List[int]] = {}
+        broadcast: List[int] = []
+        for position, item in enumerate(items):
+            where = classify(item)
+            if where is None:
+                results[position] = empty()
+            elif where is _BROADCAST:
+                broadcast.append(position)
+            else:
+                routed.setdefault(where, []).append(position)
+        broadcast_items = [items[position] for position in broadcast]
+        if broadcast_call is None:
+            broadcast_call = shard_call
+        job_shards = list(range(self.n_shards)) if broadcast else sorted(routed)
+
+        def make_thunk(shard_index: int) -> Callable[
+                [], Tuple[List[_T], List[_T]]]:
+            shard = self._shards[shard_index]
+            group = [items[position]
+                     for position in routed.get(shard_index, ())]
+
+            def thunk() -> Tuple[List[_T], List[_T]]:
+                routed_part = shard_call(shard, group) if group else []
+                broadcast_part = broadcast_call(shard, broadcast_items) \
+                    if broadcast_items else []
+                return routed_part, broadcast_part
+            return thunk
+
+        parts = self._parallel([make_thunk(shard_index)
+                                for shard_index in job_shards],
+                               parallel=len(items) >= 32)
+        broadcast_parts: List[List[_T]] = []
+        for shard_index, (routed_part, broadcast_part) in zip(job_shards, parts):
+            for position, value in zip(routed.get(shard_index, ()), routed_part):
+                results[position] = value
+            broadcast_parts.append(broadcast_part)
+        for offset, position in enumerate(broadcast):
+            results[position] = merge([part[offset]
+                                       for part in broadcast_parts if part])
+        return results
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -360,8 +427,83 @@ class ShardedBackend(_BatchedQueriesMixin):
         return totals
 
     # ------------------------------------------------------------------ #
+    # id-level query surface — global ids, shard-routed
+    # ------------------------------------------------------------------ #
+    def match_ids(self, head_id: Optional[int] = None,
+                  relation_id: Optional[int] = None,
+                  tail_id: Optional[int] = None) -> np.ndarray:
+        """The (k, 3) id triples matching an id pattern.
+
+        Ids are global (all shards share this object's interners), so a
+        head-bound pattern reads exactly one shard; unbound patterns
+        concatenate the per-shard blocks (each internally consistent,
+        overall order shard-major).
+        """
+        if head_id is not None:
+            return self._shards[self._shard_index(head_id)].match_ids(
+                head_id, relation_id, tail_id)
+        parts = self._per_shard(
+            lambda shard: shard.match_ids(head_id, relation_id, tail_id))
+        parts = [part for part in parts if len(part)]
+        if not parts:
+            return np.zeros((0, 3), dtype=np.int64)
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts)
+
+    def count_ids(self, head_id: Optional[int] = None,
+                  relation_id: Optional[int] = None,
+                  tail_id: Optional[int] = None) -> int:
+        """Number of triples matching an id pattern."""
+        if head_id is not None:
+            return self._shards[self._shard_index(head_id)].count_ids(
+                head_id, relation_id, tail_id)
+        return sum(self._per_shard(
+            lambda shard: shard.count_ids(head_id, relation_id, tail_id)))
+
+    def match_ids_many(self, patterns: Sequence[IdPattern]) -> List[np.ndarray]:
+        """Batched :meth:`match_ids`: route head-bound id patterns to
+        their owner shard, broadcast and concatenate the rest."""
+        if self.n_shards == 1:
+            return self._shards[0].match_ids_many(patterns)
+
+        def merge(blocks: List[np.ndarray]) -> np.ndarray:
+            blocks = [block for block in blocks if len(block)]
+            if not blocks:
+                return np.zeros((0, 3), dtype=np.int64)
+            return blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
+
+        return self._routed_batch(
+            patterns,
+            classify=lambda pattern: _BROADCAST if pattern[0] is None
+            else self._shard_index(pattern[0]),
+            empty=lambda: np.zeros((0, 3), dtype=np.int64),
+            shard_call=lambda shard, group: shard.match_ids_many(group),
+            merge=merge)
+
+    # ------------------------------------------------------------------ #
     # batched queries — route head-bound items, fan out the rest
     # ------------------------------------------------------------------ #
+    def _classify_head(self, head: Optional[str]):
+        """Owner shard of a string pattern head (None = wildcard)."""
+        if head is None:
+            return _BROADCAST
+        head_id = self.entity_interner.lookup(head)
+        return None if head_id is None else self._shard_index(head_id)
+
+    def count_many(self, patterns: Sequence[Pattern]) -> List[int]:
+        """Batched :meth:`count`: head-bound patterns hit one shard,
+        the rest sum across shards — one pass per shard, not one per
+        (pattern, shard) pair."""
+        if self.n_shards == 1:
+            return self._shards[0].count_many(patterns)
+        return self._routed_batch(
+            patterns,
+            classify=lambda pattern: self._classify_head(pattern[0]),
+            empty=lambda: 0,
+            shard_call=lambda shard, group: shard.count_many(group),
+            merge=sum)
+
     def match_many(self, patterns: Sequence[Pattern],
                    sort: bool = False) -> List[List[Triple]]:
         """Head-bound patterns go only to their owner shard; unbound ones
@@ -370,77 +512,32 @@ class ShardedBackend(_BatchedQueriesMixin):
         for large batches."""
         if self.n_shards == 1:
             return self._shards[0].match_many(patterns, sort=sort)
-        results: List[Optional[List[Triple]]] = [None] * len(patterns)
-        routed: Dict[int, List[int]] = {}
-        broadcast: List[int] = []
-        lookup = self.entity_interner.lookup
-        for position, (head, _relation, _tail) in enumerate(patterns):
-            if head is None:
-                broadcast.append(position)
-                continue
-            head_id = lookup(head)
-            if head_id is None:
-                results[position] = []
-            else:
-                routed.setdefault(self._shard_index(head_id), []).append(position)
-        broadcast_patterns = [patterns[position] for position in broadcast]
-        # Exactly ONE thunk per shard, answering that shard's routed group
-        # and the broadcast set together: a shard must never be driven by
-        # two pool threads at once (its lazy attach/rebuild is not
-        # thread-safe within a fan-out).
-        job_shards = list(range(self.n_shards)) if broadcast \
-            else sorted(routed)
-        def make_thunk(shard_index: int) -> Callable[
-                [], Tuple[List[List[Triple]], List[List[Triple]]]]:
-            shard = self._shards[shard_index]
-            routed_group = [patterns[position]
-                            for position in routed.get(shard_index, ())]
-            def thunk() -> Tuple[List[List[Triple]], List[List[Triple]]]:
-                routed_part = shard.match_many(routed_group, sort=sort) \
-                    if routed_group else []
-                broadcast_part = shard.match_many(broadcast_patterns, sort=False) \
-                    if broadcast_patterns else []
-                return routed_part, broadcast_part
-            return thunk
-        parts = self._parallel([make_thunk(shard_index)
-                                for shard_index in job_shards],
-                               parallel=len(patterns) >= 32)
-        broadcast_parts: List[List[List[Triple]]] = []
-        for shard_index, (routed_part, broadcast_part) in zip(job_shards, parts):
-            for position, matched in zip(routed.get(shard_index, ()), routed_part):
-                results[position] = matched
-            broadcast_parts.append(broadcast_part)
-        for offset, position in enumerate(broadcast):
-            merged = [triple for part in broadcast_parts if part
-                      for triple in part[offset]]
+
+        def merge(parts: List[List[Triple]]) -> List[Triple]:
+            merged = [triple for part in parts for triple in part]
             if sort:
                 merged.sort()
-            results[position] = merged
-        return results
+            return merged
+
+        return self._routed_batch(
+            patterns,
+            classify=lambda pattern: self._classify_head(pattern[0]),
+            empty=list,
+            shard_call=lambda shard, group: shard.match_many(group, sort=sort),
+            # Per-shard sorting would be thrown away by the merge.
+            broadcast_call=lambda shard, group: shard.match_many(group,
+                                                                 sort=False),
+            merge=merge)
 
     def tails_many(self, pairs: Sequence[Tuple[str, str]]) -> List[List[str]]:
         """Every (head, relation) pair routes to the head's shard."""
         if self.n_shards == 1:
             return self._shards[0].tails_many(pairs)
-        results: List[List[str]] = [[] for _ in pairs]
-        routed: Dict[int, List[int]] = {}
-        lookup = self.entity_interner.lookup
-        for position, (head, _relation) in enumerate(pairs):
-            head_id = lookup(head)
-            if head_id is not None:
-                routed.setdefault(self._shard_index(head_id), []).append(position)
-        routed_groups = list(routed.items())
-        thunks = [
-            (lambda shard=self._shards[shard_index],
-             group=[pairs[position] for position in positions]:
-             shard.tails_many(group))
-            for shard_index, positions in routed_groups
-        ]
-        parts = self._parallel(thunks, parallel=len(pairs) >= 32)
-        for (shard_index, positions), part in zip(routed_groups, parts):
-            for position, tails in zip(positions, part):
-                results[position] = tails
-        return results
+        return self._routed_batch(
+            pairs,
+            classify=lambda pair: self._classify_head(pair[0]),
+            empty=list,
+            shard_call=lambda shard, group: shard.tails_many(group))
 
     def degree_many(self, nodes: Sequence[str]) -> List[int]:
         """Sum the per-shard vectorized degree-count arrays, then resolve

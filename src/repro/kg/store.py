@@ -124,6 +124,15 @@ class TripleStore:
         """Return all heads h such that (h, relation, tail) is in the store."""
         return self._backend.heads(relation, tail)
 
+    def count_many(self, patterns: Sequence[Pattern]) -> List[int]:
+        """Batched :meth:`count` over patterns (one backend call).
+
+        The query planner's selectivity ordering runs on this — the
+        sharded backend routes head-bound patterns to their owner shard
+        and answers the batch in one pass per shard.
+        """
+        return self._backend.count_many(patterns)
+
     def tails_many(self, pairs: Sequence[Tuple[str, str]]) -> List[List[str]]:
         """Batched :meth:`tails` over (head, relation) pairs."""
         return self._backend.tails_many(pairs)

@@ -88,3 +88,79 @@ def test_cli_linkpred_reports_metrics(capsys):
     output = capsys.readouterr().out
     assert "training loss" in output
     assert "Hits@10" in output
+
+
+# --------------------------------------------------------------------------- #
+# query subcommand
+# --------------------------------------------------------------------------- #
+def _saved_store(tmp_path, backend="columnar"):
+    from repro.kg.sharded_backend import ShardedBackend
+    from repro.kg.store import TripleStore
+    from repro.kg.triple import triples_from_tuples
+
+    rows = [("p1", "brandIs", "apple"), ("p2", "brandIs", "apple"),
+            ("p3", "brandIs", "tesla"), ("p1", "placeOfOrigin", "china"),
+            ("p2", "placeOfOrigin", "japan"),
+            ("apple", "headquartersIn", "america")]
+    chosen = ShardedBackend(n_shards=2) if backend == "sharded" else backend
+    store = TripleStore(triples_from_tuples(rows), backend=chosen)
+    return store.save(tmp_path / f"store-{backend}")
+
+
+def test_cli_query_prints_tsv_bindings(tmp_path, capsys):
+    store_dir = _saved_store(tmp_path)
+    exit_code = main(["query", "--store-dir", str(store_dir),
+                      "--pattern", "?p brandIs apple",
+                      "--pattern", "?p placeOfOrigin ?where",
+                      "--select", "?p", "?where"])
+    assert exit_code == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0] == "?p\t?where"
+    assert sorted(lines[1:]) == ["p1\tchina", "p2\tjapan"]
+
+
+def test_cli_query_accepts_global_store_dir_position(tmp_path, capsys):
+    """--store-dir works in the documented global position too."""
+    store_dir = _saved_store(tmp_path)
+    exit_code = main(["--store-dir", str(store_dir), "query",
+                      "--pattern", "?p brandIs apple", "--select", "?p"])
+    assert exit_code == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert sorted(lines[1:]) == ["p1", "p2"]
+    # Missing entirely -> clear usage error on stderr.
+    assert main(["query", "--pattern", "?p brandIs apple"]) == 2
+    assert "requires --store-dir" in capsys.readouterr().err
+
+
+def test_cli_query_sharded_store_and_limit(tmp_path, capsys):
+    store_dir = _saved_store(tmp_path, backend="sharded")
+    exit_code = main(["query", "--store-dir", str(store_dir),
+                      "--pattern", "?p brandIs ?b",
+                      "--pattern", "?b headquartersIn ?c",
+                      "--limit", "1"])
+    assert exit_code == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0] == "?p\t?b\t?c"
+    assert len(lines) == 2  # header + one limited row
+
+
+def test_cli_query_errors_are_reported(tmp_path, capsys):
+    store_dir = _saved_store(tmp_path)
+    # Unknown select variable -> QueryError -> exit code 2, on stderr
+    # (stdout stays a clean TSV channel for piped consumers).
+    assert main(["query", "--store-dir", str(store_dir),
+                 "--pattern", "?p brandIs apple", "--select", "?oops"]) == 2
+    captured = capsys.readouterr()
+    assert "?oops" in captured.err and captured.out == ""
+    # Malformed pattern.
+    assert main(["query", "--store-dir", str(store_dir),
+                 "--pattern", "only two"]) == 2
+    assert "3 whitespace-separated terms" in capsys.readouterr().err
+    # Missing store directory.
+    assert main(["query", "--store-dir", str(tmp_path / "nope"),
+                 "--pattern", "?p brandIs apple"]) == 2
+    assert "not a graph store directory" in capsys.readouterr().err
+    # Negative limit.
+    assert main(["query", "--store-dir", str(store_dir),
+                 "--pattern", "?p brandIs apple", "--limit", "-1"]) == 2
+    assert "--limit must be >= 0" in capsys.readouterr().err

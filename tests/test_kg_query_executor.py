@@ -1,0 +1,253 @@
+"""Tests for the plan/execute query layer (ID-space executor parity)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueryError
+from repro.kg.backend import supports_id_queries
+from repro.kg.planner import plan_queries, plan_query
+from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.sharded_backend import ShardedBackend
+from repro.kg.store import TripleStore
+from repro.kg.triple import triples_from_tuples
+
+BACKENDS = ("set", "columnar", "mmap", "sharded")
+
+
+def _store(rows, backend: str) -> TripleStore:
+    if backend == "sharded":
+        return TripleStore(triples_from_tuples(rows),
+                           backend=ShardedBackend(n_shards=2))
+    return TripleStore(triples_from_tuples(rows), backend=backend)
+
+
+def _binding_set(rows):
+    return {frozenset(binding.items()) for binding in rows}
+
+
+SAMPLE_ROWS = [
+    ("p1", "brandIs", "apple"),
+    ("p2", "brandIs", "apple"),
+    ("p3", "brandIs", "tesla"),
+    ("p1", "placeOfOrigin", "china"),
+    ("p2", "placeOfOrigin", "china"),
+    ("p3", "placeOfOrigin", "america"),
+    ("apple", "headquartersIn", "america"),
+    ("tesla", "headquartersIn", "america"),
+]
+
+SAMPLE_QUERIES = [
+    PatternQuery.from_patterns([("?p", "brandIs", "apple")], select=["?p"]),
+    PatternQuery.from_patterns([("?p", "brandIs", "?b"),
+                                ("?b", "headquartersIn", "?c")]),
+    PatternQuery.from_patterns([("?p", "brandIs", "?b"),
+                                ("?b", "headquartersIn", "?c"),
+                                ("?p", "placeOfOrigin", "china")],
+                               select=["?p", "?c"]),
+    PatternQuery.from_patterns([("?a", "?r", "america")]),
+    PatternQuery.from_patterns([("?p", "placeOfOrigin", "?x"),
+                                ("?b", "headquartersIn", "?x")]),
+    PatternQuery.from_patterns([("p1", "brandIs", "apple"),
+                                ("?p", "placeOfOrigin", "?where")]),
+    PatternQuery.from_patterns([("?p", "brandIs", "nokia")]),
+    PatternQuery.from_patterns([]),
+]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_id_executor_matches_backtracking_on_samples(backend):
+    engine = QueryEngine(_store(SAMPLE_ROWS, backend))
+    for query in SAMPLE_QUERIES:
+        for reorder in (True, False):
+            auto = engine.execute(query, reorder=reorder)
+            legacy = engine.execute(query, reorder=reorder,
+                                    strategy="backtracking")
+            assert _binding_set(auto) == _binding_set(legacy), query
+
+
+@pytest.mark.parametrize("backend", ("columnar", "mmap", "sharded"))
+def test_id_strategy_explicitly(backend):
+    engine = QueryEngine(_store(SAMPLE_ROWS, backend))
+    query = SAMPLE_QUERIES[2]
+    assert _binding_set(engine.execute(query, strategy="id")) == \
+        _binding_set(engine.execute(query, strategy="backtracking"))
+
+
+def test_id_strategy_rejected_on_set_backend():
+    engine = QueryEngine(_store(SAMPLE_ROWS, "set"))
+    with pytest.raises(QueryError, match="id-level"):
+        engine.execute(SAMPLE_QUERIES[0], strategy="id")
+
+
+def test_id_strategy_rejected_on_mixed_kind_variable():
+    engine = QueryEngine(_store(SAMPLE_ROWS + [("brandIs", "r", "x")], "columnar"))
+    # ?m binds a relation in the first pattern and an entity in the second.
+    query = PatternQuery.from_patterns([("?p", "?m", "apple"), ("?m", "r", "?t")])
+    with pytest.raises(QueryError, match="entity and relation"):
+        engine.execute(query, strategy="id")
+    # auto falls back to backtracking and still answers.
+    auto = engine.execute(query)
+    legacy = engine.execute(query, strategy="backtracking")
+    assert _binding_set(auto) == _binding_set(legacy)
+    assert auto  # (?p=brandIs is not a real binding; ?m=brandIs joins both)
+
+
+def test_unknown_strategy_raises():
+    engine = QueryEngine(_store(SAMPLE_ROWS, "columnar"))
+    with pytest.raises(QueryError, match="unknown execution strategy"):
+        engine.execute(SAMPLE_QUERIES[0], strategy="vectorized")
+
+
+def test_repeated_variable_within_pattern():
+    rows = SAMPLE_ROWS + [("loop", "r", "loop"), ("a", "r", "b")]
+    for backend in BACKENDS:
+        engine = QueryEngine(_store(rows, backend))
+        query = PatternQuery.from_patterns([("?x", "r", "?x")])
+        assert engine.execute(query) == [{"?x": "loop"}]
+        assert engine.execute(query, strategy="backtracking") == [{"?x": "loop"}]
+
+
+def test_cartesian_product_between_disjoint_patterns():
+    for backend in BACKENDS:
+        engine = QueryEngine(_store(SAMPLE_ROWS, backend))
+        query = PatternQuery.from_patterns([("?p", "brandIs", "apple"),
+                                            ("?b", "headquartersIn", "?c")])
+        auto = engine.execute(query)
+        legacy = engine.execute(query, strategy="backtracking")
+        assert _binding_set(auto) == _binding_set(legacy)
+        assert len(auto) == 4  # 2 apple products x 2 headquarters
+
+# --------------------------------------------------------------------------- #
+# select validation (the silently-dropped-variable bugfix)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("strategy", ("auto", "backtracking"))
+def test_select_unknown_variable_raises_naming_it(strategy):
+    engine = QueryEngine(_store(SAMPLE_ROWS, "columnar"))
+    query = PatternQuery.from_patterns([("?p", "brandIs", "apple")],
+                                       select=["?p", "?brand"])
+    with pytest.raises(QueryError, match=r"\?brand"):
+        engine.execute(query, strategy=strategy)
+
+
+def test_select_non_variable_raises():
+    engine = QueryEngine(_store(SAMPLE_ROWS, "columnar"))
+    query = PatternQuery.from_patterns([("?p", "brandIs", "apple")],
+                                       select=["p"])
+    with pytest.raises(QueryError, match="not a variable"):
+        engine.execute(query)
+
+
+def test_select_projection_dedupes():
+    for backend in BACKENDS:
+        engine = QueryEngine(_store(SAMPLE_ROWS, backend))
+        query = PatternQuery.from_patterns([("?p", "placeOfOrigin", "china"),
+                                            ("?p", "brandIs", "?b")],
+                                           select=["?b"])
+        assert engine.execute(query) == [{"?b": "apple"}]
+
+
+# --------------------------------------------------------------------------- #
+# planner
+# --------------------------------------------------------------------------- #
+def test_plan_orders_by_selectivity():
+    store = _store(SAMPLE_ROWS, "columnar")
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b"),
+                                        ("?b", "headquartersIn", "america"),
+                                        ("?p", "placeOfOrigin", "china")])
+    plan = plan_query(store, query)
+    counts = [step.count for step in plan.steps]
+    assert counts == sorted(counts)
+    assert plan.steps[0].pattern != query.patterns[0]
+    unordered = plan_query(store, query, reorder=False)
+    assert tuple(step.pattern for step in unordered.steps) == query.patterns
+
+
+def test_plan_many_batches_counts(monkeypatch):
+    store = _store(SAMPLE_ROWS, "columnar")
+    calls = []
+    original = type(store.backend).count_many
+
+    def spy(self, patterns):
+        calls.append(len(patterns))
+        return original(self, patterns)
+
+    monkeypatch.setattr(type(store.backend), "count_many", spy)
+    queries = [SAMPLE_QUERIES[1], SAMPLE_QUERIES[2], SAMPLE_QUERIES[4]]
+    plan_queries(store, queries)
+    assert calls == [sum(len(query.patterns) for query in queries)]
+
+
+def test_supports_id_queries_flags():
+    assert not supports_id_queries(_store(SAMPLE_ROWS, "set").backend)
+    for backend in ("columnar", "mmap", "sharded"):
+        assert supports_id_queries(_store(SAMPLE_ROWS, backend).backend)
+
+
+# --------------------------------------------------------------------------- #
+# reopened (on-disk) stores
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", ("columnar", "sharded"))
+def test_executor_parity_on_reopened_store(tmp_path, backend):
+    store = _store(SAMPLE_ROWS, backend)
+    store.save(tmp_path / backend)
+    reopened = TripleStore.open(tmp_path / backend)
+    engine = QueryEngine(reopened)
+    memory_engine = QueryEngine(store)
+    for query in SAMPLE_QUERIES:
+        expected = _binding_set(memory_engine.execute(query,
+                                                      strategy="backtracking"))
+        assert _binding_set(engine.execute(query)) == expected
+        assert _binding_set(engine.execute(query,
+                                           strategy="backtracking")) == expected
+
+
+# --------------------------------------------------------------------------- #
+# property test: random stores, random queries, every backend
+# --------------------------------------------------------------------------- #
+_ENTITIES = ("a", "b", "c", "d")
+_RELATIONS = ("r", "s")
+_VARIABLES = ("?x", "?y", "?z")
+
+_triples_strategy = st.lists(
+    st.tuples(st.sampled_from(_ENTITIES), st.sampled_from(_RELATIONS),
+              st.sampled_from(_ENTITIES)),
+    min_size=1, max_size=18)
+
+_entity_term = st.sampled_from(_ENTITIES + _VARIABLES)
+_relation_term = st.sampled_from(_RELATIONS + _VARIABLES)
+
+_query_strategy = st.lists(
+    st.tuples(_entity_term, _relation_term, _entity_term),
+    min_size=1, max_size=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(rows=_triples_strategy, patterns=_query_strategy,
+       select_bits=st.integers(min_value=0, max_value=7))
+def test_property_id_executor_bit_identical_binding_sets(rows, patterns,
+                                                         select_bits):
+    """Property: ID-space and backtracking binding sets agree everywhere.
+
+    Random small stores and random conjunctive queries (including
+    relation variables, repeated variables and variables that mix
+    entity/relation positions — the auto strategy must fall back
+    correctly), across all four backends.  ``select`` projects a random
+    subset of the bound variables.
+    """
+    query = PatternQuery.from_patterns(patterns)
+    variables = query.variables()
+    select = [var for bit, var in enumerate(variables) if select_bits >> bit & 1]
+    query = PatternQuery.from_patterns(patterns, select=select)
+    reference = None
+    for backend in BACKENDS:
+        engine = QueryEngine(_store(rows, backend))
+        legacy = _binding_set(engine.execute(query, strategy="backtracking"))
+        auto = _binding_set(engine.execute(query))
+        assert auto == legacy
+        if reference is None:
+            reference = legacy
+        else:
+            assert legacy == reference  # backends agree with each other

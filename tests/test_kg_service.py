@@ -1,0 +1,172 @@
+"""Tests for the concurrent batching QueryService."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import QueryError
+from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.service import QueryService
+from repro.kg.sharded_backend import ShardedBackend
+from repro.kg.store import TripleStore
+from repro.kg.triple import triples_from_tuples
+
+
+def _rows():
+    rows = []
+    for index in range(240):
+        product = f"product:{index:04d}"
+        rows.append((product, "brandIs", f"brand:{index % 12}"))
+        rows.append((product, "placeOfOrigin", f"place:{index % 5}"))
+        rows.append((product, "rdf:type", f"category:{index % 9}"))
+    for brand in range(12):
+        rows.append((f"brand:{brand}", "headquartersIn", f"country:{brand % 3}"))
+    return rows
+
+
+def _queries():
+    queries = []
+    for brand in range(12):
+        queries.append(PatternQuery.from_patterns(
+            [("?p", "brandIs", f"brand:{brand}"),
+             ("?p", "placeOfOrigin", "?place")],
+            select=["?p", "?place"]))
+    for country in range(3):
+        queries.append(PatternQuery.from_patterns(
+            [("?p", "brandIs", "?b"),
+             ("?b", "headquartersIn", f"country:{country}"),
+             ("?p", "rdf:type", "?cat")],
+            select=["?p", "?cat"]))
+    return queries
+
+
+def _canonical(results):
+    return [sorted(tuple(sorted(binding.items())) for binding in rows)
+            for rows in results]
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TripleStore(triples_from_tuples(_rows()),
+                       backend=ShardedBackend(n_shards=2))
+
+
+def test_service_single_query_matches_engine(store):
+    query = _queries()[0]
+    expected = QueryEngine(store).execute(query)
+    with QueryService(store) as service:
+        assert service.execute(query) == expected
+
+
+def test_service_concurrent_clients_identical_to_serial(store):
+    """8 threads of batched clients return exactly the serial results."""
+    queries = _queries()
+    serial = _canonical([QueryEngine(store).execute(query) for query in queries])
+    num_threads = 8
+    outputs = [None] * num_threads
+    errors = []
+    with QueryService(store) as service:
+        barrier = threading.Barrier(num_threads)
+
+        def client(slot: int) -> None:
+            try:
+                barrier.wait(timeout=30)
+                outputs[slot] = _canonical(service.execute_batch(queries))
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(slot,))
+                   for slot in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for slot in range(num_threads):
+            assert outputs[slot] == serial
+        assert service.requests_served == num_threads * len(queries)
+        assert service.batches_dispatched >= 1
+        # Concurrency must actually coalesce: strictly fewer dispatches
+        # than requests (the first dispatch can only be solo).
+        assert service.batches_dispatched < service.requests_served
+
+
+def test_service_point_lookups_match_store(store):
+    patterns = [("product:0001", "brandIs", None),
+                (None, "headquartersIn", "country:0"),
+                ("product:0001", "brandIs", "brand:1"),
+                ("nope", None, None)]
+    with QueryService(store) as service:
+        assert service.lookup_many(patterns) == store.match_many(patterns)
+
+
+def test_service_lookup_rejects_variable_terms(store):
+    """A '?var' in a point lookup is a misrouted pattern query — loud
+    error, not a silently empty result."""
+    with QueryService(store) as service:
+        with pytest.raises(QueryError, match=r"\?p.*PatternQuery"):
+            service.submit_lookup(("?p", "brandIs", "brand:1"))
+
+
+def test_service_mixed_queries_and_lookups(store):
+    query = _queries()[3]
+    with QueryService(store) as service:
+        query_future = service.submit(query)
+        lookup_future = service.submit_lookup((None, "headquartersIn", None))
+        assert query_future.result() == QueryEngine(store).execute(query)
+        assert lookup_future.result() == store.match(relation="headquartersIn")
+
+
+def test_service_bad_query_fails_only_that_future(store):
+    good = _queries()[0]
+    bad = PatternQuery.from_patterns([("?p", "brandIs", "?b")], select=["?oops"])
+    with QueryService(store) as service:
+        futures = [service.submit(good), service.submit(bad), service.submit(good)]
+        assert futures[0].result() == QueryEngine(store).execute(good)
+        with pytest.raises(QueryError, match=r"\?oops"):
+            futures[1].result()
+        assert futures[2].result() == futures[0].result()
+
+
+def test_service_over_reopened_store_dir(tmp_path, store):
+    directory = store.save(tmp_path / "served")
+    queries = _queries()[:5]
+    serial = _canonical([QueryEngine(store).execute(query) for query in queries])
+    with QueryService.open(directory) as service:
+        assert _canonical(service.execute_batch(queries)) == serial
+
+
+def test_service_survives_cancelled_futures(store):
+    """Regression: resolving a client-cancelled future must not kill the
+    dispatcher (set_result on a cancelled future raises
+    InvalidStateError, which would hang every later request)."""
+    query = _queries()[0]
+    expected = QueryEngine(store).execute(query)
+    with QueryService(store) as service:
+        for _ in range(50):
+            service.submit(query).cancel()
+        # The dispatcher must still be alive and serving.
+        assert service.execute(query) == expected
+
+
+def test_service_rejects_requests_after_close(store):
+    service = QueryService(store)
+    service.close()
+    with pytest.raises(QueryError, match="closed"):
+        service.execute(_queries()[0])
+    service.close()  # idempotent
+
+
+def test_service_works_on_set_backend_via_fallback():
+    store = TripleStore(triples_from_tuples(_rows()[:60]), backend="set")
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    with QueryService(store) as service:
+        assert _canonical([service.execute(query)]) == \
+            _canonical([QueryEngine(store).execute(query)])
+
+
+def test_service_invalid_max_batch(store):
+    with pytest.raises(ValueError):
+        QueryService(store, max_batch=0)
