@@ -1,0 +1,154 @@
+"""Micro-benchmark — the network query protocol vs in-process access.
+
+Two workloads over one synthetic product graph served by a
+:class:`~repro.kg.server.KGServer` on loopback:
+
+* **point lookups** — single `(head, relation, ?)` probes and the
+  batched `match_many` form, in-process vs over the wire.  The table
+  prices the protocol overhead per op (framing + JSON + loopback
+  round-trip) and shows how batching amortizes it.
+* **paged big-result query** — a whole-graph join streamed through a
+  remote cursor page by page vs materialized in one response.
+
+Acceptance bars (the assertion messages embed the timing/memory table,
+so a CI failure report carries the numbers):
+
+* remote results — point, batched, full and paged — are identical to
+  in-process execution;
+* the paged client's peak heap growth stays **bounded**: far below the
+  resident size of the fully materialized result (the whole point of
+  cursors — a million-row result must not need a million-row client).
+
+Throughput lines are advisory: loopback latency on shared CI runners is
+too noisy for a hard bar.
+"""
+
+from __future__ import annotations
+
+import time
+import tracemalloc
+from typing import List, Tuple
+
+from repro.kg.client import RemoteQueryEngine, RemoteStore
+from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.server import KGServer
+from repro.kg.sharded_backend import ShardedBackend
+from repro.kg.store import TripleStore
+from repro.kg.triple import triples_from_tuples
+
+NUM_PRODUCTS = 4000
+NUM_BRANDS = 16
+NUM_LOOKUPS = 400
+PAGE_SIZE = 256
+
+
+def _workload_rows() -> List[Tuple[str, str, str]]:
+    rows: List[Tuple[str, str, str]] = []
+    for index in range(NUM_PRODUCTS):
+        product = f"product:{index:06d}"
+        rows.append((product, "brandIs", f"brand:{index % NUM_BRANDS}"))
+        rows.append((product, "placeOfOrigin", f"place:{index % 23}"))
+        rows.append((product, "rdf:type", f"category:{index % 111}"))
+    for brand in range(NUM_BRANDS):
+        rows.append((f"brand:{brand}", "headquartersIn",
+                     f"country:{brand % 4}"))
+    return rows
+
+
+def _store() -> TripleStore:
+    return TripleStore(triples_from_tuples(_workload_rows()),
+                       backend=ShardedBackend(n_shards=2))
+
+
+def test_remote_point_lookup_overhead():
+    store = _store()
+    patterns = [(f"product:{index % NUM_PRODUCTS:06d}", "brandIs", None)
+                for index in range(NUM_LOOKUPS)]
+    local = store.match_many(patterns)
+    table = [f"{'path':<26} {'seconds':>9} {'ops/s':>10}"]
+
+    def timed(label, workload):
+        start = time.perf_counter()
+        result = workload()
+        elapsed = time.perf_counter() - start
+        table.append(f"{label:<26} {elapsed:>9.4f} "
+                     f"{NUM_LOOKUPS / elapsed:>10.0f}")
+        return result
+
+    in_process_single = timed(
+        "in-process match x1", lambda: [store.match(*p) for p in patterns])
+    in_process_batch = timed(
+        "in-process match_many", lambda: store.match_many(patterns))
+    with KGServer(store, port=0).start() as server:
+        with RemoteStore(server.url) as remote:
+            remote_single = timed(
+                "remote match x1", lambda: [remote.match(*p)
+                                            for p in patterns])
+            remote_batch = timed(
+                "remote match_many", lambda: remote.match_many(patterns))
+    report = "\n".join(table)
+    print(f"\npoint lookups ({NUM_LOOKUPS} probes, {len(store)} triples, "
+          f"loopback)\n{report}")
+    for label, result in (("in-process single", in_process_single),
+                          ("in-process batch", in_process_batch),
+                          ("remote single", remote_single),
+                          ("remote batch", remote_batch)):
+        assert result == local, f"{label} lookup results diverge\n{report}"
+
+
+def test_remote_paged_big_result_stays_memory_bounded():
+    store = _store()
+    # The whole-graph join: every product with its brand's country.
+    query = PatternQuery.from_patterns(
+        [("?p", "brandIs", "?b"), ("?b", "headquartersIn", "?c")])
+    local = QueryEngine(store).execute(query)
+    assert len(local) == NUM_PRODUCTS
+
+    with KGServer(store, port=0).start() as server:
+        with RemoteQueryEngine(server.url) as engine:
+            # Full materialization: one response frame, whole list held.
+            tracemalloc.start()
+            start = time.perf_counter()
+            full = engine.execute(query)
+            full_seconds = time.perf_counter() - start
+            full_peak = tracemalloc.get_traced_memory()[1]
+            tracemalloc.stop()
+            assert full == local
+
+            # Paged: only one page of bindings alive at a time.
+            def paged_checksum() -> Tuple[int, int]:
+                rows = 0
+                checksum = 0
+                cursor = engine.cursor(query, page_size=PAGE_SIZE)
+                for row in cursor:
+                    rows += 1
+                    checksum ^= hash(row["?p"]) ^ hash(row["?c"])
+                cursor.close()
+                return rows, checksum
+
+            tracemalloc.start()
+            start = time.perf_counter()
+            paged_rows, paged_checksum_value = paged_checksum()
+            paged_seconds = time.perf_counter() - start
+            paged_peak = tracemalloc.get_traced_memory()[1]
+            tracemalloc.stop()
+
+    expected_checksum = 0
+    for row in local:
+        expected_checksum ^= hash(row["?p"]) ^ hash(row["?c"])
+    report = "\n".join([
+        f"{'path':<22} {'seconds':>9} {'peak heap':>12} {'rows':>7}",
+        f"{'remote full':<22} {full_seconds:>9.4f} {full_peak:>12,} "
+        f"{len(full):>7}",
+        f"{'remote paged(' + str(PAGE_SIZE) + ')':<22} {paged_seconds:>9.4f} "
+        f"{paged_peak:>12,} {paged_rows:>7}",
+    ])
+    print(f"\npaged big-result query ({len(local)} rows, loopback)\n{report}")
+    assert paged_rows == len(local), f"paged row count diverges\n{report}"
+    assert paged_checksum_value == expected_checksum, \
+        f"paged rows diverge from local execution\n{report}"
+    # The acceptance bar: streaming must keep client memory bounded —
+    # the paged pass may not come anywhere near holding the full result.
+    assert paged_peak < full_peak / 2, (
+        f"paged client peak {paged_peak:,}B is not bounded vs full "
+        f"materialization {full_peak:,}B\n{report}")

@@ -1,23 +1,27 @@
 """Command-line interface for the OpenBG reproduction.
 
-Five subcommands cover the everyday workflows::
+Six subcommands cover the everyday workflows::
 
     python -m repro.cli --products 300 build      --out ./openbg_out
     python -m repro.cli --products 300 stats
     python -m repro.cli --products 300 benchmark  --out ./openbg_out
     python -m repro.cli --products 300 linkpred   --model TransE --epochs 25
+    python -m repro.cli serve --store-dir ./store --port 7468
     python -m repro.cli query --store-dir ./store \\
         --pattern "?p brandIs brand:0" --pattern "?p placeOfOrigin ?where" \\
         --select ?p ?where
+    python -m repro.cli query --url 127.0.0.1:7468 --pattern "?p brandIs ?b"
 
 ``build`` constructs the synthetic OpenBG and writes it as TSV triples,
 ``stats`` prints the Table-I style statistics, ``benchmark`` samples and
 saves the OpenBG-IMG / 500 / 500-L analogues, ``linkpred`` trains one
 embedding model on the OpenBG500 analogue and prints its filtered
-metrics, and ``query`` opens a previously saved store directory (plain
-mmap or sharded layout — no rebuild) and evaluates a conjunctive
-triple-pattern query through the ID-space executor, printing bindings
-as TSV.
+metrics, ``serve`` opens a saved store directory and serves the network
+query protocol on a TCP port, and ``query`` evaluates a conjunctive
+triple-pattern query — against a local store directory (``--store-dir``,
+mmap or sharded layout, no rebuild) or a running server (``--url``,
+results streamed in pages through a server-side cursor) — printing
+bindings as TSV.
 """
 
 from __future__ import annotations
@@ -95,9 +99,30 @@ def build_parser() -> argparse.ArgumentParser:
     linkpred.add_argument("--dim", type=int, default=32)
     linkpred.add_argument("--learning-rate", type=float, default=0.08)
 
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a saved store directory over the TCP query protocol")
+    serve.add_argument("--store-dir", type=Path, dest="store_dir",
+                       default=argparse.SUPPRESS,
+                       help="store directory written by build --store-dir or "
+                            "TripleStore.save (mmap or sharded layout; "
+                            "auto-detected)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="address to bind (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port to bind (default 7468; 0 picks an "
+                            "ephemeral port, printed on startup)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="max requests one service dispatch round "
+                            "coalesces (default 256)")
+    serve.add_argument("--cursor-ttl", type=float, default=300.0,
+                       help="seconds an idle server-side cursor survives "
+                            "before eviction (default 300)")
+
     query = subparsers.add_parser(
         "query",
-        help="run a triple-pattern query against a saved store directory")
+        help="run a triple-pattern query against a saved store directory "
+             "or a running server")
     # SUPPRESS keeps a value given in the global position
     # (`repro --store-dir X query ...`) from being clobbered by the
     # subparser default; presence is validated in _command_query.
@@ -106,6 +131,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="store directory written by build --store-dir or "
                             "TripleStore.save (mmap or sharded layout; "
                             "auto-detected)")
+    query.add_argument("--url", default=None, metavar="HOST:PORT",
+                       help="query a running `repro serve` instance instead "
+                            "of opening a local store directory (mutually "
+                            "exclusive with --store-dir); results stream in "
+                            "pages through a server-side cursor")
     query.add_argument("--pattern", action="append", required=True,
                        metavar="'H R T'",
                        help="one whitespace-separated (head relation tail) "
@@ -119,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "of by batched selectivity order")
     query.add_argument("--limit", type=int, default=None,
                        help="print at most this many binding rows")
+    query.add_argument("--page-size", type=int, default=512,
+                       help="rows per fetch when streaming from --url "
+                            "(default 512)")
     return parser
 
 
@@ -181,8 +214,50 @@ def _command_linkpred(result: ConstructionResult, seed: int, model_name: str,
     return 0
 
 
+def _command_serve(args) -> int:
+    """Open a saved store directory and serve the TCP query protocol."""
+    import sys
+
+    from repro.errors import ReproError
+    from repro.kg.server import DEFAULT_PORT, KGServer
+
+    try:
+        if args.store_dir is None:
+            raise ValueError("serve requires --store-dir")
+        port = DEFAULT_PORT if args.port is None else args.port
+        server = KGServer.open(args.store_dir, host=args.host, port=port,
+                               max_batch=args.max_batch,
+                               cursor_ttl=args.cursor_ttl)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 2
+    with server:
+        host, bound_port = server.address
+        store = server.service.store
+        print(f"serving {len(store)} triples ({store.backend_name} backend) "
+              f"on {host}:{bound_port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+    return 0
+
+
+def _remote_query_rows(args, query):
+    """Generator over remote binding rows, streamed page by page."""
+    from repro.kg.client import RemoteQueryEngine
+
+    if args.limit == 0:
+        return
+    with RemoteQueryEngine(args.url) as engine:
+        cursor = engine.cursor(query, reorder=not args.no_reorder,
+                               limit=args.limit, page_size=args.page_size)
+        for row in cursor:
+            yield row
+
+
 def _command_query(args) -> int:
-    """Open a saved store and run a pattern query (no synthetic build)."""
+    """Run a pattern query against a saved store or a running server."""
     import sys
 
     from repro.errors import ReproError
@@ -191,10 +266,14 @@ def _command_query(args) -> int:
     from repro.kg.store import TripleStore
 
     try:
-        if args.store_dir is None:
-            raise ValueError("query requires --store-dir")
+        if args.url is not None and args.store_dir is not None:
+            raise ValueError("--store-dir and --url are mutually exclusive")
+        if args.url is None and args.store_dir is None:
+            raise ValueError("query requires --store-dir or --url")
         if args.limit is not None and args.limit < 0:
             raise ValueError(f"--limit must be >= 0, got {args.limit}")
+        if args.page_size < 1:
+            raise ValueError(f"--page-size must be >= 1, got {args.page_size}")
         patterns = []
         for raw in args.pattern:
             terms = raw.split()
@@ -204,24 +283,32 @@ def _command_query(args) -> int:
                     f"got {raw!r}")
             patterns.append(terms)
         query = PatternQuery.from_patterns(patterns, select=args.select)
-        store = TripleStore.open(args.store_dir)
-        rows = QueryEngine(store).execute(query, reorder=not args.no_reorder)
+        if args.url is not None:
+            rows = _remote_query_rows(args, query)
+        else:
+            store = TripleStore.open(args.store_dir)
+            rows = QueryEngine(store).execute(query,
+                                              reorder=not args.no_reorder)
+            if args.limit is not None:
+                rows = rows[:args.limit]
+        header = list(query.select) if query.select else query.variables()
+        print("\t".join(header))
+        # Remote rows stream here (one page in memory at a time), so a
+        # network error can surface mid-iteration — inside the try.
+        for row in rows:
+            print("\t".join(escape_tsv_field(row[name]) for name in header))
     except (ReproError, ValueError, OSError) as exc:
         # stderr keeps the TSV data channel clean for piped consumers.
         print(f"error: {exc}", file=sys.stderr, flush=True)
         return 2
-    header = list(query.select) if query.select else query.variables()
-    print("\t".join(header))
-    if args.limit is not None:
-        rows = rows[:args.limit]
-    for row in rows:
-        print("\t".join(escape_tsv_field(row[name]) for name in header))
     return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _command_serve(args)
     if args.command == "query":
         return _command_query(args)
     result = _construct(args.products, args.seed, args.backend, args.store_dir,

@@ -35,6 +35,19 @@ class QueryError(ReproError):
     that cannot run on the requested execution strategy)."""
 
 
+class CursorError(QueryError):
+    """Raised for result-cursor lifecycle violations: fetching from a
+    closed/expired/unknown cursor, double-close, or a non-positive page
+    size.  Subclasses :class:`QueryError` so existing query-boundary
+    handlers keep working."""
+
+
+class ProtocolError(ReproError):
+    """Raised for network wire-protocol violations: malformed or
+    truncated frames, oversized payloads, unknown message types, or a
+    response that does not match its request."""
+
+
 class ConstructionError(ReproError):
     """Raised when the KG construction pipeline cannot proceed."""
 

@@ -27,7 +27,16 @@ from repro.kg.vocab import Vocabulary
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.planner import QueryPlan, plan_queries, plan_query
 from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.executor import ResultCursor
 from repro.kg.service import QueryService
+from repro.kg.server import KGServer
+from repro.kg.client import (
+    RemoteClient,
+    RemoteCursor,
+    RemoteQueryEngine,
+    RemoteStore,
+    connect,
+)
 from repro.kg.statistics import GraphStatistics, compute_statistics
 
 __all__ = [
@@ -50,6 +59,13 @@ __all__ = [
     "QueryEngine",
     "QueryPlan",
     "QueryService",
+    "KGServer",
+    "RemoteClient",
+    "RemoteCursor",
+    "RemoteQueryEngine",
+    "RemoteStore",
+    "ResultCursor",
+    "connect",
     "plan_queries",
     "plan_query",
     "GraphStatistics",

@@ -1,0 +1,363 @@
+"""Remote clients for :class:`~repro.kg.server.KGServer`.
+
+Mirrors the local query API over the wire so applications swap
+local↔remote without code changes:
+
+=====================  =======================================
+local                  remote
+=====================  =======================================
+``QueryEngine(store)`` ``RemoteQueryEngine("host:port")``
+``.execute(query)``    ``.execute(query)`` (same bindings)
+``.cursor(query)``     ``.cursor(query)`` → :class:`RemoteCursor`
+``TripleStore``        ``RemoteStore("host:port")``
+``.match / .count``    same signatures, same results
+=====================  =======================================
+
+One :class:`RemoteClient` is one TCP connection.  Round-trips are
+serialized under a lock, so a client object is thread-safe the way a
+DB-API connection is — concurrent *throughput* comes from multiple
+clients, whose in-flight requests the server coalesces into batched
+backend rounds.  Results stream: :class:`RemoteCursor` pages through a
+server-side cursor, so iterating a huge result holds one page of
+bindings in client memory, never the whole set.
+
+Server-side errors re-raise typed (:class:`~repro.errors.QueryError`,
+:class:`~repro.errors.CursorError`, ...); transport damage raises
+:class:`~repro.errors.ProtocolError`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import replace
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import CursorError, ProtocolError
+from repro.kg.backend import Pattern
+from repro.kg.executor import Binding
+from repro.kg.planner import PatternQuery
+from repro.kg.protocol import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    error_from_wire,
+    read_frame,
+)
+from repro.kg.triple import Triple
+
+#: Page size RemoteCursor / iter_match use when the caller does not say.
+DEFAULT_PAGE_SIZE = 512
+
+
+def parse_address(url: str) -> Tuple[str, int]:
+    """Parse ``host:port`` (optionally ``kg://`` / ``tcp://`` prefixed)."""
+    if not isinstance(url, str) or not url:
+        raise ValueError(f"server address must be a 'host:port' string, "
+                         f"got {url!r}")
+    stripped = url
+    for scheme in ("kg://", "tcp://"):
+        if stripped.startswith(scheme):
+            stripped = stripped[len(scheme):]
+            break
+    host, separator, port_text = stripped.rpartition(":")
+    if not separator or not host or not port_text.isdigit():
+        raise ValueError(
+            f"server address must look like 'host:port', got {url!r}")
+    return host, int(port_text)
+
+
+def _wire_query(query: PatternQuery) -> dict:
+    message = {"patterns": [list(pattern) for pattern in query.patterns]}
+    if query.select:
+        message["select"] = list(query.select)
+    if query.limit is not None:
+        message["limit"] = query.limit
+    return message
+
+
+def _triples(rows: Sequence[Sequence[str]]) -> List[Triple]:
+    return [Triple(head=row[0], relation=row[1], tail=row[2]) for row in rows]
+
+
+class RemoteClient:
+    """One connection to a KGServer: framed, serialized request/response."""
+
+    def __init__(self, address: Union[str, Tuple[str, int]], *,
+                 timeout: Optional[float] = 60.0,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        host, port = parse_address(address) if isinstance(address, str) \
+            else address
+        self.max_frame_bytes = int(max_frame_bytes)
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._closed = False
+
+    def call(self, op: str, **fields):
+        """One request/response round-trip; returns the ``result`` field.
+
+        Server-reported failures re-raise as their typed exception;
+        anything wrong with the byte stream itself (server gone, send
+        or read failure/timeout, response id mismatch) raises
+        :class:`~repro.errors.ProtocolError` **and marks the connection
+        broken** — after a transport failure the stream may hold a
+        stale half-response, so reusing it would desync every later
+        call; open a fresh client instead.
+        """
+        message = {"op": op, **fields}
+        with self._lock:
+            if self._closed:
+                raise ProtocolError("client connection is closed")
+            self._next_id += 1
+            message["id"] = self._next_id
+            # Encode before touching the socket: an unencodable or
+            # oversized *request* is a caller error, not stream damage.
+            frame = encode_frame(message, self.max_frame_bytes)
+            try:
+                self._sock.sendall(frame)
+                response = read_frame(self._sock, self.max_frame_bytes)
+            except ProtocolError:
+                self._invalidate()
+                raise
+            except OSError as exc:
+                self._invalidate()
+                raise ProtocolError(
+                    f"transport failure talking to the server: {exc}"
+                ) from exc
+            if response is None:
+                self._invalidate()
+                raise ProtocolError("server closed the connection mid-request")
+            if response.get("id") != message["id"]:
+                self._invalidate()
+                raise ProtocolError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {message['id']!r}")
+        if not response.get("ok"):
+            raise error_from_wire(response.get("error"))
+        return response.get("result")
+
+    def _invalidate(self) -> None:
+        """Mark the stream unusable (called under the lock)."""
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - close never fails on Linux
+            pass
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return self.call("ping") == "pong"
+
+    def stats(self) -> dict:
+        """Server-side service/store counters (batching observability)."""
+        return self.call("stats")
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close never fails on Linux
+                pass
+
+    def __enter__(self) -> "RemoteClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def connect(address: Union[str, Tuple[str, int]], *,
+            timeout: Optional[float] = 60.0) -> RemoteClient:
+    """Open a :class:`RemoteClient` to ``host:port``."""
+    return RemoteClient(address, timeout=timeout)
+
+
+class RemoteCursor:
+    """A transparent iterator over a server-side cursor.
+
+    Pages of ``page_size`` rows are fetched on demand; only the current
+    page is ever held in client memory.  Iterate it, or call
+    :meth:`fetch` for explicit pages.  Closing releases the server-side
+    state early (exhausted cursors are released by the server TTL
+    anyway); closing twice raises :class:`~repro.errors.CursorError`,
+    matching the server's cursor table semantics.
+    """
+
+    def __init__(self, client: RemoteClient, cursor_id: str,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 as_triples: bool = False) -> None:
+        if page_size < 1:
+            raise CursorError(
+                f"page_size must be a positive integer, got {page_size!r}")
+        self._client = client
+        self.cursor_id = cursor_id
+        self.page_size = int(page_size)
+        self._as_triples = as_triples
+        self._exhausted = False
+        self._closed = False
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the server reported the final page."""
+        return self._exhausted
+
+    def fetch(self, max_rows: Optional[int] = None) -> List:
+        """Fetch the next page (at most ``max_rows``, defaulting to the
+        cursor's page size; an empty page means exhausted)."""
+        if self._closed:
+            raise CursorError("cursor is closed")
+        if max_rows is None:
+            max_rows = self.page_size
+        elif not isinstance(max_rows, int) or isinstance(max_rows, bool) \
+                or max_rows < 1:
+            raise CursorError(
+                f"fetch page size must be a positive integer, got {max_rows!r}")
+        if self._exhausted:
+            return []
+        result = self._client.call("fetch", cursor=self.cursor_id,
+                                   max_rows=max_rows)
+        self._exhausted = bool(result["exhausted"])
+        rows = result["rows"]
+        return _triples(rows) if self._as_triples else rows
+
+    def __iter__(self) -> Iterator:
+        while not self._exhausted:
+            for row in self.fetch():
+                yield row
+
+    def close(self) -> None:
+        """Release the server-side cursor.  A second close raises."""
+        if self._closed:
+            raise CursorError("cursor is already closed")
+        self._closed = True
+        self._client.call("close_cursor", cursor=self.cursor_id)
+
+    def __enter__(self) -> "RemoteCursor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        if not self._closed:
+            self.close()
+
+
+def _shared_client(address_or_client) -> Tuple[RemoteClient, bool]:
+    if isinstance(address_or_client, RemoteClient):
+        return address_or_client, False
+    return RemoteClient(address_or_client), True
+
+
+class RemoteQueryEngine:
+    """The :class:`~repro.kg.query.QueryEngine` API over the wire.
+
+    Construct from a ``host:port`` string (owns the connection) or an
+    existing :class:`RemoteClient` (shared; caller closes it).
+    """
+
+    def __init__(self, address_or_client) -> None:
+        self.client, self._owns_client = _shared_client(address_or_client)
+
+    def execute(self, query: PatternQuery, reorder: bool = True,
+                limit: Optional[int] = None) -> List[Binding]:
+        """Remote :meth:`QueryEngine.execute`: identical bindings, same order."""
+        return self.execute_many([query], reorder=reorder, limit=limit)[0]
+
+    def execute_many(self, queries: Sequence[PatternQuery],
+                     reorder: bool = True,
+                     limit: Optional[int] = None) -> List[List[Binding]]:
+        """Remote :meth:`QueryEngine.execute_many` (one round-trip; the
+        server still coalesces the whole batch into batched planning and
+        lockstep execution)."""
+        encoded = [_wire_query(query if limit is None
+                               else replace(query, limit=limit))
+                   for query in queries]
+        return self.client.call("execute_many", queries=encoded,
+                                reorder=reorder)
+
+    def cursor(self, query: PatternQuery, reorder: bool = True,
+               limit: Optional[int] = None,
+               page_size: int = DEFAULT_PAGE_SIZE) -> RemoteCursor:
+        """Stream a query's bindings through a server-side cursor."""
+        if limit is not None:
+            query = replace(query, limit=limit)
+        cursor_id = self.client.call("open_cursor", query=_wire_query(query),
+                                     reorder=reorder)
+        return RemoteCursor(self.client, cursor_id, page_size=page_size)
+
+    def close(self) -> None:
+        if self._owns_client:
+            self.client.close()
+
+    def __enter__(self) -> "RemoteQueryEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class RemoteStore:
+    """The :class:`~repro.kg.store.TripleStore` query surface over the wire.
+
+    Point lookups only (constants + ``None`` wildcards) — exactly the
+    subset :class:`~repro.kg.service.QueryService` serves.  ``sort=True``
+    sorts client-side, preserving the store's documented canonical
+    ``(head, relation, tail)`` order.
+    """
+
+    def __init__(self, address_or_client) -> None:
+        self.client, self._owns_client = _shared_client(address_or_client)
+
+    def match(self, head: Optional[str] = None,
+              relation: Optional[str] = None, tail: Optional[str] = None,
+              sort: bool = False) -> List[Triple]:
+        """Remote :meth:`TripleStore.match` (one round-trip)."""
+        triples = _triples(self.client.call("match",
+                                            pattern=[head, relation, tail]))
+        return sorted(triples) if sort else triples
+
+    def match_many(self, patterns: Sequence[Pattern],
+                   sort: bool = False) -> List[List[Triple]]:
+        """Remote :meth:`TripleStore.match_many` (one round-trip)."""
+        results = self.client.call(
+            "match_many", patterns=[list(pattern) for pattern in patterns])
+        decoded = [_triples(rows) for rows in results]
+        return [sorted(rows) for rows in decoded] if sort else decoded
+
+    def iter_match(self, head: Optional[str] = None,
+                   relation: Optional[str] = None,
+                   tail: Optional[str] = None,
+                   page_size: int = DEFAULT_PAGE_SIZE) -> Iterator[Triple]:
+        """Remote :meth:`TripleStore.iter_match` — pages through a
+        server-side cursor, holding one page of triples at a time."""
+        cursor_id = self.client.call("open_match_cursor",
+                                     pattern=[head, relation, tail])
+        return iter(RemoteCursor(self.client, cursor_id, page_size=page_size,
+                                 as_triples=True))
+
+    def count(self, head: Optional[str] = None,
+              relation: Optional[str] = None,
+              tail: Optional[str] = None) -> int:
+        """Remote :meth:`TripleStore.count`."""
+        return self.client.call("count", pattern=[head, relation, tail])
+
+    def count_many(self, patterns: Sequence[Pattern]) -> List[int]:
+        """Remote :meth:`TripleStore.count_many` (one round-trip)."""
+        return self.client.call(
+            "count_many", patterns=[list(pattern) for pattern in patterns])
+
+    def __len__(self) -> int:
+        return self.client.call("len")
+
+    def close(self) -> None:
+        if self._owns_client:
+            self.client.close()
+
+    def __enter__(self) -> "RemoteStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -34,7 +34,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import QueryError
+from repro.errors import CursorError, QueryError
 from repro.kg.backend import IdPattern, supports_id_queries
 from repro.kg.planner import (
     ENTITY,
@@ -286,44 +286,154 @@ def _unique_rows(stacked: np.ndarray) -> np.ndarray:
     return stacked[keep]
 
 
-def _stringify(backend, plan: QueryPlan, frontier: _Frontier) -> List[Binding]:
-    """Materialize the frontier as string bindings — the only string step."""
-    names = list(plan.select) if plan.select else list(plan.variables)
-    if not names:
-        return [{}] if frontier.num_rows else []
-    stacked = np.stack([frontier.columns[name] for name in names], axis=1)
-    if plan.select:
-        stacked = _unique_rows(stacked)
+def _stringify_rows(backend, plan: QueryPlan, names: Sequence[str],
+                    rows: np.ndarray) -> List[Binding]:
+    """Materialize id rows as string bindings — the only string step."""
     tables = [backend.relation_interner.symbol_table()
               if plan.var_kinds.get(name) != ENTITY
               else backend.entity_interner.symbol_table()
               for name in names]
     return [{name: table[identifier]
              for name, table, identifier in zip(names, tables, row)}
-            for row in stacked.tolist()]
+            for row in rows.tolist()]
 
 
-def execute_plans(store: TripleStore,
-                  plans: Sequence[QueryPlan]) -> List[List[Binding]]:
-    """Evaluate a batch of plans, multiplexing pattern fetches.
+class ResultCursor:
+    """Pages over one query's results without re-running the query.
+
+    The ID-space executor hands a cursor the **deduplicated id-row
+    projection** — a compact ``(n, k)`` int64 block plus the plan it
+    came from — and each :meth:`fetch` stringifies only the rows of the
+    page it returns, so a huge result set never materializes all its
+    binding dicts at once.  Results from the backtracking fallback (and
+    degenerate no-variable results) page over an already-built list via
+    :meth:`from_list`; either way the paging surface is identical.
+
+    Cursors are single-consumer and not thread-safe;
+    :class:`~repro.kg.service.QueryService` serializes access for its
+    remote-cursor table.  A query ``limit`` is applied once, at cursor
+    creation, so paging happens *within* the cap.
+    """
+
+    __slots__ = ("_backend", "_plan", "_names", "_rows", "_position",
+                 "_closed")
+
+    def __init__(self, backend, plan: Optional[QueryPlan],
+                 names: Sequence[str], rows) -> None:
+        self._backend = backend
+        self._plan = plan
+        self._names = tuple(names)
+        self._rows = rows                    # (n, k) int64 block or list
+        self._position = 0
+        self._closed = False
+
+    @classmethod
+    def from_list(cls, items: Sequence) -> "ResultCursor":
+        """Wrap pre-materialized results (bindings, triples, rows...)."""
+        return cls(None, None, (), list(items))
+
+    @property
+    def total_rows(self) -> int:
+        """How many result rows the cursor covers (limit already applied)."""
+        return len(self._rows) if self._rows is not None else 0
+
+    @property
+    def position(self) -> int:
+        """How many rows have been fetched so far."""
+        return self._position
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every row has been fetched (or the cursor closed)."""
+        return self._closed or self._position >= self.total_rows
+
+    def fetch(self, max_rows: int) -> List:
+        """Return the next page of at most ``max_rows`` results.
+
+        An empty page means the cursor is exhausted.  ``max_rows`` must
+        be positive — a zero/negative page is always a caller bug and
+        raises :class:`~repro.errors.CursorError` instead of silently
+        spinning forever.
+        """
+        if self._closed:
+            raise CursorError("cursor is closed")
+        if not isinstance(max_rows, int) or isinstance(max_rows, bool) \
+                or max_rows < 1:
+            raise CursorError(
+                f"fetch page size must be a positive integer, got {max_rows!r}")
+        chunk = self._rows[self._position:self._position + max_rows]
+        self._position += len(chunk)
+        if isinstance(chunk, np.ndarray):
+            return _stringify_rows(self._backend, self._plan, self._names,
+                                   chunk)
+        return list(chunk)
+
+    def fetch_all(self) -> List:
+        """Drain every remaining row in one page (the non-paged path)."""
+        if self._closed:
+            raise CursorError("cursor is closed")
+        chunk = self._rows[self._position:]
+        self._position = self.total_rows
+        if isinstance(chunk, np.ndarray):
+            return _stringify_rows(self._backend, self._plan, self._names,
+                                   chunk)
+        return list(chunk)
+
+    def close(self) -> None:
+        """Release the row block.  Idempotent; later fetches raise."""
+        self._closed = True
+        self._rows = []
+
+    def __enter__(self) -> "ResultCursor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def _project_cursor(backend, plan: QueryPlan,
+                    frontier: _Frontier) -> ResultCursor:
+    """Build the deduplicated, limit-capped id projection for a plan."""
+    names = list(plan.select) if plan.select else list(plan.variables)
+    limit = plan.query.limit
+    if not names:
+        rows = [{}] if frontier.num_rows else []
+        return ResultCursor.from_list(rows if limit is None else rows[:limit])
+    stacked = np.stack([frontier.columns[name] for name in names], axis=1)
+    if plan.select:
+        stacked = _unique_rows(stacked)
+    if limit is not None:
+        stacked = stacked[:limit]
+    return ResultCursor(backend, plan, names, stacked)
+
+
+def execute_plans_cursors(store: TripleStore,
+                          plans: Sequence[QueryPlan]) -> List[ResultCursor]:
+    """Evaluate a batch of plans into one :class:`ResultCursor` each.
 
     ID-space-executable plans advance in lockstep: each round gathers
     the current step of every live plan into ONE ``match_ids_many``
     call (shard-routed on the sharded backend), then joins each block
     into its plan's frontier.  Plans the id executor cannot run (no id
     backend, mixed-kind variables) fall back to
-    :func:`execute_backtracking` transparently.
+    :func:`execute_backtracking` transparently (their cursor pages over
+    the materialized list).  Projection is deferred to the cursors: the
+    join frontiers are materialized (compact int64 columns), the string
+    bindings are not.
     """
     backend = store.backend
-    results: List[Optional[List[Binding]]] = [None] * len(plans)
+    results: List[Optional[ResultCursor]] = [None] * len(plans)
     states: List[Tuple[int, _PlanState]] = []
     for index, plan in enumerate(plans):
         if not plan.id_space or not supports_id_queries(backend):
-            results[index] = execute_backtracking(store, plan)
+            rows = execute_backtracking(store, plan)
+            if plan.query.limit is not None:
+                rows = rows[:plan.query.limit]
+            results[index] = ResultCursor.from_list(rows)
             continue
         resolved = _resolve_constants(backend, plan)
         if resolved is None:
-            results[index] = []
+            results[index] = ResultCursor.from_list([])
             continue
         states.append((index, _PlanState(plan=plan, resolved=resolved,
                                          frontier=_Frontier())))
@@ -340,9 +450,20 @@ def execute_plans(store: TripleStore,
             _advance(state, by_pattern[request])
         live = [entry for entry in live if not entry[1].done()]
     for index, state in states:
-        results[index] = [] if state.failed \
-            else _stringify(backend, state.plan, state.frontier)
+        results[index] = ResultCursor.from_list([]) if state.failed \
+            else _project_cursor(backend, state.plan, state.frontier)
     return results
+
+
+def execute_plans(store: TripleStore,
+                  plans: Sequence[QueryPlan]) -> List[List[Binding]]:
+    """Evaluate a batch of plans, multiplexing pattern fetches.
+
+    The materializing form of :func:`execute_plans_cursors`: every
+    plan's cursor is drained in one page.
+    """
+    return [cursor.fetch_all()
+            for cursor in execute_plans_cursors(store, plans)]
 
 
 def execute_plan(store: TripleStore, plan: QueryPlan) -> List[Binding]:

@@ -40,20 +40,24 @@ class PatternQuery:
 
     Each position is either a constant identifier or a ``?variable``.
     ``select`` optionally restricts which variables appear in the results.
+    ``limit`` caps how many result rows execution materializes (``None``
+    means all; a cursor over a limited query pages within the cap).
     """
 
     patterns: Tuple[Tuple[str, str, str], ...]
     select: Tuple[str, ...] = ()
+    limit: Optional[int] = None
 
     @classmethod
     def from_patterns(cls, patterns: Sequence[Sequence[str]],
-                      select: Sequence[str] = ()) -> "PatternQuery":
+                      select: Sequence[str] = (),
+                      limit: Optional[int] = None) -> "PatternQuery":
         """Build a query from plain lists/tuples."""
         normalized = tuple(tuple(pattern) for pattern in patterns)
         for pattern in normalized:
             if len(pattern) != 3:
                 raise ValueError(f"pattern must have 3 terms, got {pattern!r}")
-        return cls(patterns=normalized, select=tuple(select))
+        return cls(patterns=normalized, select=tuple(select), limit=limit)
 
     def variables(self) -> List[str]:
         """All variables mentioned in the query, in first-appearance order."""
@@ -133,6 +137,21 @@ def validate_select(query: PatternQuery) -> None:
                 f"(query binds: {', '.join(sorted(known)) or 'nothing'})")
 
 
+def validate_limit(limit: Optional[int]) -> None:
+    """Raise :class:`QueryError` for a limit that cannot mean anything.
+
+    ``limit=0`` (or negative) is always a caller bug — "no rows" is not
+    a query worth executing, and silently returning an empty result
+    would mask a dropped variable upstream — so it fails loudly instead
+    of producing a partial silent result.
+    """
+    if limit is None:
+        return
+    if not isinstance(limit, int) or isinstance(limit, bool) or limit < 1:
+        raise QueryError(
+            f"limit must be a positive integer or None, got {limit!r}")
+
+
 def _analyze_variables(query: PatternQuery) -> Tuple[Dict[str, str], bool]:
     """Variable → kind map, plus whether the query is ID-space executable."""
     kinds: Dict[str, str] = {}
@@ -174,6 +193,7 @@ def plan_queries(store: TripleStore, queries: Sequence[PatternQuery],
     """
     for query in queries:
         validate_select(query)
+        validate_limit(query.limit)
 
     def probed(query: PatternQuery) -> bool:
         return reorder and len(query.patterns) > 1

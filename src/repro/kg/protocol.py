@@ -1,0 +1,157 @@
+"""The wire protocol shared by :mod:`repro.kg.server` and :mod:`repro.kg.client`.
+
+One frame = a 4-byte big-endian unsigned length prefix followed by that
+many bytes of UTF-8 JSON encoding a single object.  Requests carry an
+``op`` plus op-specific fields and a client-chosen ``id``; responses
+echo the ``id`` and carry either ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": {"type": ..., "message": ...}}``.
+
+Design choices, in order of importance:
+
+* **hostility is normal** — every decode path raises
+  :class:`~repro.errors.ProtocolError` with a specific message instead
+  of letting ``struct``/``json``/``KeyError`` noise escape; a server
+  must be able to treat any of these as "this connection is garbage,
+  drop it" without crashing;
+* **frames are bounded** — a length prefix larger than ``max_bytes``
+  fails *before* any allocation, so a hostile 4-byte header cannot make
+  the peer allocate gigabytes;
+* **errors travel typed** — the error ``type`` field round-trips
+  through :data:`WIRE_ERRORS`, so a server-side
+  :class:`~repro.errors.CursorError` re-raises as a ``CursorError`` in
+  the client process, and query-boundary ``except`` clauses behave the
+  same for local and remote engines.
+
+The payload is JSON rather than a packed binary layout on purpose: the
+values shipped (symbols, binding dicts) are strings end-to-end, and the
+framing is what gives streaming + robustness.  Triples cross the wire
+as ``[head, relation, tail]`` arrays, patterns with ``null`` wildcards,
+bindings as plain objects.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Dict, Optional, Type
+
+from repro.errors import (
+    CursorError,
+    ProtocolError,
+    QueryError,
+    ReproError,
+    SerializationError,
+    StorageError,
+    ValidationError,
+)
+
+#: Struct layout of the length prefix: 4-byte big-endian unsigned.
+_LENGTH = struct.Struct(">I")
+
+#: Default cap on one frame's payload, bytes.  Generous for result
+#: pages (the server pages big results through cursors anyway) while
+#: keeping a hostile length prefix from allocating gigabytes.
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+#: Error types that re-raise as themselves on the far side of the wire.
+WIRE_ERRORS: Dict[str, Type[ReproError]] = {
+    "ReproError": ReproError,
+    "QueryError": QueryError,
+    "CursorError": CursorError,
+    "ProtocolError": ProtocolError,
+    "SerializationError": SerializationError,
+    "StorageError": StorageError,
+    "ValidationError": ValidationError,
+}
+
+
+def encode_frame(payload: dict, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message to its on-wire bytes (length prefix + JSON)."""
+    try:
+        body = json.dumps(payload, ensure_ascii=False,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unencodable message payload: {exc}") from exc
+    if len(body) > max_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(body)} bytes exceeds the "
+            f"{max_bytes}-byte frame cap; page large results through a "
+            f"cursor instead")
+    return _LENGTH.pack(len(body)) + body
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on EOF *before* any byte.
+
+    EOF in the middle of the requested span is a truncated frame and
+    raises — the peer hung up mid-message, which the caller must not
+    confuse with a clean close between frames.
+    """
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if remaining == count:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of "
+                f"{count} bytes received)")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket,
+               max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`~repro.errors.ProtocolError` for every malformed
+    shape: truncated prefix or body, oversized or empty declared
+    length, bytes that are not valid UTF-8 JSON, and JSON that is not
+    an object.
+    """
+    prefix = _recv_exact(sock, _LENGTH.size)
+    if prefix is None:
+        return None
+    (length,) = _LENGTH.unpack(prefix)
+    if length == 0:
+        raise ProtocolError("zero-length frame")
+    if length > max_bytes:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the {max_bytes}-byte "
+            f"cap (hostile or corrupt length prefix)")
+    body = _recv_exact(sock, length)
+    if body is None:  # pragma: no cover - _recv_exact raises instead
+        raise ProtocolError("connection closed before frame body")
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(message).__name__}")
+    return message
+
+
+def send_frame(sock: socket.socket, payload: dict,
+               max_bytes: int = MAX_FRAME_BYTES) -> None:
+    """Encode and write one frame (blocking until fully sent)."""
+    sock.sendall(encode_frame(payload, max_bytes=max_bytes))
+
+
+def error_to_wire(exc: BaseException) -> dict:
+    """The ``error`` object a failure response carries."""
+    name = type(exc).__name__
+    return {"type": name if name in WIRE_ERRORS else "ReproError",
+            "message": f"{str(exc) or name}"
+                       if name in WIRE_ERRORS else f"{name}: {exc}"}
+
+
+def error_from_wire(error: object) -> ReproError:
+    """Rebuild the typed exception a failure response describes."""
+    if not isinstance(error, dict):
+        return ReproError(f"malformed server error payload: {error!r}")
+    kind = WIRE_ERRORS.get(error.get("type", ""), ReproError)
+    return kind(str(error.get("message", "unknown server error")))

@@ -25,13 +25,16 @@ pipeline see :class:`repro.kg.service.QueryService`.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import QueryError
 from repro.kg.executor import (
     Binding,
+    ResultCursor,
     execute_backtracking,
     execute_plans,
+    execute_plans_cursors,
     require_id_space,
 )
 from repro.kg.planner import (
@@ -48,6 +51,7 @@ __all__ = [
     "PatternQuery",
     "QueryEngine",
     "QueryPlan",
+    "ResultCursor",
     "is_variable",
 ]
 
@@ -70,7 +74,8 @@ class QueryEngine:
         return plan_query(self.store, query, reorder=reorder)
 
     def execute(self, query: PatternQuery, reorder: bool = True,
-                strategy: str = "auto") -> List[Binding]:
+                strategy: str = "auto",
+                limit: Optional[int] = None) -> List[Binding]:
         """Return all variable bindings satisfying every pattern.
 
         With ``reorder`` (the default) patterns are evaluated in batched
@@ -81,15 +86,20 @@ class QueryEngine:
         allow it, else backtracking), ``"id"`` (ID-space or raise
         :class:`~repro.errors.QueryError`), or ``"backtracking"`` (the
         legacy symbol-level evaluator, kept as the parity oracle).
+        ``limit`` caps the materialized rows (overriding any cap on the
+        query itself); ``limit=0`` raises — see
+        :func:`repro.kg.planner.validate_limit`.
 
         A ``select`` naming a variable that never binds raises
         :class:`~repro.errors.QueryError` instead of silently dropping
         the column from result rows.
         """
-        return self.execute_many([query], reorder=reorder, strategy=strategy)[0]
+        return self.execute_many([query], reorder=reorder, strategy=strategy,
+                                 limit=limit)[0]
 
     def execute_many(self, queries: Sequence[PatternQuery], reorder: bool = True,
-                     strategy: str = "auto") -> List[List[Binding]]:
+                     strategy: str = "auto",
+                     limit: Optional[int] = None) -> List[List[Binding]]:
         """Execute a batch of queries with batched planning and fetching.
 
         Planning issues one ``count_many`` over every pattern of every
@@ -97,19 +107,53 @@ class QueryEngine:
         lockstep so each round's pattern fetches collapse into a single
         ``match_ids_many`` backend call.  This is the entry point
         :class:`~repro.kg.service.QueryService` multiplexes concurrent
-        clients onto.
+        clients onto.  ``limit`` (when given) caps every query in the
+        batch.
         """
+        queries = self._capped(queries, limit)
         if strategy not in STRATEGIES:
             raise QueryError(
                 f"unknown execution strategy {strategy!r} (known: "
                 f"{', '.join(STRATEGIES)})")
         plans = plan_queries(self.store, queries, reorder=reorder)
         if strategy == "backtracking":
-            return [execute_backtracking(self.store, plan) for plan in plans]
+            return [self._capped_rows(execute_backtracking(self.store, plan),
+                                      plan.query.limit) for plan in plans]
         if strategy == "id":
             for plan in plans:
                 require_id_space(self.store, plan)
         return execute_plans(self.store, plans)
+
+    def cursor(self, query: PatternQuery, reorder: bool = True,
+               limit: Optional[int] = None) -> ResultCursor:
+        """Execute a query into a :class:`ResultCursor` instead of a list.
+
+        The joins run to completion (the id frontier is compact), but
+        string bindings materialize page by page as the caller
+        :meth:`~repro.kg.executor.ResultCursor.fetch`\\ es — the
+        streaming form huge result sets want, and what the network
+        protocol pages over the wire.
+        """
+        return self.cursor_many([query], reorder=reorder, limit=limit)[0]
+
+    def cursor_many(self, queries: Sequence[PatternQuery],
+                    reorder: bool = True,
+                    limit: Optional[int] = None) -> List[ResultCursor]:
+        """Batched :meth:`cursor` — one lockstep execution, one cursor each."""
+        queries = self._capped(queries, limit)
+        plans = plan_queries(self.store, queries, reorder=reorder)
+        return execute_plans_cursors(self.store, plans)
+
+    @staticmethod
+    def _capped(queries: Sequence[PatternQuery],
+                limit: Optional[int]) -> Sequence[PatternQuery]:
+        if limit is None:
+            return queries
+        return [replace(query, limit=limit) for query in queries]
+
+    @staticmethod
+    def _capped_rows(rows: List[Binding], limit: Optional[int]) -> List[Binding]:
+        return rows if limit is None else rows[:limit]
 
     # ------------------------------------------------------------------ #
     # convenience helpers used by the applications layer

@@ -1,0 +1,348 @@
+"""A TCP query server in front of :class:`~repro.kg.service.QueryService`.
+
+The network milestone of the ROADMAP's query layer: remote clients speak
+the length-prefixed JSON protocol of :mod:`repro.kg.protocol` to a
+:class:`KGServer`, which owns one :class:`~repro.kg.service.QueryService`
+over an (opened or in-memory) :class:`~repro.kg.store.TripleStore`.
+
+Concurrency model — thread-per-connection feeding one dispatcher:
+
+* ``socketserver.ThreadingTCPServer`` gives every connection its own
+  handler thread; each request a handler decodes turns into ONE
+  blocking :class:`QueryService` call;
+* the service's single dispatcher thread coalesces whatever the
+  connection threads submitted concurrently into batched
+  ``execute_many`` / ``match_many`` / ``count_many`` rounds — so N
+  remote clients multiplex into the same batched backend calls N
+  in-process threads would, and ``QueryService.stats`` shows it;
+* huge results never cross the wire in one frame: ``open_cursor`` /
+  ``fetch`` / ``close_cursor`` page a server-side cursor (TTL-evicted)
+  whose id-row projection stringifies per page.
+
+Abuse tolerance: a malformed, truncated, oversized or garbage frame
+gets a ``ProtocolError`` response when the frame boundary is still
+trustworthy, and otherwise a best-effort error frame followed by a
+connection close — never a server crash, and never a poisoned listener:
+the next connection is served normally.  A client disconnecting
+mid-request only kills its own handler thread.
+
+::
+
+    with KGServer.open("./store", port=0) as server:
+        host, port = server.address
+        ... point a RemoteQueryEngine at f"{host}:{port}" ...
+
+The CLI form is ``python -m repro.cli serve --store-dir DIR --port P``.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import ProtocolError
+from repro.kg.planner import PatternQuery
+from repro.kg.protocol import (
+    MAX_FRAME_BYTES,
+    error_to_wire,
+    read_frame,
+    send_frame,
+)
+from repro.kg.service import DEFAULT_CURSOR_TTL, QueryService
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple
+
+#: Default port of the CLI ``serve`` command (0 = ephemeral, for tests).
+DEFAULT_PORT = 7468
+
+
+def _wire_pattern(value: object) -> Tuple[Optional[str], Optional[str],
+                                          Optional[str]]:
+    """Decode a wire pattern: 3 items, each a string or ``null``."""
+    if not isinstance(value, (list, tuple)) or len(value) != 3:
+        raise ProtocolError(
+            f"pattern must be a 3-element array, got {value!r}")
+    decoded = []
+    for term in value:
+        if term is not None and not isinstance(term, str):
+            raise ProtocolError(
+                f"pattern terms must be strings or null, got {term!r}")
+        decoded.append(term)
+    return (decoded[0], decoded[1], decoded[2])
+
+
+def _wire_query(value: object) -> PatternQuery:
+    """Decode a wire query object into a :class:`PatternQuery`."""
+    if not isinstance(value, dict):
+        raise ProtocolError(f"query must be an object, got {value!r}")
+    patterns = value.get("patterns")
+    if not isinstance(patterns, list):
+        raise ProtocolError("query needs a 'patterns' array")
+    for pattern in patterns:
+        if not (isinstance(pattern, list) and len(pattern) == 3
+                and all(isinstance(term, str) for term in pattern)):
+            raise ProtocolError(
+                f"query patterns must be [head, relation, tail] string "
+                f"arrays, got {pattern!r}")
+    select = value.get("select", [])
+    if not (isinstance(select, list)
+            and all(isinstance(name, str) for name in select)):
+        raise ProtocolError(f"query 'select' must be a string array, "
+                            f"got {select!r}")
+    limit = value.get("limit")
+    if limit is not None and not isinstance(limit, int):
+        raise ProtocolError(f"query 'limit' must be an integer or null, "
+                            f"got {limit!r}")
+    try:
+        return PatternQuery.from_patterns(patterns, select=select, limit=limit)
+    except ValueError as exc:
+        raise ProtocolError(str(exc)) from exc
+
+
+def _wire_triples(triples: Sequence[Triple]) -> List[List[str]]:
+    return [[triple.head, triple.relation, triple.tail] for triple in triples]
+
+
+def _field(message: dict, name: str, kinds, kind_label: str):
+    """A required, type-checked message field (ProtocolError otherwise)."""
+    if name not in message:
+        raise ProtocolError(f"message is missing required field {name!r}")
+    value = message[name]
+    if not isinstance(value, kinds) or isinstance(value, bool):
+        raise ProtocolError(
+            f"field {name!r} must be {kind_label}, got {value!r}")
+    return value
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection: read frame → serve op → write frame, until EOF."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised over sockets
+        server: "KGServer" = self.server.kg_server  # type: ignore[attr-defined]
+        sock = self.request
+        while not server.closing:
+            try:
+                message = read_frame(sock, server.max_frame_bytes)
+            except ProtocolError as exc:
+                # The frame boundary is no longer trustworthy (bad
+                # length, truncation, garbage): report and hang up.
+                self._best_effort_send(
+                    {"id": None, "ok": False, "error": error_to_wire(exc)})
+                return
+            except OSError:
+                return
+            if message is None:        # clean EOF between frames
+                return
+            response = server.handle_message(message)
+            try:
+                send_frame(sock, response, server.max_frame_bytes)
+            except ProtocolError as exc:
+                # The *response* did not fit the frame cap.  The frame
+                # stream is still intact, so report and keep serving —
+                # the client should page through a cursor instead.
+                self._best_effort_send({"id": response.get("id"),
+                                        "ok": False,
+                                        "error": error_to_wire(exc)})
+            except OSError:            # client went away mid-response
+                return
+
+    def _best_effort_send(self, payload: dict) -> None:  # pragma: no cover
+        try:
+            send_frame(self.request, payload)
+        except (ProtocolError, OSError):
+            pass
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+    # Handler threads block in recv on idle keep-alive connections;
+    # close() must not wait for clients to hang up first.
+    block_on_close = False
+
+
+class KGServer:
+    """Serves a :class:`TripleStore` to remote clients over TCP.
+
+    Parameters
+    ----------
+    store:
+        The store to serve (not mutated while serving).
+    host / port:
+        Bind address.  ``port=0`` picks an ephemeral port; read the
+        actual one from :attr:`address`.
+    max_batch / cursor_ttl:
+        Forwarded to the owned :class:`QueryService`.
+    max_frame_bytes:
+        Per-frame payload cap, both directions.
+
+    Use :meth:`start` for a background-thread server (tests, embedding
+    in an application) or :meth:`serve_forever` to donate the calling
+    thread (the CLI).  Always :meth:`close` (or use as a context
+    manager) — it stops the listener and closes the service.
+    """
+
+    def __init__(self, store: TripleStore, *, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT, max_batch: int = 256,
+                 cursor_ttl: float = DEFAULT_CURSOR_TTL,
+                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self.max_frame_bytes = int(max_frame_bytes)
+        self.closing = False
+        self.service = QueryService(store, max_batch=max_batch,
+                                    cursor_ttl=cursor_ttl)
+        try:
+            self._tcp = _ThreadingServer((host, port), _Handler)
+        except BaseException:
+            self.service.close()
+            raise
+        self._tcp.kg_server = self  # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._serving = threading.Event()
+        self._close_lock = threading.Lock()
+
+    @classmethod
+    def open(cls, directory: Union[str, Path], **kwargs) -> "KGServer":
+        """Open a saved store directory (mmap or sharded) and serve it."""
+        return cls(TripleStore.open(directory), **kwargs)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` — read this after ``port=0``."""
+        host, port = self._tcp.server_address[:2]
+        return (host, port)
+
+    @property
+    def url(self) -> str:
+        """The ``host:port`` string clients connect to."""
+        host, port = self.address
+        return f"{host}:{port}"
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> "KGServer":
+        """Serve from a daemon background thread; returns ``self``."""
+        if self._thread is not None:
+            raise RuntimeError("KGServer.start() called twice")
+        self._thread = threading.Thread(target=self._run,
+                                        name="kg-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`close` (the CLI path)."""
+        self._run()
+
+    def _run(self) -> None:
+        self._serving.set()
+        try:
+            self._tcp.serve_forever(poll_interval=0.05)
+        finally:
+            self._serving.clear()
+
+    def close(self) -> None:
+        """Stop the listener, drop connections, close the service."""
+        with self._close_lock:
+            if self.closing:
+                return
+            self.closing = True
+        # A start()ed thread is guaranteed to reach serve_forever, so
+        # shutdown() is safe even if close() wins the race to run first
+        # (it parks until the loop starts, then stops it immediately).
+        # Without a thread, only signal a loop that is actually running
+        # — shutdown() on a never-started server would block forever.
+        if self._thread is not None:
+            self._tcp.shutdown()
+            self._thread.join(timeout=10)
+        elif self._serving.is_set():
+            self._tcp.shutdown()
+        self._tcp.server_close()
+        self.service.close()
+
+    def __enter__(self) -> "KGServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # request dispatch (called from connection threads)
+    # ------------------------------------------------------------------ #
+    def handle_message(self, message: dict) -> dict:
+        """Serve one decoded request; always returns a response object.
+
+        Anything a hostile or buggy client can provoke — unknown op,
+        missing/garbage fields, a query-layer error — comes back as a
+        typed error response on the same connection; nothing propagates
+        to the connection loop.
+        """
+        request_id = message.get("id")
+        try:
+            result = self._dispatch(message)
+        except Exception as exc:
+            return {"id": request_id, "ok": False, "error": error_to_wire(exc)}
+        return {"id": request_id, "ok": True, "result": result}
+
+    def _dispatch(self, message: dict):
+        op = message.get("op")
+        if op == "ping":
+            return "pong"
+        if op == "stats":
+            return {"service": self.service.stats,
+                    "store": {"triples": len(self.service.store),
+                              "backend": self.service.store.backend_name}}
+        if op == "len":
+            return len(self.service.store)
+        if op == "execute":
+            query = _wire_query(_field(message, "query", dict, "an object"))
+            return self.service.execute(
+                query, reorder=bool(message.get("reorder", True)))
+        if op == "execute_many":
+            # Decode the whole batch BEFORE submitting anything: a
+            # malformed query mid-list must not leave already-submitted
+            # futures executing with nobody waiting on them.
+            queries = [_wire_query(query) for query in
+                       _field(message, "queries", list, "an array")]
+            futures = [self.service.submit(
+                query, reorder=bool(message.get("reorder", True)))
+                for query in queries]
+            return [future.result() for future in futures]
+        if op == "match":
+            pattern = _wire_pattern(_field(message, "pattern", list,
+                                           "an array"))
+            return _wire_triples(self.service.lookup_many([pattern])[0])
+        if op == "match_many":
+            patterns = [_wire_pattern(pattern) for pattern in
+                        _field(message, "patterns", list, "an array")]
+            return [_wire_triples(triples)
+                    for triples in self.service.lookup_many(patterns)]
+        if op == "count":
+            pattern = _wire_pattern(_field(message, "pattern", list,
+                                           "an array"))
+            return self.service.count_many([pattern])[0]
+        if op == "count_many":
+            patterns = [_wire_pattern(pattern) for pattern in
+                        _field(message, "patterns", list, "an array")]
+            return self.service.count_many(patterns)
+        if op == "open_cursor":
+            query = _wire_query(_field(message, "query", dict, "an object"))
+            return self.service.open_cursor(
+                query, reorder=bool(message.get("reorder", True)))
+        if op == "open_match_cursor":
+            pattern = _wire_pattern(_field(message, "pattern", list,
+                                           "an array"))
+            return self.service.open_match_cursor(pattern)
+        if op == "fetch":
+            cursor_id = _field(message, "cursor", str, "a string")
+            max_rows = _field(message, "max_rows", int, "an integer")
+            page, exhausted = self.service.fetch_cursor(cursor_id, max_rows)
+            if page and isinstance(page[0], Triple):
+                page = _wire_triples(page)
+            return {"rows": page, "exhausted": exhausted}
+        if op == "close_cursor":
+            self.service.close_cursor(_field(message, "cursor", str,
+                                             "a string"))
+            return None
+        raise ProtocolError(f"unknown op {op!r}")

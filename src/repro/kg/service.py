@@ -21,7 +21,15 @@ round-trip per request.
 * because only the dispatcher touches the backend, the service is safe
   over backends whose lazy attach/consolidate steps are not thread-safe,
   while the sharded backend still parallelizes *inside* each batched
-  call across its shard pool.
+  call across its shard pool;
+* huge results stream instead of materializing: :meth:`open_cursor` /
+  :meth:`open_match_cursor` park a
+  :class:`~repro.kg.executor.ResultCursor` (the compact id-row
+  projection) in a TTL-evicted table, and :meth:`fetch_cursor` pages it
+  out — the mechanism :class:`repro.kg.server.KGServer` exposes over
+  the wire.  Every cursor-lifecycle violation (expiry, double close,
+  unknown id, non-positive page) raises a typed
+  :class:`~repro.errors.CursorError`.
 
 Construction warms the backend up (attaches memmaps, folds any pending
 overlay) so steady-state dispatch never pays a consolidation.  The
@@ -36,24 +44,34 @@ and each process runs its own dispatcher.
 from __future__ import annotations
 
 import queue
+import secrets
 import threading
+import time
 from concurrent.futures import Future
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.errors import QueryError
+from repro.errors import CursorError, QueryError
 from repro.kg.backend import Pattern, supports_id_queries
-from repro.kg.executor import Binding, execute_plans
+from repro.kg.executor import Binding, ResultCursor, execute_plans_cursors
 from repro.kg.planner import PatternQuery, plan_queries
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
 
 #: Kinds of requests the service multiplexes.
-_QUERY = "query"
-_LOOKUP = "lookup"
+_QUERY = "query"                 # pattern query -> List[Binding]
+_LOOKUP = "lookup"               # point lookup  -> List[Triple]
+_COUNT = "count"                 # point pattern -> int
+_CURSOR_QUERY = "cursor-query"   # pattern query -> cursor id
+_CURSOR_MATCH = "cursor-match"   # point lookup  -> cursor id
+_CURSOR_FETCH = "cursor-fetch"   # (cursor id, max_rows) -> (page, exhausted)
+_CURSOR_CLOSE = "cursor-close"   # cursor id -> None
 
 #: Sentinel shoved down the queue to stop the dispatcher.
 _SHUTDOWN = object()
+
+#: Default idle lifetime of an open cursor, seconds.
+DEFAULT_CURSOR_TTL = 300.0
 
 
 def _resolve(future: "Future", result=None, exception: Optional[BaseException] = None) -> None:
@@ -102,26 +120,35 @@ class QueryService:
     requests first.
     """
 
-    def __init__(self, store: TripleStore, *, max_batch: int = 256) -> None:
+    def __init__(self, store: TripleStore, *, max_batch: int = 256,
+                 cursor_ttl: float = DEFAULT_CURSOR_TTL) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if cursor_ttl <= 0:
+            raise ValueError(f"cursor_ttl must be > 0 seconds, got {cursor_ttl}")
         self.store = store
         self.max_batch = int(max_batch)
+        self.cursor_ttl = float(cursor_ttl)
         self._queue: "queue.SimpleQueue" = queue.SimpleQueue()
         self._closed = False
         self._close_lock = threading.Lock()
+        # Open cursors: id -> (ResultCursor, monotonic deadline).  Only
+        # the dispatcher thread touches this dict after construction.
+        self._cursors: Dict[str, Tuple[ResultCursor, float]] = {}
         # Observability: how much multiplexing actually happens.
         self.requests_served = 0
         self.batches_dispatched = 0
         self.largest_batch = 0
+        self.cursors_opened = 0
+        self.cursors_expired = 0
         self._warm_up()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="kg-query-service", daemon=True)
         self._dispatcher.start()
 
     @classmethod
-    def open(cls, directory: Union[str, Path], *, max_batch: int = 256
-             ) -> "QueryService":
+    def open(cls, directory: Union[str, Path], *, max_batch: int = 256,
+             cursor_ttl: float = DEFAULT_CURSOR_TTL) -> "QueryService":
         """Open a saved store directory (any layout) and serve it.
 
         Dispatches on the header magic exactly like
@@ -129,7 +156,26 @@ class QueryService:
         shard-routed backend, single-store directories as memory-mapped
         columns.
         """
-        return cls(TripleStore.open(directory), max_batch=max_batch)
+        return cls(TripleStore.open(directory), max_batch=max_batch,
+                   cursor_ttl=cursor_ttl)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the multiplexing counters.
+
+        ``batches_dispatched < requests_served`` is the signature of
+        coalescing actually happening (the first request of a burst can
+        only ever dispatch solo).
+        """
+        return {
+            "requests_served": self.requests_served,
+            "batches_dispatched": self.batches_dispatched,
+            "largest_batch": self.largest_batch,
+            "cursors_opened": self.cursors_opened,
+            "cursors_expired": self.cursors_expired,
+            "open_cursors": len(self._cursors),
+            "max_batch": self.max_batch,
+        }
 
     def _warm_up(self) -> None:
         """Force lazy attach/consolidation before concurrent dispatch starts.
@@ -159,6 +205,11 @@ class QueryService:
         the wrong entry point, and would otherwise silently match
         nothing; use :meth:`submit` for variables.
         """
+        return self._enqueue(_Request(_LOOKUP, self._checked_pattern(pattern),
+                                      True))
+
+    @staticmethod
+    def _checked_pattern(pattern: Pattern) -> Pattern:
         pattern = tuple(pattern)
         for term in pattern:
             if isinstance(term, str) and term.startswith("?"):
@@ -166,7 +217,7 @@ class QueryService:
                     f"point lookup got variable term {term!r}; use "
                     f"submit()/execute() with a PatternQuery for variables "
                     f"(wildcards here are spelled None)")
-        return self._enqueue(_Request(_LOOKUP, pattern, True))
+        return pattern
 
     def execute(self, query: PatternQuery, reorder: bool = True) -> List[Binding]:
         """Run one query, blocking until its batch is dispatched."""
@@ -182,6 +233,50 @@ class QueryService:
         """Batched point lookups ((head, relation, tail), ``None`` wildcards)."""
         futures = [self.submit_lookup(pattern) for pattern in patterns]
         return [future.result() for future in futures]
+
+    def submit_count(self, pattern: Pattern) -> "Future":
+        """Enqueue one pattern count; future yields ``int``."""
+        return self._enqueue(_Request(_COUNT, self._checked_pattern(pattern),
+                                      True))
+
+    def count_many(self, patterns: Sequence[Pattern]) -> List[int]:
+        """Batched pattern counts (``None`` wildcards; one backend call)."""
+        futures = [self.submit_count(pattern) for pattern in patterns]
+        return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # cursors (paged results; remote clients stream through these)
+    # ------------------------------------------------------------------ #
+    def open_cursor(self, query: PatternQuery, reorder: bool = True) -> str:
+        """Execute ``query`` into a server-side cursor; returns its id.
+
+        The cursor holds the compact id-row projection (strings
+        materialize per fetched page) and lives until :meth:`close_cursor`
+        or ``cursor_ttl`` seconds of inactivity, whichever comes first.
+        Cursor opens batch with ordinary queries: one dispatch round
+        plans and executes them all together.
+        """
+        return self._enqueue(_Request(_CURSOR_QUERY, query, reorder)).result()
+
+    def open_match_cursor(self, pattern: Pattern) -> str:
+        """Point-lookup counterpart of :meth:`open_cursor` (pages triples)."""
+        return self._enqueue(_Request(
+            _CURSOR_MATCH, self._checked_pattern(pattern), True)).result()
+
+    def fetch_cursor(self, cursor_id: str, max_rows: int) -> Tuple[List, bool]:
+        """Return ``(next page, exhausted)`` and refresh the cursor's TTL.
+
+        Raises :class:`~repro.errors.CursorError` for an unknown, closed
+        or expired cursor, and for a non-positive ``max_rows`` — never a
+        silently partial result.
+        """
+        return self._enqueue(_Request(
+            _CURSOR_FETCH, (cursor_id, max_rows), True)).result()
+
+    def close_cursor(self, cursor_id: str) -> None:
+        """Release a cursor.  Closing one twice (or an unknown/expired id)
+        raises :class:`~repro.errors.CursorError`."""
+        return self._enqueue(_Request(_CURSOR_CLOSE, cursor_id, True)).result()
 
     def _enqueue(self, request: _Request) -> "Future":
         # The closed-check and the put share the close lock: otherwise a
@@ -203,27 +298,55 @@ class QueryService:
             if first is _SHUTDOWN:
                 return
             batch: List[_Request] = [first]
+            shutdown = False
             while len(batch) < self.max_batch:
                 try:
                     nxt = self._queue.get_nowait()
                 except queue.Empty:
                     break
                 if nxt is _SHUTDOWN:
-                    self._serve(batch)
-                    return
+                    shutdown = True
+                    break
                 batch.append(nxt)
-            self._serve(batch)
+            try:
+                self._serve(batch)
+            except BaseException as exc:
+                # The dispatcher must never die with futures in hand:
+                # a request mid-serve when something as blunt as a
+                # KeyboardInterrupt-class error escapes would otherwise
+                # never resolve — its client blocks forever and close()
+                # can only drain the queue, not the lost batch.
+                failure = QueryError(f"dispatch failed: {exc!r}")
+                failure.__cause__ = exc
+                for request in batch:
+                    if not request.future.done():
+                        _resolve(request.future, exception=failure)
+            if shutdown:
+                return
 
     def _serve(self, batch: List[_Request]) -> None:
         self.batches_dispatched += 1
         self.largest_batch = max(self.largest_batch, len(batch))
         self.requests_served += len(batch)
-        queries = [request for request in batch if request.kind == _QUERY]
-        lookups = [request for request in batch if request.kind == _LOOKUP]
+        self._evict_expired_cursors()
+        by_kind: Dict[str, List[_Request]] = {}
+        for request in batch:
+            by_kind.setdefault(request.kind, []).append(request)
+        # Opens are served before fetches/closes so a pipelined client
+        # that batches "open; fetch" into one round still works.
+        queries = by_kind.get(_QUERY, []) + by_kind.get(_CURSOR_QUERY, [])
+        lookups = by_kind.get(_LOOKUP, []) + by_kind.get(_CURSOR_MATCH, [])
         if queries:
             self._serve_queries(queries)
         if lookups:
             self._serve_lookups(lookups)
+        counts = by_kind.get(_COUNT, [])
+        if counts:
+            self._serve_counts(counts)
+        for request in by_kind.get(_CURSOR_FETCH, []):
+            self._serve_cursor_fetch(request)
+        for request in by_kind.get(_CURSOR_CLOSE, []):
+            self._serve_cursor_close(request)
 
     def _serve_queries(self, requests: List[_Request]) -> None:
         # Group by reorder flag so each group plans in one batched call.
@@ -251,13 +374,16 @@ class QueryService:
             if not planned:
                 continue
             try:
-                results = execute_plans(self.store, plans)
+                cursors = execute_plans_cursors(self.store, plans)
             except Exception as exc:  # pragma: no cover - defensive
                 for request in planned:
                     _resolve(request.future, exception=exc)
                 continue
-            for request, result in zip(planned, results):
-                _resolve(request.future, result)
+            for request, cursor in zip(planned, cursors):
+                if request.kind == _CURSOR_QUERY:
+                    _resolve(request.future, self._register_cursor(cursor))
+                else:
+                    _resolve(request.future, cursor.fetch_all())
 
     def _serve_lookups(self, requests: List[_Request]) -> None:
         try:
@@ -268,13 +394,98 @@ class QueryService:
                 _resolve(request.future, exception=exc)
             return
         for request, result in zip(requests, results):
-            _resolve(request.future, result)
+            if request.kind == _CURSOR_MATCH:
+                _resolve(request.future,
+                         self._register_cursor(ResultCursor.from_list(result)))
+            else:
+                _resolve(request.future, result)
+
+    def _serve_counts(self, requests: List[_Request]) -> None:
+        try:
+            results = self.store.count_many([request.payload
+                                             for request in requests])
+        except Exception as exc:  # pragma: no cover - defensive
+            for request in requests:
+                _resolve(request.future, exception=exc)
+            return
+        for request, result in zip(requests, results):
+            _resolve(request.future, int(result))
+
+    # ------------------------------------------------------------------ #
+    # cursor table (dispatcher-thread only)
+    # ------------------------------------------------------------------ #
+    def _register_cursor(self, cursor: ResultCursor) -> str:
+        cursor_id = f"cur-{secrets.token_hex(8)}"
+        self._cursors[cursor_id] = (cursor, time.monotonic() + self.cursor_ttl)
+        self.cursors_opened += 1
+        return cursor_id
+
+    def _evict_expired_cursors(self) -> None:
+        now = time.monotonic()
+        for cursor_id in [identifier for identifier, (_cursor, deadline)
+                          in self._cursors.items() if deadline < now]:
+            cursor, _deadline = self._cursors.pop(cursor_id)
+            cursor.close()
+            self.cursors_expired += 1
+
+    def _lookup_cursor(self, cursor_id: str) -> ResultCursor:
+        entry = self._cursors.get(cursor_id)
+        if entry is None:
+            raise CursorError(
+                f"unknown cursor {cursor_id!r}: never opened on this "
+                f"service, already closed, or expired after "
+                f"{self.cursor_ttl:g}s idle (results are not recoverable "
+                f"— re-run the query)")
+        cursor, deadline = entry
+        if deadline < time.monotonic():
+            del self._cursors[cursor_id]
+            cursor.close()
+            self.cursors_expired += 1
+            raise CursorError(
+                f"cursor {cursor_id!r} expired after {self.cursor_ttl:g}s "
+                f"idle; re-run the query")
+        return cursor
+
+    def _serve_cursor_fetch(self, request: _Request) -> None:
+        cursor_id, max_rows = request.payload
+        try:
+            cursor = self._lookup_cursor(cursor_id)
+            page = cursor.fetch(max_rows)
+        except Exception as exc:
+            _resolve(request.future, exception=exc)
+            return
+        exhausted = cursor.exhausted
+        if exhausted:
+            # Nothing left to serve: release the id-row block now
+            # rather than pinning it for the remaining TTL (clients
+            # that iterate-to-exhaustion rely on the TTL, not on an
+            # explicit close).  The id stays valid — later fetches see
+            # an empty exhausted cursor, close_cursor still works.
+            cursor.close()
+            cursor = ResultCursor.from_list([])
+        self._cursors[cursor_id] = (cursor, time.monotonic() + self.cursor_ttl)
+        _resolve(request.future, (page, exhausted))
+
+    def _serve_cursor_close(self, request: _Request) -> None:
+        try:
+            cursor = self._lookup_cursor(request.payload)
+        except Exception as exc:
+            _resolve(request.future, exception=exc)
+            return
+        del self._cursors[request.payload]
+        cursor.close()
+        _resolve(request.future, None)
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Stop accepting requests, drain the queue, join the dispatcher."""
+        """Stop accepting requests, drain in-flight work, join the dispatcher.
+
+        Every request enqueued before close is either served or failed
+        with a clear ``QueryError`` — no future is ever left pending —
+        and every open cursor is released.
+        """
         with self._close_lock:
             if self._closed:
                 return
@@ -290,6 +501,10 @@ class QueryService:
             if leftover is not _SHUTDOWN:
                 _resolve(leftover.future,
                          exception=QueryError("QueryService is closed"))
+        # The dispatcher has exited; its cursor table is safe to touch.
+        for cursor, _deadline in self._cursors.values():
+            cursor.close()
+        self._cursors.clear()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -164,3 +164,76 @@ def test_cli_query_errors_are_reported(tmp_path, capsys):
     assert main(["query", "--store-dir", str(store_dir),
                  "--pattern", "?p brandIs apple", "--limit", "-1"]) == 2
     assert "--limit must be >= 0" in capsys.readouterr().err
+
+
+def test_parser_serve_defaults():
+    parser = build_parser()
+    args = parser.parse_args(["serve", "--store-dir", "/tmp/x"])
+    assert args.host == "127.0.0.1" and args.port is None
+    assert args.max_batch == 256 and args.cursor_ttl == 300.0
+
+
+def test_cli_serve_requires_store_dir(capsys):
+    assert main(["serve"]) == 2
+    assert "requires --store-dir" in capsys.readouterr().err
+
+
+def test_cli_query_url_and_store_dir_are_exclusive(tmp_path, capsys):
+    store_dir = _saved_store(tmp_path)
+    assert main(["query", "--store-dir", str(store_dir),
+                 "--url", "127.0.0.1:1", "--pattern", "?p brandIs ?b"]) == 2
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_cli_query_url_against_live_server(tmp_path, capsys):
+    """query --url streams the same TSV the local path prints."""
+    from repro.kg.server import KGServer
+
+    store_dir = _saved_store(tmp_path, backend="sharded")
+    query_args = ["query", "--pattern", "?p brandIs ?b",
+                  "--pattern", "?b headquartersIn ?c", "--select", "?p"]
+    assert main(query_args + ["--store-dir", str(store_dir)]) == 0
+    local_out = capsys.readouterr().out
+    with KGServer.open(store_dir, port=0).start() as server:
+        assert main(query_args + ["--url", server.url,
+                                  "--page-size", "1"]) == 0
+        assert capsys.readouterr().out == local_out
+        # Remote errors surface like local ones: stderr + exit 2.
+        assert main(["query", "--url", server.url,
+                     "--pattern", "?p brandIs ?b",
+                     "--select", "?oops"]) == 2
+        assert "?oops" in capsys.readouterr().err
+
+
+def test_cli_serve_subprocess_end_to_end(tmp_path):
+    """The real `repro serve` process: spawn, parse the bound port,
+    query it over TCP, terminate."""
+    import os
+    import re
+    import subprocess
+    import sys
+    from pathlib import Path
+
+    import repro
+
+    src_root = Path(repro.__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src_root)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    store_dir = _saved_store(tmp_path)
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--store-dir", str(store_dir), "--port", "0"],
+        env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True)
+    try:
+        line = process.stdout.readline()
+        match = re.search(r"serving \d+ triples .* on ([\d.]+):(\d+)", line)
+        assert match, f"unexpected serve banner: {line!r}"
+        from repro.kg.client import RemoteStore
+
+        with RemoteStore(f"{match.group(1)}:{match.group(2)}") as remote:
+            assert len(remote) == 6
+            assert remote.count(None, "brandIs", None) == 3
+    finally:
+        process.terminate()
+        process.wait(timeout=10)

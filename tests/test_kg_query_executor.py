@@ -251,3 +251,69 @@ def test_property_id_executor_bit_identical_binding_sets(rows, patterns,
             reference = legacy
         else:
             assert legacy == reference  # backends agree with each other
+
+
+# --------------------------------------------------------------------------- #
+# limit + cursor (the streaming surface the network layer pages over)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_limit_is_a_prefix_of_the_unlimited_result(backend):
+    engine = QueryEngine(_store(SAMPLE_ROWS, backend))
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b"),
+                                        ("?p", "placeOfOrigin", "?where")])
+    full = engine.execute(query)
+    for limit in (1, 2, len(full), len(full) + 10):
+        assert engine.execute(query, limit=limit) == full[:limit]
+    # The cap can also live on the query itself (how it crosses the wire).
+    capped = PatternQuery.from_patterns(query.patterns, limit=2)
+    assert engine.execute(capped) == full[:2]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_limit_zero_and_negative_raise(backend):
+    engine = QueryEngine(_store(SAMPLE_ROWS, backend))
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    for bad in (0, -1, True):
+        with pytest.raises(QueryError, match="limit"):
+            engine.execute(query, limit=bad)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cursor_pages_reassemble_execute_exactly(backend):
+    from repro.errors import CursorError
+
+    engine = QueryEngine(_store(SAMPLE_ROWS, backend))
+    for query in SAMPLE_QUERIES:
+        full = engine.execute(query)
+        for page_size in (1, 2, 100):
+            cursor = engine.cursor(query)
+            assert cursor.total_rows == len(full)
+            rows = []
+            while not cursor.exhausted:
+                rows.extend(cursor.fetch(page_size))
+            assert rows == full, (query, page_size)
+            assert cursor.fetch(page_size) == []  # exhausted, not an error
+    cursor = engine.cursor(SAMPLE_QUERIES[0])
+    with pytest.raises(CursorError, match="positive"):
+        cursor.fetch(0)
+    cursor.close()
+    cursor.close()  # engine-level close is idempotent (service adds typing)
+    with pytest.raises(CursorError, match="closed"):
+        cursor.fetch(1)
+
+
+def test_cursor_many_shares_one_batched_execution():
+    engine = QueryEngine(_store(SAMPLE_ROWS, "columnar"))
+    cursors = engine.cursor_many(SAMPLE_QUERIES[:4], limit=3)
+    results = engine.execute_many(SAMPLE_QUERIES[:4], limit=3)
+    assert [cursor.fetch_all() for cursor in cursors] == results
+
+
+def test_limit_validation_lives_in_the_planner():
+    from repro.kg.planner import validate_limit
+
+    validate_limit(None)
+    validate_limit(5)
+    for bad in (0, -3, True, 2.5, "10"):
+        with pytest.raises(QueryError):
+            validate_limit(bad)

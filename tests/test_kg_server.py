@@ -1,0 +1,558 @@
+"""Adversarial tests for the network query protocol (server + client).
+
+Four suites, mirroring what a network boundary must survive:
+
+* **parity** — bindings fetched through ``RemoteQueryEngine`` with
+  paging (page sizes down to 1) are bit-identical to local
+  ``QueryEngine.execute`` on the same store, across columnar and
+  sharded backends including a save→reopen→serve cycle (randomized
+  with hypothesis);
+* **protocol robustness** — malformed / truncated / oversized frames,
+  garbage bytes, unknown ops, missing fields, and mid-request
+  disconnects produce clean typed errors or connection closes, and the
+  server stays serviceable after every abuse case;
+* **concurrency** — 16 threaded remote clients running mixed
+  execute/match/cursor workloads return exactly the serial local
+  results, and the service's dispatch counters prove the requests were
+  coalesced into batched backend rounds;
+* **cursor faults** — expired TTL, server restart, double close and
+  limit edge cases raise typed ``CursorError``/``QueryError``, never
+  silent partial results.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CursorError, ProtocolError, QueryError
+from repro.kg.client import (
+    RemoteClient,
+    RemoteCursor,
+    RemoteQueryEngine,
+    RemoteStore,
+    parse_address,
+)
+from repro.kg.protocol import encode_frame, read_frame, send_frame
+from repro.kg.query import PatternQuery, QueryEngine
+from repro.kg.server import KGServer
+from repro.kg.sharded_backend import ShardedBackend
+from repro.kg.store import TripleStore
+from repro.kg.triple import triples_from_tuples
+
+NUM_PRODUCTS = 48
+
+
+def _rows():
+    rows = []
+    for index in range(NUM_PRODUCTS):
+        product = f"product:{index:04d}"
+        rows.append((product, "brandIs", f"brand:{index % 6}"))
+        rows.append((product, "placeOfOrigin", f"place:{index % 5}"))
+        rows.append((product, "rdf:type", f"category:{index % 9}"))
+    for brand in range(6):
+        rows.append((f"brand:{brand}", "headquartersIn", f"country:{brand % 3}"))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def store():
+    return TripleStore(triples_from_tuples(_rows()))
+
+
+@pytest.fixture(scope="module")
+def sharded_store():
+    return TripleStore(triples_from_tuples(_rows()),
+                       backend=ShardedBackend(n_shards=2))
+
+
+@pytest.fixture(scope="module")
+def server(store):
+    with KGServer(store, port=0).start() as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def sharded_server(sharded_store):
+    with KGServer(sharded_store, port=0).start() as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def reopened_server(tmp_path_factory, sharded_store):
+    """A save→reopen→serve cycle over the sharded layout."""
+    directory = sharded_store.save(tmp_path_factory.mktemp("served") / "kg")
+    with KGServer.open(directory, port=0) as running:
+        running.start()
+        yield running
+
+
+def _drain(cursor: RemoteCursor):
+    rows = list(cursor)
+    cursor.close()
+    return rows
+
+
+# --------------------------------------------------------------------------- #
+# parity: remote paging vs local execution
+# --------------------------------------------------------------------------- #
+HEAD_TERMS = ("?p", "?q", "product:0001", "product:0013", "brand:2", "ghost")
+RELATION_TERMS = ("brandIs", "placeOfOrigin", "rdf:type", "headquartersIn",
+                  "?r")
+TAIL_TERMS = ("?b", "?c", "?p", "brand:3", "place:2", "country:1",
+              "category:4", "ghost")
+
+pattern_strategy = st.tuples(st.sampled_from(HEAD_TERMS),
+                             st.sampled_from(RELATION_TERMS),
+                             st.sampled_from(TAIL_TERMS))
+
+
+@st.composite
+def query_strategy(draw):
+    patterns = draw(st.lists(pattern_strategy, min_size=1, max_size=2))
+    variables = [term for pattern in patterns for term in pattern
+                 if term.startswith("?")]
+    select = ()
+    if variables and draw(st.booleans()):
+        select = tuple(dict.fromkeys(draw(
+            st.lists(st.sampled_from(variables), min_size=1, max_size=2))))
+    return PatternQuery.from_patterns(patterns, select=select)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(query=query_strategy(), page_size=st.sampled_from((1, 3, 7, 1000)),
+       reorder=st.booleans())
+def test_remote_paged_results_identical_to_local(server, sharded_server,
+                                                 reopened_server, store,
+                                                 sharded_store, query,
+                                                 page_size, reorder):
+    """The acceptance property: random queries, several page sizes
+    (including 1), three serving setups — remote paging must be
+    bit-identical (values AND order) to local execution."""
+    fixtures = [(server, store), (sharded_server, sharded_store),
+                (reopened_server, reopened_server.service.store)]
+    for running, backing in fixtures:
+        local = QueryEngine(backing).execute(query, reorder=reorder)
+        with RemoteQueryEngine(running.url) as engine:
+            assert engine.execute(query, reorder=reorder) == local
+            paged = _drain(engine.cursor(query, reorder=reorder,
+                                         page_size=page_size))
+            assert paged == local
+
+
+def test_remote_three_pattern_join_parity(server, store):
+    query = PatternQuery.from_patterns(
+        [("?p", "brandIs", "?b"),
+         ("?b", "headquartersIn", "?c"),
+         ("?p", "rdf:type", "?cat")],
+        select=["?p", "?c"])
+    local = QueryEngine(store).execute(query)
+    with RemoteQueryEngine(server.url) as engine:
+        assert engine.execute(query) == local
+        assert _drain(engine.cursor(query, page_size=1)) == local
+
+
+def test_remote_execute_many_parity(server, store):
+    queries = [PatternQuery.from_patterns([("?p", "brandIs", f"brand:{i}")])
+               for i in range(6)]
+    local = QueryEngine(store).execute_many(queries)
+    with RemoteQueryEngine(server.url) as engine:
+        assert engine.execute_many(queries) == local
+
+
+def test_remote_store_mirrors_local_surface(server, store):
+    patterns = [(None, "brandIs", None), ("product:0001", None, None),
+                ("ghost", None, None), (None, None, "country:1")]
+    with RemoteStore(server.url) as remote:
+        assert len(remote) == len(store)
+        for pattern in patterns:
+            assert remote.match(*pattern) == store.match(*pattern)
+            assert remote.count(*pattern) == store.count(*pattern)
+        assert remote.match(None, "brandIs", None, sort=True) == \
+            store.match(None, "brandIs", None, sort=True)
+        assert remote.match_many(patterns) == store.match_many(patterns)
+        assert remote.count_many(patterns) == store.count_many(patterns)
+        assert list(remote.iter_match(relation="brandIs", page_size=7)) == \
+            store.match(relation="brandIs")
+
+
+def test_remote_limit_caps_rows(server, store):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    local = QueryEngine(store).execute(query)
+    with RemoteQueryEngine(server.url) as engine:
+        assert engine.execute(query, limit=5) == local[:5]
+        assert _drain(engine.cursor(query, limit=7, page_size=3)) == local[:7]
+
+
+def test_remote_typed_errors_round_trip(server):
+    bad_select = PatternQuery.from_patterns([("?p", "brandIs", "?b")],
+                                            select=["?oops"])
+    with RemoteQueryEngine(server.url) as engine:
+        with pytest.raises(QueryError, match=r"\?oops"):
+            engine.execute(bad_select)
+        with pytest.raises(QueryError, match="limit"):
+            engine.execute(PatternQuery.from_patterns(
+                [("?p", "brandIs", "?b")]), limit=0)
+
+
+def test_parse_address_forms():
+    assert parse_address("127.0.0.1:7468") == ("127.0.0.1", 7468)
+    assert parse_address("kg://example:1") == ("example", 1)
+    assert parse_address("tcp://example:1") == ("example", 1)
+    for bad in ("", "nope", "host:", ":17", "host:port", 17):
+        with pytest.raises(ValueError):
+            parse_address(bad)
+
+
+# --------------------------------------------------------------------------- #
+# protocol robustness: the server must shrug off hostile bytes
+# --------------------------------------------------------------------------- #
+def _assert_serviceable(running: KGServer) -> None:
+    """A fresh connection still gets correct answers."""
+    query = PatternQuery.from_patterns([("?p", "brandIs", "brand:1")])
+    local = QueryEngine(running.service.store).execute(query)
+    with RemoteQueryEngine(running.url) as engine:
+        assert engine.execute(query) == local
+
+
+def _raw_connection(running: KGServer) -> socket.socket:
+    sock = socket.create_connection(running.address, timeout=10)
+    sock.settimeout(10)
+    return sock
+
+
+def _read_error(sock: socket.socket) -> dict:
+    response = read_frame(sock)
+    assert response is not None and response["ok"] is False
+    return response["error"]
+
+
+def test_garbage_bytes_get_error_then_close(server):
+    with _raw_connection(server) as sock:
+        sock.sendall(b"\xde\xad\xbe\xef not a frame at all")
+        error = _read_error(sock)
+        assert error["type"] == "ProtocolError"
+        assert sock.recv(1024) == b""       # server hung up
+    _assert_serviceable(server)
+
+
+def test_oversized_declared_length_rejected_without_allocation(server):
+    with _raw_connection(server) as sock:
+        sock.sendall(struct.pack(">I", 0xFFFFFFFF))
+        error = _read_error(sock)
+        assert error["type"] == "ProtocolError"
+        assert "cap" in error["message"]
+        assert sock.recv(1024) == b""
+    _assert_serviceable(server)
+
+
+def test_zero_length_frame_rejected(server):
+    with _raw_connection(server) as sock:
+        sock.sendall(struct.pack(">I", 0))
+        assert _read_error(sock)["type"] == "ProtocolError"
+    _assert_serviceable(server)
+
+
+def test_truncated_frame_then_disconnect(server):
+    with _raw_connection(server) as sock:
+        sock.sendall(struct.pack(">I", 1000) + b"only a little")
+    _assert_serviceable(server)
+
+
+def test_frame_with_invalid_json_body(server):
+    with _raw_connection(server) as sock:
+        body = b"{not json!"
+        sock.sendall(struct.pack(">I", len(body)) + body)
+        error = _read_error(sock)
+        assert error["type"] == "ProtocolError"
+        assert "JSON" in error["message"]
+    _assert_serviceable(server)
+
+
+def test_frame_with_non_object_json_body(server):
+    with _raw_connection(server) as sock:
+        sock.sendall(encode_frame({}).replace(b"{}", b"[]"))
+        assert _read_error(sock)["type"] == "ProtocolError"
+    _assert_serviceable(server)
+
+
+def test_unknown_op_keeps_connection_alive(server):
+    with _raw_connection(server) as sock:
+        send_frame(sock, {"op": "self-destruct", "id": 1})
+        error = _read_error(sock)
+        assert error["type"] == "ProtocolError"
+        assert "self-destruct" in error["message"]
+        # The frame stream is intact: the same connection keeps working.
+        send_frame(sock, {"op": "ping", "id": 2})
+        response = read_frame(sock)
+        assert response == {"id": 2, "ok": True, "result": "pong"}
+    _assert_serviceable(server)
+
+
+def test_missing_and_malformed_fields_are_typed_errors(server):
+    cases = [
+        {"op": "execute", "id": 1},                          # no query
+        {"op": "execute", "id": 2, "query": "nope"},         # query not object
+        {"op": "execute", "id": 3, "query": {}},             # no patterns
+        {"op": "execute", "id": 4,
+         "query": {"patterns": [["a", "b"]]}},               # 2-term pattern
+        {"op": "execute", "id": 5,
+         "query": {"patterns": [["a", "b", "c"]], "limit": "many"}},
+        {"op": "match", "id": 6, "pattern": [1, 2, 3]},      # non-string terms
+        {"op": "match", "id": 7, "pattern": ["a", "b"]},     # 2-term pattern
+        {"op": "fetch", "id": 8},                            # no cursor
+        {"op": "fetch", "id": 9, "cursor": "x", "max_rows": True},
+        {"op": None, "id": 10},                              # no op at all
+    ]
+    with _raw_connection(server) as sock:
+        for message in cases:
+            send_frame(sock, message)
+            response = read_frame(sock)
+            assert response is not None
+            assert response["ok"] is False, message
+            assert response["error"]["type"] == "ProtocolError", message
+            assert response["id"] == message["id"]
+    _assert_serviceable(server)
+
+
+def test_mid_request_disconnect_does_not_poison_server(server):
+    # Hang up after a complete request but before reading the response,
+    # and again halfway through a frame: both only kill that connection.
+    sock = _raw_connection(server)
+    send_frame(sock, {"op": "match", "id": 1, "pattern": [None, None, None]})
+    sock.close()
+    sock = _raw_connection(server)
+    frame = encode_frame({"op": "ping", "id": 1})
+    sock.sendall(frame[:len(frame) // 2])
+    sock.close()
+    time.sleep(0.05)
+    _assert_serviceable(server)
+
+
+def test_oversized_response_suggests_cursor_and_keeps_serving(store):
+    """A result too big for the frame cap is a typed error, not a dead
+    connection — and the cursor path streams the same result fine."""
+    with KGServer(store, port=0, max_frame_bytes=2048).start() as small:
+        query = PatternQuery.from_patterns([("?p", "?r", "?t")])
+        local = QueryEngine(store).execute(query)
+        with RemoteQueryEngine(small.url) as engine:
+            with pytest.raises(ProtocolError, match="cursor"):
+                engine.execute(query)
+            # Same connection, paged: streams within the cap.
+            assert _drain(engine.cursor(query, page_size=8)) == local
+        _assert_serviceable(small)
+
+
+def test_client_rejects_mismatched_response_id(server):
+    with _raw_connection(server) as sock:
+        send_frame(sock, {"op": "ping", "id": 41})
+        response = read_frame(sock)
+        assert response["id"] == 41  # sanity: server echoes the id
+
+
+# --------------------------------------------------------------------------- #
+# concurrency: 16 remote clients, coalesced batches, serial-identical results
+# --------------------------------------------------------------------------- #
+def test_sixteen_concurrent_clients_match_serial(sharded_store):
+    queries = [PatternQuery.from_patterns(
+        [("?p", "brandIs", f"brand:{brand}"),
+         ("?p", "placeOfOrigin", "?place")], select=["?p", "?place"])
+        for brand in range(6)]
+    patterns = [(None, "brandIs", f"brand:{brand}") for brand in range(6)]
+    cursor_query = PatternQuery.from_patterns([("?p", "rdf:type", "?cat")])
+
+    engine = QueryEngine(sharded_store)
+    serial_queries = engine.execute_many(queries)
+    serial_matches = sharded_store.match_many(patterns)
+    serial_cursor = engine.execute(cursor_query)
+
+    num_clients = 16
+    outputs = [None] * num_clients
+    errors = []
+    with KGServer(sharded_store, port=0).start() as running:
+        barrier = threading.Barrier(num_clients)
+
+        def client(slot: int) -> None:
+            try:
+                with RemoteClient(running.url) as connection:
+                    remote_engine = RemoteQueryEngine(connection)
+                    remote_store = RemoteStore(connection)
+                    barrier.wait(timeout=30)
+                    got_queries = remote_engine.execute_many(queries)
+                    got_matches = [remote_store.match(*pattern)
+                                   for pattern in patterns]
+                    got_cursor = _drain(remote_engine.cursor(
+                        cursor_query, page_size=13))
+                    outputs[slot] = (got_queries, got_matches, got_cursor)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=client, args=(slot,))
+                   for slot in range(num_clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        for slot in range(num_clients):
+            assert outputs[slot] == (serial_queries, serial_matches,
+                                     serial_cursor)
+        stats = running.service.stats
+        assert stats["requests_served"] >= num_clients * 3
+        # Batching must actually coalesce concurrent remote requests:
+        # strictly fewer dispatch rounds than requests served.
+        assert stats["batches_dispatched"] < stats["requests_served"], stats
+        assert stats["largest_batch"] > 1, stats
+
+
+# --------------------------------------------------------------------------- #
+# cursor faults: typed errors, never silent partial results
+# --------------------------------------------------------------------------- #
+def test_cursor_expires_after_ttl(store):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    with KGServer(store, port=0, cursor_ttl=0.15).start() as running:
+        with RemoteQueryEngine(running.url) as engine:
+            cursor = engine.cursor(query, page_size=4)
+            assert cursor.fetch()  # alive while touched
+            time.sleep(0.5)
+            with pytest.raises(CursorError, match="expired|unknown"):
+                cursor.fetch()
+
+
+def test_cursor_dies_with_server_restart(tmp_path, store):
+    directory = store.save(tmp_path / "kg")
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    with KGServer.open(directory, port=0) as first:
+        first.start()
+        with RemoteQueryEngine(first.url) as engine:
+            stale_id = engine.cursor(query).cursor_id
+    with KGServer.open(directory, port=0) as second:
+        second.start()
+        with RemoteClient(second.url) as connection:
+            with pytest.raises(CursorError, match="unknown"):
+                connection.call("fetch", cursor=stale_id, max_rows=10)
+
+
+def test_cursor_double_close_raises(server):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    with RemoteQueryEngine(server.url) as engine:
+        cursor = engine.cursor(query)
+        cursor.close()
+        with pytest.raises(CursorError):
+            cursor.close()
+        # Server-side too: a second close of the same id is typed.
+        fresh = engine.cursor(query)
+        engine.client.call("close_cursor", cursor=fresh.cursor_id)
+        with pytest.raises(CursorError, match="unknown"):
+            engine.client.call("close_cursor", cursor=fresh.cursor_id)
+
+
+def test_cursor_limit_edge_cases(server, store):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    local = QueryEngine(store).execute(query)
+    with RemoteQueryEngine(server.url) as engine:
+        # limit=0 is a typed error, not an empty result.
+        with pytest.raises(QueryError, match="limit"):
+            engine.cursor(query, limit=0).fetch()
+        # limit far beyond the result size: the full result, cleanly
+        # exhausted, no phantom rows.
+        cursor = engine.cursor(query, limit=10 ** 6, page_size=1000)
+        rows = cursor.fetch()
+        assert rows == local and cursor.exhausted
+        assert cursor.fetch() == []
+        # non-positive page size is rejected before touching the wire...
+        with pytest.raises(CursorError, match="page_size"):
+            engine.cursor(query, page_size=0)
+        # ...and a hostile max_rows at the protocol level is typed too.
+        live = engine.cursor(query)
+        with pytest.raises(CursorError, match="positive"):
+            engine.client.call("fetch", cursor=live.cursor_id, max_rows=0)
+        with pytest.raises(CursorError, match="positive"):
+            engine.client.call("fetch", cursor=live.cursor_id, max_rows=-3)
+
+
+def test_fetch_after_local_close_raises_without_wire_traffic(server):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    with RemoteQueryEngine(server.url) as engine:
+        cursor = engine.cursor(query)
+        cursor.close()
+        with pytest.raises(CursorError, match="closed"):
+            cursor.fetch()
+
+
+def test_stats_op_reports_service_counters(server):
+    with RemoteClient(server.url) as connection:
+        assert connection.ping()
+        stats = connection.stats()
+        assert stats["service"]["requests_served"] >= 0
+        assert stats["store"]["triples"] == len(server.service.store)
+
+
+# --------------------------------------------------------------------------- #
+# review regressions: lifecycle races, broken-transport hygiene
+# --------------------------------------------------------------------------- #
+def test_close_immediately_after_start_is_prompt(store):
+    """close() racing start() must stop the serve loop cleanly and fast
+    (no 10s join timeout, no socket yanked from under serve_forever)."""
+    start = time.monotonic()
+    server = KGServer(store, port=0).start()
+    server.close()
+    assert time.monotonic() - start < 5.0
+    # And a never-started server closes cleanly too.
+    unstarted = KGServer(store, port=0)
+    unstarted.close()
+
+
+def test_client_marks_connection_broken_after_transport_failure(store):
+    """A dead/desynced stream must not be reused: the first failure
+    raises ProtocolError and every later call fails fast as closed,
+    instead of reading stale responses with mismatched ids."""
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+
+    def one_silent_accept():
+        connection, _address = listener.accept()
+        connection.recv(1 << 16)   # swallow the request
+        connection.close()         # ...and hang up without responding
+
+    acceptor = threading.Thread(target=one_silent_accept, daemon=True)
+    acceptor.start()
+    client = RemoteClient(f"127.0.0.1:{listener.getsockname()[1]}")
+    with pytest.raises(ProtocolError, match="closed the connection"):
+        client.call("ping")
+    with pytest.raises(ProtocolError, match="connection is closed"):
+        client.call("ping")
+    acceptor.join(timeout=10)
+    listener.close()
+
+
+def test_remote_cursor_fetch_zero_raises_locally(server):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    with RemoteQueryEngine(server.url) as engine:
+        cursor = engine.cursor(query)
+        for bad in (0, -1, True, "10"):
+            with pytest.raises(CursorError, match="positive"):
+                cursor.fetch(bad)
+        assert cursor.fetch(3)  # still usable afterwards
+
+
+def test_execute_many_rejects_batch_before_submitting(server, store):
+    """A malformed query anywhere in the batch fails the whole request
+    up front — no half-submitted futures — and the server stays fine."""
+    good = {"patterns": [["?p", "brandIs", "?b"]]}
+    with RemoteClient(server.url) as connection:
+        with pytest.raises(ProtocolError, match="patterns"):
+            connection.call("execute_many", queries=[good, {"nope": 1}])
+        # Same connection still serves the valid batch.
+        result = connection.call("execute_many", queries=[good])
+        assert result[0] == QueryEngine(store).execute(
+            PatternQuery.from_patterns([("?p", "brandIs", "?b")]))
+    _assert_serviceable(server)

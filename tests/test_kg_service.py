@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
-from repro.errors import QueryError
+from repro.errors import CursorError, QueryError
 from repro.kg.query import PatternQuery, QueryEngine
 from repro.kg.service import QueryService
 from repro.kg.sharded_backend import ShardedBackend
@@ -159,6 +160,115 @@ def test_service_rejects_requests_after_close(store):
     service.close()  # idempotent
 
 
+def test_service_drains_in_flight_requests_on_close(store):
+    """Every request enqueued before close() must resolve — served or
+    failed with a clear QueryError — and close() must return promptly.
+    No future may be left pending (a hung client)."""
+    queries = _queries()
+    service = QueryService(store, max_batch=4)  # small batches: more rounds
+    futures = [service.submit(queries[index % len(queries)])
+               for index in range(120)]
+    closer = threading.Thread(target=service.close)
+    closer.start()
+    closer.join(timeout=30)
+    assert not closer.is_alive(), "close() hung with requests in flight"
+    outcomes = {"served": 0, "failed": 0}
+    for future in futures:
+        try:
+            result = future.result(timeout=10)
+        except QueryError as exc:
+            assert "closed" in str(exc)
+            outcomes["failed"] += 1
+        else:
+            assert isinstance(result, list)
+            outcomes["served"] += 1
+    assert sum(outcomes.values()) == len(futures)
+
+
+def test_service_dispatcher_survives_base_exception(store):
+    """Regression for the drain-on-close gap: a BaseException escaping a
+    serve round (the per-group handlers only catch Exception) used to
+    kill the dispatcher with the batch's futures in hand — those clients
+    blocked forever and close() could not help them.  The dispatch loop
+    must fail the batch and keep serving."""
+    class Hostile(BaseException):
+        pass
+
+    service = QueryService(store)
+    original = store.match_many
+    store.match_many = lambda patterns: (_ for _ in ()).throw(Hostile("boom"))
+    try:
+        future = service.submit_lookup(("product:0001", None, None))
+        with pytest.raises(QueryError, match="dispatch failed"):
+            future.result(timeout=10)
+        # The dispatcher survived: queries still serve, close() drains.
+        assert service.execute(_queries()[0]) == \
+            QueryEngine(store).execute(_queries()[0])
+    finally:
+        store.match_many = original
+        service.close()
+
+
+def test_service_count_many_matches_store(store):
+    patterns = [(None, "brandIs", None), ("product:0001", None, None),
+                ("nope", None, None)]
+    with QueryService(store) as service:
+        assert service.count_many(patterns) == store.count_many(patterns)
+        with pytest.raises(QueryError, match=r"\?p"):
+            service.submit_count(("?p", None, None))
+
+
+def test_service_cursor_pages_match_execute(store):
+    query = _queries()[0]
+    expected = QueryEngine(store).execute(query)
+    with QueryService(store) as service:
+        cursor_id = service.open_cursor(query)
+        rows, exhausted = [], False
+        while not exhausted:
+            page, exhausted = service.fetch_cursor(cursor_id, 3)
+            rows.extend(page)
+        assert rows == expected
+        service.close_cursor(cursor_id)
+        with pytest.raises(CursorError):
+            service.close_cursor(cursor_id)  # double close is typed
+
+
+def test_service_match_cursor_pages_triples(store):
+    pattern = (None, "headquartersIn", None)
+    with QueryService(store) as service:
+        cursor_id = service.open_match_cursor(pattern)
+        page, exhausted = service.fetch_cursor(cursor_id, 1000)
+        assert page == store.match(*pattern) and exhausted
+        with pytest.raises(QueryError, match=r"\?h"):
+            service.open_match_cursor(("?h", None, None))
+
+
+def test_service_cursor_ttl_eviction(store):
+    query = _queries()[0]
+    with QueryService(store, cursor_ttl=0.1) as service:
+        cursor_id = service.open_cursor(query)
+        time.sleep(0.3)
+        with pytest.raises(CursorError, match="expired|unknown"):
+            service.fetch_cursor(cursor_id, 5)
+        assert service.stats["cursors_expired"] >= 1 or \
+            service.stats["open_cursors"] == 0
+
+
+def test_service_cursors_released_on_close(store):
+    service = QueryService(store)
+    cursor_id = service.open_cursor(_queries()[0])
+    assert service.stats["open_cursors"] == 1
+    service.close()
+    assert service.stats["open_cursors"] == 0
+    with pytest.raises(QueryError, match="closed"):
+        service.fetch_cursor(cursor_id, 5)
+
+
+def test_service_invalid_cursor_ttl(store):
+    with pytest.raises(ValueError):
+        QueryService(store, cursor_ttl=0)
+
+
 def test_service_works_on_set_backend_via_fallback():
     store = TripleStore(triples_from_tuples(_rows()[:60]), backend="set")
     query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
@@ -170,3 +280,19 @@ def test_service_works_on_set_backend_via_fallback():
 def test_service_invalid_max_batch(store):
     with pytest.raises(ValueError):
         QueryService(store, max_batch=0)
+
+
+def test_service_releases_exhausted_cursor_rows_but_keeps_id_valid(store):
+    """Draining a cursor frees its row block server-side immediately
+    (clients that iterate to exhaustion rely on the TTL, not close),
+    while the id keeps answering: empty pages, closeable once."""
+    query = _queries()[0]
+    expected = QueryEngine(store).execute(query)
+    with QueryService(store) as service:
+        cursor_id = service.open_cursor(query)
+        page, exhausted = service.fetch_cursor(cursor_id, len(expected) + 1)
+        assert page == expected and exhausted
+        assert service.fetch_cursor(cursor_id, 5) == ([], True)
+        service.close_cursor(cursor_id)
+        with pytest.raises(CursorError):
+            service.close_cursor(cursor_id)
