@@ -1,0 +1,45 @@
+"""Persist benchmark results as ``BENCH_*.json`` artifacts at the repo root.
+
+Every bench module records its measured numbers — workload description,
+backend, codec, timings and speedups — so a CI bench job can upload the
+artifacts and a reviewer can diff perf across commits without re-running
+anything.  One artifact per bench family::
+
+    BENCH_store.json    backend micro-benchmarks (test_bench_store_backends)
+    BENCH_query.json    query-engine benchmarks  (test_bench_query_engine)
+    BENCH_server.json   network-path benchmarks  (test_bench_server)
+
+Sections merge: a test updates only its own section and leaves sections
+written by other tests intact, so running a single bench never clobbers
+the rest of the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+#: The repo root — artifacts land next to ROADMAP.md, not in benchmarks/.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def update_artifact(name: str, section: str, payload: dict) -> Path:
+    """Merge ``payload`` into the ``section`` of ``BENCH_<name>.json``."""
+    path = REPO_ROOT / f"BENCH_{name}.json"
+    try:
+        document = json.loads(path.read_text())
+        if not isinstance(document, dict):
+            document = {}
+    except (OSError, ValueError):
+        document = {}
+    document["benchmark"] = name
+    document["generated_unix"] = int(time.time())
+    document["python"] = platform.python_version()
+    document["machine"] = {"platform": platform.platform(),
+                           "cpus": os.cpu_count()}
+    document.setdefault("sections", {})[section] = payload
+    path.write_text(json.dumps(document, indent=2, sort_keys=False) + "\n")
+    return path

@@ -36,6 +36,7 @@ import threading
 import time
 from typing import Callable, List, Tuple
 
+from _artifacts import update_artifact
 from repro.kg.query import PatternQuery, QueryEngine
 from repro.kg.service import QueryService
 from repro.kg.sharded_backend import ShardedBackend
@@ -147,6 +148,18 @@ def test_id_space_executor_vs_backtracking():
     for key, result in canonical.items():
         assert result == reference, \
             f"binding sets diverge for {key}\n{report}"
+    update_artifact("query", "id_space_vs_backtracking", {
+        "workload": f"{len(queries)} join queries over {len(rows)} triples",
+        "backend": "columnar and sharded-4",
+        "codec": "in-process",
+        "timings_seconds": {f"{backend}/{strategy}": elapsed
+                            for (backend, strategy), elapsed
+                            in timings.items()},
+        "speedups": {backend: timings[(backend, "backtracking")]
+                     / timings[(backend, "id")]
+                     for backend in ("columnar", "sharded-4")},
+        "bar": "id-space executor >= 5x backtracking",
+    })
     for backend_name in ("columnar", "sharded-4"):
         legacy = timings[(backend_name, "backtracking")]
         fast = timings[(backend_name, "id")]
@@ -190,6 +203,17 @@ def test_query_service_concurrent_throughput():
             f"{service.batches_dispatched} dispatch batches, largest "
             f"{service.largest_batch})")
         print(f"\n{report}")
+        update_artifact("query", "service_concurrency", {
+            "workload": f"{total} queries over {SERVICE_THREADS} threads",
+            "backend": "sharded-4",
+            "codec": "in-process",
+            "timings_seconds": {"concurrent_batch": elapsed,
+                                "serial_single_client": serial_time},
+            "throughput_qps": {"concurrent": total / elapsed,
+                               "serial": len(queries) / serial_time},
+            "batching": {"dispatched": service.batches_dispatched,
+                         "largest": service.largest_batch},
+        })
         for slot in range(SERVICE_THREADS):
             assert outputs[slot] is not None, \
                 f"client {slot} never finished\n{report}"

@@ -46,6 +46,7 @@ import os
 import time
 from typing import Callable, List, Tuple
 
+from _artifacts import update_artifact
 from repro.kg.backend import ColumnarBackend, make_backend
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.mmap_backend import MmapBackend
@@ -218,6 +219,24 @@ def test_bench_store_backends(tmp_path):
         f"{name}: " + ", ".join(f"{workload}={seconds:.3f}s"
                                 for workload, seconds in timings.items())
         for name, timings in results.items())
+    update_artifact("store", "backend_workloads", {
+        "workload": f"{len(rows)} triples: bulk-load, pattern-match, "
+                    f"2-hop neighbourhood, interleaved mutate/query, "
+                    f"mmap reopen (best of {REPEATS})",
+        "backend": list(BACKEND_NAMES),
+        "codec": "in-process",
+        "timings_seconds": {
+            **{f"{name}/{workload}": duration
+               for name, timings in results.items()
+               for workload, duration in timings.items()},
+            "mmap/reopen+pattern-match": reopen_seconds,
+            "columnar/interleaved-eager": eager_seconds,
+            "columnar/interleaved-overlay": overlay_seconds,
+        },
+        "speedups": {"columnar_vs_set_combined": speedup,
+                     "overlay_vs_eager": overlay_speedup},
+        "bar": "columnar >= 2x set combined; overlay >= 5x eager",
+    })
     # Acceptance bar from the backend refactor issue (PR 1).
     assert speedup >= 2.0, \
         f"columnar combined speedup {speedup:.2f}x < 2.0x over set ({table})"
@@ -309,6 +328,19 @@ def test_bench_sharded_bulk_and_batched(tmp_path):
         f"  sharded n={SHARDED_FANOUT} vs single-shard columnar: {speedup:.2f}x"
         f" (vs sharded n=1: {parallel_speedup:.2f}x)")
     print("\n" + table)
+    update_artifact("store", "sharded_pipeline", {
+        "workload": f"{len(triples)} triples: bulk-load + save/open + "
+                    f"batched queries (best of {REPEATS}, {cores} cores)",
+        "backend": ["columnar", "sharded-1", f"sharded-{SHARDED_FANOUT}"],
+        "codec": "in-process",
+        "timings_seconds": {"columnar_per_row": columnar_seconds,
+                            "sharded_1": single_seconds,
+                            f"sharded_{SHARDED_FANOUT}": fanout_seconds},
+        "speedups": {"sharded_vs_columnar": speedup,
+                     "sharded_vs_single_shard": parallel_speedup},
+        "bar": f"sharded-{SHARDED_FANOUT} >= {SHARDED_SPEEDUP_BAR}x columnar "
+               f"(asserted on >= 4 cores)",
+    })
 
     if cores >= 4:
         assert speedup >= SHARDED_SPEEDUP_BAR, (

@@ -118,6 +118,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cursor-ttl", type=float, default=300.0,
                        help="seconds an idle server-side cursor survives "
                             "before eviction (default 300)")
+    serve.add_argument("--codec", choices=("auto", "json"), default="auto",
+                       help="wire codec policy: auto grants per-connection "
+                            "binary negotiation (id blocks + interner "
+                            "deltas) when the backend supports it; json "
+                            "pins every connection to the JSON codec "
+                            "(default auto)")
 
     query = subparsers.add_parser(
         "query",
@@ -152,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--page-size", type=int, default=512,
                        help="rows per fetch when streaming from --url "
                             "(default 512)")
+    query.add_argument("--codec", choices=("auto", "json", "binary"),
+                       default="auto",
+                       help="wire codec when querying --url: auto "
+                            "negotiates binary and falls back to json; "
+                            "binary fails fast if the server declines "
+                            "(default auto; ignored with --store-dir)")
     return parser
 
 
@@ -227,7 +239,8 @@ def _command_serve(args) -> int:
         port = DEFAULT_PORT if args.port is None else args.port
         server = KGServer.open(args.store_dir, host=args.host, port=port,
                                max_batch=args.max_batch,
-                               cursor_ttl=args.cursor_ttl)
+                               cursor_ttl=args.cursor_ttl,
+                               codec=args.codec)
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr, flush=True)
         return 2
@@ -249,7 +262,7 @@ def _remote_query_rows(args, query):
 
     if args.limit == 0:
         return
-    with RemoteQueryEngine(args.url) as engine:
+    with RemoteQueryEngine(args.url, codec=args.codec) as engine:
         cursor = engine.cursor(query, reorder=not args.no_reorder,
                                limit=args.limit, page_size=args.page_size)
         for row in cursor:

@@ -38,10 +38,18 @@ from repro.kg.backend import Pattern
 from repro.kg.executor import Binding
 from repro.kg.planner import PatternQuery
 from repro.kg.protocol import (
+    CODEC_BINARY,
+    CODEC_JSON,
     MAX_FRAME_BYTES,
+    TAG_BINARY,
+    TAG_JSON,
+    BinaryResponseDecoder,
+    DecodedBlock,
+    decode_json_body,
     encode_frame,
+    encode_tagged_json,
     error_from_wire,
-    read_frame,
+    read_frame_bytes,
 )
 from repro.kg.triple import Triple
 
@@ -50,7 +58,8 @@ DEFAULT_PAGE_SIZE = 512
 
 
 def parse_address(url: str) -> Tuple[str, int]:
-    """Parse ``host:port`` (optionally ``kg://`` / ``tcp://`` prefixed)."""
+    """Parse ``host:port`` (optionally ``kg://`` / ``tcp://`` prefixed;
+    IPv6 literals bracketed, ``[::1]:9999``)."""
     if not isinstance(url, str) or not url:
         raise ValueError(f"server address must be a 'host:port' string, "
                          f"got {url!r}")
@@ -59,11 +68,30 @@ def parse_address(url: str) -> Tuple[str, int]:
         if stripped.startswith(scheme):
             stripped = stripped[len(scheme):]
             break
-    host, separator, port_text = stripped.rpartition(":")
-    if not separator or not host or not port_text.isdigit():
+    if stripped.startswith("["):
+        host, bracket, port_part = stripped[1:].partition("]")
+        if not bracket or not host:
+            raise ValueError(
+                f"IPv6 server address must look like '[host]:port', "
+                f"got {url!r}")
+        if not port_part.startswith(":"):
+            raise ValueError(
+                f"IPv6 server address {url!r} is missing the ':port' "
+                f"after the bracket")
+        port_text = port_part[1:]
+    else:
+        host, separator, port_text = stripped.rpartition(":")
+        if not separator or not host:
+            raise ValueError(
+                f"server address must look like 'host:port', got {url!r}")
+    if not port_text.isdigit():
         raise ValueError(
-            f"server address must look like 'host:port', got {url!r}")
-    return host, int(port_text)
+            f"server address port must be a number, got {url!r}")
+    port = int(port_text)
+    if not 0 < port < 65536:
+        raise ValueError(
+            f"server address port must be in 1..65535, got {port}")
+    return host, port
 
 
 def _wire_query(query: PatternQuery) -> dict:
@@ -75,16 +103,38 @@ def _wire_query(query: PatternQuery) -> dict:
     return message
 
 
-def _triples(rows: Sequence[Sequence[str]]) -> List[Triple]:
+def _triples(rows) -> List[Triple]:
+    if isinstance(rows, DecodedBlock):
+        return rows.to_triples()
     return [Triple(head=row[0], relation=row[1], tail=row[2]) for row in rows]
 
 
+def _bindings(result) -> List[Binding]:
+    return result.to_bindings() if isinstance(result, DecodedBlock) \
+        else result
+
+
 class RemoteClient:
-    """One connection to a KGServer: framed, serialized request/response."""
+    """One connection to a KGServer: framed, serialized request/response.
+
+    ``codec`` selects the wire codec: ``"auto"`` (default) asks the
+    server for the binary codec with one ``hello`` exchange and falls
+    back to JSON when the server declines or predates negotiation;
+    ``"json"`` skips negotiation; ``"binary"`` raises
+    :class:`~repro.errors.ProtocolError` unless the server grants it.
+    On a binary connection, block results decode zero-copy
+    (``np.frombuffer``) into :class:`~repro.kg.protocol.DecodedBlock`
+    views whose symbols resolve from a connection-local id→symbol
+    cache fed by the server's interner deltas.
+    """
 
     def __init__(self, address: Union[str, Tuple[str, int]], *,
                  timeout: Optional[float] = 60.0,
-                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 codec: str = "auto") -> None:
+        if codec not in ("auto", CODEC_JSON, CODEC_BINARY):
+            raise ValueError(
+                f"codec must be 'auto', 'json' or 'binary', got {codec!r}")
         host, port = parse_address(address) if isinstance(address, str) \
             else address
         self.max_frame_bytes = int(max_frame_bytes)
@@ -93,6 +143,36 @@ class RemoteClient:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._closed = False
+        self._codec = CODEC_JSON
+        self._decoder: Optional[BinaryResponseDecoder] = None
+        if codec != CODEC_JSON:
+            self._negotiate(required=(codec == CODEC_BINARY))
+
+    @property
+    def codec(self) -> str:
+        """The negotiated wire codec: ``"json"`` or ``"binary"``."""
+        return self._codec
+
+    def _negotiate(self, required: bool) -> None:
+        try:
+            granted = self.call("hello", codecs=[CODEC_BINARY])
+        except ProtocolError:
+            if required or self._closed:
+                # Forced binary, or actual transport damage — either
+                # way this is not a silent-JSON situation.
+                raise
+            # A pre-negotiation server answers hello with a typed
+            # "unknown op" error on a perfectly healthy connection:
+            # that IS the fallback signal.  Stay on JSON.
+            return
+        codec = granted.get("codec") if isinstance(granted, dict) else None
+        if codec == CODEC_BINARY:
+            self._codec = CODEC_BINARY
+            self._decoder = BinaryResponseDecoder()
+        elif required:
+            raise ProtocolError(
+                f"server declined the binary codec (granted {codec!r}); "
+                f"use codec='auto' to fall back to JSON")
 
     def call(self, op: str, **fields):
         """One request/response round-trip; returns the ``result`` field.
@@ -107,35 +187,56 @@ class RemoteClient:
         """
         message = {"op": op, **fields}
         with self._lock:
-            if self._closed:
-                raise ProtocolError("client connection is closed")
-            self._next_id += 1
-            message["id"] = self._next_id
-            # Encode before touching the socket: an unencodable or
-            # oversized *request* is a caller error, not stream damage.
-            frame = encode_frame(message, self.max_frame_bytes)
-            try:
-                self._sock.sendall(frame)
-                response = read_frame(self._sock, self.max_frame_bytes)
-            except ProtocolError:
-                self._invalidate()
-                raise
-            except OSError as exc:
-                self._invalidate()
-                raise ProtocolError(
-                    f"transport failure talking to the server: {exc}"
-                ) from exc
-            if response is None:
-                self._invalidate()
-                raise ProtocolError("server closed the connection mid-request")
-            if response.get("id") != message["id"]:
-                self._invalidate()
-                raise ProtocolError(
-                    f"response id {response.get('id')!r} does not match "
-                    f"request id {message['id']!r}")
+            response = self._roundtrip(message)
         if not response.get("ok"):
             raise error_from_wire(response.get("error"))
         return response.get("result")
+
+    def _roundtrip(self, message: dict) -> dict:
+        """Send one request and read its response (caller holds the lock)."""
+        if self._closed:
+            raise ProtocolError("client connection is closed")
+        self._next_id += 1
+        message["id"] = self._next_id
+        binary = self._codec == CODEC_BINARY
+        # Encode before touching the socket: an unencodable or
+        # oversized *request* is a caller error, not stream damage.
+        frame = encode_tagged_json(message, self.max_frame_bytes) if binary \
+            else encode_frame(message, self.max_frame_bytes)
+        try:
+            self._sock.sendall(frame)
+            body = read_frame_bytes(self._sock, self.max_frame_bytes)
+            response = None if body is None else self._decode_response(body)
+        except ProtocolError:
+            self._invalidate()
+            raise
+        except OSError as exc:
+            self._invalidate()
+            raise ProtocolError(
+                f"transport failure talking to the server: {exc}"
+            ) from exc
+        if response is None:
+            self._invalidate()
+            raise ProtocolError("server closed the connection mid-request")
+        if response.get("id") != message["id"]:
+            self._invalidate()
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {message['id']!r}")
+        return response
+
+    def _decode_response(self, body: bytes) -> dict:
+        if self._codec != CODEC_BINARY:
+            return decode_json_body(body)
+        if not body:  # pragma: no cover - zero-length frames never arrive
+            raise ProtocolError("empty frame body")
+        tag = body[0]
+        if tag == TAG_BINARY:
+            return self._decoder.decode(body)
+        if tag == TAG_JSON:
+            return decode_json_body(body[1:])
+        raise ProtocolError(
+            f"unknown frame tag {tag:#04x} in a binary-codec response")
 
     def _invalidate(self) -> None:
         """Mark the stream unusable (called under the lock)."""
@@ -172,9 +273,10 @@ class RemoteClient:
 
 
 def connect(address: Union[str, Tuple[str, int]], *,
-            timeout: Optional[float] = 60.0) -> RemoteClient:
+            timeout: Optional[float] = 60.0,
+            codec: str = "auto") -> RemoteClient:
     """Open a :class:`RemoteClient` to ``host:port``."""
-    return RemoteClient(address, timeout=timeout)
+    return RemoteClient(address, timeout=timeout, codec=codec)
 
 
 class RemoteCursor:
@@ -223,7 +325,34 @@ class RemoteCursor:
                                    max_rows=max_rows)
         self._exhausted = bool(result["exhausted"])
         rows = result["rows"]
+        if isinstance(rows, DecodedBlock):
+            return rows.to_rows()
         return _triples(rows) if self._as_triples else rows
+
+    def fetch_block(self, max_rows: Optional[int] = None):
+        """The zero-copy form of :meth:`fetch` on a binary connection:
+        the next page as a :class:`~repro.kg.protocol.DecodedBlock`
+        (int64 id rows + the connection's symbol caches), for bulk
+        consumers that feed arrays onward instead of materializing
+        per-row objects.  On a JSON connection — or when the server
+        fell back to a materialized cursor — the page comes back as the
+        plain row list :meth:`fetch` would return.  Pagination state is
+        shared with :meth:`fetch`.
+        """
+        if self._closed:
+            raise CursorError("cursor is closed")
+        if max_rows is None:
+            max_rows = self.page_size
+        elif not isinstance(max_rows, int) or isinstance(max_rows, bool) \
+                or max_rows < 1:
+            raise CursorError(
+                f"fetch page size must be a positive integer, got {max_rows!r}")
+        if self._exhausted:
+            return []
+        result = self._client.call("fetch", cursor=self.cursor_id,
+                                   max_rows=max_rows)
+        self._exhausted = bool(result["exhausted"])
+        return result["rows"]
 
     def __iter__(self) -> Iterator:
         while not self._exhausted:
@@ -237,6 +366,26 @@ class RemoteCursor:
         self._closed = True
         self._client.call("close_cursor", cursor=self.cursor_id)
 
+    def __del__(self) -> None:
+        # Abandoned without close(): release the server-side entry now
+        # instead of pinning it until the TTL sweep.  Strictly
+        # best-effort — if the client is gone, mid-call (never block a
+        # finalizer on a lock), or the server unreachable, the TTL
+        # still reaps it.
+        try:
+            if self._closed or self._client._closed:
+                return
+            self._closed = True
+            if not self._client._lock.acquire(blocking=False):
+                return
+            try:
+                self._client._roundtrip({"op": "close_cursor",
+                                         "cursor": self.cursor_id})
+            finally:
+                self._client._lock.release()
+        except Exception:
+            pass
+
     def __enter__(self) -> "RemoteCursor":
         return self
 
@@ -245,21 +394,25 @@ class RemoteCursor:
             self.close()
 
 
-def _shared_client(address_or_client) -> Tuple[RemoteClient, bool]:
+def _shared_client(address_or_client,
+                   codec: str = "auto") -> Tuple[RemoteClient, bool]:
     if isinstance(address_or_client, RemoteClient):
         return address_or_client, False
-    return RemoteClient(address_or_client), True
+    return RemoteClient(address_or_client, codec=codec), True
 
 
 class RemoteQueryEngine:
     """The :class:`~repro.kg.query.QueryEngine` API over the wire.
 
     Construct from a ``host:port`` string (owns the connection) or an
-    existing :class:`RemoteClient` (shared; caller closes it).
+    existing :class:`RemoteClient` (shared; caller closes it).  The
+    wire codec is invisible here: bindings come back identical (and in
+    the same order) whether the connection negotiated binary or JSON.
     """
 
-    def __init__(self, address_or_client) -> None:
-        self.client, self._owns_client = _shared_client(address_or_client)
+    def __init__(self, address_or_client, codec: str = "auto") -> None:
+        self.client, self._owns_client = _shared_client(address_or_client,
+                                                        codec)
 
     def execute(self, query: PatternQuery, reorder: bool = True,
                 limit: Optional[int] = None) -> List[Binding]:
@@ -275,8 +428,9 @@ class RemoteQueryEngine:
         encoded = [_wire_query(query if limit is None
                                else replace(query, limit=limit))
                    for query in queries]
-        return self.client.call("execute_many", queries=encoded,
-                                reorder=reorder)
+        results = self.client.call("execute_many", queries=encoded,
+                                   reorder=reorder)
+        return [_bindings(result) for result in results]
 
     def cursor(self, query: PatternQuery, reorder: bool = True,
                limit: Optional[int] = None,
@@ -308,8 +462,9 @@ class RemoteStore:
     ``(head, relation, tail)`` order.
     """
 
-    def __init__(self, address_or_client) -> None:
-        self.client, self._owns_client = _shared_client(address_or_client)
+    def __init__(self, address_or_client, codec: str = "auto") -> None:
+        self.client, self._owns_client = _shared_client(address_or_client,
+                                                        codec)
 
     def match(self, head: Optional[str] = None,
               relation: Optional[str] = None, tail: Optional[str] = None,
@@ -326,6 +481,18 @@ class RemoteStore:
             "match_many", patterns=[list(pattern) for pattern in patterns])
         decoded = [_triples(rows) for rows in results]
         return [sorted(rows) for rows in decoded] if sort else decoded
+
+    def match_many_blocks(self, patterns: Sequence[Pattern]) -> List:
+        """Batched point lookups without per-row materialization: on a
+        binary connection each result is a
+        :class:`~repro.kg.protocol.DecodedBlock` of ``(head, relation,
+        tail)`` id rows (decoded zero-copy; symbols resolve from the
+        connection cache on demand) — the handoff a scatter/gather
+        engine or bulk exporter wants.  On a JSON connection each
+        result is the raw ``[head, relation, tail]`` row list.
+        """
+        return self.client.call(
+            "match_many", patterns=[list(pattern) for pattern in patterns])
 
     def iter_match(self, head: Optional[str] = None,
                    relation: Optional[str] = None,

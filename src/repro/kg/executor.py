@@ -286,16 +286,47 @@ def _unique_rows(stacked: np.ndarray) -> np.ndarray:
     return stacked[keep]
 
 
-def _stringify_rows(backend, plan: QueryPlan, names: Sequence[str],
+def _stringify_rows(backend, kinds: Sequence[str], names: Sequence[str],
                     rows: np.ndarray) -> List[Binding]:
     """Materialize id rows as string bindings — the only string step."""
-    tables = [backend.relation_interner.symbol_table()
-              if plan.var_kinds.get(name) != ENTITY
-              else backend.entity_interner.symbol_table()
-              for name in names]
+    tables = [backend.entity_interner.symbol_table() if kind == "e"
+              else backend.relation_interner.symbol_table()
+              for kind in kinds]
     return [{name: table[identifier]
              for name, table, identifier in zip(names, tables, row)}
             for row in rows.tolist()]
+
+
+def _stringify_triples(backend, rows: np.ndarray) -> List["Triple"]:
+    """Materialize (head, relation, tail) id rows as :class:`Triple`\\ s."""
+    from repro.kg.triple import Triple
+    entities = backend.entity_interner.symbol_table()
+    relations = backend.relation_interner.symbol_table()
+    unchecked = Triple.unchecked
+    return [unchecked(entities[h], relations[r], entities[t])
+            for h, r, t in rows.tolist()]
+
+
+@dataclass(frozen=True)
+class IdBlock:
+    """One page of results in id space — the binary wire codec's unit.
+
+    ``rows`` is a ``(n, k)`` int64 block; ``kinds`` says which interner
+    space each column's ids live in (``"e"`` entities, ``"r"``
+    relations).  Bindings blocks carry the variable ``names``; triples
+    blocks (``triples=True``) are always ``(head, relation, tail)`` and
+    ship no names.  The server-side
+    :class:`~repro.kg.protocol.BinaryResponseEncoder` consumes these
+    attributes directly, so the binary path never stringifies a row.
+    """
+
+    names: Tuple[str, ...]
+    kinds: Tuple[str, ...]
+    rows: np.ndarray
+    triples: bool = False
+
+    def __len__(self) -> int:
+        return len(self.rows)
 
 
 class ResultCursor:
@@ -315,22 +346,29 @@ class ResultCursor:
     creation, so paging happens *within* the cap.
     """
 
-    __slots__ = ("_backend", "_plan", "_names", "_rows", "_position",
-                 "_closed")
+    __slots__ = ("_backend", "_kinds", "_names", "_rows", "_triples",
+                 "_position", "_closed")
 
-    def __init__(self, backend, plan: Optional[QueryPlan],
-                 names: Sequence[str], rows) -> None:
+    def __init__(self, backend, names: Sequence[str],
+                 kinds: Sequence[str], rows, *,
+                 triples: bool = False) -> None:
         self._backend = backend
-        self._plan = plan
         self._names = tuple(names)
+        self._kinds = tuple(kinds)           # 'e' / 'r' per column
         self._rows = rows                    # (n, k) int64 block or list
+        self._triples = triples
         self._position = 0
         self._closed = False
 
     @classmethod
     def from_list(cls, items: Sequence) -> "ResultCursor":
         """Wrap pre-materialized results (bindings, triples, rows...)."""
-        return cls(None, None, (), list(items))
+        return cls(None, (), (), list(items))
+
+    @classmethod
+    def from_triple_ids(cls, backend, rows: np.ndarray) -> "ResultCursor":
+        """Page over a ``(n, 3)`` (head, relation, tail) id block."""
+        return cls(backend, (), ("e", "r", "e"), rows, triples=True)
 
     @property
     def total_rows(self) -> int:
@@ -363,10 +401,7 @@ class ResultCursor:
                 f"fetch page size must be a positive integer, got {max_rows!r}")
         chunk = self._rows[self._position:self._position + max_rows]
         self._position += len(chunk)
-        if isinstance(chunk, np.ndarray):
-            return _stringify_rows(self._backend, self._plan, self._names,
-                                   chunk)
-        return list(chunk)
+        return self._materialize(chunk)
 
     def fetch_all(self) -> List:
         """Drain every remaining row in one page (the non-paged path)."""
@@ -374,10 +409,51 @@ class ResultCursor:
             raise CursorError("cursor is closed")
         chunk = self._rows[self._position:]
         self._position = self.total_rows
-        if isinstance(chunk, np.ndarray):
-            return _stringify_rows(self._backend, self._plan, self._names,
-                                   chunk)
-        return list(chunk)
+        return self._materialize(chunk)
+
+    def _materialize(self, chunk) -> List:
+        if not isinstance(chunk, np.ndarray):
+            return list(chunk)
+        if self._triples:
+            return _stringify_triples(self._backend, chunk)
+        return _stringify_rows(self._backend, self._kinds, self._names,
+                               chunk)
+
+    @property
+    def id_backed(self) -> bool:
+        """True when pages are available as :class:`IdBlock`\\ s."""
+        return isinstance(self._rows, np.ndarray)
+
+    def fetch_block(self, max_rows: int):
+        """The id-space form of :meth:`fetch`: the next page as an
+        :class:`IdBlock` when the cursor is id-backed, the materialized
+        list otherwise (backtracking fallback / pre-built results).
+        Pagination state is shared with :meth:`fetch` — a caller picks
+        one form per page, not per cursor.
+        """
+        if self._closed:
+            raise CursorError("cursor is closed")
+        if not isinstance(max_rows, int) or isinstance(max_rows, bool) \
+                or max_rows < 1:
+            raise CursorError(
+                f"fetch page size must be a positive integer, got {max_rows!r}")
+        chunk = self._rows[self._position:self._position + max_rows]
+        self._position += len(chunk)
+        if not isinstance(chunk, np.ndarray):
+            return list(chunk)
+        return IdBlock(self._names, self._kinds, chunk,
+                       triples=self._triples)
+
+    def fetch_all_block(self):
+        """Drain the remaining rows as one :class:`IdBlock` (or list)."""
+        if self._closed:
+            raise CursorError("cursor is closed")
+        chunk = self._rows[self._position:]
+        self._position = self.total_rows
+        if not isinstance(chunk, np.ndarray):
+            return list(chunk)
+        return IdBlock(self._names, self._kinds, chunk,
+                       triples=self._triples)
 
     def close(self) -> None:
         """Release the row block.  Idempotent; later fetches raise."""
@@ -404,7 +480,9 @@ def _project_cursor(backend, plan: QueryPlan,
         stacked = _unique_rows(stacked)
     if limit is not None:
         stacked = stacked[:limit]
-    return ResultCursor(backend, plan, names, stacked)
+    kinds = ["e" if plan.var_kinds.get(name) == ENTITY else "r"
+             for name in names]
+    return ResultCursor(backend, names, kinds, stacked)
 
 
 def execute_plans_cursors(store: TripleStore,

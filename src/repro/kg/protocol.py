@@ -22,11 +22,43 @@ Design choices, in order of importance:
   the client process, and query-boundary ``except`` clauses behave the
   same for local and remote engines.
 
-The payload is JSON rather than a packed binary layout on purpose: the
-values shipped (symbols, binding dicts) are strings end-to-end, and the
-framing is what gives streaming + robustness.  Triples cross the wire
-as ``[head, relation, tail]`` arrays, patterns with ``null`` wildcards,
-bindings as plain objects.
+Two codecs share that framing:
+
+* **JSON** (the default and the fallback): the frame body is UTF-8
+  JSON.  Every server and client speaks it; old peers speak nothing
+  else.  Triples cross the wire as ``[head, relation, tail]`` arrays,
+  patterns with ``null`` wildcards, bindings as plain objects.
+* **binary** (negotiated per connection with one ``hello`` exchange):
+  the frame body starts with a one-byte tag — :data:`TAG_JSON` for a
+  JSON payload (all requests, errors, and small control results) or
+  :data:`TAG_BINARY` for a packed response.  A binary response ships
+  result rows as dense **little-endian int64 id blocks** plus an
+  **interner delta**: only the id→symbol entries this connection has
+  not been sent yet.  The client decodes blocks zero-copy via
+  ``np.frombuffer`` and resolves strings from its connection-local
+  symbol cache, so a steady-state response (warm cache) is one memcpy
+  instead of per-row JSON stringify/parse on both sides.
+
+Binary response body layout (everything after the tag little-endian)::
+
+    u8 tag='B'  u8 version  u8 shape  u8 pad  i64 request_id
+    entity-delta  relation-delta        # delta := u32 count,
+    u32 item_count                      #   count x i64 ids,
+    item_count x item                   #   count x u32 byte lens,
+                                        #   concatenated utf-8 blob
+    item := u8 kind
+      kind 0 (json):      u32 len, utf-8 JSON bytes (any JSON value)
+      kind 1/2 (bindings/triples block):
+        u8 flags (bit0 = page exhausted)
+        u16 ncols, [kind 1 only] ncols x (u8 space, u16 len, name)
+        u64 nrows, nrows*ncols x i64 row-major id block
+
+``shape`` says how the items assemble back into the JSON-equivalent
+result: 0 = the single item IS the result, 1 = the result is the list
+of items, 2 = a cursor page ``{"rows": item, "exhausted": flag}``.
+The negotiation ``hello`` itself (and its response) always travels as
+a plain JSON frame, which is why a pre-binary server answers it with a
+typed ``ProtocolError`` response a client can treat as "JSON then".
 """
 
 from __future__ import annotations
@@ -34,7 +66,9 @@ from __future__ import annotations
 import json
 import socket
 import struct
-from typing import Dict, Optional, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+import numpy as np
 
 from repro.errors import (
     CursorError,
@@ -45,6 +79,7 @@ from repro.errors import (
     StorageError,
     ValidationError,
 )
+from repro.kg.triple import Triple
 
 #: Struct layout of the length prefix: 4-byte big-endian unsigned.
 _LENGTH = struct.Struct(">I")
@@ -103,14 +138,14 @@ def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def read_frame(sock: socket.socket,
-               max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
-    """Read one frame; ``None`` on clean EOF at a frame boundary.
+def read_frame_bytes(sock: socket.socket,
+                     max_bytes: int = MAX_FRAME_BYTES) -> Optional[bytes]:
+    """Read one frame's raw body bytes; ``None`` on clean EOF at a
+    frame boundary.
 
-    Raises :class:`~repro.errors.ProtocolError` for every malformed
-    shape: truncated prefix or body, oversized or empty declared
-    length, bytes that are not valid UTF-8 JSON, and JSON that is not
-    an object.
+    Raises :class:`~repro.errors.ProtocolError` for truncated prefix or
+    body and oversized or empty declared length.  Codec-level decoding
+    (JSON parse, binary unpack) is the caller's concern.
     """
     prefix = _recv_exact(sock, _LENGTH.size)
     if prefix is None:
@@ -125,6 +160,11 @@ def read_frame(sock: socket.socket,
     body = _recv_exact(sock, length)
     if body is None:  # pragma: no cover - _recv_exact raises instead
         raise ProtocolError("connection closed before frame body")
+    return body
+
+
+def decode_json_body(body: bytes) -> dict:
+    """Parse a frame body as the JSON codec: a single UTF-8 object."""
     try:
         message = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -133,6 +173,21 @@ def read_frame(sock: socket.socket,
         raise ProtocolError(
             f"frame body must be a JSON object, got {type(message).__name__}")
     return message
+
+
+def read_frame(sock: socket.socket,
+               max_bytes: int = MAX_FRAME_BYTES) -> Optional[dict]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`~repro.errors.ProtocolError` for every malformed
+    shape: truncated prefix or body, oversized or empty declared
+    length, bytes that are not valid UTF-8 JSON, and JSON that is not
+    an object.
+    """
+    body = read_frame_bytes(sock, max_bytes=max_bytes)
+    if body is None:
+        return None
+    return decode_json_body(body)
 
 
 def send_frame(sock: socket.socket, payload: dict,
@@ -155,3 +210,407 @@ def error_from_wire(error: object) -> ReproError:
         return ReproError(f"malformed server error payload: {error!r}")
     kind = WIRE_ERRORS.get(error.get("type", ""), ReproError)
     return kind(str(error.get("message", "unknown server error")))
+
+
+# --------------------------------------------------------------------------
+# Binary codec
+# --------------------------------------------------------------------------
+
+#: Version byte of the binary response layout.  Bumped on any change;
+#: a decoder refuses versions it does not know.
+BINARY_PROTOCOL_VERSION = 1
+
+#: Codec names as they appear in the ``hello`` negotiation.
+CODEC_JSON = "json"
+CODEC_BINARY = "binary"
+
+#: First body byte on a *negotiated binary* connection.  ``J`` marks a
+#: JSON payload (requests, errors, small control results), ``B`` a
+#: packed response.  Neither is valid leading JSON, so a tagged frame
+#: sent to a JSON-only peer fails with a typed ProtocolError instead
+#: of being misread.
+TAG_JSON = 0x4A    # 'J'
+TAG_BINARY = 0x42  # 'B'
+
+#: ``shape`` byte: how decoded items assemble into the result.
+SHAPE_SINGLE = 0   # the one item IS the result
+SHAPE_LIST = 1     # the result is the list of items
+SHAPE_PAGE = 2     # cursor page {"rows": item, "exhausted": flag}
+
+#: ``kind`` byte of one item.
+ITEM_JSON = 0      # arbitrary JSON value (fallback / non-block results)
+ITEM_BINDINGS = 1  # id block with named, per-space typed columns
+ITEM_TRIPLES = 2   # id block of (head, relation, tail) rows
+
+#: Block ``flags`` bits.
+FLAG_EXHAUSTED = 0x01
+
+_HEADER = struct.Struct("<BBBBq")   # tag, version, shape, pad, request_id
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+_U64 = struct.Struct("<Q")
+_ITEM_BLOCK = struct.Struct("<BBH")  # kind, flags, ncols
+
+#: Column-space byte inside a bindings block.
+_SPACE_ENTITY = 0
+_SPACE_RELATION = 1
+
+_TRIPLE_NAMES = ("head", "relation", "tail")
+_TRIPLE_KINDS = ("e", "r", "e")
+
+
+def encode_tagged_json(payload: dict,
+                       max_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize one message for a binary connection: length prefix,
+    :data:`TAG_JSON`, then the UTF-8 JSON body."""
+    try:
+        body = json.dumps(payload, ensure_ascii=False,
+                          separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"unencodable message payload: {exc}") from exc
+    if len(body) + 1 > max_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(body) + 1} bytes exceeds the "
+            f"{max_bytes}-byte frame cap; page large results through a "
+            f"cursor instead")
+    return _LENGTH.pack(len(body) + 1) + bytes((TAG_JSON,)) + body
+
+
+class DecodedBlock:
+    """A zero-copy view of one id block from a binary response.
+
+    ``rows`` is the ``(nrows, ncols)`` little-endian int64 array mapped
+    straight out of the frame body with ``np.frombuffer`` — no per-row
+    Python objects exist until a caller asks for them.  Bulk consumers
+    (samplers, embedding pipelines, scatter/gather engines) use
+    ``rows`` plus the connection symbol caches directly;
+    :meth:`to_bindings` / :meth:`to_triples` materialize the exact
+    objects the JSON codec would have produced.
+    """
+
+    __slots__ = ("names", "kinds", "rows", "is_triples", "exhausted",
+                 "_entity", "_relation")
+
+    def __init__(self, names: Tuple[str, ...], kinds: Tuple[str, ...],
+                 rows: "np.ndarray", *, is_triples: bool, exhausted: bool,
+                 entity_symbols: Dict[int, str],
+                 relation_symbols: Dict[int, str]) -> None:
+        self.names = names
+        self.kinds = kinds
+        self.rows = rows
+        self.is_triples = is_triples
+        self.exhausted = exhausted
+        self._entity = entity_symbols
+        self._relation = relation_symbols
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def entity_symbols(self) -> Dict[int, str]:
+        """The connection-local entity id→symbol cache (live dict)."""
+        return self._entity
+
+    @property
+    def relation_symbols(self) -> Dict[int, str]:
+        """The connection-local relation id→symbol cache (live dict)."""
+        return self._relation
+
+    def _column_symbols(self, col: int) -> List[str]:
+        cache = self._entity if self.kinds[col] == "e" else self._relation
+        try:
+            return [cache[i] for i in self.rows[:, col].tolist()]
+        except KeyError as exc:
+            raise ProtocolError(
+                f"binary response references id {exc.args[0]} with no "
+                f"symbol mapping on this connection (interner-delta "
+                f"desync)") from exc
+
+    def to_rows(self):
+        """Materialize what the JSON codec would have shipped."""
+        return self.to_triples() if self.is_triples else self.to_bindings()
+
+    def to_bindings(self) -> List[Dict[str, str]]:
+        """Resolve the block into the binding dicts ``execute`` returns."""
+        if self.is_triples:
+            raise ProtocolError("triples block cannot decode as bindings")
+        count = len(self.rows)
+        names = self.names
+        if not names:
+            return [{} for _ in range(count)]
+        cols = [self._column_symbols(j) for j in range(len(names))]
+        # Dict displays beat dict(zip(...)) ~3x on the hot row loop.
+        if len(names) == 1:
+            (n0,), (c0,) = names, cols
+            return [{n0: a} for a in c0]
+        if len(names) == 2:
+            (n0, n1), (c0, c1) = names, cols
+            return [{n0: a, n1: b} for a, b in zip(c0, c1)]
+        if len(names) == 3:
+            (n0, n1, n2), (c0, c1, c2) = names, cols
+            return [{n0: a, n1: b, n2: c} for a, b, c in zip(c0, c1, c2)]
+        return [dict(zip(names, vals)) for vals in zip(*cols)]
+
+    def to_triples(self) -> List[Triple]:
+        """Resolve the block into the :class:`Triple` list ``match``
+        returns."""
+        if not self.is_triples:
+            raise ProtocolError("bindings block cannot decode as triples")
+        heads, relations, tails = (self._column_symbols(0),
+                                   self._column_symbols(1),
+                                   self._column_symbols(2))
+        unchecked = Triple.unchecked
+        return [unchecked(h, r, t)
+                for h, r, t in zip(heads, relations, tails)]
+
+
+def _delta_bytes(ids: "np.ndarray", symbols: List[str]) -> bytes:
+    """One interner delta: count, ids, byte lengths, utf-8 blob."""
+    encoded = [s.encode("utf-8") for s in symbols]
+    lengths = np.fromiter((len(b) for b in encoded), dtype="<u4",
+                          count=len(encoded))
+    return b"".join((_U32.pack(len(encoded)),
+                     ids.astype("<i8", copy=False).tobytes(),
+                     lengths.tobytes(),
+                     b"".join(encoded)))
+
+
+class BinaryResponseEncoder:
+    """Per-connection encoder for :data:`TAG_BINARY` response frames.
+
+    Holds the connection's "already sent" id masks for both symbol
+    spaces; every :meth:`encode` call ships only the interner entries
+    the peer has not seen yet.  Responses must therefore be encoded in
+    the order they are written to the socket — the server serializes
+    per-connection processing anyway, which is exactly the guarantee
+    this state needs.
+    """
+
+    def __init__(self, entity_interner, relation_interner,
+                 max_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._interners = {"e": entity_interner, "r": relation_interner}
+        self._sent = {"e": np.zeros(0, dtype=bool),
+                      "r": np.zeros(0, dtype=bool)}
+        self._max_bytes = max_bytes
+
+    def _delta_for(self, space: str, id_arrays: List["np.ndarray"]):
+        """(new_ids, symbols) this response must carry for one space."""
+        if not id_arrays:
+            return np.zeros(0, dtype=np.int64), []
+        ids = np.unique(np.concatenate(
+            [a.ravel() for a in id_arrays]) if len(id_arrays) > 1
+            else id_arrays[0].ravel())
+        if not len(ids):
+            return np.zeros(0, dtype=np.int64), []
+        sent = self._sent[space]
+        if int(ids[-1]) >= len(sent):
+            grown = np.zeros(int(ids[-1]) + 1, dtype=bool)
+            grown[:len(sent)] = sent
+            self._sent[space] = sent = grown
+        new_ids = ids[~sent[ids]]
+        table = self._interners[space].symbol_table()
+        try:
+            symbols = [table[i] for i in new_ids.tolist()]
+        except IndexError as exc:
+            raise ProtocolError(
+                f"result block references {space!r}-space id beyond the "
+                f"interner table ({len(table)} symbols)") from exc
+        return new_ids, symbols
+
+    def encode(self, request_id: int, shape: int, items: Sequence,
+               max_bytes: Optional[int] = None) -> bytes:
+        """Encode one response into a complete frame (prefix included).
+
+        ``items`` entries are either ``("json", value)`` or
+        ``("block", block, flags)`` where ``block`` exposes ``names``
+        (or ``None`` for triples), ``kinds``, ``rows`` (int64 ndarray)
+        and ``triples`` (bool).  Raises ProtocolError without touching
+        connection state if the frame would exceed the cap, so an
+        oversized-result error never desyncs the delta masks.
+        """
+        cap = self._max_bytes if max_bytes is None else max_bytes
+        pending = {"e": [], "r": []}
+        encoded_items = []
+        for item in items:
+            if item[0] == "json":
+                try:
+                    body = json.dumps(item[1], ensure_ascii=False,
+                                      separators=(",", ":")).encode("utf-8")
+                except (TypeError, ValueError) as exc:
+                    raise ProtocolError(
+                        f"unencodable message payload: {exc}") from exc
+                encoded_items.append(
+                    bytes((ITEM_JSON,)) + _U32.pack(len(body)) + body)
+                continue
+            _, block, flags = item
+            rows = np.ascontiguousarray(block.rows, dtype="<i8")
+            kinds = tuple(block.kinds)
+            for col, kind in enumerate(kinds):
+                if len(rows):
+                    pending[kind].append(rows[:, col])
+            if block.triples:
+                head = _ITEM_BLOCK.pack(ITEM_TRIPLES, flags, len(kinds))
+            else:
+                names = b"".join(
+                    bytes((_SPACE_ENTITY if kind == "e"
+                           else _SPACE_RELATION,))
+                    + _U16.pack(len(encoded_name)) + encoded_name
+                    for kind, encoded_name in zip(
+                        kinds, (n.encode("utf-8") for n in block.names)))
+                head = _ITEM_BLOCK.pack(ITEM_BINDINGS, flags,
+                                        len(kinds)) + names
+            encoded_items.append(
+                head + _U64.pack(len(rows)) + rows.tobytes())
+        new_e, symbols_e = self._delta_for("e", pending["e"])
+        new_r, symbols_r = self._delta_for("r", pending["r"])
+        body = b"".join((
+            _HEADER.pack(TAG_BINARY, BINARY_PROTOCOL_VERSION, shape, 0,
+                         request_id),
+            _delta_bytes(new_e, symbols_e),
+            _delta_bytes(new_r, symbols_r),
+            _U32.pack(len(encoded_items)),
+            *encoded_items))
+        if len(body) > cap:
+            raise ProtocolError(
+                f"frame payload of {len(body)} bytes exceeds the "
+                f"{cap}-byte frame cap; page large results through a "
+                f"cursor instead")
+        # Size check passed: only now commit the delta to the masks.
+        if len(new_e):
+            self._sent["e"][new_e] = True
+        if len(new_r):
+            self._sent["r"][new_r] = True
+        return _LENGTH.pack(len(body)) + body
+
+
+class BinaryResponseDecoder:
+    """Per-connection decoder mirroring :class:`BinaryResponseEncoder`.
+
+    Accumulates the interner deltas into id→symbol dict caches that
+    live as long as the connection; every :class:`DecodedBlock` handed
+    out references those caches.
+    """
+
+    def __init__(self) -> None:
+        self.entity_symbols: Dict[int, str] = {}
+        self.relation_symbols: Dict[int, str] = {}
+
+    def _apply_delta(self, body: bytes, offset: int,
+                     cache: Dict[int, str]) -> int:
+        (count,) = _U32.unpack_from(body, offset)
+        offset += _U32.size
+        ids = np.frombuffer(body, dtype="<i8", count=count, offset=offset)
+        offset += 8 * count
+        lengths = np.frombuffer(body, dtype="<u4", count=count,
+                                offset=offset)
+        offset += 4 * count
+        try:
+            for symbol_id, nbytes in zip(ids.tolist(), lengths.tolist()):
+                cache[symbol_id] = body[offset:offset + nbytes].decode(
+                    "utf-8")
+                offset += nbytes
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(
+                f"interner delta carries invalid UTF-8: {exc}") from exc
+        return offset
+
+    def _decode_item(self, body: bytes, offset: int):
+        (kind,) = struct.unpack_from("<B", body, offset)
+        offset += 1
+        if kind == ITEM_JSON:
+            (nbytes,) = _U32.unpack_from(body, offset)
+            offset += _U32.size
+            try:
+                value = json.loads(body[offset:offset + nbytes].decode(
+                    "utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(
+                    f"embedded JSON item is invalid: {exc}") from exc
+            return value, offset + nbytes
+        if kind not in (ITEM_BINDINGS, ITEM_TRIPLES):
+            raise ProtocolError(f"unknown binary item kind {kind}")
+        flags, ncols = struct.unpack_from("<BH", body, offset)
+        offset += 3
+        if kind == ITEM_TRIPLES:
+            if ncols != 3:
+                raise ProtocolError(
+                    f"triples block must have 3 columns, got {ncols}")
+            names, kinds = _TRIPLE_NAMES, _TRIPLE_KINDS
+        else:
+            names, kinds = [], []
+            for _ in range(ncols):
+                space, name_len = struct.unpack_from("<BH", body, offset)
+                offset += 3
+                if space not in (_SPACE_ENTITY, _SPACE_RELATION):
+                    raise ProtocolError(
+                        f"unknown column space byte {space}")
+                kinds.append("e" if space == _SPACE_ENTITY else "r")
+                try:
+                    names.append(body[offset:offset + name_len].decode(
+                        "utf-8"))
+                except UnicodeDecodeError as exc:
+                    raise ProtocolError(
+                        f"column name is invalid UTF-8: {exc}") from exc
+                offset += name_len
+            names, kinds = tuple(names), tuple(kinds)
+        (nrows,) = _U64.unpack_from(body, offset)
+        offset += _U64.size
+        span = 8 * nrows * ncols
+        if offset + span > len(body):
+            raise ProtocolError(
+                f"id block declares {nrows}x{ncols} rows but the frame "
+                f"has only {len(body) - offset} bytes left")
+        rows = np.frombuffer(body, dtype="<i8", count=nrows * ncols,
+                             offset=offset).reshape(nrows, ncols)
+        offset += span
+        block = DecodedBlock(
+            names, kinds, rows,
+            is_triples=(kind == ITEM_TRIPLES),
+            exhausted=bool(flags & FLAG_EXHAUSTED),
+            entity_symbols=self.entity_symbols,
+            relation_symbols=self.relation_symbols)
+        return block, offset
+
+    def decode(self, body: bytes) -> dict:
+        """Decode one :data:`TAG_BINARY` body into the response dict the
+        JSON codec would have produced (blocks left as
+        :class:`DecodedBlock` for the caller to materialize or use
+        zero-copy)."""
+        try:
+            tag, version, shape, _, request_id = _HEADER.unpack_from(body, 0)
+            if tag != TAG_BINARY:  # pragma: no cover - caller dispatches
+                raise ProtocolError(f"not a binary frame (tag {tag:#x})")
+            if version != BINARY_PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported binary protocol version {version} "
+                    f"(this client speaks {BINARY_PROTOCOL_VERSION})")
+            offset = self._apply_delta(body, _HEADER.size,
+                                       self.entity_symbols)
+            offset = self._apply_delta(body, offset, self.relation_symbols)
+            (item_count,) = _U32.unpack_from(body, offset)
+            offset += _U32.size
+            items = []
+            for _ in range(item_count):
+                item, offset = self._decode_item(body, offset)
+                items.append(item)
+        except struct.error as exc:
+            raise ProtocolError(
+                f"truncated or corrupt binary frame: {exc}") from exc
+        if shape == SHAPE_SINGLE:
+            if len(items) != 1:
+                raise ProtocolError(
+                    f"single-shape response carries {len(items)} items")
+            result = items[0]
+        elif shape == SHAPE_LIST:
+            result = items
+        elif shape == SHAPE_PAGE:
+            if len(items) != 1:
+                raise ProtocolError(
+                    f"page-shape response carries {len(items)} items")
+            page = items[0]
+            if not isinstance(page, DecodedBlock):
+                raise ProtocolError("page-shape response must carry a block")
+            result = {"rows": page, "exhausted": page.exhausted}
+        else:
+            raise ProtocolError(f"unknown binary response shape {shape}")
+        return {"id": request_id, "ok": True, "result": result}

@@ -1,30 +1,43 @@
 """A TCP query server in front of :class:`~repro.kg.service.QueryService`.
 
 The network milestone of the ROADMAP's query layer: remote clients speak
-the length-prefixed JSON protocol of :mod:`repro.kg.protocol` to a
+the length-prefixed protocol of :mod:`repro.kg.protocol` to a
 :class:`KGServer`, which owns one :class:`~repro.kg.service.QueryService`
 over an (opened or in-memory) :class:`~repro.kg.store.TripleStore`.
 
-Concurrency model — thread-per-connection feeding one dispatcher:
+Concurrency model — one I/O thread, a small worker pool, one dispatcher:
 
-* ``socketserver.ThreadingTCPServer`` gives every connection its own
-  handler thread; each request a handler decodes turns into ONE
-  blocking :class:`QueryService` call;
-* the service's single dispatcher thread coalesces whatever the
-  connection threads submitted concurrently into batched
-  ``execute_many`` / ``match_many`` / ``count_many`` rounds — so N
-  remote clients multiplex into the same batched backend calls N
-  in-process threads would, and ``QueryService.stats`` shows it;
+* a single **selector loop** thread multiplexes the listener and every
+  client socket: it accepts, reads, slices complete frames out of
+  per-connection buffers and flushes queued responses.  An idle
+  connection costs one registered file descriptor and a buffer — not a
+  thread — so thousands of open sockets leave the thread count flat;
+* complete frames are handed to a bounded **worker pool** (blocking
+  :class:`QueryService` calls happen there, never on the I/O thread).
+  Each connection is served serially (frame order = response order,
+  and the per-connection codec state stays single-writer), but across
+  connections the workers submit concurrently, so the service's single
+  dispatcher thread still coalesces N remote clients into batched
+  ``execute_many`` / ``match_many`` / ``count_many`` backend rounds —
+  ``QueryService.stats`` shows it;
 * huge results never cross the wire in one frame: ``open_cursor`` /
-  ``fetch`` / ``close_cursor`` page a server-side cursor (TTL-evicted)
-  whose id-row projection stringifies per page.
+  ``fetch`` / ``close_cursor`` page a server-side cursor (TTL-evicted).
+
+Codecs: every connection starts as JSON (old clients never notice any
+of this).  A client may send one ``{"op": "hello", "codecs":
+["binary"]}`` exchange; if the server grants it, the connection
+switches to the binary codec of :mod:`repro.kg.protocol` — responses
+carry dense int64 id blocks plus interner deltas, and the
+:class:`QueryService` is asked for ``raw`` id-space results so the
+server never stringifies a row on that path.  ``codec="json"`` pins a
+server to JSON (negotiation requests are declined, not errored).
 
 Abuse tolerance: a malformed, truncated, oversized or garbage frame
 gets a ``ProtocolError`` response when the frame boundary is still
 trustworthy, and otherwise a best-effort error frame followed by a
 connection close — never a server crash, and never a poisoned listener:
 the next connection is served normally.  A client disconnecting
-mid-request only kills its own handler thread.
+mid-request only kills its own connection state.
 
 ::
 
@@ -37,18 +50,35 @@ The CLI form is ``python -m repro.cli serve --store-dir DIR --port P``.
 
 from __future__ import annotations
 
-import socketserver
+import selectors
+import socket
 import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Deque, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError
+from repro.kg.backend import supports_id_queries
+from repro.kg.executor import IdBlock
 from repro.kg.planner import PatternQuery
 from repro.kg.protocol import (
+    BINARY_PROTOCOL_VERSION,
+    CODEC_BINARY,
+    CODEC_JSON,
+    FLAG_EXHAUSTED,
     MAX_FRAME_BYTES,
+    SHAPE_LIST,
+    SHAPE_PAGE,
+    SHAPE_SINGLE,
+    TAG_BINARY,
+    TAG_JSON,
+    BinaryResponseEncoder,
+    decode_json_body,
+    encode_frame,
+    encode_tagged_json,
     error_to_wire,
-    read_frame,
-    send_frame,
 )
 from repro.kg.service import DEFAULT_CURSOR_TTL, QueryService
 from repro.kg.store import TripleStore
@@ -56,6 +86,12 @@ from repro.kg.triple import Triple
 
 #: Default port of the CLI ``serve`` command (0 = ephemeral, for tests).
 DEFAULT_PORT = 7468
+
+#: Worker threads running blocking service calls.  Small on purpose:
+#: the QueryService dispatcher is the real executor; workers only
+#: decode, submit and encode, and a bounded pool keeps a burst of
+#: hostile connections from spawning unbounded threads.
+DEFAULT_WORKERS = 8
 
 
 def _wire_pattern(value: object) -> Tuple[Optional[str], Optional[str],
@@ -116,51 +152,39 @@ def _field(message: dict, name: str, kinds, kind_label: str):
     return value
 
 
-class _Handler(socketserver.BaseRequestHandler):
-    """One connection: read frame → serve op → write frame, until EOF."""
+class _Connection:
+    """Per-connection state shared by the I/O thread and one worker.
 
-    def handle(self) -> None:  # pragma: no cover - exercised over sockets
-        server: "KGServer" = self.server.kg_server  # type: ignore[attr-defined]
-        sock = self.request
-        while not server.closing:
-            try:
-                message = read_frame(sock, server.max_frame_bytes)
-            except ProtocolError as exc:
-                # The frame boundary is no longer trustworthy (bad
-                # length, truncation, garbage): report and hang up.
-                self._best_effort_send(
-                    {"id": None, "ok": False, "error": error_to_wire(exc)})
-                return
-            except OSError:
-                return
-            if message is None:        # clean EOF between frames
-                return
-            response = server.handle_message(message)
-            try:
-                send_frame(sock, response, server.max_frame_bytes)
-            except ProtocolError as exc:
-                # The *response* did not fit the frame cap.  The frame
-                # stream is still intact, so report and keep serving —
-                # the client should page through a cursor instead.
-                self._best_effort_send({"id": response.get("id"),
-                                        "ok": False,
-                                        "error": error_to_wire(exc)})
-            except OSError:            # client went away mid-response
-                return
+    The I/O thread owns ``inbuf`` and the selector registration; the
+    ``lock`` guards the worker handoff (``pending`` / ``busy``) and the
+    outgoing ``outbuf``.  ``pending`` holds complete frame bodies in
+    arrival order — or a :class:`ProtocolError` entry when framing
+    broke, so the violation response still goes out *after* the
+    responses of the valid frames that preceded it.
+    """
 
-    def _best_effort_send(self, payload: dict) -> None:  # pragma: no cover
-        try:
-            send_frame(self.request, payload)
-        except (ProtocolError, OSError):
-            pass
+    __slots__ = ("sock", "peer", "inbuf", "outbuf", "lock", "pending",
+                 "busy", "codec", "encoder", "close_after_write",
+                 "closed", "input_broken", "mask")
+
+    def __init__(self, sock: socket.socket, peer) -> None:
+        self.sock = sock
+        self.peer = peer
+        self.inbuf = bytearray()
+        self.outbuf: Deque[memoryview] = deque()
+        self.lock = threading.Lock()
+        self.pending: Deque = deque()
+        self.busy = False
+        self.codec = CODEC_JSON
+        self.encoder: Optional[BinaryResponseEncoder] = None
+        self.close_after_write = False
+        self.closed = False
+        self.input_broken = False
+        self.mask = selectors.EVENT_READ
 
 
-class _ThreadingServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
-    # Handler threads block in recv on idle keep-alive connections;
-    # close() must not wait for clients to hang up first.
-    block_on_close = False
+#: Selector data sentinel for the wakeup pipe.
+_WAKEUP = object()
 
 
 class KGServer:
@@ -171,36 +195,75 @@ class KGServer:
     store:
         The store to serve (not mutated while serving).
     host / port:
-        Bind address.  ``port=0`` picks an ephemeral port; read the
-        actual one from :attr:`address`.
+        Bind address (IPv4 or IPv6 literal).  ``port=0`` picks an
+        ephemeral port; read the actual one from :attr:`address`.
     max_batch / cursor_ttl:
         Forwarded to the owned :class:`QueryService`.
     max_frame_bytes:
         Per-frame payload cap, both directions.
+    codec:
+        ``"auto"`` (default) grants binary negotiation when the backend
+        has an id surface; ``"json"`` declines it, pinning every
+        connection to the JSON codec.
+    workers:
+        Size of the pool running blocking service calls.
 
     Use :meth:`start` for a background-thread server (tests, embedding
     in an application) or :meth:`serve_forever` to donate the calling
     thread (the CLI).  Always :meth:`close` (or use as a context
-    manager) — it stops the listener and closes the service.
+    manager) — it stops the I/O loop and closes the service.
     """
 
     def __init__(self, store: TripleStore, *, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT, max_batch: int = 256,
                  cursor_ttl: float = DEFAULT_CURSOR_TTL,
-                 max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+                 max_frame_bytes: int = MAX_FRAME_BYTES,
+                 codec: str = "auto",
+                 workers: int = DEFAULT_WORKERS) -> None:
+        if codec not in ("auto", CODEC_JSON):
+            raise ValueError(
+                f"server codec policy must be 'auto' or 'json', got "
+                f"{codec!r} (binary is negotiated per connection, never "
+                f"forced: old clients must keep working)")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.max_frame_bytes = int(max_frame_bytes)
+        self.codec = codec
         self.closing = False
         self.service = QueryService(store, max_batch=max_batch,
                                     cursor_ttl=cursor_ttl)
         try:
-            self._tcp = _ThreadingServer((host, port), _Handler)
+            infos = socket.getaddrinfo(host, port, type=socket.SOCK_STREAM)
+            family, _type, proto, _name, sockaddr = infos[0]
+            self._listener = socket.socket(family, socket.SOCK_STREAM, proto)
+            try:
+                self._listener.setsockopt(socket.SOL_SOCKET,
+                                          socket.SO_REUSEADDR, 1)
+                self._listener.bind(sockaddr)
+                self._listener.listen(256)
+                self._listener.setblocking(False)
+            except BaseException:
+                self._listener.close()
+                raise
         except BaseException:
             self.service.close()
             raise
-        self._tcp.kg_server = self  # type: ignore[attr-defined]
+        self._wake_recv, self._wake_send = socket.socketpair()
+        self._wake_recv.setblocking(False)
+        self._wake_send.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._selector.register(self._wake_recv, selectors.EVENT_READ,
+                                _WAKEUP)
+        self._connections: set = set()
+        self._flush_wanted: set = set()
+        self._flush_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(max_workers=int(workers),
+                                        thread_name_prefix="kg-server-worker")
         self._thread: Optional[threading.Thread] = None
         self._serving = threading.Event()
         self._close_lock = threading.Lock()
+        self._cleaned = False
 
     @classmethod
     def open(cls, directory: Union[str, Path], **kwargs) -> "KGServer":
@@ -210,14 +273,19 @@ class KGServer:
     @property
     def address(self) -> Tuple[str, int]:
         """The bound ``(host, port)`` — read this after ``port=0``."""
-        host, port = self._tcp.server_address[:2]
+        host, port = self._listener.getsockname()[:2]
         return (host, port)
 
     @property
     def url(self) -> str:
         """The ``host:port`` string clients connect to."""
         host, port = self.address
-        return f"{host}:{port}"
+        return f"[{host}]:{port}" if ":" in host else f"{host}:{port}"
+
+    @property
+    def connection_count(self) -> int:
+        """Currently open client connections (the I/O loop's view)."""
+        return len(self._connections)
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -227,7 +295,7 @@ class KGServer:
         if self._thread is not None:
             raise RuntimeError("KGServer.start() called twice")
         self._thread = threading.Thread(target=self._run,
-                                        name="kg-server", daemon=True)
+                                        name="kg-server-io", daemon=True)
         self._thread.start()
         return self
 
@@ -235,31 +303,47 @@ class KGServer:
         """Serve on the calling thread until :meth:`close` (the CLI path)."""
         self._run()
 
-    def _run(self) -> None:
-        self._serving.set()
+    def _wake(self) -> None:
         try:
-            self._tcp.serve_forever(poll_interval=0.05)
-        finally:
-            self._serving.clear()
+            self._wake_send.send(b"\0")
+        except (BlockingIOError, OSError):
+            pass  # pipe full = a wakeup is already pending, or closed
 
     def close(self) -> None:
-        """Stop the listener, drop connections, close the service."""
+        """Stop the I/O loop, drop connections, close the service."""
         with self._close_lock:
             if self.closing:
                 return
             self.closing = True
-        # A start()ed thread is guaranteed to reach serve_forever, so
-        # shutdown() is safe even if close() wins the race to run first
-        # (it parks until the loop starts, then stops it immediately).
-        # Without a thread, only signal a loop that is actually running
-        # — shutdown() on a never-started server would block forever.
+        self._wake()
         if self._thread is not None:
-            self._tcp.shutdown()
             self._thread.join(timeout=10)
         elif self._serving.is_set():
-            self._tcp.shutdown()
-        self._tcp.server_close()
+            # serve_forever() on some other thread: give its loop a
+            # moment to notice the flag and clean up after itself.
+            deadline = time.monotonic() + 10
+            while self._serving.is_set() and time.monotonic() < deadline:
+                time.sleep(0.005)
+        # Workers drain fast: their service futures resolve because the
+        # service closes only after the pool has been torn down.
+        self._pool.shutdown(wait=True)
+        self._cleanup()
         self.service.close()
+
+    def _cleanup(self) -> None:
+        """Close every socket exactly once (loop exit or never-started)."""
+        with self._close_lock:
+            if self._cleaned:
+                return
+            self._cleaned = True
+        for conn in list(self._connections):
+            self._close_conn(conn)
+        for sock in (self._listener, self._wake_recv, self._wake_send):
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close is best-effort
+                pass
+        self._selector.close()
 
     def __enter__(self) -> "KGServer":
         return self
@@ -268,37 +352,389 @@ class KGServer:
         self.close()
 
     # ------------------------------------------------------------------ #
-    # request dispatch (called from connection threads)
+    # the I/O loop (single thread; owns the selector)
     # ------------------------------------------------------------------ #
-    def handle_message(self, message: dict) -> dict:
+    def _run(self) -> None:
+        self._serving.set()
+        try:
+            while not self.closing:
+                events = self._selector.select(timeout=0.1)
+                for key, mask in events:
+                    if key.data is None:
+                        self._accept_ready()
+                    elif key.data is _WAKEUP:
+                        self._drain_wakeups()
+                    else:
+                        conn = key.data
+                        if conn.closed:
+                            continue
+                        if mask & selectors.EVENT_READ:
+                            self._on_readable(conn)
+                        if mask & selectors.EVENT_WRITE and not conn.closed:
+                            self._flush(conn)
+                self._flush_requested()
+        finally:
+            self._serving.clear()
+            if self.closing:
+                self._cleanup()
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+            sock.setblocking(False)
+            try:
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover - not fatal
+                pass
+            conn = _Connection(sock, peer)
+            self._connections.add(conn)
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _drain_wakeups(self) -> None:
+        while True:
+            try:
+                if not self._wake_recv.recv(4096):
+                    return
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return
+
+    def _flush_requested(self) -> None:
+        with self._flush_lock:
+            if not self._flush_wanted:
+                return
+            wanted = list(self._flush_wanted)
+            self._flush_wanted.clear()
+        for conn in wanted:
+            if not conn.closed:
+                self._flush(conn)
+
+    def _set_mask(self, conn: _Connection, mask: int) -> None:
+        if conn.mask != mask and not conn.closed:
+            conn.mask = mask
+            try:
+                self._selector.modify(conn.sock, mask, conn)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.closed:
+            return
+        conn.closed = True
+        self._connections.discard(conn)
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError, OSError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:  # pragma: no cover - close is best-effort
+            pass
+
+    def _on_readable(self, conn: _Connection) -> None:
+        try:
+            chunk = conn.sock.recv(1 << 20)
+        except (BlockingIOError, InterruptedError):
+            return
+        except OSError:
+            self._close_conn(conn)
+            return
+        if not chunk:
+            # Clean EOF at a frame boundary, or the peer vanishing
+            # mid-frame/mid-request — either way this connection is
+            # done; any in-flight worker response is dropped on write.
+            self._close_conn(conn)
+            return
+        if conn.input_broken:
+            return  # framing already failed; ignore further bytes
+        conn.inbuf += chunk
+        self._parse_frames(conn)
+
+    def _parse_frames(self, conn: _Connection) -> None:
+        buffer = conn.inbuf
+        appended = False
+        while not conn.input_broken:
+            if len(buffer) < 4:
+                break
+            length = int.from_bytes(buffer[:4], "big")
+            violation = None
+            if length == 0:
+                violation = ProtocolError("zero-length frame")
+            elif length > self.max_frame_bytes:
+                violation = ProtocolError(
+                    f"declared frame length {length} exceeds the "
+                    f"{self.max_frame_bytes}-byte cap (hostile or corrupt "
+                    f"length prefix)")
+            if violation is not None:
+                # Queue the violation behind the valid frames so their
+                # responses still go out first, then stop reading.
+                conn.input_broken = True
+                with conn.lock:
+                    conn.pending.append(violation)
+                self._set_mask(conn, conn.mask & ~selectors.EVENT_READ)
+                appended = True
+                break
+            if len(buffer) < 4 + length:
+                break
+            body = bytes(buffer[4:4 + length])
+            del buffer[:4 + length]
+            with conn.lock:
+                conn.pending.append(body)
+            appended = True
+        if appended:
+            self._maybe_dispatch(conn)
+
+    def _maybe_dispatch(self, conn: _Connection) -> None:
+        with conn.lock:
+            if conn.busy or conn.close_after_write or not conn.pending:
+                return
+            conn.busy = True
+            entry = conn.pending.popleft()
+        try:
+            self._pool.submit(self._work, conn, entry)
+        except RuntimeError:  # pool already shut down: server is closing
+            with conn.lock:
+                conn.busy = False
+
+    def _flush(self, conn: _Connection) -> None:
+        while True:
+            with conn.lock:
+                if not conn.outbuf:
+                    break
+                view = conn.outbuf[0]
+            try:
+                sent = conn.sock.send(view)
+            except (BlockingIOError, InterruptedError):
+                self._set_mask(conn, conn.mask | selectors.EVENT_WRITE)
+                return
+            except OSError:
+                self._close_conn(conn)
+                return
+            with conn.lock:
+                if sent == len(view):
+                    conn.outbuf.popleft()
+                else:
+                    conn.outbuf[0] = view[sent:]
+        self._set_mask(conn, conn.mask & ~selectors.EVENT_WRITE)
+        if conn.close_after_write:
+            # Pending-but-undispatched frames are moot once the close
+            # decision is made (_maybe_dispatch refuses them); only an
+            # in-flight worker or unsent bytes defer the close.
+            with conn.lock:
+                drained = not conn.outbuf and not conn.busy
+            if drained:
+                self._close_conn(conn)
+
+    # ------------------------------------------------------------------ #
+    # workers (blocking service calls; one frame at a time per conn)
+    # ------------------------------------------------------------------ #
+    def _schedule_write(self, conn: _Connection, frame: Optional[bytes],
+                        close: bool = False) -> None:
+        with conn.lock:
+            if conn.closed:
+                return
+            if frame:
+                conn.outbuf.append(memoryview(frame))
+            if close:
+                conn.close_after_write = True
+        with self._flush_lock:
+            self._flush_wanted.add(conn)
+        self._wake()
+
+    def _work(self, conn: _Connection, entry) -> None:
+        close = False
+        try:
+            frame, close = self._serve_frame(conn, entry)
+        except BaseException as exc:  # pragma: no cover - last resort
+            try:
+                response = {"id": None, "ok": False,
+                            "error": error_to_wire(exc)}
+                frame, close = self._encode_json_response(conn, response), True
+            except BaseException:
+                frame, close = None, True
+        self._schedule_write(conn, frame, close=close)
+        with conn.lock:
+            finished = close or conn.close_after_write or not conn.pending
+            if finished:
+                conn.busy = False
+            else:
+                entry = conn.pending.popleft()
+        if finished:
+            if conn.close_after_write:
+                # The flush that saw busy=True may already have run;
+                # request another so the close is never missed.
+                with self._flush_lock:
+                    self._flush_wanted.add(conn)
+                self._wake()
+            return
+        try:
+            self._pool.submit(self._work, conn, entry)
+        except RuntimeError:  # closing
+            with conn.lock:
+                conn.busy = False
+
+    def _serve_frame(self, conn: _Connection,
+                     entry) -> Tuple[Optional[bytes], bool]:
+        """One frame in, one response frame out (+ close-connection flag)."""
+        if isinstance(entry, ProtocolError):
+            # Framing violation queued by the I/O thread: the boundary
+            # is no longer trustworthy — report best-effort and hang up.
+            response = {"id": None, "ok": False, "error": error_to_wire(entry)}
+            return self._encode_json_response(conn, response), True
+        binary = conn.codec == CODEC_BINARY
+        payload = entry
+        if binary:
+            tag = entry[0]
+            if tag == TAG_BINARY:
+                # The framing is intact (the length prefix parsed); the
+                # client is just confused — typed error, stay alive.
+                exc = ProtocolError(
+                    "binary frames flow server-to-client only; requests "
+                    "are JSON frames tagged 'J'")
+                response = {"id": None, "ok": False,
+                            "error": error_to_wire(exc)}
+                return self._encode_json_response(conn, response), False
+            if tag != TAG_JSON:
+                exc = ProtocolError(
+                    f"unknown frame tag {tag:#04x} on a binary-codec "
+                    f"connection")
+                response = {"id": None, "ok": False,
+                            "error": error_to_wire(exc)}
+                return self._encode_json_response(conn, response), True
+            payload = entry[1:]
+        try:
+            message = decode_json_body(payload)
+        except ProtocolError as exc:
+            # Not JSON: the stream may be garbage — report and hang up
+            # (same contract as the pre-codec server).
+            response = {"id": None, "ok": False, "error": error_to_wire(exc)}
+            return self._encode_json_response(conn, response), True
+        if message.get("op") == "hello":
+            return self._serve_hello(conn, message), False
+        response = self.handle_message(message, raw=binary)
+        if conn.codec == CODEC_BINARY:
+            return self._encode_binary_response(conn, response), False
+        return self._encode_json_response(conn, response), False
+
+    def _serve_hello(self, conn: _Connection, message: dict) -> bytes:
+        """Codec negotiation.  Grant binary only when policy and backend
+        allow; the reply itself always uses the connection's *current*
+        codec, so the client flips exactly after reading the ack."""
+        request_id = message.get("id")
+        codecs = message.get("codecs", [])
+        if not (isinstance(codecs, list)
+                and all(isinstance(name, str) for name in codecs)):
+            exc = ProtocolError(
+                f"hello 'codecs' must be an array of codec names, got "
+                f"{codecs!r}")
+            return self._encode_json_response(
+                conn, {"id": request_id, "ok": False,
+                       "error": error_to_wire(exc)})
+        backend = self.service.store.backend
+        grant = (CODEC_BINARY in codecs and self.codec == "auto"
+                 and supports_id_queries(backend))
+        granted = CODEC_BINARY if grant else CODEC_JSON
+        frame = self._encode_json_response(
+            conn, {"id": request_id, "ok": True,
+                   "result": {"codec": granted,
+                              "protocol": BINARY_PROTOCOL_VERSION}})
+        if grant and conn.codec != CODEC_BINARY:
+            conn.encoder = BinaryResponseEncoder(
+                backend.entity_interner, backend.relation_interner,
+                self.max_frame_bytes)
+            conn.codec = CODEC_BINARY
+        return frame
+
+    def _encode_json_response(self, conn: _Connection,
+                              response: dict) -> bytes:
+        encode = encode_tagged_json if conn.codec == CODEC_BINARY \
+            else encode_frame
+        try:
+            return encode(response, self.max_frame_bytes)
+        except ProtocolError as exc:
+            # The *response* did not fit the frame cap.  The stream is
+            # still intact, so report and keep serving — the client
+            # should page through a cursor instead.
+            return encode({"id": response.get("id"), "ok": False,
+                           "error": error_to_wire(exc)},
+                          self.max_frame_bytes)
+
+    def _encode_binary_response(self, conn: _Connection,
+                                response: dict) -> bytes:
+        """Pack id-block results; anything else rides as tagged JSON."""
+        if response.get("ok"):
+            request_id = response.get("id")
+            result = response.get("result")
+            try:
+                if isinstance(result, IdBlock):
+                    return conn.encoder.encode(
+                        request_id, SHAPE_SINGLE, [("block", result, 0)])
+                if isinstance(result, list) and any(
+                        isinstance(item, IdBlock) for item in result):
+                    items = [("block", item, 0) if isinstance(item, IdBlock)
+                             else ("json", item) for item in result]
+                    return conn.encoder.encode(request_id, SHAPE_LIST, items)
+                if isinstance(result, dict) and isinstance(
+                        result.get("rows"), IdBlock):
+                    flags = FLAG_EXHAUSTED if result.get("exhausted") else 0
+                    return conn.encoder.encode(
+                        request_id, SHAPE_PAGE,
+                        [("block", result["rows"], flags)])
+            except ProtocolError as exc:
+                return encode_tagged_json(
+                    {"id": request_id, "ok": False,
+                     "error": error_to_wire(exc)}, self.max_frame_bytes)
+        return self._encode_json_response(conn, response)
+
+    # ------------------------------------------------------------------ #
+    # request dispatch (called from worker threads)
+    # ------------------------------------------------------------------ #
+    def handle_message(self, message: dict, raw: bool = False) -> dict:
         """Serve one decoded request; always returns a response object.
 
         Anything a hostile or buggy client can provoke — unknown op,
         missing/garbage fields, a query-layer error — comes back as a
         typed error response on the same connection; nothing propagates
-        to the connection loop.
+        to the connection loop.  With ``raw=True`` (binary-codec
+        connections) row results come back as
+        :class:`~repro.kg.executor.IdBlock` values for the binary
+        encoder; the id must then be a wire-safe integer or the request
+        is served materialized instead.
         """
         request_id = message.get("id")
+        raw = raw and isinstance(request_id, int) \
+            and not isinstance(request_id, bool) \
+            and -(1 << 63) <= request_id < (1 << 63)
         try:
-            result = self._dispatch(message)
+            result = self._dispatch(message, raw=raw)
         except Exception as exc:
             return {"id": request_id, "ok": False, "error": error_to_wire(exc)}
         return {"id": request_id, "ok": True, "result": result}
 
-    def _dispatch(self, message: dict):
+    def _dispatch(self, message: dict, raw: bool = False):
         op = message.get("op")
         if op == "ping":
             return "pong"
         if op == "stats":
             return {"service": self.service.stats,
                     "store": {"triples": len(self.service.store),
-                              "backend": self.service.store.backend_name}}
+                              "backend": self.service.store.backend_name},
+                    "server": {"connections": self.connection_count,
+                               "workers": self._pool._max_workers,
+                               "codec_policy": self.codec}}
         if op == "len":
             return len(self.service.store)
         if op == "execute":
             query = _wire_query(_field(message, "query", dict, "an object"))
-            return self.service.execute(
-                query, reorder=bool(message.get("reorder", True)))
+            return self.service.submit(
+                query, reorder=bool(message.get("reorder", True)),
+                raw=raw).result()
         if op == "execute_many":
             # Decode the whole batch BEFORE submitting anything: a
             # malformed query mid-list must not leave already-submitted
@@ -306,16 +742,28 @@ class KGServer:
             queries = [_wire_query(query) for query in
                        _field(message, "queries", list, "an array")]
             futures = [self.service.submit(
-                query, reorder=bool(message.get("reorder", True)))
+                query, reorder=bool(message.get("reorder", True)), raw=raw)
                 for query in queries]
             return [future.result() for future in futures]
         if op == "match":
             pattern = _wire_pattern(_field(message, "pattern", list,
                                            "an array"))
+            if raw:
+                result = self.service.submit_lookup(pattern,
+                                                    raw=True).result()
+                return result if isinstance(result, IdBlock) \
+                    else _wire_triples(result)
             return _wire_triples(self.service.lookup_many([pattern])[0])
         if op == "match_many":
             patterns = [_wire_pattern(pattern) for pattern in
                         _field(message, "patterns", list, "an array")]
+            if raw:
+                futures = [self.service.submit_lookup(pattern, raw=True)
+                           for pattern in patterns]
+                return [result if isinstance(result, IdBlock)
+                        else _wire_triples(result)
+                        for result in (future.result()
+                                       for future in futures)]
             return [_wire_triples(triples)
                     for triples in self.service.lookup_many(patterns)]
         if op == "count":
@@ -337,8 +785,10 @@ class KGServer:
         if op == "fetch":
             cursor_id = _field(message, "cursor", str, "a string")
             max_rows = _field(message, "max_rows", int, "an integer")
-            page, exhausted = self.service.fetch_cursor(cursor_id, max_rows)
-            if page and isinstance(page[0], Triple):
+            page, exhausted = self.service.fetch_cursor(cursor_id, max_rows,
+                                                        raw=raw)
+            if not isinstance(page, IdBlock) and page \
+                    and isinstance(page[0], Triple):
                 page = _wire_triples(page)
             return {"rows": page, "exhausted": exhausted}
         if op == "close_cursor":

@@ -51,9 +51,12 @@ from concurrent.futures import Future
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.errors import CursorError, QueryError
 from repro.kg.backend import Pattern, supports_id_queries
-from repro.kg.executor import Binding, ResultCursor, execute_plans_cursors
+from repro.kg.executor import (Binding, IdBlock, ResultCursor,
+                               execute_plans_cursors)
 from repro.kg.planner import PatternQuery, plan_queries
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
@@ -92,14 +95,22 @@ def _resolve(future: "Future", result=None, exception: Optional[BaseException] =
 
 
 class _Request:
-    """One queued client request: payload plus the future to resolve."""
+    """One queued client request: payload plus the future to resolve.
 
-    __slots__ = ("kind", "payload", "reorder", "future")
+    ``raw`` requests resolve to id-space results
+    (:class:`~repro.kg.executor.IdBlock`) instead of materialized
+    strings — the handoff the binary wire codec serves from, falling
+    back to materialized lists when the backend has no id surface.
+    """
 
-    def __init__(self, kind: str, payload, reorder: bool) -> None:
+    __slots__ = ("kind", "payload", "reorder", "raw", "future")
+
+    def __init__(self, kind: str, payload, reorder: bool,
+                 raw: bool = False) -> None:
         self.kind = kind
         self.payload = payload
         self.reorder = reorder
+        self.raw = raw
         self.future: "Future" = Future()
 
 
@@ -193,20 +204,29 @@ class QueryService:
     # ------------------------------------------------------------------ #
     # client surface (thread-safe)
     # ------------------------------------------------------------------ #
-    def submit(self, query: PatternQuery, reorder: bool = True) -> "Future":
-        """Enqueue one query; returns a future yielding ``List[Binding]``."""
-        return self._enqueue(_Request(_QUERY, query, reorder))
+    def submit(self, query: PatternQuery, reorder: bool = True,
+               raw: bool = False) -> "Future":
+        """Enqueue one query; returns a future yielding ``List[Binding]``.
 
-    def submit_lookup(self, pattern: Pattern) -> "Future":
+        With ``raw=True`` the future yields the id-space
+        :class:`~repro.kg.executor.IdBlock` projection instead (or the
+        materialized list when the plan fell back to backtracking) —
+        the binary wire path, which never stringifies a row.
+        """
+        return self._enqueue(_Request(_QUERY, query, reorder, raw=raw))
+
+    def submit_lookup(self, pattern: Pattern, raw: bool = False) -> "Future":
         """Enqueue one point lookup; future yields ``List[Triple]``.
 
         Point lookups take constants and ``None`` wildcards only — a
         ``?variable`` here is almost certainly a pattern query routed to
         the wrong entry point, and would otherwise silently match
-        nothing; use :meth:`submit` for variables.
+        nothing; use :meth:`submit` for variables.  ``raw=True`` yields
+        a triples :class:`~repro.kg.executor.IdBlock` when the backend
+        has an id surface (a ``List[Triple]`` otherwise).
         """
         return self._enqueue(_Request(_LOOKUP, self._checked_pattern(pattern),
-                                      True))
+                                      True, raw=raw))
 
     @staticmethod
     def _checked_pattern(pattern: Pattern) -> Pattern:
@@ -263,15 +283,18 @@ class QueryService:
         return self._enqueue(_Request(
             _CURSOR_MATCH, self._checked_pattern(pattern), True)).result()
 
-    def fetch_cursor(self, cursor_id: str, max_rows: int) -> Tuple[List, bool]:
+    def fetch_cursor(self, cursor_id: str, max_rows: int,
+                     raw: bool = False) -> Tuple[List, bool]:
         """Return ``(next page, exhausted)`` and refresh the cursor's TTL.
 
         Raises :class:`~repro.errors.CursorError` for an unknown, closed
         or expired cursor, and for a non-positive ``max_rows`` — never a
-        silently partial result.
+        silently partial result.  ``raw=True`` pages
+        :class:`~repro.kg.executor.IdBlock`\\ s out of id-backed cursors
+        (list-backed cursors still return their materialized items).
         """
         return self._enqueue(_Request(
-            _CURSOR_FETCH, (cursor_id, max_rows), True)).result()
+            _CURSOR_FETCH, (cursor_id, max_rows), True, raw=raw)).result()
 
     def close_cursor(self, cursor_id: str) -> None:
         """Release a cursor.  Closing one twice (or an unknown/expired id)
@@ -382,23 +405,75 @@ class QueryService:
             for request, cursor in zip(planned, cursors):
                 if request.kind == _CURSOR_QUERY:
                     _resolve(request.future, self._register_cursor(cursor))
+                elif request.raw:
+                    _resolve(request.future, cursor.fetch_all_block())
                 else:
                     _resolve(request.future, cursor.fetch_all())
 
     def _serve_lookups(self, requests: List[_Request]) -> None:
+        # Two batched backend calls at most: raw lookups and match
+        # cursors stay in id space (the binary wire path and the paging
+        # path both want the compact block), everything else takes the
+        # legacy string surface.
+        id_capable = supports_id_queries(self.store.backend)
+        id_requests, string_requests = [], []
+        for request in requests:
+            if id_capable and (request.raw or request.kind == _CURSOR_MATCH):
+                id_requests.append(request)
+            else:
+                string_requests.append(request)
+        if id_requests:
+            self._serve_id_lookups(id_requests)
+        if not string_requests:
+            return
         try:
             results = self.store.match_many([request.payload
-                                             for request in requests])
+                                             for request in string_requests])
         except Exception as exc:
-            for request in requests:
+            for request in string_requests:
                 _resolve(request.future, exception=exc)
             return
-        for request, result in zip(requests, results):
+        for request, result in zip(string_requests, results):
             if request.kind == _CURSOR_MATCH:
                 _resolve(request.future,
                          self._register_cursor(ResultCursor.from_list(result)))
             else:
                 _resolve(request.future, result)
+
+    def _serve_id_lookups(self, requests: List[_Request]) -> None:
+        """Batched point lookups answered as (n, 3) id blocks."""
+        backend = self.store.backend
+        entity_lookup = backend.entity_interner.lookup
+        relation_lookup = backend.relation_interner.lookup
+        empty = np.zeros((0, 3), dtype=np.int64)
+        resolved: List[Optional[Tuple]] = []
+        for request in requests:
+            head, relation, tail = request.payload
+            ids = (None if head is None else entity_lookup(head),
+                   None if relation is None else relation_lookup(relation),
+                   None if tail is None else entity_lookup(tail))
+            # An un-interned constant matches nothing; no backend call.
+            unknown = any(term is not None and identifier is None
+                          for term, identifier in
+                          zip(request.payload, ids))
+            resolved.append(None if unknown else ids)
+        fetchable = [ids for ids in resolved if ids is not None]
+        try:
+            blocks = iter(backend.match_ids_many(fetchable)
+                          if fetchable else [])
+            rows_per_request = [empty if ids is None else next(blocks)
+                                for ids in resolved]
+        except Exception as exc:
+            for request in requests:
+                _resolve(request.future, exception=exc)
+            return
+        for request, rows in zip(requests, rows_per_request):
+            if request.kind == _CURSOR_MATCH:
+                _resolve(request.future, self._register_cursor(
+                    ResultCursor.from_triple_ids(backend, rows)))
+            else:
+                _resolve(request.future, IdBlock(
+                    (), ("e", "r", "e"), rows, triples=True))
 
     def _serve_counts(self, requests: List[_Request]) -> None:
         try:
@@ -450,7 +525,8 @@ class QueryService:
         cursor_id, max_rows = request.payload
         try:
             cursor = self._lookup_cursor(cursor_id)
-            page = cursor.fetch(max_rows)
+            page = cursor.fetch_block(max_rows) if request.raw \
+                else cursor.fetch(max_rows)
         except Exception as exc:
             _resolve(request.future, exception=exc)
             return

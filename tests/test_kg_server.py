@@ -17,11 +17,17 @@ Four suites, mirroring what a network boundary must survive:
   coalesced into batched backend rounds;
 * **cursor faults** — expired TTL, server restart, double close and
   limit edge cases raise typed ``CursorError``/``QueryError``, never
-  silent partial results.
+  silent partial results;
+* **codec negotiation** — the whole module runs twice via the
+  ``server_codec`` fixture (JSON-pinned policy vs auto/binary), so every
+  parity, robustness and concurrency case exercises both wire codecs;
+  dedicated fuzz cases cover malformed ``hello``, codec mismatch and
+  binary-tagged frames sent at the wrong peer.
 """
 
 from __future__ import annotations
 
+import gc
 import socket
 import struct
 import threading
@@ -39,7 +45,18 @@ from repro.kg.client import (
     RemoteStore,
     parse_address,
 )
-from repro.kg.protocol import encode_frame, read_frame, send_frame
+from repro.kg.protocol import (
+    MAX_FRAME_BYTES,
+    TAG_BINARY,
+    TAG_JSON,
+    DecodedBlock,
+    decode_json_body,
+    encode_frame,
+    encode_tagged_json,
+    read_frame,
+    read_frame_bytes,
+    send_frame,
+)
 from repro.kg.query import PatternQuery, QueryEngine
 from repro.kg.server import KGServer
 from repro.kg.sharded_backend import ShardedBackend
@@ -72,23 +89,34 @@ def sharded_store():
                        backend=ShardedBackend(n_shards=2))
 
 
+@pytest.fixture(scope="module", params=["json", "auto"],
+                ids=["json-wire", "binary-wire"])
+def server_codec(request):
+    """Server codec policy.  The module runs once per policy: under
+    ``json`` every connection stays on the JSON codec; under ``auto``
+    the default clients negotiate the binary codec, so the same parity
+    and abuse cases cover both wire formats."""
+    return request.param
+
+
 @pytest.fixture(scope="module")
-def server(store):
-    with KGServer(store, port=0).start() as running:
+def server(store, server_codec):
+    with KGServer(store, port=0, codec=server_codec).start() as running:
         yield running
 
 
 @pytest.fixture(scope="module")
-def sharded_server(sharded_store):
-    with KGServer(sharded_store, port=0).start() as running:
+def sharded_server(sharded_store, server_codec):
+    with KGServer(sharded_store, port=0,
+                  codec=server_codec).start() as running:
         yield running
 
 
 @pytest.fixture(scope="module")
-def reopened_server(tmp_path_factory, sharded_store):
+def reopened_server(tmp_path_factory, sharded_store, server_codec):
     """A save→reopen→serve cycle over the sharded layout."""
     directory = sharded_store.save(tmp_path_factory.mktemp("served") / "kg")
-    with KGServer.open(directory, port=0) as running:
+    with KGServer.open(directory, port=0, codec=server_codec) as running:
         running.start()
         yield running
 
@@ -206,9 +234,33 @@ def test_parse_address_forms():
     assert parse_address("127.0.0.1:7468") == ("127.0.0.1", 7468)
     assert parse_address("kg://example:1") == ("example", 1)
     assert parse_address("tcp://example:1") == ("example", 1)
+    assert parse_address("tcp://example:65535") == ("example", 65535)
     for bad in ("", "nope", "host:", ":17", "host:port", 17):
         with pytest.raises(ValueError):
             parse_address(bad)
+
+
+def test_parse_address_bracketed_ipv6():
+    assert parse_address("[::1]:9999") == ("::1", 9999)
+    assert parse_address("tcp://[::1]:9999") == ("::1", 9999)
+    assert parse_address("kg://[fe80::2]:7468") == ("fe80::2", 7468)
+
+
+def test_parse_address_rejection_messages():
+    """Each malformed shape names what is wrong, not just 'bad address'."""
+    cases = [
+        ("[::1]", "missing the ':port'"),
+        ("[::1]9999", "missing the ':port'"),
+        ("[]:17", r"\[host\]:port"),
+        ("[::1:17", r"\[host\]:port"),
+        ("host:port", "port must be a number"),
+        ("tcp://host:-1", "port must be a number"),
+        ("host:0", "port must be in 1..65535"),
+        ("host:70000", "port must be in 1..65535"),
+    ]
+    for address, message in cases:
+        with pytest.raises(ValueError, match=message):
+            parse_address(address)
 
 
 # --------------------------------------------------------------------------- #
@@ -336,10 +388,14 @@ def test_mid_request_disconnect_does_not_poison_server(server):
     _assert_serviceable(server)
 
 
-def test_oversized_response_suggests_cursor_and_keeps_serving(store):
+def test_oversized_response_suggests_cursor_and_keeps_serving(store,
+                                                              server_codec):
     """A result too big for the frame cap is a typed error, not a dead
-    connection — and the cursor path streams the same result fine."""
-    with KGServer(store, port=0, max_frame_bytes=2048).start() as small:
+    connection — and the cursor path streams the same result fine.
+    On the binary codec this also proves an oversized frame never
+    commits the interner delta (the later pages still decode)."""
+    with KGServer(store, port=0, max_frame_bytes=2048,
+                  codec=server_codec).start() as small:
         query = PatternQuery.from_patterns([("?p", "?r", "?t")])
         local = QueryEngine(store).execute(query)
         with RemoteQueryEngine(small.url) as engine:
@@ -360,7 +416,7 @@ def test_client_rejects_mismatched_response_id(server):
 # --------------------------------------------------------------------------- #
 # concurrency: 16 remote clients, coalesced batches, serial-identical results
 # --------------------------------------------------------------------------- #
-def test_sixteen_concurrent_clients_match_serial(sharded_store):
+def test_sixteen_concurrent_clients_match_serial(sharded_store, server_codec):
     queries = [PatternQuery.from_patterns(
         [("?p", "brandIs", f"brand:{brand}"),
          ("?p", "placeOfOrigin", "?place")], select=["?p", "?place"])
@@ -376,7 +432,8 @@ def test_sixteen_concurrent_clients_match_serial(sharded_store):
     num_clients = 16
     outputs = [None] * num_clients
     errors = []
-    with KGServer(sharded_store, port=0).start() as running:
+    with KGServer(sharded_store, port=0,
+                  codec=server_codec).start() as running:
         barrier = threading.Barrier(num_clients)
 
         def client(slot: int) -> None:
@@ -415,9 +472,10 @@ def test_sixteen_concurrent_clients_match_serial(sharded_store):
 # --------------------------------------------------------------------------- #
 # cursor faults: typed errors, never silent partial results
 # --------------------------------------------------------------------------- #
-def test_cursor_expires_after_ttl(store):
+def test_cursor_expires_after_ttl(store, server_codec):
     query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
-    with KGServer(store, port=0, cursor_ttl=0.15).start() as running:
+    with KGServer(store, port=0, cursor_ttl=0.15,
+                  codec=server_codec).start() as running:
         with RemoteQueryEngine(running.url) as engine:
             cursor = engine.cursor(query, page_size=4)
             assert cursor.fetch()  # alive while touched
@@ -525,7 +583,7 @@ def test_client_marks_connection_broken_after_transport_failure(store):
 
     acceptor = threading.Thread(target=one_silent_accept, daemon=True)
     acceptor.start()
-    client = RemoteClient(f"127.0.0.1:{listener.getsockname()[1]}")
+    client = RemoteClient(f"127.0.0.1:{listener.getsockname()[1]}", codec="json")
     with pytest.raises(ProtocolError, match="closed the connection"):
         client.call("ping")
     with pytest.raises(ProtocolError, match="connection is closed"):
@@ -548,7 +606,7 @@ def test_execute_many_rejects_batch_before_submitting(server, store):
     """A malformed query anywhere in the batch fails the whole request
     up front — no half-submitted futures — and the server stays fine."""
     good = {"patterns": [["?p", "brandIs", "?b"]]}
-    with RemoteClient(server.url) as connection:
+    with RemoteClient(server.url, codec="json") as connection:
         with pytest.raises(ProtocolError, match="patterns"):
             connection.call("execute_many", queries=[good, {"nope": 1}])
         # Same connection still serves the valid batch.
@@ -556,3 +614,236 @@ def test_execute_many_rejects_batch_before_submitting(server, store):
         assert result[0] == QueryEngine(store).execute(
             PatternQuery.from_patterns([("?p", "brandIs", "?b")]))
     _assert_serviceable(server)
+
+
+# --------------------------------------------------------------------------- #
+# codec negotiation: grants, declines, hostile hellos, mis-tagged frames
+# --------------------------------------------------------------------------- #
+def _hello(sock: socket.socket, codecs, request_id: int = 1) -> dict:
+    send_frame(sock, {"op": "hello", "id": request_id, "codecs": codecs})
+    response = read_frame(sock)
+    assert response is not None
+    return response
+
+
+def _read_tagged(sock: socket.socket) -> dict:
+    """Read one response frame from a binary-codec connection; control
+    payloads (errors, pong, ...) arrive as tagged JSON."""
+    body = read_frame_bytes(sock, MAX_FRAME_BYTES)
+    assert body is not None and body[0] == TAG_JSON
+    return decode_json_body(body[1:])
+
+
+def test_negotiated_codec_follows_server_policy(server, server_codec):
+    expected = "binary" if server_codec == "auto" else "json"
+    with RemoteClient(server.url) as connection:
+        assert connection.codec == expected
+        assert connection.ping()
+    # A JSON-pinned client never negotiates, whatever the policy.
+    with RemoteClient(server.url, codec="json") as pinned:
+        assert pinned.codec == "json"
+        assert pinned.ping()
+
+
+def test_forced_binary_client_obeys_policy(store):
+    with KGServer(store, port=0, codec="json").start() as running:
+        with pytest.raises(ProtocolError, match="declined the binary codec"):
+            RemoteClient(running.url, codec="binary")
+        _assert_serviceable(running)
+    with KGServer(store, port=0, codec="auto").start() as running:
+        with RemoteClient(running.url, codec="binary") as connection:
+            assert connection.codec == "binary"
+            assert connection.ping()
+
+
+def test_malformed_hello_is_typed_error_connection_survives(server,
+                                                            server_codec):
+    cases = ["binary", 7, {"codec": "binary"}, ["binary", 3], [None], None]
+    with _raw_connection(server) as sock:
+        for index, codecs in enumerate(cases):
+            message = {"op": "hello", "id": index}
+            if codecs is not None:
+                message["codecs"] = codecs
+            send_frame(sock, message)
+            response = read_frame(sock)
+            assert response is not None
+            if codecs is None:
+                # Omitted codecs is a *valid* hello asking for nothing:
+                # granted json, connection unchanged.
+                assert response["ok"] is True
+                assert response["result"]["codec"] == "json"
+                continue
+            assert response["ok"] is False, codecs
+            assert response["error"]["type"] == "ProtocolError"
+            assert "codecs" in response["error"]["message"]
+            assert response["id"] == index
+        # The frame stream is intact: a well-formed hello still works.
+        ack = _hello(sock, ["binary"], request_id=99)
+        granted = "binary" if server_codec == "auto" else "json"
+        assert ack["ok"] is True
+        assert ack["result"]["codec"] == granted
+        assert ack["result"]["protocol"] == 1
+    _assert_serviceable(server)
+
+
+def test_hello_with_unknown_codecs_stays_json(server):
+    with _raw_connection(server) as sock:
+        ack = _hello(sock, ["gzip", "cbor"])
+        assert ack["ok"] is True and ack["result"]["codec"] == "json"
+        # Still a plain-JSON connection afterwards.
+        send_frame(sock, {"op": "ping", "id": 2})
+        assert read_frame(sock)["result"] == "pong"
+    _assert_serviceable(server)
+
+
+def test_binary_tagged_frame_to_binary_connection_typed_error(store):
+    """Binary frames flow server→client only.  One sent at the server is
+    a typed error on a live connection — the frame boundary is intact,
+    so the stream keeps working."""
+    with KGServer(store, port=0, codec="auto").start() as running:
+        with _raw_connection(running) as sock:
+            assert _hello(sock, ["binary"])["result"]["codec"] == "binary"
+            body = bytes([TAG_BINARY]) + b"\x01\x00\x00\x00" * 3
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            response = _read_tagged(sock)
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert "server-to-client" in response["error"]["message"]
+            # Same connection still answers tagged JSON requests.
+            sock.sendall(encode_tagged_json({"op": "ping", "id": 5},
+                                            MAX_FRAME_BYTES))
+            assert _read_tagged(sock)["result"] == "pong"
+        _assert_serviceable(running)
+
+
+def test_binary_tagged_frame_to_json_connection_closes(server):
+    """Without negotiation the connection speaks plain JSON: a
+    binary-tagged body is not JSON, so the server reports and hangs up
+    — the garbage-bytes contract, unchanged."""
+    with _raw_connection(server) as sock:
+        body = bytes([TAG_BINARY]) + b"garbage"
+        sock.sendall(struct.pack(">I", len(body)) + body)
+        error = _read_error(sock)
+        assert error["type"] == "ProtocolError"
+        assert sock.recv(1024) == b""
+    _assert_serviceable(server)
+
+
+def test_unknown_tag_on_binary_connection_closes(store):
+    with KGServer(store, port=0, codec="auto").start() as running:
+        with _raw_connection(running) as sock:
+            assert _hello(sock, ["binary"])["result"]["codec"] == "binary"
+            body = b"\xff\x00\x01"
+            sock.sendall(struct.pack(">I", len(body)) + body)
+            response = _read_tagged(sock)
+            assert response["ok"] is False
+            assert response["error"]["type"] == "ProtocolError"
+            assert sock.recv(1024) == b""
+        _assert_serviceable(running)
+
+
+def test_non_i64_request_id_served_materialized_on_binary(store):
+    """Id-block responses embed the request id as an i64; a hostile id
+    (string, or beyond 2**63) still gets a correct answer — just
+    materialized as tagged JSON."""
+    with KGServer(store, port=0, codec="auto").start() as running:
+        with _raw_connection(running) as sock:
+            assert _hello(sock, ["binary"])["result"]["codec"] == "binary"
+            for request_id in ("abc", 2 ** 64, True):
+                sock.sendall(encode_tagged_json(
+                    {"op": "match", "id": request_id,
+                     "pattern": [None, "headquartersIn", None]},
+                    MAX_FRAME_BYTES))
+                response = _read_tagged(sock)
+                assert response["id"] == request_id
+                assert response["ok"] is True
+                rows = response["result"]
+                assert rows and all(len(row) == 3 for row in rows)
+        _assert_serviceable(running)
+
+
+# --------------------------------------------------------------------------- #
+# cursor lifecycle: abandoned cursors must not pin server state until TTL
+# --------------------------------------------------------------------------- #
+def test_abandoned_cursor_drains_server_table(store, server_codec):
+    """Dropping the last reference releases the server-side cursor
+    promptly (best-effort close on __del__), not at the TTL sweep."""
+    query = PatternQuery.from_patterns([("?p", "?r", "?t")])
+    with KGServer(store, port=0, codec=server_codec).start() as running:
+        with RemoteQueryEngine(running.url) as engine:
+            cursor = engine.cursor(query, page_size=4)
+            assert cursor.fetch()
+            assert running.service.stats["open_cursors"] == 1
+            del cursor
+            gc.collect()
+            deadline = time.monotonic() + 10
+            while (running.service.stats["open_cursors"]
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            assert running.service.stats["open_cursors"] == 0
+            # The shared connection is still perfectly usable.
+            assert engine.execute(PatternQuery.from_patterns(
+                [("?p", "brandIs", "brand:1")]))
+
+
+def test_cursor_context_manager_closes_server_side(store, server_codec):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    with KGServer(store, port=0, codec=server_codec).start() as running:
+        with RemoteQueryEngine(running.url) as engine:
+            with engine.cursor(query, page_size=4) as cursor:
+                assert cursor.fetch()
+                assert running.service.stats["open_cursors"] == 1
+            assert running.service.stats["open_cursors"] == 0
+            with pytest.raises(CursorError, match="closed"):
+                cursor.fetch()
+
+
+def test_cursor_del_after_client_close_is_silent(store):
+    """Finalizing an abandoned cursor whose client is already gone must
+    neither raise nor hang (the TTL sweep owns it then)."""
+    with KGServer(store, port=0).start() as running:
+        engine = RemoteQueryEngine(running.url)
+        cursor = engine.cursor(
+            PatternQuery.from_patterns([("?p", "brandIs", "?b")]))
+        engine.close()
+        del cursor
+        gc.collect()
+        _assert_serviceable(running)
+
+
+# --------------------------------------------------------------------------- #
+# id-block surfaces: zero-copy pages and batched lookups stay bit-identical
+# --------------------------------------------------------------------------- #
+def test_fetch_block_streams_identical_rows(server, server_codec, store):
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    local = QueryEngine(store).execute(query)
+    with RemoteQueryEngine(server.url) as engine:
+        cursor = engine.cursor(query, page_size=7)
+        rows = []
+        while not cursor.exhausted:
+            page = cursor.fetch_block()
+            if isinstance(page, DecodedBlock):
+                assert server_codec == "auto"
+                rows.extend(page.to_rows())
+            else:
+                rows.extend(page)
+        cursor.close()
+        assert rows == local
+
+
+def test_match_many_blocks_parity(server, server_codec, store):
+    patterns = [(None, "brandIs", "brand:1"), ("product:0001", None, None),
+                ("ghost", "brandIs", None), (None, None, "country:1")]
+    local = store.match_many(patterns)
+    with RemoteStore(server.url) as remote:
+        blocks = remote.match_many_blocks(patterns)
+        if server_codec == "auto":
+            assert all(isinstance(block, DecodedBlock) for block in blocks)
+            assert [block.to_triples() for block in blocks] == local
+            # The unknown constant resolved to an empty block without a
+            # backend round-trip.
+            assert len(blocks[2]) == 0
+        else:
+            assert blocks == [
+                [[t.head, t.relation, t.tail] for t in rows]
+                for rows in local]
