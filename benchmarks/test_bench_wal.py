@@ -1,0 +1,122 @@
+"""Micro-benchmark — the WAL write path: ack cost, replay, compaction.
+
+Three workloads over a live store directory:
+
+* **acked-write throughput** — batches acked through the full
+  log-then-apply path, fsync on vs off.  The gap prices the durability
+  guarantee itself (an ack means the bytes reached the platter, or at
+  least the kernel's best story about one).
+* **replay time** — ``TripleStore.open`` on a live directory whose WAL
+  holds 100k batches.  Replay coalesces maximal same-op runs into bulk
+  backend loads, so this is one vectorized pass, not 100k round-trips.
+* **recovery after compaction** — the same content reopened after
+  ``compact()`` folded the log into a fresh snapshot: open time drops
+  to snapshot-mmap cost because the WAL is empty again.
+
+Acceptance bars:
+
+* recovered content is identical before and after every reopen (a bench
+  that loses rows is measuring the wrong thing);
+* compaction makes reopen strictly cheaper than replaying the 100k-batch
+  log (the reason ``repro compact`` exists).
+
+Throughput numbers are advisory — fsync cost is hardware truth, not a
+CI bar.  Results persist into ``BENCH_wal.json`` via :mod:`_artifacts`.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from _artifacts import update_artifact
+from repro.kg.store import TripleStore
+from repro.kg.triple import Triple
+
+WRITE_BATCHES = 400
+BATCH_SIZE = 16
+REPLAY_BATCHES = 100_000
+
+
+def _batch(index: int, size: int = BATCH_SIZE):
+    return [Triple(f"entity:{index}:{slot}", "observedWith",
+                   f"sensor:{index % 64}") for slot in range(size)]
+
+
+def _timed_writes(directory: Path, *, fsync: bool) -> dict:
+    store = TripleStore.create_live(directory, wal_fsync=fsync)
+    start = time.perf_counter()
+    for index in range(WRITE_BATCHES):
+        store.add_many(_batch(index))
+    elapsed = time.perf_counter() - start
+    count = len(store)
+    store.close()
+    return {
+        "batches": WRITE_BATCHES,
+        "batch_size": BATCH_SIZE,
+        "seconds": round(elapsed, 4),
+        "acked_batches_per_s": round(WRITE_BATCHES / elapsed, 1),
+        "triples_per_s": round(count / elapsed, 1),
+    }
+
+
+def test_acked_write_throughput(tmp_path):
+    durable = _timed_writes(tmp_path / "fsync-on", fsync=True)
+    buffered = _timed_writes(tmp_path / "fsync-off", fsync=False)
+    for directory, flavor in ((tmp_path / "fsync-on", durable),
+                              (tmp_path / "fsync-off", buffered)):
+        reopened = TripleStore.open(directory)
+        assert len(reopened) == WRITE_BATCHES * BATCH_SIZE, flavor
+        reopened.close()
+    update_artifact("wal", "acked_write_throughput", {
+        "fsync_on": durable,
+        "fsync_off": buffered,
+        "fsync_cost_x": round(durable["seconds"] / buffered["seconds"], 2),
+    })
+
+
+def test_replay_and_recovery_after_compaction(tmp_path):
+    directory = tmp_path / "live"
+    store = TripleStore.create_live(directory, wal_fsync=False)
+    build_start = time.perf_counter()
+    for index in range(REPLAY_BATCHES):
+        store.add(Triple(f"entity:{index % 20_000}", "observedWith",
+                         f"sensor:{index % 64}"))
+    build_seconds = time.perf_counter() - build_start
+    expected = len(store)
+    store.close()
+
+    replay_start = time.perf_counter()
+    replayed = TripleStore.open(directory, wal_fsync=False)
+    replay_seconds = time.perf_counter() - replay_start
+    assert len(replayed) == expected
+    assert replayed.wal.next_seq == REPLAY_BATCHES + 1
+
+    compact_start = time.perf_counter()
+    replayed.compact()
+    compact_seconds = time.perf_counter() - compact_start
+    replayed.close()
+
+    reopen_start = time.perf_counter()
+    compacted = TripleStore.open(directory)
+    reopen_seconds = time.perf_counter() - reopen_start
+    assert len(compacted) == expected
+    assert compacted.live_generation == 1
+    assert compacted.wal.next_seq == 1  # the log was folded away
+    compacted.close()
+
+    table = {
+        "wal_batches": REPLAY_BATCHES,
+        "triples": expected,
+        "log_build_s": round(build_seconds, 3),
+        "replay_open_s": round(replay_seconds, 3),
+        "replay_batches_per_s": round(REPLAY_BATCHES / replay_seconds, 1),
+        "compact_s": round(compact_seconds, 3),
+        "reopen_after_compact_s": round(reopen_seconds, 3),
+        "compaction_open_speedup_x": round(
+            replay_seconds / max(reopen_seconds, 1e-9), 2),
+    }
+    update_artifact("wal", "replay_and_compaction", table)
+    assert reopen_seconds < replay_seconds, (
+        f"compaction must make reopen cheaper than a 100k-batch replay:\n"
+        f"{table}")

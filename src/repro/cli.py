@@ -1,6 +1,6 @@
 """Command-line interface for the OpenBG reproduction.
 
-Six subcommands cover the everyday workflows::
+Seven subcommands cover the everyday workflows::
 
     python -m repro.cli --products 300 build      --out ./openbg_out
     python -m repro.cli --products 300 stats
@@ -11,17 +11,19 @@ Six subcommands cover the everyday workflows::
         --pattern "?p brandIs brand:0" --pattern "?p placeOfOrigin ?where" \\
         --select ?p ?where
     python -m repro.cli query --url 127.0.0.1:7468 --pattern "?p brandIs ?b"
+    python -m repro.cli compact --store-dir ./live-store
 
 ``build`` constructs the synthetic OpenBG and writes it as TSV triples,
 ``stats`` prints the Table-I style statistics, ``benchmark`` samples and
 saves the OpenBG-IMG / 500 / 500-L analogues, ``linkpred`` trains one
 embedding model on the OpenBG500 analogue and prints its filtered
 metrics, ``serve`` opens a saved store directory and serves the network
-query protocol on a TCP port, and ``query`` evaluates a conjunctive
+query protocol on a TCP port, ``query`` evaluates a conjunctive
 triple-pattern query — against a local store directory (``--store-dir``,
 mmap or sharded layout, no rebuild) or a running server (``--url``,
 results streamed in pages through a server-side cursor) — printing
-bindings as TSV.
+bindings as TSV, and ``compact`` folds a live store's write-ahead log
+into a fresh snapshot generation (and truncates the log).
 """
 
 from __future__ import annotations
@@ -124,6 +126,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "deltas) when the backend supports it; json "
                             "pins every connection to the JSON codec "
                             "(default auto)")
+
+    compact = subparsers.add_parser(
+        "compact",
+        help="fold a live store's write-ahead log into a new snapshot "
+             "generation")
+    compact.add_argument("--store-dir", type=Path, dest="store_dir",
+                         default=argparse.SUPPRESS,
+                         help="live store directory (one carrying a "
+                              "live.json pointer, written by "
+                              "TripleStore.create_live)")
 
     query = subparsers.add_parser(
         "query",
@@ -256,6 +268,37 @@ def _command_serve(args) -> int:
     return 0
 
 
+def _command_compact(args) -> int:
+    """Fold a live store's WAL into a new snapshot generation."""
+    import sys
+
+    from repro.errors import ReproError
+    from repro.kg.store import TripleStore
+    from repro.kg.wal import is_live_store
+
+    try:
+        if args.store_dir is None:
+            raise ValueError("compact requires --store-dir")
+        if not is_live_store(args.store_dir):
+            raise ValueError(
+                f"{args.store_dir} is not a live store (no live.json "
+                f"pointer); compaction only applies to WAL-backed stores "
+                f"created with TripleStore.create_live")
+        store = TripleStore.open(args.store_dir)
+        try:
+            replayed = store.wal.next_seq - 1
+            generation = store.compact()
+        finally:
+            store.close()
+        print(f"compacted {replayed} WAL batches into generation "
+              f"{generation} ({len(store)} triples, "
+              f"{store.backend_name} backend)", flush=True)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 2
+    return 0
+
+
 def _remote_query_rows(args, query):
     """Generator over remote binding rows, streamed page by page."""
     from repro.kg.client import RemoteQueryEngine
@@ -324,6 +367,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_serve(args)
     if args.command == "query":
         return _command_query(args)
+    if args.command == "compact":
+        return _command_compact(args)
     result = _construct(args.products, args.seed, args.backend, args.store_dir,
                         args.shards)
     if result.store_dir is not None:

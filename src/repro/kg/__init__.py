@@ -23,6 +23,7 @@ from repro.kg.backend import (
 from repro.kg.mmap_backend import MmapBackend
 from repro.kg.sharded_backend import ShardedBackend
 from repro.kg.store import TripleStore
+from repro.kg.wal import WriteAheadLog
 from repro.kg.vocab import Vocabulary
 from repro.kg.graph import KnowledgeGraph
 from repro.kg.planner import QueryPlan, plan_queries, plan_query
@@ -65,6 +66,7 @@ __all__ = [
     "RemoteQueryEngine",
     "RemoteStore",
     "ResultCursor",
+    "WriteAheadLog",
     "connect",
     "plan_queries",
     "plan_query",

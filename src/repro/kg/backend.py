@@ -259,6 +259,18 @@ class _BatchedQueriesMixin:
         return sum(1 for triple in triples
                    if add(triple.head, triple.relation, triple.tail))
 
+    def discard_many(self, triples: Iterable[Triple]) -> int:
+        """Remove a batch of triples; returns how many were present.
+
+        The bulk counterpart of :meth:`discard` — the WAL replay path
+        and ``TripleStore.remove_many`` both fold removals through it.
+        The sharded backend overrides this to group the batch by owner
+        shard first.
+        """
+        discard = self.discard
+        return sum(1 for triple in triples
+                   if discard(triple.head, triple.relation, triple.tail))
+
     def clone_empty(self) -> "GraphBackend":
         """A fresh empty backend of the same kind and configuration.
 

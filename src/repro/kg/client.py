@@ -47,6 +47,7 @@ from repro.kg.protocol import (
     DecodedBlock,
     decode_json_body,
     encode_frame,
+    encode_wire_triples,
     encode_tagged_json,
     error_from_wire,
     read_frame_bytes,
@@ -460,6 +461,13 @@ class RemoteStore:
     subset :class:`~repro.kg.service.QueryService` serves.  ``sort=True``
     sorts client-side, preserving the store's documented canonical
     ``(head, relation, tail)`` order.
+
+    Writes mirror the local API too: :meth:`add_many` /
+    :meth:`remove_many` ship a batch in one round-trip (requests are
+    JSON on both codecs) and return the same counts the local store
+    would, and :meth:`compact` folds the server's WAL into a fresh
+    snapshot.  A server over a read-only snapshot store raises a typed
+    :class:`~repro.errors.StorageError` here, not a generic wire error.
     """
 
     def __init__(self, address_or_client, codec: str = "auto") -> None:
@@ -504,6 +512,28 @@ class RemoteStore:
                                      pattern=[head, relation, tail])
         return iter(RemoteCursor(self.client, cursor_id, page_size=page_size,
                                  as_triples=True))
+
+    def add_many(self, triples: Sequence[Triple]) -> int:
+        """Remote :meth:`TripleStore.add_many`: one durable round-trip.
+
+        The whole batch is one server-side write (and, on a live store,
+        one fsync'd WAL record): when this returns, every triple is
+        applied and recoverable; on an error, none are.  Returns the
+        newly-added count, exactly like the local call.
+        """
+        return self.client.call(
+            "add_many", triples=encode_wire_triples(triples))["added"]
+
+    def remove_many(self, triples: Sequence[Triple]) -> int:
+        """Remote :meth:`TripleStore.remove_many`; returns the removed
+        count.  Same atomicity as :meth:`add_many`."""
+        return self.client.call(
+            "remove_many", triples=encode_wire_triples(triples))["removed"]
+
+    def compact(self) -> int:
+        """Remote :meth:`TripleStore.compact`: fold the server's WAL
+        into a new snapshot generation; returns the new generation."""
+        return self.client.call("compact")["generation"]
 
     def count(self, head: Optional[str] = None,
               relation: Optional[str] = None,

@@ -116,6 +116,46 @@ def encode_frame(payload: dict, max_bytes: int = MAX_FRAME_BYTES) -> bytes:
     return _LENGTH.pack(len(body)) + body
 
 
+def encode_wire_triples(triples: Sequence[Triple]) -> List[List[str]]:
+    """Triples as their wire form: ``[head, relation, tail]`` arrays.
+
+    The body of the ``add_many`` / ``remove_many`` write ops (and of
+    every triples-valued response).  Write requests travel as JSON on
+    both codecs — binary frames flow server-to-client only.
+    """
+    return [[triple.head, triple.relation, triple.tail]
+            for triple in triples]
+
+
+def decode_wire_triples(value: object, *,
+                        field: str = "triples") -> List[Triple]:
+    """Decode and validate a wire triples array into :class:`Triple`\\ s.
+
+    Hostile input gets a :class:`~repro.errors.ProtocolError` naming the
+    offending element — never a half-decoded batch: a write op is
+    validated in full before anything is enqueued or WAL-logged.
+    """
+    if not isinstance(value, list):
+        raise ProtocolError(
+            f"field {field!r} must be an array of [head, relation, tail] "
+            f"arrays, got {value!r}")
+    triples: List[Triple] = []
+    for index, row in enumerate(value):
+        if not isinstance(row, (list, tuple)) or len(row) != 3:
+            raise ProtocolError(
+                f"{field}[{index}] must be a 3-element array, got {row!r}")
+        head, relation, tail = row
+        for term in row:
+            if not isinstance(term, str) or isinstance(term, bool):
+                raise ProtocolError(
+                    f"{field}[{index}] terms must be strings, got {term!r}")
+        try:
+            triples.append(Triple(head, relation, tail))
+        except ValueError as exc:
+            raise ProtocolError(f"{field}[{index}]: {exc}") from None
+    return triples
+
+
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
     """Read exactly ``count`` bytes; ``None`` on EOF *before* any byte.
 

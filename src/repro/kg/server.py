@@ -76,6 +76,7 @@ from repro.kg.protocol import (
     TAG_JSON,
     BinaryResponseEncoder,
     decode_json_body,
+    decode_wire_triples,
     encode_frame,
     encode_tagged_json,
     error_to_wire,
@@ -193,7 +194,11 @@ class KGServer:
     Parameters
     ----------
     store:
-        The store to serve (not mutated while serving).
+        The store to serve.  Mutations arrive only through the
+        ``add_many`` / ``remove_many`` / ``compact`` ops and serialize
+        through the owned service's dispatcher; a store opened from a
+        plain snapshot directory refuses them with a typed
+        :class:`~repro.errors.StorageError`.
     host / port:
         Bind address (IPv4 or IPv6 literal).  ``port=0`` picks an
         ephemeral port; read the actual one from :attr:`address`.
@@ -267,7 +272,12 @@ class KGServer:
 
     @classmethod
     def open(cls, directory: Union[str, Path], **kwargs) -> "KGServer":
-        """Open a saved store directory (mmap or sharded) and serve it."""
+        """Open a saved store directory and serve it.
+
+        Live directories (``live.json`` pointer) come up writable with
+        their WAL replayed; plain mmap/sharded snapshots come up
+        read-only for the write ops.
+        """
         return cls(TripleStore.open(directory), **kwargs)
 
     @property
@@ -795,4 +805,16 @@ class KGServer:
             self.service.close_cursor(_field(message, "cursor", str,
                                              "a string"))
             return None
+        if op == "add_many":
+            triples = decode_wire_triples(
+                _field(message, "triples", list, "an array"))
+            added = self.service.add_many(triples)
+            return {"added": added, "epoch": self.service.mutation_epoch}
+        if op == "remove_many":
+            triples = decode_wire_triples(
+                _field(message, "triples", list, "an array"))
+            removed = self.service.remove_many(triples)
+            return {"removed": removed, "epoch": self.service.mutation_epoch}
+        if op == "compact":
+            return {"generation": self.service.compact()}
         raise ProtocolError(f"unknown op {op!r}")

@@ -31,9 +31,24 @@ round-trip per request.
   unknown id, non-positive page) raises a typed
   :class:`~repro.errors.CursorError`.
 
+The service is also the store's **exclusive writer**: :meth:`add_many`
+/ :meth:`remove_many` / :meth:`compact` enqueue write requests that the
+same single dispatcher serves — writes serialize against each other and
+against reads with no extra locking, reads keep batching, and within
+one dispatch round every read observes the state *after* that round's
+writes.  Each acked write batch bumps a monotonically increasing
+``mutation_epoch`` (exposed in :attr:`stats`); on a live store
+(:meth:`TripleStore.create_live`) the batch is WAL-logged and fsync'd
+before its future resolves.  Writes against a store opened read-only
+from a plain snapshot directory raise a typed
+:class:`~repro.errors.StorageError` at submit time.  Open cursors keep
+paging the snapshot they materialized — a write never splices
+mixed-epoch rows into an existing cursor.
+
 Construction warms the backend up (attaches memmaps, folds any pending
 overlay) so steady-state dispatch never pays a consolidation.  The
-store must not be mutated while a service is running over it.
+store must not be mutated *around* a running service — all mutations go
+through the service's write surface.
 
 For multi-process deployments, every process opens the same (sharded)
 store directory via :func:`QueryService.open` — ``TripleStore.open``
@@ -53,7 +68,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import CursorError, QueryError
+from repro.errors import CursorError, QueryError, StorageError
 from repro.kg.backend import Pattern, supports_id_queries
 from repro.kg.executor import (Binding, IdBlock, ResultCursor,
                                execute_plans_cursors)
@@ -69,6 +84,12 @@ _CURSOR_QUERY = "cursor-query"   # pattern query -> cursor id
 _CURSOR_MATCH = "cursor-match"   # point lookup  -> cursor id
 _CURSOR_FETCH = "cursor-fetch"   # (cursor id, max_rows) -> (page, exhausted)
 _CURSOR_CLOSE = "cursor-close"   # cursor id -> None
+_ADD = "add"                     # List[Triple] -> newly-added count
+_REMOVE = "remove"               # List[Triple] -> removed count
+_COMPACT = "compact"             # crash_hook | None -> new generation
+
+#: Kinds the dispatcher serves before any read in the same batch.
+_WRITE_KINDS = frozenset((_ADD, _REMOVE, _COMPACT))
 
 #: Sentinel shoved down the queue to stop the dispatcher.
 _SHUTDOWN = object()
@@ -152,6 +173,9 @@ class QueryService:
         self.largest_batch = 0
         self.cursors_opened = 0
         self.cursors_expired = 0
+        # Monotonically increasing write clock: +1 per acked write batch.
+        self.mutation_epoch = 0
+        self.write_batches = 0
         self._warm_up()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="kg-query-service", daemon=True)
@@ -186,6 +210,9 @@ class QueryService:
             "cursors_expired": self.cursors_expired,
             "open_cursors": len(self._cursors),
             "max_batch": self.max_batch,
+            "mutation_epoch": self.mutation_epoch,
+            "write_batches": self.write_batches,
+            "writable": self.store.writable,
         }
 
     def _warm_up(self) -> None:
@@ -263,6 +290,65 @@ class QueryService:
         """Batched pattern counts (``None`` wildcards; one backend call)."""
         futures = [self.submit_count(pattern) for pattern in patterns]
         return [future.result() for future in futures]
+
+    # ------------------------------------------------------------------ #
+    # writes (the exclusive-writer surface)
+    # ------------------------------------------------------------------ #
+    def _checked_write(self, triples) -> List[Triple]:
+        """Validate a write batch up front, in the caller's thread.
+
+        Refusing read-only stores *here* means the typed
+        :class:`~repro.errors.StorageError` surfaces before anything is
+        enqueued or logged, and reaches remote clients as itself rather
+        than a generic wire error.
+        """
+        if not self.store.writable:
+            raise StorageError(
+                "store was opened read-only from a snapshot directory; "
+                "writes need a live store (TripleStore.create_live / a "
+                "live.json directory) or an in-memory store")
+        items = list(triples)
+        for item in items:
+            if not isinstance(item, Triple):
+                raise QueryError(
+                    f"write batches take Triple items, got "
+                    f"{type(item).__name__!s}")
+        return items
+
+    def submit_add(self, triples: Sequence[Triple]) -> "Future":
+        """Enqueue one add batch; future yields the newly-added count.
+
+        The batch is applied atomically with respect to every read the
+        service serves: a concurrent query sees none or all of it.  On
+        a live store the future resolves only after the batch's WAL
+        record is fsync'd.
+        """
+        return self._enqueue(_Request(_ADD, self._checked_write(triples),
+                                      True))
+
+    def add_many(self, triples: Sequence[Triple]) -> int:
+        """Durably add a batch of triples; returns the newly-added count."""
+        return self.submit_add(triples).result()
+
+    def submit_remove(self, triples: Sequence[Triple]) -> "Future":
+        """Enqueue one remove batch; future yields the removed count."""
+        return self._enqueue(_Request(_REMOVE, self._checked_write(triples),
+                                      True))
+
+    def remove_many(self, triples: Sequence[Triple]) -> int:
+        """Durably remove a batch of triples; returns the removed count."""
+        return self.submit_remove(triples).result()
+
+    def compact(self, *, crash_hook=None) -> int:
+        """Fold the live store's WAL into a new snapshot generation.
+
+        Serialized through the dispatcher like any write, so it never
+        races a mutation; returns the new generation.  Raises
+        :class:`~repro.errors.StorageError` when the store is not live.
+        ``crash_hook`` is the fault-injection hook of
+        :meth:`TripleStore.compact` (tests only).
+        """
+        return self._enqueue(_Request(_COMPACT, crash_hook, True)).result()
 
     # ------------------------------------------------------------------ #
     # cursors (paged results; remote clients stream through these)
@@ -353,8 +439,18 @@ class QueryService:
         self.requests_served += len(batch)
         self._evict_expired_cursors()
         by_kind: Dict[str, List[_Request]] = {}
+        writes: List[_Request] = []
         for request in batch:
-            by_kind.setdefault(request.kind, []).append(request)
+            if request.kind in _WRITE_KINDS:
+                writes.append(request)
+            else:
+                by_kind.setdefault(request.kind, []).append(request)
+        # Writes go first, in arrival order (add/remove of the same
+        # triple must not commute), so every read in this round
+        # observes one consistent post-write epoch — never a batch
+        # half-applied around it.
+        if writes:
+            self._serve_writes(writes)
         # Opens are served before fetches/closes so a pipelined client
         # that batches "open; fetch" into one round still works.
         queries = by_kind.get(_QUERY, []) + by_kind.get(_CURSOR_QUERY, [])
@@ -370,6 +466,32 @@ class QueryService:
             self._serve_cursor_fetch(request)
         for request in by_kind.get(_CURSOR_CLOSE, []):
             self._serve_cursor_close(request)
+
+    def _serve_writes(self, requests: List[_Request]) -> None:
+        """Apply write batches one by one, in arrival order.
+
+        Log-then-apply-then-ack: on a live store ``TripleStore`` fsyncs
+        the batch's WAL record before applying it, and the future (the
+        ack) resolves only after both — a batch whose ack was observed
+        is recoverable, a batch whose ack never arrived may or may not
+        be.
+        """
+        store = self.store
+        for request in requests:
+            try:
+                if request.kind == _ADD:
+                    result = store.add_many(request.payload)
+                elif request.kind == _REMOVE:
+                    result = store.remove_many(request.payload)
+                else:
+                    result = store.compact(crash_hook=request.payload)
+            except Exception as exc:
+                _resolve(request.future, exception=exc)
+                continue
+            if request.kind != _COMPACT:
+                self.mutation_epoch += 1
+                self.write_batches += 1
+            _resolve(request.future, result)
 
     def _serve_queries(self, requests: List[_Request]) -> None:
         # Group by reorder flag so each group plans in one batched call.

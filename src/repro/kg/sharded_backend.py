@@ -342,6 +342,27 @@ class ShardedBackend(_BatchedQueriesMixin):
         shard = self._route(head)
         return shard.discard(head, relation, tail) if shard is not None else False
 
+    def discard_many(self, triples: Iterable[Triple]) -> int:
+        """Bulk removal: group by owner shard, one pass per shard.
+
+        The WAL replay path folds remove runs through this; grouping
+        keeps each shard's overlay churn contiguous instead of
+        ping-ponging between shards triple by triple.
+        """
+        lookup = self.entity_interner.lookup
+        grouped: Dict[int, List[Triple]] = {}
+        for triple in triples:
+            head_id = lookup(triple.head)
+            if head_id is None:
+                continue
+            grouped.setdefault(self._shard_index(head_id), []).append(triple)
+        removed = 0
+        for shard_index, group in grouped.items():
+            discard = self._shards[shard_index].discard
+            removed += sum(1 for t in group
+                           if discard(t.head, t.relation, t.tail))
+        return removed
+
     # ------------------------------------------------------------------ #
     # queries
     # ------------------------------------------------------------------ #

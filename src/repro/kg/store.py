@@ -13,6 +13,14 @@ the original dict-of-set design for parity testing.
 ``match`` returns results in backend-defined (deterministic per process)
 order; pass ``sort=True`` when a deterministic sorted order is required.
 Insertion is idempotent: adding a duplicate triple is a no-op.
+
+Durability: a **live** store (:meth:`TripleStore.create_live`, or
+:meth:`TripleStore.open` on a directory with a ``live.json`` pointer)
+logs every mutation batch to an append-only, fsync'd write-ahead log
+(:mod:`repro.kg.wal`) before applying it, replays the log on open, and
+folds it into a fresh snapshot via :meth:`compact`.  Plain snapshot
+directories still open exactly as before, read-only through the
+service write path.
 """
 
 from __future__ import annotations
@@ -40,6 +48,12 @@ class TripleStore:
         else:
             self.backend_name = getattr(backend, "name", type(backend).__name__)
             self._backend = backend
+        # Live-store state: a WAL when opened/created live, a flag when
+        # opened read-only from a plain snapshot directory.
+        self._wal = None
+        self._live_directory: Optional[Path] = None
+        self._live_generation: Optional[int] = None
+        self._opened_snapshot = False
         self.add_many(triples)
 
     @property
@@ -51,20 +65,64 @@ class TripleStore:
     # mutation
     # ------------------------------------------------------------------ #
     def add(self, triple: Triple) -> bool:
-        """Add a triple; return True if it was new, False if already present."""
+        """Add a triple; return True if it was new, False if already present.
+
+        On a live store the triple is WAL-logged (fsync'd) *before* it
+        is applied, so a crash after ``add`` returns can never lose it.
+        """
+        if self._wal is not None:
+            from repro.kg.wal import OP_ADD
+
+            self._wal.append(
+                OP_ADD, ((triple.head, triple.relation, triple.tail),))
         return self._backend.add(triple.head, triple.relation, triple.tail)
 
     def add_many(self, triples: Iterable[Triple]) -> int:
         """Add many triples; return the count of newly inserted ones.
 
         Delegates to the backend's bulk path — the sharded backend
-        partitions the batch and loads shards in parallel.
+        partitions the batch and loads shards in parallel.  On a live
+        store the whole batch is one durable WAL record, logged before
+        any of it is applied: the batch is acked atomically or not at
+        all.
         """
-        return self._backend.add_many(triples)
+        if self._wal is None:
+            return self._backend.add_many(triples)
+        from repro.kg.wal import OP_ADD
+
+        items = list(triples)
+        if not items:
+            return 0
+        self._wal.append(OP_ADD, [(t.head, t.relation, t.tail)
+                                  for t in items])
+        return self._backend.add_many(items)
 
     def discard(self, triple: Triple) -> bool:
         """Remove a triple if present; return True when something was removed."""
+        if self._wal is not None:
+            from repro.kg.wal import OP_REMOVE
+
+            self._wal.append(
+                OP_REMOVE, ((triple.head, triple.relation, triple.tail),))
         return self._backend.discard(triple.head, triple.relation, triple.tail)
+
+    def remove_many(self, triples: Iterable[Triple]) -> int:
+        """Remove many triples; return the count that were present.
+
+        The removal counterpart of :meth:`add_many`: one backend bulk
+        call, and on a live store one durable WAL record for the whole
+        batch.
+        """
+        if self._wal is None:
+            return self._backend.discard_many(triples)
+        from repro.kg.wal import OP_REMOVE
+
+        items = list(triples)
+        if not items:
+            return 0
+        self._wal.append(OP_REMOVE, [(t.head, t.relation, t.tail)
+                                     for t in items])
+        return self._backend.discard_many(items)
 
     # ------------------------------------------------------------------ #
     # queries
@@ -183,19 +241,211 @@ class TripleStore:
         return backend.save(directory)
 
     @classmethod
-    def open(cls, directory: "str | Path") -> "TripleStore":
-        """Open a store directory written by :meth:`save`.
+    def open(cls, directory: "str | Path", *,
+             wal_fsync: bool = True) -> "TripleStore":
+        """Open a store directory written by :meth:`save` or :meth:`save_live`.
 
-        Dispatches on the header magic: sharded directories reopen as a
+        A **live** directory (one carrying a ``live.json`` generation
+        pointer) reopens writable: the current snapshot is opened and
+        the WAL's intact record prefix is replayed over it, recovering
+        exactly the durably-acked batches; a torn tail from a crash is
+        truncated.  Plain snapshot directories open read-only through
+        the service write path (:attr:`writable` is False) and dispatch
+        on the header magic: sharded directories reopen as a
         :class:`~repro.kg.sharded_backend.ShardedBackend`, single-store
         directories as an :class:`~repro.kg.mmap_backend.MmapBackend`.
+        ``wal_fsync=False`` trades the per-ack fsync away (benchmarks).
         """
+        from repro.kg.wal import is_live_store
+
+        directory = Path(directory)
+        if is_live_store(directory):
+            return cls._open_live(directory, wal_fsync=wal_fsync)
+        store = cls(backend=cls._open_backend(directory))
+        store._opened_snapshot = True
+        return store
+
+    @staticmethod
+    def _open_backend(directory: "str | Path") -> GraphBackend:
+        """Open one snapshot directory, dispatching on its header magic."""
         from repro.kg.mmap_backend import MmapBackend, peek_store_magic
         from repro.kg.sharded_backend import SHARDED_MAGIC, ShardedBackend
 
         if peek_store_magic(directory) == SHARDED_MAGIC:
-            return cls(backend=ShardedBackend.open(directory))
-        return cls(backend=MmapBackend.open(directory))
+            return ShardedBackend.open(directory)
+        return MmapBackend.open(directory)
+
+    @classmethod
+    def _open_live(cls, directory: Path, *,
+                   wal_fsync: bool = True) -> "TripleStore":
+        """Open a live directory: snapshot + exact WAL-prefix replay."""
+        from repro.errors import StorageError
+        from repro.kg.wal import (OP_ADD, WriteAheadLog, coalesced_ops,
+                                  read_live_pointer, snapshot_dir_name,
+                                  wal_file_name)
+
+        generation = read_live_pointer(directory)
+        snapshot = directory / snapshot_dir_name(generation)
+        if not snapshot.is_dir():
+            raise StorageError(
+                f"live store {directory} points at generation {generation} "
+                f"but {snapshot.name}/ is missing")
+        backend = cls._open_backend(snapshot)
+        wal, scan = WriteAheadLog.open(directory / wal_file_name(generation),
+                                       fsync=wal_fsync)
+        if scan.generation != generation:
+            wal.close()
+            raise StorageError(
+                f"WAL {wal.path.name} carries generation {scan.generation}, "
+                f"live pointer says {generation} — refusing to replay a "
+                f"log over the wrong snapshot")
+        # Replay preserves add/remove interleaving but folds maximal
+        # same-op runs into one bulk call each.
+        for op, rows in coalesced_ops(scan.batches):
+            triples = [Triple.unchecked(h, r, t) for h, r, t in rows]
+            if op == OP_ADD:
+                backend.add_many(triples)
+            else:
+                backend.discard_many(triples)
+        store = cls(backend=backend)
+        store._wal = wal
+        store._live_directory = directory
+        store._live_generation = generation
+        return store
+
+    # ------------------------------------------------------------------ #
+    # live stores (durable write path)
+    # ------------------------------------------------------------------ #
+    @property
+    def writable(self) -> bool:
+        """False when opened read-only from a plain snapshot directory.
+
+        The :class:`~repro.kg.service.QueryService` write path refuses
+        writes on non-writable stores with a typed
+        :class:`~repro.errors.StorageError`.  In-memory stores are
+        writable (not durable); live stores are writable and durable.
+        """
+        return self._wal is not None or not self._opened_snapshot
+
+    @property
+    def wal(self):
+        """The attached :class:`~repro.kg.wal.WriteAheadLog` (live stores)."""
+        return self._wal
+
+    @property
+    def live_generation(self) -> Optional[int]:
+        """The current (snapshot, WAL) generation of a live store."""
+        return self._live_generation
+
+    def save_live(self, directory: "str | Path", *,
+                  fsync: bool = True) -> "Path":
+        """Write this store's content as a generation-0 live layout.
+
+        Creates ``snap-000000/`` (via :meth:`save`), an empty
+        ``wal-000000.log`` and the ``live.json`` pointer.  Reopen with
+        :meth:`open` to get the writable store; :meth:`create_live`
+        does both in one call.
+        """
+        from repro.errors import StorageError
+        from repro.kg.wal import (WriteAheadLog, is_live_store,
+                                  snapshot_dir_name, wal_file_name,
+                                  write_live_pointer)
+
+        directory = Path(directory)
+        if is_live_store(directory):
+            raise StorageError(
+                f"{directory} is already a live store; open it instead of "
+                f"overwriting its generations")
+        directory.mkdir(parents=True, exist_ok=True)
+        self.save(directory / snapshot_dir_name(0))
+        WriteAheadLog.create(directory / wal_file_name(0), generation=0,
+                             fsync=fsync).close()
+        write_live_pointer(directory, 0, fsync=fsync)
+        return directory
+
+    @classmethod
+    def create_live(cls, directory: "str | Path",
+                    triples: Iterable[Triple] = (), *,
+                    backend: Union[str, GraphBackend] = DEFAULT_BACKEND,
+                    wal_fsync: bool = True) -> "TripleStore":
+        """Create a live store directory and return it opened writable."""
+        cls(triples, backend=backend).save_live(
+            Path(directory), fsync=wal_fsync)
+        return cls.open(directory, wal_fsync=wal_fsync)
+
+    def compact(self, *, crash_hook=None) -> int:
+        """Fold the WAL into a fresh snapshot generation; returns it.
+
+        The compaction state machine, in commit order:
+
+        1. save the current state as ``snap-(G+1)/``;
+        2. create an empty, fsync'd ``wal-(G+1).log``;
+        3. atomically rewrite ``live.json`` to generation G+1 — the
+           commit point — and switch this store's WAL to the new log;
+        4. sweep the generation-G files (best-effort cleanup).
+
+        A crash before step 3 leaves the pointer on (snap-G, wal-G):
+        nothing acked is lost, the half-written next generation is
+        overwritten by the next compaction.  A crash after step 3 serves
+        (snap-(G+1), empty wal): nothing is double-applied.  The
+        test-only ``crash_hook(stage)`` is invoked at the ``"snapshot"``,
+        ``"wal"`` and ``"commit"`` stage boundaries; raising from it
+        simulates a kill there.
+        """
+        from repro.errors import StorageError
+        from repro.kg.wal import (WriteAheadLog, snapshot_dir_name,
+                                  wal_file_name, write_live_pointer)
+
+        if self._wal is None or self._live_directory is None:
+            raise StorageError(
+                "compact() requires a live store — open a live directory "
+                "or use TripleStore.create_live")
+        hook = crash_hook if crash_hook is not None else (lambda stage: None)
+        directory = self._live_directory
+        new_generation = self._live_generation + 1
+        self.save(directory / snapshot_dir_name(new_generation))
+        hook("snapshot")
+        new_wal = WriteAheadLog.create(
+            directory / wal_file_name(new_generation),
+            generation=new_generation, fsync=self._wal.fsync)
+        try:
+            hook("wal")
+            write_live_pointer(directory, new_generation,
+                               fsync=self._wal.fsync)
+        except BaseException:
+            new_wal.close()
+            raise
+        old_wal = self._wal
+        self._wal = new_wal
+        self._live_generation = new_generation
+        old_wal.close()
+        hook("commit")
+        self._sweep_stale_generations()
+        return new_generation
+
+    def _sweep_stale_generations(self) -> None:
+        """Delete snapshot/WAL files of non-current generations."""
+        import shutil
+
+        from repro.kg.wal import snapshot_dir_name, wal_file_name
+
+        keep = {snapshot_dir_name(self._live_generation),
+                wal_file_name(self._live_generation)}
+        for path in self._live_directory.iterdir():
+            if path.name in keep:
+                continue
+            if path.name.startswith("snap-") and path.is_dir():
+                shutil.rmtree(path, ignore_errors=True)
+            elif path.name.startswith("wal-") and path.is_file():
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - best-effort cleanup
+                    pass
+
+    def close(self) -> None:
+        """Release the WAL file handle of a live store (idempotent)."""
+        if self._wal is not None:
+            self._wal.close()
 
     def copy(self) -> "TripleStore":
         """Return an independent, fully writable copy of the store.

@@ -37,7 +37,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.errors import CursorError, ProtocolError, QueryError
+from repro.errors import CursorError, ProtocolError, QueryError, StorageError
 from repro.kg.client import (
     RemoteClient,
     RemoteCursor,
@@ -847,3 +847,190 @@ def test_match_many_blocks_parity(server, server_codec, store):
             assert blocks == [
                 [[t.head, t.relation, t.tail] for t in rows]
                 for rows in local]
+
+
+# --------------------------------------------------------------------------- #
+# live write path over the wire: remote mutations, epochs, snapshot cursors
+# --------------------------------------------------------------------------- #
+@pytest.fixture
+def writable_server(server_codec):
+    """A function-scoped writable in-memory server (the module-scoped
+    ``server``/``sharded_server`` fixtures are shared and must never be
+    mutated)."""
+    writable = TripleStore(triples_from_tuples(_rows()))
+    with KGServer(writable, port=0, codec=server_codec).start() as running:
+        yield running
+
+
+def test_remote_writes_mirror_local_api(writable_server):
+    rows = triples_from_tuples([("w:0", "wrote", "w:1"),
+                                ("w:1", "wrote", "w:2")])
+    with RemoteStore(writable_server.url) as remote:
+        before = len(remote)
+        assert remote.add_many(rows) == 2
+        assert remote.add_many(rows) == 0  # idempotent re-add
+        assert len(remote) == before + 2
+        assert remote.match(None, "wrote", None, sort=True) == sorted(rows)
+        assert remote.remove_many(rows[:1]) == 1
+        assert remote.remove_many(rows[:1]) == 0
+        assert len(remote) == before + 1
+        stats = remote.client.stats()
+        assert stats["service"]["mutation_epoch"] == 4
+        assert stats["service"]["writable"] is True
+
+
+def test_remote_write_batch_is_validated_before_enqueue(writable_server):
+    """A malformed row anywhere in the batch rejects the WHOLE batch
+    before anything is enqueued or WAL-logged."""
+    with RemoteStore(writable_server.url) as remote:
+        before = len(remote)
+        with pytest.raises(ProtocolError, match=r"triples\[1\]"):
+            remote.client.call("add_many",
+                               triples=[["a", "rel", "b"], ["a", "rel"]])
+        with pytest.raises(ProtocolError, match=r"triples\[0\]"):
+            remote.client.call("add_many", triples=[["a", "rel", 7]])
+        with pytest.raises(ProtocolError, match="array"):
+            remote.client.call("remove_many", triples="nope")
+        # Nothing from the rejected batches was applied.
+        assert len(remote) == before
+        assert remote.count("a", "rel", "b") == 0
+
+
+def test_remote_writes_durable_through_wal(tmp_path, server_codec):
+    directory = tmp_path / "live"
+    TripleStore.create_live(directory, triples_from_tuples(_rows())).close()
+    added = triples_from_tuples([("net:0", "sentVia", "wire"),
+                                 ("net:1", "sentVia", "wire")])
+    with KGServer.open(directory, port=0, codec=server_codec) as running:
+        running.start()
+        with RemoteStore(running.url) as remote:
+            assert remote.add_many(added) == 2
+            assert remote.remove_many(
+                triples_from_tuples([("net:0", "sentVia", "wire")])) == 1
+    # Durability: a fresh process (= a fresh open) replays the WAL.
+    reopened = TripleStore.open(directory)
+    try:
+        assert reopened.count(None, "sentVia", None) == 1
+        assert reopened.match("net:1", None, None)
+    finally:
+        reopened.close()
+
+
+def test_remote_compact_over_the_wire(tmp_path, server_codec):
+    directory = tmp_path / "live"
+    TripleStore.create_live(directory, triples_from_tuples(_rows())).close()
+    with KGServer.open(directory, port=0, codec=server_codec) as running:
+        running.start()
+        with RemoteStore(running.url) as remote:
+            remote.add_many(triples_from_tuples([("c:0", "folded", "c:1")]))
+            epoch_before = remote.client.stats()["service"]["mutation_epoch"]
+            assert remote.compact() == 1
+            # compact is not a mutation: the epoch must not move.
+            assert remote.client.stats()["service"]["mutation_epoch"] \
+                == epoch_before
+            remote.add_many(triples_from_tuples([("c:1", "folded", "c:2")]))
+    reopened = TripleStore.open(directory)
+    try:
+        assert reopened.live_generation == 1
+        assert reopened.count(None, "folded", None) == 2
+    finally:
+        reopened.close()
+
+
+def test_concurrent_remote_writers_and_readers(writable_server):
+    """Interleaved remote writers and readers (both codecs): every read
+    sees whole batches only, and observed epochs are monotone."""
+    batch_size = 4
+    violations: list = []
+    epochs: list = []
+    stop = threading.Event()
+
+    def writer(worker: int) -> None:
+        try:
+            with RemoteStore(writable_server.url) as remote:
+                for index in range(12):
+                    remote.add_many(triples_from_tuples(
+                        [(f"wr{worker}:{index}:{i}", "inBatch",
+                          f"batch:{worker}:{index}") for i in range(batch_size)]))
+        except BaseException as exc:  # pragma: no cover
+            violations.append(repr(exc))
+
+    def reader() -> None:
+        try:
+            with RemoteStore(writable_server.url) as remote, \
+                    RemoteClient(writable_server.url) as control:
+                last_epoch = -1
+                while not stop.is_set():
+                    epoch = control.stats()["service"]["mutation_epoch"]
+                    if epoch < last_epoch:
+                        violations.append(
+                            f"epoch went backwards: {last_epoch}->{epoch}")
+                    last_epoch = epoch
+                    counts: dict = {}
+                    for triple in remote.match(None, "inBatch", None):
+                        counts[triple.tail] = counts.get(triple.tail, 0) + 1
+                    for marker, count in counts.items():
+                        if count != batch_size:
+                            violations.append(
+                                f"torn batch {marker}: {count} rows")
+                epochs.append(last_epoch)
+        except BaseException as exc:  # pragma: no cover
+            violations.append(repr(exc))
+
+    readers = [threading.Thread(target=reader) for _ in range(2)]
+    writers = [threading.Thread(target=writer, args=(worker,))
+               for worker in range(3)]
+    for thread in readers + writers:
+        thread.start()
+    for thread in writers:
+        thread.join()
+    stop.set()
+    for thread in readers:
+        thread.join()
+    assert not violations
+    with RemoteStore(writable_server.url) as remote:
+        assert remote.count(None, "inBatch", None) == 3 * 12 * batch_size
+
+
+def test_open_cursor_pages_its_snapshot_across_writes(writable_server):
+    """A cursor opened before a write keeps paging the rows it matched
+    at open time — never a mixed-epoch page."""
+    query = PatternQuery.from_patterns([("?p", "brandIs", "?b")])
+    binding_key = lambda binding: sorted(binding.items())
+    with RemoteQueryEngine(writable_server.url) as engine, \
+            RemoteStore(writable_server.url) as remote:
+        local_before = sorted(engine.execute(query), key=binding_key)
+        cursor = engine.cursor(query, page_size=5)
+        first_page = cursor.fetch()
+        # Mutate rows the cursor's query matches, both directions.
+        remote.add_many(triples_from_tuples(
+            [(f"late:{i}", "brandIs", "brand:late") for i in range(8)]))
+        remote.remove_many(triples_from_tuples(
+            [("product:0001", "brandIs", "brand:1")]))
+        rows = list(first_page) + _drain(cursor)
+        assert sorted(rows, key=binding_key) == local_before
+        # A fresh execute sees the new epoch: 8 rows in, 1 row out.
+        assert len(engine.execute(query)) == len(local_before) + 8 - 1
+
+
+def test_readonly_snapshot_server_raises_typed_storage_error(
+        tmp_path, server_codec):
+    """Regression (satellite): write ops against a server that opened a
+    plain snapshot surface ``StorageError`` — the typed class, not a
+    generic wire error — and the connection survives."""
+    directory = tmp_path / "snapshot"
+    TripleStore(triples_from_tuples(_rows())).save(directory)
+    with KGServer.open(directory, port=0, codec=server_codec) as running:
+        running.start()
+        with RemoteStore(running.url) as remote:
+            assert remote.client.stats()["service"]["writable"] is False
+            rows = triples_from_tuples([("x", "y", "z")])
+            with pytest.raises(StorageError, match="read-only"):
+                remote.add_many(rows)
+            with pytest.raises(StorageError, match="read-only"):
+                remote.remove_many(rows)
+            with pytest.raises(StorageError, match="live store"):
+                remote.compact()
+            # The connection is not poisoned and reads still work.
+            assert remote.count(None, "brandIs", None) == NUM_PRODUCTS
+        _assert_serviceable(running)
