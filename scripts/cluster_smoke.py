@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""End-to-end cluster smoke test over real processes (CI `cluster-smoke` job).
+
+Boots the full multi-node topology the way an operator would — every
+box a separate OS process talking TCP on loopback:
+
+* 2 shard servers   (``repro serve --shard-of K/2`` over ``repro
+  shard-split`` output),
+* 1 WAL-following replica of shard 0 (``--follow``),
+* 1 coordinator     (``repro cluster``),
+
+then drives join and point-lookup workloads through the coordinator
+with the ordinary remote client and checks the answers against an
+in-process ``ShardedBackend(2)`` oracle (a cluster of N must be
+bit-identical to it).  Finally it kills the shard-0 leader and reruns
+the point lookups: with the replica alive every read must still
+succeed (``failures == 0``, ``reroutes > 0`` in the coordinator's
+cluster stats).
+
+Run from the repo root::
+
+    python scripts/cluster_smoke.py
+
+Exit code 0 when every check passes, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import traceback
+from pathlib import Path
+from typing import List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.kg.client import RemoteClient, RemoteQueryEngine, RemoteStore  # noqa: E402
+from repro.kg.query import PatternQuery, QueryEngine  # noqa: E402
+from repro.kg.routing import shard_of_id  # noqa: E402
+from repro.kg.sharded_backend import ShardedBackend  # noqa: E402
+from repro.kg.store import TripleStore  # noqa: E402
+from repro.kg.triple import triples_from_tuples  # noqa: E402
+
+N_SHARDS = 2
+NUM_PRODUCTS = 800
+NUM_BRANDS = 12
+
+
+def _workload_rows() -> List[Tuple[str, str, str]]:
+    rows: List[Tuple[str, str, str]] = []
+    for index in range(NUM_PRODUCTS):
+        product = f"product:{index:04d}"
+        rows.append((product, "brandIs", f"brand:{index % NUM_BRANDS}"))
+        rows.append((product, "rdf:type", f"category:{index % 9}"))
+    for brand in range(NUM_BRANDS):
+        rows.append((f"brand:{brand}", "headquartersIn",
+                     f"country:{brand % 3}"))
+    return rows
+
+
+def _boot(argv: List[str], what: str) -> Tuple[subprocess.Popen, str]:
+    """Start a repro.cli subprocess; return (proc, bound host:port)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *argv],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(REPO_ROOT))
+    line = proc.stdout.readline()
+    if " on " not in line:
+        proc.terminate()
+        raise AssertionError(
+            f"{what} failed to start: {line!r} {proc.stdout.read()!r}")
+    url = line.split(" on ", 1)[1].split()[0].rstrip(",")
+    print(f"  booted {what}: pid {proc.pid} on {url} — {line.strip()}")
+    return proc, url
+
+
+def main() -> int:
+    rows = _workload_rows()
+    oracle_store = TripleStore(triples_from_tuples(rows),
+                               backend=ShardedBackend(N_SHARDS))
+    oracle = QueryEngine(oracle_store)
+
+    joins = [PatternQuery.from_patterns(
+        [("?p", "rdf:type", f"category:{index}"),
+         ("?p", "brandIs", "?b"),
+         ("?b", "headquartersIn", "?c")]) for index in range(9)]
+    lookups = [(f"product:{(index * 13) % NUM_PRODUCTS:04d}", None, None)
+               for index in range(200)]
+    interner = oracle_store.backend.entity_interner
+    shard0_heads = [f"product:{index:04d}" for index in range(NUM_PRODUCTS)
+                    if shard_of_id(interner.lookup(f"product:{index:04d}"),
+                                   N_SHARDS) == 0][:50]
+
+    tmp = Path(tempfile.mkdtemp(prefix="cluster-smoke-"))
+    procs: List[subprocess.Popen] = []
+    failures = 0
+    try:
+        source_dir = tmp / "source"
+        oracle_store.save(source_dir)
+        split_dir = tmp / "cluster"
+        subprocess.run(
+            [sys.executable, "-m", "repro.cli", "shard-split",
+             "--store-dir", str(source_dir), "--shards", str(N_SHARDS),
+             "--out", str(split_dir)],
+            check=True, env={**os.environ,
+                             "PYTHONPATH": str(REPO_ROOT / "src")},
+            cwd=str(REPO_ROOT))
+        replica_dir = tmp / "shard-0-replica"
+        shutil.copytree(split_dir / "shard-0", replica_dir)
+
+        shard_urls = []
+        for index in range(N_SHARDS):
+            proc, url = _boot(
+                ["serve", "--store-dir", str(split_dir / f"shard-{index}"),
+                 "--port", "0", "--shard-of", f"{index}/{N_SHARDS}"],
+                f"shard server {index}")
+            procs.append(proc)
+            shard_urls.append(url)
+        leader0 = procs[0]
+
+        replica_proc, replica_url = _boot(
+            ["serve", "--store-dir", str(replica_dir), "--port", "0",
+             "--shard-of", f"0/{N_SHARDS}", "--follow", shard_urls[0]],
+            "replica of shard 0")
+        procs.append(replica_proc)
+
+        coordinator, coord_url = _boot(
+            ["cluster", "--store-dir", str(split_dir),
+             "--shards", ",".join(shard_urls),
+             "--replica", f"0={replica_url}", "--port", "0"],
+            "coordinator")
+        procs.append(coordinator)
+
+        def check(label: str, ok: bool, detail: str = "") -> None:
+            nonlocal failures
+            print(f"  {'PASS' if ok else 'FAIL'}: {label}"
+                  + (f" — {detail}" if detail and not ok else ""))
+            failures += 0 if ok else 1
+
+        engine = RemoteQueryEngine(coord_url)
+        remote = RemoteStore(coord_url)
+
+        got_joins = engine.execute_many(joins)
+        want_joins = oracle.execute_many(joins)
+        check("batched joins bit-identical to ShardedBackend(2)",
+              got_joins == want_joins,
+              f"{sum(map(len, got_joins))} vs {sum(map(len, want_joins))} rows")
+
+        got_lookups = remote.match_many(lookups)
+        want_lookups = oracle_store.match_many(lookups)
+        check("point lookups bit-identical", got_lookups == want_lookups)
+
+        stats = RemoteClient(coord_url).call("stats")
+        cluster = stats.get("cluster", {})
+        totals = cluster.get("totals", {})
+        check("coordinator reports cluster stats",
+              cluster.get("n_shards") == N_SHARDS
+              and totals.get("requests", 0) > 0
+              and totals.get("failures", 1) == 0,
+              repr(cluster)[:200])
+
+        print(f"  killing shard-0 leader (pid {leader0.pid}) mid-workload")
+        leader0.kill()
+        leader0.wait(timeout=10)
+
+        rerouted = remote.match_many(
+            [(head, "brandIs", None) for head in shard0_heads])
+        expected = oracle_store.match_many(
+            [(head, "brandIs", None) for head in shard0_heads])
+        check("shard-0 reads survive leader kill via replica",
+              rerouted == expected)
+
+        stats = RemoteClient(coord_url).call("stats")
+        totals = stats.get("cluster", {}).get("totals", {})
+        check("zero failed reads, rerouting observed",
+              totals.get("failures", 1) == 0
+              and totals.get("reroutes", 0) > 0,
+              repr(totals))
+
+        print(f"cluster smoke: {'OK' if failures == 0 else 'FAILED'} "
+              f"({failures} failing checks)")
+        return 1 if failures else 0
+    finally:
+        for proc in procs:
+            proc.terminate()
+        for proc in procs:
+            try:
+                proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except AssertionError:
+        traceback.print_exc()
+        raise SystemExit(1)

@@ -7,6 +7,12 @@ Seven subcommands cover the everyday workflows::
     python -m repro.cli --products 300 benchmark  --out ./openbg_out
     python -m repro.cli --products 300 linkpred   --model TransE --epochs 25
     python -m repro.cli serve --store-dir ./store --port 7468
+    python -m repro.cli shard-split --store-dir ./store --shards 4 --out ./cl
+    python -m repro.cli serve --store-dir ./cl/shard-0 --shard-of 0/4
+    python -m repro.cli serve --store-dir ./shard-0-copy --shard-of 0/4 \\
+        --follow 127.0.0.1:7469
+    python -m repro.cli cluster --store-dir ./cl \\
+        --shards 127.0.0.1:7469,127.0.0.1:7470 --replica 0=127.0.0.1:7480
     python -m repro.cli query --store-dir ./store \\
         --pattern "?p brandIs brand:0" --pattern "?p placeOfOrigin ?where" \\
         --select ?p ?where
@@ -18,7 +24,13 @@ Seven subcommands cover the everyday workflows::
 saves the OpenBG-IMG / 500 / 500-L analogues, ``linkpred`` trains one
 embedding model on the OpenBG500 analogue and prints its filtered
 metrics, ``serve`` opens a saved store directory and serves the network
-query protocol on a TCP port, ``query`` evaluates a conjunctive
+query protocol on a TCP port (``--shard-of K/N`` labels it one shard of
+a cluster; ``--follow HOST:PORT`` makes it a read-only replica replaying
+that leader's WAL), ``shard-split`` cuts a saved store into N per-shard
+live store directories routed by the hash partitioner, ``cluster``
+serves a coordinator that fans queries out to running shard servers
+(reads round-robin leader+replicas with failover, writes go to
+leaders), ``query`` evaluates a conjunctive
 triple-pattern query — against a local store directory (``--store-dir``,
 mmap or sharded layout, no rebuild) or a running server (``--url``,
 results streamed in pages through a server-side cursor) — printing
@@ -126,6 +138,67 @@ def build_parser() -> argparse.ArgumentParser:
                             "deltas) when the backend supports it; json "
                             "pins every connection to the JSON codec "
                             "(default auto)")
+    serve.add_argument("--shard-of", default=None, metavar="K/N",
+                       help="label this server shard K of an N-shard "
+                            "cluster (advertised through the role op and "
+                            "sanity-checked by coordinators)")
+    serve.add_argument("--follow", default=None, metavar="HOST:PORT",
+                       help="run as a read-only replica of the given "
+                            "leader, continuously replaying its WAL via "
+                            "the wal_tail op (requires a live store "
+                            "directory bootstrapped from a copy of the "
+                            "leader's)")
+
+    split = subparsers.add_parser(
+        "shard-split",
+        help="split a saved store into N per-shard live store "
+             "directories (plus coordinator metadata)")
+    split.add_argument("--store-dir", type=Path, dest="store_dir",
+                       default=argparse.SUPPRESS,
+                       help="source store directory (mmap or sharded "
+                            "layout, or a live store)")
+    split.add_argument("--shards", type=int, default=argparse.SUPPRESS,
+                       help="number of shard directories to produce "
+                            f"(default {DEFAULT_SHARDS})")
+    split.add_argument("--out", type=Path, required=True,
+                       help="output directory: gains shard-0/..shard-N-1/ "
+                            "live stores plus cluster.json and the global "
+                            "interner tables for the coordinator")
+
+    cluster = subparsers.add_parser(
+        "cluster",
+        help="serve a coordinator that fans queries out to running "
+             "shard servers")
+    cluster.add_argument("--store-dir", type=Path, dest="store_dir",
+                         default=argparse.SUPPRESS,
+                         help="shard-split output directory; the "
+                              "coordinator loads its global interner "
+                              "tables (and the expected shard count) "
+                              "from it")
+    cluster.add_argument("--shards", dest="shard_urls", required=True,
+                         metavar="HOST:PORT,...",
+                         help="comma-separated leader address of every "
+                              "shard, in shard order")
+    cluster.add_argument("--replica", action="append", default=[],
+                         metavar="K=HOST:PORT",
+                         help="register a replica for shard K (repeat "
+                              "for more; reads round-robin over leader "
+                              "and replicas with failover)")
+    cluster.add_argument("--host", default="127.0.0.1",
+                         help="address to bind (default 127.0.0.1)")
+    cluster.add_argument("--port", type=int, default=None,
+                         help="TCP port to bind (default 7468; 0 picks "
+                              "an ephemeral port, printed on startup)")
+    cluster.add_argument("--max-batch", type=int, default=256,
+                         help="max requests one service dispatch round "
+                              "coalesces (default 256)")
+    cluster.add_argument("--cursor-ttl", type=float, default=300.0,
+                         help="seconds an idle server-side cursor "
+                              "survives before eviction (default 300)")
+    cluster.add_argument("--codec", choices=("auto", "json"),
+                         default="auto",
+                         help="wire codec policy towards clients "
+                              "(default auto)")
 
     compact = subparsers.add_parser(
         "compact",
@@ -238,6 +311,21 @@ def _command_linkpred(result: ConstructionResult, seed: int, model_name: str,
     return 0
 
 
+def _parse_shard_of(value: Optional[str]):
+    """``"K/N"`` -> ``(K, N)``; ``None`` passes through."""
+    if value is None:
+        return (None, None)
+    parts = value.split("/")
+    try:
+        shard_index, n_shards = (int(part) for part in parts)
+    except ValueError:
+        shard_index = n_shards = None
+    if len(parts) != 2 or shard_index is None:
+        raise ValueError(
+            f"--shard-of wants K/N (e.g. 0/4), got {value!r}")
+    return (shard_index, n_shards)
+
+
 def _command_serve(args) -> int:
     """Open a saved store directory and serve the TCP query protocol."""
     import sys
@@ -248,23 +336,115 @@ def _command_serve(args) -> int:
     try:
         if args.store_dir is None:
             raise ValueError("serve requires --store-dir")
+        shard_index, n_shards = _parse_shard_of(args.shard_of)
         port = DEFAULT_PORT if args.port is None else args.port
         server = KGServer.open(args.store_dir, host=args.host, port=port,
                                max_batch=args.max_batch,
                                cursor_ttl=args.cursor_ttl,
-                               codec=args.codec)
+                               codec=args.codec,
+                               shard_index=shard_index, n_shards=n_shards,
+                               follow=args.follow)
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr, flush=True)
         return 2
     with server:
         host, bound_port = server.address
         store = server.service.store
+        shard_label = "" if shard_index is None \
+            else f" as shard {shard_index}/{n_shards}"
+        role_label = "" if args.follow is None \
+            else f", replica of {args.follow}"
         print(f"serving {len(store)} triples ({store.backend_name} backend) "
-              f"on {host}:{bound_port}", flush=True)
+              f"on {host}:{bound_port}{shard_label}{role_label}", flush=True)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
             print("shutting down", flush=True)
+    return 0
+
+
+def _command_shard_split(args) -> int:
+    """Split a saved store into per-shard live store directories."""
+    import sys
+
+    from repro.errors import ReproError
+    from repro.kg.cluster import shard_split
+
+    try:
+        if args.store_dir is None:
+            raise ValueError("shard-split requires --store-dir")
+        shard_dirs = shard_split(args.store_dir, args.shards, args.out)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 2
+    print(f"split {args.store_dir} into {len(shard_dirs)} live shard "
+          f"stores under {args.out}:", flush=True)
+    for index, shard_dir in enumerate(shard_dirs):
+        print(f"  shard {index}: {shard_dir}", flush=True)
+    print(f"start each with `repro serve --store-dir DIR "
+          f"--shard-of K/{len(shard_dirs)}`, then a coordinator with "
+          f"`repro cluster --store-dir {args.out} "
+          f"--shards HOST:PORT,...`", flush=True)
+    return 0
+
+
+def _parse_replica_map(entries: Sequence[str], n_shards: int):
+    """``["0=host:port", ...]`` -> ``{0: ["host:port", ...], ...}``."""
+    replicas: dict = {}
+    for entry in entries:
+        index_text, separator, address = entry.partition("=")
+        try:
+            index = int(index_text)
+        except ValueError:
+            index = -1
+        if not separator or not address or not 0 <= index < n_shards:
+            raise ValueError(
+                f"--replica wants K=HOST:PORT with K in 0..{n_shards - 1}, "
+                f"got {entry!r}")
+        replicas.setdefault(index, []).append(address)
+    return replicas
+
+
+def _command_cluster(args) -> int:
+    """Serve a coordinator over running shard servers."""
+    import sys
+
+    from repro.errors import ReproError
+    from repro.kg.cluster import ClusterBackend
+    from repro.kg.server import DEFAULT_PORT, KGServer
+    from repro.kg.store import TripleStore
+
+    try:
+        if args.store_dir is None:
+            raise ValueError(
+                "cluster requires --store-dir (the shard-split output "
+                "carrying the coordinator's interner tables)")
+        shard_urls = [url.strip() for url in args.shard_urls.split(",")
+                      if url.strip()]
+        if not shard_urls:
+            raise ValueError("--shards needs at least one HOST:PORT")
+        replicas = _parse_replica_map(args.replica, len(shard_urls))
+        backend = ClusterBackend.open(args.store_dir, shard_urls,
+                                      replicas=replicas)
+        port = DEFAULT_PORT if args.port is None else args.port
+        server = KGServer(TripleStore(backend=backend), host=args.host,
+                          port=port, max_batch=args.max_batch,
+                          cursor_ttl=args.cursor_ttl, codec=args.codec)
+    except (ReproError, ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr, flush=True)
+        return 2
+    with server:
+        host, bound_port = server.address
+        replica_count = sum(len(urls) for urls in replicas.values())
+        print(f"coordinating {len(shard_urls)} shard servers "
+              f"({replica_count} replicas, {len(server.service.store)} "
+              f"triples) on {host}:{bound_port}", flush=True)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            print("shutting down", flush=True)
+        finally:
+            backend.close()
     return 0
 
 
@@ -365,6 +545,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _command_serve(args)
+    if args.command == "shard-split":
+        return _command_shard_split(args)
+    if args.command == "cluster":
+        return _command_cluster(args)
     if args.command == "query":
         return _command_query(args)
     if args.command == "compact":

@@ -48,6 +48,19 @@ class ProtocolError(ReproError):
     response that does not match its request."""
 
 
+class ShardUnavailableError(ProtocolError):
+    """Raised when a cluster shard (leader and every replica) is
+    unreachable after bounded retries.  Carries the shard identity so a
+    failed read names the machine at fault, not just "connection
+    refused".  Subclasses :class:`ProtocolError` so existing transport
+    boundaries keep working and the error round-trips typed through the
+    wire-protocol error table."""
+
+    def __init__(self, message: str, *, shard_index: int = -1) -> None:
+        super().__init__(message)
+        self.shard_index = shard_index
+
+
 class ConstructionError(ReproError):
     """Raised when the KG construction pipeline cannot proceed."""
 

@@ -22,6 +22,7 @@ from repro.kg.backend import (
 )
 from repro.kg.mmap_backend import MmapBackend
 from repro.kg.sharded_backend import ShardedBackend
+from repro.kg.cluster import ClusterBackend, shard_split
 from repro.kg.store import TripleStore
 from repro.kg.wal import WriteAheadLog
 from repro.kg.vocab import Vocabulary
@@ -46,6 +47,7 @@ __all__ = [
     "Triple",
     "BACKENDS",
     "DEFAULT_BACKEND",
+    "ClusterBackend",
     "ColumnarBackend",
     "GraphBackend",
     "Interner",
@@ -70,6 +72,7 @@ __all__ = [
     "connect",
     "plan_queries",
     "plan_query",
+    "shard_split",
     "GraphStatistics",
     "compute_statistics",
 ]

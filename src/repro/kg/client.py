@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from dataclasses import replace
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -56,6 +57,30 @@ from repro.kg.triple import Triple
 
 #: Page size RemoteCursor / iter_match use when the caller does not say.
 DEFAULT_PAGE_SIZE = 512
+
+#: Ops a client may silently re-issue on a fresh connection after a
+#: transport failure: pure reads whose answer does not depend on how
+#: many times the server saw the request.  Writes (``add_many``,
+#: ``remove_many``, ``compact``) are NEVER here — a lost response does
+#: not mean a lost write, and double-applying is worse than surfacing
+#: the error.  ``fetch`` is excluded too: the server advances the
+#: cursor per fetch, so a retried fetch could silently skip a page.
+#: ``open_cursor``/``open_match_cursor`` are safe — the worst case is
+#: an orphaned server-side cursor, which the TTL sweep reaps.
+IDEMPOTENT_OPS = frozenset({
+    "ping", "stats", "len", "role", "wal_tail",
+    "execute", "execute_many",
+    "match", "match_many", "match_ids_many",
+    "count", "count_many",
+    "open_cursor", "open_match_cursor",
+})
+
+#: Default extra connection attempts per idempotent call (0 disables
+#: reconnection entirely — the pre-reconnect behaviour).
+DEFAULT_RECONNECT_ATTEMPTS = 2
+
+#: First sleep before a reconnect attempt; doubles per retry, capped.
+RECONNECT_BACKOFF_SECONDS = 0.05
 
 
 def parse_address(url: str) -> Tuple[str, int]:
@@ -132,22 +157,29 @@ class RemoteClient:
     def __init__(self, address: Union[str, Tuple[str, int]], *,
                  timeout: Optional[float] = 60.0,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
-                 codec: str = "auto") -> None:
+                 codec: str = "auto",
+                 reconnect_attempts: int = DEFAULT_RECONNECT_ATTEMPTS) -> None:
         if codec not in ("auto", CODEC_JSON, CODEC_BINARY):
             raise ValueError(
                 f"codec must be 'auto', 'json' or 'binary', got {codec!r}")
         host, port = parse_address(address) if isinstance(address, str) \
             else address
         self.max_frame_bytes = int(max_frame_bytes)
+        self._address = (host, port)
+        self._timeout = timeout
+        self._requested_codec = codec
+        self._reconnect_attempts = max(0, int(reconnect_attempts))
         self._lock = threading.Lock()
         self._next_id = 0
+        self._user_closed = False
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._closed = False
         self._codec = CODEC_JSON
         self._decoder: Optional[BinaryResponseDecoder] = None
         if codec != CODEC_JSON:
-            self._negotiate(required=(codec == CODEC_BINARY))
+            with self._lock:
+                self._negotiate(required=(codec == CODEC_BINARY))
 
     @property
     def codec(self) -> str:
@@ -155,8 +187,13 @@ class RemoteClient:
         return self._codec
 
     def _negotiate(self, required: bool) -> None:
+        """Run the hello exchange (caller holds the lock)."""
         try:
-            granted = self.call("hello", codecs=[CODEC_BINARY])
+            response = self._roundtrip({"op": "hello",
+                                        "codecs": [CODEC_BINARY]})
+            if not response.get("ok"):
+                raise error_from_wire(response.get("error"))
+            granted = response.get("result")
         except ProtocolError:
             if required or self._closed:
                 # Forced binary, or actual transport damage — either
@@ -175,6 +212,29 @@ class RemoteClient:
                 f"server declined the binary codec (granted {codec!r}); "
                 f"use codec='auto' to fall back to JSON")
 
+    def _reconnect(self) -> None:
+        """Replace a dead socket with a fresh negotiated connection
+        (caller holds the lock).  Raises ProtocolError when the server
+        is unreachable."""
+        try:
+            sock = socket.create_connection(self._address,
+                                            timeout=self._timeout)
+        except OSError as exc:
+            raise ProtocolError(
+                f"reconnect to {self._address[0]}:{self._address[1]} "
+                f"failed: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._closed = False
+        # The new connection starts on JSON with an empty symbol cache;
+        # re-run negotiation so the codec (and a fresh decoder state)
+        # match what the caller originally asked for.
+        self._codec = CODEC_JSON
+        self._decoder = None
+        if self._requested_codec != CODEC_JSON:
+            self._negotiate(
+                required=(self._requested_codec == CODEC_BINARY))
+
     def call(self, op: str, **fields):
         """One request/response round-trip; returns the ``result`` field.
 
@@ -183,12 +243,38 @@ class RemoteClient:
         or read failure/timeout, response id mismatch) raises
         :class:`~repro.errors.ProtocolError` **and marks the connection
         broken** — after a transport failure the stream may hold a
-        stale half-response, so reusing it would desync every later
-        call; open a fresh client instead.
+        stale half-response, so it is never reused.  For ops in
+        :data:`IDEMPOTENT_OPS` the client then silently retries on a
+        **fresh** connection (with backoff, at most
+        ``reconnect_attempts`` extra connections per call); writes are
+        never retried — a transport failure on a write surfaces
+        immediately, because a lost response does not mean a lost
+        write.
         """
         message = {"op": op, **fields}
+        retryable = op in IDEMPOTENT_OPS and self._reconnect_attempts > 0
         with self._lock:
-            response = self._roundtrip(message)
+            budget = self._reconnect_attempts if retryable else 0
+            delay = RECONNECT_BACKOFF_SECONDS
+            while True:
+                try:
+                    if self._closed:
+                        if not retryable or self._user_closed or budget <= 0:
+                            raise ProtocolError(
+                                "client connection is closed")
+                        budget -= 1
+                        self._reconnect()
+                    response = self._roundtrip(dict(message))
+                    break
+                except ProtocolError:
+                    # Only transport failures (which invalidate the
+                    # connection) are retried; request-encoding errors
+                    # and exhausted budgets propagate.
+                    if not retryable or self._user_closed or budget <= 0 \
+                            or not self._closed:
+                        raise
+                    time.sleep(delay)
+                    delay = min(delay * 2, 0.5)
         if not response.get("ok"):
             raise error_from_wire(response.get("error"))
         return response.get("result")
@@ -256,8 +342,9 @@ class RemoteClient:
         return self.call("stats")
 
     def close(self) -> None:
-        """Close the connection (idempotent)."""
+        """Close the connection (idempotent; disables reconnection)."""
         with self._lock:
+            self._user_closed = True
             if self._closed:
                 return
             self._closed = True

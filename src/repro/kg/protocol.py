@@ -76,6 +76,7 @@ from repro.errors import (
     QueryError,
     ReproError,
     SerializationError,
+    ShardUnavailableError,
     StorageError,
     ValidationError,
 )
@@ -95,6 +96,7 @@ WIRE_ERRORS: Dict[str, Type[ReproError]] = {
     "QueryError": QueryError,
     "CursorError": CursorError,
     "ProtocolError": ProtocolError,
+    "ShardUnavailableError": ShardUnavailableError,
     "SerializationError": SerializationError,
     "StorageError": StorageError,
     "ValidationError": ValidationError,

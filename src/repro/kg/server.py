@@ -81,9 +81,11 @@ from repro.kg.protocol import (
     encode_tagged_json,
     error_to_wire,
 )
+from repro.kg.routing import interner_fingerprint
 from repro.kg.service import DEFAULT_CURSOR_TTL, QueryService
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
+from repro.kg.wal import OP_ADD, scan_wal
 
 #: Default port of the CLI ``serve`` command (0 = ephemeral, for tests).
 DEFAULT_PORT = 7468
@@ -93,6 +95,17 @@ DEFAULT_PORT = 7468
 #: decode, submit and encode, and a bounded pool keeps a burst of
 #: hostile connections from spawning unbounded threads.
 DEFAULT_WORKERS = 8
+
+#: How often a replica polls its leader's WAL when caught up, seconds.
+DEFAULT_FOLLOW_POLL_INTERVAL = 0.05
+
+#: Soft cap on triples shipped per ``wal_tail`` response (at least one
+#: batch always goes out): the follower catches up over several polls
+#: instead of one response blowing the frame cap.
+_WAL_TAIL_TRIPLE_BUDGET = 50_000
+
+#: Hard cap on batches per ``wal_tail`` response.
+_WAL_TAIL_MAX_BATCHES = 4096
 
 
 def _wire_pattern(value: object) -> Tuple[Optional[str], Optional[str],
@@ -106,6 +119,22 @@ def _wire_pattern(value: object) -> Tuple[Optional[str], Optional[str],
         if term is not None and not isinstance(term, str):
             raise ProtocolError(
                 f"pattern terms must be strings or null, got {term!r}")
+        decoded.append(term)
+    return (decoded[0], decoded[1], decoded[2])
+
+
+def _wire_id_pattern(value: object) -> Tuple[Optional[int], Optional[int],
+                                             Optional[int]]:
+    """Decode a raw id-space pattern: 3 items, each an int or ``null``."""
+    if not isinstance(value, (list, tuple)) or len(value) != 3:
+        raise ProtocolError(
+            f"id pattern must be a 3-element array, got {value!r}")
+    decoded = []
+    for term in value:
+        if term is not None and (not isinstance(term, int)
+                                 or isinstance(term, bool)):
+            raise ProtocolError(
+                f"id pattern terms must be integers or null, got {term!r}")
         decoded.append(term)
     return (decoded[0], decoded[1], decoded[2])
 
@@ -224,7 +253,12 @@ class KGServer:
                  cursor_ttl: float = DEFAULT_CURSOR_TTL,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  codec: str = "auto",
-                 workers: int = DEFAULT_WORKERS) -> None:
+                 workers: int = DEFAULT_WORKERS,
+                 shard_index: Optional[int] = None,
+                 n_shards: Optional[int] = None,
+                 follow: Optional[str] = None,
+                 follow_poll_interval: float =
+                 DEFAULT_FOLLOW_POLL_INTERVAL) -> None:
         if codec not in ("auto", CODEC_JSON):
             raise ValueError(
                 f"server codec policy must be 'auto' or 'json', got "
@@ -232,9 +266,40 @@ class KGServer:
                 f"forced: old clients must keep working)")
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if (shard_index is None) != (n_shards is None):
+            raise ValueError(
+                "shard_index and n_shards come together: a shard server "
+                "must know both which shard it owns and how many exist")
+        if shard_index is not None and not 0 <= shard_index < n_shards:
+            raise ValueError(
+                f"shard_index must be in 0..{n_shards - 1}, got "
+                f"{shard_index}")
+        if follow is not None and not store.writable:
+            raise ValueError(
+                "a replica must be able to apply its leader's WAL "
+                "batches — open a live store (or an in-memory one), not "
+                "a read-only snapshot")
         self.max_frame_bytes = int(max_frame_bytes)
         self.codec = codec
         self.closing = False
+        self.role = "replica" if follow is not None else "leader"
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self._follow = follow
+        self._follow_poll_interval = float(follow_poll_interval)
+        self._replication = {
+            "leader": follow,
+            "applied_seq": (store.wal.next_seq - 1
+                            if store.wal is not None else 0),
+            "generation": None,
+            "polls": 0,
+            "batches_applied": 0,
+            "triples_applied": 0,
+            "last_error": None,
+            "running": follow is not None,
+        }
+        self._stop_replication = threading.Event()
+        self._replication_thread: Optional[threading.Thread] = None
         self.service = QueryService(store, max_batch=max_batch,
                                     cursor_ttl=cursor_ttl)
         try:
@@ -269,6 +334,11 @@ class KGServer:
         self._serving = threading.Event()
         self._close_lock = threading.Lock()
         self._cleaned = False
+        if follow is not None:
+            self._replication_thread = threading.Thread(
+                target=self._replicate, name="kg-server-replication",
+                daemon=True)
+            self._replication_thread.start()
 
     @classmethod
     def open(cls, directory: Union[str, Path], **kwargs) -> "KGServer":
@@ -325,6 +395,9 @@ class KGServer:
             if self.closing:
                 return
             self.closing = True
+        self._stop_replication.set()
+        if self._replication_thread is not None:
+            self._replication_thread.join(timeout=10)
         self._wake()
         if self._thread is not None:
             self._thread.join(timeout=10)
@@ -732,12 +805,28 @@ class KGServer:
         if op == "ping":
             return "pong"
         if op == "stats":
-            return {"service": self.service.stats,
-                    "store": {"triples": len(self.service.store),
-                              "backend": self.service.store.backend_name},
-                    "server": {"connections": self.connection_count,
-                               "workers": self._pool._max_workers,
-                               "codec_policy": self.codec}}
+            server_info = {"connections": self.connection_count,
+                           "workers": self._pool._max_workers,
+                           "codec_policy": self.codec,
+                           "role": self.role}
+            if self.shard_index is not None:
+                server_info["shard_index"] = self.shard_index
+                server_info["n_shards"] = self.n_shards
+            stats = {"service": self.service.stats,
+                     "store": {"triples": len(self.service.store),
+                               "backend": self.service.store.backend_name},
+                     "server": server_info}
+            if self.role == "replica":
+                stats["replication"] = dict(self._replication)
+            cluster_stats = getattr(self.service.store.backend,
+                                    "cluster_stats", None)
+            if callable(cluster_stats):
+                stats["cluster"] = cluster_stats()
+            return stats
+        if op == "role":
+            return self._role_info()
+        if op == "wal_tail":
+            return self._serve_wal_tail(message)
         if op == "len":
             return len(self.service.store)
         if op == "execute":
@@ -776,6 +865,13 @@ class KGServer:
                                        for future in futures)]
             return [_wire_triples(triples)
                     for triples in self.service.lookup_many(patterns)]
+        if op == "match_ids_many":
+            patterns = [_wire_id_pattern(pattern) for pattern in
+                        _field(message, "patterns", list, "an array")]
+            blocks = self.service.match_ids_many(patterns)
+            if raw:
+                return blocks
+            return [block.rows.tolist() for block in blocks]
         if op == "count":
             pattern = _wire_pattern(_field(message, "pattern", list,
                                            "an array"))
@@ -805,6 +901,11 @@ class KGServer:
             self.service.close_cursor(_field(message, "cursor", str,
                                              "a string"))
             return None
+        if op in ("add_many", "remove_many", "compact") \
+                and self.role == "replica":
+            raise ProtocolError(
+                f"this server is a read-only replica following "
+                f"{self._follow}; send writes to the leader")
         if op == "add_many":
             triples = decode_wire_triples(
                 _field(message, "triples", list, "an array"))
@@ -818,3 +919,153 @@ class KGServer:
         if op == "compact":
             return {"generation": self.service.compact()}
         raise ProtocolError(f"unknown op {op!r}")
+
+    def _role_info(self) -> dict:
+        """The ``role`` handshake: who this server is in a cluster.
+
+        The ``fingerprint`` field (id-capable backends only) digests
+        both interner tables; a coordinator whose own interners carry
+        the same fingerprint knows the server's id space is identical
+        to its own and may ship raw id-space queries
+        (``match_ids_many``) instead of strings.
+        """
+        store = self.service.store
+        backend = store.backend
+        info = {"role": self.role,
+                "shard_index": self.shard_index,
+                "n_shards": self.n_shards,
+                "writable": store.writable,
+                "generation": store.live_generation,
+                "triples": len(store),
+                "backend": store.backend_name}
+        if supports_id_queries(backend):
+            info["fingerprint"] = interner_fingerprint(
+                backend.entity_interner, backend.relation_interner)
+        if self.role == "replica":
+            info["replication"] = dict(self._replication)
+        return info
+
+    def _serve_wal_tail(self, message: dict) -> dict:
+        """Ship WAL batches past ``after_seq`` to a polling follower.
+
+        Re-scans the WAL file per poll: the scanner recovers the
+        longest *intact record prefix*, which is exactly the durably
+        acked state even while the dispatcher thread is appending to
+        the same file.  The response is capped (batches and a triple
+        budget) so a far-behind follower catches up over several polls
+        instead of one response blowing the frame cap.
+        """
+        wal = self.service.store.wal
+        if wal is None:
+            raise ProtocolError(
+                "wal_tail requires a live store (this server was opened "
+                "from a plain snapshot or in-memory data)")
+        after_seq = _field(message, "after_seq", int, "an integer")
+        if after_seq < 0:
+            raise ProtocolError(f"after_seq must be >= 0, got {after_seq}")
+        max_batches = message.get("max_batches", 256)
+        if not isinstance(max_batches, int) or isinstance(max_batches, bool) \
+                or max_batches < 1:
+            raise ProtocolError(
+                f"max_batches must be a positive integer, got "
+                f"{max_batches!r}")
+        scan = scan_wal(wal.path)
+        batches: List[list] = []
+        budget = _WAL_TAIL_TRIPLE_BUDGET
+        for batch in scan.batches:
+            if batch.seq <= after_seq:
+                continue
+            if batches and (budget <= 0
+                            or len(batches) >= min(max_batches,
+                                                   _WAL_TAIL_MAX_BATCHES)):
+                break
+            batches.append([batch.seq, batch.op,
+                            [list(triple) for triple in batch.triples]])
+            budget -= len(batch.triples)
+        return {"generation": scan.generation, "next_seq": wal.next_seq,
+                "batches": batches}
+
+    # ------------------------------------------------------------------ #
+    # replication (follower mode)
+    # ------------------------------------------------------------------ #
+    def _replicate(self) -> None:
+        """Follower loop: poll the leader's WAL tail and apply it.
+
+        Each leader batch applies as ONE ``service.add_many`` /
+        ``remove_many`` call, so when this replica runs over a live
+        store bootstrapped from a copy of the leader's directory, its
+        own WAL sequence numbers stay in lockstep with the leader's and
+        ``applied_seq`` survives a replica restart for free.
+        Unreachable leaders are retried forever (the replica keeps
+        serving reads from its current state); a *generation* change or
+        sequence gap means the leader compacted underneath us — replay
+        would be wrong, so replication stops with a recorded error and
+        the operator re-bootstraps from a fresh copy.
+        """
+        from repro.kg.client import RemoteClient
+
+        rep = self._replication
+        local_generation = self.service.store.live_generation
+        client: Optional[RemoteClient] = None
+        try:
+            while not self.closing:
+                try:
+                    if client is None:
+                        client = RemoteClient(self._follow, codec=CODEC_JSON,
+                                              timeout=10.0)
+                    result = client.call("wal_tail",
+                                         after_seq=rep["applied_seq"])
+                except Exception as exc:
+                    rep["last_error"] = f"leader poll failed: {exc}"
+                    if client is not None:
+                        try:
+                            client.close()
+                        except Exception:  # pragma: no cover - best-effort
+                            pass
+                        client = None
+                    self._stop_replication.wait(self._follow_poll_interval)
+                    continue
+                rep["polls"] += 1
+                generation = result.get("generation")
+                rep["generation"] = generation
+                if local_generation is not None \
+                        and generation != local_generation:
+                    rep["last_error"] = (
+                        f"leader moved to generation {generation}, this "
+                        f"replica replays generation {local_generation} — "
+                        f"re-bootstrap from a fresh copy of the leader "
+                        f"directory")
+                    return
+                applied_any = False
+                for seq, op, rows in result.get("batches") or []:
+                    if seq <= rep["applied_seq"]:
+                        continue
+                    if seq != rep["applied_seq"] + 1:
+                        rep["last_error"] = (
+                            f"gap in the leader WAL: expected seq "
+                            f"{rep['applied_seq'] + 1}, got {seq} — "
+                            f"re-bootstrap this replica")
+                        return
+                    triples = [Triple.unchecked(h, r, t) for h, r, t in rows]
+                    try:
+                        if op == OP_ADD:
+                            self.service.add_many(triples)
+                        else:
+                            self.service.remove_many(triples)
+                    except Exception as exc:
+                        rep["last_error"] = f"replay failed: {exc}"
+                        return
+                    rep["applied_seq"] = seq
+                    rep["batches_applied"] += 1
+                    rep["triples_applied"] += len(triples)
+                    applied_any = True
+                rep["last_error"] = None
+                if not applied_any:
+                    self._stop_replication.wait(self._follow_poll_interval)
+        finally:
+            rep["running"] = False
+            if client is not None:
+                try:
+                    client.close()
+                except Exception:  # pragma: no cover - best-effort
+                    pass

@@ -79,6 +79,7 @@ from repro.kg.triple import Triple
 #: Kinds of requests the service multiplexes.
 _QUERY = "query"                 # pattern query -> List[Binding]
 _LOOKUP = "lookup"               # point lookup  -> List[Triple]
+_ID_LOOKUP = "id-lookup"         # raw id pattern -> triples IdBlock
 _COUNT = "count"                 # point pattern -> int
 _CURSOR_QUERY = "cursor-query"   # pattern query -> cursor id
 _CURSOR_MATCH = "cursor-match"   # point lookup  -> cursor id
@@ -281,6 +282,46 @@ class QueryService:
         futures = [self.submit_lookup(pattern) for pattern in patterns]
         return [future.result() for future in futures]
 
+    def submit_id_lookup(self, id_pattern) -> "Future":
+        """Enqueue one **raw id-space** lookup; future yields a triples
+        :class:`~repro.kg.executor.IdBlock`.
+
+        The pattern is ``(head_id, relation_id, tail_id)`` with ``None``
+        wildcards — interned ids, no string translation on either side.
+        This is the coordinator fast path: a
+        :class:`~repro.kg.cluster.ClusterBackend` whose interner tables
+        match this store's fingerprint ships executor id patterns
+        straight through and splices the returned blocks into its own
+        join rounds.  Requires an id-capable backend
+        (:class:`~repro.errors.QueryError` otherwise).
+        """
+        if not supports_id_queries(self.store.backend):
+            raise QueryError(
+                "backend has no id-query surface; use submit_lookup for "
+                "string patterns")
+        checked = []
+        for term in tuple(id_pattern):
+            if term is None:
+                checked.append(None)
+            elif isinstance(term, (int, np.integer)) \
+                    and not isinstance(term, bool):
+                checked.append(int(term))
+            else:
+                raise QueryError(
+                    f"id patterns take integer ids and None wildcards, "
+                    f"got {term!r}")
+        if len(checked) != 3:
+            raise QueryError(
+                f"id patterns have exactly 3 terms, got {len(checked)}")
+        return self._enqueue(_Request(_ID_LOOKUP, tuple(checked), True,
+                                      raw=True))
+
+    def match_ids_many(self, id_patterns: Sequence) -> List[IdBlock]:
+        """Batched raw id-space lookups (one backend call per round)."""
+        futures = [self.submit_id_lookup(pattern)
+                   for pattern in id_patterns]
+        return [future.result() for future in futures]
+
     def submit_count(self, pattern: Pattern) -> "Future":
         """Enqueue one pattern count; future yields ``int``."""
         return self._enqueue(_Request(_COUNT, self._checked_pattern(pattern),
@@ -459,6 +500,9 @@ class QueryService:
             self._serve_queries(queries)
         if lookups:
             self._serve_lookups(lookups)
+        id_lookups = by_kind.get(_ID_LOOKUP, [])
+        if id_lookups:
+            self._serve_raw_id_lookups(id_lookups)
         counts = by_kind.get(_COUNT, [])
         if counts:
             self._serve_counts(counts)
@@ -596,6 +640,44 @@ class QueryService:
             else:
                 _resolve(request.future, IdBlock(
                     (), ("e", "r", "e"), rows, triples=True))
+
+    def _serve_raw_id_lookups(self, requests: List[_Request]) -> None:
+        """Batched raw id-pattern lookups: one ``match_ids_many`` call.
+
+        Ids beyond the interner tables match nothing by definition —
+        they are answered as empty blocks without a backend call, the
+        id-space analogue of an un-interned string constant.
+        """
+        backend = self.store.backend
+        n_entities = len(backend.entity_interner)
+        n_relations = len(backend.relation_interner)
+        empty = np.zeros((0, 3), dtype=np.int64)
+
+        def in_range(ids: Tuple) -> bool:
+            head_id, relation_id, tail_id = ids
+            for identifier, limit in ((head_id, n_entities),
+                                      (relation_id, n_relations),
+                                      (tail_id, n_entities)):
+                if identifier is not None \
+                        and not 0 <= identifier < limit:
+                    return False
+            return True
+
+        resolved = [request.payload if in_range(request.payload) else None
+                    for request in requests]
+        fetchable = [ids for ids in resolved if ids is not None]
+        try:
+            blocks = iter(backend.match_ids_many(fetchable)
+                          if fetchable else [])
+            rows_per_request = [empty if ids is None else next(blocks)
+                                for ids in resolved]
+        except Exception as exc:  # pragma: no cover - defensive
+            for request in requests:
+                _resolve(request.future, exception=exc)
+            return
+        for request, rows in zip(requests, rows_per_request):
+            _resolve(request.future, IdBlock(
+                (), ("e", "r", "e"), rows, triples=True))
 
     def _serve_counts(self, requests: List[_Request]) -> None:
         try:

@@ -13,7 +13,11 @@ Partitioning rule
 A triple ``(h, r, t)`` lives in shard
 ``((id(h) * 2654435761) & 0xFFFFFFFF) % n_shards`` (Knuth's
 multiplicative hash over the interned head id, so consecutive ids do not
-stripe).  Because the rule only looks at the head:
+stripe).  The hash, the per-item batch grouping and the scatter/gather
+merge skeleton live in :mod:`repro.kg.routing` as pure functions — the
+distributed :class:`~repro.kg.cluster.ClusterBackend` routes with the
+same code, so a triple's owner is independent of deployment shape.
+Because the rule only looks at the head:
 
 * head-bound queries (``match(h, ...)``, ``tails``, ``contains``,
   ``discard``, fully-bound ``count``) route to **exactly one** shard;
@@ -97,6 +101,16 @@ from repro.kg.mmap_backend import (
     write_backend_dir,
     write_interner_files,
 )
+from repro.kg.routing import (
+    BROADCAST as _BROADCAST,
+    concat_id_blocks,
+    merge_frequency_dicts,
+    merge_sorted_unique,
+    merge_triple_lists,
+    scatter_gather,
+    shard_of_id,
+    shard_of_ids,
+)
 from repro.kg.triple import Triple
 
 #: Identifies the sharded directory layout.
@@ -109,21 +123,10 @@ SHARDED_FORMAT_VERSION = 1
 #: Shard count used when callers just say ``--backend sharded``.
 DEFAULT_SHARDS = 4
 
-#: Knuth's multiplicative hash constant (mod 2**32).
-_HASH_MULTIPLIER = 2654435761
-_HASH_MASK = (1 << 32) - 1
-
 _T = TypeVar("_T")
 
-#: ``classify`` return value: the item fans out to every shard.
-_BROADCAST = object()
-
-
-def shard_of_ids(head_ids: np.ndarray, n_shards: int) -> np.ndarray:
-    """Vectorized shard assignment for an int64 array of head ids."""
-    mixed = (head_ids.astype(np.uint64) * np.uint64(_HASH_MULTIPLIER)) \
-        & np.uint64(_HASH_MASK)
-    return (mixed % np.uint64(n_shards)).astype(np.int64)
+__all__ = ["SHARDED_MAGIC", "SHARDED_FORMAT_VERSION", "DEFAULT_SHARDS",
+           "ShardedBackend", "load_sharded_header", "shard_of_ids"]
 
 
 def load_sharded_header(directory: str | Path) -> dict:
@@ -201,7 +204,7 @@ class ShardedBackend(_BatchedQueriesMixin):
     # routing
     # ------------------------------------------------------------------ #
     def _shard_index(self, head_id: int) -> int:
-        return ((head_id * _HASH_MULTIPLIER) & _HASH_MASK) % self.n_shards
+        return shard_of_id(head_id, self.n_shards)
 
     def _route(self, head: str) -> Optional[MmapBackend]:
         """The shard owning ``head``, or ``None`` when it was never interned."""
@@ -238,61 +241,27 @@ class ShardedBackend(_BatchedQueriesMixin):
                                                         List[_T]]] = None,
                       merge: Optional[Callable[[List[_T]], _T]] = None
                       ) -> List[_T]:
-        """The shared route/broadcast/merge skeleton of the batched queries.
+        """Batched route/broadcast/merge over the in-process shards.
 
-        ``classify(item)`` returns the owner shard index, ``_BROADCAST``
-        to fan the item out to every shard, or ``None`` when the answer
-        is statically ``empty()`` (an unknown head symbol).  Routed
-        groups go to their shard via ``shard_call``; broadcast items go
-        to every shard via ``broadcast_call`` (default: ``shard_call``)
-        and each item's per-shard results are combined with ``merge``.
-        Exactly ONE thunk per shard answers that shard's routed group
-        and the broadcast set together — a shard must never be driven
-        by two pool threads at once (its lazy attach/rebuild is not
-        thread-safe within a fan-out) — and the thunks run threaded for
-        batches of ≥ 32 items.
+        The skeleton itself —
+        :func:`repro.kg.routing.scatter_gather` — is shared with the
+        distributed coordinator; this adapter binds shard indexes to
+        this backend's shard objects and supplies the ad-hoc thread pool
+        as the runner.  Exactly ONE job per shard answers that shard's
+        routed group and the broadcast set together — a shard must never
+        be driven by two pool threads at once (its lazy attach/rebuild
+        is not thread-safe within a fan-out).
         """
-        results: List[Optional[_T]] = [None] * len(items)
-        routed: Dict[int, List[int]] = {}
-        broadcast: List[int] = []
-        for position, item in enumerate(items):
-            where = classify(item)
-            if where is None:
-                results[position] = empty()
-            elif where is _BROADCAST:
-                broadcast.append(position)
-            else:
-                routed.setdefault(where, []).append(position)
-        broadcast_items = [items[position] for position in broadcast]
-        if broadcast_call is None:
-            broadcast_call = shard_call
-        job_shards = list(range(self.n_shards)) if broadcast else sorted(routed)
-
-        def make_thunk(shard_index: int) -> Callable[
-                [], Tuple[List[_T], List[_T]]]:
-            shard = self._shards[shard_index]
-            group = [items[position]
-                     for position in routed.get(shard_index, ())]
-
-            def thunk() -> Tuple[List[_T], List[_T]]:
-                routed_part = shard_call(shard, group) if group else []
-                broadcast_part = broadcast_call(shard, broadcast_items) \
-                    if broadcast_items else []
-                return routed_part, broadcast_part
-            return thunk
-
-        parts = self._parallel([make_thunk(shard_index)
-                                for shard_index in job_shards],
-                               parallel=len(items) >= 32)
-        broadcast_parts: List[List[_T]] = []
-        for shard_index, (routed_part, broadcast_part) in zip(job_shards, parts):
-            for position, value in zip(routed.get(shard_index, ()), routed_part):
-                results[position] = value
-            broadcast_parts.append(broadcast_part)
-        for offset, position in enumerate(broadcast):
-            results[position] = merge([part[offset]
-                                       for part in broadcast_parts if part])
-        return results
+        return scatter_gather(
+            items, n_shards=self.n_shards, classify=classify, empty=empty,
+            shard_call=lambda index, group: shard_call(self._shards[index],
+                                                       group),
+            broadcast_call=None if broadcast_call is None else (
+                lambda index, group: broadcast_call(self._shards[index],
+                                                    group)),
+            merge=merge,
+            run=lambda thunks, parallel: self._parallel(thunks,
+                                                        parallel=parallel))
 
     # ------------------------------------------------------------------ #
     # mutation
@@ -385,10 +354,7 @@ class ShardedBackend(_BatchedQueriesMixin):
                 if shard is not None else []
         parts = self._per_shard(
             lambda shard: shard.match(head, relation, tail, sort=False))
-        merged = [triple for part in parts for triple in part]
-        if sort:
-            merged.sort()
-        return merged
+        return merge_triple_lists(parts, sort=sort)
 
     def iter_match(self, head: Optional[str] = None,
                    relation: Optional[str] = None,
@@ -415,37 +381,26 @@ class ShardedBackend(_BatchedQueriesMixin):
 
     def heads(self, relation: str, tail: str) -> List[str]:
         parts = self._per_shard(lambda shard: shard.heads(relation, tail))
-        merged = [head for part in parts for head in part]
-        merged.sort()
-        return merged
+        return merge_triple_lists(parts, sort=True)
 
     def degree(self, node: str) -> int:
         return sum(self._per_shard(lambda shard: shard.degree(node)))
 
     def entities(self) -> List[str]:
-        collected: set = set()
-        for part in self._per_shard(lambda shard: shard.entities()):
-            collected.update(part)
-        return sorted(collected)
+        return merge_sorted_unique(
+            self._per_shard(lambda shard: shard.entities()))
 
     def relations(self) -> List[str]:
-        collected: set = set()
-        for part in self._per_shard(lambda shard: shard.relations()):
-            collected.update(part)
-        return sorted(collected)
+        return merge_sorted_unique(
+            self._per_shard(lambda shard: shard.relations()))
 
     def heads_only(self) -> List[str]:
-        collected: set = set()
-        for part in self._per_shard(lambda shard: shard.heads_only()):
-            collected.update(part)
-        return sorted(collected)
+        return merge_sorted_unique(
+            self._per_shard(lambda shard: shard.heads_only()))
 
     def relation_frequencies(self) -> Dict[str, int]:
-        totals: Dict[str, int] = {}
-        for part in self._per_shard(lambda shard: shard.relation_frequencies()):
-            for relation, count in part.items():
-                totals[relation] = totals.get(relation, 0) + count
-        return totals
+        return merge_frequency_dicts(
+            self._per_shard(lambda shard: shard.relation_frequencies()))
 
     # ------------------------------------------------------------------ #
     # id-level query surface — global ids, shard-routed
@@ -463,14 +418,8 @@ class ShardedBackend(_BatchedQueriesMixin):
         if head_id is not None:
             return self._shards[self._shard_index(head_id)].match_ids(
                 head_id, relation_id, tail_id)
-        parts = self._per_shard(
-            lambda shard: shard.match_ids(head_id, relation_id, tail_id))
-        parts = [part for part in parts if len(part)]
-        if not parts:
-            return np.zeros((0, 3), dtype=np.int64)
-        if len(parts) == 1:
-            return parts[0]
-        return np.concatenate(parts)
+        return concat_id_blocks(self._per_shard(
+            lambda shard: shard.match_ids(head_id, relation_id, tail_id)))
 
     def count_ids(self, head_id: Optional[int] = None,
                   relation_id: Optional[int] = None,
@@ -487,20 +436,13 @@ class ShardedBackend(_BatchedQueriesMixin):
         their owner shard, broadcast and concatenate the rest."""
         if self.n_shards == 1:
             return self._shards[0].match_ids_many(patterns)
-
-        def merge(blocks: List[np.ndarray]) -> np.ndarray:
-            blocks = [block for block in blocks if len(block)]
-            if not blocks:
-                return np.zeros((0, 3), dtype=np.int64)
-            return blocks[0] if len(blocks) == 1 else np.concatenate(blocks)
-
         return self._routed_batch(
             patterns,
             classify=lambda pattern: _BROADCAST if pattern[0] is None
             else self._shard_index(pattern[0]),
             empty=lambda: np.zeros((0, 3), dtype=np.int64),
             shard_call=lambda shard, group: shard.match_ids_many(group),
-            merge=merge)
+            merge=concat_id_blocks)
 
     # ------------------------------------------------------------------ #
     # batched queries — route head-bound items, fan out the rest

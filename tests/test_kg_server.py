@@ -571,7 +571,11 @@ def test_close_immediately_after_start_is_prompt(store):
 def test_client_marks_connection_broken_after_transport_failure(store):
     """A dead/desynced stream must not be reused: the first failure
     raises ProtocolError and every later call fails fast as closed,
-    instead of reading stale responses with mismatched ids."""
+    instead of reading stale responses with mismatched ids.
+    ``reconnect_attempts=0`` opts out of the bounded reconnect-for-reads
+    default — what is pinned here is that the *stream itself* is never
+    reused, which holds either way (reconnection always builds a fresh
+    socket)."""
     listener = socket.socket()
     listener.bind(("127.0.0.1", 0))
     listener.listen(1)
@@ -583,7 +587,8 @@ def test_client_marks_connection_broken_after_transport_failure(store):
 
     acceptor = threading.Thread(target=one_silent_accept, daemon=True)
     acceptor.start()
-    client = RemoteClient(f"127.0.0.1:{listener.getsockname()[1]}", codec="json")
+    client = RemoteClient(f"127.0.0.1:{listener.getsockname()[1]}",
+                          codec="json", reconnect_attempts=0)
     with pytest.raises(ProtocolError, match="closed the connection"):
         client.call("ping")
     with pytest.raises(ProtocolError, match="connection is closed"):
