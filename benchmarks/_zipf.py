@@ -1,0 +1,42 @@
+"""Zipf-distributed traffic generation for the bench suite.
+
+Real serving traffic is Zipfian: millions of users hammer a few
+thousand distinct queries (the paper's shopping-guide and QA workloads
+are exactly this shape).  This helper turns that into reproducible
+benchmark traces: rank 0 is the hottest item, popularity decays as
+``1 / rank**s``, and a seeded generator makes every run sample the
+identical trace.
+
+Named with a leading underscore so pytest never collects it as a test
+module — it is imported by the bench tests the same way ``_artifacts``
+is.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def zipf_weights(catalog_size: int, s: float = 1.1) -> np.ndarray:
+    """Normalized truncated-Zipf probabilities over ``catalog_size`` ranks."""
+    if catalog_size < 1:
+        raise ValueError(f"catalog_size must be >= 1, got {catalog_size}")
+    if s <= 0:
+        raise ValueError(f"the Zipf exponent s must be > 0, got {s}")
+    ranks = np.arange(1, catalog_size + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, s)
+    return weights / weights.sum()
+
+
+def zipf_trace(num_requests: int, catalog_size: int, *, s: float = 1.1,
+               seed: int = 0) -> np.ndarray:
+    """A seeded trace of ``num_requests`` catalog ranks, Zipf(s)-popular.
+
+    Returns int ranks in ``[0, catalog_size)``; rank 0 is the hottest.
+    Identical ``(num_requests, catalog_size, s, seed)`` always yields
+    the identical trace, so cached and cache-disabled runs replay the
+    same traffic.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.choice(catalog_size, size=int(num_requests),
+                      p=zipf_weights(catalog_size, s))

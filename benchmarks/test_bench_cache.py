@@ -1,0 +1,239 @@
+"""Micro-benchmark — the hot-query result cache under Zipfian traffic.
+
+The workload mirrors the paper's serving shape: a catalog of distinct
+join queries (brand x category shopping-guide probes) hammered by a
+Zipf(s~=1.1) trace — a few queries absorb most of the traffic, exactly
+what the dispatcher-side result cache exists for.
+
+* **in-process** — the same seeded trace replayed through twin
+  ``QueryService`` instances, cache enabled vs disabled, driven through
+  ``execute_batch`` so dispatch overhead amortizes identically on both
+  sides and the ratio prices execution vs cache serving, not thread
+  wakeups.
+* **over the wire** — a slice of the trace through real loopback
+  servers on both codecs, cache on vs off (advisory: loopback latency
+  on shared runners is too noisy for a hard bar).
+
+Acceptance bars (assert messages embed the timing table):
+
+* hit rate **>= 0.9** on the Zipfian trace (>= 2k distinct queries over
+  >= 50k requests — misses are bounded by the catalog size, so a
+  correct cache cannot miss this bar);
+* the cached in-process run is **>= 5x** faster per request than the
+  cache-disabled twin.
+
+Results persist into ``BENCH_cache.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from _artifacts import update_artifact
+from _zipf import zipf_trace
+from repro.kg.client import RemoteQueryEngine
+from repro.kg.planner import PatternQuery
+from repro.kg.server import KGServer
+from repro.kg.service import QueryService
+from repro.kg.store import TripleStore
+from repro.kg.triple import triples_from_tuples
+
+#: >= 2k distinct queries over >= 50k requests, per the acceptance bar.
+NUM_BRANDS = 16
+NUM_CATEGORIES = 128
+CATALOG_SIZE = NUM_BRANDS * NUM_CATEGORIES          # 2048 distinct queries
+NUM_REQUESTS = 50_000
+ZIPF_S = 1.1
+TRACE_SEED = 20260808
+#: Products per (brand, category) combo; every combo is non-empty.
+COMBO_PRODUCTS = 40
+NUM_PRODUCTS = CATALOG_SIZE * COMBO_PRODUCTS        # 81920
+#: The trace is replayed in client-side batches so both runs amortize
+#: dispatch overhead the same way (the service coalesces them anyway).
+CHUNK = 256
+#: The cache-disabled twin replays a slice this long (same trace prefix)
+#: and is compared per-request — replaying all 50k uncached would just
+#: burn CI minutes measuring the same mean.
+COLD_SLICE = 4096
+WIRE_SLICE = 4096
+
+HIT_RATE_BAR = 0.9
+SPEEDUP_BAR = 5.0
+
+
+def _catalog_store() -> TripleStore:
+    rows: List[Tuple[str, str, str]] = []
+    for index in range(NUM_PRODUCTS):
+        product = f"product:{index:06d}"
+        rows.append((product, "brandIs", f"brand:{index % NUM_BRANDS}"))
+        rows.append((product, "rdf:type",
+                     f"category:{(index // NUM_BRANDS) % NUM_CATEGORIES}"))
+    return TripleStore(triples_from_tuples(rows))
+
+
+def _query_catalog() -> List[PatternQuery]:
+    """One 2-pattern join per (brand, category) combo, hottest first.
+
+    ``select`` forces the deduplicated projection, ``limit`` keeps the
+    per-request page small — the shopping-guide shape: "top products of
+    this brand in this category"."""
+    catalog = []
+    for brand in range(NUM_BRANDS):
+        for category in range(NUM_CATEGORIES):
+            catalog.append(PatternQuery.from_patterns(
+                [("?p", "brandIs", f"brand:{brand}"),
+                 ("?p", "rdf:type", f"category:{category}")],
+                select=("?p",), limit=10))
+    return catalog
+
+
+def _replay(service: QueryService, catalog: Sequence[PatternQuery],
+            trace) -> float:
+    """Replay a trace through the service in CHUNK-sized client batches;
+    returns elapsed seconds."""
+    start = time.perf_counter()
+    for offset in range(0, len(trace), CHUNK):
+        chunk = trace[offset:offset + CHUNK]
+        service.execute_batch([catalog[rank] for rank in chunk])
+    return time.perf_counter() - start
+
+
+def test_zipf_traffic_hot_path_speedup_and_hit_rate():
+    catalog = _query_catalog()
+    trace = zipf_trace(NUM_REQUESTS, CATALOG_SIZE, s=ZIPF_S, seed=TRACE_SEED)
+    assert len(catalog) == CATALOG_SIZE >= 2000
+    assert len(trace) == NUM_REQUESTS >= 50_000
+
+    # Both services read the same store: traffic is read-only here, and
+    # the replays run sequentially, so sharing skips a second multi-
+    # minute bulk load without the twins observing different data.
+    store = _catalog_store()
+    cached = QueryService(store)
+    plain = QueryService(store, cache_bytes=0)
+    try:
+        # Sanity on a prefix: cached results must equal uncached ones
+        # (the full bit-identity property lives in the test suite).
+        for rank in trace[:32]:
+            assert cached.execute(catalog[rank]) == plain.execute(catalog[rank])
+        cold_seconds = _replay(plain, catalog, trace[:COLD_SLICE])
+        hot_seconds = _replay(cached, catalog, trace)
+        stats = cached.stats
+    finally:
+        cached.close()
+        plain.close()
+
+    hits, misses = stats["cache_hits"], stats["cache_misses"]
+    hit_rate = hits / (hits + misses)
+    cold_per_request = cold_seconds / COLD_SLICE
+    hot_per_request = hot_seconds / NUM_REQUESTS
+    speedup = cold_per_request / hot_per_request
+    table = "\n".join([
+        f"{'path':<26} {'requests':>9} {'seconds':>9} {'us/req':>8} "
+        f"{'req/s':>10}",
+        f"{'cache disabled':<26} {COLD_SLICE:>9} {cold_seconds:>9.3f} "
+        f"{cold_per_request * 1e6:>8.1f} {COLD_SLICE / cold_seconds:>10.0f}",
+        f"{'cache enabled':<26} {NUM_REQUESTS:>9} {hot_seconds:>9.3f} "
+        f"{hot_per_request * 1e6:>8.1f} {NUM_REQUESTS / hot_seconds:>10.0f}",
+        f"hit rate {hit_rate:.4f} ({hits} hits / {misses} misses, "
+        f"{stats['cache_entries']} entries, {stats['cache_bytes']:,}B, "
+        f"{stats['cache_evictions']} evictions)",
+        f"speedup {speedup:.1f}x (bar {SPEEDUP_BAR}x)",
+    ])
+    print(f"\nZipf(s={ZIPF_S}) traffic: {NUM_REQUESTS} requests over "
+          f"{CATALOG_SIZE} distinct join queries, {NUM_PRODUCTS * 2} "
+          f"triples, in-process\n{table}")
+    update_artifact("cache", "zipf_in_process", {
+        "workload": f"Zipf(s={ZIPF_S}) trace of {NUM_REQUESTS} requests "
+                    f"over {CATALOG_SIZE} distinct 2-pattern join queries "
+                    f"({NUM_PRODUCTS * 2} triples, seed {TRACE_SEED})",
+        "backend": "columnar",
+        "timings_seconds": {"cache_disabled_slice": cold_seconds,
+                            "cache_enabled_full": hot_seconds},
+        "per_request_seconds": {"cache_disabled": cold_per_request,
+                                "cache_enabled": hot_per_request},
+        "hit_rate": hit_rate,
+        "cache_stats": {key: stats[key] for key in
+                        ("cache_hits", "cache_misses", "cache_entries",
+                         "cache_bytes", "cache_evictions",
+                         "cache_invalidations")},
+        "speedups": {"hot_path": speedup},
+        "bar": f"hit rate >= {HIT_RATE_BAR}, hot-path speedup >= "
+               f"{SPEEDUP_BAR}x",
+    })
+    assert hit_rate >= HIT_RATE_BAR, (
+        f"Zipfian hit rate bar missed: {hit_rate:.4f} < {HIT_RATE_BAR}\n"
+        f"{table}")
+    assert speedup >= SPEEDUP_BAR, (
+        f"hot-path speedup bar missed: {speedup:.1f}x < {SPEEDUP_BAR}x\n"
+        f"{table}")
+
+
+def test_zipf_traffic_over_the_wire_both_codecs():
+    """The same trace through real loopback servers, cache on vs off,
+    on both codecs.  Advisory: the numbers land in the table and the
+    artifact, but loopback latency on shared CI runners is too noisy
+    for a hard bar — the asserted bar lives on the in-process path."""
+    catalog = _query_catalog()
+    trace = zipf_trace(NUM_REQUESTS, CATALOG_SIZE, s=ZIPF_S,
+                       seed=TRACE_SEED)[:WIRE_SLICE]
+
+    def replay_remote(engine: RemoteQueryEngine) -> float:
+        start = time.perf_counter()
+        for offset in range(0, len(trace), CHUNK):
+            chunk = trace[offset:offset + CHUNK]
+            engine.execute_many([catalog[rank] for rank in chunk])
+        return time.perf_counter() - start
+
+    timings = {}
+    hit_rates = {}
+    store = _catalog_store()
+    for client_codec in ("json", "binary"):
+        for label, cache_bytes in (("cache_on", None), ("cache_off", 0)):
+            kwargs = {} if cache_bytes is None else {"cache_bytes": 0}
+            # Servers run one after another over the same read-only
+            # store; each owns a fresh service (and a fresh cache).
+            with KGServer(store, port=0, **kwargs).start() \
+                    as server:
+                with RemoteQueryEngine(server.url,
+                                       codec=client_codec) as engine:
+                    seconds = replay_remote(engine)
+                stats = server.service.stats
+            timings[f"{client_codec}_{label}"] = seconds
+            if label == "cache_on":
+                served = stats["cache_hits"] + stats["cache_misses"]
+                hit_rates[client_codec] = (stats["cache_hits"] / served
+                                           if served else 0.0)
+
+    lines = [f"{'codec':<8} {'cache off':>10} {'cache on':>10} "
+             f"{'speedup':>9} {'hit rate':>9}"]
+    speedups = {}
+    for client_codec in ("json", "binary"):
+        off = timings[f"{client_codec}_cache_off"]
+        on = timings[f"{client_codec}_cache_on"]
+        speedups[client_codec] = off / on
+        lines.append(f"{client_codec:<8} {off:>10.3f} {on:>10.3f} "
+                     f"{off / on:>8.1f}x {hit_rates[client_codec]:>9.4f}")
+    table = "\n".join(lines)
+    print(f"\nZipf traffic over the wire ({WIRE_SLICE} requests, chunked "
+          f"x{CHUNK}, loopback, advisory)\n{table}")
+    update_artifact("cache", "zipf_over_the_wire", {
+        "workload": f"first {WIRE_SLICE} requests of the Zipf(s={ZIPF_S}) "
+                    f"trace in {CHUNK}-query batched calls, loopback",
+        "backend": "columnar",
+        "codec": "json and binary (negotiated)",
+        "timings_seconds": timings,
+        "hit_rates": hit_rates,
+        "speedups_advisory": speedups,
+        "bar": "advisory (wire noise); the asserted bar is in-process",
+    })
+    # Functional floor, not a perf bar: the cache must actually have
+    # absorbed the bulk of the hot traffic on both codecs.  The floor
+    # is looser than the in-process bar because this slice is only
+    # WIRE_SLICE requests — the catalog's cold tail is a much larger
+    # share of a short trace (the 0.9 bar is asserted on the full 50k
+    # trace by the in-process test above).
+    for client_codec, rate in hit_rates.items():
+        assert rate >= 0.5, (
+            f"wire traffic was not absorbed on {client_codec}: hit rate "
+            f"{rate:.4f} < 0.5\n{table}")

@@ -132,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cursor-ttl", type=float, default=300.0,
                        help="seconds an idle server-side cursor survives "
                             "before eviction (default 300)")
+    serve.add_argument("--cache-mb", type=float, default=64.0,
+                       help="byte budget of the hot-query result cache in "
+                            "MiB (default 64; entries are invalidated on "
+                            "every write and LRU-evicted under the budget)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely (every "
+                            "query re-executes)")
     serve.add_argument("--codec", choices=("auto", "json"), default="auto",
                        help="wire codec policy: auto grants per-connection "
                             "binary negotiation (id blocks + interner "
@@ -195,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--cursor-ttl", type=float, default=300.0,
                          help="seconds an idle server-side cursor "
                               "survives before eviction (default 300)")
+    cluster.add_argument("--cache-mb", type=float, default=64.0,
+                         help="byte budget of the coordinator's hot-query "
+                              "result cache in MiB (default 64)")
+    cluster.add_argument("--no-cache", action="store_true",
+                         help="disable the coordinator's result cache")
     cluster.add_argument("--codec", choices=("auto", "json"),
                          default="auto",
                          help="wire codec policy towards clients "
@@ -326,6 +338,15 @@ def _parse_shard_of(value: Optional[str]):
     return (shard_index, n_shards)
 
 
+def _cache_bytes(args) -> int:
+    """``--cache-mb`` / ``--no-cache`` -> the service's byte budget."""
+    if args.no_cache:
+        return 0
+    if args.cache_mb < 0:
+        raise ValueError(f"--cache-mb must be >= 0, got {args.cache_mb}")
+    return int(args.cache_mb * 1024 * 1024)
+
+
 def _command_serve(args) -> int:
     """Open a saved store directory and serve the TCP query protocol."""
     import sys
@@ -341,6 +362,7 @@ def _command_serve(args) -> int:
         server = KGServer.open(args.store_dir, host=args.host, port=port,
                                max_batch=args.max_batch,
                                cursor_ttl=args.cursor_ttl,
+                               cache_bytes=_cache_bytes(args),
                                codec=args.codec,
                                shard_index=shard_index, n_shards=n_shards,
                                follow=args.follow)
@@ -429,7 +451,8 @@ def _command_cluster(args) -> int:
         port = DEFAULT_PORT if args.port is None else args.port
         server = KGServer(TripleStore(backend=backend), host=args.host,
                           port=port, max_batch=args.max_batch,
-                          cursor_ttl=args.cursor_ttl, codec=args.codec)
+                          cursor_ttl=args.cursor_ttl,
+                          cache_bytes=_cache_bytes(args), codec=args.codec)
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr, flush=True)
         return 2

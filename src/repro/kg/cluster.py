@@ -339,6 +339,28 @@ class _ShardSession:
                 shard_index=self.index) from exc
         return result
 
+    def stats_probe(self) -> Optional[dict]:
+        """Best-effort ``stats`` read from whichever endpoint answers.
+
+        Deliberately OUTSIDE the failover machinery: no counter is
+        bumped (an observability poll must not skew the request/reroute
+        counters tests and dashboards reason about), only one sweep is
+        made with no backoff sleep, and a dedicated short-lived
+        connection is used so a worker-thread stats call never shares a
+        socket with the dispatcher's in-flight reads.  ``None`` when no
+        endpoint answers.
+        """
+        for address in self.addresses:
+            try:
+                with RemoteClient(address, codec="json",
+                                  timeout=self.timeout) as client:
+                    result = client.call("stats")
+            except (ProtocolError, OSError):
+                continue
+            if isinstance(result, dict):
+                return result
+        return None
+
     def handshake(self, coordinator_fingerprint: Optional[str]) -> None:
         """Probe every endpoint's ``role`` and gate the raw-id path."""
         fingerprints: List[Optional[str]] = []
@@ -798,10 +820,18 @@ class ClusterBackend(_BatchedQueriesMixin):
     # ------------------------------------------------------------------ #
     # observability + lifecycle
     # ------------------------------------------------------------------ #
-    def cluster_stats(self) -> dict:
-        """Per-shard request/retry/reroute counters and the replica
-        read share — the ``stats`` op of a coordinator server includes
-        this under ``"cluster"``."""
+    def cluster_stats(self, *, probe_shards: bool = True) -> dict:
+        """Per-shard request/retry/reroute counters, the replica read
+        share, and (with ``probe_shards``, the default) each shard
+        server's result-cache counters — the ``stats`` op of a
+        coordinator server includes all of it under ``"cluster"``.
+
+        Counters are snapshotted FIRST, then shards are probed over
+        dedicated connections that bump nothing, so reading stats never
+        perturbs the numbers being read.  A shard whose endpoints are
+        all unreachable reports ``"cache": None`` rather than failing
+        the whole stats call.
+        """
         totals = {key: 0 for key in
                   ("requests", "retries", "reroutes", "leader_reads",
                    "replica_reads", "writes", "failures")}
@@ -819,6 +849,27 @@ class ClusterBackend(_BatchedQueriesMixin):
         reads = totals["leader_reads"] + totals["replica_reads"]
         totals["replica_read_share"] = \
             (totals["replica_reads"] / reads) if reads else 0.0
+        if probe_shards:
+            cache_keys = ("cache_hits", "cache_misses", "cache_evictions",
+                          "cache_invalidations", "cache_entries",
+                          "cache_bytes")
+            cache_totals = {key: 0 for key in cache_keys}
+            reachable = 0
+            for shard, session in zip(shards, self._sessions):
+                probed = session.stats_probe()
+                service = (probed or {}).get("service")
+                if not isinstance(service, dict):
+                    shard["cache"] = None
+                    continue
+                reachable += 1
+                shard["cache"] = {key: service.get(key, 0)
+                                  for key in cache_keys}
+                shard["cache"]["enabled"] = bool(
+                    service.get("cache_enabled", False))
+                for key in cache_keys:
+                    cache_totals[key] += int(service.get(key, 0) or 0)
+            cache_totals["shards_reporting"] = reachable
+            totals["cache"] = cache_totals
         return {"n_shards": self.n_shards,
                 "fast_id_path": self._fast_id_path(),
                 "shards": shards,

@@ -424,6 +424,20 @@ class ResultCursor:
         """True when pages are available as :class:`IdBlock`\\ s."""
         return isinstance(self._rows, np.ndarray)
 
+    @property
+    def block(self) -> Optional[IdBlock]:
+        """The cursor's *entire* id-row block, independent of paging state.
+
+        ``None`` for list-backed cursors.  This is what the
+        :class:`~repro.kg.service.QueryService` result cache pins: the
+        full deduplicated block of a limit-stripped execution, from
+        which every per-request limited view is a zero-copy slice.
+        """
+        if self._closed or not isinstance(self._rows, np.ndarray):
+            return None
+        return IdBlock(self._names, self._kinds, self._rows,
+                       triples=self._triples)
+
     def fetch_block(self, max_rows: int):
         """The id-space form of :meth:`fetch`: the next page as an
         :class:`IdBlock` when the cursor is id-backed, the materialized

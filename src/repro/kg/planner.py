@@ -14,7 +14,12 @@ the query text plus one batched ``count_many`` round-trip to the store:
   ID-space executor can run the plan;
 * select validation — a ``select`` naming a variable the query never
   binds raises :class:`~repro.errors.QueryError` instead of silently
-  producing partial rows.
+  producing partial rows;
+* :func:`cache_key` — the stable canonical identity of a plan that the
+  :class:`~repro.kg.service.QueryService` result cache is keyed by:
+  interned pattern ids plus ``select`` plus the reorder flag,
+  deliberately **limit-independent** (cache entries hold the full
+  deduplicated id-row block; ``limit`` applies at projection).
 
 Plans are inert data; handing one to
 :func:`repro.kg.executor.execute_plan` produces bindings.
@@ -237,3 +242,53 @@ def plan_query(store: TripleStore, query: PatternQuery,
                reorder: bool = True) -> QueryPlan:
     """Plan a single query (see :func:`plan_queries`)."""
     return plan_queries(store, [query], reorder=reorder)[0]
+
+
+def cache_key(backend: object, query: PatternQuery,
+              reorder: bool = True) -> Optional[Tuple]:
+    """The stable identity of a query's *result*, or ``None`` if uncacheable.
+
+    Two queries get the same key exactly when the ID-space executor is
+    guaranteed to produce bit-identical id-row blocks for them against
+    an unchanged store:
+
+    * constants are canonicalized to their interned ids (position 1
+      through the relation interner, positions 0/2 through the entity
+      interner), so spelling differences that alias the same id — there
+      are none today, but the interner owns that decision — cannot
+      split the cache;
+    * variables keep their names verbatim: renaming a variable changes
+      projection column names, which are part of the result;
+    * ``select`` and the ``reorder`` flag are part of the key (both
+      change the projected columns or, for reorder, the count-probe
+      path), but ``limit`` is deliberately **not**: execution only
+      applies ``limit`` as a final projection slice, so one cache entry
+      holds the full block and every limit is a view of it.
+
+    A constant the interner has never seen keys as ``("#", term)``.
+    That is only sound because the service drops the whole cache on
+    every mutation epoch bump — interners grow only on writes, so
+    between bumps "unknown" is as stable an identity as an id.
+
+    ``None`` (bypass the cache) is returned for queries the ID-space
+    executor refuses (a variable spanning entity and relation
+    positions) and for queries projecting no columns at all.
+    """
+    kinds, id_space = _analyze_variables(query)
+    if not id_space:
+        return None
+    names = query.select or tuple(query.variables())
+    if not names:
+        return None
+    entity_lookup = backend.entity_interner.lookup
+    relation_lookup = backend.relation_interner.lookup
+    terms: List[object] = []
+    for pattern in query.patterns:
+        for position, term in enumerate(pattern):
+            if is_variable(term):
+                terms.append(term)
+                continue
+            lookup = relation_lookup if position == 1 else entity_lookup
+            interned = lookup(term)
+            terms.append(("#", term) if interned is None else interned)
+    return (bool(reorder), tuple(query.select), tuple(terms))

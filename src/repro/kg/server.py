@@ -82,7 +82,8 @@ from repro.kg.protocol import (
     error_to_wire,
 )
 from repro.kg.routing import interner_fingerprint
-from repro.kg.service import DEFAULT_CURSOR_TTL, QueryService
+from repro.kg.service import (DEFAULT_CACHE_BYTES, DEFAULT_CURSOR_TTL,
+                              QueryService)
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
 from repro.kg.wal import OP_ADD, scan_wal
@@ -231,8 +232,9 @@ class KGServer:
     host / port:
         Bind address (IPv4 or IPv6 literal).  ``port=0`` picks an
         ephemeral port; read the actual one from :attr:`address`.
-    max_batch / cursor_ttl:
-        Forwarded to the owned :class:`QueryService`.
+    max_batch / cursor_ttl / cache_bytes:
+        Forwarded to the owned :class:`QueryService` (``cache_bytes``
+        is the hot-query result cache budget; ``0`` disables caching).
     max_frame_bytes:
         Per-frame payload cap, both directions.
     codec:
@@ -251,6 +253,7 @@ class KGServer:
     def __init__(self, store: TripleStore, *, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT, max_batch: int = 256,
                  cursor_ttl: float = DEFAULT_CURSOR_TTL,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES,
                  max_frame_bytes: int = MAX_FRAME_BYTES,
                  codec: str = "auto",
                  workers: int = DEFAULT_WORKERS,
@@ -301,7 +304,8 @@ class KGServer:
         self._stop_replication = threading.Event()
         self._replication_thread: Optional[threading.Thread] = None
         self.service = QueryService(store, max_batch=max_batch,
-                                    cursor_ttl=cursor_ttl)
+                                    cursor_ttl=cursor_ttl,
+                                    cache_bytes=cache_bytes)
         try:
             infos = socket.getaddrinfo(host, port, type=socket.SOCK_STREAM)
             family, _type, proto, _name, sockaddr = infos[0]

@@ -45,6 +45,18 @@ from a plain snapshot directory raise a typed
 paging the snapshot they materialized — a write never splices
 mixed-epoch rows into an existing cursor.
 
+Hot queries short-circuit all of the above: the dispatcher consults a
+**result cache** before a pattern query joins a batch round — key =
+:func:`repro.kg.planner.cache_key` (interned pattern ids + select +
+reorder flag, limit-independent), value = the full deduplicated
+:class:`~repro.kg.executor.IdBlock` (strings still materialize per
+request/page, so the binary codec ships cached blocks without
+re-stringifying), LRU-evicted under a byte budget, dropped wholesale on
+every ``mutation_epoch`` bump.  Check, fill and invalidation all happen
+on the one dispatcher thread, so a stale hit after an acked write is
+impossible by construction; ``compact()`` doesn't bump the epoch, so
+compaction keeps the cache warm.
+
 Construction warms the backend up (attaches memmaps, folds any pending
 overlay) so steady-state dispatch never pays a consolidation.  The
 store must not be mutated *around* a running service — all mutations go
@@ -62,7 +74,9 @@ import queue
 import secrets
 import threading
 import time
+from collections import OrderedDict
 from concurrent.futures import Future
+from dataclasses import replace as dataclass_replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
@@ -72,7 +86,8 @@ from repro.errors import CursorError, QueryError, StorageError
 from repro.kg.backend import Pattern, supports_id_queries
 from repro.kg.executor import (Binding, IdBlock, ResultCursor,
                                execute_plans_cursors)
-from repro.kg.planner import PatternQuery, plan_queries
+from repro.kg.planner import (PatternQuery, cache_key as plan_cache_key,
+                              plan_queries, validate_limit)
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
 
@@ -97,6 +112,9 @@ _SHUTDOWN = object()
 
 #: Default idle lifetime of an open cursor, seconds.
 DEFAULT_CURSOR_TTL = 300.0
+
+#: Default byte budget of the hot-query result cache (0 disables it).
+DEFAULT_CACHE_BYTES = 64 * 1024 * 1024
 
 
 def _resolve(future: "Future", result=None, exception: Optional[BaseException] = None) -> None:
@@ -125,7 +143,7 @@ class _Request:
     back to materialized lists when the backend has no id surface.
     """
 
-    __slots__ = ("kind", "payload", "reorder", "raw", "future")
+    __slots__ = ("kind", "payload", "reorder", "raw", "future", "cache_key")
 
     def __init__(self, kind: str, payload, reorder: bool,
                  raw: bool = False) -> None:
@@ -134,6 +152,75 @@ class _Request:
         self.reorder = reorder
         self.raw = raw
         self.future: "Future" = Future()
+        # Set by the dispatcher for cacheable pattern queries: the plan
+        # cache key a missing result should be inserted under.
+        self.cache_key: Optional[Tuple] = None
+
+
+class _ResultCache:
+    """Hot-query result cache: plan cache key → the full deduplicated
+    :class:`~repro.kg.executor.IdBlock`, LRU-evicted under a byte budget.
+
+    Structure is touched exclusively by the dispatcher thread; the
+    service wraps every counter-mutating call in its stats lock so
+    :attr:`QueryService.stats` reads one consistent snapshot.  Cached
+    blocks are immutable — a hit serves zero-copy slices of the stored
+    array, and invalidation merely drops references, so views handed to
+    still-open cursors survive a drop unchanged.  An entry bigger than
+    the whole budget is never admitted (it could only thrash).
+    """
+
+    __slots__ = ("max_bytes", "bytes", "entries", "hits", "misses",
+                 "evictions", "invalidations", "_table")
+
+    #: Per-entry bookkeeping charge on top of the raw row bytes (key
+    #: tuple, table slot, block header) so a flood of tiny results
+    #: still counts against the budget.
+    ENTRY_OVERHEAD = 128
+
+    def __init__(self, max_bytes: int) -> None:
+        self.max_bytes = int(max_bytes)
+        self.bytes = 0
+        self.entries = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._table: "OrderedDict[Tuple, Tuple[int, IdBlock]]" = OrderedDict()
+
+    @classmethod
+    def _cost(cls, block: IdBlock) -> int:
+        return int(block.rows.nbytes) + cls.ENTRY_OVERHEAD
+
+    def get(self, key: Tuple) -> Optional[IdBlock]:
+        entry = self._table.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._table.move_to_end(key)
+        self.hits += 1
+        return entry[1]
+
+    def put(self, key: Tuple, block: IdBlock) -> None:
+        cost = self._cost(block)
+        if cost > self.max_bytes:
+            return
+        previous = self._table.pop(key, None)
+        if previous is not None:
+            self.bytes -= previous[0]
+        while self._table and self.bytes + cost > self.max_bytes:
+            _key, (evicted_cost, _block) = self._table.popitem(last=False)
+            self.bytes -= evicted_cost
+            self.evictions += 1
+        self._table[key] = (cost, block)
+        self.bytes += cost
+        self.entries = len(self._table)
+
+    def clear(self) -> None:
+        self.invalidations += 1
+        self._table.clear()
+        self.bytes = 0
+        self.entries = 0
 
 
 class QueryService:
@@ -147,6 +234,16 @@ class QueryService:
         Upper bound on how many requests one dispatch round coalesces.
         Larger batches amortize planning and fetch round-trips better;
         the default is plenty to saturate the batched backend APIs.
+    cache_bytes:
+        Byte budget of the hot-query result cache (``0`` disables it).
+        The dispatcher checks the cache before a pattern query joins a
+        batch round; entries are the full limit-stripped id-row blocks
+        keyed by :func:`~repro.kg.planner.cache_key`, LRU-evicted under
+        this budget, and dropped wholesale on every ``mutation_epoch``
+        bump (``compact()`` doesn't bump, so compaction keeps the cache
+        warm).  Because the same single dispatcher checks, fills and
+        invalidates, a stale hit after a write is impossible by
+        construction.
 
     Use as a context manager or call :meth:`close` — the dispatcher is
     a daemon thread, but closing deterministically drains in-flight
@@ -154,11 +251,14 @@ class QueryService:
     """
 
     def __init__(self, store: TripleStore, *, max_batch: int = 256,
-                 cursor_ttl: float = DEFAULT_CURSOR_TTL) -> None:
+                 cursor_ttl: float = DEFAULT_CURSOR_TTL,
+                 cache_bytes: int = DEFAULT_CACHE_BYTES) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         if cursor_ttl <= 0:
             raise ValueError(f"cursor_ttl must be > 0 seconds, got {cursor_ttl}")
+        if cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {cache_bytes}")
         self.store = store
         self.max_batch = int(max_batch)
         self.cursor_ttl = float(cursor_ttl)
@@ -168,7 +268,11 @@ class QueryService:
         # Open cursors: id -> (ResultCursor, monotonic deadline).  Only
         # the dispatcher thread touches this dict after construction.
         self._cursors: Dict[str, Tuple[ResultCursor, float]] = {}
-        # Observability: how much multiplexing actually happens.
+        # Observability: how much multiplexing actually happens.  All
+        # counters mutate under _stats_lock so `stats` can read one
+        # consistent snapshot (the dispatcher holds it only for the
+        # few-instruction bumps, never across backend calls).
+        self._stats_lock = threading.Lock()
         self.requests_served = 0
         self.batches_dispatched = 0
         self.largest_batch = 0
@@ -177,6 +281,12 @@ class QueryService:
         # Monotonically increasing write clock: +1 per acked write batch.
         self.mutation_epoch = 0
         self.write_batches = 0
+        # The result cache only understands id-space results; a backend
+        # without the id surface (or a zero budget) runs uncached.
+        self._cache: Optional[_ResultCache] = (
+            _ResultCache(cache_bytes)
+            if cache_bytes > 0 and supports_id_queries(store.backend)
+            else None)
         self._warm_up()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="kg-query-service", daemon=True)
@@ -184,7 +294,8 @@ class QueryService:
 
     @classmethod
     def open(cls, directory: Union[str, Path], *, max_batch: int = 256,
-             cursor_ttl: float = DEFAULT_CURSOR_TTL) -> "QueryService":
+             cursor_ttl: float = DEFAULT_CURSOR_TTL,
+             cache_bytes: int = DEFAULT_CACHE_BYTES) -> "QueryService":
         """Open a saved store directory (any layout) and serve it.
 
         Dispatches on the header magic exactly like
@@ -193,28 +304,41 @@ class QueryService:
         columns.
         """
         return cls(TripleStore.open(directory), max_batch=max_batch,
-                   cursor_ttl=cursor_ttl)
+                   cursor_ttl=cursor_ttl, cache_bytes=cache_bytes)
 
     @property
     def stats(self) -> Dict[str, int]:
-        """A snapshot of the multiplexing counters.
+        """A consistent snapshot of the multiplexing counters.
 
         ``batches_dispatched < requests_served`` is the signature of
         coalescing actually happening (the first request of a burst can
-        only ever dispatch solo).
+        only ever dispatch solo).  Taken under the same lock every
+        dispatcher-side counter bump holds, so the fields cohere —
+        e.g. ``cache_hits + cache_misses`` never transiently exceeds
+        the pattern queries served.
         """
-        return {
-            "requests_served": self.requests_served,
-            "batches_dispatched": self.batches_dispatched,
-            "largest_batch": self.largest_batch,
-            "cursors_opened": self.cursors_opened,
-            "cursors_expired": self.cursors_expired,
-            "open_cursors": len(self._cursors),
-            "max_batch": self.max_batch,
-            "mutation_epoch": self.mutation_epoch,
-            "write_batches": self.write_batches,
-            "writable": self.store.writable,
-        }
+        with self._stats_lock:
+            cache = self._cache
+            return {
+                "requests_served": self.requests_served,
+                "batches_dispatched": self.batches_dispatched,
+                "largest_batch": self.largest_batch,
+                "cursors_opened": self.cursors_opened,
+                "cursors_expired": self.cursors_expired,
+                "open_cursors": len(self._cursors),
+                "max_batch": self.max_batch,
+                "mutation_epoch": self.mutation_epoch,
+                "write_batches": self.write_batches,
+                "writable": self.store.writable,
+                "cache_enabled": cache is not None,
+                "cache_max_bytes": cache.max_bytes if cache else 0,
+                "cache_bytes": cache.bytes if cache else 0,
+                "cache_entries": cache.entries if cache else 0,
+                "cache_hits": cache.hits if cache else 0,
+                "cache_misses": cache.misses if cache else 0,
+                "cache_evictions": cache.evictions if cache else 0,
+                "cache_invalidations": cache.invalidations if cache else 0,
+            }
 
     def _warm_up(self) -> None:
         """Force lazy attach/consolidation before concurrent dispatch starts.
@@ -475,9 +599,10 @@ class QueryService:
                 return
 
     def _serve(self, batch: List[_Request]) -> None:
-        self.batches_dispatched += 1
-        self.largest_batch = max(self.largest_batch, len(batch))
-        self.requests_served += len(batch)
+        with self._stats_lock:
+            self.batches_dispatched += 1
+            self.largest_batch = max(self.largest_batch, len(batch))
+            self.requests_served += len(batch)
         self._evict_expired_cursors()
         by_kind: Dict[str, List[_Request]] = {}
         writes: List[_Request] = []
@@ -519,9 +644,19 @@ class QueryService:
         ack) resolves only after both — a batch whose ack was observed
         is recoverable, a batch whose ack never arrived may or may not
         be.
+
+        Any ADD/REMOVE — even one whose apply *failed*, since a partial
+        apply may already have interned new symbols or spliced rows —
+        drops the whole result cache before this round's reads are
+        served.  COMPACT keeps it: compaction changes the on-disk
+        generation, not the triple set or the interners, so the cache
+        stays warm through it by design.
         """
         store = self.store
+        mutated = False
         for request in requests:
+            if request.kind != _COMPACT:
+                mutated = True
             try:
                 if request.kind == _ADD:
                     result = store.add_many(request.payload)
@@ -533,11 +668,21 @@ class QueryService:
                 _resolve(request.future, exception=exc)
                 continue
             if request.kind != _COMPACT:
-                self.mutation_epoch += 1
-                self.write_batches += 1
+                with self._stats_lock:
+                    self.mutation_epoch += 1
+                    self.write_batches += 1
             _resolve(request.future, result)
+        if mutated and self._cache is not None:
+            with self._stats_lock:
+                self._cache.clear()
 
     def _serve_queries(self, requests: List[_Request]) -> None:
+        # Cache check first: hot queries never join the planning batch.
+        if self._cache is not None:
+            requests = [request for request in requests
+                        if not self._serve_query_from_cache(request)]
+            if not requests:
+                return
         # Group by reorder flag so each group plans in one batched call.
         groups: Dict[bool, List[_Request]] = {}
         for request in requests:
@@ -545,8 +690,9 @@ class QueryService:
         for reorder, group in groups.items():
             try:
                 # The fast path: ONE batched count_many plans the whole group.
-                plans = plan_queries(self.store, [request.payload
-                                                  for request in group],
+                plans = plan_queries(self.store,
+                                     [self._plannable_query(request)
+                                      for request in group],
                                      reorder=reorder)
                 planned = group
             except Exception:
@@ -555,8 +701,9 @@ class QueryService:
                 plans, planned = [], []
                 for request in group:
                     try:
-                        plans.append(plan_queries(self.store, [request.payload],
-                                                  reorder=reorder)[0])
+                        plans.append(plan_queries(
+                            self.store, [self._plannable_query(request)],
+                            reorder=reorder)[0])
                         planned.append(request)
                     except Exception as exc:
                         _resolve(request.future, exception=exc)
@@ -569,12 +716,89 @@ class QueryService:
                     _resolve(request.future, exception=exc)
                 continue
             for request, cursor in zip(planned, cursors):
-                if request.kind == _CURSOR_QUERY:
-                    _resolve(request.future, self._register_cursor(cursor))
-                elif request.raw:
-                    _resolve(request.future, cursor.fetch_all_block())
-                else:
-                    _resolve(request.future, cursor.fetch_all())
+                cursor = self._maybe_cache_result(request, cursor)
+                self._resolve_query(request, cursor)
+
+    def _resolve_query(self, request: _Request, cursor: ResultCursor) -> None:
+        if request.kind == _CURSOR_QUERY:
+            _resolve(request.future, self._register_cursor(cursor))
+        elif request.raw:
+            _resolve(request.future, cursor.fetch_all_block())
+        else:
+            _resolve(request.future, cursor.fetch_all())
+
+    @staticmethod
+    def _plannable_query(request: _Request) -> PatternQuery:
+        """The query the miss path actually executes.
+
+        Cacheable queries plan with ``limit`` stripped — execution only
+        ever applies a limit as the final projection slice, so the full
+        block costs the same fetch/join work and every limit variant of
+        the query can be served from the one cached entry.  The
+        original limit was already validated on the cache-check path.
+        """
+        query = request.payload
+        if request.cache_key is not None and query.limit is not None:
+            return dataclass_replace(query, limit=None)
+        return query
+
+    def _serve_query_from_cache(self, request: _Request) -> bool:
+        """Try to answer a pattern query from the result cache.
+
+        True means the request was fully resolved (a hit, or a
+        limit-validation error).  On a miss the computed key stays on
+        the request so :meth:`_maybe_cache_result` can insert the
+        executed block under it.
+        """
+        query = request.payload
+        try:
+            key = plan_cache_key(self.store.backend, query,
+                                 reorder=request.reorder)
+        except Exception:
+            # A malformed query: fall through and let the planning path
+            # raise the real, typed error.
+            return False
+        if key is None:
+            return False
+        try:
+            validate_limit(query.limit)
+        except Exception as exc:
+            _resolve(request.future, exception=exc)
+            return True
+        request.cache_key = key
+        with self._stats_lock:
+            block = self._cache.get(key)
+        if block is None:
+            return False
+        rows = block.rows if query.limit is None else block.rows[:query.limit]
+        cursor = ResultCursor(self.store.backend, block.names, block.kinds,
+                              rows)
+        self._resolve_query(request, cursor)
+        return True
+
+    def _maybe_cache_result(self, request: _Request,
+                            cursor: ResultCursor) -> ResultCursor:
+        """Insert a cacheable executed result; return the cursor to serve.
+
+        The executed cursor holds the FULL block (the limit was
+        stripped before planning), so the request is handed a zero-copy
+        limited view of it.  A list-backed cursor with a cache key can
+        only be the empty result of an un-interned constant — nothing
+        worth pinning, and limiting the empty list is a no-op.
+        """
+        key = request.cache_key
+        if key is None:
+            return cursor
+        block = cursor.block
+        if block is None:
+            return cursor
+        with self._stats_lock:
+            self._cache.put(key, block)
+        limit = request.payload.limit
+        if limit is not None and len(block.rows) > limit:
+            return ResultCursor(self.store.backend, block.names, block.kinds,
+                                block.rows[:limit])
+        return cursor
 
     def _serve_lookups(self, requests: List[_Request]) -> None:
         # Two batched backend calls at most: raw lookups and match
@@ -696,7 +920,8 @@ class QueryService:
     def _register_cursor(self, cursor: ResultCursor) -> str:
         cursor_id = f"cur-{secrets.token_hex(8)}"
         self._cursors[cursor_id] = (cursor, time.monotonic() + self.cursor_ttl)
-        self.cursors_opened += 1
+        with self._stats_lock:
+            self.cursors_opened += 1
         return cursor_id
 
     def _evict_expired_cursors(self) -> None:
@@ -705,7 +930,8 @@ class QueryService:
                           in self._cursors.items() if deadline < now]:
             cursor, _deadline = self._cursors.pop(cursor_id)
             cursor.close()
-            self.cursors_expired += 1
+            with self._stats_lock:
+                self.cursors_expired += 1
 
     def _lookup_cursor(self, cursor_id: str) -> ResultCursor:
         entry = self._cursors.get(cursor_id)
@@ -719,7 +945,8 @@ class QueryService:
         if deadline < time.monotonic():
             del self._cursors[cursor_id]
             cursor.close()
-            self.cursors_expired += 1
+            with self._stats_lock:
+                self.cursors_expired += 1
             raise CursorError(
                 f"cursor {cursor_id!r} expired after {self.cursor_ttl:g}s "
                 f"idle; re-run the query")

@@ -28,6 +28,7 @@ Four suites, mirroring what a network boundary must survive:
 from __future__ import annotations
 
 import gc
+import os
 import socket
 import struct
 import threading
@@ -58,12 +59,30 @@ from repro.kg.protocol import (
     send_frame,
 )
 from repro.kg.query import PatternQuery, QueryEngine
-from repro.kg.server import KGServer
+from repro.kg.server import KGServer as _KGServer
+from repro.kg.service import DEFAULT_CACHE_BYTES
 from repro.kg.sharded_backend import ShardedBackend
 from repro.kg.store import TripleStore
 from repro.kg.triple import triples_from_tuples
 
 NUM_PRODUCTS = 48
+
+#: The CI ``server-cache-matrix`` job reruns this whole adversarial
+#: suite with the result cache disabled (``KG_SERVER_CACHE=off``); the
+#: default run keeps the server default (cache on), so every parity,
+#: abuse and fault path is exercised both with and without the cache in
+#: the loop — without doubling the local test count the way another
+#: fixture axis would.
+_CACHE_BYTES = 0 if os.environ.get("KG_SERVER_CACHE") == "off" \
+    else DEFAULT_CACHE_BYTES
+
+
+class KGServer(_KGServer):
+    """The production server with this run's cache policy baked in."""
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("cache_bytes", _CACHE_BYTES)
+        super().__init__(*args, **kwargs)
 
 
 def _rows():
