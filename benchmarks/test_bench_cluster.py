@@ -148,6 +148,14 @@ def test_cluster_scaling_1_vs_2_vs_4_shard_processes(tmp_path):
             join_rows = [row for rows in join_results for row in rows]
             probe_time, probe_blocks = _best_of(
                 REPEATS, lambda: backend.match_ids_many(id_probes))
+            # The timings above are only meaningful in steady state: a
+            # flaky shard process would hide retry/backoff sleeps (or
+            # even a whole leader promotion) inside the measured wall
+            # clock, so prove the failover machinery stayed idle.
+            totals = backend.cluster_stats(probe_shards=False)["totals"]
+            assert totals["failures"] == 0, totals
+            assert totals["reroutes"] == 0, totals
+            assert totals["promotions"] == 0, totals
             backend.close()
         finally:
             for proc in procs:

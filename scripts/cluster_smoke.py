@@ -6,16 +6,23 @@ box a separate OS process talking TCP on loopback:
 
 * 2 shard servers   (``repro serve --shard-of K/2`` over ``repro
   shard-split`` output),
-* 1 WAL-following replica of shard 0 (``--follow``),
+* 1 replica of shard 0 bootstrapped OVER THE WIRE from an empty
+  directory (``--follow`` + ``snapshot_ship`` — no hand-copied files),
 * 1 coordinator     (``repro cluster``),
 
 then drives join and point-lookup workloads through the coordinator
 with the ordinary remote client and checks the answers against an
 in-process ``ShardedBackend(2)`` oracle (a cluster of N must be
-bit-identical to it).  Finally it kills the shard-0 leader and reruns
-the point lookups: with the replica alive every read must still
-succeed (``failures == 0``, ``reroutes > 0`` in the coordinator's
-cluster stats).
+bit-identical to it).  Then the self-management story, in order:
+
+1. compact the shard-0 leader under the live follower — the follower
+   must re-bootstrap automatically (fetch the new snapshot generation,
+   flip its live pointer) and catch up on post-compaction writes;
+2. kill the shard-0 leader mid-workload — every read must still succeed
+   via the replica (``failures == 0``, ``reroutes > 0``), and the next
+   shard-0 write must promote the replica automatically
+   (``promotions == 1``) and land — writes resume with no operator
+   action.
 
 Run from the repo root::
 
@@ -31,6 +38,7 @@ import shutil
 import subprocess
 import sys
 import tempfile
+import time
 import traceback
 from pathlib import Path
 from typing import List, Tuple
@@ -63,21 +71,30 @@ def _workload_rows() -> List[Tuple[str, str, str]]:
 
 
 def _boot(argv: List[str], what: str) -> Tuple[subprocess.Popen, str]:
-    """Start a repro.cli subprocess; return (proc, bound host:port)."""
+    """Start a repro.cli subprocess; return (proc, bound host:port).
+
+    Scans past pre-serving output lines (a bootstrapping replica prints
+    its over-the-wire fetch before the serving banner).
+    """
     env = dict(os.environ)
     env["PYTHONPATH"] = str(REPO_ROOT / "src")
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.cli", *argv],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env, cwd=str(REPO_ROOT))
-    line = proc.stdout.readline()
-    if " on " not in line:
-        proc.terminate()
-        raise AssertionError(
-            f"{what} failed to start: {line!r} {proc.stdout.read()!r}")
-    url = line.split(" on ", 1)[1].split()[0].rstrip(",")
-    print(f"  booted {what}: pid {proc.pid} on {url} — {line.strip()}")
-    return proc, url
+    for _ in range(20):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        if " on " in line:
+            url = line.split(" on ", 1)[1].split()[0].rstrip(",")
+            print(f"  booted {what}: pid {proc.pid} on {url} "
+                  f"— {line.strip()}")
+            return proc, url
+        print(f"  [{what}] {line.strip()}")
+    proc.terminate()
+    raise AssertionError(
+        f"{what} failed to start: {proc.stdout.read()!r}")
 
 
 def main() -> int:
@@ -111,8 +128,7 @@ def main() -> int:
             check=True, env={**os.environ,
                              "PYTHONPATH": str(REPO_ROOT / "src")},
             cwd=str(REPO_ROOT))
-        replica_dir = tmp / "shard-0-replica"
-        shutil.copytree(split_dir / "shard-0", replica_dir)
+        replica_dir = tmp / "shard-0-replica"  # empty: bootstrapped on boot
 
         shard_urls = []
         for index in range(N_SHARDS):
@@ -165,6 +181,46 @@ def main() -> int:
               and totals.get("failures", 1) == 0,
               repr(cluster)[:200])
 
+        def replica_status() -> dict:
+            with RemoteClient(replica_url, codec="json") as client:
+                return client.call("replication_status")
+
+        def replica_count(pattern) -> int:
+            with RemoteClient(replica_url, codec="json") as client:
+                return client.call("count", pattern=list(pattern))
+
+        def wait_until(predicate, timeout=20.0) -> bool:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                if predicate():
+                    return True
+                time.sleep(0.1)
+            return False
+
+        # ---- 1. leader compaction under the live follower ----------- #
+        with RemoteClient(coord_url) as writer:
+            writer.call("add_many", triples=[
+                [shard0_heads[1], "smokeWrite", "pre-compact"]])
+        check("pre-compaction write visible on the follower",
+              wait_until(lambda: replica_count(
+                  [shard0_heads[1], "smokeWrite", "pre-compact"]) == 1))
+        print(f"  compacting shard-0 leader under the live follower")
+        with RemoteClient(shard_urls[0], codec="json") as shard0:
+            new_generation = shard0.call("compact")["generation"]
+        check("follower re-bootstraps across leader compaction",
+              wait_until(lambda: (lambda s: s.get("rebootstraps", 0) >= 1
+                                  and s.get("generation") == new_generation
+                                  and s.get("last_error") is None)
+                         (replica_status())),
+              repr(replica_status()))
+        with RemoteClient(coord_url) as writer:
+            writer.call("add_many", triples=[
+                [shard0_heads[2], "smokeWrite", "post-compact"]])
+        check("follower catches up on post-compaction writes",
+              wait_until(lambda: replica_count(
+                  [shard0_heads[2], "smokeWrite", "post-compact"]) == 1))
+
+        # ---- 2. leader kill: reads reroute, writes promote ----------- #
         print(f"  killing shard-0 leader (pid {leader0.pid}) mid-workload")
         leader0.kill()
         leader0.wait(timeout=10)
@@ -182,6 +238,26 @@ def main() -> int:
               totals.get("failures", 1) == 0
               and totals.get("reroutes", 0) > 0,
               repr(totals))
+
+        with RemoteClient(coord_url) as writer:
+            writer.call("add_many", triples=[
+                [shard0_heads[3], "smokeWrite", "promoted"]])
+        check("write to the dead leader's shard promoted the replica",
+              replica_count([shard0_heads[3], "smokeWrite",
+                             "promoted"]) == 1
+              and replica_status().get("role") == "leader")
+        stats = RemoteClient(coord_url).call("stats")
+        totals = stats.get("cluster", {}).get("totals", {})
+        check("promotion counted once, still zero failed reads",
+              totals.get("promotions", 0) == 1
+              and totals.get("failures", 1) == 0,
+              repr(totals))
+        with RemoteClient(coord_url) as writer:
+            writer.call("add_many", triples=[
+                [shard0_heads[4], "smokeWrite", "steady-state"]])
+        check("writes keep flowing after the promotion",
+              replica_count([shard0_heads[4], "smokeWrite",
+                             "steady-state"]) == 1)
 
         print(f"cluster smoke: {'OK' if failures == 0 else 'FAILED'} "
               f"({failures} failing checks)")

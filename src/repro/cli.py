@@ -41,6 +41,7 @@ into a fresh snapshot generation (and truncates the log).
 from __future__ import annotations
 
 import argparse
+import math
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -152,9 +153,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--follow", default=None, metavar="HOST:PORT",
                        help="run as a read-only replica of the given "
                             "leader, continuously replaying its WAL via "
-                            "the wal_tail op (requires a live store "
-                            "directory bootstrapped from a copy of the "
-                            "leader's)")
+                            "the wal_tail op; a missing or empty "
+                            "--store-dir is bootstrapped from the leader "
+                            "over the wire (snapshot_ship) before serving")
+    serve.add_argument("--follow-poll-interval", type=float, default=0.05,
+                       help="seconds a replica sleeps between wal_tail "
+                            "polls of its leader (default 0.05; must be "
+                            "a finite positive number)")
 
     split = subparsers.add_parser(
         "shard-split",
@@ -342,9 +347,27 @@ def _cache_bytes(args) -> int:
     """``--cache-mb`` / ``--no-cache`` -> the service's byte budget."""
     if args.no_cache:
         return 0
-    if args.cache_mb < 0:
-        raise ValueError(f"--cache-mb must be >= 0, got {args.cache_mb}")
+    if not math.isfinite(args.cache_mb) or args.cache_mb < 0:
+        raise ValueError(
+            f"--cache-mb must be a finite number >= 0, got {args.cache_mb}")
     return int(args.cache_mb * 1024 * 1024)
+
+
+def _follow_poll_interval(args) -> float:
+    """Validate ``--follow-poll-interval`` at the CLI boundary.
+
+    argparse's ``type=float`` happily accepts ``nan``, ``inf`` and
+    non-positive values — all of which would either busy-spin the
+    replication thread or stall it forever, so they are rejected here
+    with the same typed error path (exit code 2) as every other bad
+    flag rather than surfacing as a server-constructor traceback.
+    """
+    interval = args.follow_poll_interval
+    if not math.isfinite(interval) or interval <= 0:
+        raise ValueError(
+            f"--follow-poll-interval must be a finite number of seconds "
+            f"> 0, got {interval}")
+    return interval
 
 
 def _command_serve(args) -> int:
@@ -358,14 +381,27 @@ def _command_serve(args) -> int:
         if args.store_dir is None:
             raise ValueError("serve requires --store-dir")
         shard_index, n_shards = _parse_shard_of(args.shard_of)
+        poll_interval = _follow_poll_interval(args)
+        cache_bytes = _cache_bytes(args)
         port = DEFAULT_PORT if args.port is None else args.port
-        server = KGServer.open(args.store_dir, host=args.host, port=port,
+        store_dir = Path(args.store_dir)
+        if args.follow is not None and (
+                not store_dir.exists() or not any(store_dir.iterdir())):
+            # A brand-new replica needs no hand-copied seed store: fetch
+            # the leader's current snapshot over the wire and start
+            # tailing its WAL from there.
+            from repro.kg.server import bootstrap_replica
+            generation = bootstrap_replica(store_dir, args.follow)
+            print(f"bootstrapped {store_dir} from {args.follow} "
+                  f"(generation {generation})", flush=True)
+        server = KGServer.open(store_dir, host=args.host, port=port,
                                max_batch=args.max_batch,
                                cursor_ttl=args.cursor_ttl,
-                               cache_bytes=_cache_bytes(args),
+                               cache_bytes=cache_bytes,
                                codec=args.codec,
                                shard_index=shard_index, n_shards=n_shards,
-                               follow=args.follow)
+                               follow=args.follow,
+                               follow_poll_interval=poll_interval)
     except (ReproError, ValueError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr, flush=True)
         return 2

@@ -67,8 +67,12 @@ DEFAULT_PAGE_SIZE = 512
 #: cursor per fetch, so a retried fetch could silently skip a page.
 #: ``open_cursor``/``open_match_cursor`` are safe — the worst case is
 #: an orphaned server-side cursor, which the TTL sweep reaps.
+#: ``promote`` is excluded like the writes: it bumps the store
+#: generation, and a retried promotion must stay an explicit decision
+#: of the routing layer, never a silent transport-level replay.
 IDEMPOTENT_OPS = frozenset({
     "ping", "stats", "len", "role", "wal_tail",
+    "replication_status", "snapshot_ship",
     "execute", "execute_many",
     "match", "match_many", "match_ids_many",
     "count", "count_many",

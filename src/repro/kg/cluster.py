@@ -36,8 +36,17 @@ counts a reroute and moves to the next endpoint (the underlying
 on a fresh connection with backoff).  Only when the leader AND every
 replica are unreachable does a read fail — with a typed
 :class:`~repro.errors.ShardUnavailableError` naming the shard.  Writes
-go to the leader only and are NEVER silently retried or rerouted: a
-lost response does not mean a lost write.
+go to the leader only and are NEVER silently retried once they may have
+reached the wire: a lost response does not mean a lost write.  A leader
+that stays unreachable (the write provably never left, twice across a
+backoff) triggers **automatic promotion**: the most-caught-up replica —
+highest replayed WAL seq via ``replication_status`` — receives a
+``promote`` op (stop following, compact into a new generation, reopen
+writable), the shard's endpoint list is repointed so it is endpoint 0,
+and the promoted generation becomes the split-brain floor: a demoted
+ex-leader that comes back serving an older generation is refused at
+connection time until it rejoins as a follower (``--follow`` against
+the new leader re-bootstraps it onto the promoted lineage).
 
 Consistency caveats (documented, by design): replication is
 asynchronous, so a replica read may trail the leader by the poll
@@ -52,8 +61,8 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
-from typing import Dict, Iterable, Iterator, List, Mapping, Optional, \
-    Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Mapping, NoReturn, \
+    Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -246,9 +255,12 @@ class _ShardSession:
     broken connection and moves to the next endpoint (counted as a
     reroute), sweeping all endpoints twice with a backoff in between
     before raising :class:`~repro.errors.ShardUnavailableError`.
-    Writes pin to the leader and are never retried or rerouted.
-    Server-side *typed* errors (``QueryError``, ``StorageError``, ...)
-    are not failover events — they propagate.
+    Writes pin to the leader, and a write is never *silently* re-sent
+    once it may have reached the wire; a leader that stays dead past
+    the confirming retry triggers the promotion protocol
+    (:meth:`_promote_replica`), after which the most-caught-up replica
+    is endpoint 0.  Server-side *typed* errors (``QueryError``,
+    ``StorageError``, ...) are not failover events — they propagate.
     """
 
     def __init__(self, index: int, leader: str, replicas: Sequence[str],
@@ -264,10 +276,16 @@ class _ShardSession:
             [None] * len(self.addresses)
         self._rr = 0
         self._counter_lock = threading.Lock()
+        self._promote_lock = threading.Lock()
+        #: The split-brain fence: once a replica is promoted at
+        #: generation G, any endpoint serving an older generation is a
+        #: stale ex-leader and is refused at connection time until it
+        #: re-bootstraps (``None`` = no promotion yet, no gate).
+        self.min_generation: Optional[int] = None
         self.counters: Dict[str, int] = {
             "requests": 0, "retries": 0, "reroutes": 0,
             "leader_reads": 0, "replica_reads": 0,
-            "writes": 0, "failures": 0,
+            "writes": 0, "failures": 0, "promotions": 0,
         }
         #: True when every endpoint's interner fingerprint matched the
         #: coordinator's at handshake time (enables the raw-id path).
@@ -277,13 +295,50 @@ class _ShardSession:
         with self._counter_lock:
             self.counters[key] += amount
 
-    def _call(self, endpoint: int, op: str, fields: dict):
+    def _ensure_client(self, endpoint: int) -> RemoteClient:
+        """The endpoint's connection, created (and gated) on demand."""
         client = self._clients[endpoint]
         if client is None:
             client = RemoteClient(self.addresses[endpoint],
                                   codec=self.codec, timeout=self.timeout)
             self._clients[endpoint] = client
-        return client.call(op, **fields)
+            self._check_generation(endpoint, client)
+        return client
+
+    def _check_generation(self, endpoint: int, client: RemoteClient) -> None:
+        """Refuse fresh connections to pre-promotion stale ex-leaders.
+
+        Split-brain rejection rule: after a promotion recorded
+        ``min_generation`` = G, an endpoint serving generation < G is
+        the dead ex-leader come back (or a replica that has not
+        re-bootstrapped yet) — serving reads from it could resurrect
+        pre-promotion state, and routing writes to it would fork the
+        shard.  Probing only at connection time keeps the per-call hot
+        path untouched: a *live* connection was either established
+        before the promotion (to a then-healthy endpoint) or already
+        passed the gate.
+        """
+        floor = self.min_generation
+        if floor is None:
+            return
+        try:
+            info = client.call("role")
+        except (ProtocolError, OSError):
+            self._drop(endpoint)
+            raise
+        generation = info.get("generation") if isinstance(info, dict) \
+            else None
+        if not isinstance(generation, int) or generation < floor:
+            self._drop(endpoint)
+            raise ProtocolError(
+                f"shard {self.index} endpoint {self.addresses[endpoint]} "
+                f"serves generation {generation!r}, older than the "
+                f"promotion generation {floor} — a stale ex-leader must "
+                f"rejoin as a follower (restart it with --follow pointing "
+                f"at the current leader) before it serves again")
+
+    def _call(self, endpoint: int, op: str, fields: dict):
+        return self._ensure_client(endpoint).call(op, **fields)
 
     def _drop(self, endpoint: int) -> None:
         client = self._clients[endpoint]
@@ -323,21 +378,164 @@ class _ShardSession:
             f"unreachable ({', '.join(self.addresses)}); last error: "
             f"{last_error}", shard_index=self.index)
 
-    def write_call(self, op: str, **fields):
-        """One write, leader-only, never silently retried."""
-        self._count("requests")
-        self._count("writes")
+    def _attempt_write(self, op: str, fields: dict):
+        """One leader write attempt, classified by delivery certainty.
+
+        Returns ``("ok", result)``, ``("undelivered", exc)`` when the
+        request *provably* never left this process (connecting raised,
+        or the generation gate refused the endpoint before anything was
+        sent), or ``("unknown", exc)`` when the failure happened after a
+        connection existed — the leader may or may not have applied the
+        write.  Only "undelivered" writes are ever re-sent.
+        """
         try:
-            result = self._call(0, op, fields)
+            client = self._ensure_client(0)
         except (ProtocolError, OSError) as exc:
             self._drop(0)
-            self._count("failures")
+            return ("undelivered", exc)
+        try:
+            return ("ok", client.call(op, **fields))
+        except (ProtocolError, OSError) as exc:
+            self._drop(0)
+            return ("unknown", exc)
+
+    def _leader_alive(self) -> bool:
+        """Probe endpoint 0 on a dedicated connection; True if it answers."""
+        try:
+            with RemoteClient(self.addresses[0], codec="json",
+                              timeout=self.timeout) as probe:
+                probe.call("role")
+            return True
+        except (ProtocolError, OSError):
+            return False
+
+    def _fail_write(self, op: str, exc: BaseException, *,
+                    promoted: bool) -> NoReturn:
+        self._count("failures")
+        if promoted:
             raise ShardUnavailableError(
-                f"shard {self.index} leader {self.leader} failed during "
-                f"{op}: {exc} (writes are never retried or rerouted — "
-                f"verify the leader state before resubmitting)",
+                f"shard {self.index} write {op} failed: {exc} (a replica "
+                f"was promoted to leader at {self.leader}; the outcome of "
+                f"THIS write is unknown — verify before resubmitting, "
+                f"later writes route to the new leader)",
                 shard_index=self.index) from exc
-        return result
+        raise ShardUnavailableError(
+            f"shard {self.index} leader {self.leader} failed during "
+            f"{op}: {exc} (writes are never retried once they may have "
+            f"reached the wire, and no replica could be promoted — "
+            f"verify the leader state before resubmitting)",
+            shard_index=self.index) from exc
+
+    def write_call(self, op: str, **fields):
+        """One write, leader-only; re-sent only while provably undelivered.
+
+        A write that *may* have reached the wire is never replayed —
+        double-applying ``add``/``remove`` batches would corrupt the
+        replica WAL seq lockstep.  A write that provably never left
+        (connect refused twice across a backoff) marks the leader dead:
+        the most-caught-up replica is promoted and the same bytes are
+        issued there, still exactly-once.  A mid-flight failure probes
+        the leader — a dead one still triggers promotion so *later*
+        writes succeed, but the in-flight write surfaces as unknown.
+        """
+        self._count("requests")
+        self._count("writes")
+        outcome, payload = self._attempt_write(op, fields)
+        if outcome == "ok":
+            return payload
+        if outcome == "undelivered":
+            # Provably never sent: one counted retry after a backoff is
+            # exactly-once safe and absorbs a leader restart blip.
+            self._count("retries")
+            time.sleep(self.retry_backoff)
+            outcome, payload = self._attempt_write(op, fields)
+            if outcome == "ok":
+                return payload
+            if outcome == "undelivered":
+                if self._promote_replica():
+                    try:
+                        return self._call(0, op, fields)
+                    except (ProtocolError, OSError) as exc:
+                        self._drop(0)
+                        self._fail_write(op, exc, promoted=True)
+                self._fail_write(op, payload, promoted=False)
+            self._fail_write(op, payload, promoted=False)
+        # Mid-flight failure on the first attempt.  Distinguish "leader
+        # hiccuped" (connection churn, it still answers) from "leader is
+        # gone": only the latter elects a replacement, and even then the
+        # failed write is surfaced, never replayed.
+        time.sleep(self.retry_backoff)
+        if self._leader_alive():
+            self._fail_write(op, payload, promoted=False)
+        promoted = self._promote_replica()
+        self._fail_write(op, payload, promoted=promoted)
+
+    def _promote_replica(self) -> bool:
+        """Elect and promote the most-caught-up replica to shard leader.
+
+        Candidates are ranked by replayed WAL seq (``replication_status``
+        → ``applied_seq``), ties broken toward the lowest endpoint
+        index; the winner gets a ``promote`` call and becomes endpoint 0
+        via :meth:`_repoint`.  Serialized under ``_promote_lock`` so
+        concurrent failing writes elect exactly once: a loser of the
+        lock race re-checks whether a promotion already happened and the
+        new leader answers before starting its own election.  Returns
+        True when endpoint 0 is a freshly (or already) promoted leader.
+        """
+        with self._promote_lock:
+            if self.min_generation is not None and self._leader_alive():
+                return True
+            candidates = []
+            for endpoint in range(1, len(self.addresses)):
+                try:
+                    with RemoteClient(self.addresses[endpoint],
+                                      codec="json",
+                                      timeout=self.timeout) as probe:
+                        status = probe.call("replication_status")
+                except (ProtocolError, OSError):
+                    continue
+                if not isinstance(status, dict):
+                    continue
+                applied = status.get("applied_seq")
+                if not isinstance(applied, int):
+                    continue
+                candidates.append((applied, -endpoint))
+            for applied, neg_endpoint in sorted(candidates, reverse=True):
+                endpoint = -neg_endpoint
+                try:
+                    with RemoteClient(self.addresses[endpoint],
+                                      codec="json",
+                                      timeout=self.timeout) as probe:
+                        result = probe.call("promote")
+                except (ProtocolError, OSError):
+                    continue
+                generation = result.get("generation") \
+                    if isinstance(result, dict) else None
+                self._repoint(
+                    endpoint,
+                    generation if isinstance(generation, int) else None)
+                self._count("promotions")
+                return True
+            return False
+
+    def _repoint(self, endpoint: int, generation: Optional[int]) -> None:
+        """Make ``endpoint`` the shard's leader slot (index 0).
+
+        The address/client lists are reordered in one assignment each
+        (their length never changes, so a concurrent read sweeping the
+        endpoints at worst reroutes once), the demoted ex-leader's dead
+        connection is dropped, and the promoted store's generation is
+        recorded as the split-brain floor for the connection-time gate.
+        """
+        self._drop(0)
+        self._drop(endpoint)
+        order = [endpoint] + [i for i in range(len(self.addresses))
+                              if i != endpoint]
+        self.addresses = [self.addresses[i] for i in order]
+        self._clients = [self._clients[i] for i in order]
+        self.leader = self.addresses[0]
+        if generation is not None:
+            self.min_generation = generation
 
     def stats_probe(self) -> Optional[dict]:
         """Best-effort ``stats`` read from whichever endpoint answers.
@@ -447,19 +645,29 @@ class ClusterBackend(_BatchedQueriesMixin):
             if entity_interner is not None else Interner()
         self.relation_interner = relation_interner \
             if relation_interner is not None else Interner()
-        self._sessions = [
-            _ShardSession(index, address, replicas.get(index, ()),
-                          codec=codec, timeout=timeout,
-                          retry_backoff=retry_backoff)
-            for index, address in enumerate(shards)
-        ]
-        self._pool = ThreadPoolExecutor(
-            max_workers=max(2, self.n_shards),
-            thread_name_prefix="kg-cluster")
+        # Resources are acquired under a guard: a handshake (or pool
+        # creation) that raises mid-__init__ must not leak the thread
+        # pool or any connection the sessions already opened — the
+        # caller never gets an object to close().
+        self._sessions: List[_ShardSession] = []
+        self._pool: Optional[ThreadPoolExecutor] = None
         self._fast_lengths: Optional[Tuple[int, int]] = None
         self._closed = False
-        if handshake:
-            self.refresh_handshake()
+        try:
+            self._sessions = [
+                _ShardSession(index, address, replicas.get(index, ()),
+                              codec=codec, timeout=timeout,
+                              retry_backoff=retry_backoff)
+                for index, address in enumerate(shards)
+            ]
+            self._pool = ThreadPoolExecutor(
+                max_workers=max(2, self.n_shards),
+                thread_name_prefix="kg-cluster")
+            if handshake:
+                self.refresh_handshake()
+        except BaseException:
+            self._dispose()
+            raise
 
     @classmethod
     def open(cls, directory: Union[str, Path], shards: Sequence[str],
@@ -834,7 +1042,7 @@ class ClusterBackend(_BatchedQueriesMixin):
         """
         totals = {key: 0 for key in
                   ("requests", "retries", "reroutes", "leader_reads",
-                   "replica_reads", "writes", "failures")}
+                   "replica_reads", "writes", "failures", "promotions")}
         shards = []
         for session in self._sessions:
             with session._counter_lock:
@@ -875,14 +1083,29 @@ class ClusterBackend(_BatchedQueriesMixin):
                 "shards": shards,
                 "totals": totals}
 
+    def _dispose(self) -> None:
+        """Release the pool and every session connection, best-effort.
+
+        Shared by :meth:`close` and the ``__init__`` failure path, so a
+        backend that never finished opening still tears down whatever it
+        had acquired (no orphaned ``kg-cluster`` threads, no leaked
+        sockets from a half-done handshake).
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        for session in self._sessions:
+            try:
+                session.close()
+            except Exception:  # pragma: no cover - close is best-effort
+                pass
+
     def close(self) -> None:
         """Close every connection and the job pool (idempotent)."""
         if self._closed:
             return
         self._closed = True
-        self._pool.shutdown(wait=True)
-        for session in self._sessions:
-            session.close()
+        self._dispose()
 
     def __enter__(self) -> "ClusterBackend":
         return self

@@ -63,9 +63,11 @@ typed ``ProtocolError`` response a client can treat as "JSON then".
 
 from __future__ import annotations
 
+import base64
 import json
 import socket
 import struct
+import zlib
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
@@ -236,6 +238,46 @@ def send_frame(sock: socket.socket, payload: dict,
                max_bytes: int = MAX_FRAME_BYTES) -> None:
     """Encode and write one frame (blocking until fully sent)."""
     sock.sendall(encode_frame(payload, max_bytes=max_bytes))
+
+
+#: Raw bytes per ``snapshot_ship`` chunk.  The chunk rides inside a JSON
+#: frame as base64 (4/3 expansion), so 8 MiB of file bytes stays well
+#: under the :data:`MAX_FRAME_BYTES` cap with headroom for the envelope.
+SNAPSHOT_CHUNK_BYTES = 8 * 1024 * 1024
+
+
+def encode_snapshot_chunk(data: bytes) -> dict:
+    """The payload fields one ``snapshot_ship`` chunk response carries."""
+    return {"data": base64.b64encode(data).decode("ascii"),
+            "crc32": zlib.crc32(data)}
+
+
+def decode_snapshot_chunk(chunk: object) -> bytes:
+    """Decode and integrity-check one ``snapshot_ship`` chunk response.
+
+    A snapshot transfer rebuilds a store the receiver will trust as its
+    own durable state, so every chunk is checksummed end to end; any
+    mismatch or malformed field raises :class:`~repro.errors.ProtocolError`
+    (the fetcher restarts the transfer, it never installs damaged bytes).
+    """
+    if not isinstance(chunk, dict):
+        raise ProtocolError(
+            f"snapshot chunk must be an object, got {type(chunk).__name__}")
+    encoded = chunk.get("data")
+    checksum = chunk.get("crc32")
+    if not isinstance(encoded, str) or not isinstance(checksum, int) \
+            or isinstance(checksum, bool):
+        raise ProtocolError("snapshot chunk is missing data/crc32 fields")
+    try:
+        data = base64.b64decode(encoded.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ProtocolError(
+            f"snapshot chunk carries invalid base64: {exc}") from exc
+    if zlib.crc32(data) != checksum:
+        raise ProtocolError(
+            "snapshot chunk failed its CRC32 check (corrupted in transit); "
+            "restart the fetch")
+    return data
 
 
 def error_to_wire(exc: BaseException) -> dict:

@@ -50,7 +50,10 @@ The CLI form is ``python -m repro.cli serve --store-dir DIR --port P``.
 
 from __future__ import annotations
 
+import math
+import os
 import selectors
+import shutil
 import socket
 import threading
 import time
@@ -72,12 +75,15 @@ from repro.kg.protocol import (
     SHAPE_LIST,
     SHAPE_PAGE,
     SHAPE_SINGLE,
+    SNAPSHOT_CHUNK_BYTES,
     TAG_BINARY,
     TAG_JSON,
     BinaryResponseEncoder,
     decode_json_body,
+    decode_snapshot_chunk,
     decode_wire_triples,
     encode_frame,
+    encode_snapshot_chunk,
     encode_tagged_json,
     error_to_wire,
 )
@@ -86,7 +92,9 @@ from repro.kg.service import (DEFAULT_CACHE_BYTES, DEFAULT_CURSOR_TTL,
                               QueryService)
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
-from repro.kg.wal import OP_ADD, scan_wal
+from repro.kg.wal import (OP_ADD, WriteAheadLog, list_snapshot_files,
+                          scan_wal, snapshot_dir_name, wal_file_name,
+                          write_live_pointer)
 
 #: Default port of the CLI ``serve`` command (0 = ephemeral, for tests).
 DEFAULT_PORT = 7468
@@ -181,6 +189,127 @@ def _field(message: dict, name: str, kinds, kind_label: str):
         raise ProtocolError(
             f"field {name!r} must be {kind_label}, got {value!r}")
     return value
+
+
+def _resolve_snapshot_member(snapshot: Path, member: str) -> Path:
+    """Validate a manifest-relative member path (no traversal, ever)."""
+    parts = Path(member).parts
+    if (not parts or Path(member).is_absolute()
+            or any(part in ("..", ".", "") for part in parts)):
+        raise ProtocolError(f"invalid snapshot member path {member!r}")
+    return snapshot.joinpath(*parts)
+
+
+def _manifest_files(manifest: dict) -> List[Tuple[str, int]]:
+    """Type-check a ``snapshot_ship`` manifest's file list."""
+    files = manifest.get("files")
+    if not isinstance(files, list):
+        raise ProtocolError(f"snapshot manifest 'files' must be an array, "
+                            f"got {files!r}")
+    checked: List[Tuple[str, int]] = []
+    for entry in files:
+        if not isinstance(entry, dict):
+            raise ProtocolError(f"snapshot manifest entry {entry!r} is not "
+                                f"an object")
+        path, size = entry.get("path"), entry.get("size")
+        if not isinstance(path, str) or not isinstance(size, int) \
+                or isinstance(size, bool) or size < 0:
+            raise ProtocolError(
+                f"snapshot manifest entry needs a string 'path' and a "
+                f"non-negative integer 'size', got {entry!r}")
+        checked.append((path, size))
+    return checked
+
+
+def fetch_snapshot(client, directory: Union[str, Path], *,
+                   fsync: bool = True, should_abort=None) -> dict:
+    """Fetch the leader's current snapshot generation into ``directory``.
+
+    The wire half of replica (re-)bootstrap: pages the leader's
+    ``snap-G/`` over ``snapshot_ship`` chunk responses into
+    ``snap-G.partial/`` (every chunk CRC-checked, every file
+    size-checked), renames it into place, creates a fresh empty
+    ``wal-G.log``, and atomically flips ``live.json`` to generation G —
+    the commit point.  A crash at any earlier step leaves the pointer
+    untouched (the old state, or no store at all, still stands) and the
+    next fetch starts over.  Raises
+    :class:`~repro.errors.ProtocolError` on any integrity or transfer
+    failure — including the leader compacting mid-transfer, which the
+    server reports as a generation change; the caller just retries.
+    Returns the manifest (``generation``, ``base_seq``, ``files``).
+    ``should_abort()`` is polled between chunks so a closing server can
+    cut a transfer short.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = client.call("snapshot_ship")
+    if not isinstance(manifest, dict):
+        raise ProtocolError(f"snapshot manifest must be an object, got "
+                            f"{type(manifest).__name__}")
+    generation = manifest.get("generation")
+    if not isinstance(generation, int) or isinstance(generation, bool) \
+            or generation < 0:
+        raise ProtocolError(f"snapshot manifest carries invalid generation "
+                            f"{generation!r}")
+    files = _manifest_files(manifest)
+    snapshot = directory / snapshot_dir_name(generation)
+    partial = directory / (snapshot_dir_name(generation) + ".partial")
+    if partial.exists():
+        shutil.rmtree(partial)
+    partial.mkdir(parents=True)
+    for member, size in files:
+        target = _resolve_snapshot_member(partial, member)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        with open(target, "wb") as handle:
+            offset = 0
+            while True:
+                if should_abort is not None and should_abort():
+                    raise ProtocolError(
+                        "snapshot fetch aborted: this server is stopping")
+                chunk = client.call("snapshot_ship", path=member,
+                                    offset=offset, generation=generation)
+                data = decode_snapshot_chunk(chunk)
+                handle.write(data)
+                offset += len(data)
+                if chunk.get("eof"):
+                    break
+                if not data:
+                    raise ProtocolError(
+                        f"snapshot member {member!r} made no progress at "
+                        f"offset {offset} without reaching eof")
+            if offset != size:
+                raise ProtocolError(
+                    f"snapshot member {member!r} transferred {offset} "
+                    f"bytes, manifest says {size} — restart the fetch")
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+    if snapshot.exists():
+        shutil.rmtree(snapshot)
+    os.replace(partial, snapshot)
+    # Durability of the rename and the new WAL rides on the directory
+    # fsyncs WriteAheadLog.create and write_live_pointer already do.
+    WriteAheadLog.create(directory / wal_file_name(generation),
+                         generation=generation, fsync=fsync).close()
+    write_live_pointer(directory, generation, fsync=fsync)
+    return manifest
+
+
+def bootstrap_replica(directory: Union[str, Path], leader: str, *,
+                      fsync: bool = True, timeout: float = 30.0) -> int:
+    """Build a brand-new replica store by fetching the leader's snapshot.
+
+    The zero-operator bootstrap path: point it at an empty (or missing)
+    directory and a leader URL and it produces a live store directory
+    at the leader's current generation, ready to open with
+    ``KGServer.open(directory, follow=leader)`` — no hand-copied files.
+    Returns the bootstrapped generation.
+    """
+    from repro.kg.client import RemoteClient
+
+    with RemoteClient(leader, codec=CODEC_JSON, timeout=timeout) as client:
+        manifest = fetch_snapshot(client, directory, fsync=fsync)
+    return int(manifest["generation"])
 
 
 class _Connection:
@@ -282,6 +411,13 @@ class KGServer:
                 "a replica must be able to apply its leader's WAL "
                 "batches — open a live store (or an in-memory one), not "
                 "a read-only snapshot")
+        interval = float(follow_poll_interval)
+        if not math.isfinite(interval) or interval <= 0:
+            raise ValueError(
+                f"follow_poll_interval must be a positive number of "
+                f"seconds, got {follow_poll_interval!r} (a non-positive "
+                f"interval would busy-spin the follower against its "
+                f"leader)")
         self.max_frame_bytes = int(max_frame_bytes)
         self.codec = codec
         self.closing = False
@@ -289,7 +425,13 @@ class KGServer:
         self.shard_index = shard_index
         self.n_shards = n_shards
         self._follow = follow
-        self._follow_poll_interval = float(follow_poll_interval)
+        self._follow_poll_interval = interval
+        # Guards every read and write of the _replication dict: the
+        # replication thread bumps it, stats/role/replication_status
+        # snapshot it, and promotion finalizes it — a reader must never
+        # see a torn block (e.g. generation from one poll, applied_seq
+        # from another).
+        self._stats_lock = threading.Lock()
         self._replication = {
             "leader": follow,
             "applied_seq": (store.wal.next_seq - 1
@@ -298,11 +440,17 @@ class KGServer:
             "polls": 0,
             "batches_applied": 0,
             "triples_applied": 0,
+            "rebootstraps": 0,
             "last_error": None,
             "running": follow is not None,
         }
         self._stop_replication = threading.Event()
         self._replication_thread: Optional[threading.Thread] = None
+        self._promote_lock = threading.Lock()
+        # Set by a store swap (re-bootstrap): tells the I/O loop to drop
+        # every client connection, because negotiated binary encoders
+        # hold references into the replaced store's interners.
+        self._drop_connections = False
         self.service = QueryService(store, max_batch=max_batch,
                                     cursor_ttl=cursor_ttl,
                                     cache_bytes=cache_bytes)
@@ -393,6 +541,18 @@ class KGServer:
         except (BlockingIOError, OSError):
             pass  # pipe full = a wakeup is already pending, or closed
 
+    def _reset_connections(self) -> None:
+        """Ask the I/O loop to drop every client connection.
+
+        Run after a store swap: a binary-codec connection's response
+        encoder captured the *old* store's interner objects at hello
+        time, so its delta masks would desync against the adopted
+        store.  Clients reconnect (the RemoteClient retries idempotent
+        ops transparently) and renegotiate against the new store.
+        """
+        self._drop_connections = True
+        self._wake()
+
     def close(self) -> None:
         """Stop the I/O loop, drop connections, close the service."""
         with self._close_lock:
@@ -460,6 +620,10 @@ class KGServer:
                         if mask & selectors.EVENT_WRITE and not conn.closed:
                             self._flush(conn)
                 self._flush_requested()
+                if self._drop_connections:
+                    self._drop_connections = False
+                    for conn in list(self._connections):
+                        self._close_conn(conn)
         finally:
             self._serving.clear()
             if self.closing:
@@ -821,7 +985,7 @@ class KGServer:
                                "backend": self.service.store.backend_name},
                      "server": server_info}
             if self.role == "replica":
-                stats["replication"] = dict(self._replication)
+                stats["replication"] = self._replication_snapshot()
             cluster_stats = getattr(self.service.store.backend,
                                     "cluster_stats", None)
             if callable(cluster_stats):
@@ -829,8 +993,14 @@ class KGServer:
             return stats
         if op == "role":
             return self._role_info()
+        if op == "replication_status":
+            return self._replication_status()
         if op == "wal_tail":
             return self._serve_wal_tail(message)
+        if op == "snapshot_ship":
+            return self._serve_snapshot_ship(message)
+        if op == "promote":
+            return self._serve_promote()
         if op == "len":
             return len(self.service.store)
         if op == "execute":
@@ -946,7 +1116,28 @@ class KGServer:
             info["fingerprint"] = interner_fingerprint(
                 backend.entity_interner, backend.relation_interner)
         if self.role == "replica":
-            info["replication"] = dict(self._replication)
+            info["replication"] = self._replication_snapshot()
+        return info
+
+    def _replication_snapshot(self) -> dict:
+        """One consistent copy of the replication status block."""
+        with self._stats_lock:
+            return dict(self._replication)
+
+    def _replication_status(self) -> dict:
+        """The ``replication_status`` op: how caught-up this server is.
+
+        The promotion protocol's ballot: a coordinator facing a dead
+        leader polls each replica's ``applied_seq`` through this and
+        promotes the highest.  Served by leaders too (an
+        already-promoted server reports its role so a second
+        coordinator repoints instead of re-promoting).
+        """
+        store = self.service.store
+        info = self._replication_snapshot()
+        info["role"] = self.role
+        info["local_generation"] = store.live_generation
+        info["writable"] = store.writable
         return info
 
     def _serve_wal_tail(self, message: dict) -> dict:
@@ -989,6 +1180,103 @@ class KGServer:
         return {"generation": scan.generation, "next_seq": wal.next_seq,
                 "batches": batches}
 
+    def _serve_snapshot_ship(self, message: dict) -> dict:
+        """Stream the current snapshot generation to a bootstrapping peer.
+
+        Two request shapes share the op.  Without a ``path`` field it
+        returns the **manifest**: the current generation, the WAL
+        position the shipped snapshot corresponds to (``base_seq`` — a
+        compaction always starts its new WAL at seq 1, so a shipped
+        snapshot is always seq 0 of its generation) and the relative
+        path + size of every snapshot member file.  With ``path`` /
+        ``offset`` / ``generation`` it returns one **chunk**: up to
+        :data:`~repro.kg.protocol.SNAPSHOT_CHUNK_BYTES` of that file as
+        CRC-checked base64, well under the frame cap.  A chunk request
+        for a generation that is no longer current (the leader
+        compacted mid-transfer) fails typed — the fetcher restarts from
+        a fresh manifest instead of stitching two generations together.
+        """
+        store = self.service.store
+        directory = store.live_directory
+        generation = store.live_generation
+        if directory is None or generation is None:
+            raise ProtocolError(
+                "snapshot_ship requires a live store (this server was "
+                "opened from a plain snapshot or in-memory data)")
+        snapshot = directory / snapshot_dir_name(generation)
+        if "path" not in message:
+            files = [{"path": member, "size": size}
+                     for member, size in list_snapshot_files(snapshot)]
+            return {"generation": generation, "base_seq": 0,
+                    "chunk_bytes": SNAPSHOT_CHUNK_BYTES, "files": files}
+        member = _field(message, "path", str, "a string")
+        offset = _field(message, "offset", int, "an integer")
+        wanted = _field(message, "generation", int, "an integer")
+        if offset < 0:
+            raise ProtocolError(f"offset must be >= 0, got {offset}")
+        if wanted != generation:
+            raise ProtocolError(
+                f"snapshot generation changed under the transfer (chunk "
+                f"asked for generation {wanted}, this server now serves "
+                f"{generation}) — restart the fetch from a fresh manifest")
+        target = _resolve_snapshot_member(snapshot, member)
+        try:
+            with open(target, "rb") as handle:
+                handle.seek(offset)
+                data = handle.read(SNAPSHOT_CHUNK_BYTES)
+                size = os.fstat(handle.fileno()).st_size
+        except OSError as exc:
+            raise ProtocolError(
+                f"cannot read snapshot member {member!r}: {exc} (a "
+                f"compaction may have swept it — restart the fetch)"
+            ) from exc
+        chunk = encode_snapshot_chunk(data)
+        chunk.update({"generation": generation, "path": member,
+                      "size": size, "eof": offset + len(data) >= size})
+        return chunk
+
+    def _serve_promote(self) -> dict:
+        """The ``promote`` op: turn this replica into the shard's leader.
+
+        Commit order: stop the replication loop first (no leader batch
+        may apply after the cut), then compact — which folds the
+        replica's current state into a **new, higher generation** and
+        flips its ``live.json`` — then flip the advertised role so the
+        write ops open up.  The generation bump is the split-brain
+        fence: the dead ex-leader's directory stays on the old
+        generation, so a routing layer that recorded the promotion
+        generation refuses any endpoint still serving an older one; a
+        restarted ex-leader rejoins by following the new leader, which
+        re-bootstraps it past the fence.  Idempotent on an
+        already-promoted server (reports ``promoted: false``).
+        """
+        with self._promote_lock:
+            if self.role == "leader":
+                return {"promoted": False, "role": self.role,
+                        "generation": self.service.store.live_generation}
+            if self.service.store.live_generation is None:
+                raise ProtocolError(
+                    "promotion requires a live store directory: an "
+                    "in-memory follower has no durable generation to bump "
+                    "and cannot take over the shard's write path")
+            self._stop_replication.set()
+            thread = self._replication_thread
+            if thread is not None:
+                thread.join(timeout=10)
+                if thread.is_alive():
+                    raise ProtocolError(
+                        "replication loop did not stop within 10s; "
+                        "refusing to promote while old-leader batches "
+                        "may still be applying")
+            generation = self.service.compact()
+            with self._stats_lock:
+                self._replication["running"] = False
+                self._replication["last_error"] = None
+            self.role = "leader"
+            self._follow = None
+            return {"promoted": True, "role": "leader",
+                    "generation": generation}
+
     # ------------------------------------------------------------------ #
     # replication (follower mode)
     # ------------------------------------------------------------------ #
@@ -997,59 +1285,98 @@ class KGServer:
 
         Each leader batch applies as ONE ``service.add_many`` /
         ``remove_many`` call, so when this replica runs over a live
-        store bootstrapped from a copy of the leader's directory, its
-        own WAL sequence numbers stay in lockstep with the leader's and
+        store bootstrapped from the leader's snapshot, its own WAL
+        sequence numbers stay in lockstep with the leader's and
         ``applied_seq`` survives a replica restart for free.
         Unreachable leaders are retried forever (the replica keeps
-        serving reads from its current state); a *generation* change or
-        sequence gap means the leader compacted underneath us — replay
-        would be wrong, so replication stops with a recorded error and
-        the operator re-bootstraps from a fresh copy.
+        serving reads from its current state).  A *generation* change
+        means the leader compacted underneath us: replaying the new log
+        over our old snapshot would be wrong, so a live-directory
+        replica re-bootstraps itself over the wire
+        (:meth:`_rebootstrap`) and resumes on the new generation — only
+        an in-memory follower, which has nowhere durable to adopt a
+        snapshot into, still stops with the re-bootstrap demand.  Every
+        status mutation happens under the stats lock, grouped per batch,
+        so a concurrent ``stats`` poll never reads a torn block.
         """
         from repro.kg.client import RemoteClient
 
         rep = self._replication
-        local_generation = self.service.store.live_generation
         client: Optional[RemoteClient] = None
+        # Last leader generation observed, for followers with no local
+        # generation (in-memory): they cannot adopt a snapshot, but they
+        # must still notice a compaction instead of misreading the new
+        # log's restarted sequence numbers as a continuation.
+        leader_generation: Optional[int] = None
+
+        def drop_client() -> None:
+            nonlocal client
+            if client is not None:
+                try:
+                    client.close()
+                except Exception:  # pragma: no cover - best-effort
+                    pass
+                client = None
+
         try:
-            while not self.closing:
+            while not self._stop_replication.is_set():
+                with self._stats_lock:
+                    applied_seq = rep["applied_seq"]
                 try:
                     if client is None:
                         client = RemoteClient(self._follow, codec=CODEC_JSON,
                                               timeout=10.0)
-                    result = client.call("wal_tail",
-                                         after_seq=rep["applied_seq"])
+                    result = client.call("wal_tail", after_seq=applied_seq)
                 except Exception as exc:
-                    rep["last_error"] = f"leader poll failed: {exc}"
-                    if client is not None:
-                        try:
-                            client.close()
-                        except Exception:  # pragma: no cover - best-effort
-                            pass
-                        client = None
+                    with self._stats_lock:
+                        rep["last_error"] = f"leader poll failed: {exc}"
+                    drop_client()
                     self._stop_replication.wait(self._follow_poll_interval)
                     continue
-                rep["polls"] += 1
                 generation = result.get("generation")
-                rep["generation"] = generation
+                # Re-read the local generation every iteration: a
+                # re-bootstrap moves it, and comparing against a value
+                # captured at loop start would mis-fire forever after.
+                local_generation = self.service.store.live_generation
+                with self._stats_lock:
+                    rep["polls"] += 1
+                    rep["generation"] = generation
                 if local_generation is not None \
                         and generation != local_generation:
-                    rep["last_error"] = (
-                        f"leader moved to generation {generation}, this "
-                        f"replica replays generation {local_generation} — "
-                        f"re-bootstrap from a fresh copy of the leader "
-                        f"directory")
-                    return
-                applied_any = False
-                for seq, op, rows in result.get("batches") or []:
-                    if seq <= rep["applied_seq"]:
-                        continue
-                    if seq != rep["applied_seq"] + 1:
+                    try:
+                        self._rebootstrap(client)
+                    except Exception as exc:
+                        with self._stats_lock:
+                            rep["last_error"] = (
+                                f"re-bootstrap after leader generation "
+                                f"change ({local_generation} -> "
+                                f"{generation}) failed: {exc}; retrying")
+                        drop_client()
+                        self._stop_replication.wait(
+                            self._follow_poll_interval)
+                    continue
+                if local_generation is None \
+                        and leader_generation is not None \
+                        and generation != leader_generation:
+                    with self._stats_lock:
                         rep["last_error"] = (
-                            f"gap in the leader WAL: expected seq "
-                            f"{rep['applied_seq'] + 1}, got {seq} — "
-                            f"re-bootstrap this replica")
-                        return
+                            f"leader moved to generation {generation}; an "
+                            f"in-memory follower cannot adopt a shipped "
+                            f"snapshot — restart this replica over a live "
+                            f"store directory to follow across "
+                            f"compactions")
+                    return
+                leader_generation = generation
+                applied_any = False
+                abort = None
+                for seq, op, rows in result.get("batches") or []:
+                    if seq <= applied_seq:
+                        continue
+                    if seq != applied_seq + 1:
+                        abort = (f"gap in the leader WAL: expected seq "
+                                 f"{applied_seq + 1}, got {seq} — "
+                                 f"re-bootstrap this replica")
+                        break
                     triples = [Triple.unchecked(h, r, t) for h, r, t in rows]
                     try:
                         if op == OP_ADD:
@@ -1057,19 +1384,70 @@ class KGServer:
                         else:
                             self.service.remove_many(triples)
                     except Exception as exc:
-                        rep["last_error"] = f"replay failed: {exc}"
-                        return
-                    rep["applied_seq"] = seq
-                    rep["batches_applied"] += 1
-                    rep["triples_applied"] += len(triples)
+                        abort = f"replay failed: {exc}"
+                        break
+                    applied_seq = seq
+                    # One lock acquisition per applied batch: seq,
+                    # batch and triple counters move together or not at
+                    # all as far as any stats reader can observe.
+                    with self._stats_lock:
+                        rep["applied_seq"] = seq
+                        rep["batches_applied"] += 1
+                        rep["triples_applied"] += len(triples)
                     applied_any = True
-                rep["last_error"] = None
+                if abort is not None:
+                    with self._stats_lock:
+                        rep["last_error"] = abort
+                    return
+                with self._stats_lock:
+                    rep["last_error"] = None
                 if not applied_any:
                     self._stop_replication.wait(self._follow_poll_interval)
         finally:
-            rep["running"] = False
-            if client is not None:
-                try:
-                    client.close()
-                except Exception:  # pragma: no cover - best-effort
-                    pass
+            with self._stats_lock:
+                rep["running"] = False
+            drop_client()
+
+    def _rebootstrap(self, client) -> None:
+        """Adopt the leader's current generation over the wire.
+
+        The follower half of snapshot shipping, run from the
+        replication thread when the leader's generation moved: fetch
+        the new ``snap-G/`` + WAL position into this replica's live
+        directory (:func:`fetch_snapshot` — the atomic ``live.json``
+        flip is the commit point), open the adopted generation as a
+        fresh store, swap it in through the service dispatcher (readers
+        never observe half a state), close the replaced store, sweep
+        the stale generation, and drop client connections whose binary
+        encoders captured the old store's interners.  On return the
+        loop resumes tailing the new generation's WAL from the shipped
+        ``base_seq``.  In-memory followers cannot adopt a snapshot and
+        keep the old stop-with-error behavior (the caller guards).
+        """
+        store = self.service.store
+        directory = store.live_directory
+        if directory is None:
+            raise ProtocolError(
+                "re-bootstrap requires a live store directory")
+        wal_fsync = store.wal.fsync if store.wal is not None else True
+        manifest = fetch_snapshot(client, directory, fsync=wal_fsync,
+                                  should_abort=self._stop_replication.is_set)
+        generation = int(manifest["generation"])
+        base_seq = manifest.get("base_seq", 0)
+        if not isinstance(base_seq, int) or isinstance(base_seq, bool) \
+                or base_seq < 0:
+            raise ProtocolError(
+                f"snapshot manifest carries invalid base_seq {base_seq!r}")
+        new_store = TripleStore.open(directory, wal_fsync=wal_fsync)
+        old_store = self.service.swap_store(new_store)
+        try:
+            old_store.close()
+        except Exception:  # pragma: no cover - old WAL close best-effort
+            pass
+        new_store.sweep_stale_generations()
+        with self._stats_lock:
+            self._replication["generation"] = generation
+            self._replication["applied_seq"] = base_seq
+            self._replication["rebootstraps"] += 1
+            self._replication["last_error"] = None
+        self._reset_connections()

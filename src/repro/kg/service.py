@@ -103,9 +103,10 @@ _CURSOR_CLOSE = "cursor-close"   # cursor id -> None
 _ADD = "add"                     # List[Triple] -> newly-added count
 _REMOVE = "remove"               # List[Triple] -> removed count
 _COMPACT = "compact"             # crash_hook | None -> new generation
+_SWAP = "swap-store"             # TripleStore -> the replaced store
 
 #: Kinds the dispatcher serves before any read in the same batch.
-_WRITE_KINDS = frozenset((_ADD, _REMOVE, _COMPACT))
+_WRITE_KINDS = frozenset((_ADD, _REMOVE, _COMPACT, _SWAP))
 
 #: Sentinel shoved down the queue to stop the dispatcher.
 _SHUTDOWN = object()
@@ -353,6 +354,16 @@ class QueryService:
         else:
             self.store.count()
 
+    def _apply_swap(self, new_store: TripleStore) -> TripleStore:
+        """Dispatcher-side half of :meth:`swap_store`."""
+        backend = new_store.backend
+        if supports_id_queries(backend):
+            backend.count_ids()
+        else:
+            new_store.count()
+        old_store, self.store = self.store, new_store
+        return old_store
+
     # ------------------------------------------------------------------ #
     # client surface (thread-safe)
     # ------------------------------------------------------------------ #
@@ -515,6 +526,21 @@ class QueryService:
         """
         return self._enqueue(_Request(_COMPACT, crash_hook, True)).result()
 
+    def swap_store(self, new_store: TripleStore) -> TripleStore:
+        """Atomically replace the served store; returns the old one.
+
+        The replica re-bootstrap handoff: after a follower fetches a new
+        snapshot generation over the wire it opens the adopted directory
+        as a fresh :class:`TripleStore` and swaps it in here.  The swap
+        is serialized through the dispatcher like any write, so no read
+        ever observes half-old, half-new state; the result cache is
+        dropped (the new store interns from scratch, so cached id blocks
+        are meaningless against it).  Closing the returned old store is
+        the caller's job — open cursors may still page out of its
+        backend, which stays valid until garbage-collected.
+        """
+        return self._enqueue(_Request(_SWAP, new_store, True)).result()
+
     # ------------------------------------------------------------------ #
     # cursors (paged results; remote clients stream through these)
     # ------------------------------------------------------------------ #
@@ -648,20 +674,25 @@ class QueryService:
         Any ADD/REMOVE — even one whose apply *failed*, since a partial
         apply may already have interned new symbols or spliced rows —
         drops the whole result cache before this round's reads are
-        served.  COMPACT keeps it: compaction changes the on-disk
-        generation, not the triple set or the interners, so the cache
-        stays warm through it by design.
+        served, and so does a store SWAP (the adopted store's interners
+        share nothing with the cached id blocks).  COMPACT keeps it:
+        compaction changes the on-disk generation, not the triple set or
+        the interners, so the cache stays warm through it by design.
         """
-        store = self.store
         mutated = False
         for request in requests:
             if request.kind != _COMPACT:
                 mutated = True
             try:
+                # Re-read self.store per request: a SWAP earlier in this
+                # round must route the rest of the round to the new store.
+                store = self.store
                 if request.kind == _ADD:
                     result = store.add_many(request.payload)
                 elif request.kind == _REMOVE:
                     result = store.remove_many(request.payload)
+                elif request.kind == _SWAP:
+                    result = self._apply_swap(request.payload)
                 else:
                     result = store.compact(crash_hook=request.payload)
             except Exception as exc:

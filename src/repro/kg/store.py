@@ -337,6 +337,11 @@ class TripleStore:
         """The current (snapshot, WAL) generation of a live store."""
         return self._live_generation
 
+    @property
+    def live_directory(self) -> Optional[Path]:
+        """The directory of a live store (``None`` otherwise)."""
+        return self._live_directory
+
     def save_live(self, directory: "str | Path", *,
                   fsync: bool = True) -> "Path":
         """Write this store's content as a generation-0 live layout.
@@ -420,11 +425,23 @@ class TripleStore:
         self._live_generation = new_generation
         old_wal.close()
         hook("commit")
-        self._sweep_stale_generations()
+        self.sweep_stale_generations()
         return new_generation
 
-    def _sweep_stale_generations(self) -> None:
-        """Delete snapshot/WAL files of non-current generations."""
+    def sweep_stale_generations(self) -> None:
+        """Delete snapshot/WAL files of non-current generations.
+
+        Best-effort cleanup run after a compaction commits and after a
+        replica adopts a shipped generation (re-bootstrap): only the
+        current ``snap-G/`` + ``wal-G.log`` pair survives.  Orphaned
+        ``snap-*.partial`` transfer directories from an interrupted
+        fetch go too — a restarted fetch always begins from scratch.
+        """
+        from repro.errors import StorageError
+
+        if self._live_directory is None:
+            raise StorageError(
+                "sweep_stale_generations() requires a live store")
         import shutil
 
         from repro.kg.wal import snapshot_dir_name, wal_file_name

@@ -339,6 +339,27 @@ class WriteAheadLog:
             self._file = None
 
 
+def list_snapshot_files(
+        snapshot_dir: "Union[str, Path]") -> List[Tuple[str, int]]:
+    """Enumerate a snapshot directory for shipping: ``(path, size)``.
+
+    Paths are ``/``-separated and relative to ``snapshot_dir`` (sharded
+    snapshots nest one subdirectory per shard), sorted so a manifest is
+    deterministic.  This is the unit the ``snapshot_ship`` wire op pages
+    over; only regular files are shipped — a snapshot layout contains
+    nothing else.
+    """
+    snapshot_dir = Path(snapshot_dir)
+    if not snapshot_dir.is_dir():
+        raise StorageError(f"{snapshot_dir} is not a snapshot directory")
+    files: List[Tuple[str, int]] = []
+    for path in sorted(snapshot_dir.rglob("*")):
+        if path.is_file():
+            relative = path.relative_to(snapshot_dir).as_posix()
+            files.append((relative, path.stat().st_size))
+    return files
+
+
 # --------------------------------------------------------------------- #
 # live-store generation pointer
 # --------------------------------------------------------------------- #

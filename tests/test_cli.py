@@ -178,6 +178,30 @@ def test_cli_serve_requires_store_dir(capsys):
     assert "requires --store-dir" in capsys.readouterr().err
 
 
+@pytest.mark.parametrize("value", ["0", "-0.5", "nan", "inf", "-inf"])
+def test_cli_serve_rejects_bad_follow_poll_interval(tmp_path, capsys, value):
+    """argparse's type=float accepts nan/inf/non-positives; the CLI
+    boundary must turn them into the typed error path (stderr + rc 2),
+    not a busy-spinning replica or a constructor traceback."""
+    store_dir = _saved_store(tmp_path)
+    rc = main(["serve", "--store-dir", str(store_dir),
+               "--port", "0", "--follow", "127.0.0.1:1",
+               f"--follow-poll-interval={value}"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--follow-poll-interval" in err and "error:" in err
+
+
+@pytest.mark.parametrize("value", ["-1", "nan", "inf"])
+def test_cli_serve_rejects_bad_cache_mb(tmp_path, capsys, value):
+    store_dir = _saved_store(tmp_path)
+    rc = main(["serve", "--store-dir", str(store_dir),
+               "--port", "0", "--cache-mb", value])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "--cache-mb" in err and "error:" in err
+
+
 def test_cli_query_url_and_store_dir_are_exclusive(tmp_path, capsys):
     store_dir = _saved_store(tmp_path)
     assert main(["query", "--store-dir", str(store_dir),

@@ -13,6 +13,11 @@ Covers the distributed deployment of the sharded store:
   a shard leader is down, and fail with a typed, shard-naming
   :class:`~repro.errors.ShardUnavailableError` when no replica exists;
 - WAL-replaying replicas (the ``wal_tail`` op and the follower loop);
+- cluster self-management: over-the-wire replica bootstrap
+  (``snapshot_ship``), automatic follower re-bootstrap across leader
+  compactions, automatic leader promotion on a dead leader, the
+  split-brain connection gate, and the torn-stats / resource-leak
+  regressions;
 - the client's bounded reconnect for idempotent reads across a server
   kill/restart.
 """
@@ -20,7 +25,9 @@ Covers the distributed deployment of the sharded store:
 from __future__ import annotations
 
 import shutil
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack, closing, contextmanager
 
 import numpy as np
@@ -38,7 +45,7 @@ from repro.kg.cluster import (
 )
 from repro.kg.query import PatternQuery
 from repro.kg.routing import shard_of_id
-from repro.kg.server import KGServer
+from repro.kg.server import KGServer, bootstrap_replica
 from repro.kg.sharded_backend import ShardedBackend
 from repro.kg.store import TripleStore
 from repro.kg.triple import Triple
@@ -338,19 +345,119 @@ def test_reads_fail_typed_and_named_without_replica():
         assert backend.cluster_stats()["totals"]["failures"] > 0
 
 
-def test_writes_are_never_rerouted_to_replicas():
+def test_write_to_dead_leader_promotes_replica():
+    """Kill a shard leader under an established write connection: the
+    in-flight write surfaces as unknown (never silently replayed), the
+    replica is promoted automatically, and every subsequent write
+    succeeds against it — ``promotions == 1`` in the cluster stats."""
     local = ShardedBackend(2)
     local.add_many(_sample_triples(20))
     with _cluster_over(local, replicate_shard=0) \
-            as (backend, servers, _replica):
-        servers[0].close()
+            as (backend, servers, replica):
         head0 = next(f"e{i}" for i in range(20)
                      if shard_of_id(local.entity_interner.lookup(f"e{i}"),
                                     2) == 0)
+        backend.add_many([Triple(head0, "rnew", "warm")])
+        servers[0].close()
+        with pytest.raises(ShardUnavailableError) as excinfo:
+            backend.add_many([Triple(head0, "rnew", "during-the-kill")])
+        assert excinfo.value.shard_index == 0
+        assert "promoted" in str(excinfo.value)
+        # Endpoint 0 of shard 0 is now the ex-replica; writes flow again
+        # with no operator action and reads observe them.
+        backend.add_many([Triple(head0, "rnew", "after-promotion")])
+        assert Triple(head0, "rnew", "after-promotion") \
+            in backend.match(head0, "rnew", None)
+        stats = backend.cluster_stats()
+        assert stats["totals"]["promotions"] == 1
+        assert stats["shards"][0]["leader"] == replica.url
+
+
+def test_write_fails_typed_when_no_replica_to_promote():
+    """A dead leader with nothing to promote still fails the write with
+    the no-silent-retry contract spelled out."""
+    local = ShardedBackend(2)
+    local.add_many(_sample_triples(20))
+    with _cluster_over(local) as (backend, servers, _replica):
+        head0 = next(f"e{i}" for i in range(20)
+                     if shard_of_id(local.entity_interner.lookup(f"e{i}"),
+                                    2) == 0)
+        backend.add_many([Triple(head0, "rnew", "warm")])
+        servers[0].close()
         with pytest.raises(ShardUnavailableError) as excinfo:
             backend.add_many([Triple(head0, "rnew", "somewhere")])
         assert excinfo.value.shard_index == 0
         assert "never retried" in str(excinfo.value)
+        assert backend.cluster_stats()["totals"]["promotions"] == 0
+
+
+def test_undelivered_write_promotes_and_retries_transparently():
+    """A write that provably never left the coordinator (the leader was
+    already dead, connecting raised) is safe to re-issue: the backend
+    promotes the replica and delivers the SAME write there — the caller
+    sees plain success, zero failures."""
+    local = ShardedBackend(2)
+    local.add_many(_sample_triples(20))
+    with _cluster_over(local, replicate_shard=0) \
+            as (warm, servers, replica):
+        urls = [server.url for server in servers]
+        servers[0].close()
+        head0 = next(f"e{i}" for i in range(20)
+                     if shard_of_id(local.entity_interner.lookup(f"e{i}"),
+                                    2) == 0)
+        backend = ClusterBackend(urls, replicas={0: [replica.url]},
+                                 entity_interner=local.entity_interner,
+                                 relation_interner=local.relation_interner,
+                                 retry_backoff=0.01, handshake=False)
+        try:
+            backend.add_many([Triple(head0, "rnew", "transparent")])
+            assert Triple(head0, "rnew", "transparent") \
+                in backend.match(head0, "rnew", None)
+            totals = backend.cluster_stats()["totals"]
+            assert totals["promotions"] == 1
+            assert totals["failures"] == 0
+        finally:
+            backend.close()
+
+
+def test_cluster_backend_failed_open_releases_resources(monkeypatch):
+    """Regression: a handshake that raises mid-``__init__`` used to leak
+    the thread pool and every connection the earlier sessions had
+    already opened — the caller never gets an object to ``close()``.
+    The constructor must tear down whatever it acquired."""
+    from repro.kg import cluster as cluster_mod
+
+    local = ShardedBackend(1)
+    local.add_many(_sample_triples(10))
+    part = _shard_parts(local)[0]
+    with KGServer(TripleStore(backend=part), port=0, shard_index=0,
+                  n_shards=2).start() as server:
+        real_handshake = cluster_mod._ShardSession.handshake
+
+        def exploding(self, fingerprint):
+            if self.index == 1:
+                raise RuntimeError("handshake exploded")
+            return real_handshake(self, fingerprint)
+
+        shutdowns = []
+        real_shutdown = ThreadPoolExecutor.shutdown
+
+        def spying(pool, *args, **kwargs):
+            shutdowns.append(pool)
+            return real_shutdown(pool, *args, **kwargs)
+
+        monkeypatch.setattr(cluster_mod._ShardSession, "handshake",
+                            exploding)
+        monkeypatch.setattr(ThreadPoolExecutor, "shutdown", spying)
+        with pytest.raises(RuntimeError, match="handshake exploded"):
+            ClusterBackend([server.url, "127.0.0.1:1"],
+                           entity_interner=local.entity_interner,
+                           relation_interner=local.relation_interner)
+        assert len(shutdowns) == 1  # the half-built pool was shut down
+        # ... and shard 0's handshake connection was closed, not leaked.
+        assert _wait_until(lambda: server.connection_count == 0)
+        assert not [t for t in threading.enumerate()
+                    if t.name.startswith("kg-cluster")]
 
 
 def test_client_reconnects_across_server_restart(tmp_path):
@@ -459,13 +566,14 @@ def test_replica_requires_writable_store(tmp_path):
     snapshot.close()
 
 
-def test_follower_stops_on_leader_generation_change(tmp_path):
-    """Leader compaction truncates the WAL the follower tails, so the
-    follower must stop with a re-bootstrap error instead of silently
-    diverging."""
+def test_follower_rebootstraps_on_leader_compaction(tmp_path):
+    """Leader compaction truncates the WAL the follower tails; instead
+    of stopping, the follower now fetches the new snapshot generation
+    over the wire (``snapshot_ship``), flips its live pointer, and
+    resumes tailing the new WAL — converging bit-identically with zero
+    operator action."""
     TripleStore.create_live(tmp_path / "leader", _sample_triples(10))
-    leader_store = TripleStore.open(tmp_path / "leader")
-    leader = KGServer(leader_store, port=0).start()
+    leader = KGServer.open(tmp_path / "leader", port=0).start()
     shutil.copytree(tmp_path / "leader", tmp_path / "replica")
     replica = KGServer.open(tmp_path / "replica", port=0,
                             follow=leader.url,
@@ -474,10 +582,203 @@ def test_follower_stops_on_leader_generation_change(tmp_path):
         with connect(leader.url) as writer:
             writer.call("add_many", triples=[["x1", "r", "x2"]])
             writer.call("compact")
-        assert _wait_until(
-            lambda: replica._replication["last_error"] is not None
-            and "re-bootstrap" in replica._replication["last_error"])
-        assert replica._replication["running"] is False
+            writer.call("add_many", triples=[["x3", "r", "x4"]])
+            leader_len = writer.call("len")
+        with connect(replica.url) as reader:
+            assert _wait_until(
+                lambda: reader.call("count", pattern=["x3", "r", "x4"]) == 1)
+            assert _wait_until(lambda: reader.call("len") == leader_len)
+            assert reader.call("count", pattern=["x1", "r", "x2"]) == 1
+            rep = reader.stats()["replication"]
+            assert rep["rebootstraps"] == 1
+            assert rep["last_error"] is None
+            assert rep["generation"] == 1
+            assert reader.call("role")["role"] == "replica"
+        # The adoption went all the way to disk: new generation live
+        # pointer, stale generation swept.
+        assert replica.service.store.live_generation == 1
+        assert not (tmp_path / "replica" / "wal-000000.log").exists()
+        assert not (tmp_path / "replica" / "snap-000000").exists()
+    finally:
+        replica.close()
+        leader.close()
+
+
+def test_in_memory_follower_stops_on_generation_change(tmp_path):
+    """A follower with no live directory cannot adopt a shipped
+    snapshot: on leader compaction it must STOP with a typed error —
+    silently replaying the restarted WAL seqs would corrupt it."""
+    TripleStore.create_live(tmp_path / "leader", _sample_triples(6))
+    leader = KGServer.open(tmp_path / "leader", port=0).start()
+    twin = TripleStore(_sample_triples(6), backend=ShardedBackend(1))
+    replica = KGServer(twin, port=0, follow=leader.url,
+                       follow_poll_interval=0.01).start()
+    try:
+        with connect(leader.url) as writer:
+            writer.call("add_many", triples=[["y1", "r", "y2"]])
+        with connect(replica.url) as reader:
+            assert _wait_until(
+                lambda: reader.call("count", pattern=["y1", "r", "y2"]) == 1)
+        with connect(leader.url) as writer:
+            writer.call("compact")
+            writer.call("add_many", triples=[["y3", "r", "y4"]])
+
+        def stopped():
+            rep = replica._replication_snapshot()
+            return rep["last_error"] is not None and not rep["running"]
+
+        assert _wait_until(stopped)
+        assert "in-memory follower" \
+            in replica._replication_snapshot()["last_error"]
+        # ... and the poisoned batch was never applied.
+        with connect(replica.url) as reader:
+            assert reader.call("count", pattern=["y3", "r", "y4"]) == 0
+    finally:
+        replica.close()
+        leader.close()
+
+
+def test_bootstrap_replica_from_scratch(tmp_path):
+    """A replica born from nothing: :func:`bootstrap_replica` pages the
+    leader's snapshot over the wire into an empty directory, and the
+    follower opened over it converges on the leader's WAL — no
+    hand-copied files anywhere."""
+    TripleStore.create_live(tmp_path / "leader", _sample_triples(12))
+    leader = KGServer.open(tmp_path / "leader", port=0).start()
+    try:
+        with connect(leader.url) as writer:
+            writer.call("add_many", triples=[["w1", "r", "w2"]])
+            leader_len = writer.call("len")
+        generation = bootstrap_replica(tmp_path / "replica", leader.url)
+        assert generation == 0
+        assert (tmp_path / "replica" / "live.json").is_file()
+        replica = KGServer.open(tmp_path / "replica", port=0,
+                                follow=leader.url,
+                                follow_poll_interval=0.01).start()
+        try:
+            with connect(replica.url) as reader:
+                assert _wait_until(
+                    lambda: reader.call("count",
+                                        pattern=["w1", "r", "w2"]) == 1)
+                assert reader.call("len") == leader_len
+        finally:
+            replica.close()
+    finally:
+        leader.close()
+
+
+def test_promoted_ex_leader_rejoins_as_follower(tmp_path):
+    """The full self-management loop over real sockets: leader dies →
+    replica is promoted (new generation = the fencing token) → the
+    ex-leader restarts over its OLD directory as a follower of the new
+    leader, detects the newer generation, re-bootstraps over the wire
+    and converges on post-promotion writes — no split brain."""
+    TripleStore.create_live(tmp_path / "leader", _sample_triples(8))
+    leader = KGServer.open(tmp_path / "leader", port=0).start()
+    bootstrap_replica(tmp_path / "replica", leader.url)
+    replica = KGServer.open(tmp_path / "replica", port=0,
+                            follow=leader.url,
+                            follow_poll_interval=0.01).start()
+    backend = ClusterBackend([leader.url], replicas={0: [replica.url]},
+                             retry_backoff=0.01, handshake=False)
+    try:
+        backend.add_many([Triple("pre", "r", "kill")])
+        with connect(replica.url) as reader:
+            assert _wait_until(
+                lambda: reader.call("count",
+                                    pattern=["pre", "r", "kill"]) == 1)
+        leader.close()
+        with pytest.raises(ShardUnavailableError):
+            backend.add_many([Triple("lost", "r", "unknown-outcome")])
+        backend.add_many([Triple("post", "r", "promotion")])
+        assert backend.cluster_stats()["totals"]["promotions"] == 1
+        assert replica.role == "leader"
+        assert replica.service.store.live_generation >= 1
+        rejoined = KGServer.open(tmp_path / "leader", port=0,
+                                 follow=replica.url,
+                                 follow_poll_interval=0.01).start()
+        try:
+            with connect(rejoined.url) as reader:
+                assert reader.call("role")["role"] == "replica"
+                assert _wait_until(
+                    lambda: reader.call(
+                        "count", pattern=["post", "r", "promotion"]) == 1)
+                rep = reader.stats()["replication"]
+                assert rep["rebootstraps"] >= 1
+                assert rep["last_error"] is None
+        finally:
+            rejoined.close()
+    finally:
+        backend.close()
+        replica.close()
+        leader.close()
+
+
+def test_stale_ex_leader_connection_refused(tmp_path):
+    """The split-brain rejection rule in isolation: once a session has
+    recorded a promotion generation, a fresh connection to an endpoint
+    serving an older generation is dropped with a typed error naming
+    the remedy."""
+    from repro.kg.cluster import _ShardSession
+
+    TripleStore.create_live(tmp_path / "stale", _sample_triples(5))
+    stale = KGServer.open(tmp_path / "stale", port=0).start()
+    try:
+        session = _ShardSession(0, stale.url, ())
+        try:
+            assert session._call(0, "ping", {}) == "pong"  # no floor yet
+            session._drop(0)
+            session.min_generation = 1
+            with pytest.raises(ProtocolError, match="stale ex-leader"):
+                session._call(0, "ping", {})
+            assert session._clients[0] is None  # gate dropped the conn
+        finally:
+            session.close()
+    finally:
+        stale.close()
+
+
+def test_replication_stats_never_torn_under_concurrent_polls(tmp_path):
+    """Regression: the follower loop used to bump ``applied_seq`` /
+    ``batches_applied`` / ``triples_applied`` without the stats lock, so
+    a concurrent ``stats`` reader could observe a half-updated
+    replication block.  With 3-triple batches, every snapshot any poller
+    ever sees must satisfy the lockstep invariants exactly."""
+    TripleStore.create_live(tmp_path / "leader", [])
+    leader = KGServer.open(tmp_path / "leader", port=0).start()
+    shutil.copytree(tmp_path / "leader", tmp_path / "replica")
+    replica = KGServer.open(tmp_path / "replica", port=0,
+                            follow=leader.url,
+                            follow_poll_interval=0.001).start()
+    try:
+        stop = threading.Event()
+        torn: list = []
+
+        def poll():
+            with connect(replica.url) as reader:
+                while not stop.is_set():
+                    rep = reader.stats()["replication"]
+                    if rep["triples_applied"] != 3 * rep["batches_applied"] \
+                            or rep["applied_seq"] != rep["batches_applied"]:
+                        torn.append(dict(rep))
+                        return
+
+        pollers = [threading.Thread(target=poll) for _ in range(3)]
+        for poller in pollers:
+            poller.start()
+        with connect(leader.url) as writer:
+            for i in range(40):
+                writer.call("add_many", triples=[
+                    [f"h{i}", "r", f"t{i}a"], [f"h{i}", "r", f"t{i}b"],
+                    [f"h{i}", "r", f"t{i}c"]])
+        with connect(replica.url) as reader:
+            assert _wait_until(
+                lambda: reader.stats()["replication"]["batches_applied"]
+                >= 40)
+        stop.set()
+        for poller in pollers:
+            poller.join(timeout=10)
+        assert torn == []
     finally:
         replica.close()
         leader.close()
